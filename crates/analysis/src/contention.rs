@@ -1,0 +1,216 @@
+//! PCIe-contention analysis of swap plans.
+//!
+//! Equation 1 bounds each swap against its *own* access gap, but every
+//! decision shares one PCIe link (one DMA engine per direction, as on real
+//! GPUs). This module schedules a plan's transfers on those two engines and
+//! checks that every prefetch still meets its deadline — and can thin an
+//! infeasible plan down to a feasible subset.
+
+use crate::planner::{SwapDecision, SwapPlan};
+use pinpoint_device::TransferModel;
+use serde::{Deserialize, Serialize};
+
+/// One scheduled transfer pair of a decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduledSwap {
+    /// The decision being scheduled.
+    pub decision: SwapDecision,
+    /// When the eviction copy actually finishes on the d2h engine.
+    pub d2h_done_ns: u64,
+    /// When the prefetch copy actually finishes on the h2d engine.
+    pub h2d_done_ns: u64,
+    /// Whether the prefetch met its deadline (`needed_at`).
+    pub on_time: bool,
+}
+
+/// Result of scheduling a plan on the shared link.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContentionReport {
+    /// Per-decision schedule, in deadline order.
+    pub schedule: Vec<ScheduledSwap>,
+    /// Whether every prefetch met its deadline.
+    pub feasible: bool,
+    /// Busy fraction of the d2h engine over the span of the plan.
+    pub d2h_busy_fraction: f64,
+    /// Busy fraction of the h2d engine over the span of the plan.
+    pub h2d_busy_fraction: f64,
+}
+
+impl ContentionReport {
+    /// Decisions whose prefetch would arrive late.
+    pub fn late(&self) -> impl Iterator<Item = &ScheduledSwap> {
+        self.schedule.iter().filter(|s| !s.on_time)
+    }
+}
+
+/// Schedules a plan's transfers on one d2h and one h2d engine.
+///
+/// Evictions run FIFO in eviction order; prefetches run earliest-deadline-
+/// first, each starting no earlier than its eviction's completion and its
+/// latest safe start. A decision is on time when its prefetch completes by
+/// `needed_at`.
+pub fn check_contention(plan: &SwapPlan, tm: &TransferModel) -> ContentionReport {
+    schedule_decisions(&plan.decisions, tm)
+}
+
+fn schedule_decisions(decisions: &[SwapDecision], tm: &TransferModel) -> ContentionReport {
+    // d2h engine: FIFO by eviction time
+    let mut by_evict: Vec<&SwapDecision> = decisions.iter().collect();
+    by_evict.sort_by_key(|d| (d.evict_at_ns, d.block));
+    let mut d2h_free = 0u64;
+    let mut d2h_busy = 0u64;
+    let mut d2h_done: Vec<(SwapDecision, u64)> = Vec::with_capacity(by_evict.len());
+    for d in by_evict {
+        let start = d.evict_at_ns.max(d2h_free);
+        let dur = tm.d2h_time_ns(d.size);
+        d2h_free = start + dur;
+        d2h_busy += dur;
+        d2h_done.push((*d, d2h_free));
+    }
+    // h2d engine: EDF by needed_at
+    d2h_done.sort_by_key(|(d, _)| (d.needed_at_ns, d.block));
+    let mut h2d_free = 0u64;
+    let mut h2d_busy = 0u64;
+    let mut schedule = Vec::with_capacity(d2h_done.len());
+    for (d, d2h_done_ns) in d2h_done {
+        let dur = tm.h2d_time_ns(d.size);
+        // start as soon as the data is on the host and the engine is free
+        let start = d2h_done_ns.max(h2d_free);
+        let done = start + dur;
+        h2d_free = done;
+        h2d_busy += dur;
+        schedule.push(ScheduledSwap {
+            decision: d,
+            d2h_done_ns,
+            h2d_done_ns: done,
+            on_time: done <= d.needed_at_ns,
+        });
+    }
+    let span = decisions
+        .iter()
+        .map(|d| d.needed_at_ns)
+        .max()
+        .unwrap_or(0)
+        .saturating_sub(decisions.iter().map(|d| d.evict_at_ns).min().unwrap_or(0))
+        .max(1);
+    ContentionReport {
+        feasible: schedule.iter().all(|s| s.on_time),
+        d2h_busy_fraction: d2h_busy as f64 / span as f64,
+        h2d_busy_fraction: h2d_busy as f64 / span as f64,
+        schedule,
+    }
+}
+
+/// Greedily thins a plan until the shared-link schedule is feasible:
+/// decisions are considered largest-saving first, and each is kept only if
+/// the kept set still schedules on time.
+///
+/// The returned plan's peak estimate is recomputed pessimistically as the
+/// baseline peak minus nothing — callers should re-apply
+/// [`crate::planner::apply`] to measure the thinned plan's true peak.
+pub fn thin_to_feasible(plan: &SwapPlan, tm: &TransferModel) -> SwapPlan {
+    let mut candidates: Vec<SwapDecision> = plan.decisions.clone();
+    candidates.sort_by_key(|d| std::cmp::Reverse(d.size));
+    let mut kept: Vec<SwapDecision> = Vec::new();
+    for d in candidates {
+        kept.push(d);
+        if !schedule_decisions(&kept, tm).feasible {
+            kept.pop();
+        }
+    }
+    kept.sort_by_key(|d| (d.evict_at_ns, d.block));
+    let transfer_bytes = kept.iter().map(|d| 2 * d.size as u64).sum();
+    SwapPlan {
+        decisions: kept,
+        baseline_peak_bytes: plan.baseline_peak_bytes,
+        planned_peak_bytes: plan.baseline_peak_bytes,
+        transfer_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decision(block: u64, size: usize, evict_at: u64, needed_at: u64, tm: &TransferModel) -> SwapDecision {
+        SwapDecision {
+            block: pinpoint_trace::BlockId(block),
+            size,
+            evict_at_ns: evict_at,
+            needed_at_ns: needed_at,
+            out_from_ns: evict_at + tm.d2h_time_ns(size),
+            out_until_ns: needed_at - tm.h2d_time_ns(size),
+        }
+    }
+
+    fn tm() -> TransferModel {
+        TransferModel::titan_x_pascal_pinned()
+    }
+
+    #[test]
+    fn single_eq1_safe_decision_is_feasible() {
+        let tm = tm();
+        // 100 MB over a 1 s gap: round trip ≈ 31 ms ≪ gap
+        let plan = SwapPlan {
+            decisions: vec![decision(0, 100_000_000, 0, 1_000_000_000, &tm)],
+            baseline_peak_bytes: 0,
+            planned_peak_bytes: 0,
+            transfer_bytes: 0,
+        };
+        let r = check_contention(&plan, &tm);
+        assert!(r.feasible, "{r:?}");
+        assert!(r.d2h_busy_fraction < 0.1);
+    }
+
+    #[test]
+    fn oversubscribed_link_misses_deadlines() {
+        let tm = tm();
+        // ten 500 MB blocks all needing the round trip in the same 200 ms
+        // window: each alone passes Eq. 1? 500MB needs ~158 ms round trip,
+        // so give each a 400 ms gap — individually fine, together impossible
+        let decisions: Vec<SwapDecision> = (0..10)
+            .map(|i| decision(i, 500_000_000, 1_000 * i, 400_000_000 + 1_000 * i, &tm))
+            .collect();
+        let plan = SwapPlan {
+            decisions,
+            baseline_peak_bytes: 0,
+            planned_peak_bytes: 0,
+            transfer_bytes: 0,
+        };
+        let r = check_contention(&plan, &tm);
+        assert!(!r.feasible);
+        assert!(r.late().count() >= 5, "most must miss: {}", r.late().count());
+        assert!(r.d2h_busy_fraction > 0.9);
+    }
+
+    #[test]
+    fn thinning_restores_feasibility() {
+        let tm = tm();
+        let decisions: Vec<SwapDecision> = (0..10)
+            .map(|i| decision(i, 500_000_000, 1_000 * i, 400_000_000 + 1_000 * i, &tm))
+            .collect();
+        let plan = SwapPlan {
+            decisions,
+            baseline_peak_bytes: 10_000_000_000,
+            planned_peak_bytes: 0,
+            transfer_bytes: 0,
+        };
+        let thinned = thin_to_feasible(&plan, &tm);
+        assert!(!thinned.decisions.is_empty(), "some swaps must survive");
+        assert!(thinned.decisions.len() < 10, "some must be dropped");
+        assert!(check_contention(&thinned, &tm).feasible);
+    }
+
+    #[test]
+    fn empty_plan_is_trivially_feasible() {
+        let plan = SwapPlan {
+            decisions: vec![],
+            baseline_peak_bytes: 0,
+            planned_peak_bytes: 0,
+            transfer_bytes: 0,
+        };
+        let r = check_contention(&plan, &tm());
+        assert!(r.feasible);
+        assert_eq!(r.d2h_busy_fraction, 0.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Per-op memory-traffic attribution.
+//!
+//! The trace annotates every behavior with the kernel responsible; this
+//! module aggregates by op label, answering "which operators touch the most
+//! device memory?" — the operator-level view the paper's future-work cost
+//! model would consume.
+
+use pinpoint_trace::{EventKind, Trace};
+use serde::{Deserialize, Serialize};
+
+/// Aggregated memory traffic of one op label.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpMemoryStats {
+    /// The op label (e.g. `"fc0.matmul"`).
+    pub label: String,
+    /// Read events attributed to the op.
+    pub reads: usize,
+    /// Write events attributed to the op.
+    pub writes: usize,
+    /// Mallocs the op triggered (first-touch allocations).
+    pub mallocs: usize,
+    /// Bytes of blocks read.
+    pub bytes_read: u64,
+    /// Bytes of blocks written.
+    pub bytes_written: u64,
+}
+
+impl OpMemoryStats {
+    /// Total bytes touched (read + written).
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+}
+
+/// Aggregates the trace's behaviors by op label, sorted by total bytes
+/// touched (descending). Events without an op label (frees, markers'
+/// neighbors) are skipped.
+pub fn op_stats(trace: &Trace) -> Vec<OpMemoryStats> {
+    let mut by_label: Vec<OpMemoryStats> = trace
+        .labels()
+        .iter()
+        .map(|l| OpMemoryStats {
+            label: l.clone(),
+            reads: 0,
+            writes: 0,
+            mallocs: 0,
+            bytes_read: 0,
+            bytes_written: 0,
+        })
+        .collect();
+    for e in trace.events() {
+        let Some(idx) = e.op_label else { continue };
+        let s = &mut by_label[idx as usize];
+        match e.kind {
+            EventKind::Read => {
+                s.reads += 1;
+                s.bytes_read += e.size as u64;
+            }
+            EventKind::Write => {
+                s.writes += 1;
+                s.bytes_written += e.size as u64;
+            }
+            EventKind::Malloc => s.mallocs += 1,
+            EventKind::Free => {}
+        }
+    }
+    by_label.retain(|s| s.reads + s.writes + s.mallocs > 0);
+    by_label.sort_by(|a, b| b.bytes_total().cmp(&a.bytes_total()).then(a.label.cmp(&b.label)));
+    by_label
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinpoint_trace::{BlockId, MemoryKind};
+
+    #[test]
+    fn aggregates_by_label_and_sorts_by_traffic() {
+        let mut t = Trace::new();
+        let mm = t.intern_label("matmul");
+        let relu = t.intern_label("relu");
+        t.record(0, EventKind::Malloc, BlockId(0), 1000, 0, MemoryKind::Activation, Some(mm));
+        t.record(1, EventKind::Write, BlockId(0), 1000, 0, MemoryKind::Activation, Some(mm));
+        t.record(2, EventKind::Read, BlockId(0), 1000, 0, MemoryKind::Activation, Some(relu));
+        t.record(3, EventKind::Read, BlockId(0), 1000, 0, MemoryKind::Activation, Some(mm));
+        t.record(4, EventKind::Free, BlockId(0), 1000, 0, MemoryKind::Activation, None);
+        let stats = op_stats(&t);
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].label, "matmul");
+        assert_eq!(stats[0].bytes_total(), 2000);
+        assert_eq!(stats[0].mallocs, 1);
+        assert_eq!(stats[1].label, "relu");
+        assert_eq!(stats[1].reads, 1);
+    }
+
+    #[test]
+    fn unlabeled_events_are_skipped() {
+        let mut t = Trace::new();
+        t.record(0, EventKind::Malloc, BlockId(0), 64, 0, MemoryKind::Other, None);
+        assert!(op_stats(&t).is_empty());
+    }
+
+    #[test]
+    fn labels_with_no_events_are_dropped() {
+        let mut t = Trace::new();
+        let _ = t.intern_label("phantom");
+        let real = t.intern_label("real");
+        t.record(0, EventKind::Malloc, BlockId(0), 64, 0, MemoryKind::Other, Some(real));
+        let stats = op_stats(&t);
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].label, "real");
+    }
+}

@@ -1,0 +1,165 @@
+//! Outlier sifting (Fig. 4): memory behaviors with high ATI *and* large
+//! block size — "the major contributors in terms of reducing the memory
+//! pressure of DNN training".
+
+use crate::ati::{AtiDataset, AtiRecord};
+use serde::{Deserialize, Serialize};
+
+/// Thresholds defining an outlier behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutlierCriteria {
+    /// Minimum access-time interval.
+    pub min_ati_ns: u64,
+    /// Minimum block size in bytes.
+    pub min_size_bytes: usize,
+}
+
+impl OutlierCriteria {
+    /// The paper's Fig. 4 thresholds: ATI > 0.8 s and size > 600 MB.
+    pub fn paper_fig4() -> Self {
+        OutlierCriteria {
+            min_ati_ns: 800_000_000,
+            min_size_bytes: 600_000_000,
+        }
+    }
+
+    /// Whether a record qualifies.
+    pub fn matches(&self, r: &AtiRecord) -> bool {
+        r.interval_ns > self.min_ati_ns && r.size > self.min_size_bytes
+    }
+}
+
+/// Outlier-sifting result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OutlierReport {
+    /// Criteria used.
+    pub criteria: OutlierCriteria,
+    /// Total behaviors examined.
+    pub total_behaviors: usize,
+    /// The qualifying outlier behaviors.
+    pub outliers: Vec<AtiRecord>,
+}
+
+impl OutlierReport {
+    /// Fraction of behaviors that are outliers.
+    pub fn outlier_fraction(&self) -> f64 {
+        if self.total_behaviors == 0 {
+            0.0
+        } else {
+            self.outliers.len() as f64 / self.total_behaviors as f64
+        }
+    }
+
+    /// The single largest-ATI outlier (the paper's red-marked point).
+    pub fn most_extreme(&self) -> Option<&AtiRecord> {
+        self.outliers.iter().max_by_key(|r| r.interval_ns)
+    }
+}
+
+/// Sifts a dataset for outliers under `criteria`.
+pub fn sift(dataset: &AtiDataset, criteria: OutlierCriteria) -> OutlierReport {
+    let outliers: Vec<AtiRecord> = dataset
+        .records()
+        .iter()
+        .copied()
+        .filter(|r| criteria.matches(r))
+        .collect();
+    OutlierReport {
+        criteria,
+        total_behaviors: dataset.len(),
+        outliers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinpoint_trace::{BlockId, EventKind, MemoryKind, Trace};
+
+    fn dataset_with_outlier() -> AtiDataset {
+        let mut t = Trace::new();
+        // small fast block: 4 KB, 20 µs intervals
+        t.record(0, EventKind::Malloc, BlockId(0), 4096, 0, MemoryKind::Activation, None);
+        for i in 1..=10u64 {
+            t.record(i * 20_000, EventKind::Read, BlockId(0), 4096, 0, MemoryKind::Activation, None);
+        }
+        // huge slow block: 1.2 GB, 840 ms interval (the paper's red point)
+        t.record(
+            0,
+            EventKind::Malloc,
+            BlockId(1),
+            1_200_000_000,
+            1 << 30,
+            MemoryKind::Other,
+            None,
+        );
+        let mut t2 = Trace::new();
+        // rebuild in time order (Trace::validate requires it)
+        let mut events: Vec<_> = t.events().to_vec();
+        events.push(pinpoint_trace::MemEvent {
+            time_ns: 1_000,
+            kind: EventKind::Write,
+            block: BlockId(1),
+            size: 1_200_000_000,
+            offset: 1 << 30,
+            mem_kind: MemoryKind::Other,
+            op_label: None,
+        });
+        events.push(pinpoint_trace::MemEvent {
+            time_ns: 840_212_000,
+            kind: EventKind::Read,
+            block: BlockId(1),
+            size: 1_200_000_000,
+            offset: 1 << 30,
+            mem_kind: MemoryKind::Other,
+            op_label: None,
+        });
+        events.sort_by_key(|e| e.time_ns);
+        for e in events {
+            t2.push(e);
+        }
+        AtiDataset::from_trace(&t2)
+    }
+
+    #[test]
+    fn paper_criteria_finds_only_the_big_slow_block() {
+        let d = dataset_with_outlier();
+        let report = sift(&d, OutlierCriteria::paper_fig4());
+        assert_eq!(report.total_behaviors, 10); // 9 small + 1 big interval
+        assert_eq!(report.outliers.len(), 1);
+        let worst = report.most_extreme().unwrap();
+        assert_eq!(worst.block, BlockId(1));
+        assert_eq!(worst.interval_ns, 840_211_000);
+        assert!(report.outlier_fraction() < 0.2);
+    }
+
+    #[test]
+    fn both_conditions_required() {
+        let d = dataset_with_outlier();
+        // require huge ATI but tiny size: small blocks still fail the ATI bar
+        let report = sift(
+            &d,
+            OutlierCriteria {
+                min_ati_ns: 800_000_000,
+                min_size_bytes: 0,
+            },
+        );
+        assert_eq!(report.outliers.len(), 1);
+        // require big size but no ATI bar: still only the big block
+        let report2 = sift(
+            &d,
+            OutlierCriteria {
+                min_ati_ns: 0,
+                min_size_bytes: 600_000_000,
+            },
+        );
+        assert_eq!(report2.outliers.len(), 1);
+    }
+
+    #[test]
+    fn empty_dataset_has_no_outliers() {
+        let report = sift(&AtiDataset::default(), OutlierCriteria::paper_fig4());
+        assert_eq!(report.outlier_fraction(), 0.0);
+        assert!(report.most_extreme().is_none());
+    }
+}

@@ -1,0 +1,170 @@
+//! Dependency-free SVG rendering of the paper's figures.
+//!
+//! [`gantt_svg`] draws Fig. 2's Gantt chart — one rectangle per device
+//! block, x = simulated time, y = device address space, colored by the
+//! block's content kind — as a standalone SVG string.
+
+use crate::gantt::GanttRect;
+use pinpoint_trace::MemoryKind;
+use std::fmt::Write as _;
+
+/// Canvas configuration for [`gantt_svg`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SvgConfig {
+    /// Canvas width in pixels.
+    pub width: u32,
+    /// Canvas height in pixels.
+    pub height: u32,
+    /// Margin around the plot area, pixels.
+    pub margin: u32,
+}
+
+impl Default for SvgConfig {
+    fn default() -> Self {
+        SvgConfig {
+            width: 1200,
+            height: 600,
+            margin: 40,
+        }
+    }
+}
+
+fn color_of(kind: MemoryKind) -> &'static str {
+    match kind {
+        MemoryKind::Input => "#4e79a7",
+        MemoryKind::Weight => "#59a14f",
+        MemoryKind::WeightGrad => "#8cd17d",
+        MemoryKind::OptimizerState => "#b6992d",
+        MemoryKind::Activation => "#e15759",
+        MemoryKind::ActivationGrad => "#ff9d9a",
+        MemoryKind::Workspace => "#79706e",
+        MemoryKind::Other => "#bab0ac",
+    }
+}
+
+/// Renders Gantt rectangles as a standalone SVG document.
+///
+/// The x-axis spans the rectangles' time range, the y-axis their address
+/// range; every block becomes a `<rect>` with a tooltip (`<title>`) naming
+/// it. Returns an empty-plot SVG if `rects` is empty.
+pub fn gantt_svg(rects: &[GanttRect], cfg: &SvgConfig) -> String {
+    let mut s = String::new();
+    let (w, h, m) = (cfg.width as f64, cfg.height as f64, cfg.margin as f64);
+    let _ = write!(
+        s,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" viewBox=\"0 0 {} {}\">",
+        cfg.width, cfg.height, cfg.width, cfg.height
+    );
+    let _ = write!(
+        s,
+        "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\
+         <text x=\"{}\" y=\"20\" font-family=\"sans-serif\" font-size=\"14\">\
+         device memory blocks: x = time, y = device offset</text>",
+        m
+    );
+    if !rects.is_empty() {
+        let t0 = rects.iter().map(|r| r.t0_ns).min().expect("non-empty");
+        let t1 = rects.iter().map(|r| r.t1_ns).max().expect("non-empty").max(t0 + 1);
+        let o0 = rects.iter().map(|r| r.offset).min().expect("non-empty");
+        let o1 = rects
+            .iter()
+            .map(|r| r.offset + r.size)
+            .max()
+            .expect("non-empty")
+            .max(o0 + 1);
+        let sx = (w - 2.0 * m) / (t1 - t0) as f64;
+        let sy = (h - 2.0 * m) / (o1 - o0) as f64;
+        for r in rects {
+            let x = m + (r.t0_ns - t0) as f64 * sx;
+            let rw = ((r.t1_ns - r.t0_ns) as f64 * sx).max(0.5);
+            // y grows downward in SVG; flip so offset 0 sits at the bottom
+            let rh = (r.size as f64 * sy).max(0.5);
+            let y = h - m - ((r.offset - o0) as f64 * sy) - rh;
+            let _ = write!(
+                s,
+                "<rect x=\"{x:.2}\" y=\"{y:.2}\" width=\"{rw:.2}\" height=\"{rh:.2}\" \
+                 fill=\"{}\" fill-opacity=\"0.8\" stroke=\"black\" stroke-width=\"0.2\">\
+                 <title>{} {} B @ {}</title></rect>",
+                color_of(r.mem_kind),
+                r.block,
+                r.size,
+                r.offset
+            );
+        }
+    }
+    // legend
+    let kinds = [
+        MemoryKind::Input,
+        MemoryKind::Weight,
+        MemoryKind::WeightGrad,
+        MemoryKind::Activation,
+        MemoryKind::ActivationGrad,
+        MemoryKind::Workspace,
+        MemoryKind::Other,
+    ];
+    for (i, k) in kinds.iter().enumerate() {
+        let x = m + i as f64 * 150.0;
+        let _ = write!(
+            s,
+            "<rect x=\"{x:.0}\" y=\"{:.0}\" width=\"12\" height=\"12\" fill=\"{}\"/>\
+             <text x=\"{:.0}\" y=\"{:.0}\" font-family=\"sans-serif\" font-size=\"11\">{k}</text>",
+            h - 20.0,
+            color_of(*k),
+            x + 16.0,
+            h - 10.0,
+        );
+    }
+    s.push_str("</svg>");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinpoint_trace::BlockId;
+
+    fn rect(id: u64, t0: u64, t1: u64, offset: usize, size: usize, kind: MemoryKind) -> GanttRect {
+        GanttRect {
+            block: BlockId(id),
+            t0_ns: t0,
+            t1_ns: t1,
+            offset,
+            size,
+            mem_kind: kind,
+        }
+    }
+
+    #[test]
+    fn renders_one_rect_per_block() {
+        let rects = vec![
+            rect(0, 0, 100, 0, 512, MemoryKind::Weight),
+            rect(1, 10, 60, 1024, 256, MemoryKind::Activation),
+        ];
+        let svg = gantt_svg(&rects, &SvgConfig::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        // background + 2 block rects + 7 legend swatches
+        assert_eq!(svg.matches("<rect").count(), 1 + 2 + 7);
+        assert!(svg.contains("blk0"));
+        assert!(svg.contains("blk1"));
+    }
+
+    #[test]
+    fn empty_input_still_produces_valid_svg() {
+        let svg = gantt_svg(&[], &SvgConfig::default());
+        assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));
+    }
+
+    #[test]
+    fn coordinates_stay_inside_the_canvas() {
+        let rects = vec![
+            rect(0, 0, 1_000_000, 0, 1 << 20, MemoryKind::Activation),
+            rect(1, 500_000, 900_000, 1 << 21, 1 << 19, MemoryKind::Input),
+        ];
+        let cfg = SvgConfig::default();
+        let svg = gantt_svg(&rects, &cfg);
+        // no negative coordinates appear
+        assert!(!svg.contains("x=\"-"), "negative x in {svg}");
+        assert!(!svg.contains("y=\"-"), "negative y in {svg}");
+    }
+}

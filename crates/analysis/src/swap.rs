@@ -1,0 +1,137 @@
+//! Equation-1 swap feasibility over whole traces.
+//!
+//! The paper derives `S ≤ T / (1/B_d2h + 1/B_h2d)` (Equation 1): a block is
+//! profitably swappable during an access interval of length `T` only if it
+//! fits the bound. This module applies the bound to every ATI of a trace.
+
+use crate::ati::{AtiDataset, AtiRecord};
+use pinpoint_device::TransferModel;
+use serde::{Deserialize, Serialize};
+
+/// One behavior's swap verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwapVerdict {
+    /// The behavior under consideration.
+    pub record: AtiRecord,
+    /// Equation 1 bound for the interval, in bytes.
+    pub max_swap_bytes: f64,
+    /// Whether the block fits the bound (profitable to swap).
+    pub swappable: bool,
+}
+
+/// Aggregate feasibility report for a trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SwapFeasibilityReport {
+    /// Per-behavior verdicts, in trace order.
+    pub verdicts: Vec<SwapVerdict>,
+    /// Count of swappable behaviors.
+    pub swappable_count: usize,
+    /// Bytes that could be held on the host, summed over swappable
+    /// behaviors (upper bound; one block may appear several times).
+    pub swappable_bytes_total: u64,
+}
+
+impl SwapFeasibilityReport {
+    /// Fraction of behaviors that are profitably swappable.
+    pub fn swappable_fraction(&self) -> f64 {
+        if self.verdicts.is_empty() {
+            0.0
+        } else {
+            self.swappable_count as f64 / self.verdicts.len() as f64
+        }
+    }
+}
+
+/// Applies Equation 1 to every ATI of a dataset.
+pub fn assess(dataset: &AtiDataset, transfer: &TransferModel) -> SwapFeasibilityReport {
+    let mut verdicts = Vec::with_capacity(dataset.len());
+    let mut swappable_count = 0usize;
+    let mut swappable_bytes_total = 0u64;
+    for &r in dataset.records() {
+        let bound = transfer.max_swap_bytes(r.interval_ns);
+        let swappable = (r.size as f64) <= bound;
+        if swappable {
+            swappable_count += 1;
+            swappable_bytes_total += r.size as u64;
+        }
+        verdicts.push(SwapVerdict {
+            record: r,
+            max_swap_bytes: bound,
+            swappable,
+        });
+    }
+    SwapFeasibilityReport {
+        verdicts,
+        swappable_count,
+        swappable_bytes_total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinpoint_trace::{BlockId, EventKind, MemoryKind, Trace};
+
+    #[test]
+    fn typical_behaviors_fail_eq1_outliers_pass() {
+        let mut t = Trace::new();
+        // 1 MB activation with 25 µs intervals → bound ≈ 79 KB → not swappable
+        t.record(0, EventKind::Malloc, BlockId(0), 1 << 20, 0, MemoryKind::Activation, None);
+        t.record(10, EventKind::Write, BlockId(0), 1 << 20, 0, MemoryKind::Activation, None);
+        t.record(25_010, EventKind::Read, BlockId(0), 1 << 20, 0, MemoryKind::Activation, None);
+        // 1.2 GB buffer with 840 ms interval → bound ≈ 2.67 GB → swappable
+        t.record(
+            25_010,
+            EventKind::Malloc,
+            BlockId(1),
+            1_200_000_000,
+            1 << 30,
+            MemoryKind::Other,
+            None,
+        );
+        t.record(
+            26_000,
+            EventKind::Write,
+            BlockId(1),
+            1_200_000_000,
+            1 << 30,
+            MemoryKind::Other,
+            None,
+        );
+        t.record(
+            840_237_000,
+            EventKind::Read,
+            BlockId(1),
+            1_200_000_000,
+            1 << 30,
+            MemoryKind::Other,
+            None,
+        );
+        let d = AtiDataset::from_trace(&t);
+        let report = assess(&d, &TransferModel::titan_x_pascal_pinned());
+        assert_eq!(report.verdicts.len(), 2);
+        assert_eq!(report.swappable_count, 1);
+        assert_eq!(report.swappable_bytes_total, 1_200_000_000);
+        assert!((report.swappable_fraction() - 0.5).abs() < 1e-12);
+        let big = report
+            .verdicts
+            .iter()
+            .find(|v| v.record.block == BlockId(1))
+            .unwrap();
+        assert!(big.swappable);
+        assert!(big.max_swap_bytes > 2.5e9);
+        let small = report
+            .verdicts
+            .iter()
+            .find(|v| v.record.block == BlockId(0))
+            .unwrap();
+        assert!(!small.swappable);
+        assert!((small.max_swap_bytes / 1e3 - 79.37).abs() < 0.2);
+    }
+
+    #[test]
+    fn empty_dataset_reports_zero() {
+        let report = assess(&AtiDataset::default(), &TransferModel::default());
+        assert_eq!(report.swappable_fraction(), 0.0);
+    }
+}

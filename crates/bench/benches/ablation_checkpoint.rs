@@ -1,0 +1,60 @@
+//! Ablation: activation checkpointing density vs peak footprint and
+//! recompute cost — the recomputation counterpart to the swap planner,
+//! measured through the same instrumentation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pinpoint_core::report::{human_bytes, human_time};
+use pinpoint_core::{profile, ProfileConfig};
+use pinpoint_data::DatasetSpec;
+use pinpoint_models::{Architecture, ResNetDepth};
+
+fn run(arch: Architecture, batch: usize, keep_every: Option<usize>) -> pinpoint_core::ProfileReport {
+    let mut cfg = ProfileConfig::breakdown_sweep(arch, DatasetSpec::imagenet(), batch);
+    cfg.checkpoint_every = keep_every;
+    profile(&cfg).expect("profile")
+}
+
+fn bench(c: &mut Criterion) {
+    println!("\nAblation — activation checkpointing (ImageNet geometry, bs 32)");
+    println!(
+        "  {:<22} {:>10} {:>12} {:>12} {:>12}",
+        "workload", "keep 1/k", "peak", "flops/iter", "iter time"
+    );
+    for arch in [Architecture::Vgg16, Architecture::ResNet(ResNetDepth::R50)] {
+        let mut baseline_peak = 0u64;
+        for keep in [None, Some(2), Some(4), Some(8)] {
+            let r = run(arch, 32, keep);
+            let peak = r.trace.peak_live_bytes().peak_total_bytes;
+            if keep.is_none() {
+                baseline_peak = peak;
+            }
+            println!(
+                "  {:<22} {:>10} {:>12} {:>12} {:>12}",
+                arch.name(),
+                keep.map(|k| format!("1/{k}")).unwrap_or_else(|| "all".into()),
+                human_bytes(peak),
+                r.program_summary.total_flops / 1_000_000_000,
+                human_time(r.duration_ns / r.iterations as u64)
+            );
+            if let Some(k) = keep {
+                assert!(peak <= baseline_peak, "keep 1/{k} must not grow the peak");
+            }
+        }
+        let sparse = run(arch, 32, Some(8));
+        let sparse_peak = sparse.trace.peak_live_bytes().peak_total_bytes;
+        assert!(
+            (sparse_peak as f64) < 0.9 * baseline_peak as f64,
+            "{}: sparse checkpointing should cut ≥10%: {baseline_peak} -> {sparse_peak}",
+            arch.name()
+        );
+    }
+    let mut g = c.benchmark_group("ablation_checkpoint");
+    g.sample_size(10);
+    g.bench_function("vgg16_keep4", |b| {
+        b.iter(|| run(Architecture::Vgg16, 32, Some(4)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Ablation: the §IV swap planner across workloads — how much peak
+//! footprint Equation-1-safe swapping recovers, and what it costs in PCIe
+//! traffic. Long forward→backward activation gaps in big conv nets are the
+//! planner's payoff case; the MLP's sub-ms gaps yield nothing, exactly as
+//! the paper's Fig. 3 discussion predicts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pinpoint_analysis::plan;
+use pinpoint_core::report::human_bytes;
+use pinpoint_core::{profile, ProfileConfig};
+use pinpoint_data::DatasetSpec;
+use pinpoint_models::{Architecture, MlpConfig, ResNetDepth};
+
+fn trace_of(arch: Architecture, dataset: DatasetSpec, batch: usize) -> pinpoint_trace::Trace {
+    profile(&ProfileConfig::breakdown_sweep(arch, dataset, batch))
+        .expect("profile")
+        .trace
+}
+
+fn bench(c: &mut Criterion) {
+    let tm = pinpoint_device::TransferModel::titan_x_pascal_pinned();
+    println!("\nAblation — swap planner across workloads (Eq1-safe, zero overhead)");
+    println!(
+        "  {:<26} {:>10} {:>12} {:>12} {:>9} {:>12} {:>9} {:>9}",
+        "workload", "decisions", "base peak", "planned", "saving%", "pcie traffic", "link-ok", "thinned"
+    );
+    let workloads = [
+        (
+            Architecture::Mlp(MlpConfig::default()),
+            DatasetSpec::cifar100(),
+            128usize,
+        ),
+        (Architecture::AlexNet, DatasetSpec::imagenet(), 64),
+        (Architecture::Vgg16, DatasetSpec::imagenet(), 64),
+        (
+            Architecture::ResNet(ResNetDepth::R50),
+            DatasetSpec::imagenet(),
+            64,
+        ),
+    ];
+    let mut conv_savings = 0u64;
+    for (arch, dataset, batch) in workloads.iter() {
+        let trace = trace_of(*arch, dataset.clone(), *batch);
+        let p = plan(&trace, &tm, 10_000_000);
+        let contention = pinpoint_analysis::check_contention(&p, &tm);
+        let thinned = if contention.feasible {
+            p.decisions.len()
+        } else {
+            pinpoint_analysis::thin_to_feasible(&p, &tm).decisions.len()
+        };
+        println!(
+            "  {:<26} {:>10} {:>12} {:>12} {:>8.1}% {:>12} {:>9} {:>9}",
+            format!("{}/bs{batch}", arch.name()),
+            p.decisions.len(),
+            human_bytes(p.baseline_peak_bytes),
+            human_bytes(p.planned_peak_bytes),
+            p.savings_fraction() * 100.0,
+            human_bytes(p.transfer_bytes),
+            contention.feasible,
+            thinned
+        );
+        if !arch.is_linear_topology() || matches!(arch, Architecture::Vgg16) {
+            conv_savings += p.savings_bytes();
+        }
+        // zero-overhead guarantee holds for every decision
+        for d in &p.decisions {
+            assert!(tm.d2h_time_ns(d.size) + tm.h2d_time_ns(d.size) <= d.interval_ns());
+        }
+    }
+    assert!(
+        conv_savings > 0,
+        "big conv nets must have Eq1-recoverable peak"
+    );
+    let vgg_trace = trace_of(Architecture::Vgg16, DatasetSpec::imagenet(), 64);
+    let mut g = c.benchmark_group("ablation_planner");
+    g.sample_size(10);
+    g.bench_function("plan_vgg16_imagenet", |b| {
+        b.iter(|| plan(&vgg_trace, &tm, 10_000_000))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

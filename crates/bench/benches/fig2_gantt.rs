@@ -1,0 +1,23 @@
+//! Fig. 2: Gantt chart of the first five MLP training iterations —
+//! block lifetimes, the iterative pattern, and fragmentation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pinpoint_bench::by_scale;
+use pinpoint_core::figures::fig2_gantt;
+use pinpoint_core::report::render_fig2;
+
+fn bench(c: &mut Criterion) {
+    let iters = by_scale(5, 5); // the paper shows exactly five iterations
+    let data = fig2_gantt(iters).expect("fig2 profile");
+    println!("\n{}", render_fig2(&data, 16));
+    assert!(data.iterative.periodic, "C1: iterative pattern must hold");
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10);
+    g.bench_function("gantt_5_iters", |b| {
+        b.iter(|| fig2_gantt(iters).expect("fig2 profile"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Fig. 3: CDF and violin of memory-block access-time intervals in MLP
+//! training.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pinpoint_bench::by_scale;
+use pinpoint_core::figures::fig3_ati;
+use pinpoint_core::report::render_fig3;
+
+fn bench(c: &mut Criterion) {
+    let iters = by_scale(50, 200);
+    let data = fig3_ati(iters).expect("fig3 profile");
+    println!("\n{}", render_fig3(&data));
+    assert!(data.fraction_at_or_below_25us > 0.4, "C2: concentration");
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    g.bench_function("ati_distribution", |b| {
+        b.iter(|| fig3_ati(iters).expect("fig3 profile"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

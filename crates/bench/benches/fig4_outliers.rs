@@ -1,0 +1,36 @@
+//! Fig. 4: pair-wise (ATI, size) of every memory behavior; the high-ATI ×
+//! large-size outliers and their Equation-1 swap verdicts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pinpoint_bench::{by_scale, Scale};
+use pinpoint_core::figures::fig4_outliers;
+use pinpoint_core::report::render_fig4;
+use pinpoint_core::EpochEval;
+
+fn bench(c: &mut Criterion) {
+    let eval = match pinpoint_bench::scale() {
+        Scale::Paper => EpochEval::paper_scale(), // 1.2 GB / 5000-iter epochs
+        Scale::Quick => EpochEval {
+            iters_per_epoch: 100,
+            buffer_bytes: 32_000_000,
+        },
+    };
+    let epochs = by_scale(2, 2);
+    let data = fig4_outliers(eval, epochs).expect("fig4 profile");
+    println!("\n{}", render_fig4(&data));
+    assert!(!data.outliers.outliers.is_empty(), "C3: outliers exist");
+    let (red, bound) = data.red_point.expect("red point");
+    assert!(
+        (red.size as f64) <= bound,
+        "C3: the red point is Eq1-swappable"
+    );
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    g.bench_function("outlier_sift", |b| {
+        b.iter(|| fig4_outliers(eval, epochs).expect("fig4 profile"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Fig. 5: memory-occupation breakdown of typical DNN training.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pinpoint_bench::by_scale;
+use pinpoint_core::figures::fig5_breakdown;
+use pinpoint_core::report::render_breakdown;
+
+fn bench(c: &mut Criterion) {
+    let batch = by_scale(64, 128);
+    let rows = fig5_breakdown(batch).expect("fig5 sweep");
+    println!(
+        "\n{}",
+        render_breakdown("Fig 5 — occupation breakdown of typical DNNs", &rows)
+    );
+    let minor = rows.iter().filter(|r| r.fractions().1 < 0.4).count();
+    assert!(minor >= rows.len() - 2, "C4: params minor for most DNNs");
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.bench_function("typical_dnns", |b| {
+        b.iter(|| fig5_breakdown(batch).expect("fig5 sweep"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Fig. 6: AlexNet occupation breakdown across batch sizes, on CIFAR-100
+//! and ImageNet geometries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pinpoint_core::figures::fig6_alexnet;
+use pinpoint_core::report::render_breakdown;
+
+fn bench(c: &mut Criterion) {
+    let batches = [32usize, 64, 128, 256];
+    let rows = fig6_alexnet(&batches).expect("fig6 sweep");
+    println!(
+        "\n{}",
+        render_breakdown("Fig 6 — AlexNet breakdown vs batch size", &rows)
+    );
+    // C5: within each dataset, intermediates grow and params shrink
+    for ds in rows.chunks(batches.len()) {
+        for w in ds.windows(2) {
+            assert!(w[1].fractions().2 >= w[0].fractions().2, "{w:?}");
+            assert!(w[1].fractions().1 <= w[0].fractions().1, "{w:?}");
+        }
+    }
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    g.bench_function("alexnet_batch_sweep", |b| {
+        b.iter(|| fig6_alexnet(&batches).expect("fig6 sweep"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Fig. 7: ResNet-18/34/50/101/152 occupation breakdown across batch
+//! sizes, on CIFAR-100 and ImageNet geometries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pinpoint_bench::by_scale;
+use pinpoint_core::figures::fig7_resnet;
+use pinpoint_core::report::render_breakdown;
+
+fn bench(c: &mut Criterion) {
+    let batches: &[usize] = by_scale(&[32, 128], &[32, 64, 128, 256]);
+    let rows = fig7_resnet(batches).expect("fig7 sweep");
+    println!(
+        "\n{}",
+        render_breakdown("Fig 7 — ResNet breakdown vs depth and batch size", &rows)
+    );
+    // C5 for the non-linear family: growing batch grows intermediates
+    for per_depth in rows.chunks(batches.len()) {
+        for w in per_depth.windows(2) {
+            assert!(w[1].fractions().2 >= w[0].fractions().2, "{w:?}");
+        }
+    }
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    g.bench_function("resnet_sweep", |b| {
+        b.iter(|| fig7_resnet(batches).expect("fig7 sweep"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Microbenchmarks of the device allocators: steady-state malloc/free
+//! throughput for DNN-like size mixes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pinpoint_device::alloc::{
+    BestFitAllocator, BumpAllocator, CachingAllocator, DeviceAllocator,
+};
+
+const SIZES: [usize; 6] = [4096, 98_304, 262_144, 1 << 20, 6 << 20, 24 << 20];
+
+fn churn(alloc: &mut dyn DeviceAllocator, rounds: usize) {
+    for _ in 0..rounds {
+        let ids: Vec<_> = SIZES.iter().map(|&s| alloc.malloc(s).unwrap().id).collect();
+        for id in ids {
+            alloc.free(id).unwrap();
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro_allocator");
+    g.bench_function("caching_churn", |b| {
+        let mut a = CachingAllocator::new(4 << 30);
+        churn(&mut a, 1); // warm the cache once
+        b.iter(|| churn(&mut a, 10));
+    });
+    g.bench_function("best_fit_churn", |b| {
+        let mut a = BestFitAllocator::new(4 << 30);
+        b.iter(|| churn(&mut a, 10));
+    });
+    g.bench_function("bump_churn", |b| {
+        let mut a = BumpAllocator::new(4 << 30);
+        b.iter(|| churn(&mut a, 10));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Microbenchmarks of the analysis kernels: ATI extraction, CDF, KDE and
+//! planning over a real (simulated) training trace.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pinpoint_analysis::{plan, violin, AtiDataset, EmpiricalCdf};
+use pinpoint_core::{profile, ProfileConfig};
+
+fn bench(c: &mut Criterion) {
+    let trace = profile(&ProfileConfig::mlp_case_study(100))
+        .expect("profile")
+        .trace;
+    println!("\ntrace under analysis: {} events", trace.len());
+    let atis = AtiDataset::from_trace(&trace);
+    let samples: Vec<f64> = atis.intervals_ns().iter().map(|&v| v as f64).collect();
+    let tm = pinpoint_device::TransferModel::titan_x_pascal_pinned();
+    let mut g = c.benchmark_group("micro_analysis");
+    g.bench_function("ati_extraction", |b| b.iter(|| AtiDataset::from_trace(&trace)));
+    g.bench_function("cdf_build", |b| {
+        b.iter(|| EmpiricalCdf::new(atis.intervals_ns()))
+    });
+    g.bench_function("violin_kde", |b| b.iter(|| violin(&samples, 128)));
+    g.bench_function("swap_plan", |b| b.iter(|| plan(&trace, &tm, 1_000_000)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! `pinpoint-figures` — regenerate any figure of the paper from the CLI.
+//!
+//! ```text
+//! pinpoint-figures all            # every figure, quick scale
+//! pinpoint-figures fig4 --paper   # one figure at paper scale
+//! ```
+
+use pinpoint_core::figures::{
+    fig1_topology, fig2_gantt, fig3_ati, fig4_outliers, fig5_breakdown, fig6_alexnet, fig7_resnet,
+};
+use pinpoint_core::report::{render_breakdown, render_fig2, render_fig3, render_fig4};
+use pinpoint_core::EpochEval;
+
+const KNOWN: [&str; 8] = ["all", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7"];
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let paper = args.iter().any(|a| a == "--paper");
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+    if !KNOWN.contains(&which.as_str()) {
+        eprintln!(
+            "unknown figure `{which}`; expected one of: {}",
+            KNOWN.join(", ")
+        );
+        std::process::exit(1);
+    }
+    let all = which == "all";
+
+    if all || which == "fig1" {
+        println!("Fig 1 — MLP op topology:");
+        for op in fig1_topology() {
+            println!("  {op}");
+        }
+        println!();
+    }
+    if all || which == "fig2" {
+        let d = fig2_gantt(5)?;
+        println!("{}", render_fig2(&d, 16));
+    }
+    if all || which == "fig3" {
+        let d = fig3_ati(if paper { 200 } else { 50 })?;
+        println!("{}", render_fig3(&d));
+    }
+    if all || which == "fig4" {
+        let eval = if paper {
+            EpochEval::paper_scale()
+        } else {
+            EpochEval {
+                iters_per_epoch: 200,
+                buffer_bytes: 64_000_000,
+            }
+        };
+        let d = fig4_outliers(eval, 2)?;
+        println!("{}", render_fig4(&d));
+    }
+    if all || which == "fig5" {
+        let rows = fig5_breakdown(128)?;
+        println!(
+            "{}",
+            render_breakdown("Fig 5 — occupation breakdown of typical DNNs (bs 128)", &rows)
+        );
+    }
+    if all || which == "fig6" {
+        let rows = fig6_alexnet(&[32, 64, 128, 256])?;
+        println!(
+            "{}",
+            render_breakdown("Fig 6 — AlexNet vs batch size", &rows)
+        );
+    }
+    if all || which == "fig7" {
+        let batches: &[usize] = if paper { &[32, 64, 128, 256] } else { &[32, 128] };
+        let rows = fig7_resnet(batches)?;
+        println!(
+            "{}",
+            render_breakdown("Fig 7 — ResNet vs depth and batch size", &rows)
+        );
+    }
+    Ok(())
+}

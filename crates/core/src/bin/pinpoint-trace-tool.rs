@@ -1,0 +1,217 @@
+//! `pinpoint-trace-tool` — analyze an exported JSON memory-behavior trace.
+//!
+//! ```text
+//! pinpoint-trace-tool summary   trace.json
+//! pinpoint-trace-tool ati       trace.json
+//! pinpoint-trace-tool outliers  trace.json [--min-ati-ms N] [--min-size-mb N]
+//! pinpoint-trace-tool breakdown trace.json
+//! pinpoint-trace-tool gantt     trace.json [--max N]
+//! pinpoint-trace-tool ops       trace.json [--top N]
+//! pinpoint-trace-tool plan      trace.json
+//! pinpoint-trace-tool compare   a.json b.json
+//! ```
+//!
+//! Produce a trace with `pinpoint_trace::export::write_json` (the
+//! `mlp_case_study` example writes a CSV twin next to it).
+
+use pinpoint_analysis::{
+    detect, diff_traces, gantt_rects, op_stats, plan, sift, violin, AtiDataset, BreakdownRow,
+    EmpiricalCdf, OutlierCriteria,
+};
+use pinpoint_core::report::{human_bytes, human_time};
+use pinpoint_device::TransferModel;
+use pinpoint_trace::export::read_json;
+use pinpoint_trace::Trace;
+use std::fs::File;
+use std::process::ExitCode;
+
+fn flag_value(args: &[String], name: &str) -> Option<f64> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn load(path: &str) -> Result<Trace, String> {
+    let f = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let trace = read_json(f).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    trace
+        .validate()
+        .map_err(|e| format!("{path} is not a well-formed trace: {e}"))?;
+    Ok(trace)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(cmd), Some(path)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: pinpoint-trace-tool <summary|ati|outliers|breakdown|gantt|ops|plan|compare> <trace.json> [trace_b.json] [flags]");
+        return ExitCode::FAILURE;
+    };
+    let trace = match load(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match cmd.as_str() {
+        "summary" => {
+            println!(
+                "{} events over {}, {} blocks, {} op labels, {} markers",
+                trace.len(),
+                human_time(trace.end_time_ns()),
+                trace.lifetimes().len(),
+                trace.labels().len(),
+                trace.markers().len()
+            );
+            let peak = trace.peak_live_bytes();
+            println!("peak footprint: {}", human_bytes(peak.peak_total_bytes));
+            let iter = detect(&trace);
+            println!(
+                "iterative: {} ({} iterations, period {})",
+                iter.periodic,
+                iter.iterations,
+                human_time(iter.mean_period_ns as u64)
+            );
+        }
+        "ati" => {
+            let atis = AtiDataset::from_trace(&trace);
+            if atis.is_empty() {
+                println!("no access intervals in this trace");
+                return ExitCode::SUCCESS;
+            }
+            let cdf = EmpiricalCdf::new(atis.intervals_ns());
+            println!("{} intervals; CDF:", cdf.len());
+            for (v, p) in cdf.summary_rows(10) {
+                println!("  p{:<4.0} {:>12}", p * 100.0, human_time(v));
+            }
+            let samples: Vec<f64> = atis.intervals_ns().iter().map(|&v| v as f64).collect();
+            if let Some(vi) = violin(&samples, 64) {
+                println!(
+                    "violin: median {} IQR [{}, {}]",
+                    human_time(vi.median as u64),
+                    human_time(vi.q1 as u64),
+                    human_time(vi.q3 as u64)
+                );
+            }
+        }
+        "outliers" => {
+            let min_ati_ms = flag_value(&args, "--min-ati-ms").unwrap_or(800.0);
+            let min_size_mb = flag_value(&args, "--min-size-mb").unwrap_or(600.0);
+            let atis = AtiDataset::from_trace(&trace);
+            let report = sift(
+                &atis,
+                OutlierCriteria {
+                    min_ati_ns: (min_ati_ms * 1e6) as u64,
+                    min_size_bytes: (min_size_mb * 1e6) as usize,
+                },
+            );
+            let tm = TransferModel::titan_x_pascal_pinned();
+            println!(
+                "{} of {} behaviors above (ATI {min_ati_ms} ms, size {min_size_mb} MB):",
+                report.outliers.len(),
+                report.total_behaviors
+            );
+            for o in report.outliers.iter().take(20) {
+                let bound = tm.max_swap_bytes(o.interval_ns);
+                println!(
+                    "  {} ATI {} size {} -> Eq1 {}",
+                    o.block,
+                    human_time(o.interval_ns),
+                    human_bytes(o.size as u64),
+                    if (o.size as f64) <= bound {
+                        "swappable"
+                    } else {
+                        "not swappable"
+                    }
+                );
+            }
+        }
+        "breakdown" => {
+            let row = BreakdownRow::from_trace(path.clone(), &trace);
+            let (i, p, m) = row.fractions();
+            println!("peak {}", human_bytes(row.peak_bytes));
+            println!("  input data:           {:>6.1}%", i * 100.0);
+            println!("  parameters:           {:>6.1}%", p * 100.0);
+            println!("  intermediate results: {:>6.1}%", m * 100.0);
+        }
+        "gantt" => {
+            let max = flag_value(&args, "--max").unwrap_or(30.0) as usize;
+            let rects = gantt_rects(&trace, 0, trace.end_time_ns());
+            println!("{:>12} {:>12} {:>12} {:>12}  kind", "t0", "t1", "offset", "size");
+            for r in rects.iter().take(max) {
+                println!(
+                    "{:>12} {:>12} {:>12} {:>12}  {}",
+                    human_time(r.t0_ns),
+                    human_time(r.t1_ns),
+                    r.offset,
+                    human_bytes(r.size as u64),
+                    r.mem_kind
+                );
+            }
+            if rects.len() > max {
+                println!("... {} more blocks", rects.len() - max);
+            }
+        }
+        "ops" => {
+            let top = flag_value(&args, "--top").unwrap_or(15.0) as usize;
+            for s in op_stats(&trace).iter().take(top) {
+                println!(
+                    "{:<32} {:>10} ({} reads, {} writes, {} mallocs)",
+                    s.label,
+                    human_bytes(s.bytes_total()),
+                    s.reads,
+                    s.writes,
+                    s.mallocs
+                );
+            }
+        }
+        "plan" => {
+            let tm = TransferModel::titan_x_pascal_pinned();
+            let p = plan(&trace, &tm, 1_000_000);
+            println!(
+                "{} decisions; peak {} -> {} (saves {}, {:.1}%), PCIe traffic {}",
+                p.decisions.len(),
+                human_bytes(p.baseline_peak_bytes),
+                human_bytes(p.planned_peak_bytes),
+                human_bytes(p.savings_bytes()),
+                p.savings_fraction() * 100.0,
+                human_bytes(p.transfer_bytes)
+            );
+        }
+        "compare" => {
+            let Some(path_b) = args.get(2) else {
+                eprintln!("compare needs two trace files");
+                return ExitCode::FAILURE;
+            };
+            let b = match load(path_b) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let d = diff_traces(&trace, &b);
+            let row = |name: &str, delta: &pinpoint_analysis::Delta| {
+                println!(
+                    "{name:<24} {:>14.1} {:>14.1}  ({:+.1}%)",
+                    delta.a,
+                    delta.b,
+                    delta.relative_change() * 100.0
+                );
+            };
+            println!("{:<24} {:>14} {:>14}", "metric", "A", "B");
+            row("events", &d.events);
+            row("peak bytes", &d.peak_bytes);
+            row("duration ns", &d.duration_ns);
+            row("median ATI ns", &d.median_ati_ns);
+            row("iteration period ns", &d.period_ns);
+            row("intermediate fraction", &d.intermediate_fraction);
+        }
+        other => {
+            eprintln!("unknown subcommand `{other}`");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,33 @@
+//! # pinpoint-core
+//!
+//! The top of the `pinpoint` stack — the reproduction of *"Pinpointing the
+//! Memory Behaviors of DNN Training"* (ISPASS 2021):
+//!
+//! * [`profile`] / [`ProfileConfig`] — run an instrumented training
+//!   profile of any zoo architecture on the simulated device and get the
+//!   full `malloc`/`free`/`read`/`write` trace back;
+//! * [`figures`] — typed regenerators for every figure of the paper
+//!   (Fig. 1 topology, Fig. 2 Gantt, Fig. 3 ATI distribution, Fig. 4
+//!   outliers + Equation 1, Figs. 5–7 occupation breakdowns);
+//! * [`report`] — paper-style text rendering of the figure data.
+//!
+//! # Examples
+//!
+//! ```
+//! use pinpoint_core::{profile, ProfileConfig};
+//! use pinpoint_analysis::detect;
+//!
+//! let report = profile(&ProfileConfig::mlp_case_study(5))?;
+//! report.trace.validate().expect("well-formed trace");
+//! assert!(detect(&report.trace).periodic); // the paper's Fig. 2 claim
+//! # Ok::<(), pinpoint_core::ProfileError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod figures;
+mod profiler;
+pub mod report;
+
+pub use profiler::{profile, EpochEval, ProfileConfig, ProfileError, ProfileReport};

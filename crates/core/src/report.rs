@@ -1,0 +1,210 @@
+//! Paper-style text rendering of figure data.
+
+use crate::figures::{Fig2Data, Fig3Data, Fig4Data};
+use pinpoint_analysis::BreakdownRow;
+use std::fmt::Write as _;
+
+/// Formats a byte count with a binary-ish human unit (the paper mixes
+/// decimal units; we follow its KB/MB/GB usage, i.e. powers of 1000).
+pub fn human_bytes(bytes: u64) -> String {
+    let b = bytes as f64;
+    if b >= 1e9 {
+        format!("{:.2} GB", b / 1e9)
+    } else if b >= 1e6 {
+        format!("{:.2} MB", b / 1e6)
+    } else if b >= 1e3 {
+        format!("{:.2} KB", b / 1e3)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+/// Formats nanoseconds as the paper's µs/ms/s units.
+pub fn human_time(ns: u64) -> String {
+    let t = ns as f64;
+    if t >= 1e9 {
+        format!("{:.3} s", t / 1e9)
+    } else if t >= 1e6 {
+        format!("{:.2} ms", t / 1e6)
+    } else if t >= 1e3 {
+        format!("{:.2} us", t / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Renders Fig. 2 as a text summary: the first rectangles of the Gantt
+/// chart and the periodicity verdict.
+pub fn render_fig2(d: &Fig2Data, max_rects: usize) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Fig 2 — Gantt of MLP training ({} iterations, {} total)",
+        d.iterative.iterations,
+        human_time(d.duration_ns)
+    );
+    let _ = writeln!(
+        s,
+        "  iterative pattern: {} ({} / {} steady-state iterations match, period {} cv {:.4})",
+        if d.iterative.periodic { "YES" } else { "NO" },
+        d.iterative.matching_iterations,
+        d.iterative.iterations.saturating_sub(1),
+        human_time(d.iterative.mean_period_ns as u64),
+        d.iterative.period_cv
+    );
+    let _ = writeln!(
+        s,
+        "  fragmentation (worst): {:.2}% of the in-use span ({} gaps, {})",
+        d.worst_fragmentation.gap_fraction() * 100.0,
+        d.worst_fragmentation.gap_count,
+        human_bytes(d.worst_fragmentation.gap_bytes as u64)
+    );
+    let _ = writeln!(s, "  {:>12} {:>12} {:>12} {:>12}  kind", "t0", "t1", "offset", "size");
+    for r in d.rects.iter().take(max_rects) {
+        let _ = writeln!(
+            s,
+            "  {:>12} {:>12} {:>12} {:>12}  {}",
+            human_time(r.t0_ns),
+            human_time(r.t1_ns),
+            r.offset,
+            human_bytes(r.size as u64),
+            r.mem_kind
+        );
+    }
+    if d.rects.len() > max_rects {
+        let _ = writeln!(s, "  ... {} more blocks", d.rects.len() - max_rects);
+    }
+    s
+}
+
+/// Renders Fig. 3 as the CDF summary rows plus violin statistics.
+pub fn render_fig3(d: &Fig3Data) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Fig 3 — ATI distribution over {} behaviors", d.count);
+    let _ = writeln!(
+        s,
+        "  ATIs <= 25us: {:.1}%   p90 = {}",
+        d.fraction_at_or_below_25us * 100.0,
+        human_time(d.p90_ns)
+    );
+    let _ = writeln!(s, "  CDF (value, cumulative):");
+    for (v, p) in d.cdf.summary_rows(10) {
+        let _ = writeln!(s, "    {:>12}  {:>5.2}", human_time(v), p);
+    }
+    let _ = writeln!(
+        s,
+        "  violin: min {} q1 {} median {} q3 {} max {}",
+        human_time(d.violin.min as u64),
+        human_time(d.violin.q1 as u64),
+        human_time(d.violin.median as u64),
+        human_time(d.violin.q3 as u64),
+        human_time(d.violin.max as u64)
+    );
+    for (label, v) in [("reads", &d.violin_reads), ("writes", &d.violin_writes)] {
+        if let Some(v) = v {
+            let _ = writeln!(
+                s,
+                "  violin[{label}]: n {} median {} IQR [{}, {}]",
+                v.count,
+                human_time(v.median as u64),
+                human_time(v.q1 as u64),
+                human_time(v.q3 as u64)
+            );
+        }
+    }
+    s
+}
+
+/// Renders Fig. 4: behavior counts, the outliers, and the red point's
+/// Equation-1 verdict.
+pub fn render_fig4(d: &Fig4Data) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Fig 4 — {} behaviors, {} outliers (ATI > {}, size > {}), {} Eq1-swappable",
+        d.points.len(),
+        d.outliers.outliers.len(),
+        human_time(d.outliers.criteria.min_ati_ns),
+        human_bytes(d.outliers.criteria.min_size_bytes as u64),
+        d.swappable_count
+    );
+    for o in d.outliers.outliers.iter().take(8) {
+        let _ = writeln!(
+            s,
+            "  outlier: {} ATI {} size {}",
+            o.block,
+            human_time(o.interval_ns),
+            human_bytes(o.size as u64)
+        );
+    }
+    if let Some((red, bound)) = &d.red_point {
+        let _ = writeln!(
+            s,
+            "  red point: ATI {} size {} — Eq1 bound {} → {}",
+            human_time(red.interval_ns),
+            human_bytes(red.size as u64),
+            human_bytes(*bound as u64),
+            if (red.size as f64) <= *bound {
+                "swappable without slowdown"
+            } else {
+                "NOT swappable"
+            }
+        );
+    }
+    s
+}
+
+/// Renders a breakdown table (Figs. 5–7) as percentage rows.
+pub fn render_breakdown(title: &str, rows: &[BreakdownRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{title}");
+    let _ = writeln!(
+        s,
+        "  {:<28} {:>10} {:>8} {:>8} {:>8}",
+        "workload", "peak", "input%", "param%", "inter%"
+    );
+    for r in rows {
+        let (i, p, m) = r.fractions();
+        let _ = writeln!(
+            s,
+            "  {:<28} {:>10} {:>7.1}% {:>7.1}% {:>7.1}%",
+            r.label,
+            human_bytes(r.peak_bytes),
+            i * 100.0,
+            p * 100.0,
+            m * 100.0
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_units() {
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(79_370), "79.37 KB");
+        assert_eq!(human_bytes(1_200_000_000), "1.20 GB");
+        assert_eq!(human_time(500), "500 ns");
+        assert_eq!(human_time(25_000), "25.00 us");
+        assert_eq!(human_time(840_211_000), "840.21 ms");
+        assert_eq!(human_time(2_500_000_000), "2.500 s");
+    }
+
+    #[test]
+    fn breakdown_table_renders_percentages() {
+        let rows = vec![BreakdownRow {
+            label: "alexnet/cifar100/bs128".to_string(),
+            peak_bytes: 1000,
+            input_bytes: 100,
+            parameter_bytes: 200,
+            intermediate_bytes: 700,
+        }];
+        let out = render_breakdown("Fig 5", &rows);
+        assert!(out.contains("alexnet/cifar100/bs128"));
+        assert!(out.contains("70.0%"));
+        assert!(out.contains("10.0%"));
+    }
+}

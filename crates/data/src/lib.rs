@@ -1,0 +1,36 @@
+//! # pinpoint-data
+//!
+//! Synthetic dataset substitutes for the `pinpoint` reproduction of
+//! *"Pinpointing the Memory Behaviors of DNN Training"* (ISPASS 2021).
+//!
+//! The paper trains on CIFAR-100 and ImageNet. Memory behavior depends only
+//! on tensor *geometry* (shape, batch size), not on pixel values, so this
+//! crate provides:
+//!
+//! * [`DatasetSpec`] — named geometry presets matching the paper's datasets
+//!   ([`DatasetSpec::cifar100`], [`DatasetSpec::imagenet`], ...);
+//! * [`TwoBlobs`] — a concrete, separable 2-feature classification task for
+//!   the MLP case study, so the concrete executor can demonstrably *learn*
+//!   while being traced.
+//!
+//! # Examples
+//!
+//! ```
+//! use pinpoint_data::{DatasetSpec, TwoBlobs};
+//!
+//! let cifar = DatasetSpec::cifar100();
+//! assert_eq!(cifar.example_numel(), 3 * 32 * 32);
+//!
+//! let mut blobs = TwoBlobs::new(42);
+//! let batch = blobs.next_batch(128);
+//! assert_eq!(batch.input.len(), 256);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod spec;
+mod two_blobs;
+
+pub use spec::DatasetSpec;
+pub use two_blobs::{BlobBatch, TwoBlobs};

@@ -1,0 +1,135 @@
+//! Dataset geometry presets.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of a labeled image dataset (the only properties that influence
+/// device memory behavior).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Dataset name for reports.
+    pub name: String,
+    /// Image channels.
+    pub channels: usize,
+    /// Image height.
+    pub height: usize,
+    /// Image width.
+    pub width: usize,
+    /// Number of classes.
+    pub classes: usize,
+    /// Number of training examples (drives epoch length and the size of
+    /// full-dataset staging/evaluation buffers).
+    pub train_examples: usize,
+}
+
+impl DatasetSpec {
+    /// CIFAR-100-like: 3×32×32, 100 classes, 50 000 training images.
+    pub fn cifar100() -> Self {
+        DatasetSpec {
+            name: "cifar100".to_string(),
+            channels: 3,
+            height: 32,
+            width: 32,
+            classes: 100,
+            train_examples: 50_000,
+        }
+    }
+
+    /// ImageNet-like: 3×224×224, 1000 classes, 1.28 M training images.
+    pub fn imagenet() -> Self {
+        DatasetSpec {
+            name: "imagenet".to_string(),
+            channels: 3,
+            height: 224,
+            width: 224,
+            classes: 1000,
+            train_examples: 1_281_167,
+        }
+    }
+
+    /// MNIST-like: 1×28×28, 10 classes, 60 000 training images.
+    pub fn mnist() -> Self {
+        DatasetSpec {
+            name: "mnist".to_string(),
+            channels: 1,
+            height: 28,
+            width: 28,
+            classes: 10,
+            train_examples: 60_000,
+        }
+    }
+
+    /// The paper MLP's 2-feature synthetic task: 2 features, 2 classes.
+    /// Sized so the full dataset occupies ~1.2 GB on device, matching the
+    /// Fig. 4 outlier block.
+    pub fn two_blobs() -> Self {
+        DatasetSpec {
+            name: "two_blobs".to_string(),
+            channels: 1,
+            height: 1,
+            width: 2,
+            classes: 2,
+            train_examples: 150_000_000,
+        }
+    }
+
+    /// Values per example (channels × height × width).
+    pub fn example_numel(&self) -> usize {
+        self.channels * self.height * self.width
+    }
+
+    /// Bytes per example at `f32`.
+    pub fn example_bytes(&self) -> usize {
+        self.example_numel() * 4
+    }
+
+    /// Bytes of the full training set at `f32` (inputs only).
+    pub fn train_set_bytes(&self) -> usize {
+        self.example_bytes() * self.train_examples
+    }
+
+    /// Iterations per epoch at the given batch size (floor; drop-last).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0`.
+    pub fn iters_per_epoch(&self, batch: usize) -> usize {
+        assert!(batch > 0, "batch size must be positive");
+        self.train_examples / batch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_geometries() {
+        let c = DatasetSpec::cifar100();
+        assert_eq!((c.channels, c.height, c.width, c.classes), (3, 32, 32, 100));
+        let i = DatasetSpec::imagenet();
+        assert_eq!(i.example_bytes(), 3 * 224 * 224 * 4);
+        let m = DatasetSpec::mnist();
+        assert_eq!(m.example_numel(), 784);
+    }
+
+    #[test]
+    fn two_blobs_matches_fig4_outlier_scale() {
+        let t = DatasetSpec::two_blobs();
+        // the paper's red-marked outlier block is 1200 MB
+        let gb = t.train_set_bytes() as f64 / 1e9;
+        assert!((1.1..1.3).contains(&gb), "dataset is {gb} GB");
+    }
+
+    #[test]
+    fn iters_per_epoch_floors() {
+        let c = DatasetSpec::cifar100();
+        assert_eq!(c.iters_per_epoch(128), 390);
+        assert_eq!(c.iters_per_epoch(50_000), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_rejected() {
+        DatasetSpec::cifar100().iters_per_epoch(0);
+    }
+}

@@ -1,0 +1,107 @@
+//! A concrete 2-feature, 2-class task for the MLP case study.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates separable Gaussian blobs: class 0 centered at `(-1, -1)`,
+/// class 1 at `(+1, +1)`, both with σ = 0.4. Deterministic per seed.
+///
+/// This is the concrete stand-in for the unnamed 2-feature task behind the
+/// paper's Fig. 1 MLP (`W0: 2×12288` implies 2 input features, 2 classes).
+///
+/// # Examples
+///
+/// ```
+/// use pinpoint_data::TwoBlobs;
+///
+/// let mut gen = TwoBlobs::new(7);
+/// let batch = gen.next_batch(64);
+/// assert_eq!(batch.input.len(), 128);
+/// assert!(batch.labels.iter().all(|&l| l == 0.0 || l == 1.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TwoBlobs {
+    rng: StdRng,
+}
+
+/// One generated mini-batch: flattened `[batch, 2]` inputs plus labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlobBatch {
+    /// Row-major `[batch, 2]` feature values.
+    pub input: Vec<f32>,
+    /// One class label (0.0 or 1.0) per example.
+    pub labels: Vec<f32>,
+}
+
+impl TwoBlobs {
+    /// Creates a generator with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        TwoBlobs {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draws the next mini-batch of `batch` examples, classes alternating.
+    pub fn next_batch(&mut self, batch: usize) -> BlobBatch {
+        let mut input = Vec::with_capacity(batch * 2);
+        let mut labels = Vec::with_capacity(batch);
+        for i in 0..batch {
+            let class = (i % 2) as f32;
+            let center = if class == 0.0 { -1.0f32 } else { 1.0 };
+            // Box–Muller gaussian noise
+            let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = self.rng.gen();
+            let r = (-2.0 * u1.ln()).sqrt();
+            let (n1, n2) = (
+                r * (2.0 * std::f64::consts::PI * u2).cos(),
+                r * (2.0 * std::f64::consts::PI * u2).sin(),
+            );
+            input.push(center + 0.4 * n1 as f32);
+            input.push(center + 0.4 * n2 as f32);
+            labels.push(class);
+        }
+        BlobBatch { input, labels }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = TwoBlobs::new(1).next_batch(32);
+        let b = TwoBlobs::new(1).next_batch(32);
+        let c = TwoBlobs::new(2).next_batch(32);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn classes_are_balanced_and_separated() {
+        let batch = TwoBlobs::new(3).next_batch(1000);
+        let zeros = batch.labels.iter().filter(|&&l| l == 0.0).count();
+        assert_eq!(zeros, 500);
+        // class means should be near their centers
+        let mut sum0 = 0.0f32;
+        let mut sum1 = 0.0f32;
+        for i in 0..1000 {
+            let x = batch.input[2 * i];
+            if batch.labels[i] == 0.0 {
+                sum0 += x;
+            } else {
+                sum1 += x;
+            }
+        }
+        assert!((sum0 / 500.0 + 1.0).abs() < 0.1);
+        assert!((sum1 / 500.0 - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn successive_batches_differ() {
+        let mut gen = TwoBlobs::new(9);
+        let a = gen.next_batch(16);
+        let b = gen.next_batch(16);
+        assert_ne!(a.input, b.input);
+    }
+}

@@ -1,0 +1,68 @@
+//! The simulated device clock.
+//!
+//! All timestamps in a trace come from one monotonically advancing
+//! nanosecond counter. Determinism matters: the same program replayed twice
+//! must produce byte-identical traces, which is what lets the analysis layer
+//! assert iterative patterns exactly.
+
+use serde::{Deserialize, Serialize};
+
+/// A monotonically advancing nanosecond clock.
+///
+/// # Examples
+///
+/// ```
+/// use pinpoint_device::SimClock;
+///
+/// let mut clock = SimClock::new();
+/// assert_eq!(clock.now_ns(), 0);
+/// clock.advance_ns(5_000);
+/// assert_eq!(clock.now_ns(), 5_000);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimClock {
+    now_ns: u64,
+}
+
+impl SimClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated time in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// Advances the clock by `delta` nanoseconds, returning the new time.
+    pub fn advance_ns(&mut self, delta: u64) -> u64 {
+        self.now_ns = self
+            .now_ns
+            .checked_add(delta)
+            .expect("simulated clock overflow");
+        self.now_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_monotonically() {
+        let mut c = SimClock::new();
+        let t1 = c.advance_ns(10);
+        let t2 = c.advance_ns(0);
+        let t3 = c.advance_ns(5);
+        assert_eq!((t1, t2, t3), (10, 10, 15));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics_rather_than_wrapping() {
+        let mut c = SimClock::new();
+        c.advance_ns(u64::MAX);
+        c.advance_ns(1);
+    }
+}

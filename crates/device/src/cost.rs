@@ -1,0 +1,150 @@
+//! The analytic kernel cost model.
+//!
+//! The paper timestamps memory behaviors with the real GPU's clock; we have
+//! no GPU, so kernel durations come from a roofline-style model: a kernel
+//! costs its launch overhead plus the larger of its compute time
+//! (FLOPs ÷ peak throughput) and its memory time (bytes ÷ DRAM bandwidth),
+//! scaled by a small deterministic jitter. Defaults are calibrated to the
+//! paper's Nvidia Titan X Pascal.
+
+use serde::{Deserialize, Serialize};
+
+/// Roofline kernel-duration model with deterministic jitter.
+///
+/// # Examples
+///
+/// ```
+/// use pinpoint_device::CostModel;
+///
+/// let cm = CostModel::titan_x_pascal();
+/// // A tiny pointwise kernel is launch-latency bound (~5 µs).
+/// let t = cm.kernel_time_ns(1_000, 4_000, 0);
+/// assert!(t >= 4_000 && t < 8_000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Fixed per-kernel launch latency in nanoseconds.
+    pub launch_overhead_ns: u64,
+    /// Peak fp32 throughput in FLOP/s.
+    pub flops_per_sec: f64,
+    /// Device DRAM bandwidth in bytes/s.
+    pub dram_bytes_per_sec: f64,
+    /// Relative jitter amplitude (0.0 disables jitter). Jitter is a
+    /// deterministic function of the seed passed to
+    /// [`CostModel::kernel_time_ns`], so traces stay reproducible.
+    pub jitter_frac: f64,
+}
+
+impl CostModel {
+    /// Titan-X-Pascal-like defaults (the paper's GPU): 10.2 TFLOP/s fp32,
+    /// 480 GB/s DRAM, 5 µs launch overhead, ±5 % jitter.
+    pub fn titan_x_pascal() -> Self {
+        CostModel {
+            launch_overhead_ns: 5_000,
+            flops_per_sec: 10.2e12,
+            dram_bytes_per_sec: 480e9,
+            jitter_frac: 0.05,
+        }
+    }
+
+    /// A jitter-free variant, for tests that assert exact times.
+    pub fn deterministic() -> Self {
+        CostModel {
+            jitter_frac: 0.0,
+            ..Self::titan_x_pascal()
+        }
+    }
+
+    /// Duration of a kernel doing `flops` floating-point operations and
+    /// moving `bytes` through DRAM. `seed` (typically the kernel's launch
+    /// sequence number) drives the deterministic jitter.
+    pub fn kernel_time_ns(&self, flops: u64, bytes: u64, seed: u64) -> u64 {
+        let compute_ns = flops as f64 / self.flops_per_sec * 1e9;
+        let memory_ns = bytes as f64 / self.dram_bytes_per_sec * 1e9;
+        let body = compute_ns.max(memory_ns);
+        let base = self.launch_overhead_ns as f64 + body;
+        let jittered = base * (1.0 + self.jitter_frac * Self::unit_jitter(seed));
+        jittered.max(1.0) as u64
+    }
+
+    /// Deterministic pseudo-random value in `[-1, 1]` from a seed
+    /// (SplitMix64 finalizer).
+    fn unit_jitter(seed: u64) -> f64 {
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        // map to [-1, 1)
+        (z >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::titan_x_pascal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn launch_bound_for_tiny_kernels() {
+        let cm = CostModel::deterministic();
+        assert_eq!(cm.kernel_time_ns(0, 0, 0), 5_000);
+    }
+
+    #[test]
+    fn compute_bound_for_big_matmuls() {
+        let cm = CostModel::deterministic();
+        // the paper MLP's forward matmul at batch 128: the 6.3 MB output
+        // makes it memory-bound at ~13 µs plus 5 µs launch
+        let flops = 2 * 128 * 2 * 12288u64;
+        let t = cm.kernel_time_ns(flops, 128 * 12288 * 4, 0);
+        assert!(t > 15_000 && t < 25_000, "t = {t}");
+    }
+
+    #[test]
+    fn memory_bound_when_bytes_dominate() {
+        let cm = CostModel::deterministic();
+        // pure copy of 480 MB should take ~1 ms
+        let t = cm.kernel_time_ns(0, 480_000_000, 0);
+        assert!((t as i64 - 1_005_000).abs() < 10_000, "t = {t}");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let cm = CostModel::titan_x_pascal();
+        let a = cm.kernel_time_ns(1_000_000, 1_000_000, 42);
+        let b = cm.kernel_time_ns(1_000_000, 1_000_000, 42);
+        assert_eq!(a, b);
+        let base = CostModel::deterministic().kernel_time_ns(1_000_000, 1_000_000, 42);
+        for seed in 0..1000u64 {
+            let t = cm.kernel_time_ns(1_000_000, 1_000_000, seed);
+            let lo = (base as f64 * 0.94) as u64;
+            let hi = (base as f64 * 1.06) as u64;
+            assert!(t >= lo && t <= hi, "seed {seed}: {t} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn jitter_varies_across_seeds() {
+        let cm = CostModel::titan_x_pascal();
+        let times: std::collections::HashSet<u64> = (0..100)
+            .map(|s| cm.kernel_time_ns(10_000_000, 0, s))
+            .collect();
+        assert!(times.len() > 50, "jitter should spread: {}", times.len());
+    }
+
+    #[test]
+    fn duration_is_never_zero() {
+        let cm = CostModel {
+            launch_overhead_ns: 0,
+            flops_per_sec: 1e12,
+            dram_bytes_per_sec: 1e12,
+            jitter_frac: 0.0,
+        };
+        assert!(cm.kernel_time_ns(0, 0, 0) >= 1);
+    }
+}

@@ -1,0 +1,46 @@
+//! # pinpoint-device
+//!
+//! The simulated GPU substrate for the `pinpoint` reproduction of
+//! *"Pinpointing the Memory Behaviors of DNN Training"* (ISPASS 2021).
+//!
+//! The paper ran on an Nvidia Titan X Pascal through PyTorch's CUDA runtime;
+//! this crate replaces that hardware/runtime pair with:
+//!
+//! * [`SimClock`] — a deterministic nanosecond clock;
+//! * [`CostModel`] — a roofline kernel-duration model calibrated to the
+//!   Titan X Pascal (10.2 TFLOP/s, 480 GB/s, 5 µs launch overhead);
+//! * [`TransferModel`] — the PCIe pinned-memory model with the paper's
+//!   measured 6.3 / 6.4 GB/s bandwidths and its Equation 1
+//!   ([`TransferModel::max_swap_bytes`]);
+//! * [`alloc`] — the device allocators under instrumentation, chiefly the
+//!   PyTorch-style [`alloc::CachingAllocator`];
+//! * [`SimDevice`] — the instrumented device that stitches these together
+//!   and emits [`pinpoint_trace::Trace`] events for every `malloc`, `free`,
+//!   `read`, and `write`.
+//!
+//! # Examples
+//!
+//! ```
+//! use pinpoint_device::{DeviceConfig, SimDevice};
+//! use pinpoint_trace::MemoryKind;
+//!
+//! let mut dev = SimDevice::new(DeviceConfig::titan_x_pascal());
+//! let w = dev.malloc(2 * 12288 * 4, MemoryKind::Weight, Some("w0"))?;
+//! dev.launch_kernel("init_w0", 0, 2 * 12288 * 4, &[], &[w]);
+//! assert_eq!(dev.trace().len(), 2);
+//! # Ok::<(), pinpoint_device::alloc::AllocError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod alloc;
+mod clock;
+mod cost;
+mod device;
+mod transfer;
+
+pub use clock::SimClock;
+pub use cost::CostModel;
+pub use device::{AllocatorPolicy, DeviceConfig, SimDevice};
+pub use transfer::{bandwidth_test, BandwidthTestReport, TransferModel};

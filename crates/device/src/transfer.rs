@@ -1,0 +1,181 @@
+//! The host↔device transfer model and the paper's Equation 1.
+//!
+//! The paper measured pinned-memory PCIe bandwidth with the CUDA SDK's
+//! `bandwidthTest` (6.3 GB/s host→device, 6.4 GB/s device→host on their
+//! testbed) and derived Equation 1: a block whose access-time interval is
+//! `T` can be swapped out and back without slowing training only if
+//!
+//! ```text
+//! S / B_d2h + S / B_h2d ≤ T   ⇒   S ≤ T / (1/B_d2h + 1/B_h2d)
+//! ```
+//!
+//! [`TransferModel::max_swap_bytes`] is that bound; the paper's two worked
+//! examples (79.37 KB at 25 µs, 2.54 GB at 0.8 s) are unit tests here.
+
+use serde::{Deserialize, Serialize};
+
+/// PCIe-like host↔device transfer model (pinned memory).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransferModel {
+    /// Host→device bandwidth, bytes per second.
+    pub h2d_bytes_per_sec: f64,
+    /// Device→host bandwidth, bytes per second.
+    pub d2h_bytes_per_sec: f64,
+    /// Fixed per-transfer latency in nanoseconds (driver + DMA setup).
+    pub latency_ns: u64,
+}
+
+impl TransferModel {
+    /// The paper's measured Titan X Pascal values: 6.3 GB/s h2d,
+    /// 6.4 GB/s d2h (decimal gigabytes, as in the paper's arithmetic).
+    pub fn titan_x_pascal_pinned() -> Self {
+        TransferModel {
+            h2d_bytes_per_sec: 6.3e9,
+            d2h_bytes_per_sec: 6.4e9,
+            latency_ns: 10_000,
+        }
+    }
+
+    /// Time to copy `bytes` host→device.
+    pub fn h2d_time_ns(&self, bytes: usize) -> u64 {
+        self.latency_ns + (bytes as f64 / self.h2d_bytes_per_sec * 1e9) as u64
+    }
+
+    /// Time to copy `bytes` device→host.
+    pub fn d2h_time_ns(&self, bytes: usize) -> u64 {
+        self.latency_ns + (bytes as f64 / self.d2h_bytes_per_sec * 1e9) as u64
+    }
+
+    /// Equation 1 of the paper: the largest block size (bytes) that can be
+    /// swapped to the host and back within an access-time interval of
+    /// `ati_ns` without extending the training's critical path.
+    ///
+    /// Note the bound ignores the fixed latency term, exactly as the paper's
+    /// arithmetic does; see [`TransferModel::max_swap_bytes_with_latency`]
+    /// for the refined bound.
+    pub fn max_swap_bytes(&self, ati_ns: u64) -> f64 {
+        let t = ati_ns as f64 / 1e9;
+        t / (1.0 / self.d2h_bytes_per_sec + 1.0 / self.h2d_bytes_per_sec)
+    }
+
+    /// Equation 1 refined with the fixed per-transfer latency: solves
+    /// `2·latency + S/B_d2h + S/B_h2d ≤ T`. Returns 0 when even an empty
+    /// transfer pair does not fit.
+    pub fn max_swap_bytes_with_latency(&self, ati_ns: u64) -> f64 {
+        let t = ati_ns.saturating_sub(2 * self.latency_ns) as f64 / 1e9;
+        (t / (1.0 / self.d2h_bytes_per_sec + 1.0 / self.h2d_bytes_per_sec)).max(0.0)
+    }
+
+    /// Whether a block of `size` bytes with interval `ati_ns` is profitable
+    /// to swap under Equation 1 (the paper's criterion for Fig. 4 outliers).
+    pub fn swappable(&self, size: usize, ati_ns: u64) -> bool {
+        (size as f64) <= self.max_swap_bytes(ati_ns)
+    }
+}
+
+impl Default for TransferModel {
+    fn default() -> Self {
+        Self::titan_x_pascal_pinned()
+    }
+}
+
+/// Result of the simulated `bandwidthTest` (mirrors the CUDA SDK sample the
+/// paper used): measured bandwidths derived from timed bulk copies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthTestReport {
+    /// Transfer size used for the measurement, bytes.
+    pub payload_bytes: usize,
+    /// Measured host→device bandwidth, bytes/s.
+    pub h2d_bytes_per_sec: f64,
+    /// Measured device→host bandwidth, bytes/s.
+    pub d2h_bytes_per_sec: f64,
+}
+
+/// Runs the simulated equivalent of CUDA's `bandwidthTest`: times a bulk
+/// copy in each direction through the transfer model and reports effective
+/// bandwidth (which is slightly below the model's peak because of the fixed
+/// latency, just like the real tool's numbers sit below the PCIe peak).
+pub fn bandwidth_test(model: &TransferModel, payload_bytes: usize) -> BandwidthTestReport {
+    let h2d_ns = model.h2d_time_ns(payload_bytes);
+    let d2h_ns = model.d2h_time_ns(payload_bytes);
+    BandwidthTestReport {
+        payload_bytes,
+        h2d_bytes_per_sec: payload_bytes as f64 / (h2d_ns as f64 / 1e9),
+        d2h_bytes_per_sec: payload_bytes as f64 / (d2h_ns as f64 / 1e9),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn papers_first_worked_example() {
+        // S ≤ 25µs / (1/6.4GB/s + 1/6.3GB/s) = 79.37 KB
+        let m = TransferModel::titan_x_pascal_pinned();
+        let s = m.max_swap_bytes(25_000);
+        assert!(
+            (s / 1e3 - 79.37).abs() < 0.1,
+            "expected ≈79.37 KB, got {} KB",
+            s / 1e3
+        );
+    }
+
+    #[test]
+    fn papers_second_worked_example() {
+        // S ≤ 0.8s / (1/6.4GB/s + 1/6.3GB/s) = 2.54 GB
+        let m = TransferModel::titan_x_pascal_pinned();
+        let s = m.max_swap_bytes(800_000_000);
+        assert!(
+            (s / 1e9 - 2.54).abs() < 0.01,
+            "expected ≈2.54 GB, got {} GB",
+            s / 1e9
+        );
+    }
+
+    #[test]
+    fn outlier_block_is_swappable_typical_block_is_not() {
+        let m = TransferModel::titan_x_pascal_pinned();
+        // the paper's red-marked outlier: 1200 MB block, 840 211 µs ATI
+        assert!(m.swappable(1_200_000_000, 840_211_000));
+        // a typical activation: 1 MB block with a 25 µs ATI
+        assert!(!m.swappable(1_000_000, 25_000));
+    }
+
+    #[test]
+    fn latency_refinement_tightens_the_bound() {
+        let m = TransferModel::titan_x_pascal_pinned();
+        let plain = m.max_swap_bytes(25_000);
+        let refined = m.max_swap_bytes_with_latency(25_000);
+        assert!(refined < plain);
+        // 2×10µs latency leaves only 5µs of bandwidth budget
+        assert!(refined > 0.0 && refined < plain * 0.3);
+        // below the latency floor nothing fits
+        assert_eq!(m.max_swap_bytes_with_latency(15_000), 0.0);
+    }
+
+    #[test]
+    fn transfer_times_scale_linearly_plus_latency() {
+        let m = TransferModel::titan_x_pascal_pinned();
+        let t1 = m.h2d_time_ns(6_300_000); // 1 ms of payload
+        assert!((t1 as i64 - 1_010_000).abs() < 1_000, "t1 = {t1}");
+        let t2 = m.d2h_time_ns(0);
+        assert_eq!(t2, m.latency_ns);
+    }
+
+    #[test]
+    fn bandwidth_test_reports_near_peak_for_large_payloads() {
+        let m = TransferModel::titan_x_pascal_pinned();
+        let r = bandwidth_test(&m, 32 << 20); // 32 MiB, as the SDK default
+        assert!(r.h2d_bytes_per_sec > 0.97 * m.h2d_bytes_per_sec);
+        assert!(r.h2d_bytes_per_sec < m.h2d_bytes_per_sec);
+        assert!(r.d2h_bytes_per_sec > 0.97 * m.d2h_bytes_per_sec);
+    }
+
+    #[test]
+    fn bandwidth_test_underreports_for_tiny_payloads() {
+        let m = TransferModel::titan_x_pascal_pinned();
+        let r = bandwidth_test(&m, 4096);
+        assert!(r.h2d_bytes_per_sec < 0.1 * m.h2d_bytes_per_sec);
+    }
+}

@@ -1,0 +1,134 @@
+//! AlexNet — the paper's "linear" (straight-chain) DNN for Fig. 6.
+//!
+//! Two feature-extractor geometries are provided, chosen automatically by
+//! input size: the classical ImageNet stack (11×11 stride-4 stem) for
+//! inputs ≥ 64 px, and the common CIFAR adaptation (3×3 stride-2 stem) for
+//! small inputs — the paper evaluates AlexNet on both CIFAR-100 (32×32) and
+//! ImageNet (224×224).
+
+use pinpoint_nn::layers::{Conv2d, Linear};
+use pinpoint_nn::{GraphBuilder, TensorId};
+
+/// Emits the AlexNet forward graph for NCHW input, returning logits.
+///
+/// # Panics
+///
+/// Panics if the input is too small for the selected geometry (< 32 px).
+pub fn forward(b: &mut GraphBuilder, x: TensorId, classes: usize) -> TensorId {
+    let in_ch = b.shape(x).dim(1);
+    let size = b.shape(x).dim(2);
+    assert!(size >= 32, "AlexNet needs at least 32x32 input, got {size}");
+    let h = if size >= 64 {
+        imagenet_features(b, x, in_ch)
+    } else {
+        cifar_features(b, x, in_ch)
+    };
+    let h = b.flatten(h, "flatten");
+    let flat = b.shape(h).dim(1);
+    let fc1 = Linear::new(b, "classifier.fc1", flat, 4096, true);
+    let fc2 = Linear::new(b, "classifier.fc2", 4096, 4096, true);
+    let fc3 = Linear::new(b, "classifier.fc3", 4096, classes, true);
+    let h = b.dropout(h, 0.5, "classifier.drop1");
+    let h = fc1.forward(b, h);
+    let h = b.relu(h, "classifier.relu1");
+    let h = b.dropout(h, 0.5, "classifier.drop2");
+    let h = fc2.forward(b, h);
+    let h = b.relu(h, "classifier.relu2");
+    fc3.forward(b, h)
+}
+
+fn imagenet_features(b: &mut GraphBuilder, x: TensorId, in_ch: usize) -> TensorId {
+    let c1 = Conv2d::new(b, "features.conv1", in_ch, 64, 11, 4, 2);
+    let c2 = Conv2d::new(b, "features.conv2", 64, 192, 5, 1, 2);
+    let c3 = Conv2d::new(b, "features.conv3", 192, 384, 3, 1, 1);
+    let c4 = Conv2d::new(b, "features.conv4", 384, 256, 3, 1, 1);
+    let c5 = Conv2d::new(b, "features.conv5", 256, 256, 3, 1, 1);
+    let h = c1.forward(b, x);
+    let h = b.relu(h, "features.relu1");
+    let h = b.maxpool2d(h, 3, 2, 0, "features.pool1");
+    let h = c2.forward(b, h);
+    let h = b.relu(h, "features.relu2");
+    let h = b.maxpool2d(h, 3, 2, 0, "features.pool2");
+    let h = c3.forward(b, h);
+    let h = b.relu(h, "features.relu3");
+    let h = c4.forward(b, h);
+    let h = b.relu(h, "features.relu4");
+    let h = c5.forward(b, h);
+    let h = b.relu(h, "features.relu5");
+    b.maxpool2d(h, 3, 2, 0, "features.pool3")
+}
+
+fn cifar_features(b: &mut GraphBuilder, x: TensorId, in_ch: usize) -> TensorId {
+    let c1 = Conv2d::new(b, "features.conv1", in_ch, 64, 3, 2, 1);
+    let c2 = Conv2d::new(b, "features.conv2", 64, 192, 3, 1, 1);
+    let c3 = Conv2d::new(b, "features.conv3", 192, 384, 3, 1, 1);
+    let c4 = Conv2d::new(b, "features.conv4", 384, 256, 3, 1, 1);
+    let c5 = Conv2d::new(b, "features.conv5", 256, 256, 3, 1, 1);
+    let h = c1.forward(b, x);
+    let h = b.relu(h, "features.relu1");
+    let h = b.maxpool2d(h, 2, 2, 0, "features.pool1");
+    let h = c2.forward(b, h);
+    let h = b.relu(h, "features.relu2");
+    let h = b.maxpool2d(h, 2, 2, 0, "features.pool2");
+    let h = c3.forward(b, h);
+    let h = b.relu(h, "features.relu3");
+    let h = c4.forward(b, h);
+    let h = b.relu(h, "features.relu4");
+    let h = c5.forward(b, h);
+    let h = b.relu(h, "features.relu5");
+    b.maxpool2d(h, 2, 2, 0, "features.pool3")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imagenet_input_flattens_to_256x6x6() {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", [2, 3, 224, 224]);
+        let logits = forward(&mut b, x, 1000);
+        assert_eq!(b.shape(logits).dims(), &[2, 1000]);
+        let flat = b
+            .graph()
+            .tensors()
+            .iter()
+            .find(|t| t.name == "flatten")
+            .unwrap();
+        assert_eq!(flat.shape.dims(), &[2, 256 * 6 * 6]);
+    }
+
+    #[test]
+    fn cifar_input_uses_small_stem() {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", [2, 3, 32, 32]);
+        let logits = forward(&mut b, x, 100);
+        assert_eq!(b.shape(logits).dims(), &[2, 100]);
+        let flat = b
+            .graph()
+            .tensors()
+            .iter()
+            .find(|t| t.name == "flatten")
+            .unwrap();
+        assert_eq!(flat.shape.dims(), &[2, 256 * 2 * 2]);
+    }
+
+    #[test]
+    fn parameter_count_is_dominated_by_the_classifier() {
+        // the well-known AlexNet fact: fc1 alone is ~37M of ~61M params
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", [1, 3, 224, 224]);
+        forward(&mut b, x, 1000);
+        let total: usize = b
+            .graph()
+            .tensors()
+            .iter()
+            .filter(|t| t.kind == pinpoint_trace::MemoryKind::Weight)
+            .map(|t| t.shape.numel())
+            .sum();
+        assert!(
+            (55_000_000..70_000_000).contains(&total),
+            "total params {total}"
+        );
+    }
+}

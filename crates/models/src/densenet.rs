@@ -1,0 +1,176 @@
+//! DenseNet (Huang et al.) — the concatenation-heavy architecture whose
+//! feature reuse makes it the classic *memory* stressor: every layer's
+//! output stays live until the end of its dense block, because all later
+//! layers concatenate it. Exactly the long-lived-intermediate behavior the
+//! paper's breakdown figures quantify.
+
+use pinpoint_nn::layers::{BatchNorm2d, Conv2d, Linear};
+use pinpoint_nn::{GraphBuilder, TensorId};
+
+/// Supported DenseNet depths (growth rate 32, BC variant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DenseNetDepth {
+    /// DenseNet-121: blocks `[6, 12, 24, 16]`.
+    D121,
+    /// DenseNet-169: blocks `[6, 12, 32, 32]`.
+    D169,
+}
+
+impl DenseNetDepth {
+    /// Layers per dense block.
+    pub fn blocks(self) -> [usize; 4] {
+        match self {
+            DenseNetDepth::D121 => [6, 12, 24, 16],
+            DenseNetDepth::D169 => [6, 12, 32, 32],
+        }
+    }
+
+    /// Conventional name, e.g. `"densenet121"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            DenseNetDepth::D121 => "densenet121",
+            DenseNetDepth::D169 => "densenet169",
+        }
+    }
+}
+
+const GROWTH: usize = 32;
+
+#[allow(clippy::too_many_arguments)]
+fn bn_relu_conv(
+    b: &mut GraphBuilder,
+    name: &str,
+    x: TensorId,
+    in_ch: usize,
+    out_ch: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+) -> TensorId {
+    let bn = BatchNorm2d::new(b, &format!("{name}.bn"), in_ch);
+    let conv = Conv2d::new(b, &format!("{name}.conv"), in_ch, out_ch, k, stride, pad);
+    let h = bn.forward(b, x);
+    let h = b.relu(h, &format!("{name}.relu"));
+    conv.forward(b, h)
+}
+
+/// One dense layer: BN-ReLU-1×1 (bottleneck to 4·growth) then
+/// BN-ReLU-3×3 (growth channels), concatenated onto the running features.
+fn dense_layer(
+    b: &mut GraphBuilder,
+    name: &str,
+    features: TensorId,
+    in_ch: usize,
+) -> (TensorId, usize) {
+    let bottleneck = bn_relu_conv(b, &format!("{name}.1"), features, in_ch, 4 * GROWTH, 1, 1, 0);
+    let new = bn_relu_conv(b, &format!("{name}.2"), bottleneck, 4 * GROWTH, GROWTH, 3, 1, 1);
+    let out = b.concat_channels(&[features, new], &format!("{name}.cat"));
+    (out, in_ch + GROWTH)
+}
+
+/// Transition: BN-ReLU-1×1 halving channels, then 2×2 average pool.
+fn transition(b: &mut GraphBuilder, name: &str, x: TensorId, in_ch: usize) -> (TensorId, usize) {
+    let out_ch = in_ch / 2;
+    let h = bn_relu_conv(b, name, x, in_ch, out_ch, 1, 1, 0);
+    let h = b.avgpool2d(h, 2, 2, 0, &format!("{name}.pool"));
+    (h, out_ch)
+}
+
+/// Emits the DenseNet-BC forward graph for NCHW input, returning logits.
+pub fn forward(b: &mut GraphBuilder, x: TensorId, depth: DenseNetDepth, classes: usize) -> TensorId {
+    let in_ch = b.shape(x).dim(1);
+    let mut h = {
+        let conv = Conv2d::new(b, "stem.conv", in_ch, 64, 7, 2, 3);
+        let bn = BatchNorm2d::new(b, "stem.bn", 64);
+        let h = conv.forward(b, x);
+        let h = bn.forward(b, h);
+        b.relu(h, "stem.relu")
+    };
+    h = b.maxpool2d(h, 3, 2, 1, "stem.pool");
+    let mut ch = 64usize;
+    let blocks = depth.blocks();
+    for (bi, &layers) in blocks.iter().enumerate() {
+        for li in 0..layers {
+            let (out, c) = dense_layer(b, &format!("block{}.layer{}", bi + 1, li), h, ch);
+            h = out;
+            ch = c;
+        }
+        if bi + 1 < blocks.len() {
+            let (out, c) = transition(b, &format!("trans{}", bi + 1), h, ch);
+            h = out;
+            ch = c;
+        }
+    }
+    let bn = BatchNorm2d::new(b, "final.bn", ch);
+    h = bn.forward(b, h);
+    h = b.relu(h, "final.relu");
+    let h = b.global_avgpool(h, "gap");
+    let fc = Linear::new(b, "fc", ch, classes, true);
+    fc.forward(b, h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinpoint_nn::OpKind;
+
+    #[test]
+    fn densenet121_channel_arithmetic() {
+        // after block 1: 64 + 6·32 = 256; transition halves to 128; etc.
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", [1, 3, 64, 64]);
+        forward(&mut b, x, DenseNetDepth::D121, 10);
+        let ch_of = |name: &str| {
+            b.graph()
+                .tensors()
+                .iter()
+                .find(|t| t.name == name)
+                .unwrap_or_else(|| panic!("{name} missing"))
+                .shape
+                .dim(1)
+        };
+        assert_eq!(ch_of("block1.layer5.cat.out"), 256);
+        assert_eq!(ch_of("trans1.pool.out"), 128);
+        assert_eq!(ch_of("block2.layer11.cat.out"), 128 + 12 * 32);
+        // final features of DenseNet-121: 1024 channels
+        assert_eq!(ch_of("block4.layer15.cat.out"), 1024);
+    }
+
+    #[test]
+    fn one_concat_per_dense_layer() {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", [1, 3, 64, 64]);
+        forward(&mut b, x, DenseNetDepth::D121, 10);
+        let concats = b
+            .graph()
+            .ops()
+            .iter()
+            .filter(|o| matches!(o.kind, OpKind::ConcatChannels { .. }))
+            .count();
+        assert_eq!(concats, 6 + 12 + 24 + 16);
+    }
+
+    #[test]
+    fn parameter_count_is_densenet_scale() {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", [1, 3, 224, 224]);
+        forward(&mut b, x, DenseNetDepth::D121, 1000);
+        let params: usize = b
+            .graph()
+            .tensors()
+            .iter()
+            .filter(|t| t.kind == pinpoint_trace::MemoryKind::Weight)
+            .map(|t| t.shape.numel())
+            .sum();
+        // DenseNet-121 ≈ 8M params
+        assert!((6_000_000..10_000_000).contains(&params), "{params}");
+    }
+
+    #[test]
+    fn logits_shape() {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", [2, 3, 32, 32]);
+        let logits = forward(&mut b, x, DenseNetDepth::D169, 100);
+        assert_eq!(b.shape(logits).dims(), &[2, 100]);
+    }
+}

@@ -1,0 +1,55 @@
+//! # pinpoint-models
+//!
+//! The model zoo for the `pinpoint` reproduction of *"Pinpointing the
+//! Memory Behaviors of DNN Training"* (ISPASS 2021): every architecture the
+//! paper characterizes, expressed over the `pinpoint-nn` graph builder.
+//!
+//! * [`mlp`] — the paper's Fig. 1 MLP (`W0: 2×12288`, `W1: 12288×2`);
+//! * [`lenet`] — LeNet-5;
+//! * [`alexnet`] — AlexNet (Fig. 6's "linear" DNN; ImageNet and CIFAR
+//!   geometries);
+//! * [`vgg`] — VGG-16;
+//! * [`resnet`] — ResNet-18/34/50/101/152 (Fig. 7's "non-linear" DNNs);
+//! * [`inception`] — a GoogLeNet-style Inception net (true concat);
+//! * [`densenet`] — DenseNet-BC 121/169 (concatenation-heavy feature reuse);
+//! * [`mobilenet`] — MobileNetV1 (depthwise-separable convolutions).
+//!
+//! [`build_training_program`] assembles a complete training iteration
+//! (forward + loss + backward + optimizer step) for any [`Architecture`].
+//!
+//! # Examples
+//!
+//! ```
+//! use pinpoint_models::{build_training_program, Architecture, ImageDims, ResNetDepth};
+//! use pinpoint_nn::Optimizer;
+//!
+//! let program = build_training_program(
+//!     &Architecture::ResNet(ResNetDepth::R50),
+//!     32,
+//!     ImageDims::cifar(),
+//!     100,
+//!     Optimizer::SgdMomentum { lr: 0.1, mu: 0.9 },
+//! );
+//! // bottleneck ResNet-50: ~23.5M backbone parameters
+//! let params = program.summary().weight_bytes / 4;
+//! assert!(params > 20_000_000 && params < 30_000_000);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod alexnet;
+mod common;
+pub mod densenet;
+pub mod inception;
+pub mod lenet;
+pub mod mlp;
+pub mod mobilenet;
+pub mod resnet;
+pub mod vgg;
+
+pub use common::{
+    build_data_parallel_training_program, build_forward_program, build_training_graph,
+    build_training_program, Architecture, DdpSpec, DenseNetDepth, ImageDims, MlpConfig,
+    ResNetDepth,
+};

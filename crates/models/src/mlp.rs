@@ -1,0 +1,61 @@
+//! The paper's Fig. 1 MLP.
+//!
+//! Topology: `x → (★ W0) → (+ b0) → f → (★ W1) → (+ b1) → softmax-xent`,
+//! where ★ is `mat_mul`, + is `add_bias`, and f is ReLU. The paper's
+//! shapes: `W0: (2, 12288)`, `b0: (12288)`, `W1: (12288, 2)`, `b1: (2)`.
+
+use pinpoint_nn::layers::Linear;
+use pinpoint_nn::{GraphBuilder, TensorId};
+
+/// Configuration of the Fig. 1 MLP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MlpConfig {
+    /// Input feature count (the paper uses 2).
+    pub in_features: usize,
+    /// Hidden width (the paper uses 12288).
+    pub hidden: usize,
+    /// Output classes (the paper uses 2).
+    pub classes: usize,
+}
+
+impl Default for MlpConfig {
+    /// The paper's exact Fig. 1 shapes.
+    fn default() -> Self {
+        MlpConfig {
+            in_features: 2,
+            hidden: 12288,
+            classes: 2,
+        }
+    }
+}
+
+/// Emits the MLP forward graph, returning the logits.
+pub fn forward(b: &mut GraphBuilder, x: TensorId, cfg: &MlpConfig) -> TensorId {
+    let fc0 = Linear::new(b, "fc0", cfg.in_features, cfg.hidden, true);
+    let fc1 = Linear::new(b, "fc1", cfg.hidden, cfg.classes, true);
+    let h = fc0.forward(b, x);
+    let h = b.relu(h, "relu0");
+    fc1.forward(b, h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_shapes_by_default() {
+        let cfg = MlpConfig::default();
+        assert_eq!((cfg.in_features, cfg.hidden, cfg.classes), (2, 12288, 2));
+    }
+
+    #[test]
+    fn forward_produces_class_logits() {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", [128, 2]);
+        let cfg = MlpConfig::default();
+        let logits = forward(&mut b, x, &cfg);
+        assert_eq!(b.shape(logits).dims(), &[128, 2]);
+        // fc0 matmul, bias, relu, fc1 matmul, bias
+        assert_eq!(b.graph().ops().len(), 5);
+    }
+}

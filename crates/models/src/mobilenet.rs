@@ -1,0 +1,112 @@
+//! MobileNetV1 (Howard et al.) — the depthwise-separable family: every
+//! block is a depthwise 3×3 (one filter per channel) followed by a
+//! pointwise 1×1, each with batch-norm and ReLU. Memory-wise it trades the
+//! dense conv's big weight tensors for *more* intermediate activations —
+//! another data point for the paper's breakdown figures.
+
+use pinpoint_nn::layers::{BatchNorm2d, Conv2d, DepthwiseConv2d, Linear};
+use pinpoint_nn::{GraphBuilder, TensorId};
+
+/// `(output channels, stride)` of the 13 separable blocks.
+const BLOCKS: [(usize, usize); 13] = [
+    (64, 1),
+    (128, 2),
+    (128, 1),
+    (256, 2),
+    (256, 1),
+    (512, 2),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (1024, 2),
+    (1024, 1),
+];
+
+fn bn_relu(b: &mut GraphBuilder, name: &str, x: TensorId, ch: usize) -> TensorId {
+    let bn = BatchNorm2d::new(b, &format!("{name}.bn"), ch);
+    let h = bn.forward(b, x);
+    b.relu(h, &format!("{name}.relu"))
+}
+
+/// Emits the MobileNetV1 forward graph for NCHW input, returning logits.
+pub fn forward(b: &mut GraphBuilder, x: TensorId, classes: usize) -> TensorId {
+    let in_ch = b.shape(x).dim(1);
+    let stem = Conv2d::new(b, "stem.conv", in_ch, 32, 3, 2, 1);
+    let mut h = stem.forward(b, x);
+    h = bn_relu(b, "stem", h, 32);
+    let mut ch = 32usize;
+    for (i, &(out_ch, stride)) in BLOCKS.iter().enumerate() {
+        let dw = DepthwiseConv2d::new(b, &format!("block{i}.dw"), ch, 3, stride, 1);
+        h = dw.forward(b, h);
+        h = bn_relu(b, &format!("block{i}.dw"), h, ch);
+        let pw = Conv2d::new(b, &format!("block{i}.pw"), ch, out_ch, 1, 1, 0);
+        h = pw.forward(b, h);
+        h = bn_relu(b, &format!("block{i}.pw"), h, out_ch);
+        ch = out_ch;
+    }
+    let h = b.global_avgpool(h, "gap");
+    let fc = Linear::new(b, "fc", ch, classes, true);
+    fc.forward(b, h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinpoint_nn::OpKind;
+
+    #[test]
+    fn logits_shape_for_both_geometries() {
+        for (hw, classes) in [(224usize, 1000usize), (32, 100)] {
+            let mut b = GraphBuilder::new();
+            let x = b.input("x", [2, 3, hw, hw]);
+            let logits = forward(&mut b, x, classes);
+            assert_eq!(b.shape(logits).dims(), &[2, classes]);
+        }
+    }
+
+    #[test]
+    fn thirteen_depthwise_blocks() {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", [1, 3, 224, 224]);
+        forward(&mut b, x, 1000);
+        let dw = b
+            .graph()
+            .ops()
+            .iter()
+            .filter(|o| matches!(o.kind, OpKind::DepthwiseConv2d(_)))
+            .count();
+        assert_eq!(dw, 13);
+    }
+
+    #[test]
+    fn parameter_count_is_mobilenet_scale() {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", [1, 3, 224, 224]);
+        forward(&mut b, x, 1000);
+        let params: usize = b
+            .graph()
+            .tensors()
+            .iter()
+            .filter(|t| t.kind == pinpoint_trace::MemoryKind::Weight)
+            .map(|t| t.shape.numel())
+            .sum();
+        // MobileNetV1 ≈ 4.2M params
+        assert!((3_500_000..5_000_000).contains(&params), "{params}");
+    }
+
+    #[test]
+    fn spatial_dims_shrink_to_7x7_on_imagenet() {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", [1, 3, 224, 224]);
+        forward(&mut b, x, 1000);
+        let last = b
+            .graph()
+            .tensors()
+            .iter()
+            .find(|t| t.name == "block12.pw.relu.out")
+            .unwrap();
+        assert_eq!(last.shape.dims(), &[1, 1024, 7, 7]);
+    }
+}

@@ -1,0 +1,233 @@
+//! ResNet-18/34/50/101/152 — the paper's "non-linear" (branchy) DNN for
+//! Fig. 7, with basic blocks (18/34) and bottleneck blocks (50/101/152).
+
+use pinpoint_nn::layers::{BatchNorm2d, Conv2d, Linear};
+use pinpoint_nn::{GraphBuilder, TensorId};
+
+/// Supported ResNet depths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResNetDepth {
+    /// 18 layers, basic blocks `[2, 2, 2, 2]`.
+    R18,
+    /// 34 layers, basic blocks `[3, 4, 6, 3]`.
+    R34,
+    /// 50 layers, bottleneck blocks `[3, 4, 6, 3]`.
+    R50,
+    /// 101 layers, bottleneck blocks `[3, 4, 23, 3]`.
+    R101,
+    /// 152 layers, bottleneck blocks `[3, 8, 36, 3]`.
+    R152,
+}
+
+impl ResNetDepth {
+    /// All depths the paper's Fig. 7 sweeps.
+    pub const ALL: [ResNetDepth; 5] = [
+        ResNetDepth::R18,
+        ResNetDepth::R34,
+        ResNetDepth::R50,
+        ResNetDepth::R101,
+        ResNetDepth::R152,
+    ];
+
+    /// Blocks per stage.
+    pub fn blocks(self) -> [usize; 4] {
+        match self {
+            ResNetDepth::R18 => [2, 2, 2, 2],
+            ResNetDepth::R34 => [3, 4, 6, 3],
+            ResNetDepth::R50 => [3, 4, 6, 3],
+            ResNetDepth::R101 => [3, 4, 23, 3],
+            ResNetDepth::R152 => [3, 8, 36, 3],
+        }
+    }
+
+    /// Whether stages use bottleneck (1×1 → 3×3 → 1×1) blocks.
+    pub fn bottleneck(self) -> bool {
+        matches!(
+            self,
+            ResNetDepth::R50 | ResNetDepth::R101 | ResNetDepth::R152
+        )
+    }
+
+    /// Channel expansion of the block output (1 basic, 4 bottleneck).
+    pub fn expansion(self) -> usize {
+        if self.bottleneck() {
+            4
+        } else {
+            1
+        }
+    }
+
+    /// The conventional layer-count name, e.g. `"resnet50"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            ResNetDepth::R18 => "resnet18",
+            ResNetDepth::R34 => "resnet34",
+            ResNetDepth::R50 => "resnet50",
+            ResNetDepth::R101 => "resnet101",
+            ResNetDepth::R152 => "resnet152",
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn conv_bn(
+    b: &mut GraphBuilder,
+    name: &str,
+    x: TensorId,
+    in_ch: usize,
+    out_ch: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+) -> TensorId {
+    let conv = Conv2d::new(b, &format!("{name}.conv"), in_ch, out_ch, k, stride, pad);
+    let bn = BatchNorm2d::new(b, &format!("{name}.bn"), out_ch);
+    let h = conv.forward(b, x);
+    bn.forward(b, h)
+}
+
+fn basic_block(
+    b: &mut GraphBuilder,
+    name: &str,
+    x: TensorId,
+    in_ch: usize,
+    out_ch: usize,
+    stride: usize,
+) -> TensorId {
+    let h = conv_bn(b, &format!("{name}.1"), x, in_ch, out_ch, 3, stride, 1);
+    let h = b.relu(h, &format!("{name}.relu1"));
+    let h = conv_bn(b, &format!("{name}.2"), h, out_ch, out_ch, 3, 1, 1);
+    let skip = if stride != 1 || in_ch != out_ch {
+        conv_bn(b, &format!("{name}.down"), x, in_ch, out_ch, 1, stride, 0)
+    } else {
+        x
+    };
+    let h = b.add(h, skip, &format!("{name}.add"));
+    b.relu(h, &format!("{name}.relu2"))
+}
+
+fn bottleneck_block(
+    b: &mut GraphBuilder,
+    name: &str,
+    x: TensorId,
+    in_ch: usize,
+    mid_ch: usize,
+    stride: usize,
+) -> TensorId {
+    let out_ch = mid_ch * 4;
+    let h = conv_bn(b, &format!("{name}.1"), x, in_ch, mid_ch, 1, 1, 0);
+    let h = b.relu(h, &format!("{name}.relu1"));
+    let h = conv_bn(b, &format!("{name}.2"), h, mid_ch, mid_ch, 3, stride, 1);
+    let h = b.relu(h, &format!("{name}.relu2"));
+    let h = conv_bn(b, &format!("{name}.3"), h, mid_ch, out_ch, 1, 1, 0);
+    let skip = if stride != 1 || in_ch != out_ch {
+        conv_bn(b, &format!("{name}.down"), x, in_ch, out_ch, 1, stride, 0)
+    } else {
+        x
+    };
+    let h = b.add(h, skip, &format!("{name}.add"));
+    b.relu(h, &format!("{name}.relu3"))
+}
+
+/// Emits the ResNet forward graph for NCHW input, returning logits.
+///
+/// Uses the ImageNet stem (7×7 stride-2 conv + 3×3 stride-2 max-pool); it
+/// also accepts 32×32 inputs (spatial dims bottom out at 1×1).
+pub fn forward(b: &mut GraphBuilder, x: TensorId, depth: ResNetDepth, classes: usize) -> TensorId {
+    let in_ch = b.shape(x).dim(1);
+    let mut h = conv_bn(b, "stem", x, in_ch, 64, 7, 2, 3);
+    h = b.relu(h, "stem.relu");
+    h = b.maxpool2d(h, 3, 2, 1, "stem.pool");
+    let widths = [64usize, 128, 256, 512];
+    let mut ch = 64usize;
+    for (stage, (&width, &blocks)) in widths.iter().zip(depth.blocks().iter()).enumerate() {
+        for blk in 0..blocks {
+            let stride = if stage > 0 && blk == 0 { 2 } else { 1 };
+            let name = format!("layer{}.block{}", stage + 1, blk);
+            if depth.bottleneck() {
+                h = bottleneck_block(b, &name, h, ch, width, stride);
+                ch = width * 4;
+            } else {
+                h = basic_block(b, &name, h, ch, width, stride);
+                ch = width;
+            }
+        }
+    }
+    let h = b.global_avgpool(h, "gap");
+    let fc = Linear::new(b, "fc", ch, classes, true);
+    fc.forward(b, h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinpoint_nn::OpKind;
+
+    fn conv_count(depth: ResNetDepth) -> usize {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", [1, 3, 64, 64]);
+        forward(&mut b, x, depth, 10);
+        b.graph()
+            .ops()
+            .iter()
+            .filter(|o| matches!(o.kind, OpKind::Conv2d(_)))
+            .count()
+    }
+
+    #[test]
+    fn depth_names_and_blocks() {
+        assert_eq!(ResNetDepth::R50.name(), "resnet50");
+        assert_eq!(ResNetDepth::R152.blocks(), [3, 8, 36, 3]);
+        assert!(!ResNetDepth::R34.bottleneck());
+        assert_eq!(ResNetDepth::R101.expansion(), 4);
+    }
+
+    #[test]
+    fn resnet18_has_twenty_convs() {
+        // 1 stem + 16 block convs + 3 downsample convs
+        assert_eq!(conv_count(ResNetDepth::R18), 20);
+    }
+
+    #[test]
+    fn resnet50_has_fifty_three_convs() {
+        // 1 stem + 48 block convs + 4 downsample convs
+        assert_eq!(conv_count(ResNetDepth::R50), 53);
+    }
+
+    #[test]
+    fn logits_shape_for_imagenet_and_cifar() {
+        for (hw, classes) in [(224, 1000), (32, 100)] {
+            let mut b = GraphBuilder::new();
+            let x = b.input("x", [2, 3, hw, hw]);
+            let logits = forward(&mut b, x, ResNetDepth::R18, classes);
+            assert_eq!(b.shape(logits).dims(), &[2, classes]);
+        }
+    }
+
+    #[test]
+    fn deeper_resnets_have_more_params() {
+        let params = |d: ResNetDepth| -> usize {
+            let mut b = GraphBuilder::new();
+            let x = b.input("x", [1, 3, 32, 32]);
+            forward(&mut b, x, d, 100);
+            b.graph()
+                .tensors()
+                .iter()
+                .filter(|t| t.kind == pinpoint_trace::MemoryKind::Weight)
+                .map(|t| t.shape.numel())
+                .sum()
+        };
+        let (p18, p34, p50, p101, p152) = (
+            params(ResNetDepth::R18),
+            params(ResNetDepth::R34),
+            params(ResNetDepth::R50),
+            params(ResNetDepth::R101),
+            params(ResNetDepth::R152),
+        );
+        assert!(p18 < p34 && p34 < p50 && p50 < p101 && p101 < p152);
+        // resnet18 ≈ 11M backbone params
+        assert!((10_000_000..13_000_000).contains(&p18), "p18 = {p18}");
+        // resnet152 ≈ 58-60M
+        assert!((55_000_000..65_000_000).contains(&p152), "p152 = {p152}");
+    }
+}

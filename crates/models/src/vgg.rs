@@ -1,0 +1,98 @@
+//! VGG-16 — a deep "linear" (straight-chain) DNN with heavy activations.
+
+use pinpoint_nn::layers::{Conv2d, Linear};
+use pinpoint_nn::{GraphBuilder, TensorId};
+
+/// The VGG-16 configuration: channel widths between 2×2 max-pools.
+const STAGES: [&[usize]; 5] = [
+    &[64, 64],
+    &[128, 128],
+    &[256, 256, 256],
+    &[512, 512, 512],
+    &[512, 512, 512],
+];
+
+/// Emits the VGG-16 forward graph for NCHW input, returning logits.
+///
+/// Works for 32×32 (five pools → 1×1) up to 224×224 (→ 7×7).
+pub fn forward(b: &mut GraphBuilder, x: TensorId, classes: usize) -> TensorId {
+    let mut in_ch = b.shape(x).dim(1);
+    let mut h = x;
+    for (si, widths) in STAGES.iter().enumerate() {
+        for (ci, &out_ch) in widths.iter().enumerate() {
+            let conv = Conv2d::new(
+                b,
+                &format!("features.s{si}.conv{ci}"),
+                in_ch,
+                out_ch,
+                3,
+                1,
+                1,
+            );
+            h = conv.forward(b, h);
+            h = b.relu(h, &format!("features.s{si}.relu{ci}"));
+            in_ch = out_ch;
+        }
+        h = b.maxpool2d(h, 2, 2, 0, &format!("features.s{si}.pool"));
+    }
+    let h = b.flatten(h, "flatten");
+    let flat = b.shape(h).dim(1);
+    let fc1 = Linear::new(b, "classifier.fc1", flat, 4096, true);
+    let fc2 = Linear::new(b, "classifier.fc2", 4096, 4096, true);
+    let fc3 = Linear::new(b, "classifier.fc3", 4096, classes, true);
+    let h = fc1.forward(b, h);
+    let h = b.relu(h, "classifier.relu1");
+    let h = b.dropout(h, 0.5, "classifier.drop1");
+    let h = fc2.forward(b, h);
+    let h = b.relu(h, "classifier.relu2");
+    let h = b.dropout(h, 0.5, "classifier.drop2");
+    fc3.forward(b, h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imagenet_flatten_is_512x7x7() {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", [1, 3, 224, 224]);
+        let logits = forward(&mut b, x, 1000);
+        assert_eq!(b.shape(logits).dims(), &[1, 1000]);
+        let flat = b
+            .graph()
+            .tensors()
+            .iter()
+            .find(|t| t.name == "flatten")
+            .unwrap();
+        assert_eq!(flat.shape.dims(), &[1, 512 * 7 * 7]);
+    }
+
+    #[test]
+    fn cifar_flatten_is_512() {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", [4, 3, 32, 32]);
+        forward(&mut b, x, 100);
+        let flat = b
+            .graph()
+            .tensors()
+            .iter()
+            .find(|t| t.name == "flatten")
+            .unwrap();
+        assert_eq!(flat.shape.dims(), &[4, 512]);
+    }
+
+    #[test]
+    fn has_thirteen_conv_layers() {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", [1, 3, 32, 32]);
+        forward(&mut b, x, 10);
+        let convs = b
+            .graph()
+            .ops()
+            .iter()
+            .filter(|o| matches!(o.kind, pinpoint_nn::OpKind::Conv2d(_)))
+            .count();
+        assert_eq!(convs, 13);
+    }
+}

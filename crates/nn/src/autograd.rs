@@ -1,0 +1,526 @@
+//! Reverse-mode autodiff: walks the forward tape backwards and emits
+//! gradient ops into the same graph.
+//!
+//! The emission mirrors what an eager framework's autograd engine does at
+//! runtime, which is exactly what the paper traced: backward kernels
+//! consume saved forward tensors (keeping them live — the dominant
+//! "intermediate results" of Figs. 5–7) and produce gradient tensors whose
+//! lifetimes end at the optimizer step.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{OpKind, OpRecord, TensorId};
+use pinpoint_tensor::Shape;
+use pinpoint_trace::MemoryKind;
+use std::collections::{BTreeMap, HashMap};
+
+/// Emits backward ops for everything `loss` depends on, returning the
+/// gradient tensor of each trainable parameter.
+///
+/// `loss` must be the scalar produced by
+/// [`GraphBuilder::softmax_cross_entropy`].
+///
+/// # Panics
+///
+/// Panics if `loss` was not produced by a fused softmax-cross-entropy op.
+pub fn backward(b: &mut GraphBuilder, loss: TensorId) -> BTreeMap<TensorId, TensorId> {
+    let fwd_ops: Vec<OpRecord> = b.graph().ops().to_vec();
+    assert!(
+        fwd_ops.iter().any(
+            |op| matches!(op.kind, OpKind::SoftmaxXentFwd { .. }) && op.outputs[0] == loss
+        ),
+        "backward requires a softmax-cross-entropy loss"
+    );
+    let mut ad = Autograd {
+        contributions: HashMap::new(),
+    };
+    for op in fwd_ops.iter().rev() {
+        ad.process_op(b, op, loss);
+    }
+    // materialize parameter gradients
+    let weights: Vec<TensorId> = (0..b.graph().tensors().len())
+        .map(TensorId)
+        .filter(|t| b.graph().tensor(*t).kind == MemoryKind::Weight)
+        .collect();
+    let mut grads = BTreeMap::new();
+    for w in weights {
+        if let Some(g) = ad.materialize(b, w) {
+            grads.insert(w, g);
+        }
+    }
+    grads
+}
+
+struct Autograd {
+    /// Pending gradient contributions per tensor.
+    contributions: HashMap<TensorId, Vec<TensorId>>,
+}
+
+impl Autograd {
+    fn contribute(&mut self, b: &GraphBuilder, target: TensorId, grad: TensorId) {
+        // inputs (data, labels) never require gradients
+        if b.graph().tensor(target).kind == MemoryKind::Input {
+            return;
+        }
+        self.contributions.entry(target).or_default().push(grad);
+    }
+
+    /// Sums (if needed) and returns the gradient of `t`, or `None` if no
+    /// gradient flows to it.
+    fn materialize(&mut self, b: &mut GraphBuilder, t: TensorId) -> Option<TensorId> {
+        let parts = self.contributions.remove(&t)?;
+        let mut iter = parts.into_iter();
+        let mut acc = iter.next()?;
+        for part in iter {
+            let shape = b.shape(acc).clone();
+            let n = shape.numel();
+            let kind = b.graph().tensor(acc).kind;
+            let name = format!("{}.grad_accum", b.graph().tensor(t).name);
+            let sum = b.new_grad_tensor(shape, kind, name.clone());
+            b.emit_grad_op(
+                OpKind::Add { n },
+                vec![acc, part],
+                vec![sum],
+                0,
+                n as u64,
+                name,
+            );
+            acc = sum;
+        }
+        Some(acc)
+    }
+
+    fn grad_kind(b: &GraphBuilder, target: TensorId) -> MemoryKind {
+        if b.graph().tensor(target).kind == MemoryKind::Weight {
+            MemoryKind::WeightGrad
+        } else {
+            MemoryKind::ActivationGrad
+        }
+    }
+
+    fn new_grad(
+        &self,
+        b: &mut GraphBuilder,
+        like: TensorId,
+        shape: Shape,
+        name: String,
+    ) -> TensorId {
+        let kind = Self::grad_kind(b, like);
+        b.new_grad_tensor(shape, kind, name)
+    }
+
+    fn process_op(&mut self, b: &mut GraphBuilder, op: &OpRecord, loss: TensorId) {
+        // seed: the loss op converts probs+labels into dlogits directly
+        if let OpKind::SoftmaxXentFwd { rows, cols } = op.kind {
+            if op.outputs[0] != loss {
+                return;
+            }
+            let (logits, labels) = (op.inputs[0], op.inputs[1]);
+            let probs = op.outputs[1];
+            let name = format!("{}.bwd", op.name);
+            let dlogits = self.new_grad(b, logits, Shape::new(vec![rows, cols]), format!("{name}.dlogits"));
+            b.emit_grad_op(
+                OpKind::SoftmaxXentGrad { rows, cols },
+                vec![probs, labels],
+                vec![dlogits],
+                0,
+                (3 * rows * cols) as u64,
+                name,
+            );
+            self.contribute(b, logits, dlogits);
+            return;
+        }
+        // everything else needs an incoming gradient on its primary output
+        let Some(dy) = self.materialize(b, op.outputs[0]) else {
+            return;
+        };
+        let name = format!("{}.bwd", op.name);
+        match op.kind {
+            OpKind::View => {
+                let x = op.inputs[0];
+                let xshape = b.shape(x).clone();
+                let dx = b.grad_alias(dy, xshape, format!("{name}.dx"));
+                self.contribute(b, x, dx);
+            }
+            OpKind::MatMul { ta, tb, m, k, n } => {
+                let (a, bb) = (op.inputs[0], op.inputs[1]);
+                let flops = 2 * (m as u64) * (k as u64) * (n as u64);
+                // da
+                if b.graph().tensor(a).kind != MemoryKind::Input {
+                    let (lhs, rhs, fa, fb, om, ok, on) = match (ta, tb) {
+                        (false, false) => (dy, bb, false, true, m, n, k),
+                        (true, false) => (bb, dy, false, true, k, n, m),
+                        (false, true) => (dy, bb, false, false, m, n, k),
+                        (true, true) => (bb, dy, true, true, k, n, m),
+                    };
+                    let da = self.new_grad(
+                        b,
+                        a,
+                        b.shape(a).clone(),
+                        format!("{name}.da"),
+                    );
+                    b.emit_grad_op(
+                        OpKind::MatMul {
+                            ta: fa,
+                            tb: fb,
+                            m: om,
+                            k: ok,
+                            n: on,
+                        },
+                        vec![lhs, rhs],
+                        vec![da],
+                        0,
+                        flops,
+                        format!("{name}.da"),
+                    );
+                    self.contribute(b, a, da);
+                }
+                // db
+                if b.graph().tensor(bb).kind != MemoryKind::Input {
+                    let (lhs, rhs, fa, fb, om, ok, on) = match (ta, tb) {
+                        (false, false) => (a, dy, true, false, k, m, n),
+                        (true, false) => (a, dy, false, false, k, m, n),
+                        (false, true) => (dy, a, true, false, n, m, k),
+                        (true, true) => (dy, a, true, true, n, m, k),
+                    };
+                    let db = self.new_grad(
+                        b,
+                        bb,
+                        b.shape(bb).clone(),
+                        format!("{name}.db"),
+                    );
+                    b.emit_grad_op(
+                        OpKind::MatMul {
+                            ta: fa,
+                            tb: fb,
+                            m: om,
+                            k: ok,
+                            n: on,
+                        },
+                        vec![lhs, rhs],
+                        vec![db],
+                        0,
+                        flops,
+                        format!("{name}.db"),
+                    );
+                    self.contribute(b, bb, db);
+                }
+            }
+            OpKind::AddBias { rows, cols } => {
+                let (x, bias) = (op.inputs[0], op.inputs[1]);
+                // dx = dy (identity), no kernel
+                self.contribute(b, x, dy);
+                let dbias = self.new_grad(b, bias, Shape::new(vec![cols]), format!("{name}.db"));
+                b.emit_grad_op(
+                    OpKind::BiasGrad { rows, cols },
+                    vec![dy],
+                    vec![dbias],
+                    0,
+                    (rows * cols) as u64,
+                    format!("{name}.db"),
+                );
+                self.contribute(b, bias, dbias);
+            }
+            OpKind::Relu { n } => {
+                let x = op.inputs[0];
+                let dx = self.new_grad(b, x, b.shape(x).clone(), format!("{name}.dx"));
+                b.emit_grad_op(
+                    OpKind::ReluGrad { n },
+                    vec![x, dy],
+                    vec![dx],
+                    0,
+                    n as u64,
+                    name,
+                );
+                self.contribute(b, x, dx);
+            }
+            OpKind::Add { .. } => {
+                self.contribute(b, op.inputs[0], dy);
+                self.contribute(b, op.inputs[1], dy);
+            }
+            OpKind::Conv2d(g) => {
+                let (x, w) = (op.inputs[0], op.inputs[1]);
+                let need_dx = b.graph().tensor(x).kind != MemoryKind::Input;
+                let dw = self.new_grad(b, w, b.shape(w).clone(), format!("{name}.dw"));
+                let mut outputs = Vec::new();
+                let dx = if need_dx {
+                    let dx = self.new_grad(b, x, b.shape(x).clone(), format!("{name}.dx"));
+                    outputs.push(dx);
+                    Some(dx)
+                } else {
+                    None
+                };
+                outputs.push(dw);
+                let mult = if need_dx { 2 } else { 1 };
+                b.emit_grad_op(
+                    OpKind::Conv2dGrad(g),
+                    vec![x, w, dy],
+                    outputs,
+                    g.col_numel() * 4,
+                    g.flops() * mult,
+                    name,
+                );
+                if let Some(dx) = dx {
+                    self.contribute(b, x, dx);
+                }
+                self.contribute(b, w, dw);
+            }
+            OpKind::DepthwiseConv2d(g) => {
+                let (x, w) = (op.inputs[0], op.inputs[1]);
+                let dx = self.new_grad(b, x, b.shape(x).clone(), format!("{name}.dx"));
+                let dw = self.new_grad(b, w, b.shape(w).clone(), format!("{name}.dw"));
+                b.emit_grad_op(
+                    OpKind::DepthwiseConv2dGrad(g),
+                    vec![x, w, dy],
+                    vec![dx, dw],
+                    0,
+                    2 * g.flops(),
+                    name,
+                );
+                if b.graph().tensor(x).kind != MemoryKind::Input {
+                    self.contribute(b, x, dx);
+                }
+                self.contribute(b, w, dw);
+            }
+            OpKind::MaxPoolFwd(g) => {
+                let x = op.inputs[0];
+                let argmax = op.outputs[1];
+                let dx = self.new_grad(b, x, b.shape(x).clone(), format!("{name}.dx"));
+                let flops = (g.n * g.c * g.oh() * g.ow()) as u64;
+                b.emit_grad_op(
+                    OpKind::MaxPoolGrad(g),
+                    vec![dy, argmax],
+                    vec![dx],
+                    0,
+                    flops,
+                    name,
+                );
+                self.contribute(b, x, dx);
+            }
+            OpKind::AvgPoolFwd(g) => {
+                let x = op.inputs[0];
+                let dx = self.new_grad(b, x, b.shape(x).clone(), format!("{name}.dx"));
+                let flops = (g.n * g.c * g.oh() * g.ow() * g.kh * g.kw) as u64;
+                b.emit_grad_op(OpKind::AvgPoolGrad(g), vec![dy], vec![dx], 0, flops, name);
+                self.contribute(b, x, dx);
+            }
+            OpKind::GlobalAvgPoolFwd { n, c, hw } => {
+                let x = op.inputs[0];
+                let dx = self.new_grad(b, x, b.shape(x).clone(), format!("{name}.dx"));
+                b.emit_grad_op(
+                    OpKind::GlobalAvgPoolGrad { n, c, hw },
+                    vec![dy],
+                    vec![dx],
+                    0,
+                    (n * c * hw) as u64,
+                    name,
+                );
+                self.contribute(b, x, dx);
+            }
+            OpKind::BatchNormFwd { n, c, hw, .. } => {
+                let (x, gamma, beta) = (op.inputs[0], op.inputs[1], op.inputs[2]);
+                let (save_mean, save_inv_std) = (op.outputs[1], op.outputs[2]);
+                let dx = self.new_grad(b, x, b.shape(x).clone(), format!("{name}.dx"));
+                let dgamma =
+                    self.new_grad(b, gamma, Shape::new(vec![c]), format!("{name}.dgamma"));
+                let dbeta = self.new_grad(b, beta, Shape::new(vec![c]), format!("{name}.dbeta"));
+                b.emit_grad_op(
+                    OpKind::BatchNormGrad { n, c, hw },
+                    vec![x, gamma, dy, save_mean, save_inv_std],
+                    vec![dx, dgamma, dbeta],
+                    0,
+                    (8 * n * c * hw) as u64,
+                    name,
+                );
+                self.contribute(b, x, dx);
+                self.contribute(b, gamma, dgamma);
+                self.contribute(b, beta, dbeta);
+            }
+            OpKind::ConcatChannels { n, hw, ref parts } => {
+                // one SplitChannels op scatters dy back to every branch
+                let mut outputs = Vec::with_capacity(op.inputs.len());
+                for (i, &x) in op.inputs.iter().enumerate() {
+                    let dx = self.new_grad(
+                        b,
+                        x,
+                        b.shape(x).clone(),
+                        format!("{name}.dx{i}"),
+                    );
+                    outputs.push(dx);
+                }
+                let total: usize = parts.iter().sum();
+                b.emit_grad_op(
+                    OpKind::SplitChannels {
+                        n,
+                        hw,
+                        parts: parts.clone(),
+                    },
+                    vec![dy],
+                    outputs.clone(),
+                    0,
+                    (n * total * hw) as u64,
+                    name,
+                );
+                for (&x, dx) in op.inputs.iter().zip(outputs) {
+                    self.contribute(b, x, dx);
+                }
+            }
+            OpKind::DropoutFwd { n, .. } => {
+                let x = op.inputs[0];
+                let mask = op.outputs[1];
+                let dx = self.new_grad(b, x, b.shape(x).clone(), format!("{name}.dx"));
+                b.emit_grad_op(
+                    OpKind::DropoutGrad { n },
+                    vec![dy, mask],
+                    vec![dx],
+                    0,
+                    n as u64,
+                    name,
+                );
+                self.contribute(b, x, dx);
+            }
+            // backward/optimizer ops never appear in the forward tape
+            OpKind::SoftmaxXentFwd { .. } => unreachable!("handled above"),
+            _ => panic!("unexpected op in forward tape: {:?}", op.kind),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::InitSpec;
+
+    /// The paper's Fig. 1 MLP at batch 4: x → fc0 → relu → fc1 → loss.
+    fn mlp_builder() -> (GraphBuilder, TensorId, Vec<TensorId>) {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", [4, 2]);
+        let y = b.labels("y", 4);
+        let w0 = b.param("w0", [2, 8], InitSpec::Uniform { bound: 0.5 });
+        let b0 = b.param("b0", [8], InitSpec::Zeros);
+        let w1 = b.param("w1", [8, 2], InitSpec::Uniform { bound: 0.5 });
+        let b1 = b.param("b1", [2], InitSpec::Zeros);
+        let h = b.matmul(x, w0, false, false, "fc0.matmul");
+        let h = b.add_bias(h, b0, "fc0.bias");
+        let h = b.relu(h, "fc0.relu");
+        let logits = b.matmul(h, w1, false, false, "fc1.matmul");
+        let logits = b.add_bias(logits, b1, "fc1.bias");
+        let (loss, _probs) = b.softmax_cross_entropy(logits, y, "loss");
+        (b, loss, vec![w0, b0, w1, b1])
+    }
+
+    #[test]
+    fn backward_produces_grad_for_every_param() {
+        let (mut b, loss, params) = mlp_builder();
+        let grads = backward(&mut b, loss);
+        assert_eq!(grads.len(), 4);
+        for p in &params {
+            let g = grads[p];
+            assert_eq!(b.shape(g).dims(), b.shape(*p).dims());
+            assert_eq!(b.graph().tensor(g).kind, MemoryKind::WeightGrad);
+        }
+    }
+
+    #[test]
+    fn backward_does_not_differentiate_the_input() {
+        let (mut b, loss, _) = mlp_builder();
+        let n_ops_before = b.graph().ops().len();
+        backward(&mut b, loss);
+        let bwd_ops = &b.graph().ops()[n_ops_before..];
+        // first-layer matmul emits only dw (x is an Input), so exactly
+        // one backward matmul references fc0
+        let fc0_grad_matmuls = bwd_ops
+            .iter()
+            .filter(|o| o.name.starts_with("fc0.matmul.bwd"))
+            .count();
+        assert_eq!(fc0_grad_matmuls, 1);
+    }
+
+    #[test]
+    fn residual_addition_accumulates_gradients() {
+        // x → a (relu), then y = a + a: grad of a must be summed once
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", [4, 2]);
+        let w = b.param("w", [2, 2], InitSpec::Ones);
+        let labels = b.labels("y", 4);
+        let a = b.matmul(x, w, false, false, "mm");
+        let s = b.add(a, a, "res");
+        let (loss, _) = b.softmax_cross_entropy(s, labels, "loss");
+        let grads = backward(&mut b, loss);
+        assert_eq!(grads.len(), 1);
+        // an Add accumulation op must exist for a's two contributions
+        let has_accum = b
+            .graph()
+            .ops()
+            .iter()
+            .any(|o| o.name.contains("grad_accum"));
+        assert!(has_accum, "two contributions to `a` need an accumulation");
+    }
+
+    #[test]
+    fn concat_backward_splits_per_branch() {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", [2, 3, 4, 4]);
+        let labels = b.labels("y", 2);
+        let w1 = b.param("w1", [5, 3, 1, 1], InitSpec::Ones);
+        let w2 = b.param("w2", [7, 3, 1, 1], InitSpec::Ones);
+        let fc = b.param("fc", [12, 2], InitSpec::Ones);
+        let b1 = b.conv2d(x, w1, 1, 0, "branch1");
+        let b2 = b.conv2d(x, w2, 1, 0, "branch2");
+        let cat = b.concat_channels(&[b1, b2], "cat");
+        let g = b.global_avgpool(cat, "gap");
+        let logits = b.matmul(g, fc, false, false, "head");
+        let (loss, _) = b.softmax_cross_entropy(logits, labels, "loss");
+        let grads = backward(&mut b, loss);
+        assert_eq!(grads.len(), 3); // w1, w2, fc
+        let split = b
+            .graph()
+            .ops()
+            .iter()
+            .find(|o| matches!(o.kind, OpKind::SplitChannels { .. }))
+            .expect("split op emitted");
+        assert_eq!(split.outputs.len(), 2);
+        // both branch gradients have the branch shapes
+        assert_eq!(b.shape(split.outputs[0]).dims(), &[2, 5, 4, 4]);
+        assert_eq!(b.shape(split.outputs[1]).dims(), &[2, 7, 4, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "softmax-cross-entropy loss")]
+    fn rejects_non_loss_tensor() {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", [2, 2]);
+        let w = b.param("w", [2, 2], InitSpec::Ones);
+        let y = b.matmul(x, w, false, false, "mm");
+        backward(&mut b, y);
+    }
+
+    #[test]
+    fn conv_and_pool_backward_chain() {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", [2, 3, 8, 8]);
+        let labels = b.labels("y", 2);
+        let w = b.param("conv.w", [4, 3, 3, 3], InitSpec::Normal { std: 0.1 });
+        let gamma = b.param("bn.gamma", [4], InitSpec::Ones);
+        let beta = b.param("bn.beta", [4], InitSpec::Zeros);
+        let rm = b.state("bn.rm", [4], InitSpec::Zeros);
+        let rv = b.state("bn.rv", [4], InitSpec::Ones);
+        let fcw = b.param("fc.w", [4, 2], InitSpec::Normal { std: 0.1 });
+        let c = b.conv2d(x, w, 1, 1, "conv");
+        let c = b.batchnorm(c, gamma, beta, rm, rv, 0.1, 1e-5, "bn");
+        let c = b.relu(c, "relu");
+        let p = b.maxpool2d(c, 2, 2, 0, "pool");
+        let g = b.global_avgpool(p, "gap");
+        let logits = b.matmul(g, fcw, false, false, "fc");
+        let (loss, _) = b.softmax_cross_entropy(logits, labels, "loss");
+        let grads = backward(&mut b, loss);
+        assert_eq!(grads.len(), 4); // conv.w, gamma, beta, fc.w
+        // conv grad op should omit dx (its input is the data)
+        let conv_grad = b
+            .graph()
+            .ops()
+            .iter()
+            .find(|o| matches!(o.kind, OpKind::Conv2dGrad(_)))
+            .unwrap();
+        assert_eq!(conv_grad.outputs.len(), 1, "only dw for the first conv");
+    }
+}

@@ -1,0 +1,900 @@
+//! Define-by-run graph construction.
+//!
+//! [`GraphBuilder`] is the API layers use to emit ops. Every method does
+//! shape inference eagerly (panicking on inconsistent shapes, like an eager
+//! framework would) and records the FLOP/byte cost the device's cost model
+//! will charge at execution time.
+
+use crate::graph::{Graph, InitSpec, OpKind, OpRecord, StorageId, TensorId, TensorMeta};
+use pinpoint_tensor::kernels::conv::Conv2dGeom;
+use pinpoint_tensor::kernels::depthwise::DwConv2dGeom;
+use pinpoint_tensor::kernels::pool::Pool2dGeom;
+use pinpoint_tensor::Shape;
+use pinpoint_trace::MemoryKind;
+
+/// Builder for one training-iteration graph.
+///
+/// # Examples
+///
+/// ```
+/// use pinpoint_nn::{GraphBuilder, InitSpec};
+///
+/// let mut b = GraphBuilder::new();
+/// let x = b.input("x", [128, 2]);
+/// let w = b.param("w0", [2, 12288], InitSpec::Uniform { bound: 0.5 });
+/// let h = b.matmul(x, w, false, false, "fc0.matmul");
+/// assert_eq!(b.shape(h).dims(), &[128, 12288]);
+/// ```
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    graph: Graph,
+    scope: Vec<String>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pushes a name scope; tensors and ops created until the matching
+    /// [`GraphBuilder::pop_scope`] are prefixed `scope.`.
+    pub fn push_scope(&mut self, name: &str) {
+        self.scope.push(name.to_string());
+    }
+
+    /// Pops the innermost name scope.
+    pub fn pop_scope(&mut self) {
+        self.scope.pop();
+    }
+
+    fn scoped(&self, name: &str) -> String {
+        if self.scope.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}.{}", self.scope.join("."), name)
+        }
+    }
+
+    /// Shape of a tensor.
+    pub fn shape(&self, id: TensorId) -> &Shape {
+        &self.graph.tensors[id.0].shape
+    }
+
+    /// Immutable access to the graph built so far.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Finishes building, returning the graph.
+    pub fn finish(self) -> Graph {
+        self.graph
+    }
+
+    fn new_tensor(
+        &mut self,
+        shape: Shape,
+        kind: MemoryKind,
+        name: String,
+        persistent: bool,
+        init: Option<InitSpec>,
+    ) -> TensorId {
+        let storage = StorageId(self.graph.num_storages);
+        self.graph.num_storages += 1;
+        self.graph.tensors.push(TensorMeta {
+            shape,
+            kind,
+            name,
+            storage,
+            persistent,
+            init,
+        });
+        TensorId(self.graph.tensors.len() - 1)
+    }
+
+    fn alias_tensor(&mut self, base: TensorId, shape: Shape, name: String) -> TensorId {
+        let base_meta = &self.graph.tensors[base.0];
+        assert_eq!(
+            shape.numel(),
+            base_meta.shape.numel(),
+            "view of {} must preserve element count ({} vs {})",
+            base_meta.name,
+            shape.numel(),
+            base_meta.shape.numel()
+        );
+        let meta = TensorMeta {
+            shape,
+            kind: base_meta.kind,
+            name,
+            storage: base_meta.storage,
+            persistent: base_meta.persistent,
+            init: None,
+        };
+        self.graph.tensors.push(meta);
+        TensorId(self.graph.tensors.len() - 1)
+    }
+
+    fn operand_bytes(&self, ids: &[TensorId]) -> u64 {
+        ids.iter()
+            .map(|t| self.graph.tensors[t.0].size_bytes() as u64)
+            .sum()
+    }
+
+    fn push_op(
+        &mut self,
+        kind: OpKind,
+        inputs: Vec<TensorId>,
+        outputs: Vec<TensorId>,
+        workspace_bytes: usize,
+        flops: u64,
+        name: String,
+    ) {
+        let bytes =
+            self.operand_bytes(&inputs) + self.operand_bytes(&outputs) + workspace_bytes as u64;
+        self.graph.ops.push(OpRecord {
+            kind,
+            inputs,
+            outputs,
+            workspace_bytes,
+            flops,
+            bytes,
+            name,
+        });
+    }
+
+    // ---------------------------------------------------------------------
+    // tensor declarations
+    // ---------------------------------------------------------------------
+
+    /// Declares a per-iteration input tensor (staged host→device each
+    /// iteration).
+    pub fn input(&mut self, name: &str, shape: impl Into<Shape>) -> TensorId {
+        let name = self.scoped(name);
+        self.new_tensor(shape.into(), MemoryKind::Input, name, false, None)
+    }
+
+    /// Declares the per-iteration integer class labels (stored as one f32
+    /// per example, staged with the inputs).
+    pub fn labels(&mut self, name: &str, batch: usize) -> TensorId {
+        let name = self.scoped(name);
+        self.new_tensor(Shape::new(vec![batch]), MemoryKind::Input, name, false, None)
+    }
+
+    /// Declares a trainable parameter (persistent, initialized once).
+    pub fn param(&mut self, name: &str, shape: impl Into<Shape>, init: InitSpec) -> TensorId {
+        let name = self.scoped(name);
+        self.new_tensor(shape.into(), MemoryKind::Weight, name, true, Some(init))
+    }
+
+    /// Declares persistent non-trainable state (momentum buffers, running
+    /// statistics).
+    pub fn state(&mut self, name: &str, shape: impl Into<Shape>, init: InitSpec) -> TensorId {
+        let name = self.scoped(name);
+        self.new_tensor(
+            shape.into(),
+            MemoryKind::OptimizerState,
+            name,
+            true,
+            Some(init),
+        )
+    }
+
+    fn activation(&mut self, name: &str, shape: Shape) -> TensorId {
+        let name = self.scoped(name);
+        self.new_tensor(shape, MemoryKind::Activation, name, false, None)
+    }
+
+    // ---------------------------------------------------------------------
+    // forward ops
+    // ---------------------------------------------------------------------
+
+    /// Matrix product `op(a) · op(b)`; `ta`/`tb` transpose the operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operands are not rank-2 or contraction extents differ.
+    pub fn matmul(&mut self, a: TensorId, b: TensorId, ta: bool, tb: bool, name: &str) -> TensorId {
+        let sa = self.shape(a).clone();
+        let sb = self.shape(b).clone();
+        assert_eq!(sa.rank(), 2, "matmul lhs must be rank 2, got {sa}");
+        assert_eq!(sb.rank(), 2, "matmul rhs must be rank 2, got {sb}");
+        let (m, ka) = if ta {
+            (sa.dim(1), sa.dim(0))
+        } else {
+            (sa.dim(0), sa.dim(1))
+        };
+        let (kb, n) = if tb {
+            (sb.dim(1), sb.dim(0))
+        } else {
+            (sb.dim(0), sb.dim(1))
+        };
+        assert_eq!(
+            ka, kb,
+            "matmul contraction mismatch: {sa} (ta={ta}) × {sb} (tb={tb})"
+        );
+        let y = self.activation(&format!("{name}.out"), Shape::new(vec![m, n]));
+        let flops = 2 * (m as u64) * (ka as u64) * (n as u64);
+        self.push_op(
+            OpKind::MatMul { ta, tb, m, k: ka, n },
+            vec![a, b],
+            vec![y],
+            0,
+            flops,
+            self.scoped(name),
+        );
+        y
+    }
+
+    /// Broadcast bias addition over the last dimension of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank/extent mismatch.
+    pub fn add_bias(&mut self, x: TensorId, bias: TensorId, name: &str) -> TensorId {
+        let sx = self.shape(x).clone();
+        let sb = self.shape(bias).clone();
+        assert_eq!(sx.rank(), 2, "add_bias input must be rank 2");
+        assert_eq!(sb.rank(), 1, "bias must be rank 1");
+        assert_eq!(sx.dim(1), sb.dim(0), "bias length must match columns");
+        let (rows, cols) = (sx.dim(0), sx.dim(1));
+        let y = self.activation(&format!("{name}.out"), sx);
+        self.push_op(
+            OpKind::AddBias { rows, cols },
+            vec![x, bias],
+            vec![y],
+            0,
+            (rows * cols) as u64,
+            self.scoped(name),
+        );
+        y
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, x: TensorId, name: &str) -> TensorId {
+        let sx = self.shape(x).clone();
+        let n = sx.numel();
+        let y = self.activation(&format!("{name}.out"), sx);
+        self.push_op(
+            OpKind::Relu { n },
+            vec![x],
+            vec![y],
+            0,
+            n as u64,
+            self.scoped(name),
+        );
+        y
+    }
+
+    /// Elementwise sum (residual connections).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add(&mut self, a: TensorId, b: TensorId, name: &str) -> TensorId {
+        let sa = self.shape(a).clone();
+        assert_eq!(&sa, self.shape(b), "add operands must match shapes");
+        let n = sa.numel();
+        let y = self.activation(&format!("{name}.out"), sa);
+        self.push_op(
+            OpKind::Add { n },
+            vec![a, b],
+            vec![y],
+            0,
+            n as u64,
+            self.scoped(name),
+        );
+        y
+    }
+
+    /// Zero-cost reshape (shares storage; no device events).
+    ///
+    /// # Panics
+    ///
+    /// Panics if element counts differ.
+    pub fn view(&mut self, x: TensorId, shape: impl Into<Shape>, name: &str) -> TensorId {
+        let shape = shape.into();
+        let scoped = self.scoped(name);
+        let y = self.alias_tensor(x, shape, scoped.clone());
+        self.push_op(OpKind::View, vec![x], vec![y], 0, 0, scoped);
+        y
+    }
+
+    /// Flattens `[N, ...]` to `[N, prod(...)]` as a view.
+    pub fn flatten(&mut self, x: TensorId, name: &str) -> TensorId {
+        let sx = self.shape(x).clone();
+        assert!(sx.rank() >= 2, "flatten needs at least rank 2");
+        let n = sx.dim(0);
+        let rest: usize = sx.dims()[1..].iter().product();
+        self.view(x, [n, rest], name)
+    }
+
+    /// 2-D convolution (NCHW); weight is `[F, C, KH, KW]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank/extent mismatches or degenerate geometry.
+    pub fn conv2d(
+        &mut self,
+        x: TensorId,
+        weight: TensorId,
+        stride: usize,
+        pad: usize,
+        name: &str,
+    ) -> TensorId {
+        let sx = self.shape(x).clone();
+        let sw = self.shape(weight).clone();
+        assert_eq!(sx.rank(), 4, "conv2d input must be NCHW");
+        assert_eq!(sw.rank(), 4, "conv2d weight must be FCKK");
+        assert_eq!(sx.dim(1), sw.dim(1), "channel mismatch");
+        let g = Conv2dGeom {
+            n: sx.dim(0),
+            c: sx.dim(1),
+            h: sx.dim(2),
+            w: sx.dim(3),
+            f: sw.dim(0),
+            kh: sw.dim(2),
+            kw: sw.dim(3),
+            stride,
+            pad,
+        };
+        g.validate();
+        let y = self.activation(
+            &format!("{name}.out"),
+            Shape::new(vec![g.n, g.f, g.oh(), g.ow()]),
+        );
+        let workspace = g.col_numel() * 4;
+        self.push_op(
+            OpKind::Conv2d(g),
+            vec![x, weight],
+            vec![y],
+            workspace,
+            g.flops(),
+            self.scoped(name),
+        );
+        y
+    }
+
+    /// Depthwise 2-D convolution (NCHW); weight is `[C, 1, K, K]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank/extent mismatches or degenerate geometry.
+    pub fn depthwise_conv2d(
+        &mut self,
+        x: TensorId,
+        weight: TensorId,
+        stride: usize,
+        pad: usize,
+        name: &str,
+    ) -> TensorId {
+        let sx = self.shape(x).clone();
+        let sw = self.shape(weight).clone();
+        assert_eq!(sx.rank(), 4, "depthwise input must be NCHW");
+        assert_eq!(sw.rank(), 4, "depthwise weight must be C1KK");
+        assert_eq!(sw.dim(0), sx.dim(1), "one filter per channel");
+        assert_eq!(sw.dim(1), 1, "depthwise filters have one input channel");
+        assert_eq!(sw.dim(2), sw.dim(3), "square kernels only");
+        let g = DwConv2dGeom {
+            n: sx.dim(0),
+            c: sx.dim(1),
+            h: sx.dim(2),
+            w: sx.dim(3),
+            k: sw.dim(2),
+            stride,
+            pad,
+        };
+        g.validate();
+        let y = self.activation(
+            &format!("{name}.out"),
+            Shape::new(vec![g.n, g.c, g.oh(), g.ow()]),
+        );
+        self.push_op(
+            OpKind::DepthwiseConv2d(g),
+            vec![x, weight],
+            vec![y],
+            0,
+            g.flops(),
+            self.scoped(name),
+        );
+        y
+    }
+
+    fn pool_geom(&self, x: TensorId, k: usize, stride: usize, pad: usize) -> Pool2dGeom {
+        let sx = self.shape(x);
+        assert_eq!(sx.rank(), 4, "pooling input must be NCHW");
+        Pool2dGeom {
+            n: sx.dim(0),
+            c: sx.dim(1),
+            h: sx.dim(2),
+            w: sx.dim(3),
+            kh: k,
+            kw: k,
+            stride,
+            pad,
+        }
+    }
+
+    /// Max pooling with a square window.
+    pub fn maxpool2d(&mut self, x: TensorId, k: usize, stride: usize, pad: usize, name: &str) -> TensorId {
+        let g = self.pool_geom(x, k, stride, pad);
+        let out_shape = Shape::new(vec![g.n, g.c, g.oh(), g.ow()]);
+        let y = self.activation(&format!("{name}.out"), out_shape.clone());
+        let argmax = self.activation(&format!("{name}.argmax"), out_shape.clone());
+        let flops = (out_shape.numel() * k * k) as u64;
+        self.push_op(
+            OpKind::MaxPoolFwd(g),
+            vec![x],
+            vec![y, argmax],
+            0,
+            flops,
+            self.scoped(name),
+        );
+        y
+    }
+
+    /// Average pooling with a square window.
+    pub fn avgpool2d(&mut self, x: TensorId, k: usize, stride: usize, pad: usize, name: &str) -> TensorId {
+        let g = self.pool_geom(x, k, stride, pad);
+        let out_shape = Shape::new(vec![g.n, g.c, g.oh(), g.ow()]);
+        let y = self.activation(&format!("{name}.out"), out_shape.clone());
+        let flops = (out_shape.numel() * k * k) as u64;
+        self.push_op(
+            OpKind::AvgPoolFwd(g),
+            vec![x],
+            vec![y],
+            0,
+            flops,
+            self.scoped(name),
+        );
+        y
+    }
+
+    /// Global average pooling `[N,C,H,W] -> [N,C]`.
+    pub fn global_avgpool(&mut self, x: TensorId, name: &str) -> TensorId {
+        let sx = self.shape(x).clone();
+        assert_eq!(sx.rank(), 4, "global_avgpool input must be NCHW");
+        let (n, c, hw) = (sx.dim(0), sx.dim(1), sx.dim(2) * sx.dim(3));
+        let y = self.activation(&format!("{name}.out"), Shape::new(vec![n, c]));
+        self.push_op(
+            OpKind::GlobalAvgPoolFwd { n, c, hw },
+            vec![x],
+            vec![y],
+            0,
+            (n * c * hw) as u64,
+            self.scoped(name),
+        );
+        y
+    }
+
+    /// Batch normalization (training mode) over NCHW or NC input.
+    ///
+    /// `gamma`/`beta` are trainable; `running_mean`/`running_var` are
+    /// persistent state updated in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank/extent mismatches.
+    #[allow(clippy::too_many_arguments)]
+    pub fn batchnorm(
+        &mut self,
+        x: TensorId,
+        gamma: TensorId,
+        beta: TensorId,
+        running_mean: TensorId,
+        running_var: TensorId,
+        momentum: f32,
+        eps: f32,
+        name: &str,
+    ) -> TensorId {
+        let sx = self.shape(x).clone();
+        let (n, c, hw) = match sx.rank() {
+            4 => (sx.dim(0), sx.dim(1), sx.dim(2) * sx.dim(3)),
+            2 => (sx.dim(0), sx.dim(1), 1),
+            r => panic!("batchnorm input must be rank 2 or 4, got rank {r}"),
+        };
+        for (t, what) in [
+            (gamma, "gamma"),
+            (beta, "beta"),
+            (running_mean, "running_mean"),
+            (running_var, "running_var"),
+        ] {
+            assert_eq!(
+                self.shape(t).numel(),
+                c,
+                "{what} must have {c} elements for {name}"
+            );
+        }
+        let y = self.activation(&format!("{name}.out"), sx);
+        let save_mean = self.activation(&format!("{name}.save_mean"), Shape::new(vec![c]));
+        let save_inv_std = self.activation(&format!("{name}.save_inv_std"), Shape::new(vec![c]));
+        self.push_op(
+            OpKind::BatchNormFwd {
+                n,
+                c,
+                hw,
+                momentum,
+                eps,
+            },
+            vec![x, gamma, beta, running_mean, running_var],
+            vec![y, save_mean, save_inv_std, running_mean, running_var],
+            0,
+            (4 * n * c * hw) as u64,
+            self.scoped(name),
+        );
+        y
+    }
+
+    /// Concatenates NCHW tensors along the channel dimension (Inception
+    /// branch merge).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all inputs are rank 4 and agree on batch and spatial
+    /// dims, or if fewer than two inputs are given.
+    pub fn concat_channels(&mut self, inputs: &[TensorId], name: &str) -> TensorId {
+        assert!(inputs.len() >= 2, "concat needs at least two inputs");
+        let first = self.shape(inputs[0]).clone();
+        assert_eq!(first.rank(), 4, "concat inputs must be NCHW");
+        let (n, h, w) = (first.dim(0), first.dim(2), first.dim(3));
+        let mut parts = Vec::with_capacity(inputs.len());
+        for &t in inputs {
+            let s = self.shape(t);
+            assert_eq!(s.rank(), 4, "concat inputs must be NCHW");
+            assert_eq!(
+                (s.dim(0), s.dim(2), s.dim(3)),
+                (n, h, w),
+                "concat inputs must agree on batch and spatial dims"
+            );
+            parts.push(s.dim(1));
+        }
+        let total: usize = parts.iter().sum();
+        let y = self.activation(&format!("{name}.out"), Shape::new(vec![n, total, h, w]));
+        let numel = (n * total * h * w) as u64;
+        self.push_op(
+            OpKind::ConcatChannels {
+                n,
+                hw: h * w,
+                parts,
+            },
+            inputs.to_vec(),
+            vec![y],
+            0,
+            numel, // a copy: one op per element
+            self.scoped(name),
+        );
+        y
+    }
+
+    /// Emits an Adam update (in place on `w` and its moment buffers).
+    #[allow(clippy::too_many_arguments)]
+    pub fn adam_step(
+        &mut self,
+        w: TensorId,
+        m: TensorId,
+        v: TensorId,
+        g: TensorId,
+        lr: f32,
+        beta1: f32,
+        beta2: f32,
+        eps: f32,
+        name: &str,
+    ) {
+        let n = self.shape(w).numel();
+        for (t, what) in [(m, "m"), (v, "v"), (g, "g")] {
+            assert_eq!(n, self.shape(t).numel(), "{what} shape mismatch");
+        }
+        self.push_op(
+            OpKind::AdamStep {
+                n,
+                lr,
+                beta1,
+                beta2,
+                eps,
+            },
+            vec![w, m, v, g],
+            vec![w, m, v],
+            0,
+            (10 * n) as u64,
+            self.scoped(name),
+        );
+    }
+
+    /// Inverted dropout with drop probability `p` (training mode).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p < 1.0`.
+    pub fn dropout(&mut self, x: TensorId, p: f32, name: &str) -> TensorId {
+        assert!((0.0..1.0).contains(&p), "dropout p must be in [0, 1)");
+        let sx = self.shape(x).clone();
+        let n = sx.numel();
+        let y = self.activation(&format!("{name}.out"), sx.clone());
+        let mask = self.activation(&format!("{name}.mask"), sx);
+        self.push_op(
+            OpKind::DropoutFwd { n, p },
+            vec![x],
+            vec![y, mask],
+            0,
+            (2 * n) as u64,
+            self.scoped(name),
+        );
+        y
+    }
+
+    /// Fused softmax + mean cross-entropy. Returns `(loss, probs)`; `loss`
+    /// is a scalar, `probs` is kept for the backward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logits` is not rank 2 or `labels` length differs from the
+    /// batch.
+    pub fn softmax_cross_entropy(
+        &mut self,
+        logits: TensorId,
+        labels: TensorId,
+        name: &str,
+    ) -> (TensorId, TensorId) {
+        let sl = self.shape(logits).clone();
+        assert_eq!(sl.rank(), 2, "logits must be rank 2");
+        let (rows, cols) = (sl.dim(0), sl.dim(1));
+        assert_eq!(
+            self.shape(labels).numel(),
+            rows,
+            "labels length must equal the batch"
+        );
+        let loss = self.activation(&format!("{name}.loss"), Shape::scalar());
+        let probs = self.activation(&format!("{name}.probs"), sl);
+        self.push_op(
+            OpKind::SoftmaxXentFwd { rows, cols },
+            vec![logits, labels],
+            vec![loss, probs],
+            0,
+            (5 * rows * cols) as u64,
+            self.scoped(name),
+        );
+        (loss, probs)
+    }
+
+    // ---------------------------------------------------------------------
+    // backward/optimizer op emitters (used by autograd and optimizers)
+    // ---------------------------------------------------------------------
+
+    pub(crate) fn emit_grad_op(
+        &mut self,
+        kind: OpKind,
+        inputs: Vec<TensorId>,
+        outputs: Vec<TensorId>,
+        workspace_bytes: usize,
+        flops: u64,
+        name: String,
+    ) {
+        self.push_op(kind, inputs, outputs, workspace_bytes, flops, name);
+    }
+
+    pub(crate) fn grad_alias(&mut self, base: TensorId, shape: Shape, name: String) -> TensorId {
+        let y = self.alias_tensor(base, shape, name.clone());
+        self.push_op(OpKind::View, vec![base], vec![y], 0, 0, name);
+        y
+    }
+
+    pub(crate) fn new_grad_tensor(
+        &mut self,
+        shape: Shape,
+        kind: MemoryKind,
+        name: String,
+    ) -> TensorId {
+        self.new_tensor(shape, kind, name, false, None)
+    }
+
+    /// Emits a fused gradient all-reduce over `grads` (in place), charging
+    /// the ring-all-reduce wire time `2·(N−1)/N · bytes / interconnect` by
+    /// expressing it as equivalent device-DRAM bytes for the cost model
+    /// (`dram_bytes_per_sec` must match the device's cost model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grads` is empty or `world_size == 0`.
+    pub fn allreduce(
+        &mut self,
+        grads: &[TensorId],
+        world_size: usize,
+        interconnect_bytes_per_sec: f64,
+        dram_bytes_per_sec: f64,
+        name: &str,
+    ) {
+        assert!(!grads.is_empty(), "allreduce needs at least one gradient");
+        assert!(world_size >= 1, "world size must be positive");
+        let n: usize = grads.iter().map(|&g| self.shape(g).numel()).sum();
+        let wire_bytes = 2.0 * (world_size as f64 - 1.0) / world_size as f64 * (n * 4) as f64;
+        let equivalent_bytes = (wire_bytes / interconnect_bytes_per_sec * dram_bytes_per_sec) as u64;
+        self.graph.ops.push(OpRecord {
+            kind: OpKind::AllReduce { n, world_size },
+            inputs: grads.to_vec(),
+            outputs: grads.to_vec(),
+            workspace_bytes: 0,
+            flops: n as u64,
+            bytes: equivalent_bytes,
+            name: self.scoped(name),
+        });
+    }
+
+    /// Emits a vanilla SGD update `w -= lr * g` (in place on `w`).
+    pub fn sgd_step(&mut self, w: TensorId, g: TensorId, lr: f32, name: &str) {
+        let n = self.shape(w).numel();
+        assert_eq!(n, self.shape(g).numel(), "gradient shape mismatch");
+        self.push_op(
+            OpKind::SgdStep { n, lr },
+            vec![w, g],
+            vec![w],
+            0,
+            (2 * n) as u64,
+            self.scoped(name),
+        );
+    }
+
+    /// Emits a momentum SGD update (in place on `w` and `v`).
+    pub fn sgd_momentum_step(&mut self, w: TensorId, v: TensorId, g: TensorId, lr: f32, mu: f32, name: &str) {
+        let n = self.shape(w).numel();
+        assert_eq!(n, self.shape(g).numel(), "gradient shape mismatch");
+        assert_eq!(n, self.shape(v).numel(), "velocity shape mismatch");
+        self.push_op(
+            OpKind::SgdMomentumStep { n, lr, mu },
+            vec![w, v, g],
+            vec![w, v],
+            0,
+            (4 * n) as u64,
+            self.scoped(name),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_infers_output_shape() {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", [128, 2]);
+        let w = b.param("w", [2, 12288], InitSpec::Uniform { bound: 0.1 });
+        let y = b.matmul(x, w, false, false, "mm");
+        assert_eq!(b.shape(y).dims(), &[128, 12288]);
+        let op = &b.graph().ops()[0];
+        assert_eq!(op.flops, 2 * 128 * 2 * 12288);
+        assert!(op.bytes > 0);
+    }
+
+    #[test]
+    fn matmul_transpose_flags_swap_dims() {
+        let mut b = GraphBuilder::new();
+        let a = b.input("a", [3, 5]); // logical 5x3 when ta
+        let c = b.input("c", [3, 7]);
+        let y = b.matmul(a, c, true, false, "mm");
+        assert_eq!(b.shape(y).dims(), &[5, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "contraction mismatch")]
+    fn matmul_rejects_bad_contraction() {
+        let mut b = GraphBuilder::new();
+        let a = b.input("a", [2, 3]);
+        let c = b.input("c", [4, 5]);
+        b.matmul(a, c, false, false, "mm");
+    }
+
+    #[test]
+    fn conv_shapes_and_workspace() {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", [8, 3, 32, 32]);
+        let w = b.param("w", [16, 3, 3, 3], InitSpec::Normal { std: 0.1 });
+        let y = b.conv2d(x, w, 1, 1, "conv1");
+        assert_eq!(b.shape(y).dims(), &[8, 16, 32, 32]);
+        let op = &b.graph().ops()[0];
+        assert_eq!(op.workspace_bytes, 3 * 3 * 3 * 32 * 32 * 4);
+    }
+
+    #[test]
+    fn view_shares_storage_and_costs_nothing() {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", [4, 3, 2, 2]);
+        let f = b.flatten(x, "flat");
+        assert_eq!(b.shape(f).dims(), &[4, 12]);
+        let g = b.graph();
+        assert_eq!(g.tensor(x).storage, g.tensor(f).storage);
+        assert_eq!(g.ops()[0].kind, OpKind::View);
+        assert_eq!(g.ops()[0].flops, 0);
+    }
+
+    #[test]
+    fn batchnorm_emits_saved_stats_and_rmw_running_stats() {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", [4, 8, 5, 5]);
+        let gamma = b.param("bn.gamma", [8], InitSpec::Ones);
+        let beta = b.param("bn.beta", [8], InitSpec::Zeros);
+        let rm = b.state("bn.running_mean", [8], InitSpec::Zeros);
+        let rv = b.state("bn.running_var", [8], InitSpec::Ones);
+        let _y = b.batchnorm(x, gamma, beta, rm, rv, 0.1, 1e-5, "bn");
+        let op = &b.graph().ops()[0];
+        assert_eq!(op.outputs.len(), 5);
+        assert!(op.inputs.contains(&rm) && op.outputs.contains(&rm));
+    }
+
+    #[test]
+    fn loss_returns_scalar_and_probs() {
+        let mut b = GraphBuilder::new();
+        let logits = b.input("logits", [16, 10]);
+        let labels = b.labels("y", 16);
+        let (loss, probs) = b.softmax_cross_entropy(logits, labels, "loss");
+        assert_eq!(b.shape(loss).numel(), 1);
+        assert_eq!(b.shape(probs).dims(), &[16, 10]);
+    }
+
+    #[test]
+    fn scopes_prefix_names() {
+        let mut b = GraphBuilder::new();
+        b.push_scope("layer1");
+        let x = b.input("x", [2, 2]);
+        assert_eq!(b.graph().tensor(x).name, "layer1.x");
+        b.pop_scope();
+        let y = b.input("y", [2, 2]);
+        assert_eq!(b.graph().tensor(y).name, "y");
+    }
+
+    #[test]
+    fn pooling_shapes() {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", [2, 4, 8, 8]);
+        let y = b.maxpool2d(x, 2, 2, 0, "pool");
+        assert_eq!(b.shape(y).dims(), &[2, 4, 4, 4]);
+        let z = b.global_avgpool(y, "gap");
+        assert_eq!(b.shape(z).dims(), &[2, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout p")]
+    fn dropout_rejects_p_of_one() {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", [2, 2]);
+        b.dropout(x, 1.0, "drop");
+    }
+
+    #[test]
+    fn concat_sums_channels() {
+        let mut b = GraphBuilder::new();
+        let x1 = b.input("x1", [2, 3, 4, 4]);
+        let x2 = b.input("x2", [2, 5, 4, 4]);
+        let y = b.concat_channels(&[x1, x2], "cat");
+        assert_eq!(b.shape(y).dims(), &[2, 8, 4, 4]);
+        let op = &b.graph().ops()[0];
+        assert_eq!(
+            op.kind,
+            OpKind::ConcatChannels {
+                n: 2,
+                hw: 16,
+                parts: vec![3, 5]
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "agree on batch and spatial")]
+    fn concat_rejects_spatial_mismatch() {
+        let mut b = GraphBuilder::new();
+        let x1 = b.input("x1", [2, 3, 4, 4]);
+        let x2 = b.input("x2", [2, 3, 8, 8]);
+        b.concat_channels(&[x1, x2], "cat");
+    }
+
+    #[test]
+    fn adam_step_is_read_modify_write_on_three_tensors() {
+        let mut b = GraphBuilder::new();
+        let w = b.param("w", [4], InitSpec::Zeros);
+        let m = b.state("w.m", [4], InitSpec::Zeros);
+        let v = b.state("w.v", [4], InitSpec::Zeros);
+        let g = b.input("g", [4]);
+        b.adam_step(w, m, v, g, 1e-3, 0.9, 0.999, 1e-8, "adam.w");
+        let op = &b.graph().ops()[0];
+        assert_eq!(op.inputs, vec![w, m, v, g]);
+        assert_eq!(op.outputs, vec![w, m, v]);
+    }
+}

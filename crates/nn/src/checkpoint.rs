@@ -1,0 +1,286 @@
+//! Activation checkpointing (gradient recomputation).
+//!
+//! The classic alternative to the paper's swapping direction: instead of
+//! moving long-lived intermediates to the host, *drop* them after the
+//! forward pass and recompute them from sparse checkpoints just before the
+//! backward ops that need them. This module implements it as a tape
+//! transformation, so the same executors (and the same instrumentation)
+//! run the checkpointed program — letting the trace analysis quantify the
+//! technique exactly like the paper quantifies everything else.
+//!
+//! The transform:
+//!
+//! 1. splits the tape at the loss op into forward and backward regions;
+//! 2. keeps every `k`-th pure forward activation (plus everything
+//!    non-recomputable: parameters, inputs, batch-norm outputs and saved
+//!    statistics, dropout masks, the loss op's outputs) as a *checkpoint*;
+//! 3. for each non-checkpointed activation a backward op consumes, inserts
+//!    a clone of its producing op (and, recursively, any missing pure
+//!    producers) immediately before that backward op, writing into fresh
+//!    tensors;
+//! 4. rewires the backward ops to the recomputed tensors.
+//!
+//! Because the dropped activations' last use is now inside the forward
+//! pass, the executor's liveness analysis frees them early — trading
+//! recompute FLOPs for peak footprint, observable directly in the trace.
+
+use crate::graph::{Graph, OpKind, OpRecord, StorageId, TensorId, TensorMeta};
+use pinpoint_trace::MemoryKind;
+use std::collections::{HashMap, HashSet};
+
+/// Whether an op may be replayed without side effects or randomness.
+fn is_pure(kind: &OpKind) -> bool {
+    matches!(
+        kind,
+        OpKind::View
+            | OpKind::MatMul { .. }
+            | OpKind::AddBias { .. }
+            | OpKind::Relu { .. }
+            | OpKind::Add { .. }
+            | OpKind::Conv2d(_)
+            | OpKind::DepthwiseConv2d(_)
+            | OpKind::MaxPoolFwd(_)
+            | OpKind::AvgPoolFwd(_)
+            | OpKind::GlobalAvgPoolFwd { .. }
+            | OpKind::ConcatChannels { .. }
+    )
+}
+
+/// Applies activation checkpointing to a compiled tape.
+///
+/// `keep_every` controls checkpoint density: every `keep_every`-th pure
+/// forward op's outputs are kept; the rest become recompute candidates.
+/// `keep_every = 1` keeps everything (identity transform).
+///
+/// Returns the transformed graph; recompile it with
+/// [`crate::Program::compile`] to refresh liveness.
+///
+/// # Panics
+///
+/// Panics if `keep_every == 0` or `loss` is not produced by an op in the
+/// graph.
+pub fn apply_checkpointing(graph: &Graph, loss: TensorId, keep_every: usize) -> Graph {
+    assert!(keep_every >= 1, "keep_every must be at least 1");
+    let loss_idx = graph
+        .ops()
+        .iter()
+        .position(|op| op.outputs.first() == Some(&loss))
+        .expect("loss must be produced by a graph op");
+    let mut g = Graph {
+        tensors: graph.tensors().to_vec(),
+        ops: Vec::with_capacity(graph.ops().len()),
+        num_storages: graph.num_storages(),
+    };
+    // --- select checkpoints ---------------------------------------------
+    let mut checkpointed: HashSet<TensorId> = HashSet::new();
+    let mut producer: HashMap<TensorId, usize> = HashMap::new();
+    let mut pure_counter = 0usize;
+    for (j, op) in graph.ops().iter().enumerate().take(loss_idx + 1) {
+        for &out in &op.outputs {
+            producer.entry(out).or_insert(j);
+        }
+        let keep = if !is_pure(&op.kind) || j == loss_idx {
+            true
+        } else {
+            pure_counter += 1;
+            pure_counter.is_multiple_of(keep_every)
+        };
+        if keep {
+            checkpointed.extend(op.outputs.iter().copied());
+        }
+    }
+    // non-activation tensors are always available
+    let available = |t: TensorId, g: &Graph, recomputed: &HashMap<TensorId, TensorId>| {
+        g.tensors[t.0].kind != MemoryKind::Activation
+            || checkpointed.contains(&t)
+            || recomputed.contains_key(&t)
+            || !producer.contains_key(&t) // staged inputs
+    };
+    // --- copy the forward region unchanged --------------------------------
+    for op in &graph.ops()[..=loss_idx] {
+        g.ops.push(op.clone());
+    }
+    // --- walk the backward region, inserting recomputes -------------------
+    let mut recomputed: HashMap<TensorId, TensorId> = HashMap::new();
+    for op in &graph.ops()[loss_idx + 1..] {
+        // ensure every forward-activation input is available
+        for &input in &op.inputs.clone() {
+            ensure_available(
+                input,
+                graph,
+                &mut g,
+                &checkpointed,
+                &producer,
+                &mut recomputed,
+            );
+        }
+        let mut op = op.clone();
+        for input in op.inputs.iter_mut() {
+            if let Some(&r) = recomputed.get(input) {
+                *input = r;
+            }
+        }
+        g.ops.push(op);
+        let _ = &available; // (closure kept for documentation of the rule)
+    }
+    g
+}
+
+/// Recursively emits recompute clones so `t` (and its pure ancestry) is
+/// available, recording the substitution in `recomputed`.
+fn ensure_available(
+    t: TensorId,
+    original: &Graph,
+    g: &mut Graph,
+    checkpointed: &HashSet<TensorId>,
+    producer: &HashMap<TensorId, usize>,
+    recomputed: &mut HashMap<TensorId, TensorId>,
+) {
+    if original.tensors()[t.0].kind != MemoryKind::Activation
+        || checkpointed.contains(&t)
+        || recomputed.contains_key(&t)
+    {
+        return;
+    }
+    let Some(&pidx) = producer.get(&t) else {
+        return; // staged input or parameter: always available
+    };
+    let op = &original.ops()[pidx];
+    debug_assert!(is_pure(&op.kind), "only pure ops lose their outputs");
+    // make sure the producer's own inputs are available first
+    for &input in &op.inputs {
+        ensure_available(input, original, g, checkpointed, producer, recomputed);
+    }
+    let remap = |t: TensorId, recomputed: &HashMap<TensorId, TensorId>| {
+        recomputed.get(&t).copied().unwrap_or(t)
+    };
+    let new_inputs: Vec<TensorId> = op.inputs.iter().map(|&i| remap(i, recomputed)).collect();
+    // clone outputs into fresh tensors (views alias their recomputed base)
+    let mut new_outputs = Vec::with_capacity(op.outputs.len());
+    for &out in &op.outputs {
+        let meta = &original.tensors()[out.0];
+        let new_id = TensorId(g.tensors.len());
+        let new_meta = if matches!(op.kind, OpKind::View) {
+            let base = new_inputs[0];
+            TensorMeta {
+                shape: meta.shape.clone(),
+                kind: meta.kind,
+                name: format!("{}.recomp", meta.name),
+                storage: g.tensors[base.0].storage,
+                persistent: false,
+                init: None,
+            }
+        } else {
+            let storage = StorageId(g.num_storages);
+            g.num_storages += 1;
+            TensorMeta {
+                shape: meta.shape.clone(),
+                kind: meta.kind,
+                name: format!("{}.recomp", meta.name),
+                storage,
+                persistent: false,
+                init: None,
+            }
+        };
+        g.tensors.push(new_meta);
+        new_outputs.push(new_id);
+        recomputed.insert(out, new_id);
+    }
+    g.ops.push(OpRecord {
+        kind: op.kind.clone(),
+        inputs: new_inputs,
+        outputs: new_outputs,
+        workspace_bytes: op.workspace_bytes,
+        flops: op.flops,
+        bytes: op.bytes,
+        name: format!("{}.recomp", op.name),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autograd::backward;
+    use crate::builder::GraphBuilder;
+    use crate::graph::InitSpec;
+    use crate::optim::Optimizer;
+    use crate::program::Program;
+
+    fn deep_mlp(depth: usize) -> (Graph, Vec<TensorId>, TensorId) {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", [8, 16]);
+        let y = b.labels("y", 8);
+        let mut h = x;
+        for i in 0..depth {
+            let w = b.param(&format!("w{i}"), [16, 16], InitSpec::Uniform { bound: 0.3 });
+            h = b.matmul(h, w, false, false, &format!("fc{i}"));
+            h = b.relu(h, &format!("relu{i}"));
+        }
+        let wout = b.param("w_out", [16, 2], InitSpec::Uniform { bound: 0.3 });
+        let logits = b.matmul(h, wout, false, false, "head");
+        let (loss, _) = b.softmax_cross_entropy(logits, y, "loss");
+        let grads = backward(&mut b, loss);
+        Optimizer::Sgd { lr: 0.1 }.emit_step(&mut b, &grads);
+        (b.finish(), vec![x, y], loss)
+    }
+
+    #[test]
+    fn keep_every_one_is_identity() {
+        let (g, _, loss) = deep_mlp(4);
+        let t = apply_checkpointing(&g, loss, 1);
+        assert_eq!(t.ops().len(), g.ops().len());
+        assert_eq!(t.tensors().len(), g.tensors().len());
+    }
+
+    #[test]
+    fn recompute_ops_are_inserted_for_sparse_checkpoints() {
+        let (g, _, loss) = deep_mlp(6);
+        let t = apply_checkpointing(&g, loss, 4);
+        assert!(t.ops().len() > g.ops().len(), "recompute clones added");
+        let recomp = t.ops().iter().filter(|o| o.name.ends_with(".recomp")).count();
+        assert!(recomp > 0);
+        // recompute clones appear only after the loss op
+        let loss_idx = t
+            .ops()
+            .iter()
+            .position(|o| o.outputs.first() == Some(&loss))
+            .unwrap();
+        assert!(t.ops()[..loss_idx]
+            .iter()
+            .all(|o| !o.name.ends_with(".recomp")));
+    }
+
+    #[test]
+    fn checkpointed_program_compiles_and_frees_earlier() {
+        let (g, inputs, loss) = deep_mlp(8);
+        let baseline = Program::compile(g.clone(), inputs.clone(), loss);
+        let t = apply_checkpointing(&g, loss, 4);
+        let ckpt = Program::compile(t, inputs, loss);
+        // at least one forward activation now dies in the forward region
+        let fwd_ops = baseline
+            .graph()
+            .ops()
+            .iter()
+            .position(|o| o.outputs.first() == Some(&loss))
+            .unwrap();
+        let earlier_frees = |p: &Program| {
+            (0..p.graph().num_storages())
+                .filter(|&s| {
+                    !p.liveness().persistent[s]
+                        && p.liveness().last_use[s].is_some_and(|j| j <= fwd_ops)
+                })
+                .count()
+        };
+        assert!(
+            earlier_frees(&ckpt) > earlier_frees(&baseline),
+            "checkpointing must shorten activation lifetimes"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "keep_every")]
+    fn zero_keep_every_rejected() {
+        let (g, _, loss) = deep_mlp(2);
+        apply_checkpointing(&g, loss, 0);
+    }
+}

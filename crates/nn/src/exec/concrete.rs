@@ -1,0 +1,485 @@
+//! Concrete kernel dispatch: real `f32` math on host shadow buffers.
+//!
+//! Used for the paper's MLP case study and for correctness tests. Big-model
+//! sweeps use the symbolic executor, which skips this module entirely —
+//! both modes replay the identical op tape through the identical allocator,
+//! so their traces match.
+
+use crate::graph::{Graph, InitSpec, OpKind, OpRecord, TensorId};
+use pinpoint_tensor::kernels::conv::{conv2d_backward, conv2d_forward};
+use pinpoint_tensor::kernels::elementwise::{
+    add, add_bias, bias_grad, mul, relu, relu_backward, sgd_momentum_step, sgd_step,
+};
+use pinpoint_tensor::kernels::matmul::{matmul, Transpose};
+use pinpoint_tensor::kernels::norm::{batchnorm_backward, batchnorm_forward};
+use pinpoint_tensor::kernels::pool::{
+    avgpool_backward, avgpool_forward, global_avgpool_backward, global_avgpool_forward,
+    maxpool_backward, maxpool_forward,
+};
+use pinpoint_tensor::kernels::softmax::{softmax_cross_entropy, softmax_cross_entropy_backward};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+fn t(flag: bool) -> Transpose {
+    if flag {
+        Transpose::Yes
+    } else {
+        Transpose::No
+    }
+}
+
+fn storage(graph: &Graph, id: TensorId) -> usize {
+    graph.tensor(id).storage.0
+}
+
+fn take(bufs: &mut [Option<Vec<f32>>], s: usize) -> Vec<f32> {
+    bufs[s].take().unwrap_or_else(|| panic!("buffer for storage {s} missing"))
+}
+
+fn put(bufs: &mut [Option<Vec<f32>>], s: usize, v: Vec<f32>) {
+    bufs[s] = Some(v);
+}
+
+fn get<'a>(bufs: &'a [Option<Vec<f32>>], graph: &Graph, id: TensorId) -> &'a [f32] {
+    let s = storage(graph, id);
+    bufs[s]
+        .as_deref()
+        .unwrap_or_else(|| panic!("buffer for {} missing", graph.tensor(id).name))
+}
+
+fn labels_u32(raw: &[f32]) -> Vec<u32> {
+    raw.iter().map(|&v| v as u32).collect()
+}
+
+/// SplitMix64 → uniform in [0, 1).
+fn unit_uniform(seed: u64) -> f64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Fills a fresh buffer according to an init spec, deterministically from
+/// the given RNG.
+pub(crate) fn fill_init(spec: InitSpec, buf: &mut [f32], rng: &mut StdRng) {
+    match spec {
+        InitSpec::Zeros => buf.fill(0.0),
+        InitSpec::Ones => buf.fill(1.0),
+        InitSpec::Uniform { bound } => {
+            for v in buf.iter_mut() {
+                *v = rng.gen_range(-bound..=bound);
+            }
+        }
+        InitSpec::Normal { std } => {
+            // Box–Muller from two uniforms (rand 0.8 has no Normal distr
+            // without rand_distr, which we avoid depending on)
+            for v in buf.iter_mut() {
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen::<f64>();
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                *v = (z * std as f64) as f32;
+            }
+        }
+    }
+}
+
+/// Executes one op on the shadow buffers. `step` is the 1-based iteration
+/// count (Adam bias correction). Returns the scalar loss when the op is the
+/// fused loss forward.
+pub(crate) fn dispatch(
+    op: &OpRecord,
+    graph: &Graph,
+    bufs: &mut [Option<Vec<f32>>],
+    seed: u64,
+    step: u64,
+) -> Option<f32> {
+    let s_out = |i: usize| storage(graph, op.outputs[i]);
+    match op.kind {
+        OpKind::View => unreachable!("views are skipped by the executor"),
+        OpKind::MatMul { ta, tb, m, k, n } => {
+            let mut y = take(bufs, s_out(0));
+            matmul(
+                get(bufs, graph, op.inputs[0]),
+                t(ta),
+                get(bufs, graph, op.inputs[1]),
+                t(tb),
+                &mut y,
+                m,
+                k,
+                n,
+            );
+            put(bufs, s_out(0), y);
+        }
+        OpKind::AddBias { rows, cols } => {
+            let mut y = take(bufs, s_out(0));
+            add_bias(
+                get(bufs, graph, op.inputs[0]),
+                get(bufs, graph, op.inputs[1]),
+                &mut y,
+                rows,
+                cols,
+            );
+            put(bufs, s_out(0), y);
+        }
+        OpKind::BiasGrad { rows, cols } => {
+            let mut db = take(bufs, s_out(0));
+            bias_grad(get(bufs, graph, op.inputs[0]), &mut db, rows, cols);
+            put(bufs, s_out(0), db);
+        }
+        OpKind::Relu { .. } => {
+            let mut y = take(bufs, s_out(0));
+            relu(get(bufs, graph, op.inputs[0]), &mut y);
+            put(bufs, s_out(0), y);
+        }
+        OpKind::ReluGrad { .. } => {
+            let mut dx = take(bufs, s_out(0));
+            relu_backward(
+                get(bufs, graph, op.inputs[0]),
+                get(bufs, graph, op.inputs[1]),
+                &mut dx,
+            );
+            put(bufs, s_out(0), dx);
+        }
+        OpKind::Add { .. } => {
+            let mut y = take(bufs, s_out(0));
+            add(
+                get(bufs, graph, op.inputs[0]),
+                get(bufs, graph, op.inputs[1]),
+                &mut y,
+            );
+            put(bufs, s_out(0), y);
+        }
+        OpKind::SoftmaxXentFwd { rows, cols } => {
+            let labels = labels_u32(get(bufs, graph, op.inputs[1]));
+            let mut loss_buf = take(bufs, s_out(0));
+            let mut probs = take(bufs, s_out(1));
+            let loss = softmax_cross_entropy(
+                get(bufs, graph, op.inputs[0]),
+                &labels,
+                &mut probs,
+                rows,
+                cols,
+            );
+            loss_buf[0] = loss;
+            put(bufs, s_out(0), loss_buf);
+            put(bufs, s_out(1), probs);
+            return Some(loss);
+        }
+        OpKind::SoftmaxXentGrad { rows, cols } => {
+            let labels = labels_u32(get(bufs, graph, op.inputs[1]));
+            let mut d = take(bufs, s_out(0));
+            softmax_cross_entropy_backward(
+                get(bufs, graph, op.inputs[0]),
+                &labels,
+                &mut d,
+                rows,
+                cols,
+            );
+            put(bufs, s_out(0), d);
+        }
+        OpKind::Conv2d(g) => {
+            let mut y = take(bufs, s_out(0));
+            let mut ws = vec![0.0f32; g.col_numel()];
+            conv2d_forward(
+                get(bufs, graph, op.inputs[0]),
+                get(bufs, graph, op.inputs[1]),
+                &mut y,
+                &mut ws,
+                &g,
+            );
+            put(bufs, s_out(0), y);
+        }
+        OpKind::DepthwiseConv2d(g) => {
+            let mut y = take(bufs, s_out(0));
+            pinpoint_tensor::kernels::depthwise::depthwise_forward(
+                get(bufs, graph, op.inputs[0]),
+                get(bufs, graph, op.inputs[1]),
+                &mut y,
+                &g,
+            );
+            put(bufs, s_out(0), y);
+        }
+        OpKind::DepthwiseConv2dGrad(g) => {
+            let mut dx = take(bufs, s_out(0));
+            let mut dw = take(bufs, s_out(1));
+            pinpoint_tensor::kernels::depthwise::depthwise_backward(
+                get(bufs, graph, op.inputs[0]),
+                get(bufs, graph, op.inputs[1]),
+                get(bufs, graph, op.inputs[2]),
+                &mut dx,
+                &mut dw,
+                &g,
+            );
+            put(bufs, s_out(0), dx);
+            put(bufs, s_out(1), dw);
+        }
+        OpKind::Conv2dGrad(g) => {
+            let mut ws = vec![0.0f32; g.col_numel()];
+            if op.outputs.len() == 2 {
+                let mut dx = take(bufs, s_out(0));
+                let mut dw = take(bufs, s_out(1));
+                conv2d_backward(
+                    get(bufs, graph, op.inputs[0]),
+                    get(bufs, graph, op.inputs[1]),
+                    get(bufs, graph, op.inputs[2]),
+                    &mut dx,
+                    &mut dw,
+                    &mut ws,
+                    &g,
+                );
+                put(bufs, s_out(0), dx);
+                put(bufs, s_out(1), dw);
+            } else {
+                let mut dx = vec![0.0f32; g.n * g.c * g.h * g.w];
+                let mut dw = take(bufs, s_out(0));
+                conv2d_backward(
+                    get(bufs, graph, op.inputs[0]),
+                    get(bufs, graph, op.inputs[1]),
+                    get(bufs, graph, op.inputs[2]),
+                    &mut dx,
+                    &mut dw,
+                    &mut ws,
+                    &g,
+                );
+                put(bufs, s_out(0), dw);
+            }
+        }
+        OpKind::MaxPoolFwd(g) => {
+            let mut y = take(bufs, s_out(0));
+            let mut arg_f = take(bufs, s_out(1));
+            let mut arg = vec![0u32; arg_f.len()];
+            maxpool_forward(get(bufs, graph, op.inputs[0]), &mut y, &mut arg, &g);
+            for (f, u) in arg_f.iter_mut().zip(&arg) {
+                *f = *u as f32;
+            }
+            put(bufs, s_out(0), y);
+            put(bufs, s_out(1), arg_f);
+        }
+        OpKind::MaxPoolGrad(g) => {
+            let arg: Vec<u32> = get(bufs, graph, op.inputs[1])
+                .iter()
+                .map(|&v| v as u32)
+                .collect();
+            let mut dx = take(bufs, s_out(0));
+            maxpool_backward(get(bufs, graph, op.inputs[0]), &arg, &mut dx, &g);
+            put(bufs, s_out(0), dx);
+        }
+        OpKind::AvgPoolFwd(g) => {
+            let mut y = take(bufs, s_out(0));
+            avgpool_forward(get(bufs, graph, op.inputs[0]), &mut y, &g);
+            put(bufs, s_out(0), y);
+        }
+        OpKind::AvgPoolGrad(g) => {
+            let mut dx = take(bufs, s_out(0));
+            avgpool_backward(get(bufs, graph, op.inputs[0]), &mut dx, &g);
+            put(bufs, s_out(0), dx);
+        }
+        OpKind::GlobalAvgPoolFwd { n, c, hw } => {
+            let mut y = take(bufs, s_out(0));
+            global_avgpool_forward(get(bufs, graph, op.inputs[0]), &mut y, n, c, hw);
+            put(bufs, s_out(0), y);
+        }
+        OpKind::GlobalAvgPoolGrad { n, c, hw } => {
+            let mut dx = take(bufs, s_out(0));
+            global_avgpool_backward(get(bufs, graph, op.inputs[0]), &mut dx, n, c, hw);
+            put(bufs, s_out(0), dx);
+        }
+        OpKind::BatchNormFwd {
+            n,
+            c,
+            hw,
+            momentum,
+            eps,
+        } => {
+            let mut y = take(bufs, s_out(0));
+            let mut sm = take(bufs, s_out(1));
+            let mut siv = take(bufs, s_out(2));
+            let mut rm = take(bufs, s_out(3));
+            let mut rv = take(bufs, s_out(4));
+            batchnorm_forward(
+                get(bufs, graph, op.inputs[0]),
+                get(bufs, graph, op.inputs[1]),
+                get(bufs, graph, op.inputs[2]),
+                &mut y,
+                &mut sm,
+                &mut siv,
+                &mut rm,
+                &mut rv,
+                n,
+                c,
+                hw,
+                momentum,
+                eps,
+            );
+            put(bufs, s_out(0), y);
+            put(bufs, s_out(1), sm);
+            put(bufs, s_out(2), siv);
+            put(bufs, s_out(3), rm);
+            put(bufs, s_out(4), rv);
+        }
+        OpKind::BatchNormGrad { n, c, hw } => {
+            let mut dx = take(bufs, s_out(0));
+            let mut dgamma = take(bufs, s_out(1));
+            let mut dbeta = take(bufs, s_out(2));
+            batchnorm_backward(
+                get(bufs, graph, op.inputs[0]),
+                get(bufs, graph, op.inputs[1]),
+                get(bufs, graph, op.inputs[2]),
+                get(bufs, graph, op.inputs[3]),
+                get(bufs, graph, op.inputs[4]),
+                &mut dx,
+                &mut dgamma,
+                &mut dbeta,
+                n,
+                c,
+                hw,
+            );
+            put(bufs, s_out(0), dx);
+            put(bufs, s_out(1), dgamma);
+            put(bufs, s_out(2), dbeta);
+        }
+        OpKind::DropoutFwd { n, p } => {
+            let mut y = take(bufs, s_out(0));
+            let mut mask = take(bufs, s_out(1));
+            let keep_scale = 1.0 / (1.0 - p);
+            #[allow(clippy::needless_range_loop)] // i seeds the RNG stream
+            for i in 0..n {
+                mask[i] = if unit_uniform(seed.wrapping_add(i as u64)) < p as f64 {
+                    0.0
+                } else {
+                    keep_scale
+                };
+            }
+            mul(get(bufs, graph, op.inputs[0]), &mask, &mut y);
+            put(bufs, s_out(0), y);
+            put(bufs, s_out(1), mask);
+        }
+        OpKind::DropoutGrad { .. } => {
+            let mut dx = take(bufs, s_out(0));
+            mul(
+                get(bufs, graph, op.inputs[0]),
+                get(bufs, graph, op.inputs[1]),
+                &mut dx,
+            );
+            put(bufs, s_out(0), dx);
+        }
+        OpKind::SgdStep { lr, .. } => {
+            let sw = s_out(0);
+            let mut w = take(bufs, sw);
+            sgd_step(&mut w, get(bufs, graph, op.inputs[1]), lr);
+            put(bufs, sw, w);
+        }
+        OpKind::SgdMomentumStep { lr, mu, .. } => {
+            let sw = s_out(0);
+            let sv = s_out(1);
+            let mut w = take(bufs, sw);
+            let mut v = take(bufs, sv);
+            sgd_momentum_step(&mut w, &mut v, get(bufs, graph, op.inputs[2]), lr, mu);
+            put(bufs, sw, w);
+            put(bufs, sv, v);
+        }
+        OpKind::AdamStep {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            ..
+        } => {
+            let (sw, sm, sv) = (s_out(0), s_out(1), s_out(2));
+            let mut w = take(bufs, sw);
+            let mut m = take(bufs, sm);
+            let mut v = take(bufs, sv);
+            pinpoint_tensor::kernels::optim::adam_step(
+                &mut w,
+                &mut m,
+                &mut v,
+                get(bufs, graph, op.inputs[3]),
+                lr,
+                beta1,
+                beta2,
+                eps,
+                step,
+            );
+            put(bufs, sw, w);
+            put(bufs, sm, m);
+            put(bufs, sv, v);
+        }
+        OpKind::AllReduce { .. } => {
+            // all simulated replicas hold identical gradients, so the
+            // average is the identity; touch each bucket member in place
+            for i in 0..op.outputs.len() {
+                let s = s_out(i);
+                let g = take(bufs, s);
+                put(bufs, s, g);
+            }
+        }
+        OpKind::ConcatChannels { n, hw, ref parts } => {
+            let mut y = take(bufs, s_out(0));
+            let inputs: Vec<&[f32]> = op
+                .inputs
+                .iter()
+                .map(|&t| get(bufs, graph, t))
+                .collect();
+            pinpoint_tensor::kernels::concat::concat_channels(&inputs, &mut y, n, parts, hw);
+            put(bufs, s_out(0), y);
+        }
+        OpKind::SplitChannels { n, hw, ref parts } => {
+            let mut outs: Vec<Vec<f32>> = (0..op.outputs.len())
+                .map(|i| take(bufs, s_out(i)))
+                .collect();
+            {
+                let mut views: Vec<&mut [f32]> =
+                    outs.iter_mut().map(|v| v.as_mut_slice()).collect();
+                pinpoint_tensor::kernels::concat::split_channels(
+                    get(bufs, graph, op.inputs[0]),
+                    &mut views,
+                    n,
+                    parts,
+                    hw,
+                );
+            }
+            for (i, v) in outs.into_iter().enumerate() {
+                put(bufs, s_out(i), v);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn unit_uniform_is_in_range_and_deterministic() {
+        for s in 0..1000u64 {
+            let u = unit_uniform(s);
+            assert!((0.0..1.0).contains(&u));
+            assert_eq!(u, unit_uniform(s));
+        }
+    }
+
+    #[test]
+    fn fill_init_shapes_distributions() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut z = vec![1.0f32; 64];
+        fill_init(InitSpec::Zeros, &mut z, &mut rng);
+        assert!(z.iter().all(|&v| v == 0.0));
+        let mut o = vec![0.0f32; 64];
+        fill_init(InitSpec::Ones, &mut o, &mut rng);
+        assert!(o.iter().all(|&v| v == 1.0));
+        let mut u = vec![0.0f32; 4096];
+        fill_init(InitSpec::Uniform { bound: 0.5 }, &mut u, &mut rng);
+        assert!(u.iter().all(|&v| (-0.5..=0.5).contains(&v)));
+        let mean: f32 = u.iter().sum::<f32>() / u.len() as f32;
+        assert!(mean.abs() < 0.05, "uniform mean {mean}");
+        let mut nrm = vec![0.0f32; 4096];
+        fill_init(InitSpec::Normal { std: 2.0 }, &mut nrm, &mut rng);
+        let m: f32 = nrm.iter().sum::<f32>() / nrm.len() as f32;
+        let var: f32 = nrm.iter().map(|v| (v - m) * (v - m)).sum::<f32>() / nrm.len() as f32;
+        assert!(m.abs() < 0.2, "normal mean {m}");
+        assert!((var.sqrt() - 2.0).abs() < 0.2, "normal std {}", var.sqrt());
+    }
+}

@@ -1,0 +1,391 @@
+//! The graph IR: tensors, storages, and op records.
+//!
+//! A training iteration is captured once as a list of [`OpRecord`]s (forward,
+//! backward, optimizer) over [`TensorId`]s; the executors then replay it
+//! iteration after iteration through the instrumented device. Tensors that
+//! alias the same device memory (views) share a [`StorageId`] — the unit of
+//! allocation, and therefore the unit the paper's trace observes.
+
+use pinpoint_tensor::kernels::conv::Conv2dGeom;
+use pinpoint_tensor::kernels::depthwise::DwConv2dGeom;
+use pinpoint_tensor::kernels::pool::Pool2dGeom;
+use pinpoint_tensor::Shape;
+use pinpoint_trace::MemoryKind;
+use serde::{Deserialize, Serialize};
+
+/// Identity of a logical tensor in the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TensorId(pub usize);
+
+/// Identity of a device storage (allocation unit); views share one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct StorageId(pub usize);
+
+/// How a persistent tensor is initialized before training starts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum InitSpec {
+    /// All zeros (biases, momentum buffers, running means).
+    Zeros,
+    /// All ones (batch-norm gammas, running variances).
+    Ones,
+    /// Uniform in `[-bound, bound]` — Kaiming-style when
+    /// `bound = sqrt(6 / fan_in)`.
+    Uniform {
+        /// Symmetric bound of the distribution.
+        bound: f32,
+    },
+    /// Zero-mean Gaussian with the given standard deviation.
+    Normal {
+        /// Standard deviation.
+        std: f32,
+    },
+}
+
+/// Metadata of one logical tensor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TensorMeta {
+    /// Logical shape.
+    pub shape: Shape,
+    /// Content tag used for the paper's breakdown figures.
+    pub kind: MemoryKind,
+    /// Human-readable name (layer-scoped, e.g. `"fc1.weight"`).
+    pub name: String,
+    /// The storage this tensor occupies (views share).
+    pub storage: StorageId,
+    /// Whether the storage outlives iterations (parameters, optimizer
+    /// state, running statistics).
+    pub persistent: bool,
+    /// Initialization for persistent tensors.
+    pub init: Option<InitSpec>,
+}
+
+impl TensorMeta {
+    /// Dense size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.shape.size_bytes()
+    }
+}
+
+/// The operation an [`OpRecord`] performs.
+///
+/// Every variant carries the static attributes the executors need: shapes
+/// for kernel dispatch and the basis for FLOP/byte accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpKind {
+    /// Zero-cost alias (reshape/flatten); no device events.
+    View,
+    /// `y = op(a) · op(b)`, with optional transposes.
+    MatMul {
+        /// Transpose the left operand.
+        ta: bool,
+        /// Transpose the right operand.
+        tb: bool,
+        /// Rows of the logical product.
+        m: usize,
+        /// Contraction extent.
+        k: usize,
+        /// Columns of the logical product.
+        n: usize,
+    },
+    /// `y[r, c] = x[r, c] + bias[c]`.
+    AddBias {
+        /// Rows.
+        rows: usize,
+        /// Columns (bias length).
+        cols: usize,
+    },
+    /// `db = column-sum(dy)`.
+    BiasGrad {
+        /// Rows.
+        rows: usize,
+        /// Columns.
+        cols: usize,
+    },
+    /// Rectified linear unit over `n` elements.
+    Relu {
+        /// Element count.
+        n: usize,
+    },
+    /// ReLU backward over `n` elements.
+    ReluGrad {
+        /// Element count.
+        n: usize,
+    },
+    /// Elementwise sum of two same-shaped tensors.
+    Add {
+        /// Element count.
+        n: usize,
+    },
+    /// Fused softmax + mean cross-entropy; outputs scalar loss and probs.
+    SoftmaxXentFwd {
+        /// Batch rows.
+        rows: usize,
+        /// Class count.
+        cols: usize,
+    },
+    /// Gradient of the fused loss w.r.t. the logits.
+    SoftmaxXentGrad {
+        /// Batch rows.
+        rows: usize,
+        /// Class count.
+        cols: usize,
+    },
+    /// 2-D convolution forward.
+    Conv2d(Conv2dGeom),
+    /// 2-D convolution backward (dx and/or dw; see outputs).
+    Conv2dGrad(Conv2dGeom),
+    /// Depthwise 2-D convolution forward (one filter per channel).
+    DepthwiseConv2d(DwConv2dGeom),
+    /// Depthwise convolution backward (dx and dw).
+    DepthwiseConv2dGrad(DwConv2dGeom),
+    /// Max-pool forward; outputs pooled values and argmax indices.
+    MaxPoolFwd(Pool2dGeom),
+    /// Max-pool backward via saved argmax.
+    MaxPoolGrad(Pool2dGeom),
+    /// Average-pool forward.
+    AvgPoolFwd(Pool2dGeom),
+    /// Average-pool backward.
+    AvgPoolGrad(Pool2dGeom),
+    /// Global average pool `[N,C,H,W] -> [N,C]`.
+    GlobalAvgPoolFwd {
+        /// Batch.
+        n: usize,
+        /// Channels.
+        c: usize,
+        /// Spatial positions per channel.
+        hw: usize,
+    },
+    /// Backward of the global average pool.
+    GlobalAvgPoolGrad {
+        /// Batch.
+        n: usize,
+        /// Channels.
+        c: usize,
+        /// Spatial positions per channel.
+        hw: usize,
+    },
+    /// Batch-norm forward (training mode).
+    BatchNormFwd {
+        /// Batch.
+        n: usize,
+        /// Channels.
+        c: usize,
+        /// Spatial positions per channel.
+        hw: usize,
+        /// Running-stat momentum.
+        momentum: f32,
+        /// Numerical-stability epsilon.
+        eps: f32,
+    },
+    /// Batch-norm backward.
+    BatchNormGrad {
+        /// Batch.
+        n: usize,
+        /// Channels.
+        c: usize,
+        /// Spatial positions per channel.
+        hw: usize,
+    },
+    /// Inverted dropout forward; outputs y and the scaled 0/1 mask.
+    DropoutFwd {
+        /// Element count.
+        n: usize,
+        /// Drop probability.
+        p: f32,
+    },
+    /// Dropout backward via saved mask.
+    DropoutGrad {
+        /// Element count.
+        n: usize,
+    },
+    /// `w -= lr * g` in place.
+    SgdStep {
+        /// Element count.
+        n: usize,
+        /// Learning rate.
+        lr: f32,
+    },
+    /// Momentum SGD: `v = mu v + g; w -= lr v`, in place.
+    SgdMomentumStep {
+        /// Element count.
+        n: usize,
+        /// Learning rate.
+        lr: f32,
+        /// Momentum coefficient.
+        mu: f32,
+    },
+    /// Adam: first/second-moment buffers and bias-corrected update, in
+    /// place on `w`, `m`, `v`. The executor supplies the step count.
+    AdamStep {
+        /// Element count.
+        n: usize,
+        /// Learning rate.
+        lr: f32,
+        /// First-moment decay.
+        beta1: f32,
+        /// Second-moment decay.
+        beta2: f32,
+        /// Numerical-stability epsilon.
+        eps: f32,
+    },
+    /// Channel concatenation: k NCHW inputs with channel counts `parts`
+    /// merge into one `[n, Σparts, hw]` output (Inception branches).
+    ConcatChannels {
+        /// Batch.
+        n: usize,
+        /// Spatial positions per channel.
+        hw: usize,
+        /// Channels contributed by each input, in order.
+        parts: Vec<usize>,
+    },
+    /// Data-parallel gradient all-reduce over one fused bucket: averages
+    /// the listed gradient tensors across `world_size` replicas, in place
+    /// (bucket views, as in DDP — no extra device memory). The op's byte
+    /// cost encodes the ring-all-reduce wire time.
+    AllReduce {
+        /// Total elements in the bucket.
+        n: usize,
+        /// Number of replicas.
+        world_size: usize,
+    },
+    /// Inverse of [`OpKind::ConcatChannels`]: splits the gradient back into
+    /// one output per branch.
+    SplitChannels {
+        /// Batch.
+        n: usize,
+        /// Spatial positions per channel.
+        hw: usize,
+        /// Channels of each output, in order.
+        parts: Vec<usize>,
+    },
+}
+
+impl OpKind {
+    /// Whether this op is a pure-metadata alias with no device activity.
+    pub fn is_view(&self) -> bool {
+        matches!(self, OpKind::View)
+    }
+}
+
+/// One recorded operation of the iteration program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpRecord {
+    /// What the op computes.
+    pub kind: OpKind,
+    /// Tensors read.
+    pub inputs: Vec<TensorId>,
+    /// Tensors written. Fresh tensors are defined here; pre-existing ids
+    /// (e.g. a weight updated in place) are read-modify-write targets.
+    pub outputs: Vec<TensorId>,
+    /// Transient kernel workspace (im2col buffers): allocated right before
+    /// launch and freed right after, tagged `MemoryKind::Workspace`.
+    pub workspace_bytes: usize,
+    /// FLOPs for the cost model.
+    pub flops: u64,
+    /// Bytes moved through DRAM (sum of operand sizes) for the cost model.
+    pub bytes: u64,
+    /// Scoped display name, e.g. `"fc1.matmul.fwd"`.
+    pub name: String,
+}
+
+/// The complete recorded graph: tensor table plus op tape.
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    pub(crate) tensors: Vec<TensorMeta>,
+    pub(crate) ops: Vec<OpRecord>,
+    pub(crate) num_storages: usize,
+}
+
+impl Graph {
+    /// Metadata of a tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn tensor(&self, id: TensorId) -> &TensorMeta {
+        &self.tensors[id.0]
+    }
+
+    /// All tensors, indexable by [`TensorId`].
+    pub fn tensors(&self) -> &[TensorMeta] {
+        &self.tensors
+    }
+
+    /// The op tape in execution order.
+    pub fn ops(&self) -> &[OpRecord] {
+        &self.ops
+    }
+
+    /// Number of distinct storages (allocation units).
+    pub fn num_storages(&self) -> usize {
+        self.num_storages
+    }
+
+    /// The size in bytes of each storage (max over tensors sharing it).
+    pub fn storage_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_storages];
+        for t in &self.tensors {
+            let s = t.storage.0;
+            sizes[s] = sizes[s].max(t.size_bytes());
+        }
+        sizes
+    }
+
+    /// For each storage, the kind/name/persistence of its first tensor
+    /// (views inherit the base tensor's tagging).
+    pub fn storage_owners(&self) -> Vec<&TensorMeta> {
+        let mut owner: Vec<Option<&TensorMeta>> = vec![None; self.num_storages];
+        for t in &self.tensors {
+            let slot = &mut owner[t.storage.0];
+            if slot.is_none() {
+                *slot = Some(t);
+            }
+        }
+        owner
+            .into_iter()
+            .map(|o| o.expect("every storage has at least one tensor"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(name: &str, storage: usize, numel: usize) -> TensorMeta {
+        TensorMeta {
+            shape: Shape::new(vec![numel]),
+            kind: MemoryKind::Activation,
+            name: name.to_string(),
+            storage: StorageId(storage),
+            persistent: false,
+            init: None,
+        }
+    }
+
+    #[test]
+    fn storage_sizes_take_max_over_views() {
+        let g = Graph {
+            tensors: vec![meta("a", 0, 16), meta("a_view", 0, 16), meta("b", 1, 4)],
+            ops: vec![],
+            num_storages: 2,
+        };
+        assert_eq!(g.storage_sizes(), vec![64, 16]);
+    }
+
+    #[test]
+    fn storage_owner_is_first_tensor() {
+        let g = Graph {
+            tensors: vec![meta("base", 0, 8), meta("view", 0, 8)],
+            ops: vec![],
+            num_storages: 1,
+        };
+        assert_eq!(g.storage_owners()[0].name, "base");
+    }
+
+    #[test]
+    fn view_is_the_only_zero_cost_kind() {
+        assert!(OpKind::View.is_view());
+        assert!(!OpKind::Relu { n: 4 }.is_view());
+    }
+}

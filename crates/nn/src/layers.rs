@@ -1,0 +1,233 @@
+//! Layer building blocks over the graph builder.
+//!
+//! Layers register their parameters at construction time and emit forward
+//! ops in `forward`. Convolution layers are bias-free (batch-normed
+//! architectures never use conv biases, and for the classical nets the
+//! omitted biases are a negligible ~0.002 % of parameter bytes; see
+//! DESIGN.md).
+
+use crate::builder::GraphBuilder;
+use crate::graph::{InitSpec, TensorId};
+
+fn kaiming_uniform(fan_in: usize) -> InitSpec {
+    InitSpec::Uniform {
+        bound: (6.0 / fan_in as f32).sqrt(),
+    }
+}
+
+/// A fully connected layer `y = x W (+ b)`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    /// Weight tensor, shape `[in_features, out_features]`.
+    pub weight: TensorId,
+    /// Optional bias, shape `[out_features]`.
+    pub bias: Option<TensorId>,
+    name: String,
+}
+
+impl Linear {
+    /// Declares the layer's parameters under `name`.
+    pub fn new(
+        b: &mut GraphBuilder,
+        name: &str,
+        in_features: usize,
+        out_features: usize,
+        bias: bool,
+    ) -> Self {
+        let weight = b.param(
+            &format!("{name}.weight"),
+            [in_features, out_features],
+            kaiming_uniform(in_features),
+        );
+        let bias = bias.then(|| b.param(&format!("{name}.bias"), [out_features], InitSpec::Zeros));
+        Linear {
+            weight,
+            bias,
+            name: name.to_string(),
+        }
+    }
+
+    /// Emits the layer's forward ops.
+    pub fn forward(&self, b: &mut GraphBuilder, x: TensorId) -> TensorId {
+        let mut y = b.matmul(x, self.weight, false, false, &format!("{}.matmul", self.name));
+        if let Some(bias) = self.bias {
+            y = b.add_bias(y, bias, &format!("{}.bias_add", self.name));
+        }
+        y
+    }
+}
+
+/// A 2-D convolution layer (NCHW, square kernels, bias-free).
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    /// Weight tensor, shape `[out_channels, in_channels, k, k]`.
+    pub weight: TensorId,
+    stride: usize,
+    pad: usize,
+    name: String,
+}
+
+impl Conv2d {
+    /// Declares the layer's parameters under `name`.
+    pub fn new(
+        b: &mut GraphBuilder,
+        name: &str,
+        in_channels: usize,
+        out_channels: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Self {
+        let weight = b.param(
+            &format!("{name}.weight"),
+            [out_channels, in_channels, k, k],
+            kaiming_uniform(in_channels * k * k),
+        );
+        Conv2d {
+            weight,
+            stride,
+            pad,
+            name: name.to_string(),
+        }
+    }
+
+    /// Emits the layer's forward op.
+    pub fn forward(&self, b: &mut GraphBuilder, x: TensorId) -> TensorId {
+        b.conv2d(x, self.weight, self.stride, self.pad, &self.name)
+    }
+}
+
+/// A depthwise 2-D convolution layer (one `k×k` filter per channel).
+#[derive(Debug, Clone)]
+pub struct DepthwiseConv2d {
+    /// Weight tensor, shape `[channels, 1, k, k]`.
+    pub weight: TensorId,
+    stride: usize,
+    pad: usize,
+    name: String,
+}
+
+impl DepthwiseConv2d {
+    /// Declares the layer's parameters under `name`.
+    pub fn new(
+        b: &mut GraphBuilder,
+        name: &str,
+        channels: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Self {
+        let weight = b.param(
+            &format!("{name}.weight"),
+            [channels, 1, k, k],
+            kaiming_uniform(k * k),
+        );
+        DepthwiseConv2d {
+            weight,
+            stride,
+            pad,
+            name: name.to_string(),
+        }
+    }
+
+    /// Emits the layer's forward op.
+    pub fn forward(&self, b: &mut GraphBuilder, x: TensorId) -> TensorId {
+        b.depthwise_conv2d(x, self.weight, self.stride, self.pad, &self.name)
+    }
+}
+
+/// Batch normalization over channels of NCHW (or features of NC) input.
+#[derive(Debug, Clone)]
+pub struct BatchNorm2d {
+    /// Per-channel scale.
+    pub gamma: TensorId,
+    /// Per-channel shift.
+    pub beta: TensorId,
+    running_mean: TensorId,
+    running_var: TensorId,
+    momentum: f32,
+    eps: f32,
+    name: String,
+}
+
+impl BatchNorm2d {
+    /// Declares parameters and running statistics for `channels`.
+    pub fn new(b: &mut GraphBuilder, name: &str, channels: usize) -> Self {
+        let gamma = b.param(&format!("{name}.gamma"), [channels], InitSpec::Ones);
+        let beta = b.param(&format!("{name}.beta"), [channels], InitSpec::Zeros);
+        let running_mean = b.state(&format!("{name}.running_mean"), [channels], InitSpec::Zeros);
+        let running_var = b.state(&format!("{name}.running_var"), [channels], InitSpec::Ones);
+        BatchNorm2d {
+            gamma,
+            beta,
+            running_mean,
+            running_var,
+            momentum: 0.1,
+            eps: 1e-5,
+            name: name.to_string(),
+        }
+    }
+
+    /// Emits the layer's forward op (training mode).
+    pub fn forward(&self, b: &mut GraphBuilder, x: TensorId) -> TensorId {
+        b.batchnorm(
+            x,
+            self.gamma,
+            self.beta,
+            self.running_mean,
+            self.running_var,
+            self.momentum,
+            self.eps,
+            &self.name,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinpoint_trace::MemoryKind;
+
+    #[test]
+    fn linear_declares_params_and_chains_ops() {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", [8, 4]);
+        let fc = Linear::new(&mut b, "fc", 4, 6, true);
+        let y = fc.forward(&mut b, x);
+        assert_eq!(b.shape(y).dims(), &[8, 6]);
+        assert_eq!(b.graph().tensor(fc.weight).kind, MemoryKind::Weight);
+        assert_eq!(b.graph().tensor(fc.weight).name, "fc.weight");
+        assert_eq!(b.graph().ops().len(), 2);
+    }
+
+    #[test]
+    fn linear_without_bias_emits_single_op() {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", [8, 4]);
+        let fc = Linear::new(&mut b, "fc", 4, 6, false);
+        let _ = fc.forward(&mut b, x);
+        assert_eq!(b.graph().ops().len(), 1);
+    }
+
+    #[test]
+    fn conv_bn_stack_shapes() {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", [2, 3, 16, 16]);
+        let conv = Conv2d::new(&mut b, "conv1", 3, 8, 3, 2, 1);
+        let bn = BatchNorm2d::new(&mut b, "bn1", 8);
+        let y = conv.forward(&mut b, x);
+        let y = bn.forward(&mut b, y);
+        assert_eq!(b.shape(y).dims(), &[2, 8, 8, 8]);
+    }
+
+    #[test]
+    fn kaiming_bound_shrinks_with_fan_in() {
+        let InitSpec::Uniform { bound: b1 } = kaiming_uniform(10) else {
+            panic!()
+        };
+        let InitSpec::Uniform { bound: b2 } = kaiming_uniform(1000) else {
+            panic!()
+        };
+        assert!(b1 > b2);
+    }
+}

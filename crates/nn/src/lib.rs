@@ -1,0 +1,67 @@
+//! # pinpoint-nn
+//!
+//! A from-scratch, define-by-run DNN training framework built so its memory
+//! behavior can be *pinpointed* — the substrate for the reproduction of
+//! *"Pinpointing the Memory Behaviors of DNN Training"* (ISPASS 2021).
+//!
+//! The pipeline mirrors an eager framework's runtime:
+//!
+//! 1. [`GraphBuilder`] records one training iteration as a tape of ops
+//!    (layers in [`layers`], loss, [`backward`] autograd emission, an
+//!    [`Optimizer`] step);
+//! 2. [`Program::compile`] runs storage [`Liveness`] analysis — when an
+//!    eager framework's refcounts would drop each tensor;
+//! 3. [`exec::Executor`] replays the tape through an instrumented
+//!    [`pinpoint_device::SimDevice`], either **concretely** (real `f32`
+//!    math; the paper's MLP case study) or **symbolically** (allocator,
+//!    clock and trace only; the AlexNet/ResNet sweeps), producing the
+//!    `malloc`/`free`/`read`/`write` traces the paper analyzes.
+//!
+//! # Examples
+//!
+//! Building and symbolically executing the paper's Fig. 1 MLP:
+//!
+//! ```
+//! use pinpoint_nn::{backward, layers::Linear, GraphBuilder, Optimizer, Program};
+//! use pinpoint_nn::exec::{ExecMode, Executor};
+//! use pinpoint_device::{DeviceConfig, SimDevice};
+//!
+//! let mut b = GraphBuilder::new();
+//! let x = b.input("x", [128, 2]);
+//! let y = b.labels("y", 128);
+//! let fc0 = Linear::new(&mut b, "fc0", 2, 12288, true);
+//! let fc1 = Linear::new(&mut b, "fc1", 12288, 2, true);
+//! let h = fc0.forward(&mut b, x);
+//! let h = b.relu(h, "relu");
+//! let logits = fc1.forward(&mut b, h);
+//! let (loss, _) = b.softmax_cross_entropy(logits, y, "loss");
+//! let grads = backward(&mut b, loss);
+//! Optimizer::Sgd { lr: 0.01 }.emit_step(&mut b, &grads);
+//! let program = Program::compile(b.finish(), vec![x, y], loss);
+//!
+//! let device = SimDevice::new(DeviceConfig::titan_x_pascal());
+//! let mut exec = Executor::new(program, device, ExecMode::Symbolic)?;
+//! exec.run_iterations(5)?;
+//! exec.device().trace().validate().expect("well-formed trace");
+//! # Ok::<(), pinpoint_device::alloc::AllocError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod autograd;
+mod builder;
+pub mod checkpoint;
+pub mod exec;
+mod graph;
+pub mod layers;
+mod liveness;
+mod optim;
+mod program;
+
+pub use autograd::backward;
+pub use builder::GraphBuilder;
+pub use graph::{Graph, InitSpec, OpKind, OpRecord, StorageId, TensorId, TensorMeta};
+pub use liveness::Liveness;
+pub use optim::Optimizer;
+pub use program::{Program, ProgramSummary};

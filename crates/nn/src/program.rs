@@ -1,0 +1,211 @@
+//! The compiled iteration program: graph + liveness + interface tensors.
+
+use crate::graph::{Graph, TensorId};
+use crate::liveness::Liveness;
+use pinpoint_trace::MemoryKind;
+use serde::{Deserialize, Serialize};
+
+/// A compiled training iteration, ready to be replayed by an executor.
+///
+/// Holds the op tape (forward + backward + optimizer), the per-iteration
+/// interface (staged inputs, fetched loss), the trainable parameters, and
+/// the storage liveness the executor uses to place frees.
+#[derive(Debug, Clone)]
+pub struct Program {
+    graph: Graph,
+    inputs: Vec<TensorId>,
+    loss: TensorId,
+    params: Vec<TensorId>,
+    liveness: Liveness,
+}
+
+impl Program {
+    /// Compiles a finished graph into a program.
+    ///
+    /// `inputs` are the tensors staged host→device every iteration (data and
+    /// labels, in staging order); `loss` is the scalar fetched back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty or any input tensor is not of
+    /// `MemoryKind::Input`.
+    pub fn compile(graph: Graph, inputs: Vec<TensorId>, loss: TensorId) -> Program {
+        assert!(!inputs.is_empty(), "a program needs staged inputs");
+        for &t in &inputs {
+            assert_eq!(
+                graph.tensor(t).kind,
+                MemoryKind::Input,
+                "staged tensor {} must be MemoryKind::Input",
+                graph.tensor(t).name
+            );
+        }
+        let params: Vec<TensorId> = (0..graph.tensors().len())
+            .map(TensorId)
+            .filter(|&t| graph.tensor(t).kind == MemoryKind::Weight)
+            .collect();
+        let liveness = Liveness::analyze(&graph, &inputs, loss);
+        Program {
+            graph,
+            inputs,
+            loss,
+            params,
+            liveness,
+        }
+    }
+
+    /// The op tape and tensor table.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Tensors staged host→device each iteration.
+    pub fn inputs(&self) -> &[TensorId] {
+        &self.inputs
+    }
+
+    /// The scalar loss fetched device→host each iteration.
+    pub fn loss(&self) -> TensorId {
+        self.loss
+    }
+
+    /// Trainable parameters, in declaration order.
+    pub fn params(&self) -> &[TensorId] {
+        &self.params
+    }
+
+    /// Storage liveness facts.
+    pub fn liveness(&self) -> &Liveness {
+        &self.liveness
+    }
+
+    /// Static byte accounting of the program (pre-execution estimate of the
+    /// paper's Figs. 5–7 breakdown).
+    pub fn summary(&self) -> ProgramSummary {
+        let mut s = ProgramSummary {
+            num_ops: self.graph.ops().len(),
+            num_tensors: self.graph.tensors().len(),
+            num_storages: self.graph.num_storages(),
+            ..ProgramSummary::default()
+        };
+        let sizes = self.graph.storage_sizes();
+        for (owner, size) in self.graph.storage_owners().iter().zip(&sizes) {
+            let bytes = *size as u64;
+            match owner.kind {
+                MemoryKind::Input => s.input_bytes += bytes,
+                MemoryKind::Weight => s.weight_bytes += bytes,
+                MemoryKind::WeightGrad => s.weight_grad_bytes += bytes,
+                MemoryKind::OptimizerState => s.optimizer_state_bytes += bytes,
+                MemoryKind::Activation => s.activation_bytes += bytes,
+                MemoryKind::ActivationGrad => s.activation_grad_bytes += bytes,
+                MemoryKind::Workspace | MemoryKind::Other => s.workspace_bytes += bytes,
+            }
+        }
+        for op in self.graph.ops() {
+            s.total_flops += op.flops;
+            s.workspace_bytes += op.workspace_bytes as u64;
+        }
+        s
+    }
+}
+
+/// Static per-kind byte totals and op counts of a program.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProgramSummary {
+    /// Number of ops in the tape.
+    pub num_ops: usize,
+    /// Number of logical tensors.
+    pub num_tensors: usize,
+    /// Number of allocation units.
+    pub num_storages: usize,
+    /// Bytes of staged input data.
+    pub input_bytes: u64,
+    /// Bytes of trainable weights.
+    pub weight_bytes: u64,
+    /// Bytes of weight gradients.
+    pub weight_grad_bytes: u64,
+    /// Bytes of optimizer state and running statistics.
+    pub optimizer_state_bytes: u64,
+    /// Bytes of forward activations.
+    pub activation_bytes: u64,
+    /// Bytes of activation gradients.
+    pub activation_grad_bytes: u64,
+    /// Bytes of transient kernel workspaces (summed over ops).
+    pub workspace_bytes: u64,
+    /// Total FLOPs per iteration.
+    pub total_flops: u64,
+}
+
+impl ProgramSummary {
+    /// Sum over all kinds: the total bytes the program would touch if every
+    /// storage were live at once (an upper bound on the footprint).
+    pub fn total_bytes(&self) -> u64 {
+        self.input_bytes
+            + self.weight_bytes
+            + self.weight_grad_bytes
+            + self.optimizer_state_bytes
+            + self.activation_bytes
+            + self.activation_grad_bytes
+            + self.workspace_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autograd::backward;
+    use crate::builder::GraphBuilder;
+    use crate::graph::InitSpec;
+
+    fn tiny_program() -> Program {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", [4, 2]);
+        let y = b.labels("y", 4);
+        let w = b.param("w", [2, 2], InitSpec::Ones);
+        let h = b.matmul(x, w, false, false, "mm");
+        let (loss, _) = b.softmax_cross_entropy(h, y, "loss");
+        let grads = backward(&mut b, loss);
+        for (p, g) in &grads {
+            b.sgd_step(*p, *g, 0.1, "sgd");
+        }
+        Program::compile(b.finish(), vec![x, y], loss)
+    }
+
+    #[test]
+    fn compile_collects_params_and_liveness() {
+        let p = tiny_program();
+        assert_eq!(p.params().len(), 1);
+        assert_eq!(p.inputs().len(), 2);
+        assert!(p.liveness().persistent[p.graph().tensor(p.params()[0]).storage.0]);
+    }
+
+    #[test]
+    fn summary_accounts_every_kind() {
+        let p = tiny_program();
+        let s = p.summary();
+        assert_eq!(s.weight_bytes, 2 * 2 * 4);
+        assert_eq!(s.weight_grad_bytes, 2 * 2 * 4);
+        assert_eq!(s.input_bytes, (4 * 2 + 4) * 4);
+        assert!(s.activation_bytes > 0);
+        assert!(s.total_flops > 0);
+        assert_eq!(
+            s.total_bytes(),
+            s.input_bytes
+                + s.weight_bytes
+                + s.weight_grad_bytes
+                + s.activation_bytes
+                + s.activation_grad_bytes
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "MemoryKind::Input")]
+    fn compile_rejects_non_input_staging() {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", [4, 2]);
+        let y = b.labels("y", 4);
+        let w = b.param("w", [2, 2], InitSpec::Ones);
+        let h = b.matmul(x, w, false, false, "mm");
+        let (loss, _) = b.softmax_cross_entropy(h, y, "loss");
+        Program::compile(b.finish(), vec![w], loss);
+    }
+}

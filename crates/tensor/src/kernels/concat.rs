@@ -1,0 +1,111 @@
+//! Channel-dimension concatenation and its inverse split (NCHW layout).
+//!
+//! These back the Inception-family's multi-branch merges: each branch's
+//! `[N, Ci, H, W]` output is copied into a channel slice of the
+//! `[N, ΣCi, H, W]` result, and the backward pass splits the gradient back
+//! per branch.
+
+/// Concatenates `inputs[i]` of shape `[n, parts[i], hw]` along the channel
+/// dimension into `out` of shape `[n, sum(parts), hw]`.
+///
+/// # Panics
+///
+/// Panics on inconsistent slice lengths or `inputs.len() != parts.len()`.
+pub fn concat_channels(inputs: &[&[f32]], out: &mut [f32], n: usize, parts: &[usize], hw: usize) {
+    assert_eq!(inputs.len(), parts.len(), "one part size per input");
+    let total: usize = parts.iter().sum();
+    assert_eq!(out.len(), n * total * hw);
+    for (input, &c) in inputs.iter().zip(parts) {
+        assert_eq!(input.len(), n * c * hw, "input length mismatch");
+    }
+    for b in 0..n {
+        let mut ch_off = 0usize;
+        for (input, &c) in inputs.iter().zip(parts) {
+            let src = &input[b * c * hw..(b + 1) * c * hw];
+            let dst_start = (b * total + ch_off) * hw;
+            out[dst_start..dst_start + c * hw].copy_from_slice(src);
+            ch_off += c;
+        }
+    }
+}
+
+/// Splits `input` of shape `[n, sum(parts), hw]` along the channel
+/// dimension into `outputs[i]` of shape `[n, parts[i], hw]` — the exact
+/// inverse of [`concat_channels`].
+///
+/// # Panics
+///
+/// Panics on inconsistent slice lengths.
+pub fn split_channels(
+    input: &[f32],
+    outputs: &mut [&mut [f32]],
+    n: usize,
+    parts: &[usize],
+    hw: usize,
+) {
+    assert_eq!(outputs.len(), parts.len(), "one part size per output");
+    let total: usize = parts.iter().sum();
+    assert_eq!(input.len(), n * total * hw);
+    for (output, &c) in outputs.iter().zip(parts) {
+        assert_eq!(output.len(), n * c * hw, "output length mismatch");
+    }
+    for b in 0..n {
+        let mut ch_off = 0usize;
+        for (output, &c) in outputs.iter_mut().zip(parts) {
+            let src_start = (b * total + ch_off) * hw;
+            output[b * c * hw..(b + 1) * c * hw]
+                .copy_from_slice(&input[src_start..src_start + c * hw]);
+            ch_off += c;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_orders_channels_per_example() {
+        // n=2, parts=[1,2], hw=2
+        let a = [1.0, 2.0, 10.0, 20.0]; // [2,1,2]
+        let b = [3.0, 4.0, 5.0, 6.0, 30.0, 40.0, 50.0, 60.0]; // [2,2,2]
+        let mut out = [0.0; 12];
+        concat_channels(&[&a, &b], &mut out, 2, &[1, 2], 2);
+        assert_eq!(
+            out,
+            [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0]
+        );
+    }
+
+    #[test]
+    fn split_inverts_concat() {
+        let a: Vec<f32> = (0..12).map(|i| i as f32).collect(); // [2,3,2]
+        let b: Vec<f32> = (100..108).map(|i| i as f32).collect(); // [2,2,2]
+        let mut out = vec![0.0; 20];
+        concat_channels(&[&a, &b], &mut out, 2, &[3, 2], 2);
+        let mut ra = vec![0.0; 12];
+        let mut rb = vec![0.0; 8];
+        {
+            let mut outs: Vec<&mut [f32]> = vec![&mut ra, &mut rb];
+            split_channels(&out, &mut outs, 2, &[3, 2], 2);
+        }
+        assert_eq!(ra, a);
+        assert_eq!(rb, b);
+    }
+
+    #[test]
+    fn single_input_concat_is_copy() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let mut out = [0.0; 4];
+        concat_channels(&[&a], &mut out, 1, &[2], 2);
+        assert_eq!(out, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "input length mismatch")]
+    fn rejects_bad_lengths() {
+        let a = [1.0; 3];
+        let mut out = [0.0; 4];
+        concat_channels(&[&a], &mut out, 1, &[2], 2);
+    }
+}

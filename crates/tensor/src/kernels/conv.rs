@@ -1,0 +1,452 @@
+//! 2-D convolution kernels (NCHW layout) via im2col.
+//!
+//! These serve the concrete executor for small test shapes; the big-model
+//! sweeps run symbolically and only use the FLOP/byte accounting.
+
+use super::matmul::{matmul, Transpose};
+
+/// Geometry of a 2-D convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dGeom {
+    /// Batch size.
+    pub n: usize,
+    /// Input channels.
+    pub c: usize,
+    /// Input height.
+    pub h: usize,
+    /// Input width.
+    pub w: usize,
+    /// Output channels (number of filters).
+    pub f: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride (same in both spatial dims).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub pad: usize,
+}
+
+impl Conv2dGeom {
+    /// Output height.
+    pub fn oh(&self) -> usize {
+        (self.h + 2 * self.pad - self.kh) / self.stride + 1
+    }
+
+    /// Output width.
+    pub fn ow(&self) -> usize {
+        (self.w + 2 * self.pad - self.kw) / self.stride + 1
+    }
+
+    /// Validates that the geometry produces at least one output position and
+    /// that the kernel fits in the padded input.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate geometry (zero stride, kernel larger than the
+    /// padded input).
+    pub fn validate(&self) {
+        assert!(self.stride > 0, "stride must be positive");
+        assert!(
+            self.h + 2 * self.pad >= self.kh && self.w + 2 * self.pad >= self.kw,
+            "kernel {}x{} does not fit padded input {}x{}",
+            self.kh,
+            self.kw,
+            self.h + 2 * self.pad,
+            self.w + 2 * self.pad
+        );
+    }
+
+    /// Number of elements in one im2col column matrix (`C*KH*KW × OH*OW`).
+    pub fn col_numel(&self) -> usize {
+        self.c * self.kh * self.kw * self.oh() * self.ow()
+    }
+
+    /// FLOPs for the whole forward conv (multiply-add = 2).
+    pub fn flops(&self) -> u64 {
+        2 * self.n as u64
+            * self.f as u64
+            * self.c as u64
+            * self.kh as u64
+            * self.kw as u64
+            * self.oh() as u64
+            * self.ow() as u64
+    }
+}
+
+/// Expands one image `[C, H, W]` into an im2col matrix
+/// `[C*KH*KW, OH*OW]` (row-major), zero-padding out-of-range taps.
+pub fn im2col(img: &[f32], g: &Conv2dGeom, col: &mut [f32]) {
+    let (oh, ow) = (g.oh(), g.ow());
+    assert_eq!(img.len(), g.c * g.h * g.w);
+    assert_eq!(col.len(), g.c * g.kh * g.kw * oh * ow);
+    for c in 0..g.c {
+        for ky in 0..g.kh {
+            for kx in 0..g.kw {
+                let row = (c * g.kh + ky) * g.kw + kx;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                        let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                        let v = if iy >= 0 && ix >= 0 && (iy as usize) < g.h && (ix as usize) < g.w
+                        {
+                            img[(c * g.h + iy as usize) * g.w + ix as usize]
+                        } else {
+                            0.0
+                        };
+                        col[row * (oh * ow) + oy * ow + ox] = v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Scatter-adds an im2col matrix back into an image (transpose of
+/// [`im2col`]); used by the input-gradient path.
+pub fn col2im(col: &[f32], g: &Conv2dGeom, img: &mut [f32]) {
+    let (oh, ow) = (g.oh(), g.ow());
+    assert_eq!(img.len(), g.c * g.h * g.w);
+    assert_eq!(col.len(), g.c * g.kh * g.kw * oh * ow);
+    img.fill(0.0);
+    for c in 0..g.c {
+        for ky in 0..g.kh {
+            for kx in 0..g.kw {
+                let row = (c * g.kh + ky) * g.kw + kx;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                        let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                        if iy >= 0 && ix >= 0 && (iy as usize) < g.h && (ix as usize) < g.w {
+                            img[(c * g.h + iy as usize) * g.w + ix as usize] +=
+                                col[row * (oh * ow) + oy * ow + ox];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Forward 2-D convolution: `x [N,C,H,W] * w [F,C,KH,KW] -> out [N,F,OH,OW]`.
+///
+/// `workspace` must hold one im2col matrix (`g.col_numel()` elements); it is
+/// the concrete analogue of cuDNN's workspace allocation and is what the
+/// simulator tags as `MemoryKind::Workspace`.
+///
+/// # Panics
+///
+/// Panics on inconsistent slice lengths or degenerate geometry.
+pub fn conv2d_forward(
+    x: &[f32],
+    weight: &[f32],
+    out: &mut [f32],
+    workspace: &mut [f32],
+    g: &Conv2dGeom,
+) {
+    g.validate();
+    let (oh, ow) = (g.oh(), g.ow());
+    let k = g.c * g.kh * g.kw;
+    assert_eq!(x.len(), g.n * g.c * g.h * g.w);
+    assert_eq!(weight.len(), g.f * k);
+    assert_eq!(out.len(), g.n * g.f * oh * ow);
+    assert_eq!(workspace.len(), g.col_numel());
+    for n in 0..g.n {
+        let img = &x[n * g.c * g.h * g.w..(n + 1) * g.c * g.h * g.w];
+        im2col(img, g, workspace);
+        let out_n = &mut out[n * g.f * oh * ow..(n + 1) * g.f * oh * ow];
+        matmul(
+            weight,
+            Transpose::No,
+            workspace,
+            Transpose::No,
+            out_n,
+            g.f,
+            k,
+            oh * ow,
+        );
+    }
+}
+
+/// Backward 2-D convolution producing both the input gradient `dx` and the
+/// weight gradient `dw` from the output gradient `dy`.
+///
+/// `workspace` must hold one im2col matrix.
+///
+/// # Panics
+///
+/// Panics on inconsistent slice lengths.
+pub fn conv2d_backward(
+    x: &[f32],
+    weight: &[f32],
+    dy: &[f32],
+    dx: &mut [f32],
+    dw: &mut [f32],
+    workspace: &mut [f32],
+    g: &Conv2dGeom,
+) {
+    g.validate();
+    let (oh, ow) = (g.oh(), g.ow());
+    let k = g.c * g.kh * g.kw;
+    assert_eq!(x.len(), g.n * g.c * g.h * g.w);
+    assert_eq!(dx.len(), x.len());
+    assert_eq!(weight.len(), g.f * k);
+    assert_eq!(dw.len(), weight.len());
+    assert_eq!(dy.len(), g.n * g.f * oh * ow);
+    assert_eq!(workspace.len(), g.col_numel());
+    dw.fill(0.0);
+    let mut dw_n = vec![0.0f32; g.f * k];
+    let mut dcol = vec![0.0f32; k * oh * ow];
+    for n in 0..g.n {
+        let img = &x[n * g.c * g.h * g.w..(n + 1) * g.c * g.h * g.w];
+        let dy_n = &dy[n * g.f * oh * ow..(n + 1) * g.f * oh * ow];
+        // dW += dY_n [F, OHW] @ col_n^T [OHW, K]
+        im2col(img, g, workspace);
+        matmul(
+            dy_n,
+            Transpose::No,
+            workspace,
+            Transpose::Yes,
+            &mut dw_n,
+            g.f,
+            oh * ow,
+            k,
+        );
+        for i in 0..dw.len() {
+            dw[i] += dw_n[i];
+        }
+        // dcol = W^T [K, F] @ dY_n [F, OHW]
+        matmul(
+            weight,
+            Transpose::Yes,
+            dy_n,
+            Transpose::No,
+            &mut dcol,
+            k,
+            g.f,
+            oh * ow,
+        );
+        let dx_n = &mut dx[n * g.c * g.h * g.w..(n + 1) * g.c * g.h * g.w];
+        col2im(&dcol, g, dx_n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_conv(x: &[f32], w: &[f32], g: &Conv2dGeom) -> Vec<f32> {
+        let (oh, ow) = (g.oh(), g.ow());
+        let mut out = vec![0.0; g.n * g.f * oh * ow];
+        for n in 0..g.n {
+            for f in 0..g.f {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0;
+                        for c in 0..g.c {
+                            for ky in 0..g.kh {
+                                for kx in 0..g.kw {
+                                    let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                                    let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                                    if iy >= 0
+                                        && ix >= 0
+                                        && (iy as usize) < g.h
+                                        && (ix as usize) < g.w
+                                    {
+                                        let xi = ((n * g.c + c) * g.h + iy as usize) * g.w
+                                            + ix as usize;
+                                        let wi = ((f * g.c + c) * g.kh + ky) * g.kw + kx;
+                                        acc += x[xi] * w[wi];
+                                    }
+                                }
+                            }
+                        }
+                        out[((n * g.f + f) * oh + oy) * ow + ox] = acc;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn fill_pattern(v: &mut [f32]) {
+        for (i, x) in v.iter_mut().enumerate() {
+            *x = ((i as f32) * 0.37).sin();
+        }
+    }
+
+    #[test]
+    fn forward_matches_naive_convolution() {
+        let g = Conv2dGeom {
+            n: 2,
+            c: 3,
+            h: 5,
+            w: 5,
+            f: 4,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let mut x = vec![0.0; g.n * g.c * g.h * g.w];
+        let mut w = vec![0.0; g.f * g.c * g.kh * g.kw];
+        fill_pattern(&mut x);
+        fill_pattern(&mut w);
+        let mut out = vec![0.0; g.n * g.f * g.oh() * g.ow()];
+        let mut ws = vec![0.0; g.col_numel()];
+        conv2d_forward(&x, &w, &mut out, &mut ws, &g);
+        let naive = naive_conv(&x, &w, &g);
+        for (a, b) in out.iter().zip(&naive) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn strided_forward_matches_naive() {
+        let g = Conv2dGeom {
+            n: 1,
+            c: 2,
+            h: 7,
+            w: 7,
+            f: 3,
+            kh: 3,
+            kw: 3,
+            stride: 2,
+            pad: 1,
+        };
+        assert_eq!(g.oh(), 4);
+        let mut x = vec![0.0; g.n * g.c * g.h * g.w];
+        let mut w = vec![0.0; g.f * g.c * g.kh * g.kw];
+        fill_pattern(&mut x);
+        fill_pattern(&mut w);
+        let mut out = vec![0.0; g.n * g.f * g.oh() * g.ow()];
+        let mut ws = vec![0.0; g.col_numel()];
+        conv2d_forward(&x, &w, &mut out, &mut ws, &g);
+        let naive = naive_conv(&x, &w, &g);
+        for (a, b) in out.iter().zip(&naive) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y.
+        let g = Conv2dGeom {
+            n: 1,
+            c: 2,
+            h: 4,
+            w: 4,
+            f: 1,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let mut x = vec![0.0; g.c * g.h * g.w];
+        fill_pattern(&mut x);
+        let mut col = vec![0.0; g.col_numel()];
+        im2col(&x, &g, &mut col);
+        let mut y = vec![0.0; g.col_numel()];
+        fill_pattern(&mut y);
+        for v in y.iter_mut() {
+            *v = (*v * 3.0).cos();
+        }
+        let lhs: f32 = col.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let mut back = vec![0.0; g.c * g.h * g.w];
+        col2im(&y, &g, &mut back);
+        let rhs: f32 = x.iter().zip(&back).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn backward_matches_numerical_gradient() {
+        let g = Conv2dGeom {
+            n: 1,
+            c: 2,
+            h: 4,
+            w: 4,
+            f: 2,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let mut x = vec![0.0; g.n * g.c * g.h * g.w];
+        let mut w = vec![0.0; g.f * g.c * g.kh * g.kw];
+        fill_pattern(&mut x);
+        fill_pattern(&mut w);
+        let out_len = g.n * g.f * g.oh() * g.ow();
+        // loss = sum(conv(x, w)) so dy = ones
+        let dy = vec![1.0f32; out_len];
+        let mut dx = vec![0.0; x.len()];
+        let mut dw = vec![0.0; w.len()];
+        let mut ws = vec![0.0; g.col_numel()];
+        conv2d_backward(&x, &w, &dy, &mut dx, &mut dw, &mut ws, &g);
+
+        let loss = |x: &[f32], w: &[f32]| -> f32 {
+            let mut out = vec![0.0; out_len];
+            let mut ws = vec![0.0; g.col_numel()];
+            conv2d_forward(x, w, &mut out, &mut ws, &g);
+            out.iter().sum()
+        };
+        let eps = 1e-2f32;
+        for i in (0..x.len()).step_by(7) {
+            let mut xp = x.clone();
+            xp[i] += eps;
+            let mut xm = x.clone();
+            xm[i] -= eps;
+            let numeric = (loss(&xp, &w) - loss(&xm, &w)) / (2.0 * eps);
+            assert!(
+                (numeric - dx[i]).abs() < 2e-2,
+                "dx[{i}]: numeric {numeric} vs analytic {}",
+                dx[i]
+            );
+        }
+        for i in (0..w.len()).step_by(5) {
+            let mut wp = w.clone();
+            wp[i] += eps;
+            let mut wm = w.clone();
+            wm[i] -= eps;
+            let numeric = (loss(&x, &wp) - loss(&x, &wm)) / (2.0 * eps);
+            assert!(
+                (numeric - dw[i]).abs() < 2e-2,
+                "dw[{i}]: numeric {numeric} vs analytic {}",
+                dw[i]
+            );
+        }
+    }
+
+    #[test]
+    fn flops_formula() {
+        let g = Conv2dGeom {
+            n: 2,
+            c: 3,
+            h: 8,
+            w: 8,
+            f: 16,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            pad: 1,
+        };
+        assert_eq!(g.flops(), 2 * 2 * 16 * 3 * 3 * 3 * 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn rejects_oversized_kernel() {
+        Conv2dGeom {
+            n: 1,
+            c: 1,
+            h: 2,
+            w: 2,
+            f: 1,
+            kh: 5,
+            kw: 5,
+            stride: 1,
+            pad: 0,
+        }
+        .validate();
+    }
+}

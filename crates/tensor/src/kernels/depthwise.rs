@@ -1,0 +1,273 @@
+//! Depthwise 2-D convolution kernels (NCHW): each channel is convolved
+//! with its own single filter — the building block of the
+//! depthwise-separable family (MobileNet).
+
+/// Geometry of a depthwise convolution (one filter per channel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DwConv2dGeom {
+    /// Batch size.
+    pub n: usize,
+    /// Channels (= filter count).
+    pub c: usize,
+    /// Input height.
+    pub h: usize,
+    /// Input width.
+    pub w: usize,
+    /// Square kernel extent.
+    pub k: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Zero padding.
+    pub pad: usize,
+}
+
+impl DwConv2dGeom {
+    /// Output height.
+    pub fn oh(&self) -> usize {
+        (self.h + 2 * self.pad - self.k) / self.stride + 1
+    }
+
+    /// Output width.
+    pub fn ow(&self) -> usize {
+        (self.w + 2 * self.pad - self.k) / self.stride + 1
+    }
+
+    /// FLOPs of the forward pass (multiply-add = 2): one k×k filter per
+    /// channel — a factor `f` cheaper than dense convolution.
+    pub fn flops(&self) -> u64 {
+        2 * (self.n * self.c * self.k * self.k * self.oh() * self.ow()) as u64
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero stride or a kernel larger than the padded input.
+    pub fn validate(&self) {
+        assert!(self.stride > 0, "stride must be positive");
+        assert!(
+            self.h + 2 * self.pad >= self.k && self.w + 2 * self.pad >= self.k,
+            "kernel {k} does not fit padded input {h}x{w}+{p}",
+            k = self.k,
+            h = self.h,
+            w = self.w,
+            p = self.pad
+        );
+    }
+}
+
+/// Depthwise forward: `x [N,C,H,W] * w [C,1,K,K] -> out [N,C,OH,OW]`.
+///
+/// # Panics
+///
+/// Panics on inconsistent slice lengths or degenerate geometry.
+pub fn depthwise_forward(x: &[f32], weight: &[f32], out: &mut [f32], g: &DwConv2dGeom) {
+    g.validate();
+    let (oh, ow) = (g.oh(), g.ow());
+    assert_eq!(x.len(), g.n * g.c * g.h * g.w);
+    assert_eq!(weight.len(), g.c * g.k * g.k);
+    assert_eq!(out.len(), g.n * g.c * oh * ow);
+    for n in 0..g.n {
+        for c in 0..g.c {
+            let plane = &x[(n * g.c + c) * g.h * g.w..(n * g.c + c + 1) * g.h * g.w];
+            let filt = &weight[c * g.k * g.k..(c + 1) * g.k * g.k];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0f32;
+                    for ky in 0..g.k {
+                        for kx in 0..g.k {
+                            let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                            let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                            if iy >= 0 && ix >= 0 && (iy as usize) < g.h && (ix as usize) < g.w {
+                                acc += plane[iy as usize * g.w + ix as usize]
+                                    * filt[ky * g.k + kx];
+                            }
+                        }
+                    }
+                    out[((n * g.c + c) * oh + oy) * ow + ox] = acc;
+                }
+            }
+        }
+    }
+}
+
+/// Depthwise backward: produces `dx` and `dw` from `dy`.
+///
+/// # Panics
+///
+/// Panics on inconsistent slice lengths.
+pub fn depthwise_backward(
+    x: &[f32],
+    weight: &[f32],
+    dy: &[f32],
+    dx: &mut [f32],
+    dw: &mut [f32],
+    g: &DwConv2dGeom,
+) {
+    g.validate();
+    let (oh, ow) = (g.oh(), g.ow());
+    assert_eq!(x.len(), g.n * g.c * g.h * g.w);
+    assert_eq!(dx.len(), x.len());
+    assert_eq!(weight.len(), g.c * g.k * g.k);
+    assert_eq!(dw.len(), weight.len());
+    assert_eq!(dy.len(), g.n * g.c * oh * ow);
+    dx.fill(0.0);
+    dw.fill(0.0);
+    for n in 0..g.n {
+        for c in 0..g.c {
+            let plane = &x[(n * g.c + c) * g.h * g.w..(n * g.c + c + 1) * g.h * g.w];
+            let filt = &weight[c * g.k * g.k..(c + 1) * g.k * g.k];
+            let dplane = (n * g.c + c) * g.h * g.w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let go = dy[((n * g.c + c) * oh + oy) * ow + ox];
+                    if go == 0.0 {
+                        continue;
+                    }
+                    for ky in 0..g.k {
+                        for kx in 0..g.k {
+                            let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                            let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                            if iy >= 0 && ix >= 0 && (iy as usize) < g.h && (ix as usize) < g.w {
+                                let pi = iy as usize * g.w + ix as usize;
+                                dx[dplane + pi] += go * filt[ky * g.k + kx];
+                                dw[c * g.k * g.k + ky * g.k + kx] += go * plane[pi];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::conv::{conv2d_forward, Conv2dGeom};
+
+    fn fill(v: &mut [f32], seed: f32) {
+        for (i, x) in v.iter_mut().enumerate() {
+            *x = ((i as f32 + seed) * 0.37).sin();
+        }
+    }
+
+    #[test]
+    fn matches_dense_conv_with_diagonal_filters() {
+        // a depthwise conv equals a dense conv whose cross-channel taps are
+        // zero: w_dense[f, c] = w_dw[f] if f == c else 0
+        let g = DwConv2dGeom {
+            n: 2,
+            c: 3,
+            h: 5,
+            w: 5,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let mut x = vec![0.0; g.n * g.c * g.h * g.w];
+        let mut w = vec![0.0; g.c * g.k * g.k];
+        fill(&mut x, 1.0);
+        fill(&mut w, 2.0);
+        let mut out = vec![0.0; g.n * g.c * g.oh() * g.ow()];
+        depthwise_forward(&x, &w, &mut out, &g);
+
+        let dense_g = Conv2dGeom {
+            n: g.n,
+            c: g.c,
+            h: g.h,
+            w: g.w,
+            f: g.c,
+            kh: g.k,
+            kw: g.k,
+            stride: g.stride,
+            pad: g.pad,
+        };
+        let mut w_dense = vec![0.0; g.c * g.c * g.k * g.k];
+        for c in 0..g.c {
+            for t in 0..g.k * g.k {
+                w_dense[(c * g.c + c) * g.k * g.k + t] = w[c * g.k * g.k + t];
+            }
+        }
+        let mut dense_out = vec![0.0; out.len()];
+        let mut ws = vec![0.0; dense_g.col_numel()];
+        conv2d_forward(&x, &w_dense, &mut dense_out, &mut ws, &dense_g);
+        for (a, b) in out.iter().zip(&dense_out) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn backward_matches_numerical_gradient() {
+        let g = DwConv2dGeom {
+            n: 1,
+            c: 2,
+            h: 4,
+            w: 4,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let mut x = vec![0.0; g.n * g.c * g.h * g.w];
+        let mut w = vec![0.0; g.c * g.k * g.k];
+        fill(&mut x, 0.0);
+        fill(&mut w, 5.0);
+        let out_len = g.n * g.c * g.oh() * g.ow();
+        let dy = vec![1.0f32; out_len]; // loss = sum(out)
+        let mut dx = vec![0.0; x.len()];
+        let mut dw = vec![0.0; w.len()];
+        depthwise_backward(&x, &w, &dy, &mut dx, &mut dw, &g);
+        let loss = |x: &[f32], w: &[f32]| -> f32 {
+            let mut out = vec![0.0; out_len];
+            depthwise_forward(x, w, &mut out, &g);
+            out.iter().sum()
+        };
+        let eps = 1e-2f32;
+        for i in (0..x.len()).step_by(5) {
+            let mut xp = x.clone();
+            xp[i] += eps;
+            let mut xm = x.clone();
+            xm[i] -= eps;
+            let numeric = (loss(&xp, &w) - loss(&xm, &w)) / (2.0 * eps);
+            assert!((numeric - dx[i]).abs() < 2e-2, "dx[{i}]");
+        }
+        for i in 0..w.len() {
+            let mut wp = w.clone();
+            wp[i] += eps;
+            let mut wm = w.clone();
+            wm[i] -= eps;
+            let numeric = (loss(&x, &wp) - loss(&x, &wm)) / (2.0 * eps);
+            assert!((numeric - dw[i]).abs() < 2e-2, "dw[{i}]");
+        }
+    }
+
+    #[test]
+    fn strided_shapes() {
+        let g = DwConv2dGeom {
+            n: 1,
+            c: 4,
+            h: 8,
+            w: 8,
+            k: 3,
+            stride: 2,
+            pad: 1,
+        };
+        assert_eq!((g.oh(), g.ow()), (4, 4));
+        assert_eq!(g.flops(), 2 * (4 * 9 * 16) as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn rejects_oversized_kernel() {
+        DwConv2dGeom {
+            n: 1,
+            c: 1,
+            h: 2,
+            w: 2,
+            k: 5,
+            stride: 1,
+            pad: 0,
+        }
+        .validate();
+    }
+}

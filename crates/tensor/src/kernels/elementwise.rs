@@ -1,0 +1,214 @@
+//! Pointwise kernels: activations, arithmetic, bias broadcast, SGD updates.
+
+/// Rectified linear unit: `out[i] = max(0, x[i])`.
+///
+/// # Panics
+///
+/// Panics if `out.len() != x.len()`.
+pub fn relu(x: &[f32], out: &mut [f32]) {
+    assert_eq!(x.len(), out.len());
+    for (o, &v) in out.iter_mut().zip(x) {
+        *o = v.max(0.0);
+    }
+}
+
+/// Backward of ReLU: `dx[i] = dy[i] * (x[i] > 0)`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn relu_backward(x: &[f32], dy: &[f32], dx: &mut [f32]) {
+    assert_eq!(x.len(), dy.len());
+    assert_eq!(x.len(), dx.len());
+    for i in 0..x.len() {
+        dx[i] = if x[i] > 0.0 { dy[i] } else { 0.0 };
+    }
+}
+
+/// Elementwise addition `out = a + b`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn add(a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), out.len());
+    for i in 0..a.len() {
+        out[i] = a[i] + b[i];
+    }
+}
+
+/// Elementwise multiplication `out = a * b`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn mul(a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), out.len());
+    for i in 0..a.len() {
+        out[i] = a[i] * b[i];
+    }
+}
+
+/// Scales by a constant: `out = x * alpha`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn scale(x: &[f32], alpha: f32, out: &mut [f32]) {
+    assert_eq!(x.len(), out.len());
+    for i in 0..x.len() {
+        out[i] = x[i] * alpha;
+    }
+}
+
+/// Adds a bias vector over the last dimension: for a `rows × cols` input,
+/// `out[r, c] = x[r, c] + bias[c]`.
+///
+/// # Panics
+///
+/// Panics if `bias.len() != cols` or `x.len() != rows * cols`.
+pub fn add_bias(x: &[f32], bias: &[f32], out: &mut [f32], rows: usize, cols: usize) {
+    assert_eq!(x.len(), rows * cols);
+    assert_eq!(out.len(), rows * cols);
+    assert_eq!(bias.len(), cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            out[r * cols + c] = x[r * cols + c] + bias[c];
+        }
+    }
+}
+
+/// Gradient of [`add_bias`] with respect to the bias: column sums of `dy`.
+///
+/// # Panics
+///
+/// Panics if `db.len() != cols` or `dy.len() != rows * cols`.
+pub fn bias_grad(dy: &[f32], db: &mut [f32], rows: usize, cols: usize) {
+    assert_eq!(dy.len(), rows * cols);
+    assert_eq!(db.len(), cols);
+    db.fill(0.0);
+    for r in 0..rows {
+        for c in 0..cols {
+            db[c] += dy[r * cols + c];
+        }
+    }
+}
+
+/// Vanilla SGD update: `w -= lr * g`, in place.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn sgd_step(w: &mut [f32], g: &[f32], lr: f32) {
+    assert_eq!(w.len(), g.len());
+    for i in 0..w.len() {
+        w[i] -= lr * g[i];
+    }
+}
+
+/// SGD with momentum: `v = mu * v + g; w -= lr * v`, both in place.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn sgd_momentum_step(w: &mut [f32], v: &mut [f32], g: &[f32], lr: f32, mu: f32) {
+    assert_eq!(w.len(), g.len());
+    assert_eq!(w.len(), v.len());
+    for i in 0..w.len() {
+        v[i] = mu * v[i] + g[i];
+        w[i] -= lr * v[i];
+    }
+}
+
+/// Inverted-dropout forward using a precomputed 0/1 mask scaled by
+/// `1 / keep_prob`: `out = x * mask`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn dropout_apply(x: &[f32], mask: &[f32], out: &mut [f32]) {
+    mul(x, mask, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let x = [-1.0, 0.0, 2.5];
+        let mut out = [0.0; 3];
+        relu(&x, &mut out);
+        assert_eq!(out, [0.0, 0.0, 2.5]);
+    }
+
+    #[test]
+    fn relu_backward_masks_by_input_sign() {
+        let x = [-1.0, 0.0, 2.5];
+        let dy = [10.0, 10.0, 10.0];
+        let mut dx = [0.0; 3];
+        relu_backward(&x, &dy, &mut dx);
+        // gradient at exactly zero is zero (subgradient convention)
+        assert_eq!(dx, [0.0, 0.0, 10.0]);
+    }
+
+    #[test]
+    fn add_bias_broadcasts_over_rows() {
+        let x = [1.0, 2.0, 3.0, 4.0]; // 2x2
+        let b = [10.0, 20.0];
+        let mut out = [0.0; 4];
+        add_bias(&x, &b, &mut out, 2, 2);
+        assert_eq!(out, [11.0, 22.0, 13.0, 24.0]);
+    }
+
+    #[test]
+    fn bias_grad_is_column_sum() {
+        let dy = [1.0, 2.0, 3.0, 4.0]; // 2x2
+        let mut db = [0.0; 2];
+        bias_grad(&dy, &mut db, 2, 2);
+        assert_eq!(db, [4.0, 6.0]);
+    }
+
+    #[test]
+    fn sgd_moves_against_gradient() {
+        let mut w = [1.0, 1.0];
+        sgd_step(&mut w, &[0.5, -0.5], 0.1);
+        assert_eq!(w, [0.95, 1.05]);
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let mut w = [0.0];
+        let mut v = [0.0];
+        sgd_momentum_step(&mut w, &mut v, &[1.0], 0.1, 0.9);
+        assert!((v[0] - 1.0).abs() < 1e-6);
+        assert!((w[0] + 0.1).abs() < 1e-6);
+        sgd_momentum_step(&mut w, &mut v, &[1.0], 0.1, 0.9);
+        assert!((v[0] - 1.9).abs() < 1e-6);
+        assert!((w[0] + 0.29).abs() < 1e-6);
+    }
+
+    #[test]
+    fn arithmetic_kernels() {
+        let a = [1.0, 2.0];
+        let b = [3.0, 4.0];
+        let mut out = [0.0; 2];
+        add(&a, &b, &mut out);
+        assert_eq!(out, [4.0, 6.0]);
+        mul(&a, &b, &mut out);
+        assert_eq!(out, [3.0, 8.0]);
+        scale(&a, 2.0, &mut out);
+        assert_eq!(out, [2.0, 4.0]);
+    }
+
+    #[test]
+    fn dropout_applies_scaled_mask() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let mask = [0.0, 2.0, 0.0, 2.0]; // keep_prob = 0.5
+        let mut out = [0.0; 4];
+        dropout_apply(&x, &mask, &mut out);
+        assert_eq!(out, [0.0, 4.0, 0.0, 8.0]);
+    }
+}

@@ -1,0 +1,181 @@
+//! Dense matrix multiplication kernels.
+//!
+//! These are the concrete-execution counterparts of the simulator's `MatMul`
+//! graph op. They are deliberately simple (ikj loop order, no blocking): the
+//! simulator's performance numbers come from the analytic cost model, not
+//! from host wall-clock time, so clarity wins over micro-optimization.
+
+/// Whether a matmul operand is used as stored or transposed on the fly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Transpose {
+    /// Use the operand as stored.
+    No,
+    /// Use the mathematical transpose of the operand.
+    Yes,
+}
+
+impl Transpose {
+    /// Returns true for [`Transpose::Yes`].
+    pub fn is_transposed(self) -> bool {
+        matches!(self, Transpose::Yes)
+    }
+}
+
+/// Computes `out = A' * B'` where `A'` is `a` (shape `m × k` after optional
+/// transposition) and `B'` is `b` (shape `k × n` after optional
+/// transposition).
+///
+/// `a` is stored row-major with logical shape `m × k` if `ta == No`, or
+/// `k × m` if `ta == Yes`; correspondingly for `b`.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match the given dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn matmul(
+    a: &[f32],
+    ta: Transpose,
+    b: &[f32],
+    tb: Transpose,
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    assert_eq!(a.len(), m * k, "lhs length must be m*k");
+    assert_eq!(b.len(), k * n, "rhs length must be k*n");
+    assert_eq!(out.len(), m * n, "out length must be m*n");
+    out.fill(0.0);
+    // Index helpers honoring the transpose flags.
+    let a_at = |i: usize, p: usize| -> f32 {
+        match ta {
+            Transpose::No => a[i * k + p],
+            Transpose::Yes => a[p * m + i],
+        }
+    };
+    let b_at = |p: usize, j: usize| -> f32 {
+        match tb {
+            Transpose::No => b[p * n + j],
+            Transpose::Yes => b[j * k + p],
+        }
+    };
+    for i in 0..m {
+        for p in 0..k {
+            let av = a_at(i, p);
+            if av == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                out[i * n + j] += av * b_at(p, j);
+            }
+        }
+    }
+}
+
+/// Transposes a row-major `rows × cols` matrix into `out` (`cols × rows`).
+///
+/// # Panics
+///
+/// Panics if slice lengths do not equal `rows * cols`.
+pub fn transpose2d(input: &[f32], out: &mut [f32], rows: usize, cols: usize) {
+    assert_eq!(input.len(), rows * cols);
+    assert_eq!(out.len(), rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            out[c * rows + r] = input[r * cols + c];
+        }
+    }
+}
+
+/// FLOP count of an `m × k` by `k × n` matmul (multiply-add counted as 2).
+pub fn matmul_flops(m: usize, k: usize, n: usize) -> u64 {
+    2 * m as u64 * k as u64 * n as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_multiplication() {
+        let a = vec![1.0, 2.0, 3.0, 4.0]; // 2x2
+        let eye = vec![1.0, 0.0, 0.0, 1.0];
+        let mut out = vec![0.0; 4];
+        matmul(&a, Transpose::No, &eye, Transpose::No, &mut out, 2, 2, 2);
+        assert_eq!(out, a);
+    }
+
+    #[test]
+    fn known_product() {
+        // [1 2 3; 4 5 6] * [7 8; 9 10; 11 12] = [58 64; 139 154]
+        let a = vec![1., 2., 3., 4., 5., 6.];
+        let b = vec![7., 8., 9., 10., 11., 12.];
+        let mut out = vec![0.0; 4];
+        matmul(&a, Transpose::No, &b, Transpose::No, &mut out, 2, 3, 2);
+        assert_eq!(out, vec![58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn transposed_lhs_matches_manual_transpose() {
+        // a stored as k x m = 3 x 2; logical A = a^T is 2 x 3.
+        let a_stored = vec![1., 4., 2., 5., 3., 6.]; // (a^T) of [1 2 3;4 5 6]
+        let b = vec![7., 8., 9., 10., 11., 12.];
+        let mut out = vec![0.0; 4];
+        matmul(&a_stored, Transpose::Yes, &b, Transpose::No, &mut out, 2, 3, 2);
+        assert_eq!(out, vec![58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn transposed_rhs_matches_manual_transpose() {
+        let a = vec![1., 2., 3., 4., 5., 6.]; // 2x3
+        // b stored as n x k = 2 x 3; logical B = b^T is 3 x 2.
+        let b_stored = vec![7., 9., 11., 8., 10., 12.];
+        let mut out = vec![0.0; 4];
+        matmul(&a, Transpose::No, &b_stored, Transpose::Yes, &mut out, 2, 3, 2);
+        assert_eq!(out, vec![58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn both_transposed() {
+        // C = A^T B^T with A stored 3x2, B stored 2x3.
+        let a_stored = vec![1., 4., 2., 5., 3., 6.]; // A^T, logical A = 2x3
+        let b_stored = vec![7., 9., 11., 8., 10., 12.]; // B^T, logical B = 3x2
+        let mut out = vec![0.0; 4];
+        matmul(
+            &a_stored,
+            Transpose::Yes,
+            &b_stored,
+            Transpose::Yes,
+            &mut out,
+            2,
+            3,
+            2,
+        );
+        assert_eq!(out, vec![58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn transpose2d_round_trip() {
+        let m = vec![1., 2., 3., 4., 5., 6.]; // 2x3
+        let mut t = vec![0.0; 6];
+        transpose2d(&m, &mut t, 2, 3);
+        assert_eq!(t, vec![1., 4., 2., 5., 3., 6.]);
+        let mut back = vec![0.0; 6];
+        transpose2d(&t, &mut back, 3, 2);
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn flops_counts_multiply_adds() {
+        assert_eq!(matmul_flops(4096, 2, 12288), 2 * 4096 * 2 * 12288);
+    }
+
+    #[test]
+    fn degenerate_dims() {
+        let a: Vec<f32> = vec![];
+        let b: Vec<f32> = vec![];
+        let mut out: Vec<f32> = vec![];
+        matmul(&a, Transpose::No, &b, Transpose::No, &mut out, 0, 0, 0);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,265 @@
+//! Batch normalization kernels (NCHW, per-channel statistics).
+
+/// Batch-norm forward (training mode): normalizes over the `N × H × W`
+/// positions of each channel, then applies per-channel scale (`gamma`) and
+/// shift (`beta`).
+///
+/// Saves the per-channel batch mean and inverse standard deviation into
+/// `save_mean` / `save_inv_std` for the backward pass, and folds the batch
+/// statistics into `running_mean` / `running_var` with `momentum`.
+///
+/// # Panics
+///
+/// Panics on inconsistent slice lengths.
+#[allow(clippy::too_many_arguments)]
+pub fn batchnorm_forward(
+    x: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    out: &mut [f32],
+    save_mean: &mut [f32],
+    save_inv_std: &mut [f32],
+    running_mean: &mut [f32],
+    running_var: &mut [f32],
+    n: usize,
+    c: usize,
+    hw: usize,
+    momentum: f32,
+    eps: f32,
+) {
+    assert_eq!(x.len(), n * c * hw);
+    assert_eq!(out.len(), x.len());
+    for s in [&gamma, &beta] {
+        assert_eq!(s.len(), c);
+    }
+    assert_eq!(save_mean.len(), c);
+    assert_eq!(save_inv_std.len(), c);
+    assert_eq!(running_mean.len(), c);
+    assert_eq!(running_var.len(), c);
+    let m = (n * hw) as f32;
+    for ch in 0..c {
+        let mut sum = 0.0f64;
+        let mut sum_sq = 0.0f64;
+        for b in 0..n {
+            let base = (b * c + ch) * hw;
+            for i in 0..hw {
+                let v = x[base + i] as f64;
+                sum += v;
+                sum_sq += v * v;
+            }
+        }
+        let mean = (sum / m as f64) as f32;
+        let var = ((sum_sq / m as f64) - (sum / m as f64).powi(2)).max(0.0) as f32;
+        let inv_std = 1.0 / (var + eps).sqrt();
+        save_mean[ch] = mean;
+        save_inv_std[ch] = inv_std;
+        running_mean[ch] = (1.0 - momentum) * running_mean[ch] + momentum * mean;
+        running_var[ch] = (1.0 - momentum) * running_var[ch] + momentum * var;
+        for b in 0..n {
+            let base = (b * c + ch) * hw;
+            for i in 0..hw {
+                out[base + i] = gamma[ch] * (x[base + i] - mean) * inv_std + beta[ch];
+            }
+        }
+    }
+}
+
+/// Batch-norm backward: produces `dx`, `dgamma`, `dbeta` from `dy` and the
+/// saved forward statistics.
+///
+/// # Panics
+///
+/// Panics on inconsistent slice lengths.
+#[allow(clippy::too_many_arguments)]
+pub fn batchnorm_backward(
+    x: &[f32],
+    gamma: &[f32],
+    dy: &[f32],
+    save_mean: &[f32],
+    save_inv_std: &[f32],
+    dx: &mut [f32],
+    dgamma: &mut [f32],
+    dbeta: &mut [f32],
+    n: usize,
+    c: usize,
+    hw: usize,
+) {
+    assert_eq!(x.len(), n * c * hw);
+    assert_eq!(dy.len(), x.len());
+    assert_eq!(dx.len(), x.len());
+    assert_eq!(dgamma.len(), c);
+    assert_eq!(dbeta.len(), c);
+    let m = (n * hw) as f32;
+    for ch in 0..c {
+        let mean = save_mean[ch];
+        let inv_std = save_inv_std[ch];
+        let mut sum_dy = 0.0f32;
+        let mut sum_dy_xhat = 0.0f32;
+        for b in 0..n {
+            let base = (b * c + ch) * hw;
+            for i in 0..hw {
+                let xhat = (x[base + i] - mean) * inv_std;
+                sum_dy += dy[base + i];
+                sum_dy_xhat += dy[base + i] * xhat;
+            }
+        }
+        dbeta[ch] = sum_dy;
+        dgamma[ch] = sum_dy_xhat;
+        for b in 0..n {
+            let base = (b * c + ch) * hw;
+            for i in 0..hw {
+                let xhat = (x[base + i] - mean) * inv_std;
+                dx[base + i] =
+                    gamma[ch] * inv_std / m * (m * dy[base + i] - sum_dy - xhat * sum_dy_xhat);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(v: &mut [f32], seed: f32) {
+        for (i, x) in v.iter_mut().enumerate() {
+            *x = ((i as f32 + seed) * 0.71).sin() * 2.0;
+        }
+    }
+
+    #[test]
+    fn forward_normalizes_each_channel() {
+        let (n, c, hw) = (4usize, 3usize, 8usize);
+        let mut x = vec![0.0; n * c * hw];
+        fill(&mut x, 1.0);
+        let gamma = vec![1.0; c];
+        let beta = vec![0.0; c];
+        let mut out = vec![0.0; x.len()];
+        let mut sm = vec![0.0; c];
+        let mut sv = vec![0.0; c];
+        let mut rm = vec![0.0; c];
+        let mut rv = vec![1.0; c];
+        batchnorm_forward(
+            &x, &gamma, &beta, &mut out, &mut sm, &mut sv, &mut rm, &mut rv, n, c, hw, 0.1, 1e-5,
+        );
+        for ch in 0..c {
+            let mut vals = Vec::new();
+            for b in 0..n {
+                let base = (b * c + ch) * hw;
+                vals.extend_from_slice(&out[base..base + hw]);
+            }
+            let m: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 = vals.iter().map(|v| (v - m) * (v - m)).sum::<f32>() / vals.len() as f32;
+            assert!(m.abs() < 1e-4, "channel {ch} mean {m}");
+            assert!((var - 1.0).abs() < 1e-2, "channel {ch} var {var}");
+        }
+    }
+
+    #[test]
+    fn gamma_beta_rescale_output() {
+        let (n, c, hw) = (2usize, 1usize, 4usize);
+        let mut x = vec![0.0; n * c * hw];
+        fill(&mut x, 3.0);
+        let gamma = vec![2.0];
+        let beta = vec![5.0];
+        let mut out = vec![0.0; x.len()];
+        let (mut sm, mut sv, mut rm, mut rv) = (vec![0.0], vec![0.0], vec![0.0], vec![1.0]);
+        batchnorm_forward(
+            &x, &gamma, &beta, &mut out, &mut sm, &mut sv, &mut rm, &mut rv, n, c, hw, 0.1, 1e-5,
+        );
+        let m: f32 = out.iter().sum::<f32>() / out.len() as f32;
+        assert!((m - 5.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn running_stats_updated_with_momentum() {
+        let (n, c, hw) = (2usize, 1usize, 4usize);
+        let x = vec![2.0; n * c * hw];
+        let gamma = vec![1.0];
+        let beta = vec![0.0];
+        let mut out = vec![0.0; x.len()];
+        let (mut sm, mut sv) = (vec![0.0], vec![0.0]);
+        let mut rm = vec![0.0];
+        let mut rv = vec![1.0];
+        batchnorm_forward(
+            &x, &gamma, &beta, &mut out, &mut sm, &mut sv, &mut rm, &mut rv, n, c, hw, 0.5, 1e-5,
+        );
+        assert!((rm[0] - 1.0).abs() < 1e-6); // 0.5*0 + 0.5*2
+        assert!((rv[0] - 0.5).abs() < 1e-6); // 0.5*1 + 0.5*0
+    }
+
+    #[test]
+    fn backward_matches_numerical_gradient() {
+        let (n, c, hw) = (2usize, 2usize, 3usize);
+        let mut x = vec![0.0; n * c * hw];
+        fill(&mut x, 0.0);
+        let gamma = vec![1.3, 0.7];
+        let beta = vec![0.1, -0.2];
+        let eps = 1e-5f32;
+
+        let forward_loss = |x: &[f32], gamma: &[f32], beta: &[f32]| -> f32 {
+            let mut out = vec![0.0; x.len()];
+            let (mut sm, mut sv) = (vec![0.0; c], vec![0.0; c]);
+            let (mut rm, mut rv) = (vec![0.0; c], vec![1.0; c]);
+            batchnorm_forward(
+                x, gamma, beta, &mut out, &mut sm, &mut sv, &mut rm, &mut rv, n, c, hw, 0.1, eps,
+            );
+            // loss = weighted sum so dy varies per element
+            out.iter()
+                .enumerate()
+                .map(|(i, v)| v * ((i % 5) as f32 - 2.0))
+                .sum()
+        };
+
+        let mut out = vec![0.0; x.len()];
+        let (mut sm, mut sv) = (vec![0.0; c], vec![0.0; c]);
+        let (mut rm, mut rv) = (vec![0.0; c], vec![1.0; c]);
+        batchnorm_forward(
+            &x, &gamma, &beta, &mut out, &mut sm, &mut sv, &mut rm, &mut rv, n, c, hw, 0.1, eps,
+        );
+        let dy: Vec<f32> = (0..x.len()).map(|i| (i % 5) as f32 - 2.0).collect();
+        let mut dx = vec![0.0; x.len()];
+        let (mut dgamma, mut dbeta) = (vec![0.0; c], vec![0.0; c]);
+        batchnorm_backward(
+            &x, &gamma, &dy, &sm, &sv, &mut dx, &mut dgamma, &mut dbeta, n, c, hw,
+        );
+
+        let h = 1e-2f32;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp[i] += h;
+            let mut xm = x.clone();
+            xm[i] -= h;
+            let numeric = (forward_loss(&xp, &gamma, &beta) - forward_loss(&xm, &gamma, &beta))
+                / (2.0 * h);
+            assert!(
+                (numeric - dx[i]).abs() < 5e-2,
+                "dx[{i}] numeric {numeric} vs analytic {}",
+                dx[i]
+            );
+        }
+        for ch in 0..c {
+            let mut gp = gamma.clone();
+            gp[ch] += h;
+            let mut gm = gamma.clone();
+            gm[ch] -= h;
+            let numeric =
+                (forward_loss(&x, &gp, &beta) - forward_loss(&x, &gm, &beta)) / (2.0 * h);
+            assert!(
+                (numeric - dgamma[ch]).abs() < 5e-2,
+                "dgamma[{ch}] numeric {numeric} vs analytic {}",
+                dgamma[ch]
+            );
+            let mut bp = beta.clone();
+            bp[ch] += h;
+            let mut bm = beta.clone();
+            bm[ch] -= h;
+            let numeric =
+                (forward_loss(&x, &gamma, &bp) - forward_loss(&x, &gamma, &bm)) / (2.0 * h);
+            assert!(
+                (numeric - dbeta[ch]).abs() < 5e-2,
+                "dbeta[{ch}] numeric {numeric} vs analytic {}",
+                dbeta[ch]
+            );
+        }
+    }
+}

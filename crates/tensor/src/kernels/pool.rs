@@ -1,0 +1,312 @@
+//! Spatial pooling kernels (NCHW layout).
+
+/// Geometry of a 2-D pooling window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pool2dGeom {
+    /// Batch size.
+    pub n: usize,
+    /// Channels.
+    pub c: usize,
+    /// Input height.
+    pub h: usize,
+    /// Input width.
+    pub w: usize,
+    /// Window height.
+    pub kh: usize,
+    /// Window width.
+    pub kw: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Zero padding.
+    pub pad: usize,
+}
+
+impl Pool2dGeom {
+    /// Output height.
+    pub fn oh(&self) -> usize {
+        (self.h + 2 * self.pad - self.kh) / self.stride + 1
+    }
+
+    /// Output width.
+    pub fn ow(&self) -> usize {
+        (self.w + 2 * self.pad - self.kw) / self.stride + 1
+    }
+}
+
+/// Max-pool forward. Also records, per output element, the flat input index
+/// of the chosen maximum into `argmax` for use by the backward pass.
+/// Padded positions are treated as `-inf` and never win.
+///
+/// # Panics
+///
+/// Panics on inconsistent slice lengths.
+pub fn maxpool_forward(x: &[f32], out: &mut [f32], argmax: &mut [u32], g: &Pool2dGeom) {
+    let (oh, ow) = (g.oh(), g.ow());
+    assert_eq!(x.len(), g.n * g.c * g.h * g.w);
+    assert_eq!(out.len(), g.n * g.c * oh * ow);
+    assert_eq!(argmax.len(), out.len());
+    for n in 0..g.n {
+        for c in 0..g.c {
+            let plane = &x[(n * g.c + c) * g.h * g.w..(n * g.c + c + 1) * g.h * g.w];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0u32;
+                    for ky in 0..g.kh {
+                        for kx in 0..g.kw {
+                            let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                            let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                            if iy >= 0 && ix >= 0 && (iy as usize) < g.h && (ix as usize) < g.w {
+                                let idx = iy as usize * g.w + ix as usize;
+                                if plane[idx] > best {
+                                    best = plane[idx];
+                                    best_idx = idx as u32;
+                                }
+                            }
+                        }
+                    }
+                    let o = ((n * g.c + c) * oh + oy) * ow + ox;
+                    out[o] = best;
+                    argmax[o] = best_idx;
+                }
+            }
+        }
+    }
+}
+
+/// Max-pool backward: routes each output gradient to the input element that
+/// won the forward max.
+///
+/// # Panics
+///
+/// Panics on inconsistent slice lengths.
+pub fn maxpool_backward(dy: &[f32], argmax: &[u32], dx: &mut [f32], g: &Pool2dGeom) {
+    let (oh, ow) = (g.oh(), g.ow());
+    assert_eq!(dy.len(), g.n * g.c * oh * ow);
+    assert_eq!(argmax.len(), dy.len());
+    assert_eq!(dx.len(), g.n * g.c * g.h * g.w);
+    dx.fill(0.0);
+    for n in 0..g.n {
+        for c in 0..g.c {
+            let base = (n * g.c + c) * g.h * g.w;
+            for o in 0..oh * ow {
+                let oi = (n * g.c + c) * oh * ow + o;
+                dx[base + argmax[oi] as usize] += dy[oi];
+            }
+        }
+    }
+}
+
+/// Average-pool forward (count includes padding, matching
+/// `count_include_pad=true` semantics for simplicity and symmetry with the
+/// backward pass).
+///
+/// # Panics
+///
+/// Panics on inconsistent slice lengths.
+pub fn avgpool_forward(x: &[f32], out: &mut [f32], g: &Pool2dGeom) {
+    let (oh, ow) = (g.oh(), g.ow());
+    assert_eq!(x.len(), g.n * g.c * g.h * g.w);
+    assert_eq!(out.len(), g.n * g.c * oh * ow);
+    let denom = (g.kh * g.kw) as f32;
+    for n in 0..g.n {
+        for c in 0..g.c {
+            let plane = &x[(n * g.c + c) * g.h * g.w..(n * g.c + c + 1) * g.h * g.w];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0;
+                    for ky in 0..g.kh {
+                        for kx in 0..g.kw {
+                            let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                            let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                            if iy >= 0 && ix >= 0 && (iy as usize) < g.h && (ix as usize) < g.w {
+                                acc += plane[iy as usize * g.w + ix as usize];
+                            }
+                        }
+                    }
+                    out[((n * g.c + c) * oh + oy) * ow + ox] = acc / denom;
+                }
+            }
+        }
+    }
+}
+
+/// Average-pool backward: spreads each output gradient uniformly over its
+/// window.
+///
+/// # Panics
+///
+/// Panics on inconsistent slice lengths.
+pub fn avgpool_backward(dy: &[f32], dx: &mut [f32], g: &Pool2dGeom) {
+    let (oh, ow) = (g.oh(), g.ow());
+    assert_eq!(dy.len(), g.n * g.c * oh * ow);
+    assert_eq!(dx.len(), g.n * g.c * g.h * g.w);
+    dx.fill(0.0);
+    let denom = (g.kh * g.kw) as f32;
+    for n in 0..g.n {
+        for c in 0..g.c {
+            let base = (n * g.c + c) * g.h * g.w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let grad = dy[((n * g.c + c) * oh + oy) * ow + ox] / denom;
+                    for ky in 0..g.kh {
+                        for kx in 0..g.kw {
+                            let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                            let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                            if iy >= 0 && ix >= 0 && (iy as usize) < g.h && (ix as usize) < g.w {
+                                dx[base + iy as usize * g.w + ix as usize] += grad;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Global average pool: `[N, C, H, W] -> [N, C]`.
+///
+/// # Panics
+///
+/// Panics on inconsistent slice lengths.
+pub fn global_avgpool_forward(x: &[f32], out: &mut [f32], n: usize, c: usize, hw: usize) {
+    assert_eq!(x.len(), n * c * hw);
+    assert_eq!(out.len(), n * c);
+    for i in 0..n * c {
+        let s: f32 = x[i * hw..(i + 1) * hw].iter().sum();
+        out[i] = s / hw as f32;
+    }
+}
+
+/// Backward of [`global_avgpool_forward`].
+///
+/// # Panics
+///
+/// Panics on inconsistent slice lengths.
+pub fn global_avgpool_backward(dy: &[f32], dx: &mut [f32], n: usize, c: usize, hw: usize) {
+    assert_eq!(dy.len(), n * c);
+    assert_eq!(dx.len(), n * c * hw);
+    for i in 0..n * c {
+        let g = dy[i] / hw as f32;
+        for v in dx[i * hw..(i + 1) * hw].iter_mut() {
+            *v = g;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom_2x2() -> Pool2dGeom {
+        Pool2dGeom {
+            n: 1,
+            c: 1,
+            h: 4,
+            w: 4,
+            kh: 2,
+            kw: 2,
+            stride: 2,
+            pad: 0,
+        }
+    }
+
+    #[test]
+    fn maxpool_picks_window_maxima() {
+        let g = geom_2x2();
+        #[rustfmt::skip]
+        let x = [
+            1., 2., 5., 6.,
+            3., 4., 7., 8.,
+            9., 10., 13., 14.,
+            11., 12., 15., 16.,
+        ];
+        let mut out = [0.0; 4];
+        let mut arg = [0u32; 4];
+        maxpool_forward(&x, &mut out, &mut arg, &g);
+        assert_eq!(out, [4., 8., 12., 16.]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let g = geom_2x2();
+        #[rustfmt::skip]
+        let x = [
+            1., 2., 5., 6.,
+            3., 4., 7., 8.,
+            9., 10., 13., 14.,
+            11., 12., 15., 16.,
+        ];
+        let mut out = [0.0; 4];
+        let mut arg = [0u32; 4];
+        maxpool_forward(&x, &mut out, &mut arg, &g);
+        let dy = [1.0, 2.0, 3.0, 4.0];
+        let mut dx = [0.0; 16];
+        maxpool_backward(&dy, &arg, &mut dx, &g);
+        assert_eq!(dx[5], 1.0); // position of 4
+        assert_eq!(dx[7], 2.0); // position of 8
+        assert_eq!(dx[13], 3.0); // position of 12
+        assert_eq!(dx[15], 4.0); // position of 16
+        assert_eq!(dx.iter().filter(|v| **v != 0.0).count(), 4);
+    }
+
+    #[test]
+    fn avgpool_averages_windows() {
+        let g = geom_2x2();
+        let x = [2.0; 16];
+        let mut out = [0.0; 4];
+        avgpool_forward(&x, &mut out, &g);
+        assert_eq!(out, [2.0; 4]);
+    }
+
+    #[test]
+    fn avgpool_backward_spreads_uniformly() {
+        let g = geom_2x2();
+        let dy = [4.0; 4];
+        let mut dx = [0.0; 16];
+        avgpool_backward(&dy, &mut dx, &g);
+        assert_eq!(dx, [1.0; 16]);
+    }
+
+    #[test]
+    fn avgpool_adjoint_property() {
+        // <avgpool(x), y> == <x, avgpool_backward(y)>
+        let g = Pool2dGeom {
+            n: 1,
+            c: 2,
+            h: 5,
+            w: 5,
+            kh: 3,
+            kw: 3,
+            stride: 2,
+            pad: 1,
+        };
+        let mut x = vec![0.0; g.n * g.c * g.h * g.w];
+        for (i, v) in x.iter_mut().enumerate() {
+            *v = (i as f32 * 0.3).sin();
+        }
+        let olen = g.n * g.c * g.oh() * g.ow();
+        let mut out = vec![0.0; olen];
+        avgpool_forward(&x, &mut out, &g);
+        let mut y = vec![0.0; olen];
+        for (i, v) in y.iter_mut().enumerate() {
+            *v = (i as f32 * 0.7).cos();
+        }
+        let lhs: f32 = out.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let mut back = vec![0.0; x.len()];
+        avgpool_backward(&y, &mut back, &g);
+        let rhs: f32 = x.iter().zip(&back).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3);
+    }
+
+    #[test]
+    fn global_avgpool_round_trip() {
+        let x = [1.0, 3.0, 5.0, 7.0, 2.0, 4.0, 6.0, 8.0]; // n=1, c=2, hw=4
+        let mut out = [0.0; 2];
+        global_avgpool_forward(&x, &mut out, 1, 2, 4);
+        assert_eq!(out, [4.0, 5.0]);
+        let mut dx = [0.0; 8];
+        global_avgpool_backward(&[4.0, 8.0], &mut dx, 1, 2, 4);
+        assert_eq!(dx, [1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]);
+    }
+}

@@ -1,0 +1,115 @@
+//! Reduction kernels: sums, means, argmax, accuracy.
+
+/// Sum of all elements.
+pub fn sum(x: &[f32]) -> f32 {
+    x.iter().sum()
+}
+
+/// Arithmetic mean of all elements (0.0 for an empty slice).
+pub fn mean(x: &[f32]) -> f32 {
+    if x.is_empty() {
+        0.0
+    } else {
+        sum(x) / x.len() as f32
+    }
+}
+
+/// Row-wise argmax of a `rows × cols` matrix.
+///
+/// Ties resolve to the lowest index, matching common framework semantics.
+///
+/// # Panics
+///
+/// Panics if `x.len() != rows * cols` or `cols == 0` with nonzero rows.
+pub fn argmax_rows(x: &[f32], rows: usize, cols: usize) -> Vec<usize> {
+    assert_eq!(x.len(), rows * cols);
+    if rows > 0 {
+        assert!(cols > 0, "argmax over empty rows is undefined");
+    }
+    let mut out = Vec::with_capacity(rows);
+    for r in 0..rows {
+        let row = &x[r * cols..(r + 1) * cols];
+        let mut best = 0usize;
+        for (c, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = c;
+            }
+        }
+        out.push(best);
+    }
+    out
+}
+
+/// Classification accuracy of row-wise predictions against integer labels.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != rows` or `x.len() != rows * cols`.
+pub fn accuracy(x: &[f32], labels: &[u32], rows: usize, cols: usize) -> f32 {
+    assert_eq!(labels.len(), rows);
+    let preds = argmax_rows(x, rows, cols);
+    if rows == 0 {
+        return 0.0;
+    }
+    let correct = preds
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| **p == **l as usize)
+        .count();
+    correct as f32 / rows as f32
+}
+
+/// Sum over axis 0 of a `rows × cols` matrix (i.e., column sums).
+///
+/// # Panics
+///
+/// Panics if the slice lengths are inconsistent.
+pub fn sum_axis0(x: &[f32], out: &mut [f32], rows: usize, cols: usize) {
+    assert_eq!(x.len(), rows * cols);
+    assert_eq!(out.len(), cols);
+    out.fill(0.0);
+    for r in 0..rows {
+        for c in 0..cols {
+            out[c] += x[r * cols + c];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_and_mean() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(sum(&x), 10.0);
+        assert_eq!(mean(&x), 2.5);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn argmax_picks_first_on_ties() {
+        let x = [1.0, 3.0, 3.0, 0.5, 0.2, 0.1];
+        assert_eq!(argmax_rows(&x, 2, 3), vec![1, 0]);
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let logits = [0.9, 0.1, 0.2, 0.8]; // preds: 0, 1
+        assert_eq!(accuracy(&logits, &[0, 0], 2, 2), 0.5);
+        assert_eq!(accuracy(&logits, &[0, 1], 2, 2), 1.0);
+    }
+
+    #[test]
+    fn column_sums() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let mut out = [0.0; 2];
+        sum_axis0(&x, &mut out, 2, 2);
+        assert_eq!(out, [4.0, 6.0]);
+    }
+
+    #[test]
+    fn empty_accuracy_is_zero() {
+        assert_eq!(accuracy(&[], &[], 0, 3), 0.0);
+    }
+}

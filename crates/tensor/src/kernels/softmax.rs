@@ -1,0 +1,184 @@
+//! Softmax and fused softmax-cross-entropy kernels.
+
+/// Numerically-stable row-wise softmax of a `rows × cols` matrix.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not equal `rows * cols`.
+pub fn softmax_rows(x: &[f32], out: &mut [f32], rows: usize, cols: usize) {
+    assert_eq!(x.len(), rows * cols);
+    assert_eq!(out.len(), rows * cols);
+    for r in 0..rows {
+        let row = &x[r * cols..(r + 1) * cols];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0f32;
+        for (c, &v) in row.iter().enumerate() {
+            let e = (v - max).exp();
+            out[r * cols + c] = e;
+            denom += e;
+        }
+        for c in 0..cols {
+            out[r * cols + c] /= denom;
+        }
+    }
+}
+
+/// Fused softmax + cross-entropy forward.
+///
+/// Writes row-wise softmax probabilities into `probs` (kept for the backward
+/// pass) and returns the mean negative log-likelihood over the batch.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != rows`, any label is out of range, or slice
+/// lengths are inconsistent.
+pub fn softmax_cross_entropy(
+    logits: &[f32],
+    labels: &[u32],
+    probs: &mut [f32],
+    rows: usize,
+    cols: usize,
+) -> f32 {
+    assert_eq!(labels.len(), rows);
+    softmax_rows(logits, probs, rows, cols);
+    let mut loss = 0.0f32;
+    for (r, &label) in labels.iter().enumerate() {
+        let label = label as usize;
+        assert!(label < cols, "label {label} out of range for {cols} classes");
+        let p = probs[r * cols + label].max(1e-12);
+        loss -= p.ln();
+    }
+    if rows == 0 {
+        0.0
+    } else {
+        loss / rows as f32
+    }
+}
+
+/// Backward of the fused softmax-cross-entropy (mean reduction):
+/// `dlogits = (probs - onehot(labels)) / rows`.
+///
+/// # Panics
+///
+/// Panics if slice lengths or labels are inconsistent.
+pub fn softmax_cross_entropy_backward(
+    probs: &[f32],
+    labels: &[u32],
+    dlogits: &mut [f32],
+    rows: usize,
+    cols: usize,
+) {
+    assert_eq!(probs.len(), rows * cols);
+    assert_eq!(dlogits.len(), rows * cols);
+    assert_eq!(labels.len(), rows);
+    let inv = if rows == 0 { 0.0 } else { 1.0 / rows as f32 };
+    dlogits.copy_from_slice(probs);
+    for (r, &label) in labels.iter().enumerate() {
+        dlogits[r * cols + label as usize] -= 1.0;
+    }
+    for v in dlogits.iter_mut() {
+        *v *= inv;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = [1.0, 2.0, 3.0, -1.0, 0.0, 1.0];
+        let mut p = [0.0; 6];
+        softmax_rows(&x, &mut p, 2, 3);
+        for r in 0..2 {
+            let s: f32 = p[r * 3..(r + 1) * 3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        // monotone in logits
+        assert!(p[0] < p[1] && p[1] < p[2]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let x = [1000.0, 1001.0, 1002.0];
+        let mut p = [0.0; 3];
+        softmax_rows(&x, &mut p, 1, 3);
+        let y = [0.0, 1.0, 2.0];
+        let mut q = [0.0; 3];
+        softmax_rows(&y, &mut q, 1, 3);
+        for i in 0..3 {
+            assert!((p[i] - q[i]).abs() < 1e-6);
+            assert!(p[i].is_finite());
+        }
+    }
+
+    #[test]
+    fn cross_entropy_of_uniform_logits_is_log_c() {
+        let logits = [0.0; 4]; // 1 row, 4 classes
+        let mut probs = [0.0; 4];
+        let loss = softmax_cross_entropy(&logits, &[2], &mut probs, 1, 4);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn perfect_prediction_has_near_zero_loss() {
+        let logits = [100.0, 0.0];
+        let mut probs = [0.0; 2];
+        let loss = softmax_cross_entropy(&logits, &[0], &mut probs, 1, 2);
+        assert!(loss < 1e-4);
+    }
+
+    #[test]
+    fn backward_matches_probs_minus_onehot() {
+        let logits = [1.0, 2.0, 0.5, 0.1, 0.2, 0.3];
+        let labels = [1u32, 2u32];
+        let mut probs = [0.0; 6];
+        softmax_cross_entropy(&logits, &labels, &mut probs, 2, 3);
+        let mut d = [0.0; 6];
+        softmax_cross_entropy_backward(&probs, &labels, &mut d, 2, 3);
+        // gradient rows sum to zero
+        for r in 0..2 {
+            let s: f32 = d[r * 3..(r + 1) * 3].iter().sum();
+            assert!(s.abs() < 1e-6, "row {r} grad sum {s}");
+        }
+        // label entry is negative, others positive
+        assert!(d[1] < 0.0 && d[0] > 0.0 && d[2] > 0.0);
+        assert!(d[5] < 0.0 && d[3] > 0.0 && d[4] > 0.0);
+    }
+
+    #[test]
+    fn backward_is_numerical_gradient_of_loss() {
+        // finite-difference check on a small problem
+        let logits = vec![0.3, -0.2, 0.8, 0.1, 0.0, -0.5];
+        let labels = [2u32, 0u32];
+        let (rows, cols) = (2usize, 3usize);
+        let mut probs = vec![0.0; 6];
+        softmax_cross_entropy(&logits, &labels, &mut probs, rows, cols);
+        let mut analytic = vec![0.0; 6];
+        softmax_cross_entropy_backward(&probs, &labels, &mut analytic, rows, cols);
+        let eps = 1e-3f32;
+        for i in 0..logits.len() {
+            let mut lp = logits.clone();
+            lp[i] += eps;
+            let mut lm = logits.clone();
+            lm[i] -= eps;
+            let mut scratch = vec![0.0; 6];
+            let fp = softmax_cross_entropy(&lp, &labels, &mut scratch, rows, cols);
+            let fm = softmax_cross_entropy(&lm, &labels, &mut scratch, rows, cols);
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!(
+                (numeric - analytic[i]).abs() < 1e-3,
+                "grad mismatch at {i}: numeric {numeric} vs analytic {}",
+                analytic[i]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_label() {
+        let logits = [0.0, 0.0];
+        let mut probs = [0.0; 2];
+        softmax_cross_entropy(&logits, &[5], &mut probs, 1, 2);
+    }
+}

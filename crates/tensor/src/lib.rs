@@ -1,0 +1,37 @@
+//! # pinpoint-tensor
+//!
+//! Shape/stride machinery and CPU `f32` kernels for the `pinpoint` DNN
+//! training simulator — the reproduction of *"Pinpointing the Memory
+//! Behaviors of DNN Training"* (ISPASS 2021).
+//!
+//! This crate plays two roles:
+//!
+//! 1. **Shape inference.** [`Shape`] is the currency of the symbolic
+//!    executor: every simulated device-memory block is sized from a `Shape`.
+//! 2. **Concrete math.** The [`kernels`] module implements real `f32`
+//!    computation (GEMM, conv2d, pooling, batch-norm, softmax-cross-entropy,
+//!    SGD) used by the concrete executor for the paper's MLP case study and
+//!    for correctness tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use pinpoint_tensor::{kernels::matmul::{matmul, Transpose}, Shape};
+//!
+//! let w0 = Shape::new(vec![2, 12288]); // the paper's Fig. 1 weight
+//! assert_eq!(w0.size_bytes(), 2 * 12288 * 4);
+//!
+//! let a = [1.0_f32, 0.0, 0.0, 1.0];
+//! let b = [3.0_f32, 4.0, 5.0, 6.0];
+//! let mut out = [0.0_f32; 4];
+//! matmul(&a, Transpose::No, &b, Transpose::No, &mut out, 2, 2, 2);
+//! assert_eq!(out, b);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod kernels;
+mod shape;
+
+pub use shape::Shape;

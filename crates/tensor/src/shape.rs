@@ -1,0 +1,291 @@
+//! Tensor shapes, strides, and broadcasting rules.
+//!
+//! A [`Shape`] is an ordered list of dimension extents. It is the unit of
+//! shape inference throughout the simulator: every graph tensor carries a
+//! `Shape`, and the symbolic executor sizes device-memory blocks from it.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The shape of a dense tensor: an ordered list of dimension extents.
+///
+/// An empty dimension list denotes a scalar (`numel == 1`).
+///
+/// # Examples
+///
+/// ```
+/// use pinpoint_tensor::Shape;
+///
+/// let s = Shape::new(vec![4096, 12288]);
+/// assert_eq!(s.numel(), 4096 * 12288);
+/// assert_eq!(s.rank(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from a list of dimension extents.
+    pub fn new(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+
+    /// The scalar shape (rank 0, one element).
+    pub fn scalar() -> Self {
+        Shape { dims: Vec::new() }
+    }
+
+    /// Returns the dimension extents as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements (product of extents; 1 for a scalar).
+    pub fn numel(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Extent of dimension `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rank()`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.dims[i]
+    }
+
+    /// Size in bytes when stored densely as `f32`.
+    pub fn size_bytes(&self) -> usize {
+        self.numel() * std::mem::size_of::<f32>()
+    }
+
+    /// Row-major (C-order) strides, in *elements*.
+    ///
+    /// The last dimension has stride 1. A scalar yields an empty stride list.
+    ///
+    /// ```
+    /// use pinpoint_tensor::Shape;
+    /// assert_eq!(Shape::new(vec![2, 3, 4]).strides(), vec![12, 4, 1]);
+    /// ```
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![0; self.dims.len()];
+        let mut acc = 1usize;
+        for (i, &d) in self.dims.iter().enumerate().rev() {
+            strides[i] = acc;
+            acc *= d;
+        }
+        strides
+    }
+
+    /// Converts a multi-dimensional index into a flat row-major offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` has the wrong rank or any coordinate is out of range.
+    pub fn flat_index(&self, idx: &[usize]) -> usize {
+        assert_eq!(
+            idx.len(),
+            self.rank(),
+            "index rank {} does not match shape rank {}",
+            idx.len(),
+            self.rank()
+        );
+        let mut off = 0usize;
+        let strides = self.strides();
+        for (k, (&i, &d)) in idx.iter().zip(self.dims.iter()).enumerate() {
+            assert!(i < d, "index {i} out of range for dim {k} of extent {d}");
+            off += i * strides[k];
+        }
+        off
+    }
+
+    /// Whether two shapes are broadcast-compatible under NumPy rules.
+    pub fn broadcast_compatible(&self, other: &Shape) -> bool {
+        self.broadcast(other).is_some()
+    }
+
+    /// Broadcasts two shapes under NumPy rules, returning the result shape,
+    /// or `None` if they are incompatible.
+    ///
+    /// ```
+    /// use pinpoint_tensor::Shape;
+    /// let a = Shape::new(vec![4096, 12288]);
+    /// let b = Shape::new(vec![12288]);
+    /// assert_eq!(a.broadcast(&b), Some(a.clone()));
+    /// ```
+    #[allow(clippy::needless_range_loop)] // index math over two ragged ranks
+    pub fn broadcast(&self, other: &Shape) -> Option<Shape> {
+        let r = self.rank().max(other.rank());
+        let mut dims = vec![0usize; r];
+        for i in 0..r {
+            let a = if i < r - self.rank() {
+                1
+            } else {
+                self.dims[i - (r - self.rank())]
+            };
+            let b = if i < r - other.rank() {
+                1
+            } else {
+                other.dims[i - (r - other.rank())]
+            };
+            dims[i] = if a == b {
+                a
+            } else if a == 1 {
+                b
+            } else if b == 1 {
+                a
+            } else {
+                return None;
+            };
+        }
+        Some(Shape::new(dims))
+    }
+
+    /// Returns a new shape with dimension `axis` removed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= self.rank()`.
+    pub fn without_axis(&self, axis: usize) -> Shape {
+        assert!(axis < self.rank(), "axis {axis} out of range");
+        let mut dims = self.dims.clone();
+        dims.remove(axis);
+        Shape::new(dims)
+    }
+
+    /// Returns true when every extent is nonzero.
+    pub fn is_nonempty(&self) -> bool {
+        self.dims.iter().all(|&d| d > 0)
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.dims)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_has_one_element() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.numel(), 1);
+        assert_eq!(s.size_bytes(), 4);
+        assert!(s.strides().is_empty());
+    }
+
+    #[test]
+    fn numel_and_bytes() {
+        let s = Shape::from([4096, 12288]);
+        assert_eq!(s.numel(), 50_331_648);
+        assert_eq!(s.size_bytes(), 201_326_592);
+    }
+
+    #[test]
+    fn row_major_strides() {
+        assert_eq!(Shape::from([2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::from([7]).strides(), vec![1]);
+    }
+
+    #[test]
+    fn flat_index_round_trip() {
+        let s = Shape::from([2, 3, 4]);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..2 {
+            for j in 0..3 {
+                for k in 0..4 {
+                    let off = s.flat_index(&[i, j, k]);
+                    assert!(off < s.numel());
+                    assert!(seen.insert(off), "duplicate offset {off}");
+                }
+            }
+        }
+        assert_eq!(seen.len(), s.numel());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn flat_index_rejects_out_of_range() {
+        Shape::from([2, 2]).flat_index(&[2, 0]);
+    }
+
+    #[test]
+    fn broadcast_rules() {
+        let a = Shape::from([4, 1, 3]);
+        let b = Shape::from([2, 3]);
+        assert_eq!(a.broadcast(&b), Some(Shape::from([4, 2, 3])));
+        // bias broadcast, the common DNN case
+        let x = Shape::from([128, 12288]);
+        let bias = Shape::from([12288]);
+        assert_eq!(x.broadcast(&bias), Some(x.clone()));
+        // incompatible
+        assert_eq!(Shape::from([3]).broadcast(&Shape::from([4])), None);
+    }
+
+    #[test]
+    fn broadcast_with_scalar() {
+        let a = Shape::from([5, 6]);
+        assert_eq!(a.broadcast(&Shape::scalar()), Some(a.clone()));
+        assert_eq!(Shape::scalar().broadcast(&a), Some(a));
+    }
+
+    #[test]
+    fn without_axis_removes_dim() {
+        let s = Shape::from([2, 3, 4]);
+        assert_eq!(s.without_axis(1), Shape::from([2, 4]));
+    }
+
+    #[test]
+    fn display_formats_like_a_tuple() {
+        assert_eq!(Shape::from([2, 12288]).to_string(), "(2, 12288)");
+        assert_eq!(Shape::scalar().to_string(), "()");
+    }
+
+    #[test]
+    fn zero_extent_shapes() {
+        let s = Shape::from([0, 4]);
+        assert_eq!(s.numel(), 0);
+        assert!(!s.is_nonempty());
+    }
+}

@@ -1,0 +1,97 @@
+//! Trace serialization: CSV for spreadsheet/plotting pipelines, JSON for
+//! structured consumers.
+
+use crate::trace::Trace;
+use std::io::{self, Write};
+
+/// Writes the trace's events as CSV with a header row.
+///
+/// Columns: `time_ns,kind,block,size,offset,mem_kind,category,op`.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the writer.
+pub fn write_csv<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
+    writeln!(w, "time_ns,kind,block,size,offset,mem_kind,category,op")?;
+    for e in trace.events() {
+        let op = e
+            .op_label
+            .and_then(|i| trace.label(i))
+            .unwrap_or("");
+        writeln!(
+            w,
+            "{},{},{},{},{},{},{},{}",
+            e.time_ns,
+            e.kind,
+            e.block.0,
+            e.size,
+            e.offset,
+            e.mem_kind,
+            e.mem_kind.category(),
+            op
+        )?;
+    }
+    Ok(())
+}
+
+/// Serializes the whole trace (events, markers, label table) as JSON.
+///
+/// # Errors
+///
+/// Propagates serialization or I/O errors.
+pub fn write_json<W: Write>(trace: &Trace, w: W) -> io::Result<()> {
+    serde_json::to_writer(w, trace).map_err(io::Error::other)
+}
+
+/// Deserializes a trace previously written by [`write_json`].
+///
+/// # Errors
+///
+/// Returns an error if the input is not a valid JSON trace.
+pub fn read_json<R: io::Read>(r: R) -> io::Result<Trace> {
+    serde_json::from_reader(r).map_err(io::Error::other)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{BlockId, EventKind, MemoryKind};
+
+    fn tiny_trace() -> Trace {
+        let mut t = Trace::new();
+        let op = t.intern_label("matmul_fwd");
+        t.record(0, EventKind::Malloc, BlockId(0), 64, 0, MemoryKind::Input, None);
+        t.record(3, EventKind::Read, BlockId(0), 64, 0, MemoryKind::Input, Some(op));
+        t.mark(5, "iter:0");
+        t
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut buf = Vec::new();
+        write_csv(&tiny_trace(), &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        let lines: Vec<_> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("time_ns,kind"));
+        assert_eq!(lines[1], "0,malloc,0,64,0,input,input data,");
+        assert_eq!(lines[2], "3,read,0,64,0,input,input data,matmul_fwd");
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let t = tiny_trace();
+        let mut buf = Vec::new();
+        write_json(&t, &mut buf).unwrap();
+        let back = read_json(&buf[..]).unwrap();
+        assert_eq!(back.len(), t.len());
+        assert_eq!(back.markers(), t.markers());
+        assert_eq!(back.label(0), Some("matmul_fwd"));
+        assert_eq!(back.events()[1], t.events()[1]);
+    }
+
+    #[test]
+    fn read_json_rejects_garbage() {
+        assert!(read_json(&b"not json"[..]).is_err());
+    }
+}

@@ -1,0 +1,82 @@
+//! Head-to-head of the two memory-pressure remedies the paper points at,
+//! measured through the same instrumentation:
+//!
+//! * **swapping** (the paper's §IV direction, Equation-1-safe planner);
+//! * **activation checkpointing** (recomputation).
+//!
+//! Run with: `cargo run --release -p pinpoint --example memory_reduction`
+
+use pinpoint::analysis::{apply, plan};
+use pinpoint::core::report::{human_bytes, human_time};
+use pinpoint::core::{profile, ProfileConfig};
+use pinpoint::data::DatasetSpec;
+use pinpoint::device::TransferModel;
+use pinpoint::models::{Architecture, ResNetDepth};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let arch = Architecture::ResNet(ResNetDepth::R50);
+    let batch = 32;
+    let tm = TransferModel::titan_x_pascal_pinned();
+
+    // baseline
+    let base_cfg = ProfileConfig::breakdown_sweep(arch, DatasetSpec::imagenet(), batch);
+    let base = profile(&base_cfg)?;
+    let base_peak = base.trace.peak_live_bytes().peak_total_bytes;
+    let base_time = base.duration_ns / base.iterations as u64;
+    println!(
+        "{} / ImageNet / bs{batch} baseline: peak {}, iteration {}",
+        arch.name(),
+        human_bytes(base_peak),
+        human_time(base_time)
+    );
+
+    // remedy 1: Equation-1-safe swapping (zero added critical-path time).
+    // Equation 1 is per-gap; verify the whole plan also schedules on the
+    // shared PCIe link, thinning it if contended.
+    let mut swap_plan = plan(&base.trace, &tm, 10_000_000);
+    let contention = pinpoint::analysis::check_contention(&swap_plan, &tm);
+    println!(
+        "
+link schedule: {} (d2h {:.0}% busy, h2d {:.0}% busy, {} late)",
+        if contention.feasible { "feasible" } else { "CONTENDED" },
+        contention.d2h_busy_fraction * 100.0,
+        contention.h2d_busy_fraction * 100.0,
+        contention.late().count()
+    );
+    if !contention.feasible {
+        swap_plan = pinpoint::analysis::thin_to_feasible(&swap_plan, &tm);
+        println!("  thinned to {} decisions", swap_plan.decisions.len());
+    }
+    let swapped = apply(&base.trace, &swap_plan);
+    println!(
+        "\nswapping   : peak {} ({:+.1}%), iteration time unchanged, {} PCIe traffic, {} decisions",
+        human_bytes(swapped.peak_live_bytes().peak_total_bytes),
+        (swapped.peak_live_bytes().peak_total_bytes as f64 / base_peak as f64 - 1.0) * 100.0,
+        human_bytes(swap_plan.transfer_bytes),
+        swap_plan.decisions.len()
+    );
+
+    // remedy 2: activation checkpointing at several densities
+    for keep in [2usize, 4, 8] {
+        let mut cfg = ProfileConfig::breakdown_sweep(arch, DatasetSpec::imagenet(), batch);
+        cfg.checkpoint_every = Some(keep);
+        let r = profile(&cfg)?;
+        let peak = r.trace.peak_live_bytes().peak_total_bytes;
+        let time = r.duration_ns / r.iterations as u64;
+        println!(
+            "ckpt 1/{keep}   : peak {} ({:+.1}%), iteration {} ({:+.1}%)",
+            human_bytes(peak),
+            (peak as f64 / base_peak as f64 - 1.0) * 100.0,
+            human_time(time),
+            (time as f64 / base_time as f64 - 1.0) * 100.0
+        );
+    }
+
+    println!(
+        "\nreading: per-gap Equation 1 admits far more swapping than the shared\n\
+         PCIe link can carry; contention-aware thinning keeps only the big,\n\
+         long-idle blocks — exactly the paper's Fig. 4 outliers. Checkpointing\n\
+         buys deeper cuts but pays in recompute time."
+    );
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! Quickstart: trace five iterations of the paper's Fig. 1 MLP and verify
+//! the headline observation — DNN training has obvious iterative memory
+//! access patterns.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use pinpoint::analysis::AtiDataset;
+use pinpoint::core::figures::{fig1_topology, fig2_gantt};
+use pinpoint::core::report::{human_time, render_fig2};
+use pinpoint::core::{profile, ProfileConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Fig 1: MLP topology (star = mat_mul, plus = add_bias, f = ReLU) ==");
+    for (i, op) in fig1_topology().iter().enumerate() {
+        println!("  {}: {}", i, op);
+    }
+
+    println!("\n== Fig 2: Gantt chart of the first five training iterations ==");
+    let fig2 = fig2_gantt(5)?;
+    print!("{}", render_fig2(&fig2, 12));
+
+    println!("\n== the same run, through the raw profiler API ==");
+    let report = profile(&ProfileConfig::mlp_case_study(5))?;
+    report.trace.validate().expect("trace invariants hold");
+    println!(
+        "  {} events over {} simulated; allocator peak {} reserved / {} allocated",
+        report.trace.len(),
+        human_time(report.duration_ns),
+        report.alloc_stats.peak_reserved_bytes,
+        report.alloc_stats.peak_allocated_bytes,
+    );
+    let atis = AtiDataset::from_trace(&report.trace);
+    println!(
+        "  {} access-time intervals measured; {:.1}% at or below 25 us",
+        atis.len(),
+        atis.fraction_at_or_below(25_000) * 100.0
+    );
+
+    // render the actual Fig. 2 as an SVG
+    let svg = pinpoint::analysis::gantt_svg(&fig2.rects, &pinpoint::analysis::SvgConfig::default());
+    let path = std::env::temp_dir().join("pinpoint_fig2_gantt.svg");
+    std::fs::write(&path, svg)?;
+    println!("  Fig 2 Gantt chart rendered to {}", path.display());
+    Ok(())
+}

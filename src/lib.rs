@@ -1,0 +1,85 @@
+//! # pinpoint
+//!
+//! A full-stack reproduction of **"Pinpointing the Memory Behaviors of DNN
+//! Training"** (Li et al., ISPASS 2021): an instrumented DNN-training
+//! simulator plus the trace-analysis toolkit the paper's figures are built
+//! from.
+//!
+//! The paper instruments PyTorch's GPU memory allocators so that every
+//! device memory block is observed through its four behaviors — `malloc`,
+//! `free`, `read`, `write` — and characterizes DNN training from the
+//! resulting traces. This crate re-creates that whole measurement stack in
+//! Rust, from the allocator up:
+//!
+//! | layer | crate | re-export |
+//! |---|---|---|
+//! | shapes + CPU kernels | `pinpoint-tensor` | [`tensor`] |
+//! | simulated GPU (clock, cost model, allocators, Equation 1) | `pinpoint-device` | [`device`] |
+//! | memory-behavior traces | `pinpoint-trace` | [`trace`] |
+//! | DNN framework (autograd, liveness, executors) | `pinpoint-nn` | [`nn`] |
+//! | model zoo (MLP, AlexNet, VGG, ResNet-18…152, Inception) | `pinpoint-models` | [`models`] |
+//! | synthetic datasets | `pinpoint-data` | [`data`] |
+//! | ATI / CDF / violin / Gantt / breakdown / outlier / planner | `pinpoint-analysis` | [`analysis`] |
+//! | profiler + per-figure regenerators | `pinpoint-core` | [`core`] |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pinpoint::core::{profile, ProfileConfig};
+//! use pinpoint::analysis::{detect, AtiDataset};
+//!
+//! // trace 5 iterations of the paper's Fig. 1 MLP
+//! let report = profile(&ProfileConfig::mlp_case_study(5))?;
+//! report.trace.validate().expect("well-formed");
+//!
+//! // observation 1: training shows obvious iterative memory patterns
+//! assert!(detect(&report.trace).periodic);
+//!
+//! // observation 2: most access-time intervals are tiny
+//! let atis = AtiDataset::from_trace(&report.trace);
+//! assert!(atis.fraction_at_or_below(1_000_000) > 0.9);
+//! # Ok::<(), pinpoint::core::ProfileError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+/// Trace analysis: ATIs, CDF/violin, Gantt, breakdowns, outliers, the swap
+/// planner (re-export of `pinpoint-analysis`).
+pub mod analysis {
+    pub use pinpoint_analysis::*;
+}
+
+/// The profiler and per-figure regenerators (re-export of `pinpoint-core`).
+pub mod core {
+    pub use pinpoint_core::*;
+}
+
+/// Synthetic dataset specs and generators (re-export of `pinpoint-data`).
+pub mod data {
+    pub use pinpoint_data::*;
+}
+
+/// The simulated GPU substrate (re-export of `pinpoint-device`).
+pub mod device {
+    pub use pinpoint_device::*;
+}
+
+/// The model zoo (re-export of `pinpoint-models`).
+pub mod models {
+    pub use pinpoint_models::*;
+}
+
+/// The DNN training framework (re-export of `pinpoint-nn`).
+pub mod nn {
+    pub use pinpoint_nn::*;
+}
+
+/// Shape machinery and CPU kernels (re-export of `pinpoint-tensor`).
+pub mod tensor {
+    pub use pinpoint_tensor::*;
+}
+
+/// Memory-behavior traces (re-export of `pinpoint-trace`).
+pub mod trace {
+    pub use pinpoint_trace::*;
+}

@@ -1,0 +1,120 @@
+//! Property-based tests of the device allocators: for arbitrary
+//! malloc/free workloads, invariants must hold for every policy.
+
+use pinpoint::device::alloc::{
+    AllocError, BestFitAllocator, BumpAllocator, CachingAllocator, DeviceAllocator,
+};
+use pinpoint::trace::BlockId;
+use proptest::prelude::*;
+
+/// A randomized workload step.
+#[derive(Debug, Clone)]
+enum Step {
+    Malloc(usize),
+    /// Frees the k-th oldest live block (index modulo live count).
+    Free(usize),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        3 => (1usize..40_000_000).prop_map(Step::Malloc),
+        2 => (0usize..64).prop_map(Step::Free),
+    ]
+}
+
+/// Runs a workload against an allocator, checking universal invariants.
+fn run_workload(alloc: &mut dyn DeviceAllocator, steps: &[Step]) {
+    let mut live: Vec<BlockId> = Vec::new();
+    for step in steps {
+        match step {
+            Step::Malloc(size) => match alloc.malloc(*size) {
+                Ok(block) => {
+                    assert!(block.size >= *size, "rounding never shrinks");
+                    assert_eq!(block.requested, *size);
+                    assert!(
+                        block.offset + block.size <= alloc.capacity(),
+                        "block exceeds capacity"
+                    );
+                    live.push(block.id);
+                }
+                Err(AllocError::OutOfMemory { .. }) => {} // legal under pressure
+                Err(e) => panic!("unexpected error: {e}"),
+            },
+            Step::Free(k) => {
+                if !live.is_empty() {
+                    let id = live.remove(k % live.len());
+                    alloc.free(id).expect("freeing a live block succeeds");
+                }
+            }
+        }
+        // live blocks never overlap
+        let blocks = alloc.live_blocks();
+        for w in blocks.windows(2) {
+            assert!(
+                w[0].offset + w[0].size <= w[1].offset,
+                "overlap: {:?} and {:?}",
+                w[0],
+                w[1]
+            );
+        }
+        // stats consistency
+        let stats = alloc.stats();
+        let live_bytes: usize = blocks.iter().map(|b| b.size).sum();
+        assert_eq!(stats.allocated_bytes, live_bytes);
+        assert!(stats.peak_allocated_bytes >= stats.allocated_bytes);
+        assert!(stats.reserved_bytes <= alloc.capacity());
+    }
+    // drain: every allocator must release everything cleanly
+    for id in live {
+        alloc.free(id).expect("drain");
+    }
+    assert_eq!(alloc.stats().allocated_bytes, 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn caching_allocator_invariants(steps in prop::collection::vec(step_strategy(), 1..120)) {
+        let mut a = CachingAllocator::new(1 << 30);
+        run_workload(&mut a, &steps);
+        a.debug_check_invariants().expect("internal invariants");
+    }
+
+    #[test]
+    fn best_fit_allocator_invariants(steps in prop::collection::vec(step_strategy(), 1..120)) {
+        let mut a = BestFitAllocator::new(1 << 30);
+        run_workload(&mut a, &steps);
+    }
+
+    #[test]
+    fn bump_allocator_invariants(steps in prop::collection::vec(step_strategy(), 1..120)) {
+        let mut a = BumpAllocator::new(1 << 30);
+        run_workload(&mut a, &steps);
+    }
+
+    #[test]
+    fn caching_reuse_is_offset_stable(sizes in prop::collection::vec(1usize..8_000_000, 1..12)) {
+        // whatever the size mix, a warmed cache serves repeating
+        // iterations at identical offsets — the Fig. 2 property
+        let mut a = CachingAllocator::new(4 << 30);
+        let warm: Vec<_> = sizes.iter().map(|&s| a.malloc(s).unwrap()).collect();
+        let warm_offsets: Vec<_> = warm.iter().map(|b| b.offset).collect();
+        for b in warm { a.free(b.id).unwrap(); }
+        for _ in 0..3 {
+            let round: Vec<_> = sizes.iter().map(|&s| a.malloc(s).unwrap()).collect();
+            let offsets: Vec<_> = round.iter().map(|b| b.offset).collect();
+            prop_assert_eq!(&offsets, &warm_offsets);
+            for b in round { a.free(b.id).unwrap(); }
+        }
+    }
+
+    #[test]
+    fn round_up_is_monotone_and_idempotent(a in 0usize..1_000_000, b in 0usize..1_000_000) {
+        use pinpoint::device::alloc::round_up;
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(round_up(lo) <= round_up(hi));
+        prop_assert_eq!(round_up(round_up(a)), round_up(a));
+        prop_assert!(round_up(a) >= a);
+    }
+}

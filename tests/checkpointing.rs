@@ -1,0 +1,114 @@
+//! Integration tests for activation checkpointing: the transformed program
+//! must train identically (same losses) while measurably cutting the peak
+//! footprint in the trace.
+
+use pinpoint::device::{DeviceConfig, SimDevice};
+use pinpoint::nn::checkpoint::apply_checkpointing;
+use pinpoint::nn::exec::{BatchData, ExecMode, Executor};
+use pinpoint::nn::layers::Linear;
+use pinpoint::nn::{backward, GraphBuilder, InitSpec, Optimizer, Program, TensorId};
+use pinpoint::nn::Graph;
+
+fn deep_mlp(depth: usize, width: usize, batch: usize) -> (Graph, Vec<TensorId>, TensorId) {
+    let mut b = GraphBuilder::new();
+    let x = b.input("x", [batch, width]);
+    let y = b.labels("y", batch);
+    let mut h = x;
+    for i in 0..depth {
+        let fc = Linear::new(&mut b, &format!("fc{i}"), width, width, true);
+        h = fc.forward(&mut b, h);
+        h = b.relu(h, &format!("relu{i}"));
+    }
+    let head = b.param("head", [width, 2], InitSpec::Uniform { bound: 0.2 });
+    let logits = b.matmul(h, head, false, false, "head");
+    let (loss, _) = b.softmax_cross_entropy(logits, y, "loss");
+    let grads = backward(&mut b, loss);
+    Optimizer::Sgd { lr: 0.2 }.emit_step(&mut b, &grads);
+    (b.finish(), vec![x, y], loss)
+}
+
+fn batch(batch: usize, width: usize, iter: u64) -> BatchData {
+    let input: Vec<f32> = (0..batch * width)
+        .map(|i| ((i as f32 * 0.13) + iter as f32).sin())
+        .collect();
+    let labels: Vec<f32> = (0..batch).map(|i| (i % 2) as f32).collect();
+    BatchData { input, labels }
+}
+
+fn run_concrete(program: Program, iters: u64, b: usize, w: usize) -> (Vec<f32>, u64) {
+    let device = SimDevice::new(DeviceConfig::deterministic());
+    let mut exec = Executor::new(program, device, ExecMode::Concrete).unwrap();
+    for i in 0..iters {
+        exec.run_iteration(Some(&batch(b, w, i))).unwrap();
+    }
+    let losses = exec.loss_history().to_vec();
+    let device = exec.into_device();
+    device.trace().validate().unwrap();
+    let peak = device.trace().peak_live_bytes().peak_total_bytes;
+    (losses, peak)
+}
+
+#[test]
+fn checkpointing_preserves_training_losses_exactly() {
+    let (depth, width, bs) = (10usize, 32usize, 256usize);
+    let (g, inputs, loss) = deep_mlp(depth, width, bs);
+    let baseline = Program::compile(g.clone(), inputs.clone(), loss);
+    let ckpt_graph = apply_checkpointing(&g, loss, 4);
+    let ckpt = Program::compile(ckpt_graph, inputs, loss);
+    let (l0, peak0) = run_concrete(baseline, 5, bs, width);
+    let (l1, peak1) = run_concrete(ckpt, 5, bs, width);
+    assert_eq!(l0.len(), l1.len());
+    for (a, b) in l0.iter().zip(&l1) {
+        assert!(
+            (a - b).abs() < 1e-6,
+            "recomputation must not change training: {a} vs {b}"
+        );
+    }
+    assert!(
+        peak1 < peak0,
+        "checkpointing must cut the peak: {peak0} -> {peak1}"
+    );
+}
+
+#[test]
+fn sparser_checkpoints_save_more_but_compute_more() {
+    let (depth, width, bs) = (16usize, 64usize, 32usize);
+    let (g, inputs, loss) = deep_mlp(depth, width, bs);
+    let mut prev_peak = u64::MAX;
+    let mut prev_flops = 0u64;
+    for keep_every in [1usize, 2, 6] {
+        let tg = apply_checkpointing(&g, loss, keep_every);
+        let program = Program::compile(tg, inputs.clone(), loss);
+        let flops = program.summary().total_flops;
+        let device = SimDevice::new(DeviceConfig::deterministic());
+        let mut exec = Executor::new(program, device, ExecMode::Symbolic).unwrap();
+        exec.run_iterations(2).unwrap();
+        let device = exec.into_device();
+        device.trace().validate().unwrap();
+        let peak = device.trace().peak_live_bytes().peak_total_bytes;
+        assert!(
+            peak <= prev_peak,
+            "sparser checkpoints must not grow the peak: {prev_peak} -> {peak}"
+        );
+        assert!(
+            flops >= prev_flops,
+            "recomputation must not shrink FLOPs: {prev_flops} -> {flops}"
+        );
+        prev_peak = peak;
+        prev_flops = flops;
+    }
+    assert!(prev_peak < u64::MAX);
+}
+
+#[test]
+fn checkpointed_trace_stays_periodic() {
+    let (g, inputs, loss) = deep_mlp(8, 32, 8);
+    let tg = apply_checkpointing(&g, loss, 3);
+    let program = Program::compile(tg, inputs, loss);
+    let device = SimDevice::new(DeviceConfig::deterministic());
+    let mut exec = Executor::new(program, device, ExecMode::Symbolic).unwrap();
+    exec.run_iterations(4).unwrap();
+    let device = exec.into_device();
+    let report = pinpoint::analysis::detect(device.trace());
+    assert!(report.periodic, "{report:?}");
+}

@@ -1,0 +1,80 @@
+//! Smoke tests for the two CLI binaries, driven through `cargo run`-built
+//! artifacts via the library API (write a trace, then inspect it the way
+//! the CLI does).
+
+use pinpoint::core::{profile, ProfileConfig};
+use pinpoint::trace::export::{read_json, write_json};
+use std::fs::File;
+use std::process::Command;
+
+fn trace_file() -> std::path::PathBuf {
+    let report = profile(&ProfileConfig::mlp_case_study(5)).unwrap();
+    let path = std::env::temp_dir().join("pinpoint_cli_smoke_trace.json");
+    write_json(&report.trace, File::create(&path).unwrap()).unwrap();
+    path
+}
+
+fn bin(name: &str) -> std::path::PathBuf {
+    // integration tests run from the workspace root; binaries are built
+    // into the same profile directory as the test executable
+    let mut p = std::env::current_exe().unwrap();
+    p.pop(); // deps/
+    p.pop();
+    p.join(name)
+}
+
+#[test]
+fn trace_tool_subcommands_run() {
+    let trace = trace_file();
+    let tool = bin("pinpoint-trace-tool");
+    if !tool.exists() {
+        eprintln!("skipping: {tool:?} not built (run with --workspace)");
+        return;
+    }
+    for sub in ["summary", "ati", "breakdown", "gantt", "ops", "plan", "outliers"] {
+        let out = Command::new(&tool)
+            .arg(sub)
+            .arg(&trace)
+            .output()
+            .expect("spawn trace tool");
+        assert!(out.status.success(), "{sub} failed: {out:?}");
+        assert!(!out.stdout.is_empty(), "{sub} printed nothing");
+    }
+    // compare works against itself
+    let out = Command::new(&tool)
+        .arg("compare")
+        .arg(&trace)
+        .arg(&trace)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("+0.0%"));
+    // bad inputs fail politely
+    let out = Command::new(&tool).arg("summary").arg("/no/such/file").output().unwrap();
+    assert!(!out.status.success());
+    let out = Command::new(&tool).arg("nonsense").arg(&trace).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn figures_cli_runs_quick_figures() {
+    let figures = bin("pinpoint-figures");
+    if !figures.exists() {
+        eprintln!("skipping: {figures:?} not built (run with --workspace)");
+        return;
+    }
+    for fig in ["fig1", "fig2", "fig5"] {
+        let out = Command::new(&figures).arg(fig).output().expect("spawn");
+        assert!(out.status.success(), "{fig} failed");
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("Fig"), "{fig}: {text}");
+    }
+}
+
+#[test]
+fn written_trace_round_trips() {
+    let path = trace_file();
+    let back = read_json(File::open(&path).unwrap()).unwrap();
+    back.validate().unwrap();
+    assert!(back.len() > 100);
+}

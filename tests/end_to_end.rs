@@ -1,0 +1,110 @@
+//! End-to-end integration: every zoo architecture profiles cleanly through
+//! the whole stack, and the resulting traces satisfy global invariants.
+
+use pinpoint::analysis::detect;
+use pinpoint::core::{profile, ProfileConfig};
+use pinpoint::data::DatasetSpec;
+use pinpoint::models::{Architecture, DenseNetDepth, MlpConfig, ResNetDepth};
+use pinpoint::trace::EventKind;
+
+fn all_archs() -> Vec<Architecture> {
+    vec![
+        Architecture::Mlp(MlpConfig::default()),
+        Architecture::LeNet5,
+        Architecture::AlexNet,
+        Architecture::Vgg16,
+        Architecture::ResNet(ResNetDepth::R18),
+        Architecture::ResNet(ResNetDepth::R34),
+        Architecture::ResNet(ResNetDepth::R50),
+        Architecture::ResNet(ResNetDepth::R101),
+        Architecture::ResNet(ResNetDepth::R152),
+        Architecture::Inception,
+        Architecture::DenseNet(DenseNetDepth::D121),
+        Architecture::DenseNet(DenseNetDepth::D169),
+        Architecture::MobileNetV1,
+    ]
+}
+
+#[test]
+fn every_architecture_traces_cleanly() {
+    for arch in all_archs() {
+        let cfg = ProfileConfig::breakdown_sweep(arch, DatasetSpec::cifar100(), 8);
+        let report = profile(&cfg).unwrap_or_else(|e| panic!("{}: {e}", arch.name()));
+        report
+            .trace
+            .validate()
+            .unwrap_or_else(|e| panic!("{}: {e}", arch.name()));
+        assert!(report.trace.len() > 10, "{}", arch.name());
+        // every malloc has a matching size/offset free or survives as a
+        // persistent parameter
+        let stats = &report.alloc_stats;
+        assert!(stats.num_frees <= stats.num_mallocs);
+        assert!(stats.peak_allocated_bytes <= stats.peak_reserved_bytes);
+    }
+}
+
+#[test]
+fn three_iterations_are_periodic_for_conv_nets_too() {
+    for arch in [
+        Architecture::LeNet5,
+        Architecture::ResNet(ResNetDepth::R18),
+        Architecture::Inception,
+    ] {
+        let mut cfg = ProfileConfig::breakdown_sweep(arch, DatasetSpec::cifar100(), 8);
+        cfg.iterations = 4;
+        let report = profile(&cfg).unwrap();
+        let r = detect(&report.trace);
+        assert!(r.periodic, "{}: {r:?}", arch.name());
+    }
+}
+
+#[test]
+fn workspace_blocks_are_transient() {
+    // conv workspaces must free before the next op launches: their
+    // lifetime must never span two kernel launches
+    let cfg = ProfileConfig::breakdown_sweep(Architecture::LeNet5, DatasetSpec::cifar100(), 8);
+    let report = profile(&cfg).unwrap();
+    let lifetimes = report.trace.lifetimes();
+    let ws: Vec<_> = lifetimes
+        .values()
+        .filter(|lt| lt.mem_kind == pinpoint::trace::MemoryKind::Workspace)
+        .collect();
+    assert!(!ws.is_empty(), "conv nets allocate im2col workspaces");
+    for lt in ws {
+        assert!(lt.free_time_ns.is_some(), "workspace never freed");
+        // exactly one kernel touches a workspace (read+write pair)
+        assert_eq!(lt.accesses.len(), 2, "{lt:?}");
+    }
+}
+
+#[test]
+fn trace_events_account_for_all_reserved_memory() {
+    let cfg = ProfileConfig::breakdown_sweep(Architecture::AlexNet, DatasetSpec::cifar100(), 16);
+    let report = profile(&cfg).unwrap();
+    // peak live bytes from the trace never exceeds what the allocator
+    // reserved from the device
+    let peak = report.trace.peak_live_bytes().peak_total_bytes;
+    assert!(peak <= report.alloc_stats.peak_reserved_bytes as u64);
+    assert!(peak > 0);
+}
+
+#[test]
+fn mallocs_and_frees_balance_except_persistents() {
+    let mut cfg = ProfileConfig::mlp_case_study(3);
+    cfg.iterations = 3;
+    let report = profile(&cfg).unwrap();
+    let mallocs = report
+        .trace
+        .events()
+        .iter()
+        .filter(|e| e.kind == EventKind::Malloc)
+        .count() as u64;
+    let frees = report
+        .trace
+        .events()
+        .iter()
+        .filter(|e| e.kind == EventKind::Free)
+        .count() as u64;
+    // MLP: 4 persistent parameters remain live at the end
+    assert_eq!(mallocs - frees, 4);
+}

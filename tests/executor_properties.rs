@@ -1,0 +1,122 @@
+//! Property-based tests of the executor over randomly generated MLP-family
+//! programs: every generated program must trace cleanly, periodically, and
+//! identically in concrete and symbolic modes.
+
+use pinpoint::analysis::detect;
+use pinpoint::device::{DeviceConfig, SimDevice};
+use pinpoint::nn::exec::{BatchData, ExecMode, Executor};
+use pinpoint::nn::{backward, GraphBuilder, Optimizer, Program};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandomMlp {
+    batch: usize,
+    widths: Vec<usize>,
+    relu: bool,
+    dropout: bool,
+    optimizer: u8,
+}
+
+fn mlp_strategy() -> impl Strategy<Value = RandomMlp> {
+    (
+        2usize..16,
+        prop::collection::vec(1usize..24, 1..4),
+        any::<bool>(),
+        any::<bool>(),
+        0u8..3,
+    )
+        .prop_map(|(batch, widths, relu, dropout, optimizer)| RandomMlp {
+            batch,
+            widths,
+            relu,
+            dropout,
+            optimizer,
+        })
+}
+
+fn build(cfg: &RandomMlp) -> Program {
+    let mut b = GraphBuilder::new();
+    let x = b.input("x", [cfg.batch, 3]);
+    let y = b.labels("y", cfg.batch);
+    let mut h = x;
+    let mut in_dim = 3usize;
+    for (i, &w) in cfg.widths.iter().enumerate() {
+        let fc = pinpoint::nn::layers::Linear::new(&mut b, &format!("fc{i}"), in_dim, w, true);
+        h = fc.forward(&mut b, h);
+        if cfg.relu {
+            h = b.relu(h, &format!("relu{i}"));
+        }
+        if cfg.dropout && w > 1 {
+            h = b.dropout(h, 0.25, &format!("drop{i}"));
+        }
+        in_dim = w;
+    }
+    let head = pinpoint::nn::layers::Linear::new(&mut b, "head", in_dim, 2, true);
+    let logits = head.forward(&mut b, h);
+    let (loss, _) = b.softmax_cross_entropy(logits, y, "loss");
+    let grads = backward(&mut b, loss);
+    let opt = match cfg.optimizer {
+        0 => Optimizer::Sgd { lr: 0.1 },
+        1 => Optimizer::SgdMomentum { lr: 0.1, mu: 0.9 },
+        _ => Optimizer::adam(1e-3),
+    };
+    opt.emit_step(&mut b, &grads);
+    Program::compile(b.finish(), vec![x, y], loss)
+}
+
+fn batch_for(cfg: &RandomMlp, iter: u64) -> BatchData {
+    let input: Vec<f32> = (0..cfg.batch * 3)
+        .map(|i| ((i as f32 + iter as f32) * 0.77).sin())
+        .collect();
+    let labels: Vec<f32> = (0..cfg.batch).map(|i| (i % 2) as f32).collect();
+    BatchData { input, labels }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_programs_trace_cleanly_and_periodically(cfg in mlp_strategy()) {
+        let program = build(&cfg);
+        let device = SimDevice::new(DeviceConfig::deterministic());
+        let mut exec = Executor::new(program, device, ExecMode::Symbolic).unwrap();
+        exec.run_iterations(4).unwrap();
+        let device = exec.into_device();
+        device.trace().validate().unwrap();
+        let report = detect(device.trace());
+        prop_assert!(report.periodic, "{cfg:?}: {report:?}");
+        // no leaks beyond persistent storages
+        let stats = device.alloc_stats();
+        prop_assert!(stats.allocated_bytes > 0, "params stay resident");
+        prop_assert!(stats.num_frees < stats.num_mallocs);
+    }
+
+    #[test]
+    fn concrete_matches_symbolic_for_random_programs(cfg in mlp_strategy()) {
+        let d1 = SimDevice::new(DeviceConfig::deterministic());
+        let mut sym = Executor::new(build(&cfg), d1, ExecMode::Symbolic).unwrap();
+        sym.run_iterations(2).unwrap();
+        let d2 = SimDevice::new(DeviceConfig::deterministic());
+        let mut conc = Executor::new(build(&cfg), d2, ExecMode::Concrete).unwrap();
+        for i in 0..2 {
+            conc.run_iteration(Some(&batch_for(&cfg, i))).unwrap();
+        }
+        let ts = sym.into_device().into_trace();
+        let tc = conc.into_device().into_trace();
+        prop_assert_eq!(ts.events(), tc.events());
+        // concrete losses are finite
+        prop_assert!(!tc.is_empty());
+    }
+
+    #[test]
+    fn losses_stay_finite_under_training(cfg in mlp_strategy()) {
+        let device = SimDevice::new(DeviceConfig::deterministic());
+        let mut exec = Executor::new(build(&cfg), device, ExecMode::Concrete).unwrap();
+        for i in 0..5 {
+            let stats = exec.run_iteration(Some(&batch_for(&cfg, i))).unwrap();
+            let loss = stats.loss.expect("concrete iterations report loss");
+            prop_assert!(loss.is_finite(), "{cfg:?} produced loss {loss}");
+            prop_assert!(loss >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Integration tests for the paper's five reproducible claims (C1–C5 in
+//! DESIGN.md), at test scale.
+
+use pinpoint::analysis::{sift, AtiDataset, EmpiricalCdf, OutlierCriteria};
+use pinpoint::core::figures;
+use pinpoint::core::{profile, EpochEval, ProfileConfig};
+use pinpoint::device::TransferModel;
+
+/// C1: block lifetimes repeat with a stable period across iterations, and
+/// fragmentation under the caching allocator stays small.
+#[test]
+fn c1_iterative_patterns_and_low_fragmentation() {
+    let fig2 = figures::fig2_gantt(5).expect("fig2");
+    assert!(fig2.iterative.periodic);
+    assert_eq!(fig2.iterative.iterations, 5);
+    assert!(fig2.iterative.period_cv < 0.2, "cv {}", fig2.iterative.period_cv);
+    assert!(fig2.worst_fragmentation.gap_fraction() < 0.5);
+    // the period is also recoverable with no markers at all, straight from
+    // the malloc signature sequence
+    let report = profile(&ProfileConfig::mlp_case_study(6)).expect("profile");
+    let mallocs_per_iter = pinpoint::analysis::period_from_mallocs(&report.trace, 256);
+    assert!(mallocs_per_iter.is_some(), "marker-free period detection");
+}
+
+/// C2: the ATI distribution is concentrated; Equation 1 then bounds the
+/// profitable swap size of typical behaviors to tens of kilobytes.
+#[test]
+fn c2_concentrated_atis_imply_tiny_swap_budgets() {
+    let report = profile(&ProfileConfig::mlp_case_study(30)).expect("profile");
+    let atis = AtiDataset::from_trace(&report.trace);
+    let cdf = EmpiricalCdf::new(atis.intervals_ns());
+    assert!(cdf.len() > 200);
+    // concentration: the IQR is narrow relative to the full range
+    let iqr = cdf.percentile(0.75) - cdf.percentile(0.25);
+    let span = cdf.range().unwrap().1 - cdf.range().unwrap().0;
+    assert!((iqr as f64) < 0.5 * span as f64, "iqr {iqr} vs span {span}");
+    // the paper's Equation-1 consequence at the p90 ATI
+    let tm = TransferModel::titan_x_pascal_pinned();
+    let bound = tm.max_swap_bytes(cdf.percentile(0.9));
+    assert!(
+        bound < 1_500_000.0,
+        "typical ATIs admit only small swaps, got {bound} B"
+    );
+}
+
+/// C3: high-ATI × large-size outliers exist and pass Equation 1 — they are
+/// the right swap targets.
+#[test]
+fn c3_outliers_are_the_swap_targets() {
+    let mut cfg = ProfileConfig::mlp_case_study(101);
+    cfg.epoch_eval = Some(EpochEval {
+        iters_per_epoch: 50,
+        buffer_bytes: 16_000_000,
+    });
+    let report = profile(&cfg).expect("profile");
+    let atis = AtiDataset::from_trace(&report.trace);
+    let outliers = sift(
+        &atis,
+        OutlierCriteria {
+            min_ati_ns: 1_000_000,
+            min_size_bytes: 8_000_000,
+        },
+    );
+    assert!(!outliers.outliers.is_empty());
+    let tm = TransferModel::titan_x_pascal_pinned();
+    let red = outliers.most_extreme().unwrap();
+    assert!(
+        tm.swappable(red.size, red.interval_ns),
+        "the extreme outlier must satisfy Equation 1"
+    );
+    // while typical behaviors do not
+    let typical = atis
+        .records()
+        .iter()
+        .filter(|r| r.interval_ns < 100_000 && r.size > 1_000_000)
+        .take(50);
+    for r in typical {
+        assert!(!tm.swappable(r.size, r.interval_ns), "{r:?}");
+    }
+}
+
+/// C4: parameters are a minor fraction of the footprint for most DNNs;
+/// intermediates dominate.
+#[test]
+fn c4_parameters_minor_intermediates_dominate() {
+    let rows = figures::fig5_breakdown(64).expect("fig5");
+    let minor = rows.iter().filter(|r| r.fractions().1 < 0.4).count();
+    assert!(minor >= rows.len() - 2, "{rows:?}");
+    let inter_dominant = rows
+        .iter()
+        .filter(|r| {
+            let (i, p, m) = r.fractions();
+            m > i && m > p
+        })
+        .count();
+    assert!(inter_dominant >= rows.len() - 2, "{rows:?}");
+}
+
+/// C5: growing batch size grows the intermediate share and shrinks the
+/// parameter share; the input share grows slightly. Holds for linear
+/// (AlexNet) and non-linear (ResNet) topologies.
+#[test]
+fn c5_batch_size_shifts_the_breakdown() {
+    let alex = figures::fig6_alexnet(&[32, 256]).expect("fig6");
+    for pair in alex.chunks(2) {
+        let (i_s, p_s, m_s) = pair[0].fractions();
+        let (i_b, p_b, m_b) = pair[1].fractions();
+        assert!(m_b > m_s, "intermediates grow: {pair:?}");
+        assert!(p_b < p_s, "parameters shrink: {pair:?}");
+        assert!(i_b >= i_s * 0.9, "input share holds or grows: {pair:?}");
+    }
+    let res = figures::fig7_resnet(&[32, 256]).expect("fig7");
+    for pair in res.chunks(2) {
+        let (_, p_s, m_s) = pair[0].fractions();
+        let (_, p_b, m_b) = pair[1].fractions();
+        assert!(m_b >= m_s, "{pair:?}");
+        assert!(p_b <= p_s, "{pair:?}");
+    }
+}
+
+/// Equation 1's two worked examples, verbatim from the paper.
+#[test]
+fn equation_1_worked_examples() {
+    let tm = TransferModel::titan_x_pascal_pinned();
+    let s25us = tm.max_swap_bytes(25_000);
+    assert!((s25us / 1e3 - 79.37).abs() < 0.1, "{s25us}");
+    let s800ms = tm.max_swap_bytes(800_000_000);
+    assert!((s800ms / 1e9 - 2.54).abs() < 0.01, "{s800ms}");
+    // the red-marked outlier: 1200 MB at 840 211 µs is swappable
+    assert!(tm.swappable(1_200_000_000, 840_211_000));
+}
