@@ -6,10 +6,9 @@
 //! size to find the swappable outliers.
 
 use pinpoint_trace::{BlockId, EventKind, MemoryKind, Trace};
-use serde::{Deserialize, Serialize};
 
 /// One access-time interval of one block.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AtiRecord {
     /// The block the interval belongs to.
     pub block: BlockId,
@@ -27,7 +26,7 @@ pub struct AtiRecord {
 }
 
 /// All ATIs of a trace, in closing-access time order.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct AtiDataset {
     records: Vec<AtiRecord>,
 }

@@ -5,10 +5,9 @@
 //! timeline that peak comes from.
 
 use pinpoint_trace::{Category, EventKind, Trace};
-use serde::{Deserialize, Serialize};
 
 /// One row of a breakdown figure.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BreakdownRow {
     /// Workload label, e.g. `"alexnet/cifar100/bs128"`.
     pub label: String,
@@ -50,7 +49,7 @@ impl BreakdownRow {
 }
 
 /// A point of the occupancy timeline: live bytes right after an event.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OccupancyPoint {
     /// Event time.
     pub time_ns: u64,

@@ -1,6 +1,5 @@
 //! Empirical cumulative distribution functions (Fig. 3a).
 
-use serde::{Deserialize, Serialize};
 
 /// An empirical CDF over `u64` samples (nanosecond intervals, byte sizes).
 ///
@@ -13,7 +12,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(cdf.percentile(0.5), 20);
 /// assert_eq!(cdf.fraction_at_or_below(25), 0.5);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EmpiricalCdf {
     sorted: Vec<u64>,
 }

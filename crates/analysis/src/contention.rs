@@ -8,10 +8,9 @@
 
 use crate::planner::{SwapDecision, SwapPlan};
 use pinpoint_device::TransferModel;
-use serde::{Deserialize, Serialize};
 
 /// One scheduled transfer pair of a decision.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ScheduledSwap {
     /// The decision being scheduled.
     pub decision: SwapDecision,
@@ -24,7 +23,7 @@ pub struct ScheduledSwap {
 }
 
 /// Result of scheduling a plan on the shared link.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ContentionReport {
     /// Per-decision schedule, in deadline order.
     pub schedule: Vec<ScheduledSwap>,

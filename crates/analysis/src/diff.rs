@@ -6,10 +6,9 @@ use crate::ati::AtiDataset;
 use crate::breakdown::BreakdownRow;
 use crate::iterative::detect;
 use pinpoint_trace::Trace;
-use serde::{Deserialize, Serialize};
 
 /// Side-by-side summary of one metric.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Delta {
     /// The metric in trace A.
     pub a: f64,
@@ -34,7 +33,7 @@ impl Delta {
 }
 
 /// The structural diff of two traces.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceDiff {
     /// Event counts.
     pub events: Delta,

@@ -5,10 +5,9 @@
 //! live rectangles is device memory fragmentation.
 
 use pinpoint_trace::{BlockId, MemoryKind, Trace};
-use serde::{Deserialize, Serialize};
 
 /// One rectangle of the Gantt chart.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GanttRect {
     /// Block identity.
     pub block: BlockId,
@@ -47,7 +46,7 @@ pub fn gantt_rects(trace: &Trace, t_start: u64, t_end: u64) -> Vec<GanttRect> {
 
 /// Fragmentation of the device address space at instant `t`: the live
 /// rectangles at `t`, the gaps between them, and summary ratios.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FragmentationSnapshot {
     /// Time of the snapshot.
     pub time_ns: u64,

@@ -6,10 +6,9 @@
 //! compares the per-iteration event signatures.
 
 use pinpoint_trace::{EventKind, Trace};
-use serde::{Deserialize, Serialize};
 
 /// Result of the periodicity check.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IterativeReport {
     /// Iterations found (marker count with the `iter:` prefix).
     pub iterations: usize,

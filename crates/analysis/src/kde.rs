@@ -1,9 +1,8 @@
 //! Gaussian kernel density estimation and violin-plot statistics (Fig. 3b).
 
-use serde::{Deserialize, Serialize};
 
 /// Summary statistics + density trace of one violin (Hintze & Nelson [8]).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ViolinStats {
     /// Sample count.
     pub count: usize,

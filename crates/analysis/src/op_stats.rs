@@ -6,10 +6,9 @@
 //! model would consume.
 
 use pinpoint_trace::{EventKind, Trace};
-use serde::{Deserialize, Serialize};
 
 /// Aggregated memory traffic of one op label.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OpMemoryStats {
     /// The op label (e.g. `"fc0.matmul"`).
     pub label: String,

@@ -3,10 +3,9 @@
 //! pressure of DNN training".
 
 use crate::ati::{AtiDataset, AtiRecord};
-use serde::{Deserialize, Serialize};
 
 /// Thresholds defining an outlier behavior.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OutlierCriteria {
     /// Minimum access-time interval.
     pub min_ati_ns: u64,
@@ -30,7 +29,7 @@ impl OutlierCriteria {
 }
 
 /// Outlier-sifting result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OutlierReport {
     /// Criteria used.
     pub criteria: OutlierCriteria,

@@ -13,11 +13,10 @@
 
 use pinpoint_device::TransferModel;
 use pinpoint_trace::{BlockId, EventKind, Trace};
-use serde::{Deserialize, Serialize};
 
 /// One planned swap: evict the block after an access, prefetch it back
 /// before the next.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SwapDecision {
     /// The block to swap.
     pub block: BlockId,
@@ -46,7 +45,7 @@ impl SwapDecision {
 }
 
 /// A complete swap plan with its estimated effect.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SwapPlan {
     /// Planned evict/prefetch pairs, in eviction-time order.
     pub decisions: Vec<SwapDecision>,

@@ -6,10 +6,9 @@
 
 use crate::ati::{AtiDataset, AtiRecord};
 use pinpoint_device::TransferModel;
-use serde::{Deserialize, Serialize};
 
 /// One behavior's swap verdict.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SwapVerdict {
     /// The behavior under consideration.
     pub record: AtiRecord,
@@ -20,7 +19,7 @@ pub struct SwapVerdict {
 }
 
 /// Aggregate feasibility report for a trace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SwapFeasibilityReport {
     /// Per-behavior verdicts, in trace order.
     pub verdicts: Vec<SwapVerdict>,

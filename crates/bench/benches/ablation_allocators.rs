@@ -2,7 +2,8 @@
 //! Replays the same MLP training through the caching, best-fit and bump
 //! allocators and compares periodicity, fragmentation and reserved memory.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pinpoint_bench::criterion::Criterion;
+use pinpoint_bench::{criterion_group, criterion_main};
 use pinpoint_analysis::{detect, worst_fragmentation};
 use pinpoint_core::{profile, ProfileConfig};
 use pinpoint_device::AllocatorPolicy;

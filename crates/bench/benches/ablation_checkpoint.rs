@@ -2,7 +2,8 @@
 //! recompute cost — the recomputation counterpart to the swap planner,
 //! measured through the same instrumentation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pinpoint_bench::criterion::Criterion;
+use pinpoint_bench::{criterion_group, criterion_main};
 use pinpoint_core::report::{human_bytes, human_time};
 use pinpoint_core::{profile, ProfileConfig};
 use pinpoint_data::DatasetSpec;

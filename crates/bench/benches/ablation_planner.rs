@@ -4,7 +4,8 @@
 //! planner's payoff case; the MLP's sub-ms gaps yield nothing, exactly as
 //! the paper's Fig. 3 discussion predicts.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pinpoint_bench::criterion::Criterion;
+use pinpoint_bench::{criterion_group, criterion_main};
 use pinpoint_analysis::plan;
 use pinpoint_core::report::human_bytes;
 use pinpoint_core::{profile, ProfileConfig};

@@ -1,7 +1,8 @@
 //! Fig. 4: pair-wise (ATI, size) of every memory behavior; the high-ATI ×
 //! large-size outliers and their Equation-1 swap verdicts.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pinpoint_bench::criterion::Criterion;
+use pinpoint_bench::{criterion_group, criterion_main};
 use pinpoint_bench::{by_scale, Scale};
 use pinpoint_core::figures::fig4_outliers;
 use pinpoint_core::report::render_fig4;

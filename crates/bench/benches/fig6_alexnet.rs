@@ -1,7 +1,8 @@
 //! Fig. 6: AlexNet occupation breakdown across batch sizes, on CIFAR-100
 //! and ImageNet geometries.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pinpoint_bench::criterion::Criterion;
+use pinpoint_bench::{criterion_group, criterion_main};
 use pinpoint_core::figures::fig6_alexnet;
 use pinpoint_core::report::render_breakdown;
 

@@ -1,7 +1,8 @@
 //! Microbenchmarks of the device allocators: steady-state malloc/free
 //! throughput for DNN-like size mixes.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pinpoint_bench::criterion::Criterion;
+use pinpoint_bench::{criterion_group, criterion_main};
 use pinpoint_device::alloc::{
     BestFitAllocator, BumpAllocator, CachingAllocator, DeviceAllocator,
 };

@@ -1,7 +1,8 @@
 //! Microbenchmarks of the analysis kernels: ATI extraction, CDF, KDE and
 //! planning over a real (simulated) training trace.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pinpoint_bench::criterion::Criterion;
+use pinpoint_bench::{criterion_group, criterion_main};
 use pinpoint_analysis::{plan, violin, AtiDataset, EmpiricalCdf};
 use pinpoint_core::{profile, ProfileConfig};
 

@@ -1,0 +1,154 @@
+//! A minimal, std-only stand-in for the Criterion benchmark harness, kept
+//! in-repo so `cargo bench` works in hermetic build environments with no
+//! access to crates.io.
+//!
+//! Only the slice of the Criterion API this workspace's bench targets use is
+//! provided: [`Criterion::benchmark_group`], [`BenchmarkGroup::sample_size`],
+//! [`BenchmarkGroup::bench_function`], [`BenchmarkGroup::finish`] and
+//! [`Bencher::iter`]. Results are printed as `group/name  median ... (n
+//! samples)` lines; there is no statistical outlier analysis.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Top-level benchmark driver, passed to every bench target function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a sample-size setting.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times one benchmark and prints its median/min/max sample times.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { elapsed_ns: 0 };
+        // one untimed warmup sample
+        f(&mut b);
+        let mut samples: Vec<u64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.elapsed_ns = 0;
+            f(&mut b);
+            samples.push(b.elapsed_ns);
+        }
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        println!(
+            "bench {}/{}: median {} min {} max {} ({} samples)",
+            self.name,
+            id,
+            human_ns(median),
+            human_ns(samples[0]),
+            human_ns(*samples.last().unwrap()),
+            samples.len(),
+        );
+        self
+    }
+
+    /// Ends the group (parity with the real Criterion API; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to the closure given to [`BenchmarkGroup::bench_function`];
+/// [`Bencher::iter`] times the supplied routine.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed_ns: u64,
+}
+
+impl Bencher {
+    /// Runs `f` once and adds its wall-clock time to the current sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        self.elapsed_ns += start.elapsed().as_nanos() as u64;
+        black_box(out);
+    }
+}
+
+fn human_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Declares a function running the listed bench targets, mirroring
+/// Criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::criterion::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary, mirroring Criterion's macro of the
+/// same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() { $( $group(); )+ }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        let mut runs = 0u32;
+        g.sample_size(3);
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        g.finish();
+        assert_eq!(runs, 4, "warmup + 3 samples");
+    }
+
+    #[test]
+    fn human_ns_picks_sane_units() {
+        assert_eq!(human_ns(12), "12ns");
+        assert_eq!(human_ns(1_500), "1.500us");
+        assert_eq!(human_ns(2_000_000), "2.000ms");
+        assert_eq!(human_ns(3_000_000_000), "3.000s");
+    }
+}

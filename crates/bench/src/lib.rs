@@ -9,6 +9,8 @@
 //! Set `PINPOINT_SCALE=paper` to run the figures at full paper scale
 //! (slower); the default `quick` scale preserves every claim's shape.
 
+pub mod criterion;
+
 /// Benchmark scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {

@@ -11,9 +11,8 @@ use pinpoint_device::{DeviceConfig, SimDevice};
 use pinpoint_models::{build_training_program, Architecture, ImageDims};
 use pinpoint_nn::exec::{BatchData, ExecMode, Executor};
 use pinpoint_nn::{Optimizer, ProgramSummary};
+use pinpoint_tensor::rng::Rng64;
 use pinpoint_trace::{MemoryKind, Trace};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::fmt;
 
 /// A per-epoch device-resident evaluation buffer.
@@ -289,7 +288,7 @@ pub fn profile(config: &ProfileConfig) -> Result<ProfileReport, ProfileError> {
 enum ConcreteDataGen {
     None,
     Blobs { gen: TwoBlobs, batch: usize },
-    RandomImages { rng: StdRng, numel: usize, batch: usize, classes: usize },
+    RandomImages { rng: Rng64, numel: usize, batch: usize, classes: usize },
 }
 
 impl ConcreteDataGen {
@@ -303,7 +302,7 @@ impl ConcreteDataGen {
                 batch: config.batch,
             },
             _ => ConcreteDataGen::RandomImages {
-                rng: StdRng::seed_from_u64(config.seed),
+                rng: Rng64::seed_from_u64(config.seed),
                 numel: config.dataset.example_numel(),
                 batch: config.batch,
                 classes: config.dataset.classes,
@@ -327,9 +326,11 @@ impl ConcreteDataGen {
                 batch,
                 classes,
             } => {
-                let input: Vec<f32> = (0..*batch * *numel).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                let input: Vec<f32> = (0..*batch * *numel)
+                    .map(|_| rng.gen_range_f32(-1.0, 1.0))
+                    .collect();
                 let labels: Vec<f32> = (0..*batch)
-                    .map(|_| rng.gen_range(0..*classes) as f32)
+                    .map(|_| rng.gen_range_usize(0, *classes) as f32)
                     .collect();
                 Some(BatchData { input, labels })
             }

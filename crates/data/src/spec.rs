@@ -1,10 +1,9 @@
 //! Dataset geometry presets.
 
-use serde::{Deserialize, Serialize};
 
 /// Geometry of a labeled image dataset (the only properties that influence
 /// device memory behavior).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct DatasetSpec {
     /// Dataset name for reports.
     pub name: String,

@@ -1,7 +1,6 @@
 //! A concrete 2-feature, 2-class task for the MLP case study.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pinpoint_tensor::rng::Rng64;
 
 /// Generates separable Gaussian blobs: class 0 centered at `(-1, -1)`,
 /// class 1 at `(+1, +1)`, both with σ = 0.4. Deterministic per seed.
@@ -21,7 +20,7 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct TwoBlobs {
-    rng: StdRng,
+    rng: Rng64,
 }
 
 /// One generated mini-batch: flattened `[batch, 2]` inputs plus labels.
@@ -37,7 +36,7 @@ impl TwoBlobs {
     /// Creates a generator with a deterministic seed.
     pub fn new(seed: u64) -> Self {
         TwoBlobs {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng64::seed_from_u64(seed),
         }
     }
 
@@ -49,8 +48,8 @@ impl TwoBlobs {
             let class = (i % 2) as f32;
             let center = if class == 0.0 { -1.0f32 } else { 1.0 };
             // Box–Muller gaussian noise
-            let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
-            let u2: f64 = self.rng.gen();
+            let u1: f64 = self.rng.gen_f64().max(f64::EPSILON);
+            let u2: f64 = self.rng.gen_f64();
             let r = (-2.0 * u1.ln()).sqrt();
             let (n1, n2) = (
                 r * (2.0 * std::f64::consts::PI * u2).cos(),

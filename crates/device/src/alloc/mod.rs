@@ -16,7 +16,6 @@ pub use bump::BumpAllocator;
 pub use caching::CachingAllocator;
 
 use pinpoint_trace::BlockId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Allocation granularity: all sizes round up to a multiple of this
@@ -32,7 +31,7 @@ pub fn round_up(size: usize) -> usize {
 }
 
 /// A live allocation handed out by a [`DeviceAllocator`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Block {
     /// Unique id, minted per `malloc` (the paper's unit of analysis).
     pub id: BlockId,
@@ -83,7 +82,7 @@ impl fmt::Display for AllocError {
 impl std::error::Error for AllocError {}
 
 /// Running counters every allocator maintains.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AllocStats {
     /// Bytes currently handed out to live blocks.
     pub allocated_bytes: usize,

@@ -5,7 +5,6 @@
 //! must produce byte-identical traces, which is what lets the analysis layer
 //! assert iterative patterns exactly.
 
-use serde::{Deserialize, Serialize};
 
 /// A monotonically advancing nanosecond clock.
 ///
@@ -19,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// clock.advance_ns(5_000);
 /// assert_eq!(clock.now_ns(), 5_000);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimClock {
     now_ns: u64,
 }

@@ -7,7 +7,6 @@
 //! scaled by a small deterministic jitter. Defaults are calibrated to the
 //! paper's Nvidia Titan X Pascal.
 
-use serde::{Deserialize, Serialize};
 
 /// Roofline kernel-duration model with deterministic jitter.
 ///
@@ -21,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// let t = cm.kernel_time_ns(1_000, 4_000, 0);
 /// assert!(t >= 4_000 && t < 8_000);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostModel {
     /// Fixed per-kernel launch latency in nanoseconds.
     pub launch_overhead_ns: u64,

@@ -12,11 +12,10 @@ use crate::clock::SimClock;
 use crate::cost::CostModel;
 use crate::transfer::TransferModel;
 use pinpoint_trace::{BlockId, EventKind, MemoryKind, Trace};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Which allocator policy a device uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum AllocatorPolicy {
     /// PyTorch-style caching allocator (the paper's subject).
     #[default]
@@ -46,7 +45,7 @@ impl AllocatorPolicy {
 }
 
 /// Configuration of a simulated device.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceConfig {
     /// Device memory capacity in bytes (Titan X Pascal: 12 GB).
     pub capacity_bytes: usize,

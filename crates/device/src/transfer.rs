@@ -12,10 +12,9 @@
 //! [`TransferModel::max_swap_bytes`] is that bound; the paper's two worked
 //! examples (79.37 KB at 25 µs, 2.54 GB at 0.8 s) are unit tests here.
 
-use serde::{Deserialize, Serialize};
 
 /// PCIe-like host↔device transfer model (pinned memory).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TransferModel {
     /// Host→device bandwidth, bytes per second.
     pub h2d_bytes_per_sec: f64,
@@ -81,7 +80,7 @@ impl Default for TransferModel {
 
 /// Result of the simulated `bandwidthTest` (mirrors the CUDA SDK sample the
 /// paper used): measured bandwidths derived from timed bulk copies.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BandwidthTestReport {
     /// Transfer size used for the measurement, bytes.
     pub payload_bytes: usize,

@@ -17,8 +17,7 @@ use pinpoint_tensor::kernels::pool::{
     maxpool_backward, maxpool_forward,
 };
 use pinpoint_tensor::kernels::softmax::{softmax_cross_entropy, softmax_cross_entropy_backward};
-use rand::rngs::StdRng;
-use rand::Rng;
+use pinpoint_tensor::rng::Rng64;
 
 fn t(flag: bool) -> Transpose {
     if flag {
@@ -62,23 +61,18 @@ fn unit_uniform(seed: u64) -> f64 {
 
 /// Fills a fresh buffer according to an init spec, deterministically from
 /// the given RNG.
-pub(crate) fn fill_init(spec: InitSpec, buf: &mut [f32], rng: &mut StdRng) {
+pub(crate) fn fill_init(spec: InitSpec, buf: &mut [f32], rng: &mut Rng64) {
     match spec {
         InitSpec::Zeros => buf.fill(0.0),
         InitSpec::Ones => buf.fill(1.0),
         InitSpec::Uniform { bound } => {
             for v in buf.iter_mut() {
-                *v = rng.gen_range(-bound..=bound);
+                *v = rng.gen_range_f32(-bound, bound);
             }
         }
         InitSpec::Normal { std } => {
-            // Box–Muller from two uniforms (rand 0.8 has no Normal distr
-            // without rand_distr, which we avoid depending on)
             for v in buf.iter_mut() {
-                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-                let u2: f64 = rng.gen::<f64>();
-                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-                *v = (z * std as f64) as f32;
+                *v = (rng.gen_normal() * std as f64) as f32;
             }
         }
     }
@@ -450,7 +444,6 @@ pub(crate) fn dispatch(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn unit_uniform_is_in_range_and_deterministic() {
@@ -463,7 +456,7 @@ mod tests {
 
     #[test]
     fn fill_init_shapes_distributions() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng64::seed_from_u64(7);
         let mut z = vec![1.0f32; 64];
         fill_init(InitSpec::Zeros, &mut z, &mut rng);
         assert!(z.iter().all(|&v| v == 0.0));

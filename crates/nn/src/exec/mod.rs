@@ -8,9 +8,8 @@ use crate::graph::{OpKind, StorageId, TensorId};
 use crate::program::Program;
 use pinpoint_device::alloc::AllocError;
 use pinpoint_device::SimDevice;
+use pinpoint_tensor::rng::Rng64;
 use pinpoint_trace::{BlockId, MemoryKind};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Whether an executor computes real values or only simulates memory/time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -131,7 +130,7 @@ impl Executor {
             );
             if mode == ExecMode::Concrete {
                 let mut buf = vec![0.0f32; storage_sizes[s] / 4];
-                let mut rng = StdRng::seed_from_u64(seed ^ (s as u64).wrapping_mul(0x9E37));
+                let mut rng = Rng64::seed_from_u64(seed ^ (s as u64).wrapping_mul(0x9E37));
                 if let Some(spec) = init {
                     concrete::fill_init(*spec, &mut buf, &mut rng);
                 }

@@ -11,18 +11,17 @@ use pinpoint_tensor::kernels::depthwise::DwConv2dGeom;
 use pinpoint_tensor::kernels::pool::Pool2dGeom;
 use pinpoint_tensor::Shape;
 use pinpoint_trace::MemoryKind;
-use serde::{Deserialize, Serialize};
 
 /// Identity of a logical tensor in the graph.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TensorId(pub usize);
 
 /// Identity of a device storage (allocation unit); views share one.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct StorageId(pub usize);
 
 /// How a persistent tensor is initialized before training starts.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum InitSpec {
     /// All zeros (biases, momentum buffers, running means).
     Zeros,
@@ -42,7 +41,7 @@ pub enum InitSpec {
 }
 
 /// Metadata of one logical tensor.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TensorMeta {
     /// Logical shape.
     pub shape: Shape,

@@ -3,7 +3,6 @@
 use crate::graph::{Graph, TensorId};
 use crate::liveness::Liveness;
 use pinpoint_trace::MemoryKind;
-use serde::{Deserialize, Serialize};
 
 /// A compiled training iteration, ready to be replayed by an executor.
 ///
@@ -109,7 +108,7 @@ impl Program {
 }
 
 /// Static per-kind byte totals and op counts of a program.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ProgramSummary {
     /// Number of ops in the tape.
     pub num_ops: usize,

@@ -32,6 +32,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod kernels;
+pub mod rng;
 mod shape;
 
 pub use shape::Shape;

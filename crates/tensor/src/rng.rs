@@ -1,0 +1,205 @@
+//! A small, deterministic, std-only PRNG.
+//!
+//! The workspace runs in hermetic environments with no crates.io access, so
+//! everything that previously leaned on the `rand` crate (weight init, the
+//! two-blobs dataset, randomized property tests) draws from this generator
+//! instead. It is xoshiro256++ seeded through SplitMix64 — the same
+//! construction the reference implementation recommends — giving a long
+//! period and good equidistribution at a few nanoseconds per draw.
+//!
+//! Determinism contract: for a fixed seed, the stream of values is identical
+//! across platforms, thread counts, and releases. Profiling results derived
+//! from it (e.g. concrete-mode weight init) are part of the reproducibility
+//! guarantee that the parallel sweep engine asserts in tests.
+
+/// SplitMix64 step, used for seeding and as a cheap stateless hash.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256++ pseudo-random generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng64 {
+    s: [u64; 4],
+}
+
+impl Rng64 {
+    /// Creates a generator from a 64-bit seed (SplitMix64-expanded, so
+    /// nearby seeds produce unrelated streams).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng64 { s }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 mantissa bits).
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    #[inline]
+    pub fn gen_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 / (1u32 << 24) as f32
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    #[inline]
+    pub fn gen_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        lo + (hi - lo) * self.gen_f64()
+    }
+
+    /// Uniform `f32` in `[lo, hi]` (closed; matches the old
+    /// `rand::gen_range(-bound..=bound)` init-spec semantics closely enough
+    /// for weight init).
+    #[inline]
+    pub fn gen_range_f32(&mut self, lo: f32, hi: f32) -> f32 {
+        assert!(lo <= hi, "empty range [{lo}, {hi}]");
+        lo + (hi - lo) * self.gen_f32()
+    }
+
+    /// Uniform integer in `[0, n)` via Lemire's multiply-shift rejection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[inline]
+    pub fn gen_below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "gen_below(0)");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(n as u128);
+            let lo = m as u64;
+            if lo >= n.wrapping_neg() % n {
+                return (m >> 64) as u64;
+            }
+            // rejected: tiny bias region, retry
+        }
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    #[inline]
+    pub fn gen_range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        lo + self.gen_below((hi - lo) as u64) as usize
+    }
+
+    /// Fair coin flip.
+    #[inline]
+    pub fn gen_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Standard-normal draw (Box–Muller; one of the pair is discarded to
+    /// keep the stream position independent of call parity).
+    #[inline]
+    pub fn gen_normal(&mut self) -> f64 {
+        let u1 = self.gen_f64().max(f64::EPSILON);
+        let u2 = self.gen_f64();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng64::seed_from_u64(42);
+        let mut b = Rng64::seed_from_u64(42);
+        let mut c = Rng64::seed_from_u64(43);
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn uniform_mean_is_centered() {
+        let mut r = Rng64::seed_from_u64(7);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| r.gen_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut r = Rng64::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v = r.gen_range_f64(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&v));
+            let u = r.gen_range_usize(5, 12);
+            assert!((5..12).contains(&u));
+            let f = r.gen_range_f32(-0.5, 0.5);
+            assert!((-0.5..=0.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_below_covers_all_residues() {
+        let mut r = Rng64::seed_from_u64(11);
+        let mut seen = [false; 7];
+        for _ in 0..500 {
+            seen[r.gen_below(7) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = Rng64::seed_from_u64(13);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.gen_normal()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn splitmix_is_a_pure_function_of_state() {
+        let mut s1 = 123u64;
+        let mut s2 = 123u64;
+        assert_eq!(splitmix64(&mut s1), splitmix64(&mut s2));
+        assert_eq!(s1, s2);
+    }
+}

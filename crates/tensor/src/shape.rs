@@ -4,7 +4,6 @@
 //! shape inference throughout the simulator: every graph tensor carries a
 //! `Shape`, and the symbolic executor sizes device-memory blocks from it.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The shape of a dense tensor: an ordered list of dimension extents.
@@ -20,7 +19,7 @@ use std::fmt;
 /// assert_eq!(s.numel(), 4096 * 12288);
 /// assert_eq!(s.rank(), 2);
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
 pub struct Shape {
     dims: Vec<usize>,
 }

@@ -4,7 +4,6 @@
 //! block is observed through four behaviors: `malloc`, `free`, `read`,
 //! `write`. [`MemEvent`] is our record of one such behavior.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identity of a device memory block.
@@ -14,7 +13,7 @@ use std::fmt;
 /// unit of analysis is the *block* (one allocation lifetime), not the
 /// address range.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct BlockId(pub u64);
 
@@ -25,7 +24,7 @@ impl fmt::Display for BlockId {
 }
 
 /// The four memory behaviors the paper traces.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EventKind {
     /// Block allocation by the runtime's device allocator.
     Malloc,
@@ -61,7 +60,7 @@ impl fmt::Display for EventKind {
 /// The paper's breakdown (Figs. 5–7) uses three coarse categories; this enum
 /// keeps finer distinctions so the mapping can be studied (see
 /// [`MemoryKind::category`] and `pinpoint-analysis`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemoryKind {
     /// Mini-batch input data staged on the device.
     Input,
@@ -116,7 +115,7 @@ impl fmt::Display for MemoryKind {
 
 /// The paper's three memory-content categories (Figs. 5–7, after [12]).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
 )]
 pub enum Category {
     /// Mini-batch input data.
@@ -149,7 +148,7 @@ impl fmt::Display for Category {
 }
 
 /// One observed memory behavior of one device memory block.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MemEvent {
     /// Simulated device time, nanoseconds since trace start.
     pub time_ns: u64,
@@ -204,7 +203,7 @@ mod tests {
     }
 
     #[test]
-    fn event_serde_round_trip() {
+    fn event_json_round_trip() {
         let e = MemEvent {
             time_ns: 123,
             kind: EventKind::Write,
@@ -214,8 +213,14 @@ mod tests {
             mem_kind: MemoryKind::Activation,
             op_label: Some(2),
         };
-        let json = serde_json::to_string(&e).unwrap();
-        let back: MemEvent = serde_json::from_str(&json).unwrap();
-        assert_eq!(e, back);
+        let mut t = crate::Trace::new();
+        t.intern_label("a");
+        t.intern_label("b");
+        t.intern_label("op");
+        t.push(e.clone());
+        let mut buf = Vec::new();
+        crate::export::write_json(&t, &mut buf).unwrap();
+        let back = crate::export::read_json(&buf[..]).unwrap();
+        assert_eq!(back.events(), &[e]);
     }
 }

@@ -1,8 +1,11 @@
 //! Trace serialization: CSV for spreadsheet/plotting pipelines, JSON for
 //! structured consumers.
 
-use crate::trace::Trace;
-use std::io::{self, Write};
+use crate::event::{BlockId, EventKind, MemEvent, MemoryKind};
+use crate::json::{self, Json};
+use crate::trace::{Marker, Trace};
+use std::fmt::Write as _;
+use std::io::{self, Read, Write};
 
 /// Writes the trace's events as CSV with a header row.
 ///
@@ -34,13 +37,152 @@ pub fn write_csv<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
     Ok(())
 }
 
+fn kind_name(kind: EventKind) -> &'static str {
+    match kind {
+        EventKind::Malloc => "Malloc",
+        EventKind::Free => "Free",
+        EventKind::Read => "Read",
+        EventKind::Write => "Write",
+    }
+}
+
+fn kind_from_name(s: &str) -> Option<EventKind> {
+    Some(match s {
+        "Malloc" => EventKind::Malloc,
+        "Free" => EventKind::Free,
+        "Read" => EventKind::Read,
+        "Write" => EventKind::Write,
+        _ => return None,
+    })
+}
+
+fn mem_kind_name(kind: MemoryKind) -> &'static str {
+    match kind {
+        MemoryKind::Input => "Input",
+        MemoryKind::Weight => "Weight",
+        MemoryKind::WeightGrad => "WeightGrad",
+        MemoryKind::OptimizerState => "OptimizerState",
+        MemoryKind::Activation => "Activation",
+        MemoryKind::ActivationGrad => "ActivationGrad",
+        MemoryKind::Workspace => "Workspace",
+        MemoryKind::Other => "Other",
+    }
+}
+
+fn mem_kind_from_name(s: &str) -> Option<MemoryKind> {
+    Some(match s {
+        "Input" => MemoryKind::Input,
+        "Weight" => MemoryKind::Weight,
+        "WeightGrad" => MemoryKind::WeightGrad,
+        "OptimizerState" => MemoryKind::OptimizerState,
+        "Activation" => MemoryKind::Activation,
+        "ActivationGrad" => MemoryKind::ActivationGrad,
+        "Workspace" => MemoryKind::Workspace,
+        "Other" => MemoryKind::Other,
+    _ => return None,
+    })
+}
+
+/// Renders the whole trace (events, markers, label table) as a JSON string.
+///
+/// The wire format matches the historical `serde`-derived layout: enum
+/// variants as `"Malloc"`-style strings, `BlockId` as a bare number,
+/// `op_label` as a number or `null`.
+pub fn json_string(trace: &Trace) -> String {
+    // Pre-size: an event row serializes to ~120 bytes.
+    let mut s = String::with_capacity(trace.len() * 128 + 256);
+    s.push_str("{\"events\":[");
+    for (i, e) in trace.events().iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"time_ns\":{},\"kind\":\"{}\",\"block\":{},\"size\":{},\"offset\":{},\"mem_kind\":\"{}\",\"op_label\":",
+            e.time_ns,
+            kind_name(e.kind),
+            e.block.0,
+            e.size,
+            e.offset,
+            mem_kind_name(e.mem_kind),
+        );
+        match e.op_label {
+            Some(l) => {
+                let _ = write!(s, "{l}");
+            }
+            None => s.push_str("null"),
+        }
+        s.push('}');
+    }
+    s.push_str("],\"markers\":[");
+    for (i, m) in trace.markers().iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"time_ns\":{},\"event_index\":{},\"label\":",
+            m.time_ns, m.event_index
+        );
+        json::write_str(&mut s, &m.label);
+        s.push('}');
+    }
+    s.push_str("],\"labels\":[");
+    for (i, l) in trace.labels().iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        json::write_str(&mut s, l);
+    }
+    s.push_str("]}");
+    s
+}
+
 /// Serializes the whole trace (events, markers, label table) as JSON.
 ///
 /// # Errors
 ///
 /// Propagates serialization or I/O errors.
-pub fn write_json<W: Write>(trace: &Trace, w: W) -> io::Result<()> {
-    serde_json::to_writer(w, trace).map_err(io::Error::other)
+pub fn write_json<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
+    w.write_all(json_string(trace).as_bytes())
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::other(msg.into())
+}
+
+fn field_u64(v: &Json, key: &str) -> io::Result<u64> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| bad(format!("missing or non-integer field `{key}`")))
+}
+
+fn event_from_json(v: &Json) -> io::Result<MemEvent> {
+    let kind_s = v
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("event missing `kind`"))?;
+    let mem_kind_s = v
+        .get("mem_kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("event missing `mem_kind`"))?;
+    let op_label = match v.get("op_label") {
+        None | Some(Json::Null) => None,
+        Some(l) => Some(
+            l.as_u64()
+                .ok_or_else(|| bad("`op_label` must be a number or null"))? as u32,
+        ),
+    };
+    Ok(MemEvent {
+        time_ns: field_u64(v, "time_ns")?,
+        kind: kind_from_name(kind_s).ok_or_else(|| bad(format!("unknown kind `{kind_s}`")))?,
+        block: BlockId(field_u64(v, "block")?),
+        size: field_u64(v, "size")? as usize,
+        offset: field_u64(v, "offset")? as usize,
+        mem_kind: mem_kind_from_name(mem_kind_s)
+            .ok_or_else(|| bad(format!("unknown mem_kind `{mem_kind_s}`")))?,
+        op_label,
+    })
 }
 
 /// Deserializes a trace previously written by [`write_json`].
@@ -48,8 +190,42 @@ pub fn write_json<W: Write>(trace: &Trace, w: W) -> io::Result<()> {
 /// # Errors
 ///
 /// Returns an error if the input is not a valid JSON trace.
-pub fn read_json<R: io::Read>(r: R) -> io::Result<Trace> {
-    serde_json::from_reader(r).map_err(io::Error::other)
+pub fn read_json<R: Read>(mut r: R) -> io::Result<Trace> {
+    let mut text = String::new();
+    r.read_to_string(&mut text)?;
+    let root = json::parse(&text).map_err(bad)?;
+    let mut trace = Trace::new();
+    for l in root
+        .get("labels")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| bad("missing `labels` array"))?
+    {
+        let s = l.as_str().ok_or_else(|| bad("label must be a string"))?;
+        trace.intern_label(s);
+    }
+    for e in root
+        .get("events")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| bad("missing `events` array"))?
+    {
+        trace.push(event_from_json(e)?);
+    }
+    for m in root
+        .get("markers")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| bad("missing `markers` array"))?
+    {
+        let label = m
+            .get("label")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("marker missing `label`"))?;
+        trace.push_marker(Marker {
+            time_ns: field_u64(m, "time_ns")?,
+            event_index: field_u64(m, "event_index")? as usize,
+            label: label.to_string(),
+        });
+    }
+    Ok(trace)
 }
 
 #[cfg(test)]

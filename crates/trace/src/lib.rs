@@ -38,6 +38,7 @@
 
 mod event;
 pub mod export;
+pub mod json;
 #[allow(clippy::module_inception)]
 mod trace;
 

@@ -1,11 +1,10 @@
 //! The trace container and per-block lifetime extraction.
 
 use crate::event::{BlockId, Category, EventKind, MemEvent, MemoryKind};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A named point in time, used to mark iteration and epoch boundaries.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Marker {
     /// Simulated time of the marker.
     pub time_ns: u64,
@@ -35,7 +34,7 @@ pub struct Marker {
 /// assert_eq!(t.len(), 3);
 /// assert_eq!(t.lifetimes().len(), 1);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Trace {
     events: Vec<MemEvent>,
     markers: Vec<Marker>,
@@ -104,6 +103,12 @@ impl Trace {
             event_index: self.events.len(),
             label: label.into(),
         });
+    }
+
+    /// Appends a pre-built marker with an explicit event index (used when
+    /// reloading a serialized trace).
+    pub fn push_marker(&mut self, marker: Marker) {
+        self.markers.push(marker);
     }
 
     /// Slices the events belonging to marker `i` (from that marker up to the
@@ -277,7 +282,7 @@ impl Trace {
 }
 
 /// Total footprint at the moment of peak usage, split by category.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PeakUsage {
     /// Largest total live bytes seen at any instant.
     pub peak_total_bytes: u64,
@@ -306,7 +311,7 @@ impl PeakUsage {
 }
 
 /// One device memory block's full observed life.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BlockLifetime {
     /// Block identity.
     pub block: BlockId,

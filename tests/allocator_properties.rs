@@ -1,11 +1,16 @@
 //! Property-based tests of the device allocators: for arbitrary
 //! malloc/free workloads, invariants must hold for every policy.
+//!
+//! Randomized cases are driven by the in-repo seeded PRNG so the suite is
+//! deterministic and needs no external property-testing framework.
 
 use pinpoint::device::alloc::{
     AllocError, BestFitAllocator, BumpAllocator, CachingAllocator, DeviceAllocator,
 };
+use pinpoint::tensor::rng::Rng64;
 use pinpoint::trace::BlockId;
-use proptest::prelude::*;
+
+const CASES: usize = 64;
 
 /// A randomized workload step.
 #[derive(Debug, Clone)]
@@ -15,11 +20,18 @@ enum Step {
     Free(usize),
 }
 
-fn step_strategy() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        3 => (1usize..40_000_000).prop_map(Step::Malloc),
-        2 => (0usize..64).prop_map(Step::Free),
-    ]
+/// 3:2 weighted mix of mallocs and frees, matching the old strategy.
+fn random_steps(rng: &mut Rng64) -> Vec<Step> {
+    let len = rng.gen_range_usize(1, 120);
+    (0..len)
+        .map(|_| {
+            if rng.gen_below(5) < 3 {
+                Step::Malloc(rng.gen_range_usize(1, 40_000_000))
+            } else {
+                Step::Free(rng.gen_below(64) as usize)
+            }
+        })
+        .collect()
 }
 
 /// Runs a workload against an allocator, checking universal invariants.
@@ -71,50 +83,72 @@ fn run_workload(alloc: &mut dyn DeviceAllocator, steps: &[Step]) {
     assert_eq!(alloc.stats().allocated_bytes, 0);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn caching_allocator_invariants(steps in prop::collection::vec(step_strategy(), 1..120)) {
+#[test]
+fn caching_allocator_invariants() {
+    let mut rng = Rng64::seed_from_u64(0xA11);
+    for _ in 0..CASES {
+        let steps = random_steps(&mut rng);
         let mut a = CachingAllocator::new(1 << 30);
         run_workload(&mut a, &steps);
         a.debug_check_invariants().expect("internal invariants");
     }
+}
 
-    #[test]
-    fn best_fit_allocator_invariants(steps in prop::collection::vec(step_strategy(), 1..120)) {
+#[test]
+fn best_fit_allocator_invariants() {
+    let mut rng = Rng64::seed_from_u64(0xA12);
+    for _ in 0..CASES {
+        let steps = random_steps(&mut rng);
         let mut a = BestFitAllocator::new(1 << 30);
         run_workload(&mut a, &steps);
     }
+}
 
-    #[test]
-    fn bump_allocator_invariants(steps in prop::collection::vec(step_strategy(), 1..120)) {
+#[test]
+fn bump_allocator_invariants() {
+    let mut rng = Rng64::seed_from_u64(0xA13);
+    for _ in 0..CASES {
+        let steps = random_steps(&mut rng);
         let mut a = BumpAllocator::new(1 << 30);
         run_workload(&mut a, &steps);
     }
+}
 
-    #[test]
-    fn caching_reuse_is_offset_stable(sizes in prop::collection::vec(1usize..8_000_000, 1..12)) {
+#[test]
+fn caching_reuse_is_offset_stable() {
+    let mut rng = Rng64::seed_from_u64(0xA14);
+    for _ in 0..CASES {
         // whatever the size mix, a warmed cache serves repeating
         // iterations at identical offsets — the Fig. 2 property
+        let n = rng.gen_range_usize(1, 12);
+        let sizes: Vec<usize> = (0..n).map(|_| rng.gen_range_usize(1, 8_000_000)).collect();
         let mut a = CachingAllocator::new(4 << 30);
         let warm: Vec<_> = sizes.iter().map(|&s| a.malloc(s).unwrap()).collect();
         let warm_offsets: Vec<_> = warm.iter().map(|b| b.offset).collect();
-        for b in warm { a.free(b.id).unwrap(); }
+        for b in warm {
+            a.free(b.id).unwrap();
+        }
         for _ in 0..3 {
             let round: Vec<_> = sizes.iter().map(|&s| a.malloc(s).unwrap()).collect();
             let offsets: Vec<_> = round.iter().map(|b| b.offset).collect();
-            prop_assert_eq!(&offsets, &warm_offsets);
-            for b in round { a.free(b.id).unwrap(); }
+            assert_eq!(&offsets, &warm_offsets);
+            for b in round {
+                a.free(b.id).unwrap();
+            }
         }
     }
+}
 
-    #[test]
-    fn round_up_is_monotone_and_idempotent(a in 0usize..1_000_000, b in 0usize..1_000_000) {
-        use pinpoint::device::alloc::round_up;
+#[test]
+fn round_up_is_monotone_and_idempotent() {
+    use pinpoint::device::alloc::round_up;
+    let mut rng = Rng64::seed_from_u64(0xA15);
+    for _ in 0..CASES {
+        let a = rng.gen_below(1_000_000) as usize;
+        let b = rng.gen_below(1_000_000) as usize;
         let (lo, hi) = (a.min(b), a.max(b));
-        prop_assert!(round_up(lo) <= round_up(hi));
-        prop_assert_eq!(round_up(round_up(a)), round_up(a));
-        prop_assert!(round_up(a) >= a);
+        assert!(round_up(lo) <= round_up(hi));
+        assert_eq!(round_up(round_up(a)), round_up(a));
+        assert!(round_up(a) >= a);
     }
 }

@@ -1,12 +1,17 @@
 //! Property-based tests of the analysis toolkit over arbitrary inputs and
 //! over synthetic-but-well-formed traces.
+//!
+//! Randomized cases are driven by the in-repo seeded PRNG so the suite is
+//! deterministic and needs no external property-testing framework.
 
 use pinpoint::analysis::{
     occupancy_timeline, plan, violin, AtiDataset, BreakdownRow, EmpiricalCdf,
 };
 use pinpoint::device::TransferModel;
+use pinpoint::tensor::rng::Rng64;
 use pinpoint::trace::{BlockId, EventKind, MemoryKind, Trace};
-use proptest::prelude::*;
+
+const CASES: usize = 64;
 
 /// Builds a well-formed trace from block descriptors:
 /// `(start, lifetime, size, access_count)`.
@@ -31,95 +36,120 @@ fn trace_from_blocks(blocks: &[(u64, u64, usize, usize)]) -> Trace {
     t
 }
 
-fn block_strategy() -> impl Strategy<Value = (u64, u64, usize, usize)> {
-    (
-        0u64..1_000_000,
-        2u64..10_000_000,
-        1usize..100_000_000,
-        0usize..8,
-    )
+fn random_blocks(rng: &mut Rng64) -> Vec<(u64, u64, usize, usize)> {
+    let n = rng.gen_range_usize(1, 20);
+    (0..n)
+        .map(|_| {
+            (
+                rng.gen_below(1_000_000),
+                2 + rng.gen_below(10_000_000 - 2),
+                1 + rng.gen_below(100_000_000 - 1) as usize,
+                rng.gen_below(8) as usize,
+            )
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn generated_traces_validate(blocks in prop::collection::vec(block_strategy(), 1..20)) {
-        let t = trace_from_blocks(&blocks);
-        prop_assert!(t.validate().is_ok(), "{:?}", t.validate());
+#[test]
+fn generated_traces_validate() {
+    let mut rng = Rng64::seed_from_u64(0xAB1);
+    for _ in 0..CASES {
+        let t = trace_from_blocks(&random_blocks(&mut rng));
+        assert!(t.validate().is_ok(), "{:?}", t.validate());
     }
+}
 
-    #[test]
-    fn cdf_is_monotone_and_bounded(samples in prop::collection::vec(0u64..10_000_000, 1..200)) {
+#[test]
+fn cdf_is_monotone_and_bounded() {
+    let mut rng = Rng64::seed_from_u64(0xAB2);
+    for _ in 0..CASES {
+        let n = rng.gen_range_usize(1, 200);
+        let samples: Vec<u64> = (0..n).map(|_| rng.gen_below(10_000_000)).collect();
         let cdf = EmpiricalCdf::new(samples.clone());
         let pts = cdf.points();
         for w in pts.windows(2) {
-            prop_assert!(w[0].0 <= w[1].0);
-            prop_assert!(w[0].1 <= w[1].1);
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
         }
-        prop_assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
+        assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
         // percentiles bracket the data
         let (min, max) = cdf.range().unwrap();
-        prop_assert!(cdf.percentile(0.0) == min);
-        prop_assert!(cdf.percentile(1.0) == max);
+        assert!(cdf.percentile(0.0) == min);
+        assert!(cdf.percentile(1.0) == max);
         for p in [0.1, 0.5, 0.9] {
             let v = cdf.percentile(p);
-            prop_assert!(v >= min && v <= max);
+            assert!(v >= min && v <= max);
         }
     }
+}
 
-    #[test]
-    fn ati_count_matches_access_arithmetic(blocks in prop::collection::vec(block_strategy(), 1..20)) {
+#[test]
+fn ati_count_matches_access_arithmetic() {
+    let mut rng = Rng64::seed_from_u64(0xAB3);
+    for _ in 0..CASES {
+        let blocks = random_blocks(&mut rng);
         let t = trace_from_blocks(&blocks);
         let atis = AtiDataset::from_trace(&t);
         let expected: usize = blocks.iter().map(|&(_, _, _, a)| a.saturating_sub(1)).sum();
-        prop_assert_eq!(atis.len(), expected);
+        assert_eq!(atis.len(), expected);
         // fraction_at_or_below is a CDF: monotone in the threshold
         let f1 = atis.fraction_at_or_below(1_000);
         let f2 = atis.fraction_at_or_below(1_000_000);
-        prop_assert!(f1 <= f2);
-        prop_assert!((0.0..=1.0).contains(&f2));
+        assert!(f1 <= f2);
+        assert!((0.0..=1.0).contains(&f2));
     }
+}
 
-    #[test]
-    fn occupancy_never_negative_and_ends_at_zero(blocks in prop::collection::vec(block_strategy(), 1..20)) {
-        let t = trace_from_blocks(&blocks);
+#[test]
+fn occupancy_never_negative_and_ends_at_zero() {
+    let mut rng = Rng64::seed_from_u64(0xAB4);
+    for _ in 0..CASES {
+        let t = trace_from_blocks(&random_blocks(&mut rng));
         let tl = occupancy_timeline(&t);
-        prop_assert!(!tl.is_empty());
-        prop_assert_eq!(tl.last().unwrap().live_bytes, 0, "all blocks freed");
+        assert!(!tl.is_empty());
+        assert_eq!(tl.last().unwrap().live_bytes, 0, "all blocks freed");
         let peak = tl.iter().map(|p| p.live_bytes).max().unwrap();
-        prop_assert_eq!(peak, t.peak_live_bytes().peak_total_bytes);
+        assert_eq!(peak, t.peak_live_bytes().peak_total_bytes);
     }
+}
 
-    #[test]
-    fn breakdown_fractions_sum_to_one(blocks in prop::collection::vec(block_strategy(), 1..20)) {
-        let t = trace_from_blocks(&blocks);
+#[test]
+fn breakdown_fractions_sum_to_one() {
+    let mut rng = Rng64::seed_from_u64(0xAB5);
+    for _ in 0..CASES {
+        let t = trace_from_blocks(&random_blocks(&mut rng));
         let row = BreakdownRow::from_trace("prop", &t);
         let (i, p, m) = row.fractions();
         if row.peak_bytes > 0 {
-            prop_assert!(((i + p + m) - 1.0).abs() < 1e-9);
+            assert!(((i + p + m) - 1.0).abs() < 1e-9);
         }
     }
+}
 
-    #[test]
-    fn planner_never_increases_peak_and_respects_eq1(
-        blocks in prop::collection::vec(block_strategy(), 1..20)
-    ) {
-        let t = trace_from_blocks(&blocks);
+#[test]
+fn planner_never_increases_peak_and_respects_eq1() {
+    let mut rng = Rng64::seed_from_u64(0xAB6);
+    for _ in 0..CASES {
+        let t = trace_from_blocks(&random_blocks(&mut rng));
         let tm = TransferModel::titan_x_pascal_pinned();
         let p = plan(&t, &tm, 1_000);
-        prop_assert!(p.planned_peak_bytes <= p.baseline_peak_bytes);
+        assert!(p.planned_peak_bytes <= p.baseline_peak_bytes);
         for d in &p.decisions {
             let round_trip = tm.d2h_time_ns(d.size) + tm.h2d_time_ns(d.size);
-            prop_assert!(round_trip <= d.interval_ns());
+            assert!(round_trip <= d.interval_ns());
         }
     }
+}
 
-    #[test]
-    fn violin_quartiles_are_ordered(samples in prop::collection::vec(0.0f64..1e9, 1..200)) {
+#[test]
+fn violin_quartiles_are_ordered() {
+    let mut rng = Rng64::seed_from_u64(0xAB7);
+    for _ in 0..CASES {
+        let n = rng.gen_range_usize(1, 200);
+        let samples: Vec<f64> = (0..n).map(|_| rng.gen_f64() * 1e9).collect();
         let v = violin(&samples, 32).unwrap();
-        prop_assert!(v.min <= v.q1 && v.q1 <= v.median);
-        prop_assert!(v.median <= v.q3 && v.q3 <= v.max);
-        prop_assert!(v.density.iter().all(|(_, d)| d.is_finite() && *d >= 0.0));
+        assert!(v.min <= v.q1 && v.q1 <= v.median);
+        assert!(v.median <= v.q3 && v.q3 <= v.max);
+        assert!(v.density.iter().all(|(_, d)| d.is_finite() && *d >= 0.0));
     }
 }

@@ -1,80 +1,103 @@
 //! Property-based tests of the device models: the cost, transfer and
 //! Equation-1 helpers must be monotone and consistent for all inputs.
+//!
+//! Randomized cases are driven by the in-repo seeded PRNG so the suite is
+//! deterministic and needs no external property-testing framework.
 
 use pinpoint::device::{CostModel, TransferModel};
-use proptest::prelude::*;
+use pinpoint::tensor::rng::Rng64;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const CASES: u64 = 128;
 
-    #[test]
-    fn kernel_time_is_monotone_in_flops_and_bytes(
-        flops in 0u64..10_000_000_000,
-        bytes in 0u64..10_000_000_000,
-        extra in 1u64..1_000_000_000,
-    ) {
+#[test]
+fn kernel_time_is_monotone_in_flops_and_bytes() {
+    let mut rng = Rng64::seed_from_u64(0xD01);
+    for _ in 0..CASES {
+        let flops = rng.gen_below(10_000_000_000);
+        let bytes = rng.gen_below(10_000_000_000);
+        let extra = 1 + rng.gen_below(1_000_000_000 - 1);
         let cm = CostModel::deterministic();
         let base = cm.kernel_time_ns(flops, bytes, 0);
-        prop_assert!(cm.kernel_time_ns(flops + extra, bytes, 0) >= base);
-        prop_assert!(cm.kernel_time_ns(flops, bytes + extra, 0) >= base);
-        prop_assert!(base >= cm.launch_overhead_ns.min(base));
-        prop_assert!(base >= 1);
+        assert!(cm.kernel_time_ns(flops + extra, bytes, 0) >= base);
+        assert!(cm.kernel_time_ns(flops, bytes + extra, 0) >= base);
+        assert!(base >= cm.launch_overhead_ns.min(base));
+        assert!(base >= 1);
     }
+}
 
-    #[test]
-    fn roofline_takes_the_max_of_compute_and_memory(
-        flops in 1u64..1_000_000_000,
-        bytes in 1u64..1_000_000_000,
-    ) {
+#[test]
+fn roofline_takes_the_max_of_compute_and_memory() {
+    let mut rng = Rng64::seed_from_u64(0xD02);
+    for _ in 0..CASES {
+        let flops = 1 + rng.gen_below(1_000_000_000 - 1);
+        let bytes = 1 + rng.gen_below(1_000_000_000 - 1);
         let cm = CostModel::deterministic();
         let both = cm.kernel_time_ns(flops, bytes, 0);
         let compute_only = cm.kernel_time_ns(flops, 0, 0);
         let memory_only = cm.kernel_time_ns(0, bytes, 0);
-        prop_assert!(both + 1 >= compute_only.max(memory_only));
+        assert!(both + 1 >= compute_only.max(memory_only));
         // roofline, not sum: both never exceeds compute+memory bodies
         let overhead = cm.launch_overhead_ns;
-        prop_assert!(
+        assert!(
             both <= compute_only + memory_only - overhead + 1,
             "{both} vs {compute_only}+{memory_only}"
         );
     }
+}
 
-    #[test]
-    fn transfer_times_are_monotone_and_additive_in_latency(bytes in 0usize..1_000_000_000) {
+#[test]
+fn transfer_times_are_monotone_and_additive_in_latency() {
+    let mut rng = Rng64::seed_from_u64(0xD03);
+    for _ in 0..CASES {
+        let bytes = rng.gen_below(1_000_000_000) as usize;
         let tm = TransferModel::titan_x_pascal_pinned();
-        prop_assert!(tm.h2d_time_ns(bytes) >= tm.latency_ns);
-        prop_assert!(tm.d2h_time_ns(bytes) >= tm.latency_ns);
-        prop_assert!(tm.h2d_time_ns(bytes + 1024) >= tm.h2d_time_ns(bytes));
-        prop_assert!(tm.d2h_time_ns(bytes + 1024) >= tm.d2h_time_ns(bytes));
+        assert!(tm.h2d_time_ns(bytes) >= tm.latency_ns);
+        assert!(tm.d2h_time_ns(bytes) >= tm.latency_ns);
+        assert!(tm.h2d_time_ns(bytes + 1024) >= tm.h2d_time_ns(bytes));
+        assert!(tm.d2h_time_ns(bytes + 1024) >= tm.d2h_time_ns(bytes));
     }
+}
 
-    #[test]
-    fn equation_1_bound_is_linear_in_the_interval(ati in 1u64..10_000_000_000) {
+#[test]
+fn equation_1_bound_is_linear_in_the_interval() {
+    let mut rng = Rng64::seed_from_u64(0xD04);
+    for _ in 0..CASES {
+        let ati = 1 + rng.gen_below(10_000_000_000 - 1);
         let tm = TransferModel::titan_x_pascal_pinned();
         let s1 = tm.max_swap_bytes(ati);
         let s2 = tm.max_swap_bytes(2 * ati);
-        prop_assert!((s2 / s1 - 2.0).abs() < 1e-9, "{s1} vs {s2}");
+        assert!((s2 / s1 - 2.0).abs() < 1e-9, "{s1} vs {s2}");
         // refined bound never exceeds the plain bound
-        prop_assert!(tm.max_swap_bytes_with_latency(ati) <= s1);
+        assert!(tm.max_swap_bytes_with_latency(ati) <= s1);
     }
+}
 
-    #[test]
-    fn swappable_is_monotone(size in 1usize..2_000_000_000, ati in 1u64..2_000_000_000) {
+#[test]
+fn swappable_is_monotone() {
+    let mut rng = Rng64::seed_from_u64(0xD05);
+    for _ in 0..CASES {
+        let size = 1 + rng.gen_below(2_000_000_000 - 1) as usize;
+        let ati = 1 + rng.gen_below(2_000_000_000 - 1);
         let tm = TransferModel::titan_x_pascal_pinned();
         if tm.swappable(size, ati) {
             // more time can only help; less data can only help
-            prop_assert!(tm.swappable(size, ati * 2));
-            prop_assert!(tm.swappable(size / 2 + 1, ati));
+            assert!(tm.swappable(size, ati * 2));
+            assert!(tm.swappable(size / 2 + 1, ati));
         }
     }
+}
 
-    #[test]
-    fn jitter_is_bounded_by_its_fraction(flops in 0u64..1_000_000_000, seed in 0u64..10_000) {
+#[test]
+fn jitter_is_bounded_by_its_fraction() {
+    let mut rng = Rng64::seed_from_u64(0xD06);
+    for _ in 0..CASES {
+        let flops = rng.gen_below(1_000_000_000);
+        let seed = rng.gen_below(10_000);
         let jittered = CostModel::titan_x_pascal().kernel_time_ns(flops, 0, seed);
         let base = CostModel::deterministic().kernel_time_ns(flops, 0, seed);
         let lo = (base as f64 * 0.94) as u64;
         let hi = (base as f64 * 1.06) as u64;
-        prop_assert!(jittered >= lo && jittered <= hi, "{jittered} outside [{lo}, {hi}]");
+        assert!(jittered >= lo && jittered <= hi, "{jittered} outside [{lo}, {hi}]");
     }
 }
 

@@ -1,12 +1,17 @@
 //! Property-based tests of the executor over randomly generated MLP-family
 //! programs: every generated program must trace cleanly, periodically, and
 //! identically in concrete and symbolic modes.
+//!
+//! Randomized cases are driven by the in-repo seeded PRNG so the suite is
+//! deterministic and needs no external property-testing framework.
 
 use pinpoint::analysis::detect;
 use pinpoint::device::{DeviceConfig, SimDevice};
 use pinpoint::nn::exec::{BatchData, ExecMode, Executor};
 use pinpoint::nn::{backward, GraphBuilder, Optimizer, Program};
-use proptest::prelude::*;
+use pinpoint::tensor::rng::Rng64;
+
+const CASES: usize = 24;
 
 #[derive(Debug, Clone)]
 struct RandomMlp {
@@ -17,21 +22,15 @@ struct RandomMlp {
     optimizer: u8,
 }
 
-fn mlp_strategy() -> impl Strategy<Value = RandomMlp> {
-    (
-        2usize..16,
-        prop::collection::vec(1usize..24, 1..4),
-        any::<bool>(),
-        any::<bool>(),
-        0u8..3,
-    )
-        .prop_map(|(batch, widths, relu, dropout, optimizer)| RandomMlp {
-            batch,
-            widths,
-            relu,
-            dropout,
-            optimizer,
-        })
+fn random_mlp(rng: &mut Rng64) -> RandomMlp {
+    let n_widths = rng.gen_range_usize(1, 4);
+    RandomMlp {
+        batch: rng.gen_range_usize(2, 16),
+        widths: (0..n_widths).map(|_| rng.gen_range_usize(1, 24)).collect(),
+        relu: rng.gen_bool(),
+        dropout: rng.gen_bool(),
+        optimizer: rng.gen_below(3) as u8,
+    }
 }
 
 fn build(cfg: &RandomMlp) -> Program {
@@ -72,11 +71,11 @@ fn batch_for(cfg: &RandomMlp, iter: u64) -> BatchData {
     BatchData { input, labels }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn random_programs_trace_cleanly_and_periodically(cfg in mlp_strategy()) {
+#[test]
+fn random_programs_trace_cleanly_and_periodically() {
+    let mut rng = Rng64::seed_from_u64(0xE01);
+    for _ in 0..CASES {
+        let cfg = random_mlp(&mut rng);
         let program = build(&cfg);
         let device = SimDevice::new(DeviceConfig::deterministic());
         let mut exec = Executor::new(program, device, ExecMode::Symbolic).unwrap();
@@ -84,15 +83,19 @@ proptest! {
         let device = exec.into_device();
         device.trace().validate().unwrap();
         let report = detect(device.trace());
-        prop_assert!(report.periodic, "{cfg:?}: {report:?}");
+        assert!(report.periodic, "{cfg:?}: {report:?}");
         // no leaks beyond persistent storages
         let stats = device.alloc_stats();
-        prop_assert!(stats.allocated_bytes > 0, "params stay resident");
-        prop_assert!(stats.num_frees < stats.num_mallocs);
+        assert!(stats.allocated_bytes > 0, "params stay resident");
+        assert!(stats.num_frees < stats.num_mallocs);
     }
+}
 
-    #[test]
-    fn concrete_matches_symbolic_for_random_programs(cfg in mlp_strategy()) {
+#[test]
+fn concrete_matches_symbolic_for_random_programs() {
+    let mut rng = Rng64::seed_from_u64(0xE02);
+    for _ in 0..CASES {
+        let cfg = random_mlp(&mut rng);
         let d1 = SimDevice::new(DeviceConfig::deterministic());
         let mut sym = Executor::new(build(&cfg), d1, ExecMode::Symbolic).unwrap();
         sym.run_iterations(2).unwrap();
@@ -103,20 +106,24 @@ proptest! {
         }
         let ts = sym.into_device().into_trace();
         let tc = conc.into_device().into_trace();
-        prop_assert_eq!(ts.events(), tc.events());
+        assert_eq!(ts.events(), tc.events());
         // concrete losses are finite
-        prop_assert!(!tc.is_empty());
+        assert!(!tc.is_empty());
     }
+}
 
-    #[test]
-    fn losses_stay_finite_under_training(cfg in mlp_strategy()) {
+#[test]
+fn losses_stay_finite_under_training() {
+    let mut rng = Rng64::seed_from_u64(0xE03);
+    for _ in 0..CASES {
+        let cfg = random_mlp(&mut rng);
         let device = SimDevice::new(DeviceConfig::deterministic());
         let mut exec = Executor::new(build(&cfg), device, ExecMode::Concrete).unwrap();
         for i in 0..5 {
             let stats = exec.run_iteration(Some(&batch_for(&cfg, i))).unwrap();
             let loss = stats.loss.expect("concrete iterations report loss");
-            prop_assert!(loss.is_finite(), "{cfg:?} produced loss {loss}");
-            prop_assert!(loss >= 0.0);
+            assert!(loss.is_finite(), "{cfg:?} produced loss {loss}");
+            assert!(loss >= 0.0);
         }
     }
 }
