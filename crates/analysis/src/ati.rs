@@ -26,9 +26,16 @@ pub struct AtiRecord {
 }
 
 /// All ATIs of a trace, in closing-access time order.
+///
+/// The sorted interval values are computed once at construction, so the
+/// distribution queries ([`AtiDataset::fraction_at_or_below`],
+/// [`AtiDataset::sorted_intervals_ns`], [`AtiDataset::cdf`]) never re-scan
+/// or re-sort the records.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct AtiDataset {
     records: Vec<AtiRecord>,
+    /// Interval values in ascending order, built once at construction.
+    sorted_intervals: Vec<u64>,
 }
 
 impl AtiDataset {
@@ -48,7 +55,18 @@ impl AtiDataset {
             }
         }
         records.sort_by_key(|r| (r.end_time_ns, r.block));
-        AtiDataset { records }
+        Self::from_records(records)
+    }
+
+    /// Builds a dataset around pre-extracted records, computing the sorted
+    /// interval cache in one pass.
+    fn from_records(records: Vec<AtiRecord>) -> Self {
+        let mut sorted_intervals: Vec<u64> = records.iter().map(|r| r.interval_ns).collect();
+        sorted_intervals.sort_unstable();
+        AtiDataset {
+            records,
+            sorted_intervals,
+        }
     }
 
     /// All records, ordered by closing-access time.
@@ -71,43 +89,51 @@ impl AtiDataset {
         self.records.iter().map(|r| r.interval_ns).collect()
     }
 
+    /// The interval values in ascending order, from the construction-time
+    /// cache — no per-call clone or sort.
+    pub fn sorted_intervals_ns(&self) -> &[u64] {
+        &self.sorted_intervals
+    }
+
+    /// The interval CDF, reusing the construction-time sorted cache.
+    pub fn cdf(&self) -> crate::cdf::EmpiricalCdf {
+        crate::cdf::EmpiricalCdf::from_sorted(self.sorted_intervals.clone())
+    }
+
     /// Fraction of intervals at or below `threshold_ns` (the paper's
-    /// "90 % of ATIs are below 25 µs" style statement).
+    /// "90 % of ATIs are below 25 µs" style statement). Binary search on
+    /// the sorted cache.
     pub fn fraction_at_or_below(&self, threshold_ns: u64) -> f64 {
-        if self.records.is_empty() {
+        if self.sorted_intervals.is_empty() {
             return 0.0;
         }
         let n = self
-            .records
-            .iter()
-            .filter(|r| r.interval_ns <= threshold_ns)
-            .count();
-        n as f64 / self.records.len() as f64
+            .sorted_intervals
+            .partition_point(|&v| v <= threshold_ns);
+        n as f64 / self.sorted_intervals.len() as f64
     }
 
     /// Records whose closing access is of the given kind (read vs write —
     /// the per-behavior split of Fig. 3b).
     pub fn of_closing_kind(&self, kind: EventKind) -> AtiDataset {
-        AtiDataset {
-            records: self
-                .records
+        Self::from_records(
+            self.records
                 .iter()
                 .copied()
                 .filter(|r| r.closing_kind == kind)
                 .collect(),
-        }
+        )
     }
 
     /// Records restricted to one memory kind.
     pub fn of_kind(&self, kind: MemoryKind) -> AtiDataset {
-        AtiDataset {
-            records: self
-                .records
+        Self::from_records(
+            self.records
                 .iter()
                 .copied()
                 .filter(|r| r.mem_kind == kind)
                 .collect(),
-        }
+        )
     }
 }
 
@@ -121,13 +147,29 @@ mod tests {
         let mut seen = std::collections::BTreeSet::new();
         for &(_, b) in times {
             if seen.insert(b) {
-                t.record(0, EventKind::Malloc, b, 1024, 0, MemoryKind::Activation, None);
+                t.record(
+                    0,
+                    EventKind::Malloc,
+                    b,
+                    1024,
+                    0,
+                    MemoryKind::Activation,
+                    None,
+                );
             }
         }
         let mut sorted = times.to_vec();
         sorted.sort();
         for (time, b) in sorted {
-            t.record(time, EventKind::Read, b, 1024, 0, MemoryKind::Activation, None);
+            t.record(
+                time,
+                EventKind::Read,
+                b,
+                1024,
+                0,
+                MemoryKind::Activation,
+                None,
+            );
         }
         t
     }
@@ -174,10 +216,42 @@ mod tests {
     #[test]
     fn closing_kind_splits_reads_from_writes() {
         let mut t = Trace::new();
-        t.record(0, EventKind::Malloc, BlockId(0), 64, 0, MemoryKind::Activation, None);
-        t.record(10, EventKind::Write, BlockId(0), 64, 0, MemoryKind::Activation, None);
-        t.record(30, EventKind::Read, BlockId(0), 64, 0, MemoryKind::Activation, None);
-        t.record(70, EventKind::Write, BlockId(0), 64, 0, MemoryKind::Activation, None);
+        t.record(
+            0,
+            EventKind::Malloc,
+            BlockId(0),
+            64,
+            0,
+            MemoryKind::Activation,
+            None,
+        );
+        t.record(
+            10,
+            EventKind::Write,
+            BlockId(0),
+            64,
+            0,
+            MemoryKind::Activation,
+            None,
+        );
+        t.record(
+            30,
+            EventKind::Read,
+            BlockId(0),
+            64,
+            0,
+            MemoryKind::Activation,
+            None,
+        );
+        t.record(
+            70,
+            EventKind::Write,
+            BlockId(0),
+            64,
+            0,
+            MemoryKind::Activation,
+            None,
+        );
         let d = AtiDataset::from_trace(&t);
         assert_eq!(d.len(), 2);
         let reads = d.of_closing_kind(EventKind::Read);
@@ -189,9 +263,33 @@ mod tests {
     #[test]
     fn kind_filter() {
         let mut t = Trace::new();
-        t.record(0, EventKind::Malloc, BlockId(0), 64, 0, MemoryKind::Weight, None);
-        t.record(1, EventKind::Read, BlockId(0), 64, 0, MemoryKind::Weight, None);
-        t.record(5, EventKind::Read, BlockId(0), 64, 0, MemoryKind::Weight, None);
+        t.record(
+            0,
+            EventKind::Malloc,
+            BlockId(0),
+            64,
+            0,
+            MemoryKind::Weight,
+            None,
+        );
+        t.record(
+            1,
+            EventKind::Read,
+            BlockId(0),
+            64,
+            0,
+            MemoryKind::Weight,
+            None,
+        );
+        t.record(
+            5,
+            EventKind::Read,
+            BlockId(0),
+            64,
+            0,
+            MemoryKind::Weight,
+            None,
+        );
         let d = AtiDataset::from_trace(&t);
         assert_eq!(d.of_kind(MemoryKind::Weight).len(), 1);
         assert_eq!(d.of_kind(MemoryKind::Activation).len(), 0);

@@ -1,6 +1,5 @@
 //! Empirical cumulative distribution functions (Fig. 3a).
 
-
 /// An empirical CDF over `u64` samples (nanosecond intervals, byte sizes).
 ///
 /// # Examples
@@ -21,6 +20,19 @@ impl EmpiricalCdf {
     /// Builds the CDF (sorts the samples).
     pub fn new(mut samples: Vec<u64>) -> Self {
         samples.sort_unstable();
+        EmpiricalCdf { sorted: samples }
+    }
+
+    /// Builds the CDF from already-sorted samples, skipping the sort.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds only) if `samples` is not ascending.
+    pub fn from_sorted(samples: Vec<u64>) -> Self {
+        debug_assert!(
+            samples.windows(2).all(|w| w[0] <= w[1]),
+            "from_sorted requires ascending samples"
+        );
         EmpiricalCdf { sorted: samples }
     }
 

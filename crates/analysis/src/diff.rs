@@ -74,11 +74,11 @@ impl TraceDiff {
 }
 
 fn median_ati(trace: &Trace) -> f64 {
-    let mut v = AtiDataset::from_trace(trace).intervals_ns();
+    let d = AtiDataset::from_trace(trace);
+    let v = d.sorted_intervals_ns();
     if v.is_empty() {
         return 0.0;
     }
-    v.sort_unstable();
     v[v.len() / 2] as f64
 }
 
@@ -110,12 +110,44 @@ mod tests {
         for i in 0..4u64 {
             t.mark(clock, format!("iter:{i}"));
             let b = BlockId(i);
-            t.record(clock, EventKind::Malloc, b, 1024 * scale, 0, MemoryKind::Activation, None);
+            t.record(
+                clock,
+                EventKind::Malloc,
+                b,
+                1024 * scale,
+                0,
+                MemoryKind::Activation,
+                None,
+            );
             clock += 10_000;
-            t.record(clock, EventKind::Write, b, 1024 * scale, 0, MemoryKind::Activation, None);
+            t.record(
+                clock,
+                EventKind::Write,
+                b,
+                1024 * scale,
+                0,
+                MemoryKind::Activation,
+                None,
+            );
             clock += 10_000;
-            t.record(clock, EventKind::Read, b, 1024 * scale, 0, MemoryKind::Activation, None);
-            t.record(clock, EventKind::Free, b, 1024 * scale, 0, MemoryKind::Activation, None);
+            t.record(
+                clock,
+                EventKind::Read,
+                b,
+                1024 * scale,
+                0,
+                MemoryKind::Activation,
+                None,
+            );
+            t.record(
+                clock,
+                EventKind::Free,
+                b,
+                1024 * scale,
+                0,
+                MemoryKind::Activation,
+                None,
+            );
             clock += 5_000;
         }
         t

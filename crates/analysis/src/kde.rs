@@ -1,6 +1,5 @@
 //! Gaussian kernel density estimation and violin-plot statistics (Fig. 3b).
 
-
 /// Summary statistics + density trace of one violin (Hintze & Nelson [8]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ViolinStats {
@@ -26,11 +25,25 @@ pub struct ViolinStats {
 ///
 /// Returns `None` for an empty sample set.
 pub fn violin(samples: &[f64], grid_points: usize) -> Option<ViolinStats> {
-    if samples.is_empty() || grid_points == 0 {
-        return None;
-    }
     let mut sorted: Vec<f64> = samples.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+    violin_sorted(&sorted, grid_points)
+}
+
+/// [`violin`] for samples already in ascending order (e.g. straight from
+/// [`crate::AtiDataset::sorted_intervals_ns`]) — skips the per-call sort.
+///
+/// # Panics
+///
+/// Panics (debug builds only) if `sorted` is not ascending.
+pub fn violin_sorted(sorted: &[f64], grid_points: usize) -> Option<ViolinStats> {
+    if sorted.is_empty() || grid_points == 0 {
+        return None;
+    }
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "violin_sorted requires ascending samples"
+    );
     let n = sorted.len();
     let quantile = |p: f64| -> f64 {
         let idx = p * (n - 1) as f64;
@@ -51,7 +64,7 @@ pub fn violin(samples: &[f64], grid_points: usize) -> Option<ViolinStats> {
     if bandwidth <= 0.0 {
         bandwidth = ((max - min) / grid_points as f64).max(1.0);
     }
-    let density = kde_on_grid(&sorted, min, max, grid_points, bandwidth);
+    let density = kde_on_grid(sorted, min, max, grid_points, bandwidth);
     Some(ViolinStats {
         count: n,
         min,
@@ -113,7 +126,9 @@ mod tests {
     #[test]
     fn density_integrates_to_roughly_one() {
         // concentrated cluster like the paper's 10–25 µs band
-        let samples: Vec<f64> = (0..500).map(|i| 15_000.0 + (i % 100) as f64 * 100.0).collect();
+        let samples: Vec<f64> = (0..500)
+            .map(|i| 15_000.0 + (i % 100) as f64 * 100.0)
+            .collect();
         let v = violin(&samples, 256).unwrap();
         // trapezoid integral over the evaluated span
         let mut integral = 0.0;

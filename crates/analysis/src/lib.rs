@@ -59,9 +59,11 @@ pub use breakdown::{occupancy_timeline, BreakdownRow, OccupancyPoint};
 pub use cdf::EmpiricalCdf;
 pub use contention::{check_contention, thin_to_feasible, ContentionReport, ScheduledSwap};
 pub use diff::{diff_traces, Delta, TraceDiff};
-pub use gantt::{fragmentation_at, gantt_rects, worst_fragmentation, FragmentationSnapshot, GanttRect};
+pub use gantt::{
+    fragmentation_at, gantt_rects, worst_fragmentation, FragmentationSnapshot, GanttRect,
+};
 pub use iterative::{detect, period_from_mallocs, IterativeReport};
-pub use kde::{kde_on_grid, violin, ViolinStats};
+pub use kde::{kde_on_grid, violin, violin_sorted, ViolinStats};
 pub use op_stats::{op_stats, OpMemoryStats};
 pub use outlier::{sift, OutlierCriteria, OutlierReport};
 pub use planner::{apply, plan, SwapDecision, SwapPlan};
