@@ -1,0 +1,76 @@
+//! Parallel sweep engine: 1-thread vs N-thread Fig. 7 regeneration.
+//!
+//! Times the same sweep serially and fanned out over all cores, asserts
+//! the `BreakdownRow` output is identical at every thread count, and
+//! writes a `BENCH_sweep.json` summary (thread count, wall-clock per
+//! mode, speedup) so the perf trajectory is tracked across PRs.
+
+use pinpoint_bench::by_scale;
+use pinpoint_bench::criterion::Criterion;
+use pinpoint_bench::{criterion_group, criterion_main};
+use pinpoint_core::figures::fig7_resnet;
+use pinpoint_core::parallel::set_global_threads;
+use std::time::Instant;
+
+/// Median wall-clock of `runs` sweep executions, in nanoseconds.
+fn time_sweep(batches: &[usize], runs: usize) -> u128 {
+    let mut times: Vec<u128> = (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            let rows = fig7_resnet(batches).expect("fig7 sweep");
+            assert!(!rows.is_empty());
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn bench(c: &mut Criterion) {
+    let batches: &[usize] = by_scale(&[32, 128], &[32, 64, 128, 256]);
+    let runs = by_scale(3, 5);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    set_global_threads(1);
+    let serial_rows = fig7_resnet(batches).expect("fig7 sweep");
+    let serial_ns = time_sweep(batches, runs);
+
+    set_global_threads(cores);
+    let parallel_rows = fig7_resnet(batches).expect("fig7 sweep");
+    let parallel_ns = time_sweep(batches, runs);
+    assert_eq!(
+        serial_rows, parallel_rows,
+        "sweep output must be identical at every thread count"
+    );
+
+    let speedup = serial_ns as f64 / parallel_ns.max(1) as f64;
+    println!(
+        "\nsweep_parallel: {} rows, serial {:.2} ms, {} threads {:.2} ms, speedup {speedup:.2}x",
+        serial_rows.len(),
+        serial_ns as f64 / 1e6,
+        cores,
+        parallel_ns as f64 / 1e6,
+    );
+    let json = format!(
+        "{{\"bench\":\"sweep_parallel\",\"rows\":{},\"threads\":{cores},\
+         \"serial_ns\":{serial_ns},\"parallel_ns\":{parallel_ns},\
+         \"speedup\":{speedup:.4},\"identical_output\":true}}\n",
+        serial_rows.len()
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
+    if let Err(e) = std::fs::write(out, json) {
+        eprintln!("could not write {out}: {e}");
+    }
+
+    // keep a criterion-style timing record of the parallel path too
+    let mut g = c.benchmark_group("sweep_parallel");
+    g.sample_size(10);
+    g.bench_function("fig7_all_cores", |b| {
+        b.iter(|| fig7_resnet(batches).expect("fig7 sweep"))
+    });
+    g.finish();
+    set_global_threads(1);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,9 +1,14 @@
 //! `pinpoint-figures` — regenerate any figure of the paper from the CLI.
 //!
 //! ```text
-//! pinpoint-figures all            # every figure, quick scale
-//! pinpoint-figures fig4 --paper   # one figure at paper scale
+//! pinpoint-figures all                 # every figure, quick scale
+//! pinpoint-figures fig4 --paper        # one figure at paper scale
+//! pinpoint-figures fig7 --threads 8    # sweep on 8 worker threads
 //! ```
+//!
+//! `--threads N` (or the `PINPOINT_THREADS` environment variable) sets how
+//! many worker threads the figure sweeps fan out over; output is
+//! bit-identical at every thread count.
 
 use pinpoint_core::figures::{
     fig1_topology, fig2_gantt, fig3_ati, fig4_outliers, fig5_breakdown, fig6_alexnet, fig7_resnet,
@@ -11,10 +16,24 @@ use pinpoint_core::figures::{
 use pinpoint_core::report::{render_breakdown, render_fig2, render_fig3, render_fig4};
 use pinpoint_core::EpochEval;
 
-const KNOWN: [&str; 8] = ["all", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7"];
+const KNOWN: [&str; 8] = [
+    "all", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+];
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        let n = args
+            .get(i + 1)
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0);
+        let Some(n) = n else {
+            eprintln!("--threads needs a positive integer");
+            std::process::exit(1);
+        };
+        pinpoint_core::parallel::set_global_threads(n);
+        args.drain(i..=i + 1);
+    }
     let paper = args.iter().any(|a| a == "--paper");
     let which = args
         .iter()
@@ -61,7 +80,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let rows = fig5_breakdown(128)?;
         println!(
             "{}",
-            render_breakdown("Fig 5 — occupation breakdown of typical DNNs (bs 128)", &rows)
+            render_breakdown(
+                "Fig 5 — occupation breakdown of typical DNNs (bs 128)",
+                &rows
+            )
         );
     }
     if all || which == "fig6" {
@@ -72,7 +94,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     if all || which == "fig7" {
-        let batches: &[usize] = if paper { &[32, 64, 128, 256] } else { &[32, 128] };
+        let batches: &[usize] = if paper {
+            &[32, 64, 128, 256]
+        } else {
+            &[32, 128]
+        };
         let rows = fig7_resnet(batches)?;
         println!(
             "{}",

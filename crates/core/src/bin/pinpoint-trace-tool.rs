@@ -11,12 +11,16 @@
 //! pinpoint-trace-tool compare   a.json b.json
 //! ```
 //!
+//! `--threads N` (or `PINPOINT_THREADS`) sets the worker-thread count for
+//! parallel work (`compare` loads and validates both traces concurrently);
+//! output never depends on the thread count.
+//!
 //! Produce a trace with `pinpoint_trace::export::write_json` (the
 //! `mlp_case_study` example writes a CSV twin next to it).
 
 use pinpoint_analysis::{
-    detect, diff_traces, gantt_rects, op_stats, plan, sift, violin, AtiDataset, BreakdownRow,
-    EmpiricalCdf, OutlierCriteria,
+    detect, diff_traces, gantt_rects, op_stats, plan, sift, violin_sorted, AtiDataset,
+    BreakdownRow, OutlierCriteria,
 };
 use pinpoint_core::report::{human_bytes, human_time};
 use pinpoint_device::TransferModel;
@@ -42,18 +46,45 @@ fn load(path: &str) -> Result<Trace, String> {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        let n = args
+            .get(i + 1)
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0);
+        let Some(n) = n else {
+            eprintln!("--threads needs a positive integer");
+            return ExitCode::FAILURE;
+        };
+        pinpoint_core::parallel::set_global_threads(n);
+        args.drain(i..=i + 1);
+    }
     let (Some(cmd), Some(path)) = (args.first(), args.get(1)) else {
         eprintln!("usage: pinpoint-trace-tool <summary|ati|outliers|breakdown|gantt|ops|plan|compare> <trace.json> [trace_b.json] [flags]");
         return ExitCode::FAILURE;
     };
-    let trace = match load(path) {
+    // `compare` needs two traces; load them on the fan-out so both files
+    // parse and validate concurrently
+    let mut paths = vec![path.clone()];
+    if cmd == "compare" {
+        let Some(path_b) = args.get(2) else {
+            eprintln!("compare needs two trace files");
+            return ExitCode::FAILURE;
+        };
+        paths.push(path_b.clone());
+    }
+    let mut traces = match pinpoint_core::parallel::try_map_ordered(
+        paths,
+        pinpoint_core::parallel::configured_threads(),
+        |p| load(&p),
+    ) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
+    let trace = traces.remove(0);
     match cmd.as_str() {
         "summary" => {
             println!(
@@ -80,13 +111,17 @@ fn main() -> ExitCode {
                 println!("no access intervals in this trace");
                 return ExitCode::SUCCESS;
             }
-            let cdf = EmpiricalCdf::new(atis.intervals_ns());
+            let cdf = atis.cdf();
             println!("{} intervals; CDF:", cdf.len());
             for (v, p) in cdf.summary_rows(10) {
                 println!("  p{:<4.0} {:>12}", p * 100.0, human_time(v));
             }
-            let samples: Vec<f64> = atis.intervals_ns().iter().map(|&v| v as f64).collect();
-            if let Some(vi) = violin(&samples, 64) {
+            let samples: Vec<f64> = atis
+                .sorted_intervals_ns()
+                .iter()
+                .map(|&v| v as f64)
+                .collect();
+            if let Some(vi) = violin_sorted(&samples, 64) {
                 println!(
                     "violin: median {} IQR [{}, {}]",
                     human_time(vi.median as u64),
@@ -138,7 +173,10 @@ fn main() -> ExitCode {
         "gantt" => {
             let max = flag_value(&args, "--max").unwrap_or(30.0) as usize;
             let rects = gantt_rects(&trace, 0, trace.end_time_ns());
-            println!("{:>12} {:>12} {:>12} {:>12}  kind", "t0", "t1", "offset", "size");
+            println!(
+                "{:>12} {:>12} {:>12} {:>12}  kind",
+                "t0", "t1", "offset", "size"
+            );
             for r in rects.iter().take(max) {
                 println!(
                     "{:>12} {:>12} {:>12} {:>12}  {}",
@@ -180,17 +218,7 @@ fn main() -> ExitCode {
             );
         }
         "compare" => {
-            let Some(path_b) = args.get(2) else {
-                eprintln!("compare needs two trace files");
-                return ExitCode::FAILURE;
-            };
-            let b = match load(path_b) {
-                Ok(t) => t,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
+            let b = traces.remove(0);
             let d = diff_traces(&trace, &b);
             let row = |name: &str, delta: &pinpoint_analysis::Delta| {
                 println!(

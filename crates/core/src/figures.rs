@@ -5,11 +5,12 @@
 //! harness and examples print them as the paper's rows/series. Parameters
 //! default to paper scale but can be shrunk for quick runs.
 
+use crate::parallel::{configured_threads, try_map_ordered};
 use crate::profiler::{profile, EpochEval, ProfileConfig, ProfileError};
 use pinpoint_analysis::{
-    assess, detect, gantt_rects, sift, violin, worst_fragmentation, AtiDataset, AtiRecord,
-    BreakdownRow, EmpiricalCdf, FragmentationSnapshot, GanttRect, IterativeReport,
-    OutlierCriteria, OutlierReport, ViolinStats,
+    assess, detect, gantt_rects, sift, violin_sorted, worst_fragmentation, AtiDataset, AtiRecord,
+    BreakdownRow, EmpiricalCdf, FragmentationSnapshot, GanttRect, IterativeReport, OutlierCriteria,
+    OutlierReport, ViolinStats,
 };
 use pinpoint_data::DatasetSpec;
 use pinpoint_models::{Architecture, DenseNetDepth, MlpConfig, ResNetDepth};
@@ -85,13 +86,22 @@ pub struct Fig3Data {
 pub fn fig3_ati(iterations: usize) -> Result<Fig3Data, ProfileError> {
     let report = profile(&ProfileConfig::mlp_case_study(iterations))?;
     let atis = AtiDataset::from_trace(&report.trace);
-    let cdf = EmpiricalCdf::new(atis.intervals_ns());
-    let samples: Vec<f64> = atis.intervals_ns().iter().map(|&v| v as f64).collect();
-    let violin_all = violin(&samples, 128).expect("non-empty ATI set");
+    let cdf = atis.cdf();
+    // u64 -> f64 is monotone, so the cached ascending order survives the cast
+    let samples: Vec<f64> = atis
+        .sorted_intervals_ns()
+        .iter()
+        .map(|&v| v as f64)
+        .collect();
+    let violin_all = violin_sorted(&samples, 128).expect("non-empty ATI set");
     let per_kind = |kind| {
         let subset = atis.of_closing_kind(kind);
-        let vals: Vec<f64> = subset.intervals_ns().iter().map(|&v| v as f64).collect();
-        violin(&vals, 128)
+        let vals: Vec<f64> = subset
+            .sorted_intervals_ns()
+            .iter()
+            .map(|&v| v as f64)
+            .collect();
+        violin_sorted(&vals, 128)
     };
     Ok(Fig3Data {
         fraction_at_or_below_25us: atis.fraction_at_or_below(25_000),
@@ -171,6 +181,20 @@ pub fn fig5_architectures() -> Vec<Architecture> {
     ]
 }
 
+/// Runs every breakdown-sweep configuration on the scoped-thread fan-out
+/// and returns one row per config, in input order. Each profile is fully
+/// independent (own device, own executor, fixed seed), so the rows are
+/// bit-identical at any thread count.
+fn breakdown_rows(configs: Vec<ProfileConfig>) -> Result<Vec<BreakdownRow>, ProfileError> {
+    try_map_ordered(configs, configured_threads(), |cfg| {
+        let report = profile(&cfg)?;
+        Ok(BreakdownRow::from_trace(
+            report.label.clone(),
+            &report.trace,
+        ))
+    })
+}
+
 /// Regenerates Fig. 5: the occupation breakdown of typical DNNs at
 /// ImageNet geometry (the paper's "typical DNN training"; the MLP uses its
 /// own 2-feature input).
@@ -179,13 +203,12 @@ pub fn fig5_architectures() -> Vec<Architecture> {
 ///
 /// Propagates device errors.
 pub fn fig5_breakdown(batch: usize) -> Result<Vec<BreakdownRow>, ProfileError> {
-    let mut rows = Vec::new();
-    for arch in fig5_architectures() {
-        let cfg = ProfileConfig::breakdown_sweep(arch, DatasetSpec::imagenet(), batch);
-        let report = profile(&cfg)?;
-        rows.push(BreakdownRow::from_trace(report.label.clone(), &report.trace));
-    }
-    Ok(rows)
+    breakdown_rows(
+        fig5_architectures()
+            .into_iter()
+            .map(|arch| ProfileConfig::breakdown_sweep(arch, DatasetSpec::imagenet(), batch))
+            .collect(),
+    )
 }
 
 /// Regenerates Fig. 6: AlexNet breakdown across batch sizes, on CIFAR-100
@@ -195,16 +218,17 @@ pub fn fig5_breakdown(batch: usize) -> Result<Vec<BreakdownRow>, ProfileError> {
 ///
 /// Propagates device errors.
 pub fn fig6_alexnet(batches: &[usize]) -> Result<Vec<BreakdownRow>, ProfileError> {
-    let mut rows = Vec::new();
+    let mut configs = Vec::new();
     for dataset in [DatasetSpec::cifar100(), DatasetSpec::imagenet()] {
         for &batch in batches {
-            let cfg =
-                ProfileConfig::breakdown_sweep(Architecture::AlexNet, dataset.clone(), batch);
-            let report = profile(&cfg)?;
-            rows.push(BreakdownRow::from_trace(report.label.clone(), &report.trace));
+            configs.push(ProfileConfig::breakdown_sweep(
+                Architecture::AlexNet,
+                dataset.clone(),
+                batch,
+            ));
         }
     }
-    Ok(rows)
+    breakdown_rows(configs)
 }
 
 /// Regenerates Fig. 7: ResNet-18/34/50/101/152 breakdown across batch
@@ -214,21 +238,19 @@ pub fn fig6_alexnet(batches: &[usize]) -> Result<Vec<BreakdownRow>, ProfileError
 ///
 /// Propagates device errors.
 pub fn fig7_resnet(batches: &[usize]) -> Result<Vec<BreakdownRow>, ProfileError> {
-    let mut rows = Vec::new();
+    let mut configs = Vec::new();
     for dataset in [DatasetSpec::cifar100(), DatasetSpec::imagenet()] {
         for depth in ResNetDepth::ALL {
             for &batch in batches {
-                let cfg = ProfileConfig::breakdown_sweep(
+                configs.push(ProfileConfig::breakdown_sweep(
                     Architecture::ResNet(depth),
                     dataset.clone(),
                     batch,
-                );
-                let report = profile(&cfg)?;
-                rows.push(BreakdownRow::from_trace(report.label.clone(), &report.trace));
+                ));
             }
         }
     }
-    Ok(rows)
+    breakdown_rows(configs)
 }
 
 /// Extension experiment: forward-only (inference-footprint) vs full
@@ -262,20 +284,18 @@ impl TrainVsForwardRow {
 ///
 /// Propagates device errors.
 pub fn ext_training_vs_forward(batch: usize) -> Result<Vec<TrainVsForwardRow>, ProfileError> {
-    let mut rows = Vec::new();
-    for arch in fig5_architectures() {
+    try_map_ordered(fig5_architectures(), configured_threads(), |arch| {
         let mut fwd_cfg = ProfileConfig::breakdown_sweep(arch, DatasetSpec::imagenet(), batch);
         fwd_cfg.forward_only = true;
         let fwd = profile(&fwd_cfg)?;
         let train_cfg = ProfileConfig::breakdown_sweep(arch, DatasetSpec::imagenet(), batch);
         let train = profile(&train_cfg)?;
-        rows.push(TrainVsForwardRow {
+        Ok(TrainVsForwardRow {
             arch: arch.name(),
             forward_peak_bytes: fwd.trace.peak_live_bytes().peak_total_bytes,
             training_peak_bytes: train.trace.peak_live_bytes().peak_total_bytes,
-        });
-    }
-    Ok(rows)
+        })
+    })
 }
 
 /// Extension experiment: data-parallel scaling — iteration time and peak
@@ -301,18 +321,16 @@ pub fn ext_data_parallel(
     batch: usize,
     worlds: &[usize],
 ) -> Result<Vec<DataParallelRow>, ProfileError> {
-    let mut rows = Vec::new();
-    for &world_size in worlds {
+    try_map_ordered(worlds.to_vec(), configured_threads(), |world_size| {
         let mut cfg = ProfileConfig::breakdown_sweep(arch, DatasetSpec::imagenet(), batch);
         cfg.data_parallel = Some(pinpoint_models::DdpSpec::pcie(world_size));
         let report = profile(&cfg)?;
-        rows.push(DataParallelRow {
+        Ok(DataParallelRow {
             world_size,
             peak_bytes: report.trace.peak_live_bytes().peak_total_bytes,
             iteration_ns: report.duration_ns / report.iterations as u64,
-        });
-    }
-    Ok(rows)
+        })
+    })
 }
 
 #[cfg(test)]
@@ -417,8 +435,8 @@ mod tests {
 
     #[test]
     fn data_parallel_adds_comm_time_not_memory() {
-        let rows = ext_data_parallel(Architecture::ResNet(ResNetDepth::R18), 16, &[1, 4, 8])
-            .unwrap();
+        let rows =
+            ext_data_parallel(Architecture::ResNet(ResNetDepth::R18), 16, &[1, 4, 8]).unwrap();
         assert_eq!(rows.len(), 3);
         // in-place bucket all-reduce: same peak at every world size
         assert_eq!(rows[0].peak_bytes, rows[1].peak_bytes);

@@ -27,6 +27,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod figures;
+pub mod parallel;
 mod profiler;
 pub mod report;
 

@@ -72,6 +72,10 @@ pub struct ProfileConfig {
     pub data_parallel: Option<pinpoint_models::DdpSpec>,
     /// RNG seed (init values, concrete data).
     pub seed: u64,
+    /// Worker threads for intra-profile kernel work (concrete conv batch
+    /// fan-out); 0 resolves via [`crate::parallel::configured_threads`].
+    /// Never affects trace contents or numerics — only wall-clock time.
+    pub threads: usize,
 }
 
 impl ProfileConfig {
@@ -91,6 +95,7 @@ impl ProfileConfig {
             checkpoint_every: None,
             data_parallel: None,
             seed: 0x9_1517,
+            threads: 0,
         }
     }
 
@@ -114,9 +119,19 @@ impl ProfileConfig {
             checkpoint_every: None,
             data_parallel: None,
             seed: 0x9_1517,
+            threads: 0,
         }
     }
 
+    /// The effective intra-profile thread count: the explicit `threads`
+    /// field, or the process-wide configuration when it is 0.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            crate::parallel::configured_threads()
+        }
+    }
 }
 
 /// The result of an instrumented training run.
@@ -233,6 +248,7 @@ pub fn profile(config: &ProfileConfig) -> Result<ProfileReport, ProfileError> {
     let program_summary = program.summary();
     let device = SimDevice::new(config.device.clone());
     let mut exec = Executor::with_seed(program, device, config.mode, config.seed)?;
+    exec.set_threads(config.resolved_threads());
     let mut data_gen = ConcreteDataGen::new(config);
     let mut eval_buffer = None;
     for i in 0..config.iterations {
@@ -244,7 +260,8 @@ pub fn profile(config: &ProfileConfig) -> Result<ProfileReport, ProfileError> {
                 let buf = match eval_buffer {
                     Some(b) => b,
                     None => {
-                        let b = dev.malloc(eval.buffer_bytes, MemoryKind::Other, Some("epoch_eval"))?;
+                        let b =
+                            dev.malloc(eval.buffer_bytes, MemoryKind::Other, Some("epoch_eval"))?;
                         eval_buffer = Some(b);
                         b
                     }
@@ -287,8 +304,16 @@ pub fn profile(config: &ProfileConfig) -> Result<ProfileReport, ProfileError> {
 #[derive(Debug)]
 enum ConcreteDataGen {
     None,
-    Blobs { gen: TwoBlobs, batch: usize },
-    RandomImages { rng: Rng64, numel: usize, batch: usize, classes: usize },
+    Blobs {
+        gen: TwoBlobs,
+        batch: usize,
+    },
+    RandomImages {
+        rng: Rng64,
+        numel: usize,
+        batch: usize,
+        classes: usize,
+    },
 }
 
 impl ConcreteDataGen {
@@ -393,7 +418,10 @@ mod tests {
         let mut cfg = ProfileConfig::mlp_case_study(1);
         cfg.device.capacity_bytes = 1 << 20; // 1 MB device cannot train
         let err = profile(&cfg).unwrap_err();
-        assert!(matches!(err, ProfileError::Device(AllocError::OutOfMemory { .. })));
+        assert!(matches!(
+            err,
+            ProfileError::Device(AllocError::OutOfMemory { .. })
+        ));
         assert!(err.to_string().contains("out of device memory"));
     }
 }

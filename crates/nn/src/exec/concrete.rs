@@ -6,7 +6,7 @@
 //! so their traces match.
 
 use crate::graph::{Graph, InitSpec, OpKind, OpRecord, TensorId};
-use pinpoint_tensor::kernels::conv::{conv2d_backward, conv2d_forward};
+use pinpoint_tensor::kernels::conv::{conv2d_backward_mt, conv2d_forward_mt};
 use pinpoint_tensor::kernels::elementwise::{
     add, add_bias, bias_grad, mul, relu, relu_backward, sgd_momentum_step, sgd_step,
 };
@@ -32,7 +32,9 @@ fn storage(graph: &Graph, id: TensorId) -> usize {
 }
 
 fn take(bufs: &mut [Option<Vec<f32>>], s: usize) -> Vec<f32> {
-    bufs[s].take().unwrap_or_else(|| panic!("buffer for storage {s} missing"))
+    bufs[s]
+        .take()
+        .unwrap_or_else(|| panic!("buffer for storage {s} missing"))
 }
 
 fn put(bufs: &mut [Option<Vec<f32>>], s: usize, v: Vec<f32>) {
@@ -79,14 +81,16 @@ pub(crate) fn fill_init(spec: InitSpec, buf: &mut [f32], rng: &mut Rng64) {
 }
 
 /// Executes one op on the shadow buffers. `step` is the 1-based iteration
-/// count (Adam bias correction). Returns the scalar loss when the op is the
-/// fused loss forward.
+/// count (Adam bias correction). `threads` bounds the worker threads the
+/// conv kernels may fan out over (results are bit-identical at any count).
+/// Returns the scalar loss when the op is the fused loss forward.
 pub(crate) fn dispatch(
     op: &OpRecord,
     graph: &Graph,
     bufs: &mut [Option<Vec<f32>>],
     seed: u64,
     step: u64,
+    threads: usize,
 ) -> Option<f32> {
     let s_out = |i: usize| storage(graph, op.outputs[i]);
     match op.kind {
@@ -174,13 +178,12 @@ pub(crate) fn dispatch(
         }
         OpKind::Conv2d(g) => {
             let mut y = take(bufs, s_out(0));
-            let mut ws = vec![0.0f32; g.col_numel()];
-            conv2d_forward(
+            conv2d_forward_mt(
                 get(bufs, graph, op.inputs[0]),
                 get(bufs, graph, op.inputs[1]),
                 &mut y,
-                &mut ws,
                 &g,
+                threads,
             );
             put(bufs, s_out(0), y);
         }
@@ -209,32 +212,31 @@ pub(crate) fn dispatch(
             put(bufs, s_out(1), dw);
         }
         OpKind::Conv2dGrad(g) => {
-            let mut ws = vec![0.0f32; g.col_numel()];
             if op.outputs.len() == 2 {
                 let mut dx = take(bufs, s_out(0));
                 let mut dw = take(bufs, s_out(1));
-                conv2d_backward(
+                conv2d_backward_mt(
                     get(bufs, graph, op.inputs[0]),
                     get(bufs, graph, op.inputs[1]),
                     get(bufs, graph, op.inputs[2]),
                     &mut dx,
                     &mut dw,
-                    &mut ws,
                     &g,
+                    threads,
                 );
                 put(bufs, s_out(0), dx);
                 put(bufs, s_out(1), dw);
             } else {
                 let mut dx = vec![0.0f32; g.n * g.c * g.h * g.w];
                 let mut dw = take(bufs, s_out(0));
-                conv2d_backward(
+                conv2d_backward_mt(
                     get(bufs, graph, op.inputs[0]),
                     get(bufs, graph, op.inputs[1]),
                     get(bufs, graph, op.inputs[2]),
                     &mut dx,
                     &mut dw,
-                    &mut ws,
                     &g,
+                    threads,
                 );
                 put(bufs, s_out(0), dw);
             }
@@ -410,11 +412,7 @@ pub(crate) fn dispatch(
         }
         OpKind::ConcatChannels { n, hw, ref parts } => {
             let mut y = take(bufs, s_out(0));
-            let inputs: Vec<&[f32]> = op
-                .inputs
-                .iter()
-                .map(|&t| get(bufs, graph, t))
-                .collect();
+            let inputs: Vec<&[f32]> = op.inputs.iter().map(|&t| get(bufs, graph, t)).collect();
             pinpoint_tensor::kernels::concat::concat_channels(&inputs, &mut y, n, parts, hw);
             put(bufs, s_out(0), y);
         }

@@ -80,6 +80,10 @@ pub struct Executor {
     iter: u64,
     loss_history: Vec<f32>,
     seed: u64,
+    /// Worker threads for concrete conv kernels (1 = sequential). Never
+    /// affects the trace or the numerics — kernels are bit-identical at
+    /// every thread count.
+    threads: usize,
 }
 
 impl Executor {
@@ -147,7 +151,14 @@ impl Executor {
             iter: 0,
             loss_history: Vec::new(),
             seed,
+            threads: 1,
         })
+    }
+
+    /// Sets the worker-thread budget for concrete conv kernels. Zero is
+    /// clamped to one. Results stay bit-identical at every count.
+    pub fn set_threads(&mut self, n: usize) {
+        self.threads = n.max(1);
     }
 
     /// The program being executed.
@@ -308,6 +319,7 @@ impl Executor {
                     &mut self.buffers,
                     op_seed,
                     self.iter + 1,
+                    self.threads,
                 ) {
                     iter_loss = Some(loss);
                 }

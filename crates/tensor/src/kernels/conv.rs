@@ -2,8 +2,23 @@
 //!
 //! These serve the concrete executor for small test shapes; the big-model
 //! sweeps run symbolically and only use the FLOP/byte accounting.
+//!
+//! Every image in the batch is independent, so [`conv2d_forward_mt`] and
+//! [`conv2d_backward_mt`] fan the per-image im2col + matmul work out over
+//! scoped threads, each worker with its own workspace. Outputs are written
+//! to disjoint per-image slices and the weight gradient is reduced in
+//! ascending image order after the join, so results are bit-identical to
+//! the sequential kernels at every thread count.
 
 use super::matmul::{matmul, Transpose};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One forward fan-out job: an input image and its output slice.
+type FwdJob<'a> = (&'a [f32], &'a mut [f32]);
+/// One backward fan-out job: an input image, its `dy` slice, and its
+/// (disjoint) `dx` slice.
+type BwdJob<'a> = (&'a [f32], &'a [f32], &'a mut [f32]);
 
 /// Geometry of a 2-D convolution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -232,6 +247,158 @@ pub fn conv2d_backward(
     }
 }
 
+/// [`conv2d_forward`] fanned out per image over up to `threads` scoped
+/// worker threads, each with its own internally allocated workspace.
+/// Bit-identical to the sequential kernel at every thread count.
+///
+/// # Panics
+///
+/// Panics on inconsistent slice lengths or degenerate geometry.
+pub fn conv2d_forward_mt(
+    x: &[f32],
+    weight: &[f32],
+    out: &mut [f32],
+    g: &Conv2dGeom,
+    threads: usize,
+) {
+    g.validate();
+    let (oh, ow) = (g.oh(), g.ow());
+    let k = g.c * g.kh * g.kw;
+    assert_eq!(x.len(), g.n * g.c * g.h * g.w);
+    assert_eq!(weight.len(), g.f * k);
+    assert_eq!(out.len(), g.n * g.f * oh * ow);
+    if threads <= 1 || g.n <= 1 {
+        let mut ws = vec![0.0f32; g.col_numel()];
+        conv2d_forward(x, weight, out, &mut ws, g);
+        return;
+    }
+    let img_len = g.c * g.h * g.w;
+    let out_len = g.f * oh * ow;
+    let jobs: Vec<Mutex<Option<FwdJob>>> = x
+        .chunks(img_len)
+        .zip(out.chunks_mut(out_len))
+        .map(|job| Mutex::new(Some(job)))
+        .collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(g.n) {
+            s.spawn(|| {
+                let mut ws = vec![0.0f32; g.col_numel()];
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    let (img, out_n) = jobs[i].lock().unwrap().take().expect("job taken once");
+                    im2col(img, g, &mut ws);
+                    matmul(
+                        weight,
+                        Transpose::No,
+                        &ws,
+                        Transpose::No,
+                        out_n,
+                        g.f,
+                        k,
+                        oh * ow,
+                    );
+                }
+            });
+        }
+    });
+}
+
+/// [`conv2d_backward`] fanned out per image over up to `threads` scoped
+/// worker threads. `dx` images are disjoint slices; per-image weight
+/// gradients are buffered and reduced in ascending image order after the
+/// join, so the result is bit-identical to the sequential kernel.
+///
+/// # Panics
+///
+/// Panics on inconsistent slice lengths or degenerate geometry.
+pub fn conv2d_backward_mt(
+    x: &[f32],
+    weight: &[f32],
+    dy: &[f32],
+    dx: &mut [f32],
+    dw: &mut [f32],
+    g: &Conv2dGeom,
+    threads: usize,
+) {
+    g.validate();
+    let (oh, ow) = (g.oh(), g.ow());
+    let k = g.c * g.kh * g.kw;
+    assert_eq!(x.len(), g.n * g.c * g.h * g.w);
+    assert_eq!(dx.len(), x.len());
+    assert_eq!(weight.len(), g.f * k);
+    assert_eq!(dw.len(), weight.len());
+    assert_eq!(dy.len(), g.n * g.f * oh * ow);
+    if threads <= 1 || g.n <= 1 {
+        let mut ws = vec![0.0f32; g.col_numel()];
+        conv2d_backward(x, weight, dy, dx, dw, &mut ws, g);
+        return;
+    }
+    let img_len = g.c * g.h * g.w;
+    let dy_len = g.f * oh * ow;
+    let jobs: Vec<Mutex<Option<BwdJob>>> = x
+        .chunks(img_len)
+        .zip(dy.chunks(dy_len))
+        .zip(dx.chunks_mut(img_len))
+        .map(|((img, dy_n), dx_n)| Mutex::new(Some((img, dy_n, dx_n))))
+        .collect();
+    let dw_slots: Vec<Mutex<Option<Vec<f32>>>> = (0..g.n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(g.n) {
+            s.spawn(|| {
+                let mut ws = vec![0.0f32; g.col_numel()];
+                let mut dcol = vec![0.0f32; k * oh * ow];
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    let (img, dy_n, dx_n) = jobs[i].lock().unwrap().take().expect("job taken once");
+                    // dW_n = dY_n [F, OHW] @ col_n^T [OHW, K]
+                    im2col(img, g, &mut ws);
+                    let mut dw_n = vec![0.0f32; g.f * k];
+                    matmul(
+                        dy_n,
+                        Transpose::No,
+                        &ws,
+                        Transpose::Yes,
+                        &mut dw_n,
+                        g.f,
+                        oh * ow,
+                        k,
+                    );
+                    *dw_slots[i].lock().unwrap() = Some(dw_n);
+                    // dcol = W^T [K, F] @ dY_n [F, OHW]
+                    matmul(
+                        weight,
+                        Transpose::Yes,
+                        dy_n,
+                        Transpose::No,
+                        &mut dcol,
+                        k,
+                        g.f,
+                        oh * ow,
+                    );
+                    col2im(&dcol, g, dx_n);
+                }
+            });
+        }
+    });
+    // reduce per-image gradients in image order — the sequential kernel's
+    // exact accumulation sequence
+    dw.fill(0.0);
+    for slot in dw_slots {
+        let dw_n = slot.into_inner().unwrap().expect("every image produced dW");
+        for (acc, v) in dw.iter_mut().zip(&dw_n) {
+            *acc += v;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -254,8 +421,8 @@ mod tests {
                                         && (iy as usize) < g.h
                                         && (ix as usize) < g.w
                                     {
-                                        let xi = ((n * g.c + c) * g.h + iy as usize) * g.w
-                                            + ix as usize;
+                                        let xi =
+                                            ((n * g.c + c) * g.h + iy as usize) * g.w + ix as usize;
                                         let wi = ((f * g.c + c) * g.kh + ky) * g.kw + kx;
                                         acc += x[xi] * w[wi];
                                     }
@@ -431,6 +598,61 @@ mod tests {
             pad: 1,
         };
         assert_eq!(g.flops(), 2 * 2 * 16 * 3 * 3 * 3 * 64);
+    }
+
+    #[test]
+    fn mt_kernels_are_bit_identical_to_sequential() {
+        let g = Conv2dGeom {
+            n: 5,
+            c: 3,
+            h: 6,
+            w: 6,
+            f: 4,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let mut x = vec![0.0; g.n * g.c * g.h * g.w];
+        let mut w = vec![0.0; g.f * g.c * g.kh * g.kw];
+        fill_pattern(&mut x);
+        fill_pattern(&mut w);
+        let out_len = g.n * g.f * g.oh() * g.ow();
+        let mut out_seq = vec![0.0; out_len];
+        let mut ws = vec![0.0; g.col_numel()];
+        conv2d_forward(&x, &w, &mut out_seq, &mut ws, &g);
+        let dy: Vec<f32> = out_seq.iter().map(|v| v * 0.5 + 0.1).collect();
+        let mut dx_seq = vec![0.0; x.len()];
+        let mut dw_seq = vec![0.0; w.len()];
+        conv2d_backward(&x, &w, &dy, &mut dx_seq, &mut dw_seq, &mut ws, &g);
+        for threads in [1, 2, 3, 8] {
+            let mut out_mt = vec![0.0; out_len];
+            conv2d_forward_mt(&x, &w, &mut out_mt, &g, threads);
+            assert!(
+                out_mt
+                    .iter()
+                    .zip(&out_seq)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "forward mismatch at {threads} threads"
+            );
+            let mut dx_mt = vec![0.0; x.len()];
+            let mut dw_mt = vec![0.0; w.len()];
+            conv2d_backward_mt(&x, &w, &dy, &mut dx_mt, &mut dw_mt, &g, threads);
+            assert!(
+                dx_mt
+                    .iter()
+                    .zip(&dx_seq)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "dx mismatch at {threads} threads"
+            );
+            assert!(
+                dw_mt
+                    .iter()
+                    .zip(&dw_seq)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "dw mismatch at {threads} threads"
+            );
+        }
     }
 
     #[test]

@@ -1,9 +1,13 @@
 //! Dense matrix multiplication kernels.
 //!
 //! These are the concrete-execution counterparts of the simulator's `MatMul`
-//! graph op. They are deliberately simple (ikj loop order, no blocking): the
-//! simulator's performance numbers come from the analytic cost model, not
-//! from host wall-clock time, so clarity wins over micro-optimization.
+//! graph op. [`matmul`] is cache-blocked: transposed operands are packed
+//! into row-major buffers once (pure copies), and the ikj loop nest is
+//! tiled so the hot `b` rows and `out` rows stay in cache. The blocking is
+//! **bit-identical** to the reference kernel — for every output element the
+//! partial products are accumulated in ascending `p` order with the same
+//! skip of zero `a` values — so swapping kernels never changes results.
+//! [`matmul_reference`] keeps the original untiled loop as the oracle.
 
 /// Whether a matmul operand is used as stored or transposed on the fly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -21,6 +25,13 @@ impl Transpose {
     }
 }
 
+/// Row-block size: `out` rows touched per tile.
+const BLOCK_M: usize = 32;
+/// Reduction-block size: `a` columns / `b` rows per tile.
+const BLOCK_K: usize = 128;
+/// Column-block size: contiguous `b`/`out` span per tile (in elements).
+const BLOCK_N: usize = 512;
+
 /// Computes `out = A' * B'` where `A'` is `a` (shape `m × k` after optional
 /// transposition) and `B'` is `b` (shape `k × n` after optional
 /// transposition).
@@ -28,11 +39,81 @@ impl Transpose {
 /// `a` is stored row-major with logical shape `m × k` if `ta == No`, or
 /// `k × m` if `ta == Yes`; correspondingly for `b`.
 ///
+/// Bit-identical to [`matmul_reference`] at every shape and transpose
+/// combination.
+///
 /// # Panics
 ///
 /// Panics if the slice lengths do not match the given dimensions.
 #[allow(clippy::too_many_arguments)]
 pub fn matmul(
+    a: &[f32],
+    ta: Transpose,
+    b: &[f32],
+    tb: Transpose,
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    assert_eq!(a.len(), m * k, "lhs length must be m*k");
+    assert_eq!(b.len(), k * n, "rhs length must be k*n");
+    assert_eq!(out.len(), m * n, "out length must be m*n");
+    out.fill(0.0);
+    // Pack transposed operands into row-major layout once, so the tiled
+    // loops below always stream contiguous rows. Copying reorders memory,
+    // not arithmetic: values are untouched.
+    let a_packed: Vec<f32>;
+    let a = match ta {
+        Transpose::No => a,
+        Transpose::Yes => {
+            let mut buf = vec![0.0f32; m * k];
+            transpose2d(a, &mut buf, k, m);
+            a_packed = buf;
+            &a_packed
+        }
+    };
+    let b_packed: Vec<f32>;
+    let b = match tb {
+        Transpose::No => b,
+        Transpose::Yes => {
+            let mut buf = vec![0.0f32; k * n];
+            transpose2d(b, &mut buf, n, k);
+            b_packed = buf;
+            &b_packed
+        }
+    };
+    // Tiled ikj. Per output element the accumulation order is ascending p
+    // (p-blocks ascend, p ascends within a block) with zero `a` values
+    // skipped — exactly the reference kernel's order.
+    for i0 in (0..m).step_by(BLOCK_M) {
+        let i1 = (i0 + BLOCK_M).min(m);
+        for p0 in (0..k).step_by(BLOCK_K) {
+            let p1 = (p0 + BLOCK_K).min(k);
+            for j0 in (0..n).step_by(BLOCK_N) {
+                let j1 = (j0 + BLOCK_N).min(n);
+                for i in i0..i1 {
+                    let a_row = &a[i * k + p0..i * k + p1];
+                    let out_row = &mut out[i * n + j0..i * n + j1];
+                    for (dp, &av) in a_row.iter().enumerate() {
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let b_row = &b[(p0 + dp) * n + j0..(p0 + dp) * n + j1];
+                        for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                            *o += av * bv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The original untiled ikj kernel, kept as the determinism oracle for
+/// [`matmul`]. Same contract, same panics.
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_reference(
     a: &[f32],
     ta: Transpose,
     b: &[f32],
@@ -121,17 +202,35 @@ mod tests {
         let a_stored = vec![1., 4., 2., 5., 3., 6.]; // (a^T) of [1 2 3;4 5 6]
         let b = vec![7., 8., 9., 10., 11., 12.];
         let mut out = vec![0.0; 4];
-        matmul(&a_stored, Transpose::Yes, &b, Transpose::No, &mut out, 2, 3, 2);
+        matmul(
+            &a_stored,
+            Transpose::Yes,
+            &b,
+            Transpose::No,
+            &mut out,
+            2,
+            3,
+            2,
+        );
         assert_eq!(out, vec![58., 64., 139., 154.]);
     }
 
     #[test]
     fn transposed_rhs_matches_manual_transpose() {
         let a = vec![1., 2., 3., 4., 5., 6.]; // 2x3
-        // b stored as n x k = 2 x 3; logical B = b^T is 3 x 2.
+                                              // b stored as n x k = 2 x 3; logical B = b^T is 3 x 2.
         let b_stored = vec![7., 9., 11., 8., 10., 12.];
         let mut out = vec![0.0; 4];
-        matmul(&a, Transpose::No, &b_stored, Transpose::Yes, &mut out, 2, 3, 2);
+        matmul(
+            &a,
+            Transpose::No,
+            &b_stored,
+            Transpose::Yes,
+            &mut out,
+            2,
+            3,
+            2,
+        );
         assert_eq!(out, vec![58., 64., 139., 154.]);
     }
 
@@ -177,5 +276,48 @@ mod tests {
         let mut out: Vec<f32> = vec![];
         matmul(&a, Transpose::No, &b, Transpose::No, &mut out, 0, 0, 0);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn blocked_kernel_is_bit_identical_to_reference() {
+        use crate::rng::Rng64;
+        let mut rng = Rng64::seed_from_u64(0x3A7);
+        // shapes straddling the block sizes, including non-multiples
+        let shapes = [
+            (1, 1, 1),
+            (3, 5, 7),
+            (32, 128, 512),
+            (33, 129, 513),
+            (70, 40, 90),
+            (5, 300, 17),
+        ];
+        for &(m, k, n) in &shapes {
+            let mut a = vec![0.0f32; m * k];
+            let mut b = vec![0.0f32; k * n];
+            for v in a.iter_mut() {
+                // ~1 in 8 exact zeros exercises the skip path
+                *v = if rng.gen_below(8) == 0 {
+                    0.0
+                } else {
+                    rng.gen_range_f32(-2.0, 2.0)
+                };
+            }
+            for v in b.iter_mut() {
+                *v = rng.gen_range_f32(-2.0, 2.0);
+            }
+            for ta in [Transpose::No, Transpose::Yes] {
+                for tb in [Transpose::No, Transpose::Yes] {
+                    let mut fast = vec![0.0f32; m * n];
+                    let mut slow = vec![0.0f32; m * n];
+                    matmul(&a, ta, &b, tb, &mut fast, m, k, n);
+                    matmul_reference(&a, ta, &b, tb, &mut slow, m, k, n);
+                    let same = fast
+                        .iter()
+                        .zip(&slow)
+                        .all(|(x, y)| x.to_bits() == y.to_bits());
+                    assert!(same, "bit mismatch at {m}x{k}x{n} ta={ta:?} tb={tb:?}");
+                }
+            }
+        }
     }
 }

@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo run --release --example mlp_case_study`
 
-use pinpoint::analysis::{sift, AtiDataset, EmpiricalCdf, OutlierCriteria, violin};
+use pinpoint::analysis::{sift, violin_sorted, AtiDataset, OutlierCriteria};
 use pinpoint::core::report::{human_bytes, human_time};
 use pinpoint::core::{profile, EpochEval, ProfileConfig};
 use pinpoint::models::{Architecture, MlpConfig};
@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         classes: 2,
     });
     let report = profile(&cfg)?;
-    println!("== concrete MLP training on two-blobs ({} iterations) ==", report.iterations);
+    println!(
+        "== concrete MLP training on two-blobs ({} iterations) ==",
+        report.iterations
+    );
     println!(
         "  loss: {:.4} -> {:.4}",
         report.loss_history.first().unwrap(),
@@ -32,13 +35,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Fig 3: ATI distribution ----------------------------------------
     let atis = AtiDataset::from_trace(&report.trace);
-    let cdf = EmpiricalCdf::new(atis.intervals_ns());
+    let cdf = atis.cdf();
     println!("\n== Fig 3: ATI distribution ({} behaviors) ==", cdf.len());
     for (v, p) in cdf.summary_rows(10) {
         println!("  p{:<3.0} {:>12}", p * 100.0, human_time(v));
     }
-    let samples: Vec<f64> = atis.intervals_ns().iter().map(|&v| v as f64).collect();
-    if let Some(v) = violin(&samples, 64) {
+    let samples: Vec<f64> = atis
+        .sorted_intervals_ns()
+        .iter()
+        .map(|&v| v as f64)
+        .collect();
+    if let Some(v) = violin_sorted(&samples, 64) {
         println!(
             "  violin: median {} IQR [{}, {}]",
             human_time(v.median as u64),
@@ -74,7 +81,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             human_time(o.interval_ns),
             human_bytes(o.size as u64),
             human_bytes(bound as u64),
-            if (o.size as f64) <= bound { "swappable" } else { "not swappable" }
+            if (o.size as f64) <= bound {
+                "swappable"
+            } else {
+                "not swappable"
+            }
         );
     }
 

@@ -53,6 +53,38 @@ fn csv_export_has_one_row_per_event() {
 }
 
 #[test]
+fn fig7_sweep_is_bit_identical_across_thread_counts() {
+    // the parallel sweep engine must never change results: the same rows,
+    // in the same order, with bit-equal bytes at every worker count
+    use pinpoint::core::figures::fig7_resnet;
+    pinpoint::core::parallel::set_global_threads(1);
+    let base = fig7_resnet(&[32, 128]).unwrap();
+    for threads in [2, 4, 8] {
+        pinpoint::core::parallel::set_global_threads(threads);
+        let rows = fig7_resnet(&[32, 128]).unwrap();
+        assert_eq!(rows, base, "fig7 rows diverged at {threads} threads");
+    }
+    pinpoint::core::parallel::set_global_threads(1);
+}
+
+#[test]
+fn concrete_profile_is_thread_count_independent() {
+    // the mt conv kernels are bit-identical to the sequential ones, so a
+    // concrete run must produce the same trace AND the same float losses
+    let mut cfg1 = ProfileConfig::mlp_case_study(3);
+    cfg1.threads = 1;
+    let mut cfg4 = ProfileConfig::mlp_case_study(3);
+    cfg4.threads = 4;
+    let a = profile(&cfg1).unwrap();
+    let b = profile(&cfg4).unwrap();
+    assert_eq!(a.trace.events(), b.trace.events());
+    assert_eq!(a.trace.markers(), b.trace.markers());
+    let la: Vec<u32> = a.loss_history.iter().map(|v| v.to_bits()).collect();
+    let lb: Vec<u32> = b.loss_history.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(la, lb, "losses must be bit-equal across thread counts");
+}
+
+#[test]
 fn jitter_seeds_are_stable_across_runs_but_vary_over_time() {
     // the cost model's jitter must not break determinism
     let a = profile(&ProfileConfig::mlp_case_study(4)).unwrap();
