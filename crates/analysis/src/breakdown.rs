@@ -83,11 +83,51 @@ mod tests {
 
     fn mixed_trace() -> Trace {
         let mut t = Trace::new();
-        t.record(0, EventKind::Malloc, BlockId(0), 100, 0, MemoryKind::Weight, None);
-        t.record(1, EventKind::Malloc, BlockId(1), 50, 100, MemoryKind::Input, None);
-        t.record(2, EventKind::Malloc, BlockId(2), 850, 200, MemoryKind::Activation, None);
-        t.record(3, EventKind::Free, BlockId(2), 850, 200, MemoryKind::Activation, None);
-        t.record(4, EventKind::Free, BlockId(1), 50, 100, MemoryKind::Input, None);
+        t.record(
+            0,
+            EventKind::Malloc,
+            BlockId(0),
+            100,
+            0,
+            MemoryKind::Weight,
+            None,
+        );
+        t.record(
+            1,
+            EventKind::Malloc,
+            BlockId(1),
+            50,
+            100,
+            MemoryKind::Input,
+            None,
+        );
+        t.record(
+            2,
+            EventKind::Malloc,
+            BlockId(2),
+            850,
+            200,
+            MemoryKind::Activation,
+            None,
+        );
+        t.record(
+            3,
+            EventKind::Free,
+            BlockId(2),
+            850,
+            200,
+            MemoryKind::Activation,
+            None,
+        );
+        t.record(
+            4,
+            EventKind::Free,
+            BlockId(1),
+            50,
+            100,
+            MemoryKind::Input,
+            None,
+        );
         t
     }
 

@@ -131,7 +131,13 @@ pub fn thin_to_feasible(plan: &SwapPlan, tm: &TransferModel) -> SwapPlan {
 mod tests {
     use super::*;
 
-    fn decision(block: u64, size: usize, evict_at: u64, needed_at: u64, tm: &TransferModel) -> SwapDecision {
+    fn decision(
+        block: u64,
+        size: usize,
+        evict_at: u64,
+        needed_at: u64,
+        tm: &TransferModel,
+    ) -> SwapDecision {
         SwapDecision {
             block: pinpoint_trace::BlockId(block),
             size,
@@ -178,7 +184,11 @@ mod tests {
         };
         let r = check_contention(&plan, &tm);
         assert!(!r.feasible);
-        assert!(r.late().count() >= 5, "most must miss: {}", r.late().count());
+        assert!(
+            r.late().count() >= 5,
+            "most must miss: {}",
+            r.late().count()
+        );
         assert!(r.d2h_busy_fraction > 0.9);
     }
 

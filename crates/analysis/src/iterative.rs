@@ -126,12 +126,44 @@ mod tests {
         for i in 0..iters {
             t.mark(clock, format!("iter:{i}"));
             let b = BlockId(i as u64);
-            t.record(clock, EventKind::Malloc, b, 4096, 0, MemoryKind::Activation, None);
+            t.record(
+                clock,
+                EventKind::Malloc,
+                b,
+                4096,
+                0,
+                MemoryKind::Activation,
+                None,
+            );
             clock += 10_000;
-            t.record(clock, EventKind::Write, b, 4096, 0, MemoryKind::Activation, None);
+            t.record(
+                clock,
+                EventKind::Write,
+                b,
+                4096,
+                0,
+                MemoryKind::Activation,
+                None,
+            );
             clock += 15_000;
-            t.record(clock, EventKind::Read, b, 4096, 0, MemoryKind::Activation, None);
-            t.record(clock, EventKind::Free, b, 4096, 0, MemoryKind::Activation, None);
+            t.record(
+                clock,
+                EventKind::Read,
+                b,
+                4096,
+                0,
+                MemoryKind::Activation,
+                None,
+            );
+            t.record(
+                clock,
+                EventKind::Free,
+                b,
+                4096,
+                0,
+                MemoryKind::Activation,
+                None,
+            );
             clock += 5_000;
         }
         t
@@ -184,9 +216,25 @@ mod tests {
             for (k, size) in [512usize, 4096, 1024].iter().enumerate() {
                 let b = BlockId(id);
                 id += 1;
-                t.record(clock, EventKind::Malloc, b, *size, k * 8192, MemoryKind::Activation, None);
+                t.record(
+                    clock,
+                    EventKind::Malloc,
+                    b,
+                    *size,
+                    k * 8192,
+                    MemoryKind::Activation,
+                    None,
+                );
                 clock += 1_000;
-                t.record(clock, EventKind::Free, b, *size, k * 8192, MemoryKind::Activation, None);
+                t.record(
+                    clock,
+                    EventKind::Free,
+                    b,
+                    *size,
+                    k * 8192,
+                    MemoryKind::Activation,
+                    None,
+                );
             }
         }
         assert_eq!(period_from_mallocs(&t, 16), Some(3));
@@ -199,9 +247,25 @@ mod tests {
         let mut clock = 0u64;
         let mut id = 0u64;
         let push = |t: &mut Trace, clock: &mut u64, id: &mut u64, size: usize, off: usize| {
-            t.record(*clock, EventKind::Malloc, BlockId(*id), size, off, MemoryKind::Activation, None);
+            t.record(
+                *clock,
+                EventKind::Malloc,
+                BlockId(*id),
+                size,
+                off,
+                MemoryKind::Activation,
+                None,
+            );
             *clock += 500;
-            t.record(*clock, EventKind::Free, BlockId(*id), size, off, MemoryKind::Activation, None);
+            t.record(
+                *clock,
+                EventKind::Free,
+                BlockId(*id),
+                size,
+                off,
+                MemoryKind::Activation,
+                None,
+            );
             *id += 1;
         };
         push(&mut t, &mut clock, &mut id, 99_999, 0); // warm-up only
@@ -241,9 +305,25 @@ mod tests {
             t.mark(clock, format!("iter:{i}"));
             let b = BlockId(i);
             let offset = (i as usize) * 4096; // drifting addresses
-            t.record(clock, EventKind::Malloc, b, 4096, offset, MemoryKind::Activation, None);
+            t.record(
+                clock,
+                EventKind::Malloc,
+                b,
+                4096,
+                offset,
+                MemoryKind::Activation,
+                None,
+            );
             clock += 10_000;
-            t.record(clock, EventKind::Free, b, 4096, offset, MemoryKind::Activation, None);
+            t.record(
+                clock,
+                EventKind::Free,
+                b,
+                4096,
+                offset,
+                MemoryKind::Activation,
+                None,
+            );
             clock += 5_000;
         }
         assert!(!detect(&t).periodic);

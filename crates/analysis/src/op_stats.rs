@@ -64,7 +64,11 @@ pub fn op_stats(trace: &Trace) -> Vec<OpMemoryStats> {
         }
     }
     by_label.retain(|s| s.reads + s.writes + s.mallocs > 0);
-    by_label.sort_by(|a, b| b.bytes_total().cmp(&a.bytes_total()).then(a.label.cmp(&b.label)));
+    by_label.sort_by(|a, b| {
+        b.bytes_total()
+            .cmp(&a.bytes_total())
+            .then(a.label.cmp(&b.label))
+    });
     by_label
 }
 
@@ -78,11 +82,51 @@ mod tests {
         let mut t = Trace::new();
         let mm = t.intern_label("matmul");
         let relu = t.intern_label("relu");
-        t.record(0, EventKind::Malloc, BlockId(0), 1000, 0, MemoryKind::Activation, Some(mm));
-        t.record(1, EventKind::Write, BlockId(0), 1000, 0, MemoryKind::Activation, Some(mm));
-        t.record(2, EventKind::Read, BlockId(0), 1000, 0, MemoryKind::Activation, Some(relu));
-        t.record(3, EventKind::Read, BlockId(0), 1000, 0, MemoryKind::Activation, Some(mm));
-        t.record(4, EventKind::Free, BlockId(0), 1000, 0, MemoryKind::Activation, None);
+        t.record(
+            0,
+            EventKind::Malloc,
+            BlockId(0),
+            1000,
+            0,
+            MemoryKind::Activation,
+            Some(mm),
+        );
+        t.record(
+            1,
+            EventKind::Write,
+            BlockId(0),
+            1000,
+            0,
+            MemoryKind::Activation,
+            Some(mm),
+        );
+        t.record(
+            2,
+            EventKind::Read,
+            BlockId(0),
+            1000,
+            0,
+            MemoryKind::Activation,
+            Some(relu),
+        );
+        t.record(
+            3,
+            EventKind::Read,
+            BlockId(0),
+            1000,
+            0,
+            MemoryKind::Activation,
+            Some(mm),
+        );
+        t.record(
+            4,
+            EventKind::Free,
+            BlockId(0),
+            1000,
+            0,
+            MemoryKind::Activation,
+            None,
+        );
         let stats = op_stats(&t);
         assert_eq!(stats.len(), 2);
         assert_eq!(stats[0].label, "matmul");
@@ -95,7 +139,15 @@ mod tests {
     #[test]
     fn unlabeled_events_are_skipped() {
         let mut t = Trace::new();
-        t.record(0, EventKind::Malloc, BlockId(0), 64, 0, MemoryKind::Other, None);
+        t.record(
+            0,
+            EventKind::Malloc,
+            BlockId(0),
+            64,
+            0,
+            MemoryKind::Other,
+            None,
+        );
         assert!(op_stats(&t).is_empty());
     }
 
@@ -104,7 +156,15 @@ mod tests {
         let mut t = Trace::new();
         let _ = t.intern_label("phantom");
         let real = t.intern_label("real");
-        t.record(0, EventKind::Malloc, BlockId(0), 64, 0, MemoryKind::Other, Some(real));
+        t.record(
+            0,
+            EventKind::Malloc,
+            BlockId(0),
+            64,
+            0,
+            MemoryKind::Other,
+            Some(real),
+        );
         let stats = op_stats(&t);
         assert_eq!(stats.len(), 1);
         assert_eq!(stats[0].label, "real");

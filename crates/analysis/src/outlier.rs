@@ -78,9 +78,25 @@ mod tests {
     fn dataset_with_outlier() -> AtiDataset {
         let mut t = Trace::new();
         // small fast block: 4 KB, 20 µs intervals
-        t.record(0, EventKind::Malloc, BlockId(0), 4096, 0, MemoryKind::Activation, None);
+        t.record(
+            0,
+            EventKind::Malloc,
+            BlockId(0),
+            4096,
+            0,
+            MemoryKind::Activation,
+            None,
+        );
         for i in 1..=10u64 {
-            t.record(i * 20_000, EventKind::Read, BlockId(0), 4096, 0, MemoryKind::Activation, None);
+            t.record(
+                i * 20_000,
+                EventKind::Read,
+                BlockId(0),
+                4096,
+                0,
+                MemoryKind::Activation,
+                None,
+            );
         }
         // huge slow block: 1.2 GB, 840 ms interval (the paper's red point)
         t.record(

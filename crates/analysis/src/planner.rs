@@ -223,9 +223,17 @@ pub fn apply(trace: &Trace, plan: &SwapPlan) -> Trace {
             label_map.push(None);
             staged.push((d.out_from_ns, 0, mk(d.out_from_ns, EventKind::Free, old_id)));
             label_map.push(None);
-            staged.push((d.out_until_ns, 0, mk(d.out_until_ns, EventKind::Malloc, new_id)));
+            staged.push((
+                d.out_until_ns,
+                0,
+                mk(d.out_until_ns, EventKind::Malloc, new_id),
+            ));
             label_map.push(Some(swap_in_label.to_string()));
-            staged.push((d.needed_at_ns, 0, mk(d.needed_at_ns, EventKind::Write, new_id)));
+            staged.push((
+                d.needed_at_ns,
+                0,
+                mk(d.needed_at_ns, EventKind::Write, new_id),
+            ));
         }
     }
     let mut order: Vec<usize> = (0..staged.len()).collect();
@@ -253,13 +261,37 @@ mod tests {
         let big = BlockId(0);
         let size = 1_000_000_000usize; // 1 GB
         t.record(0, EventKind::Malloc, big, size, 0, MemoryKind::Other, None);
-        t.record(1_000, EventKind::Write, big, size, 0, MemoryKind::Other, None);
+        t.record(
+            1_000,
+            EventKind::Write,
+            big,
+            size,
+            0,
+            MemoryKind::Other,
+            None,
+        );
         // churning working set while the giant is idle
         for i in 0..5u64 {
             let b = BlockId(10 + i);
             let at = 250_000_000 + i * 50_000_000;
-            t.record(at, EventKind::Malloc, b, 800_000_000, 2 << 30, MemoryKind::Activation, None);
-            t.record(at + 1_000_000, EventKind::Write, b, 800_000_000, 2 << 30, MemoryKind::Activation, None);
+            t.record(
+                at,
+                EventKind::Malloc,
+                b,
+                800_000_000,
+                2 << 30,
+                MemoryKind::Activation,
+                None,
+            );
+            t.record(
+                at + 1_000_000,
+                EventKind::Write,
+                b,
+                800_000_000,
+                2 << 30,
+                MemoryKind::Activation,
+                None,
+            );
             t.record(
                 at + 10_000_000,
                 EventKind::Free,
@@ -271,8 +303,24 @@ mod tests {
             );
         }
         // the giant is touched again after ~900 ms
-        t.record(900_000_000, EventKind::Read, big, size, 0, MemoryKind::Other, None);
-        t.record(900_001_000, EventKind::Free, big, size, 0, MemoryKind::Other, None);
+        t.record(
+            900_000_000,
+            EventKind::Read,
+            big,
+            size,
+            0,
+            MemoryKind::Other,
+            None,
+        );
+        t.record(
+            900_001_000,
+            EventKind::Free,
+            big,
+            size,
+            0,
+            MemoryKind::Other,
+            None,
+        );
         t
     }
 
@@ -300,9 +348,25 @@ mod tests {
     fn short_gaps_produce_no_decisions() {
         let mut t = Trace::new();
         let b = BlockId(0);
-        t.record(0, EventKind::Malloc, b, 1 << 20, 0, MemoryKind::Activation, None);
+        t.record(
+            0,
+            EventKind::Malloc,
+            b,
+            1 << 20,
+            0,
+            MemoryKind::Activation,
+            None,
+        );
         for i in 1..50u64 {
-            t.record(i * 20_000, EventKind::Read, b, 1 << 20, 0, MemoryKind::Activation, None);
+            t.record(
+                i * 20_000,
+                EventKind::Read,
+                b,
+                1 << 20,
+                0,
+                MemoryKind::Activation,
+                None,
+            );
         }
         let p = plan(&t, &TransferModel::titan_x_pascal_pinned(), 1_000_000);
         assert!(p.decisions.is_empty());
@@ -338,7 +402,9 @@ mod tests {
         let tm = TransferModel::titan_x_pascal_pinned();
         let p = plan(&t, &tm, 1_000_000);
         let transformed = apply(&t, &p);
-        transformed.validate().expect("transformed trace well-formed");
+        transformed
+            .validate()
+            .expect("transformed trace well-formed");
         // the measured peak of the transformed trace equals the estimate
         assert_eq!(
             transformed.peak_live_bytes().peak_total_bytes,

@@ -64,7 +64,12 @@ pub fn gantt_svg(rects: &[GanttRect], cfg: &SvgConfig) -> String {
     );
     if !rects.is_empty() {
         let t0 = rects.iter().map(|r| r.t0_ns).min().expect("non-empty");
-        let t1 = rects.iter().map(|r| r.t1_ns).max().expect("non-empty").max(t0 + 1);
+        let t1 = rects
+            .iter()
+            .map(|r| r.t1_ns)
+            .max()
+            .expect("non-empty")
+            .max(t0 + 1);
         let o0 = rects.iter().map(|r| r.offset).min().expect("non-empty");
         let o1 = rects
             .iter()

@@ -75,9 +75,33 @@ mod tests {
     fn typical_behaviors_fail_eq1_outliers_pass() {
         let mut t = Trace::new();
         // 1 MB activation with 25 µs intervals → bound ≈ 79 KB → not swappable
-        t.record(0, EventKind::Malloc, BlockId(0), 1 << 20, 0, MemoryKind::Activation, None);
-        t.record(10, EventKind::Write, BlockId(0), 1 << 20, 0, MemoryKind::Activation, None);
-        t.record(25_010, EventKind::Read, BlockId(0), 1 << 20, 0, MemoryKind::Activation, None);
+        t.record(
+            0,
+            EventKind::Malloc,
+            BlockId(0),
+            1 << 20,
+            0,
+            MemoryKind::Activation,
+            None,
+        );
+        t.record(
+            10,
+            EventKind::Write,
+            BlockId(0),
+            1 << 20,
+            0,
+            MemoryKind::Activation,
+            None,
+        );
+        t.record(
+            25_010,
+            EventKind::Read,
+            BlockId(0),
+            1 << 20,
+            0,
+            MemoryKind::Activation,
+            None,
+        );
         // 1.2 GB buffer with 840 ms interval → bound ≈ 2.67 GB → swappable
         t.record(
             25_010,

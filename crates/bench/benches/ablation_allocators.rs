@@ -2,9 +2,9 @@
 //! Replays the same MLP training through the caching, best-fit and bump
 //! allocators and compares periodicity, fragmentation and reserved memory.
 
+use pinpoint_analysis::{detect, worst_fragmentation};
 use pinpoint_bench::criterion::Criterion;
 use pinpoint_bench::{criterion_group, criterion_main};
-use pinpoint_analysis::{detect, worst_fragmentation};
 use pinpoint_core::{profile, ProfileConfig};
 use pinpoint_device::AllocatorPolicy;
 

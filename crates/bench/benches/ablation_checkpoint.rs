@@ -9,7 +9,11 @@ use pinpoint_core::{profile, ProfileConfig};
 use pinpoint_data::DatasetSpec;
 use pinpoint_models::{Architecture, ResNetDepth};
 
-fn run(arch: Architecture, batch: usize, keep_every: Option<usize>) -> pinpoint_core::ProfileReport {
+fn run(
+    arch: Architecture,
+    batch: usize,
+    keep_every: Option<usize>,
+) -> pinpoint_core::ProfileReport {
     let mut cfg = ProfileConfig::breakdown_sweep(arch, DatasetSpec::imagenet(), batch);
     cfg.checkpoint_every = keep_every;
     profile(&cfg).expect("profile")
@@ -32,7 +36,8 @@ fn bench(c: &mut Criterion) {
             println!(
                 "  {:<22} {:>10} {:>12} {:>12} {:>12}",
                 arch.name(),
-                keep.map(|k| format!("1/{k}")).unwrap_or_else(|| "all".into()),
+                keep.map(|k| format!("1/{k}"))
+                    .unwrap_or_else(|| "all".into()),
                 human_bytes(peak),
                 r.program_summary.total_flops / 1_000_000_000,
                 human_time(r.duration_ns / r.iterations as u64)

@@ -4,9 +4,9 @@
 //! planner's payoff case; the MLP's sub-ms gaps yield nothing, exactly as
 //! the paper's Fig. 3 discussion predicts.
 
+use pinpoint_analysis::plan;
 use pinpoint_bench::criterion::Criterion;
 use pinpoint_bench::{criterion_group, criterion_main};
-use pinpoint_analysis::plan;
 use pinpoint_core::report::human_bytes;
 use pinpoint_core::{profile, ProfileConfig};
 use pinpoint_data::DatasetSpec;
@@ -23,7 +23,14 @@ fn bench(c: &mut Criterion) {
     println!("\nAblation — swap planner across workloads (Eq1-safe, zero overhead)");
     println!(
         "  {:<26} {:>10} {:>12} {:>12} {:>9} {:>12} {:>9} {:>9}",
-        "workload", "decisions", "base peak", "planned", "saving%", "pcie traffic", "link-ok", "thinned"
+        "workload",
+        "decisions",
+        "base peak",
+        "planned",
+        "saving%",
+        "pcie traffic",
+        "link-ok",
+        "thinned"
     );
     let workloads = [
         (

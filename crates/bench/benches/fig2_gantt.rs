@@ -1,9 +1,9 @@
 //! Fig. 2: Gantt chart of the first five MLP training iterations —
 //! block lifetimes, the iterative pattern, and fragmentation.
 
+use pinpoint_bench::by_scale;
 use pinpoint_bench::criterion::Criterion;
 use pinpoint_bench::{criterion_group, criterion_main};
-use pinpoint_bench::by_scale;
 use pinpoint_core::figures::fig2_gantt;
 use pinpoint_core::report::render_fig2;
 

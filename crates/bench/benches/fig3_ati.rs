@@ -1,9 +1,9 @@
 //! Fig. 3: CDF and violin of memory-block access-time intervals in MLP
 //! training.
 
+use pinpoint_bench::by_scale;
 use pinpoint_bench::criterion::Criterion;
 use pinpoint_bench::{criterion_group, criterion_main};
-use pinpoint_bench::by_scale;
 use pinpoint_core::figures::fig3_ati;
 use pinpoint_core::report::render_fig3;
 

@@ -2,8 +2,8 @@
 //! large-size outliers and their Equation-1 swap verdicts.
 
 use pinpoint_bench::criterion::Criterion;
-use pinpoint_bench::{criterion_group, criterion_main};
 use pinpoint_bench::{by_scale, Scale};
+use pinpoint_bench::{criterion_group, criterion_main};
 use pinpoint_core::figures::fig4_outliers;
 use pinpoint_core::report::render_fig4;
 use pinpoint_core::EpochEval;

@@ -1,8 +1,8 @@
 //! Fig. 5: memory-occupation breakdown of typical DNN training.
 
+use pinpoint_bench::by_scale;
 use pinpoint_bench::criterion::Criterion;
 use pinpoint_bench::{criterion_group, criterion_main};
-use pinpoint_bench::by_scale;
 use pinpoint_core::figures::fig5_breakdown;
 use pinpoint_core::report::render_breakdown;
 

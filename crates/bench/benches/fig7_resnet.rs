@@ -1,9 +1,9 @@
 //! Fig. 7: ResNet-18/34/50/101/152 occupation breakdown across batch
 //! sizes, on CIFAR-100 and ImageNet geometries.
 
+use pinpoint_bench::by_scale;
 use pinpoint_bench::criterion::Criterion;
 use pinpoint_bench::{criterion_group, criterion_main};
-use pinpoint_bench::by_scale;
 use pinpoint_core::figures::fig7_resnet;
 use pinpoint_core::report::render_breakdown;
 

@@ -3,9 +3,7 @@
 
 use pinpoint_bench::criterion::Criterion;
 use pinpoint_bench::{criterion_group, criterion_main};
-use pinpoint_device::alloc::{
-    BestFitAllocator, BumpAllocator, CachingAllocator, DeviceAllocator,
-};
+use pinpoint_device::alloc::{BestFitAllocator, BumpAllocator, CachingAllocator, DeviceAllocator};
 
 const SIZES: [usize; 6] = [4096, 98_304, 262_144, 1 << 20, 6 << 20, 24 << 20];
 

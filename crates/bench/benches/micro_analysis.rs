@@ -1,9 +1,9 @@
 //! Microbenchmarks of the analysis kernels: ATI extraction, CDF, KDE and
 //! planning over a real (simulated) training trace.
 
+use pinpoint_analysis::{plan, violin, AtiDataset, EmpiricalCdf};
 use pinpoint_bench::criterion::Criterion;
 use pinpoint_bench::{criterion_group, criterion_main};
-use pinpoint_analysis::{plan, violin, AtiDataset, EmpiricalCdf};
 use pinpoint_core::{profile, ProfileConfig};
 
 fn bench(c: &mut Criterion) {
@@ -15,7 +15,9 @@ fn bench(c: &mut Criterion) {
     let samples: Vec<f64> = atis.intervals_ns().iter().map(|&v| v as f64).collect();
     let tm = pinpoint_device::TransferModel::titan_x_pascal_pinned();
     let mut g = c.benchmark_group("micro_analysis");
-    g.bench_function("ati_extraction", |b| b.iter(|| AtiDataset::from_trace(&trace)));
+    g.bench_function("ati_extraction", |b| {
+        b.iter(|| AtiDataset::from_trace(&trace))
+    });
     g.bench_function("cdf_build", |b| {
         b.iter(|| EmpiricalCdf::new(atis.intervals_ns()))
     });

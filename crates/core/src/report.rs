@@ -59,7 +59,11 @@ pub fn render_fig2(d: &Fig2Data, max_rects: usize) -> String {
         d.worst_fragmentation.gap_count,
         human_bytes(d.worst_fragmentation.gap_bytes as u64)
     );
-    let _ = writeln!(s, "  {:>12} {:>12} {:>12} {:>12}  kind", "t0", "t1", "offset", "size");
+    let _ = writeln!(
+        s,
+        "  {:>12} {:>12} {:>12} {:>12}  kind",
+        "t0", "t1", "offset", "size"
+    );
     for r in d.rects.iter().take(max_rects) {
         let _ = writeln!(
             s,

@@ -1,6 +1,5 @@
 //! Dataset geometry presets.
 
-
 /// Geometry of a labeled image dataset (the only properties that influence
 /// device memory behavior).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]

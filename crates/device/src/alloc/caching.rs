@@ -198,9 +198,7 @@ impl CachingAllocator {
         let whole_segments: Vec<(usize, Chunk)> = self
             .chunks
             .iter()
-            .filter(|(&off, c)| {
-                c.free && self.segments.get(&c.segment) == Some(&(off, c.size))
-            })
+            .filter(|(&off, c)| c.free && self.segments.get(&c.segment) == Some(&(off, c.size)))
             .map(|(&off, c)| (off, *c))
             .collect();
         let mut released = 0usize;
@@ -330,7 +328,11 @@ impl CachingAllocator {
         for (id, &off) in &self.live {
             match self.chunks.get(&off) {
                 Some(c) if !c.free => {}
-                _ => return Err(format!("live block {id} points at non-allocated chunk {off}")),
+                _ => {
+                    return Err(format!(
+                        "live block {id} points at non-allocated chunk {off}"
+                    ))
+                }
             }
         }
         Ok(())
@@ -544,7 +546,7 @@ mod tests {
     fn large_chunks_do_not_split_for_small_remainders() {
         let mut a = CachingAllocator::new(GB);
         let b1 = a.malloc(19 << 20).unwrap(); // 19 MB from a 20 MB segment
-        // remainder would be 1 MB == threshold → split happens at exactly 1MB
+                                              // remainder would be 1 MB == threshold → split happens at exactly 1MB
         assert_eq!(b1.size, 19 << 20);
         a.free(b1.id).unwrap();
         // now request 19.8 MB: remainder 0.2 MB < 1 MB → no split

@@ -200,6 +200,8 @@ mod tests {
             reserved: 90,
         };
         assert!(e.to_string().contains("out of device memory"));
-        assert!(AllocError::UnknownBlock(BlockId(3)).to_string().contains("blk3"));
+        assert!(AllocError::UnknownBlock(BlockId(3))
+            .to_string()
+            .contains("blk3"));
     }
 }

@@ -5,7 +5,6 @@
 //! must produce byte-identical traces, which is what lets the analysis layer
 //! assert iterative patterns exactly.
 
-
 /// A monotonically advancing nanosecond clock.
 ///
 /// # Examples

@@ -7,7 +7,6 @@
 //! scaled by a small deterministic jitter. Defaults are calibrated to the
 //! paper's Nvidia Titan X Pascal.
 
-
 /// Roofline kernel-duration model with deterministic jitter.
 ///
 /// # Examples

@@ -223,7 +223,10 @@ impl SimDevice {
             self.trace
                 .record(t0, EventKind::Read, r, size, offset, kind, Some(label));
         }
-        let dur = self.config.cost.kernel_time_ns(flops, bytes, self.kernel_seq);
+        let dur = self
+            .config
+            .cost
+            .kernel_time_ns(flops, bytes, self.kernel_seq);
         self.kernel_seq += 1;
         let t1 = self.clock.advance_ns(dur);
         for &w in writes {

@@ -12,7 +12,6 @@
 //! [`TransferModel::max_swap_bytes`] is that bound; the paper's two worked
 //! examples (79.37 KB at 25 µs, 2.54 GB at 0.8 s) are unit tests here.
 
-
 /// PCIe-like host↔device transfer model (pinned memory).
 #[derive(Debug, Clone, PartialEq)]
 pub struct TransferModel {

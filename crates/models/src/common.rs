@@ -3,8 +3,8 @@
 use crate::{alexnet, densenet, inception, lenet, mlp, mobilenet, resnet, vgg};
 use pinpoint_nn::{backward, GraphBuilder, Optimizer, Program};
 
-pub use crate::mlp::MlpConfig;
 pub use crate::densenet::DenseNetDepth;
+pub use crate::mlp::MlpConfig;
 pub use crate::resnet::ResNetDepth;
 
 /// Input image geometry (per example, NCHW without the batch dim).
@@ -181,19 +181,20 @@ pub fn build_data_parallel_training_program(
         let mut bucket: Vec<pinpoint_nn::TensorId> = Vec::new();
         let mut bucket_bytes = 0usize;
         let mut bucket_idx = 0usize;
-        let flush = |b: &mut GraphBuilder, bucket: &mut Vec<pinpoint_nn::TensorId>, idx: &mut usize| {
-            if !bucket.is_empty() {
-                b.allreduce(
-                    bucket,
-                    ddp.world_size,
-                    ddp.interconnect_bytes_per_sec,
-                    ddp.dram_bytes_per_sec,
-                    &format!("ddp.allreduce{idx}", idx = *idx),
-                );
-                *idx += 1;
-                bucket.clear();
-            }
-        };
+        let flush =
+            |b: &mut GraphBuilder, bucket: &mut Vec<pinpoint_nn::TensorId>, idx: &mut usize| {
+                if !bucket.is_empty() {
+                    b.allreduce(
+                        bucket,
+                        ddp.world_size,
+                        ddp.interconnect_bytes_per_sec,
+                        ddp.dram_bytes_per_sec,
+                        &format!("ddp.allreduce{idx}", idx = *idx),
+                    );
+                    *idx += 1;
+                    bucket.clear();
+                }
+            };
         for (_, &g) in grads.iter().rev() {
             bucket_bytes += b.shape(g).numel() * 4;
             bucket.push(g);
@@ -217,7 +218,11 @@ pub fn build_training_graph(
     image: ImageDims,
     classes: usize,
     opt: Optimizer,
-) -> (pinpoint_nn::Graph, Vec<pinpoint_nn::TensorId>, pinpoint_nn::TensorId) {
+) -> (
+    pinpoint_nn::Graph,
+    Vec<pinpoint_nn::TensorId>,
+    pinpoint_nn::TensorId,
+) {
     let mut b = GraphBuilder::new();
     let (x, logits) = build_forward(&mut b, arch, batch, image, classes);
     let batch_of = |id| b.shape(id).dim(0);
@@ -320,13 +325,8 @@ mod tests {
     #[test]
     fn momentum_optimizer_adds_state_bytes() {
         let arch = Architecture::LeNet5;
-        let plain = build_training_program(
-            &arch,
-            4,
-            ImageDims::cifar(),
-            10,
-            Optimizer::Sgd { lr: 0.1 },
-        );
+        let plain =
+            build_training_program(&arch, 4, ImageDims::cifar(), 10, Optimizer::Sgd { lr: 0.1 });
         let with_momentum = build_training_program(
             &arch,
             4,

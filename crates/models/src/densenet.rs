@@ -62,8 +62,26 @@ fn dense_layer(
     features: TensorId,
     in_ch: usize,
 ) -> (TensorId, usize) {
-    let bottleneck = bn_relu_conv(b, &format!("{name}.1"), features, in_ch, 4 * GROWTH, 1, 1, 0);
-    let new = bn_relu_conv(b, &format!("{name}.2"), bottleneck, 4 * GROWTH, GROWTH, 3, 1, 1);
+    let bottleneck = bn_relu_conv(
+        b,
+        &format!("{name}.1"),
+        features,
+        in_ch,
+        4 * GROWTH,
+        1,
+        1,
+        0,
+    );
+    let new = bn_relu_conv(
+        b,
+        &format!("{name}.2"),
+        bottleneck,
+        4 * GROWTH,
+        GROWTH,
+        3,
+        1,
+        1,
+    );
     let out = b.concat_channels(&[features, new], &format!("{name}.cat"));
     (out, in_ch + GROWTH)
 }
@@ -77,7 +95,12 @@ fn transition(b: &mut GraphBuilder, name: &str, x: TensorId, in_ch: usize) -> (T
 }
 
 /// Emits the DenseNet-BC forward graph for NCHW input, returning logits.
-pub fn forward(b: &mut GraphBuilder, x: TensorId, depth: DenseNetDepth, classes: usize) -> TensorId {
+pub fn forward(
+    b: &mut GraphBuilder,
+    x: TensorId,
+    depth: DenseNetDepth,
+    classes: usize,
+) -> TensorId {
     let in_ch = b.shape(x).dim(1);
     let mut h = {
         let conv = Conv2d::new(b, "stem.conv", in_ch, 64, 7, 2, 3);

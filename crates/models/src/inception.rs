@@ -61,10 +61,7 @@ fn inception_block(
 }
 
 /// GoogLeNet's nine inception blocks, grouped by stage.
-const STAGE3: [BlockWidths; 2] = [
-    (64, 96, 128, 16, 32, 32),
-    (128, 128, 192, 32, 96, 64),
-];
+const STAGE3: [BlockWidths; 2] = [(64, 96, 128, 16, 32, 32), (128, 128, 192, 32, 96, 64)];
 const STAGE4: [BlockWidths; 5] = [
     (192, 96, 208, 16, 48, 64),
     (160, 112, 224, 24, 64, 64),
@@ -72,10 +69,7 @@ const STAGE4: [BlockWidths; 5] = [
     (112, 144, 288, 32, 64, 64),
     (256, 160, 320, 32, 128, 128),
 ];
-const STAGE5: [BlockWidths; 2] = [
-    (256, 160, 320, 32, 128, 128),
-    (384, 192, 384, 48, 128, 128),
-];
+const STAGE5: [BlockWidths; 2] = [(256, 160, 320, 32, 128, 128), (384, 192, 384, 48, 128, 128)];
 
 /// Emits the GoogLeNet-style forward graph, returning logits.
 pub fn forward(b: &mut GraphBuilder, x: TensorId, classes: usize) -> TensorId {

@@ -25,9 +25,9 @@ use std::collections::{BTreeMap, HashMap};
 pub fn backward(b: &mut GraphBuilder, loss: TensorId) -> BTreeMap<TensorId, TensorId> {
     let fwd_ops: Vec<OpRecord> = b.graph().ops().to_vec();
     assert!(
-        fwd_ops.iter().any(
-            |op| matches!(op.kind, OpKind::SoftmaxXentFwd { .. }) && op.outputs[0] == loss
-        ),
+        fwd_ops
+            .iter()
+            .any(|op| matches!(op.kind, OpKind::SoftmaxXentFwd { .. }) && op.outputs[0] == loss),
         "backward requires a softmax-cross-entropy loss"
     );
     let mut ad = Autograd {
@@ -117,7 +117,12 @@ impl Autograd {
             let (logits, labels) = (op.inputs[0], op.inputs[1]);
             let probs = op.outputs[1];
             let name = format!("{}.bwd", op.name);
-            let dlogits = self.new_grad(b, logits, Shape::new(vec![rows, cols]), format!("{name}.dlogits"));
+            let dlogits = self.new_grad(
+                b,
+                logits,
+                Shape::new(vec![rows, cols]),
+                format!("{name}.dlogits"),
+            );
             b.emit_grad_op(
                 OpKind::SoftmaxXentGrad { rows, cols },
                 vec![probs, labels],
@@ -152,12 +157,7 @@ impl Autograd {
                         (false, true) => (dy, bb, false, false, m, n, k),
                         (true, true) => (bb, dy, true, true, k, n, m),
                     };
-                    let da = self.new_grad(
-                        b,
-                        a,
-                        b.shape(a).clone(),
-                        format!("{name}.da"),
-                    );
+                    let da = self.new_grad(b, a, b.shape(a).clone(), format!("{name}.da"));
                     b.emit_grad_op(
                         OpKind::MatMul {
                             ta: fa,
@@ -182,12 +182,7 @@ impl Autograd {
                         (false, true) => (dy, a, true, false, n, m, k),
                         (true, true) => (dy, a, true, true, n, m, k),
                     };
-                    let db = self.new_grad(
-                        b,
-                        bb,
-                        b.shape(bb).clone(),
-                        format!("{name}.db"),
-                    );
+                    let db = self.new_grad(b, bb, b.shape(bb).clone(), format!("{name}.db"));
                     b.emit_grad_op(
                         OpKind::MatMul {
                             ta: fa,
@@ -320,8 +315,7 @@ impl Autograd {
                 let (x, gamma, beta) = (op.inputs[0], op.inputs[1], op.inputs[2]);
                 let (save_mean, save_inv_std) = (op.outputs[1], op.outputs[2]);
                 let dx = self.new_grad(b, x, b.shape(x).clone(), format!("{name}.dx"));
-                let dgamma =
-                    self.new_grad(b, gamma, Shape::new(vec![c]), format!("{name}.dgamma"));
+                let dgamma = self.new_grad(b, gamma, Shape::new(vec![c]), format!("{name}.dgamma"));
                 let dbeta = self.new_grad(b, beta, Shape::new(vec![c]), format!("{name}.dbeta"));
                 b.emit_grad_op(
                     OpKind::BatchNormGrad { n, c, hw },
@@ -339,12 +333,7 @@ impl Autograd {
                 // one SplitChannels op scatters dy back to every branch
                 let mut outputs = Vec::with_capacity(op.inputs.len());
                 for (i, &x) in op.inputs.iter().enumerate() {
-                    let dx = self.new_grad(
-                        b,
-                        x,
-                        b.shape(x).clone(),
-                        format!("{name}.dx{i}"),
-                    );
+                    let dx = self.new_grad(b, x, b.shape(x).clone(), format!("{name}.dx{i}"));
                     outputs.push(dx);
                 }
                 let total: usize = parts.iter().sum();
@@ -514,7 +503,7 @@ mod tests {
         let (loss, _) = b.softmax_cross_entropy(logits, labels, "loss");
         let grads = backward(&mut b, loss);
         assert_eq!(grads.len(), 4); // conv.w, gamma, beta, fc.w
-        // conv grad op should omit dx (its input is the data)
+                                    // conv grad op should omit dx (its input is the data)
         let conv_grad = b
             .graph()
             .ops()

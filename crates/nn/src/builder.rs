@@ -157,7 +157,13 @@ impl GraphBuilder {
     /// per example, staged with the inputs).
     pub fn labels(&mut self, name: &str, batch: usize) -> TensorId {
         let name = self.scoped(name);
-        self.new_tensor(Shape::new(vec![batch]), MemoryKind::Input, name, false, None)
+        self.new_tensor(
+            Shape::new(vec![batch]),
+            MemoryKind::Input,
+            name,
+            false,
+            None,
+        )
     }
 
     /// Declares a trainable parameter (persistent, initialized once).
@@ -215,7 +221,13 @@ impl GraphBuilder {
         let y = self.activation(&format!("{name}.out"), Shape::new(vec![m, n]));
         let flops = 2 * (m as u64) * (ka as u64) * (n as u64);
         self.push_op(
-            OpKind::MatMul { ta, tb, m, k: ka, n },
+            OpKind::MatMul {
+                ta,
+                tb,
+                m,
+                k: ka,
+                n,
+            },
             vec![a, b],
             vec![y],
             0,
@@ -415,7 +427,14 @@ impl GraphBuilder {
     }
 
     /// Max pooling with a square window.
-    pub fn maxpool2d(&mut self, x: TensorId, k: usize, stride: usize, pad: usize, name: &str) -> TensorId {
+    pub fn maxpool2d(
+        &mut self,
+        x: TensorId,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        name: &str,
+    ) -> TensorId {
         let g = self.pool_geom(x, k, stride, pad);
         let out_shape = Shape::new(vec![g.n, g.c, g.oh(), g.ow()]);
         let y = self.activation(&format!("{name}.out"), out_shape.clone());
@@ -433,7 +452,14 @@ impl GraphBuilder {
     }
 
     /// Average pooling with a square window.
-    pub fn avgpool2d(&mut self, x: TensorId, k: usize, stride: usize, pad: usize, name: &str) -> TensorId {
+    pub fn avgpool2d(
+        &mut self,
+        x: TensorId,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        name: &str,
+    ) -> TensorId {
         let g = self.pool_geom(x, k, stride, pad);
         let out_shape = Shape::new(vec![g.n, g.c, g.oh(), g.ow()]);
         let y = self.activation(&format!("{name}.out"), out_shape.clone());
@@ -706,7 +732,8 @@ impl GraphBuilder {
         assert!(world_size >= 1, "world size must be positive");
         let n: usize = grads.iter().map(|&g| self.shape(g).numel()).sum();
         let wire_bytes = 2.0 * (world_size as f64 - 1.0) / world_size as f64 * (n * 4) as f64;
-        let equivalent_bytes = (wire_bytes / interconnect_bytes_per_sec * dram_bytes_per_sec) as u64;
+        let equivalent_bytes =
+            (wire_bytes / interconnect_bytes_per_sec * dram_bytes_per_sec) as u64;
         self.graph.ops.push(OpRecord {
             kind: OpKind::AllReduce { n, world_size },
             inputs: grads.to_vec(),
@@ -733,7 +760,15 @@ impl GraphBuilder {
     }
 
     /// Emits a momentum SGD update (in place on `w` and `v`).
-    pub fn sgd_momentum_step(&mut self, w: TensorId, v: TensorId, g: TensorId, lr: f32, mu: f32, name: &str) {
+    pub fn sgd_momentum_step(
+        &mut self,
+        w: TensorId,
+        v: TensorId,
+        g: TensorId,
+        lr: f32,
+        mu: f32,
+        name: &str,
+    ) {
         let n = self.shape(w).numel();
         assert_eq!(n, self.shape(g).numel(), "gradient shape mismatch");
         assert_eq!(n, self.shape(v).numel(), "velocity shape mismatch");

@@ -237,7 +237,11 @@ mod tests {
         let (g, _, loss) = deep_mlp(6);
         let t = apply_checkpointing(&g, loss, 4);
         assert!(t.ops().len() > g.ops().len(), "recompute clones added");
-        let recomp = t.ops().iter().filter(|o| o.name.ends_with(".recomp")).count();
+        let recomp = t
+            .ops()
+            .iter()
+            .filter(|o| o.name.ends_with(".recomp"))
+            .count();
         assert!(recomp > 0);
         // recompute clones appear only after the loss op
         let loss_idx = t

@@ -49,7 +49,13 @@ impl Linear {
 
     /// Emits the layer's forward ops.
     pub fn forward(&self, b: &mut GraphBuilder, x: TensorId) -> TensorId {
-        let mut y = b.matmul(x, self.weight, false, false, &format!("{}.matmul", self.name));
+        let mut y = b.matmul(
+            x,
+            self.weight,
+            false,
+            false,
+            &format!("{}.matmul", self.name),
+        );
         if let Some(bias) = self.bias {
             y = b.add_bias(y, bias, &format!("{}.bias_add", self.name));
         }

@@ -41,10 +41,7 @@ impl Liveness {
             }
             for &t in &op.outputs {
                 let s = graph.tensor(t).storage;
-                if first_def[s.0].is_none()
-                    && !persistent[s.0]
-                    && !input_storages.contains(&s)
-                {
+                if first_def[s.0].is_none() && !persistent[s.0] && !input_storages.contains(&s) {
                     first_def[s.0] = Some(j);
                 }
             }
@@ -66,9 +63,7 @@ impl Liveness {
     /// after the host fetch).
     pub fn frees_after(&self, j: usize, keep: StorageId) -> Vec<StorageId> {
         (0..self.last_use.len())
-            .filter(|&s| {
-                !self.persistent[s] && s != keep.0 && self.last_use[s] == Some(j)
-            })
+            .filter(|&s| !self.persistent[s] && s != keep.0 && self.last_use[s] == Some(j))
             .map(StorageId)
             .collect()
     }

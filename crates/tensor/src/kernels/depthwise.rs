@@ -79,8 +79,7 @@ pub fn depthwise_forward(x: &[f32], weight: &[f32], out: &mut [f32], g: &DwConv2
                             let iy = (oy * g.stride + ky) as isize - g.pad as isize;
                             let ix = (ox * g.stride + kx) as isize - g.pad as isize;
                             if iy >= 0 && ix >= 0 && (iy as usize) < g.h && (ix as usize) < g.w {
-                                acc += plane[iy as usize * g.w + ix as usize]
-                                    * filt[ky * g.k + kx];
+                                acc += plane[iy as usize * g.w + ix as usize] * filt[ky * g.k + kx];
                             }
                         }
                     }

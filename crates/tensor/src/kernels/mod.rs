@@ -16,10 +16,10 @@
 pub mod concat;
 pub mod conv;
 pub mod depthwise;
-pub mod optim;
 pub mod elementwise;
 pub mod matmul;
 pub mod norm;
+pub mod optim;
 pub mod pool;
 pub mod reduce;
 pub mod softmax;

@@ -220,7 +220,17 @@ mod tests {
         let mut dx = vec![0.0; x.len()];
         let (mut dgamma, mut dbeta) = (vec![0.0; c], vec![0.0; c]);
         batchnorm_backward(
-            &x, &gamma, &dy, &sm, &sv, &mut dx, &mut dgamma, &mut dbeta, n, c, hw,
+            &x,
+            &gamma,
+            &dy,
+            &sm,
+            &sv,
+            &mut dx,
+            &mut dgamma,
+            &mut dbeta,
+            n,
+            c,
+            hw,
         );
 
         let h = 1e-2f32;
@@ -229,8 +239,8 @@ mod tests {
             xp[i] += h;
             let mut xm = x.clone();
             xm[i] -= h;
-            let numeric = (forward_loss(&xp, &gamma, &beta) - forward_loss(&xm, &gamma, &beta))
-                / (2.0 * h);
+            let numeric =
+                (forward_loss(&xp, &gamma, &beta) - forward_loss(&xm, &gamma, &beta)) / (2.0 * h);
             assert!(
                 (numeric - dx[i]).abs() < 5e-2,
                 "dx[{i}] numeric {numeric} vs analytic {}",
@@ -242,8 +252,7 @@ mod tests {
             gp[ch] += h;
             let mut gm = gamma.clone();
             gm[ch] -= h;
-            let numeric =
-                (forward_loss(&x, &gp, &beta) - forward_loss(&x, &gm, &beta)) / (2.0 * h);
+            let numeric = (forward_loss(&x, &gp, &beta) - forward_loss(&x, &gm, &beta)) / (2.0 * h);
             assert!(
                 (numeric - dgamma[ch]).abs() < 5e-2,
                 "dgamma[{ch}] numeric {numeric} vs analytic {}",

@@ -63,7 +63,17 @@ mod tests {
         let mut w = [0.0f32, 0.0];
         let mut m = [0.0f32; 2];
         let mut v = [0.0f32; 2];
-        adam_step(&mut w, &mut m, &mut v, &[1.0, -2.0], 0.1, 0.9, 0.999, 1e-8, 1);
+        adam_step(
+            &mut w,
+            &mut m,
+            &mut v,
+            &[1.0, -2.0],
+            0.1,
+            0.9,
+            0.999,
+            1e-8,
+            1,
+        );
         assert!((w[0] + 0.1).abs() < 1e-4, "{w:?}");
         assert!((w[1] - 0.1).abs() < 1e-4, "{w:?}");
     }
@@ -89,7 +99,17 @@ mod tests {
         let mut m = [0.0f32; 2];
         let mut v = [0.0f32; 2];
         for t in 1..=10u64 {
-            adam_step(&mut w, &mut m, &mut v, &[100.0, 1.0], 0.01, 0.9, 0.999, 1e-8, t);
+            adam_step(
+                &mut w,
+                &mut m,
+                &mut v,
+                &[100.0, 1.0],
+                0.01,
+                0.9,
+                0.999,
+                1e-8,
+                t,
+            );
         }
         let ratio = w[0] / w[1];
         assert!((0.8..1.2).contains(&ratio), "ratio {ratio}");

@@ -44,7 +44,10 @@ pub fn softmax_cross_entropy(
     let mut loss = 0.0f32;
     for (r, &label) in labels.iter().enumerate() {
         let label = label as usize;
-        assert!(label < cols, "label {label} out of range for {cols} classes");
+        assert!(
+            label < cols,
+            "label {label} out of range for {cols} classes"
+        );
         let p = probs[r * cols + label].max(1e-12);
         loss -= p.ln();
     }

@@ -12,9 +12,7 @@ use std::fmt;
 /// hands back a cached region at a previously used address — the paper's
 /// unit of analysis is the *block* (one allocation lifetime), not the
 /// address range.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct BlockId(pub u64);
 
 impl fmt::Display for BlockId {
@@ -114,9 +112,7 @@ impl fmt::Display for MemoryKind {
 }
 
 /// The paper's three memory-content categories (Figs. 5–7, after [12]).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Category {
     /// Mini-batch input data.
     InputData,

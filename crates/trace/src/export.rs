@@ -17,10 +17,7 @@ use std::io::{self, Read, Write};
 pub fn write_csv<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
     writeln!(w, "time_ns,kind,block,size,offset,mem_kind,category,op")?;
     for e in trace.events() {
-        let op = e
-            .op_label
-            .and_then(|i| trace.label(i))
-            .unwrap_or("");
+        let op = e.op_label.and_then(|i| trace.label(i)).unwrap_or("");
         writeln!(
             w,
             "{},{},{},{},{},{},{},{}",
@@ -79,7 +76,7 @@ fn mem_kind_from_name(s: &str) -> Option<MemoryKind> {
         "ActivationGrad" => MemoryKind::ActivationGrad,
         "Workspace" => MemoryKind::Workspace,
         "Other" => MemoryKind::Other,
-    _ => return None,
+        _ => return None,
     })
 }
 
@@ -236,8 +233,24 @@ mod tests {
     fn tiny_trace() -> Trace {
         let mut t = Trace::new();
         let op = t.intern_label("matmul_fwd");
-        t.record(0, EventKind::Malloc, BlockId(0), 64, 0, MemoryKind::Input, None);
-        t.record(3, EventKind::Read, BlockId(0), 64, 0, MemoryKind::Input, Some(op));
+        t.record(
+            0,
+            EventKind::Malloc,
+            BlockId(0),
+            64,
+            0,
+            MemoryKind::Input,
+            None,
+        );
+        t.record(
+            3,
+            EventKind::Read,
+            BlockId(0),
+            64,
+            0,
+            MemoryKind::Input,
+            Some(op),
+        );
         t.mark(5, "iter:0");
         t
     }

@@ -109,7 +109,11 @@ fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
         *pos += 1;
         Ok(())
     } else {
-        Err(format!("expected `{}` at byte {pos}", c as char, pos = *pos))
+        Err(format!(
+            "expected `{}` at byte {pos}",
+            c as char,
+            pos = *pos
+        ))
     }
 }
 
@@ -187,9 +191,7 @@ fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     if b.get(*pos) == Some(&b'-') {
         *pos += 1;
     }
-    while *pos < b.len()
-        && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
-    {
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
         *pos += 1;
     }
     let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
@@ -220,9 +222,7 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
                     Some(b'b') => out.push('\u{8}'),
                     Some(b'f') => out.push('\u{c}'),
                     Some(b'u') => {
-                        let hex = b
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or("truncated \\u escape")?;
+                        let hex = b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
                         let code = u32::from_str_radix(
                             std::str::from_utf8(hex).map_err(|e| e.to_string())?,
                             16,

@@ -139,7 +139,9 @@ impl Trace {
 
     /// Markers whose label starts with `prefix`.
     pub fn markers_with_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a Marker> {
-        self.markers.iter().filter(move |m| m.label.starts_with(prefix))
+        self.markers
+            .iter()
+            .filter(move |m| m.label.starts_with(prefix))
     }
 
     /// Number of events.
@@ -340,10 +342,7 @@ impl BlockLifetime {
     /// Access-time intervals: elapsed time between adjacent accesses to this
     /// block (the paper's ATI metric, Fig. 3).
     pub fn access_intervals_ns(&self) -> Vec<u64> {
-        self.accesses
-            .windows(2)
-            .map(|w| w[1].0 - w[0].0)
-            .collect()
+        self.accesses.windows(2).map(|w| w[1].0 - w[0].0).collect()
     }
 }
 
@@ -353,8 +352,24 @@ mod tests {
 
     fn sample_trace() -> Trace {
         let mut t = Trace::new();
-        t.record(0, EventKind::Malloc, BlockId(0), 100, 0, MemoryKind::Weight, None);
-        t.record(5, EventKind::Write, BlockId(0), 100, 0, MemoryKind::Weight, None);
+        t.record(
+            0,
+            EventKind::Malloc,
+            BlockId(0),
+            100,
+            0,
+            MemoryKind::Weight,
+            None,
+        );
+        t.record(
+            5,
+            EventKind::Write,
+            BlockId(0),
+            100,
+            0,
+            MemoryKind::Weight,
+            None,
+        );
         t.record(
             10,
             EventKind::Malloc,
@@ -391,7 +406,15 @@ mod tests {
             MemoryKind::Activation,
             None,
         );
-        t.record(60, EventKind::Read, BlockId(0), 100, 0, MemoryKind::Weight, None);
+        t.record(
+            60,
+            EventKind::Read,
+            BlockId(0),
+            100,
+            0,
+            MemoryKind::Weight,
+            None,
+        );
         t
     }
 
@@ -403,22 +426,78 @@ mod tests {
     #[test]
     fn rejects_time_regression() {
         let mut t = Trace::new();
-        t.record(10, EventKind::Malloc, BlockId(0), 1, 0, MemoryKind::Other, None);
-        t.record(5, EventKind::Free, BlockId(0), 1, 0, MemoryKind::Other, None);
+        t.record(
+            10,
+            EventKind::Malloc,
+            BlockId(0),
+            1,
+            0,
+            MemoryKind::Other,
+            None,
+        );
+        t.record(
+            5,
+            EventKind::Free,
+            BlockId(0),
+            1,
+            0,
+            MemoryKind::Other,
+            None,
+        );
         assert!(t.validate().unwrap_err().contains("precedes"));
     }
 
     #[test]
     fn rejects_double_malloc_and_use_after_free() {
         let mut t = Trace::new();
-        t.record(0, EventKind::Malloc, BlockId(0), 1, 0, MemoryKind::Other, None);
-        t.record(1, EventKind::Malloc, BlockId(0), 1, 0, MemoryKind::Other, None);
+        t.record(
+            0,
+            EventKind::Malloc,
+            BlockId(0),
+            1,
+            0,
+            MemoryKind::Other,
+            None,
+        );
+        t.record(
+            1,
+            EventKind::Malloc,
+            BlockId(0),
+            1,
+            0,
+            MemoryKind::Other,
+            None,
+        );
         assert!(t.validate().unwrap_err().contains("double malloc"));
 
         let mut t = Trace::new();
-        t.record(0, EventKind::Malloc, BlockId(0), 1, 0, MemoryKind::Other, None);
-        t.record(1, EventKind::Free, BlockId(0), 1, 0, MemoryKind::Other, None);
-        t.record(2, EventKind::Read, BlockId(0), 1, 0, MemoryKind::Other, None);
+        t.record(
+            0,
+            EventKind::Malloc,
+            BlockId(0),
+            1,
+            0,
+            MemoryKind::Other,
+            None,
+        );
+        t.record(
+            1,
+            EventKind::Free,
+            BlockId(0),
+            1,
+            0,
+            MemoryKind::Other,
+            None,
+        );
+        t.record(
+            2,
+            EventKind::Read,
+            BlockId(0),
+            1,
+            0,
+            MemoryKind::Other,
+            None,
+        );
         assert!(t.validate().unwrap_err().contains("non-live"));
     }
 

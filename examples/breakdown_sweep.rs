@@ -11,20 +11,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rows5 = fig5_breakdown(128)?;
     print!(
         "{}",
-        render_breakdown("Fig 5 — memory occupation of typical DNN training (bs 128)", &rows5)
+        render_breakdown(
+            "Fig 5 — memory occupation of typical DNN training (bs 128)",
+            &rows5
+        )
     );
 
     let batches = [32, 64, 128, 256];
     let rows6 = fig6_alexnet(&batches)?;
     print!(
         "{}",
-        render_breakdown("\nFig 6 — AlexNet breakdown vs batch size (CIFAR-100 then ImageNet)", &rows6)
+        render_breakdown(
+            "\nFig 6 — AlexNet breakdown vs batch size (CIFAR-100 then ImageNet)",
+            &rows6
+        )
     );
 
     let rows7 = fig7_resnet(&[32, 128])?;
     print!(
         "{}",
-        render_breakdown("\nFig 7 — ResNet-18/34/50/101/152 breakdown vs batch size", &rows7)
+        render_breakdown(
+            "\nFig 7 — ResNet-18/34/50/101/152 breakdown vs batch size",
+            &rows7
+        )
     );
 
     println!("\nclaims check:");

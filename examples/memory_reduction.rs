@@ -38,7 +38,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "
 link schedule: {} (d2h {:.0}% busy, h2d {:.0}% busy, {} late)",
-        if contention.feasible { "feasible" } else { "CONTENDED" },
+        if contention.feasible {
+            "feasible"
+        } else {
+            "CONTENDED"
+        },
         contention.d2h_busy_fraction * 100.0,
         contention.h2d_busy_fraction * 100.0,
         contention.late().count()

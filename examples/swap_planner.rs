@@ -82,7 +82,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // materialize the plan into a trace and verify the saving is real,
     // not just the planner's estimate
     let transformed = pinpoint::analysis::apply(&report.trace, &swap_plan);
-    transformed.validate().expect("transformed trace well-formed");
+    transformed
+        .validate()
+        .expect("transformed trace well-formed");
     println!(
         "  applied: measured peak of the transformed trace = {} ({} events, was {})",
         human_bytes(transformed.peak_live_bytes().peak_total_bytes),

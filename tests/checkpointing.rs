@@ -6,8 +6,8 @@ use pinpoint::device::{DeviceConfig, SimDevice};
 use pinpoint::nn::checkpoint::apply_checkpointing;
 use pinpoint::nn::exec::{BatchData, ExecMode, Executor};
 use pinpoint::nn::layers::Linear;
-use pinpoint::nn::{backward, GraphBuilder, InitSpec, Optimizer, Program, TensorId};
 use pinpoint::nn::Graph;
+use pinpoint::nn::{backward, GraphBuilder, InitSpec, Optimizer, Program, TensorId};
 
 fn deep_mlp(depth: usize, width: usize, batch: usize) -> (Graph, Vec<TensorId>, TensorId) {
     let mut b = GraphBuilder::new();

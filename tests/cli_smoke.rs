@@ -31,7 +31,15 @@ fn trace_tool_subcommands_run() {
         eprintln!("skipping: {tool:?} not built (run with --workspace)");
         return;
     }
-    for sub in ["summary", "ati", "breakdown", "gantt", "ops", "plan", "outliers"] {
+    for sub in [
+        "summary",
+        "ati",
+        "breakdown",
+        "gantt",
+        "ops",
+        "plan",
+        "outliers",
+    ] {
         let out = Command::new(&tool)
             .arg(sub)
             .arg(&trace)
@@ -50,9 +58,17 @@ fn trace_tool_subcommands_run() {
     assert!(out.status.success(), "{out:?}");
     assert!(String::from_utf8_lossy(&out.stdout).contains("+0.0%"));
     // bad inputs fail politely
-    let out = Command::new(&tool).arg("summary").arg("/no/such/file").output().unwrap();
+    let out = Command::new(&tool)
+        .arg("summary")
+        .arg("/no/such/file")
+        .output()
+        .unwrap();
     assert!(!out.status.success());
-    let out = Command::new(&tool).arg("nonsense").arg(&trace).output().unwrap();
+    let out = Command::new(&tool)
+        .arg("nonsense")
+        .arg(&trace)
+        .output()
+        .unwrap();
     assert!(!out.status.success());
 }
 

@@ -24,7 +24,10 @@ fn mlp_reaches_low_loss_on_blobs() {
     cfg.arch = small_mlp();
     let report = profile(&cfg).unwrap();
     let last = *report.loss_history.last().unwrap();
-    assert!(last < 0.2, "well-separated blobs should train to <0.2, got {last}");
+    assert!(
+        last < 0.2,
+        "well-separated blobs should train to <0.2, got {last}"
+    );
     // loss is broadly decreasing: last quarter below first quarter
     let n = report.loss_history.len();
     let first: f32 = report.loss_history[..n / 4].iter().sum::<f32>() / (n / 4) as f32;
@@ -38,13 +41,8 @@ fn trained_mlp_classifies_held_out_blobs() {
     // loss on a fresh batch (the probs of a fresh forward pass are not
     // directly exposed, so use loss < ln(2) as the accuracy proxy)
     let arch = small_mlp();
-    let program = build_training_program(
-        &arch,
-        32,
-        ImageDims::cifar(),
-        2,
-        Optimizer::Sgd { lr: 0.5 },
-    );
+    let program =
+        build_training_program(&arch, 32, ImageDims::cifar(), 2, Optimizer::Sgd { lr: 0.5 });
     let device = SimDevice::new(DeviceConfig::deterministic());
     let mut exec = Executor::new(program, device, ExecMode::Concrete).unwrap();
     let mut gen = TwoBlobs::new(77);

@@ -97,7 +97,10 @@ fn jitter_is_bounded_by_its_fraction() {
         let base = CostModel::deterministic().kernel_time_ns(flops, 0, seed);
         let lo = (base as f64 * 0.94) as u64;
         let hi = (base as f64 * 1.06) as u64;
-        assert!(jittered >= lo && jittered <= hi, "{jittered} outside [{lo}, {hi}]");
+        assert!(
+            jittered >= lo && jittered <= hi,
+            "{jittered} outside [{lo}, {hi}]"
+        );
     }
 }
 

@@ -76,11 +76,15 @@ fn trace_is_valid_up_to_the_oom() {
         allocator: AllocatorPolicy::Caching,
         ..DeviceConfig::deterministic()
     });
-    let a = dev.malloc(10 << 20, MemoryKind::Activation, Some("a")).unwrap();
+    let a = dev
+        .malloc(10 << 20, MemoryKind::Activation, Some("a"))
+        .unwrap();
     dev.launch_kernel("work", 1000, 10 << 20, &[a], &[a]);
     let err = dev.malloc(30 << 20, MemoryKind::Activation, Some("b"));
     assert!(err.is_err());
-    dev.trace().validate().expect("no partial events from the failed malloc");
+    dev.trace()
+        .validate()
+        .expect("no partial events from the failed malloc");
     assert_eq!(dev.trace().len(), 3); // malloc + read + write only
 }
 

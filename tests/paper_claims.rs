@@ -13,7 +13,11 @@ fn c1_iterative_patterns_and_low_fragmentation() {
     let fig2 = figures::fig2_gantt(5).expect("fig2");
     assert!(fig2.iterative.periodic);
     assert_eq!(fig2.iterative.iterations, 5);
-    assert!(fig2.iterative.period_cv < 0.2, "cv {}", fig2.iterative.period_cv);
+    assert!(
+        fig2.iterative.period_cv < 0.2,
+        "cv {}",
+        fig2.iterative.period_cv
+    );
     assert!(fig2.worst_fragmentation.gap_fraction() < 0.5);
     // the period is also recoverable with no markers at all, straight from
     // the malloc signature sequence
