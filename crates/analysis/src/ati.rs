@@ -60,7 +60,7 @@ impl AtiDataset {
 
     /// Builds a dataset around pre-extracted records, computing the sorted
     /// interval cache in one pass.
-    fn from_records(records: Vec<AtiRecord>) -> Self {
+    pub(crate) fn from_records(records: Vec<AtiRecord>) -> Self {
         let mut sorted_intervals: Vec<u64> = records.iter().map(|r| r.interval_ns).collect();
         sorted_intervals.sort_unstable();
         AtiDataset {

@@ -21,6 +21,11 @@
 //! * [`check_contention`] / [`thin_to_feasible`] — shared-PCIe-link
 //!   scheduling of a swap plan (Equation 1 is per-gap; the link is not).
 //!
+//! Every pass above works on an in-memory [`Trace`](pinpoint_trace::Trace);
+//! the [`ati_from_store`] / [`breakdown_from_store`] / [`gantt_from_store`]
+//! / [`outliers_from_store`] twins run the same passes straight off an
+//! on-disk `.ptrc` store, one chunk at a time, with bit-identical results.
+//!
 //! # Examples
 //!
 //! ```
@@ -51,6 +56,7 @@ mod kde;
 mod op_stats;
 mod outlier;
 mod planner;
+mod store;
 mod svg;
 mod swap;
 
@@ -67,5 +73,8 @@ pub use kde::{kde_on_grid, violin, violin_sorted, ViolinStats};
 pub use op_stats::{op_stats, OpMemoryStats};
 pub use outlier::{sift, OutlierCriteria, OutlierReport};
 pub use planner::{apply, plan, SwapDecision, SwapPlan};
+pub use store::{
+    ati_from_store, breakdown_from_store, gantt_from_store, outliers_from_store, peak_from_store,
+};
 pub use svg::{gantt_svg, SvgConfig};
 pub use swap::{assess, SwapFeasibilityReport, SwapVerdict};

@@ -1,0 +1,305 @@
+//! From-store analysis entry points: run the paper's passes directly off a
+//! `.ptrc` trace store, one chunk resident at a time.
+//!
+//! Every builder here folds the event stream with exactly the state the
+//! in-memory [`Trace`](pinpoint_trace::Trace) pass keeps, so results are
+//! bit-identical to materializing the trace first — the cross-format
+//! equivalence tests assert as much — while never holding more than one
+//! decoded chunk of events.
+
+use crate::ati::{AtiDataset, AtiRecord};
+use crate::breakdown::BreakdownRow;
+use crate::gantt::GanttRect;
+use crate::outlier::{sift, OutlierCriteria, OutlierReport};
+use pinpoint_store::StoreReader;
+use pinpoint_trace::{BlockId, BlockLifetime, Category, EventKind, MemEvent, PeakUsage};
+use std::collections::BTreeMap;
+use std::io::{self, Read, Seek};
+
+/// Streaming fold equivalent to `Trace::lifetimes()` + `end_time_ns()`.
+#[derive(Debug, Default)]
+struct LifetimeFold {
+    map: BTreeMap<BlockId, BlockLifetime>,
+    end_time_ns: u64,
+}
+
+impl LifetimeFold {
+    fn push(&mut self, e: &MemEvent) {
+        self.end_time_ns = e.time_ns;
+        let entry = self.map.entry(e.block).or_insert_with(|| BlockLifetime {
+            block: e.block,
+            size: e.size,
+            offset: e.offset,
+            mem_kind: e.mem_kind,
+            malloc_time_ns: e.time_ns,
+            free_time_ns: None,
+            accesses: Vec::new(),
+        });
+        match e.kind {
+            EventKind::Malloc => {
+                entry.malloc_time_ns = e.time_ns;
+                entry.size = e.size;
+                entry.offset = e.offset;
+                entry.mem_kind = e.mem_kind;
+            }
+            EventKind::Free => entry.free_time_ns = Some(e.time_ns),
+            EventKind::Read | EventKind::Write => {
+                entry.accesses.push((e.time_ns, e.kind));
+            }
+        }
+    }
+}
+
+fn lifetimes_from_store<R: Read + Seek>(reader: &mut StoreReader<R>) -> io::Result<LifetimeFold> {
+    let mut fold = LifetimeFold::default();
+    reader.for_each_event(|e| fold.push(&e))?;
+    Ok(fold)
+}
+
+/// Extracts every ATI from a store — the streaming twin of
+/// [`AtiDataset::from_trace`].
+///
+/// # Errors
+///
+/// I/O or corruption errors from the store.
+pub fn ati_from_store<R: Read + Seek>(reader: &mut StoreReader<R>) -> io::Result<AtiDataset> {
+    let fold = lifetimes_from_store(reader)?;
+    let mut records = Vec::new();
+    for lt in fold.map.values() {
+        for w in lt.accesses.windows(2) {
+            records.push(AtiRecord {
+                block: lt.block,
+                size: lt.size,
+                mem_kind: lt.mem_kind,
+                interval_ns: w[1].0 - w[0].0,
+                end_time_ns: w[1].0,
+                closing_kind: w[1].1,
+            });
+        }
+    }
+    records.sort_by_key(|r| (r.end_time_ns, r.block));
+    Ok(AtiDataset::from_records(records))
+}
+
+/// Computes the peak-footprint split from a store — the streaming twin of
+/// `Trace::peak_live_bytes()`.
+///
+/// # Errors
+///
+/// I/O or corruption errors from the store.
+pub fn peak_from_store<R: Read + Seek>(reader: &mut StoreReader<R>) -> io::Result<PeakUsage> {
+    let mut live: BTreeMap<Category, i64> = BTreeMap::new();
+    let mut total: i64 = 0;
+    let mut peak_total: i64 = 0;
+    let mut at_peak: BTreeMap<Category, i64> = BTreeMap::new();
+    reader.for_each_event(|e| {
+        let cat = e.mem_kind.category();
+        match e.kind {
+            EventKind::Malloc => {
+                *live.entry(cat).or_insert(0) += e.size as i64;
+                total += e.size as i64;
+                if total > peak_total {
+                    peak_total = total;
+                    at_peak = live.clone();
+                }
+            }
+            EventKind::Free => {
+                *live.entry(cat).or_insert(0) -= e.size as i64;
+                total -= e.size as i64;
+            }
+            _ => {}
+        }
+    })?;
+    Ok(PeakUsage {
+        peak_total_bytes: peak_total.max(0) as u64,
+        at_peak_by_category: Category::ALL
+            .iter()
+            .map(|c| (*c, at_peak.get(c).copied().unwrap_or(0).max(0) as u64))
+            .collect(),
+    })
+}
+
+/// Computes a breakdown-figure row from a store — the streaming twin of
+/// [`BreakdownRow::from_trace`].
+///
+/// # Errors
+///
+/// I/O or corruption errors from the store.
+pub fn breakdown_from_store<R: Read + Seek>(
+    label: impl Into<String>,
+    reader: &mut StoreReader<R>,
+) -> io::Result<BreakdownRow> {
+    let peak = peak_from_store(reader)?;
+    Ok(BreakdownRow {
+        label: label.into(),
+        peak_bytes: peak.peak_total_bytes,
+        input_bytes: peak.bytes(Category::InputData),
+        parameter_bytes: peak.bytes(Category::Parameters),
+        intermediate_bytes: peak.bytes(Category::Intermediates),
+    })
+}
+
+/// Extracts Gantt rectangles intersecting `[t_start, t_end]` from a store —
+/// the streaming twin of [`crate::gantt_rects`].
+///
+/// # Errors
+///
+/// I/O or corruption errors from the store.
+pub fn gantt_from_store<R: Read + Seek>(
+    reader: &mut StoreReader<R>,
+    t_start: u64,
+    t_end: u64,
+) -> io::Result<Vec<GanttRect>> {
+    let fold = lifetimes_from_store(reader)?;
+    let end = fold.end_time_ns;
+    let mut rects: Vec<GanttRect> = fold
+        .map
+        .values()
+        .map(|lt| GanttRect {
+            block: lt.block,
+            t0_ns: lt.malloc_time_ns,
+            t1_ns: lt.free_time_ns.unwrap_or(end),
+            offset: lt.offset,
+            size: lt.size,
+            mem_kind: lt.mem_kind,
+        })
+        .filter(|r| r.t1_ns >= t_start && r.t0_ns <= t_end)
+        .collect();
+    rects.sort_by_key(|r| (r.t0_ns, r.offset));
+    Ok(rects)
+}
+
+/// Sifts a store's ATI dataset for Fig. 4 outliers — the streaming twin of
+/// [`AtiDataset::from_trace`] + [`sift`].
+///
+/// # Errors
+///
+/// I/O or corruption errors from the store.
+pub fn outliers_from_store<R: Read + Seek>(
+    reader: &mut StoreReader<R>,
+    criteria: OutlierCriteria,
+) -> io::Result<OutlierReport> {
+    Ok(sift(&ati_from_store(reader)?, criteria))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gantt_rects;
+    use pinpoint_store::write_store_chunked;
+    use pinpoint_trace::{MemoryKind, Trace};
+    use std::io::Cursor;
+
+    fn busy_trace() -> Trace {
+        let mut t = Trace::new();
+        let kinds = [
+            MemoryKind::Weight,
+            MemoryKind::Activation,
+            MemoryKind::Input,
+            MemoryKind::Other,
+        ];
+        let mut time = 0u64;
+        for i in 0..40u64 {
+            let mk = kinds[i as usize % kinds.len()];
+            t.record(
+                time,
+                EventKind::Malloc,
+                BlockId(i),
+                ((i + 1) * 1000) as usize,
+                (i * 4096) as usize,
+                mk,
+                None,
+            );
+            time += 7;
+            for _ in 0..3 {
+                t.record(
+                    time,
+                    EventKind::Write,
+                    BlockId(i),
+                    ((i + 1) * 1000) as usize,
+                    (i * 4096) as usize,
+                    mk,
+                    None,
+                );
+                time += 13;
+                t.record(
+                    time,
+                    EventKind::Read,
+                    BlockId(i),
+                    ((i + 1) * 1000) as usize,
+                    (i * 4096) as usize,
+                    mk,
+                    None,
+                );
+                time += 11;
+            }
+            if i % 3 != 0 {
+                t.record(
+                    time,
+                    EventKind::Free,
+                    BlockId(i),
+                    ((i + 1) * 1000) as usize,
+                    (i * 4096) as usize,
+                    mk,
+                    None,
+                );
+                time += 5;
+            }
+        }
+        t
+    }
+
+    fn store_of(t: &Trace) -> StoreReader<Cursor<Vec<u8>>> {
+        let mut bytes = Vec::new();
+        write_store_chunked(t, &mut bytes, 32).unwrap();
+        StoreReader::new(Cursor::new(bytes)).unwrap()
+    }
+
+    #[test]
+    fn ati_matches_in_memory_bit_for_bit() {
+        let t = busy_trace();
+        let mut r = store_of(&t);
+        assert_eq!(ati_from_store(&mut r).unwrap(), AtiDataset::from_trace(&t));
+    }
+
+    #[test]
+    fn peak_and_breakdown_match_in_memory() {
+        let t = busy_trace();
+        let mut r = store_of(&t);
+        assert_eq!(peak_from_store(&mut r).unwrap(), t.peak_live_bytes());
+        assert_eq!(
+            breakdown_from_store("w", &mut r).unwrap(),
+            BreakdownRow::from_trace("w", &t)
+        );
+    }
+
+    #[test]
+    fn gantt_matches_in_memory() {
+        let t = busy_trace();
+        let mut r = store_of(&t);
+        let end = t.end_time_ns();
+        assert_eq!(
+            gantt_from_store(&mut r, 0, end).unwrap(),
+            gantt_rects(&t, 0, end)
+        );
+        // a window, too
+        assert_eq!(
+            gantt_from_store(&mut r, end / 3, end / 2).unwrap(),
+            gantt_rects(&t, end / 3, end / 2)
+        );
+    }
+
+    #[test]
+    fn outliers_match_in_memory() {
+        let t = busy_trace();
+        let mut r = store_of(&t);
+        let criteria = OutlierCriteria {
+            min_ati_ns: 10,
+            min_size_bytes: 20_000,
+        };
+        assert_eq!(
+            outliers_from_store(&mut r, criteria).unwrap(),
+            sift(&AtiDataset::from_trace(&t), criteria)
+        );
+    }
+}

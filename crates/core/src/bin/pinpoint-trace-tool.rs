@@ -1,21 +1,34 @@
-//! `pinpoint-trace-tool` — analyze an exported JSON memory-behavior trace.
+//! `pinpoint-trace-tool` — analyze an exported memory-behavior trace.
 //!
 //! ```text
-//! pinpoint-trace-tool summary   trace.json
-//! pinpoint-trace-tool ati       trace.json
-//! pinpoint-trace-tool outliers  trace.json [--min-ati-ms N] [--min-size-mb N]
-//! pinpoint-trace-tool breakdown trace.json
-//! pinpoint-trace-tool gantt     trace.json [--max N]
-//! pinpoint-trace-tool ops       trace.json [--top N]
-//! pinpoint-trace-tool plan      trace.json
-//! pinpoint-trace-tool compare   a.json b.json
+//! pinpoint-trace-tool summary   trace.{json|ptrc}
+//! pinpoint-trace-tool ati       trace.{json|ptrc}
+//! pinpoint-trace-tool outliers  trace.{json|ptrc} [--min-ati-ms N] [--min-size-mb N]
+//! pinpoint-trace-tool breakdown trace.{json|ptrc}
+//! pinpoint-trace-tool gantt     trace.{json|ptrc} [--max N]
+//! pinpoint-trace-tool ops       trace.{json|ptrc} [--top N]
+//! pinpoint-trace-tool plan      trace.{json|ptrc}
+//! pinpoint-trace-tool compare   a.{json|ptrc} b.{json|ptrc}
+//! pinpoint-trace-tool convert   in.{json|ptrc} out.{ptrc|json}
+//! pinpoint-trace-tool info      trace.ptrc
+//! pinpoint-trace-tool query     trace.ptrc [--t0-us N] [--t1-us N]
+//!                               [--block-min N] [--block-max N] [--kind K]...
+//!                               [--category C]... [--min-size-bytes N] [--max N]
 //! ```
 //!
-//! `--threads N` (or `PINPOINT_THREADS`) sets the worker-thread count for
-//! parallel work (`compare` loads and validates both traces concurrently);
-//! output never depends on the thread count.
+//! Input format is sniffed from the file's magic bytes, so every analysis
+//! subcommand accepts either an exported JSON trace or a `.ptrc` store.
+//! `convert` flips whichever format it is given into the other; `info`
+//! prints a store's chunk-index statistics and its compression ratio
+//! against JSON; `query` runs a chunk-pruning filtered event dump.
 //!
-//! Produce a trace with `pinpoint_trace::export::write_json` (the
+//! `--threads N` (or `PINPOINT_THREADS`) sets the worker-thread count for
+//! parallel work (`compare` loads and validates both traces concurrently;
+//! `query` decodes surviving chunks in parallel); output never depends on
+//! the thread count.
+//!
+//! Produce a trace with `pinpoint_trace::export::write_json` or stream one
+//! straight to disk with `pinpoint_store::StoreWriter` (the
 //! `mlp_case_study` example writes a CSV twin next to it).
 
 use pinpoint_analysis::{
@@ -24,9 +37,11 @@ use pinpoint_analysis::{
 };
 use pinpoint_core::report::{human_bytes, human_time};
 use pinpoint_device::TransferModel;
+use pinpoint_store::{Predicate, StoreReader};
 use pinpoint_trace::export::read_json;
-use pinpoint_trace::Trace;
+use pinpoint_trace::{Category, EventKind, Trace};
 use std::fs::File;
+use std::io::Read;
 use std::process::ExitCode;
 
 fn flag_value(args: &[String], name: &str) -> Option<f64> {
@@ -36,13 +51,203 @@ fn flag_value(args: &[String], name: &str) -> Option<f64> {
         .and_then(|v| v.parse().ok())
 }
 
+fn flag_strings<'a>(args: &'a [String], name: &str) -> Vec<&'a str> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == name)
+        .filter_map(|(i, _)| args.get(i + 1))
+        .map(String::as_str)
+        .collect()
+}
+
+/// Whether the file starts with the `.ptrc` magic bytes.
+fn is_store(path: &str) -> Result<bool, String> {
+    let mut f = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let mut magic = [0u8; 4];
+    match f.read(&mut magic) {
+        Ok(4) => Ok(&magic == pinpoint_store::MAGIC),
+        Ok(_) => Ok(false),
+        Err(e) => Err(format!("cannot read {path}: {e}")),
+    }
+}
+
 fn load(path: &str) -> Result<Trace, String> {
-    let f = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-    let trace = read_json(f).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    let trace = if is_store(path)? {
+        StoreReader::open(path)
+            .and_then(|mut r| r.read_trace())
+            .map_err(|e| format!("cannot read store {path}: {e}"))?
+    } else {
+        let f = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+        read_json(f).map_err(|e| format!("cannot parse {path}: {e}"))?
+    };
     trace
         .validate()
         .map_err(|e| format!("{path} is not a well-formed trace: {e}"))?;
     Ok(trace)
+}
+
+fn open_store(path: &str) -> Result<StoreReader, String> {
+    if !is_store(path)? {
+        return Err(format!("{path} is not a .ptrc store (run `convert` first)"));
+    }
+    StoreReader::open(path).map_err(|e| format!("cannot read store {path}: {e}"))
+}
+
+fn parse_kind(s: &str) -> Result<EventKind, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "malloc" => Ok(EventKind::Malloc),
+        "free" => Ok(EventKind::Free),
+        "read" => Ok(EventKind::Read),
+        "write" => Ok(EventKind::Write),
+        other => Err(format!(
+            "unknown kind `{other}` (want malloc|free|read|write)"
+        )),
+    }
+}
+
+fn parse_category(s: &str) -> Result<Category, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "input" | "input-data" => Ok(Category::InputData),
+        "parameters" | "params" => Ok(Category::Parameters),
+        "intermediates" | "intermediate" => Ok(Category::Intermediates),
+        other => Err(format!(
+            "unknown category `{other}` (want input|parameters|intermediates)"
+        )),
+    }
+}
+
+fn cmd_convert(input: &str, output: &str) -> Result<(), String> {
+    if is_store(input)? {
+        let mut reader = open_store(input)?;
+        let trace = reader
+            .read_trace()
+            .map_err(|e| format!("cannot read store {input}: {e}"))?;
+        let out = File::create(output).map_err(|e| format!("cannot create {output}: {e}"))?;
+        pinpoint_trace::export::write_json(&trace, std::io::BufWriter::new(out))
+            .map_err(|e| format!("cannot write {output}: {e}"))?;
+        println!(
+            "{input} -> {output}: {} events, {} -> {}",
+            trace.len(),
+            human_bytes(reader.file_len()),
+            human_bytes(std::fs::metadata(output).map(|m| m.len()).unwrap_or(0)),
+        );
+    } else {
+        let trace = load(input)?;
+        let bytes = pinpoint_store::write_store_file(&trace, output)
+            .map_err(|e| format!("cannot write {output}: {e}"))?;
+        let json_bytes = std::fs::metadata(input).map(|m| m.len()).unwrap_or(0);
+        println!(
+            "{input} -> {output}: {} events, {} -> {} ({:.1}x smaller)",
+            trace.len(),
+            human_bytes(json_bytes),
+            human_bytes(bytes),
+            json_bytes as f64 / bytes.max(1) as f64,
+        );
+    }
+    Ok(())
+}
+
+fn cmd_info(path: &str) -> Result<(), String> {
+    let mut reader = open_store(path)?;
+    let footer = reader.footer().clone();
+    let file_len = reader.file_len();
+    let data_bytes: u64 = footer.chunks.iter().map(|c| c.byte_len).sum();
+    println!(
+        "{path}: {} events in {} chunks, {} labels, {} markers",
+        footer.total_events,
+        footer.chunks.len(),
+        footer.labels.len(),
+        footer.markers.len()
+    );
+    println!(
+        "file {} = data {} + index/footer {}",
+        human_bytes(file_len),
+        human_bytes(data_bytes),
+        human_bytes(file_len - data_bytes)
+    );
+    if let (Some(first), Some(last)) = (footer.chunks.first(), footer.chunks.last()) {
+        println!(
+            "time span {} .. {}; {:.0} events/chunk, {:.2} bytes/event",
+            human_time(first.min_time_ns),
+            human_time(last.max_time_ns),
+            footer.total_events as f64 / footer.chunks.len() as f64,
+            data_bytes as f64 / footer.total_events.max(1) as f64
+        );
+    }
+    let trace = reader
+        .read_trace()
+        .map_err(|e| format!("cannot read store {path}: {e}"))?;
+    let json_len = pinpoint_trace::export::json_string(&trace).len() as u64;
+    println!(
+        "JSON equivalent {} -> {:.1}x smaller",
+        human_bytes(json_len),
+        json_len as f64 / file_len.max(1) as f64
+    );
+    Ok(())
+}
+
+fn cmd_query(path: &str, args: &[String]) -> Result<(), String> {
+    let mut pred = Predicate::any();
+    let t0 = flag_value(args, "--t0-us");
+    let t1 = flag_value(args, "--t1-us");
+    if t0.is_some() || t1.is_some() {
+        let lo = (t0.unwrap_or(0.0) * 1e3) as u64;
+        let hi = t1.map_or(u64::MAX, |v| (v * 1e3) as u64);
+        pred = pred.with_time_range(lo, hi);
+    }
+    let b0 = flag_value(args, "--block-min");
+    let b1 = flag_value(args, "--block-max");
+    if b0.is_some() || b1.is_some() {
+        pred = pred.with_block_range(b0.unwrap_or(0.0) as u64, b1.map_or(u64::MAX, |v| v as u64));
+    }
+    for k in flag_strings(args, "--kind") {
+        pred = pred.with_kind(parse_kind(k)?);
+    }
+    for c in flag_strings(args, "--category") {
+        pred = pred.with_category(parse_category(c)?);
+    }
+    if let Some(s) = flag_value(args, "--min-size-bytes") {
+        pred = pred.with_min_size(s as u64);
+    }
+    let max = flag_value(args, "--max").unwrap_or(20.0) as usize;
+
+    let mut reader = open_store(path)?;
+    let q = reader
+        .query(&pred, pinpoint_core::parallel::configured_threads())
+        .map_err(|e| format!("query on {path} failed: {e}"))?;
+    let labels = reader.footer().labels.clone();
+    println!(
+        "{} events match; decoded {} of {} chunks ({} pruned by index)",
+        q.events.len(),
+        q.stats.chunks_decoded,
+        q.stats.chunks_total,
+        q.stats.chunks_pruned
+    );
+    println!(
+        "{:>12} {:>6} {:>8} {:>10} {:>12}  {:<12} op",
+        "time", "kind", "block", "size", "offset", "mem_kind"
+    );
+    for e in q.events.iter().take(max) {
+        let op = e
+            .op_label
+            .and_then(|i| labels.get(i as usize))
+            .map(String::as_str)
+            .unwrap_or("-");
+        println!(
+            "{:>12} {:>6} {:>8} {:>10} {:>12}  {:<12} {}",
+            human_time(e.time_ns),
+            format!("{:?}", e.kind),
+            e.block.0,
+            human_bytes(e.size as u64),
+            e.offset,
+            format!("{}", e.mem_kind),
+            op
+        );
+    }
+    if q.events.len() > max {
+        println!("... {} more events (raise --max)", q.events.len() - max);
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -60,9 +265,45 @@ fn main() -> ExitCode {
         args.drain(i..=i + 1);
     }
     let (Some(cmd), Some(path)) = (args.first(), args.get(1)) else {
-        eprintln!("usage: pinpoint-trace-tool <summary|ati|outliers|breakdown|gantt|ops|plan|compare> <trace.json> [trace_b.json] [flags]");
+        eprintln!("usage: pinpoint-trace-tool <summary|ati|outliers|breakdown|gantt|ops|plan|compare|convert|info|query> <trace.{{json|ptrc}}> [out|trace_b] [flags]");
         return ExitCode::FAILURE;
     };
+    // store-centric subcommands have their own argument shapes and never
+    // materialize a full in-memory trace up front
+    match cmd.as_str() {
+        "convert" => {
+            let Some(out) = args.get(2) else {
+                eprintln!("convert needs an input and an output path");
+                return ExitCode::FAILURE;
+            };
+            return match cmd_convert(path, out) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        "info" => {
+            return match cmd_info(path) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        "query" => {
+            return match cmd_query(path, &args) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        _ => {}
+    }
     // `compare` needs two traces; load them on the fan-out so both files
     // parse and validate concurrently
     let mut paths = vec![path.clone()];

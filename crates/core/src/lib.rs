@@ -27,8 +27,20 @@
 #![warn(missing_debug_implementations)]
 
 pub mod figures;
-pub mod parallel;
 mod profiler;
 pub mod report;
 
-pub use profiler::{profile, EpochEval, ProfileConfig, ProfileError, ProfileReport};
+/// Deterministic scoped-thread fan-out (re-export of `pinpoint-parallel`).
+///
+/// Kept at its historical `pinpoint_core::parallel` path; the module now
+/// lives in its own crate so lower layers (the trace store's parallel
+/// chunk decode) can share the same engine and the same
+/// `--threads`/`PINPOINT_THREADS` configuration.
+pub mod parallel {
+    pub use pinpoint_parallel::*;
+}
+
+pub use profiler::{
+    profile, profile_into_sink, EpochEval, ProfileConfig, ProfileError, ProfileReport,
+    SinkProfileReport,
+};

@@ -12,7 +12,7 @@ use pinpoint_models::{build_training_program, Architecture, ImageDims};
 use pinpoint_nn::exec::{BatchData, ExecMode, Executor};
 use pinpoint_nn::{Optimizer, ProgramSummary};
 use pinpoint_tensor::rng::Rng64;
-use pinpoint_trace::{MemoryKind, Trace};
+use pinpoint_trace::{MemoryKind, Trace, TraceSink};
 use std::fmt;
 
 /// A per-epoch device-resident evaluation buffer.
@@ -153,17 +153,45 @@ pub struct ProfileReport {
     pub duration_ns: u64,
 }
 
+/// The result of an instrumented training run that spilled its trace to an
+/// external [`TraceSink`] (e.g. a streaming `.ptrc` writer) instead of
+/// holding it in memory.
+///
+/// Everything from [`ProfileReport`] except the trace itself — the caller
+/// re-opens whatever the sink wrote (typically with a store reader) to get
+/// the events back.
+#[derive(Debug)]
+pub struct SinkProfileReport {
+    /// Workload label, e.g. `"alexnet/cifar100/bs128"`.
+    pub label: String,
+    /// Events delivered to the sink.
+    pub events_recorded: u64,
+    /// Loss per iteration (concrete mode only).
+    pub loss_history: Vec<f32>,
+    /// Final allocator counters.
+    pub alloc_stats: AllocStats,
+    /// Iterations run.
+    pub iterations: usize,
+    /// Static program accounting.
+    pub program_summary: ProgramSummary,
+    /// Total simulated time.
+    pub duration_ns: u64,
+}
+
 /// Why a profile failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ProfileError {
     /// The simulated device ran out of memory.
     Device(AllocError),
+    /// The trace sink failed to persist the trace (I/O).
+    Sink(String),
 }
 
 impl fmt::Display for ProfileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ProfileError::Device(e) => write!(f, "device error: {e}"),
+            ProfileError::Sink(msg) => write!(f, "trace sink error: {msg}"),
         }
     }
 }
@@ -172,6 +200,7 @@ impl std::error::Error for ProfileError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ProfileError::Device(e) => Some(e),
+            ProfileError::Sink(_) => None,
         }
     }
 }
@@ -193,6 +222,75 @@ impl From<AllocError> for ProfileError {
 /// Panics if more than one of `forward_only`, `checkpoint_every`, and
 /// `data_parallel` is set — they select mutually exclusive program shapes.
 pub fn profile(config: &ProfileConfig) -> Result<ProfileReport, ProfileError> {
+    let device = SimDevice::new(config.device.clone());
+    let run = run_on_device(config, device)?;
+    let device = run.device;
+    Ok(ProfileReport {
+        label: workload_label(config),
+        loss_history: run.loss_history,
+        alloc_stats: *device.alloc_stats(),
+        iterations: run.iterations,
+        program_summary: run.program_summary,
+        duration_ns: device.now_ns(),
+        trace: device.into_trace(),
+    })
+}
+
+/// Runs one instrumented training profile, streaming every event into
+/// `sink` instead of materializing an in-memory trace.
+///
+/// The sink's [`TraceSink::finish`] is called after the run (and its
+/// deferred I/O error, if any, surfaces as [`ProfileError::Sink`]), so a
+/// `.ptrc` [`StoreWriter`](pinpoint_store::StoreWriter) handed in here
+/// yields a complete, readable store on success.
+///
+/// # Errors
+///
+/// Returns [`ProfileError::Device`] if the device runs out of memory and
+/// [`ProfileError::Sink`] if the sink fails to persist the trace.
+///
+/// # Panics
+///
+/// Panics under the same mutually-exclusive-mode rule as [`profile`].
+pub fn profile_into_sink(
+    config: &ProfileConfig,
+    sink: Box<dyn TraceSink + Send>,
+) -> Result<SinkProfileReport, ProfileError> {
+    let device = SimDevice::with_sink(config.device.clone(), sink);
+    let run = run_on_device(config, device)?;
+    let mut device = run.device;
+    device
+        .finish_sink()
+        .map_err(|e| ProfileError::Sink(e.to_string()))?;
+    Ok(SinkProfileReport {
+        label: workload_label(config),
+        events_recorded: device.events_recorded(),
+        loss_history: run.loss_history,
+        alloc_stats: *device.alloc_stats(),
+        iterations: run.iterations,
+        program_summary: run.program_summary,
+        duration_ns: device.now_ns(),
+    })
+}
+
+fn workload_label(config: &ProfileConfig) -> String {
+    format!(
+        "{}/{}/bs{}",
+        config.arch.name(),
+        config.dataset.name,
+        config.batch
+    )
+}
+
+/// What a finished run hands back to the report builders.
+struct RunOutcome {
+    device: SimDevice,
+    iterations: usize,
+    loss_history: Vec<f32>,
+    program_summary: ProgramSummary,
+}
+
+fn run_on_device(config: &ProfileConfig, device: SimDevice) -> Result<RunOutcome, ProfileError> {
     let modes = [
         config.forward_only,
         config.checkpoint_every.is_some(),
@@ -246,7 +344,6 @@ pub fn profile(config: &ProfileConfig) -> Result<ProfileReport, ProfileError> {
         )
     };
     let program_summary = program.summary();
-    let device = SimDevice::new(config.device.clone());
     let mut exec = Executor::with_seed(program, device, config.mode, config.seed)?;
     exec.set_threads(config.resolved_threads());
     let mut data_gen = ConcreteDataGen::new(config);
@@ -283,21 +380,12 @@ pub fn profile(config: &ProfileConfig) -> Result<ProfileReport, ProfileError> {
     let iterations = exec.iterations_run() as usize;
     let loss_history = exec.loss_history().to_vec();
     let device = exec.into_device();
-    let report = ProfileReport {
-        label: format!(
-            "{}/{}/bs{}",
-            config.arch.name(),
-            config.dataset.name,
-            config.batch
-        ),
-        loss_history,
-        alloc_stats: *device.alloc_stats(),
+    Ok(RunOutcome {
+        device,
         iterations,
+        loss_history,
         program_summary,
-        duration_ns: device.now_ns(),
-        trace: device.into_trace(),
-    };
-    Ok(report)
+    })
 }
 
 /// Generates concrete batches when the profile runs in concrete mode.
@@ -411,6 +499,25 @@ mod tests {
             .collect();
         assert!(!big.is_empty(), "outlier block has a measured ATI");
         assert!(big.iter().all(|r| r.interval_ns > 1_000_000));
+    }
+
+    #[test]
+    fn sink_profile_spills_the_same_trace_to_disk() {
+        let cfg = ProfileConfig::mlp_case_study(3);
+        let in_mem = profile(&cfg).unwrap();
+        let path = std::env::temp_dir().join(format!(
+            "pinpoint-profiler-sink-{}.ptrc",
+            std::process::id()
+        ));
+        let writer = pinpoint_store::StoreWriter::create(&path).unwrap();
+        let report = profile_into_sink(&cfg, Box::new(writer)).unwrap();
+        assert_eq!(report.events_recorded, in_mem.trace.len() as u64);
+        assert_eq!(report.duration_ns, in_mem.duration_ns);
+        assert_eq!(report.iterations, in_mem.iterations);
+        let mut reader = pinpoint_store::StoreReader::open(&path).unwrap();
+        let trace = reader.read_trace().unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(trace, in_mem.trace, "spilled trace == in-memory trace");
     }
 
     #[test]

@@ -11,8 +11,9 @@ use crate::alloc::{
 use crate::clock::SimClock;
 use crate::cost::CostModel;
 use crate::transfer::TransferModel;
-use pinpoint_trace::{BlockId, EventKind, MemoryKind, Trace};
+use pinpoint_trace::{BlockId, EventKind, MemEvent, MemoryKind, Trace, TraceSink};
 use std::collections::HashMap;
+use std::fmt;
 
 /// Which allocator policy a device uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -107,23 +108,85 @@ pub struct SimDevice {
     config: DeviceConfig,
     clock: SimClock,
     alloc: Box<dyn DeviceAllocator>,
-    trace: Trace,
+    sink: DeviceSink,
     live: HashMap<BlockId, (usize, usize, MemoryKind)>, // size, offset, kind
     kernel_seq: u64,
 }
 
+/// Where a device's observed behaviors go: the default in-memory [`Trace`],
+/// or an external streaming [`TraceSink`] (e.g. a chunked on-disk store
+/// writer) that never accumulates the full event log in RAM.
+enum DeviceSink {
+    Memory(Trace),
+    External(Box<dyn TraceSink + Send>),
+}
+
+impl DeviceSink {
+    fn as_sink(&mut self) -> &mut dyn TraceSink {
+        match self {
+            DeviceSink::Memory(t) => t,
+            DeviceSink::External(s) => &mut **s,
+        }
+    }
+}
+
+impl fmt::Debug for DeviceSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceSink::Memory(t) => f.debug_tuple("Memory").field(t).finish(),
+            DeviceSink::External(_) => f.write_str("External(..)"),
+        }
+    }
+}
+
 impl SimDevice {
-    /// Creates a device from its configuration.
+    /// Creates a device from its configuration, tracing into memory.
     pub fn new(config: DeviceConfig) -> Self {
+        Self::build(config, DeviceSink::Memory(Trace::new()))
+    }
+
+    /// Creates a device that streams its behaviors into an external sink
+    /// instead of accumulating an in-memory [`Trace`].
+    ///
+    /// With an external sink, [`SimDevice::trace`] and
+    /// [`SimDevice::into_trace`] are unavailable (they panic); drive the
+    /// sink to completion with [`SimDevice::finish_sink`] instead.
+    pub fn with_sink(config: DeviceConfig, sink: Box<dyn TraceSink + Send>) -> Self {
+        Self::build(config, DeviceSink::External(sink))
+    }
+
+    fn build(config: DeviceConfig, sink: DeviceSink) -> Self {
         let alloc = config.allocator.build(config.capacity_bytes);
         SimDevice {
             config,
             clock: SimClock::new(),
             alloc,
-            trace: Trace::new(),
+            sink,
             live: HashMap::new(),
             kernel_seq: 0,
         }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn record(
+        &mut self,
+        time_ns: u64,
+        kind: EventKind,
+        block: BlockId,
+        size: usize,
+        offset: usize,
+        mem_kind: MemoryKind,
+        op_label: Option<u32>,
+    ) {
+        self.sink.as_sink().record_event(MemEvent {
+            time_ns,
+            kind,
+            block,
+            size,
+            offset,
+            mem_kind,
+            op_label,
+        });
     }
 
     /// Current simulated time in nanoseconds.
@@ -158,9 +221,9 @@ impl SimDevice {
         op: Option<&str>,
     ) -> Result<BlockId, AllocError> {
         let block = self.alloc.malloc(size)?;
-        let label = op.map(|o| self.trace.intern_label(o));
+        let label = op.map(|o| self.sink.as_sink().intern_label(o));
         self.live.insert(block.id, (block.size, block.offset, kind));
-        self.trace.record(
+        self.record(
             self.clock.now_ns(),
             EventKind::Malloc,
             block.id,
@@ -183,7 +246,7 @@ impl SimDevice {
             .live
             .remove(&id)
             .expect("allocator and device agree on live blocks");
-        self.trace.record(
+        self.record(
             self.clock.now_ns(),
             EventKind::Free,
             id,
@@ -213,15 +276,14 @@ impl SimDevice {
         reads: &[BlockId],
         writes: &[BlockId],
     ) -> u64 {
-        let label = self.trace.intern_label(name);
+        let label = self.sink.as_sink().intern_label(name);
         let t0 = self.clock.now_ns();
         for &r in reads {
             let (size, offset, kind) = *self
                 .live
                 .get(&r)
                 .unwrap_or_else(|| panic!("kernel {name} reads non-live block {r}"));
-            self.trace
-                .record(t0, EventKind::Read, r, size, offset, kind, Some(label));
+            self.record(t0, EventKind::Read, r, size, offset, kind, Some(label));
         }
         let dur = self
             .config
@@ -234,8 +296,7 @@ impl SimDevice {
                 .live
                 .get(&w)
                 .unwrap_or_else(|| panic!("kernel {name} writes non-live block {w}"));
-            self.trace
-                .record(t1, EventKind::Write, w, size, offset, kind, Some(label));
+            self.record(t1, EventKind::Write, w, size, offset, kind, Some(label));
         }
         dur
     }
@@ -247,15 +308,14 @@ impl SimDevice {
     ///
     /// Panics if `dst` is not live.
     pub fn h2d(&mut self, bytes: usize, dst: BlockId, op: &str) -> u64 {
-        let label = self.trace.intern_label(op);
+        let label = self.sink.as_sink().intern_label(op);
         let dur = self.config.transfer.h2d_time_ns(bytes);
         let t1 = self.clock.advance_ns(dur);
         let (size, offset, kind) = *self
             .live
             .get(&dst)
             .unwrap_or_else(|| panic!("h2d into non-live block {dst}"));
-        self.trace
-            .record(t1, EventKind::Write, dst, size, offset, kind, Some(label));
+        self.record(t1, EventKind::Write, dst, size, offset, kind, Some(label));
         dur
     }
 
@@ -266,14 +326,13 @@ impl SimDevice {
     ///
     /// Panics if `src` is not live.
     pub fn d2h(&mut self, bytes: usize, src: BlockId, op: &str) -> u64 {
-        let label = self.trace.intern_label(op);
+        let label = self.sink.as_sink().intern_label(op);
         let t0 = self.clock.now_ns();
         let (size, offset, kind) = *self
             .live
             .get(&src)
             .unwrap_or_else(|| panic!("d2h from non-live block {src}"));
-        self.trace
-            .record(t0, EventKind::Read, src, size, offset, kind, Some(label));
+        self.record(t0, EventKind::Read, src, size, offset, kind, Some(label));
         let dur = self.config.transfer.d2h_time_ns(bytes);
         self.clock.advance_ns(dur);
         dur
@@ -287,17 +346,54 @@ impl SimDevice {
     /// Adds a boundary marker (e.g. `"iter:3"`).
     pub fn mark(&mut self, label: impl Into<String>) {
         let t = self.clock.now_ns();
-        self.trace.mark(t, label);
+        let label = label.into();
+        self.sink.as_sink().record_marker(t, &label);
     }
 
-    /// Read access to the trace so far.
+    /// Number of events recorded so far (any sink kind).
+    pub fn events_recorded(&mut self) -> u64 {
+        self.sink.as_sink().event_count()
+    }
+
+    /// Read access to the in-memory trace so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device was built with [`SimDevice::with_sink`] — an
+    /// external sink owns the events and there is no in-memory trace.
     pub fn trace(&self) -> &Trace {
-        &self.trace
+        match &self.sink {
+            DeviceSink::Memory(t) => t,
+            DeviceSink::External(_) => {
+                panic!("device records into an external trace sink; no in-memory trace")
+            }
+        }
     }
 
-    /// Consumes the device, returning its trace.
+    /// Consumes the device, returning its in-memory trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device was built with [`SimDevice::with_sink`]; use
+    /// [`SimDevice::finish_sink`] for externally sunk devices.
     pub fn into_trace(self) -> Trace {
-        self.trace
+        match self.sink {
+            DeviceSink::Memory(t) => t,
+            DeviceSink::External(_) => {
+                panic!("device records into an external trace sink; no in-memory trace")
+            }
+        }
+    }
+
+    /// Finishes the sink (flushing an external writer's buffered chunks and
+    /// footer) and surfaces any deferred I/O error. For in-memory devices
+    /// this is a no-op returning `Ok`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the sink's first deferred I/O error.
+    pub fn finish_sink(&mut self) -> std::io::Result<()> {
+        self.sink.as_sink().finish()
     }
 }
 

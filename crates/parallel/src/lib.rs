@@ -1,12 +1,17 @@
-//! Scoped-thread fan-out for independent profiling jobs.
+//! # pinpoint-parallel
 //!
-//! The figure sweeps (Figs. 5–7 and the extension experiments) run many
-//! fully independent simulated training profiles. This module spreads such
-//! job lists across OS threads with [`std::thread::scope`] — no external
-//! thread-pool dependency — while keeping results **deterministic**: output
-//! order is always input order, and each job's work is unaffected by which
-//! worker ran it, so a sweep produces bit-identical rows at any thread
-//! count.
+//! Scoped-thread fan-out for independent jobs, shared by every layer that
+//! fans work out: the figure sweeps (Figs. 5–7 and the extension
+//! experiments) run many fully independent simulated training profiles,
+//! and the trace store decodes independent chunks concurrently. This crate
+//! spreads such job lists across OS threads with [`std::thread::scope`] —
+//! no external thread-pool dependency — while keeping results
+//! **deterministic**: output order is always input order, and each job's
+//! work is unaffected by which worker ran it, so a sweep (or a chunk
+//! decode) produces bit-identical results at any thread count.
+//!
+//! Downstream code usually reaches this crate through the
+//! `pinpoint_core::parallel` re-export.
 //!
 //! Thread-count resolution, in priority order:
 //!
@@ -14,6 +19,9 @@
 //!    lands here via [`set_global_threads`]);
 //! 2. the `PINPOINT_THREADS` environment variable;
 //! 3. [`std::thread::available_parallelism`].
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;

@@ -1,0 +1,519 @@
+//! The `.ptrc` on-disk layout: chunk encoding and the footer index.
+//!
+//! ```text
+//! file   := header chunk* footer trailer
+//! header := "PTRC" version:u8
+//! chunk  := count:varint column{6}
+//! column := byte_len:varint payload
+//! footer := labels markers chunk_index total_events:varint
+//! trailer:= footer_start:u64le "PTRC"
+//! ```
+//!
+//! The six per-chunk columns, in order:
+//!
+//! 1. **time** — zigzag varint deltas between consecutive event
+//!    timestamps (first value is the delta from 0, i.e. absolute);
+//! 2. **meta** — one byte per event: event kind (2 bits), memory kind
+//!    (3 bits), has-op flag (1 bit);
+//! 3. **block** — zigzag varint deltas between consecutive block ids;
+//! 4. **size** — plain varints;
+//! 5. **offset** — plain varints;
+//! 6. **op** — one varint per event whose has-op flag is set.
+//!
+//! Chunks are self-contained (deltas restart at every chunk), so any chunk
+//! decodes without touching its neighbors — the property both the
+//! predicate-pushdown query path and the parallel decoder rely on.
+//!
+//! The footer holds the interned label table, the boundary markers, and
+//! one [`ChunkMeta`] per chunk recording its byte extent plus the
+//! min/max timestamp, min/max block id, an event-kind bitmask, a paper-
+//! category bitmask, and the largest block size — everything a predicate
+//! needs to skip the chunk without decoding it.
+
+use crate::varint::{read_i64, read_u64, write_i64, write_u64};
+use pinpoint_trace::{Category, EventKind, Marker, MemEvent, MemoryKind};
+use std::io;
+
+/// Leading file magic; also the format-sniffing prefix (`PTRC`).
+pub const MAGIC: &[u8; 4] = b"PTRC";
+/// Current format version, written right after [`MAGIC`].
+pub const VERSION: u8 = 1;
+/// Trailer length: an 8-byte little-endian footer offset plus [`MAGIC`].
+pub const TRAILER_LEN: usize = 12;
+/// Default number of events per chunk.
+pub const DEFAULT_CHUNK_EVENTS: usize = 4096;
+
+pub(crate) fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+pub(crate) fn kind_code(k: EventKind) -> u8 {
+    match k {
+        EventKind::Malloc => 0,
+        EventKind::Free => 1,
+        EventKind::Read => 2,
+        EventKind::Write => 3,
+    }
+}
+
+pub(crate) fn kind_from_code(c: u8) -> Option<EventKind> {
+    Some(match c {
+        0 => EventKind::Malloc,
+        1 => EventKind::Free,
+        2 => EventKind::Read,
+        3 => EventKind::Write,
+        _ => return None,
+    })
+}
+
+pub(crate) fn mem_kind_code(k: MemoryKind) -> u8 {
+    match k {
+        MemoryKind::Input => 0,
+        MemoryKind::Weight => 1,
+        MemoryKind::WeightGrad => 2,
+        MemoryKind::OptimizerState => 3,
+        MemoryKind::Activation => 4,
+        MemoryKind::ActivationGrad => 5,
+        MemoryKind::Workspace => 6,
+        MemoryKind::Other => 7,
+    }
+}
+
+pub(crate) fn mem_kind_from_code(c: u8) -> Option<MemoryKind> {
+    Some(match c {
+        0 => MemoryKind::Input,
+        1 => MemoryKind::Weight,
+        2 => MemoryKind::WeightGrad,
+        3 => MemoryKind::OptimizerState,
+        4 => MemoryKind::Activation,
+        5 => MemoryKind::ActivationGrad,
+        6 => MemoryKind::Workspace,
+        7 => MemoryKind::Other,
+        _ => return None,
+    })
+}
+
+/// Bit of `c` in a [`ChunkMeta::category_mask`].
+pub fn category_bit(c: Category) -> u8 {
+    match c {
+        Category::InputData => 1,
+        Category::Parameters => 1 << 1,
+        Category::Intermediates => 1 << 2,
+    }
+}
+
+/// Bit of `k` in a [`ChunkMeta::kind_mask`].
+pub fn kind_bit(k: EventKind) -> u8 {
+    1 << kind_code(k)
+}
+
+/// Per-chunk index entry: byte extent plus the pruning statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkMeta {
+    /// File offset of the chunk's first byte.
+    pub offset: u64,
+    /// Encoded chunk length in bytes.
+    pub byte_len: u64,
+    /// Events in the chunk.
+    pub count: u64,
+    /// Smallest event timestamp.
+    pub min_time_ns: u64,
+    /// Largest event timestamp.
+    pub max_time_ns: u64,
+    /// Smallest block id.
+    pub min_block: u64,
+    /// Largest block id.
+    pub max_block: u64,
+    /// Bitmask of [`EventKind`]s present (see [`kind_bit`]).
+    pub kind_mask: u8,
+    /// Bitmask of paper [`Category`]s present (see [`category_bit`]).
+    pub category_mask: u8,
+    /// Largest block size in the chunk, in bytes.
+    pub max_size: u64,
+}
+
+/// Encodes one chunk of events into its columnar byte form, returning the
+/// bytes and the chunk's index entry (with `offset` left at 0 for the
+/// writer to fill in).
+///
+/// # Panics
+///
+/// Panics if `events` is empty — the writer never flushes empty chunks.
+pub fn encode_chunk(events: &[MemEvent]) -> (Vec<u8>, ChunkMeta) {
+    assert!(!events.is_empty(), "chunks are never empty");
+    let n = events.len();
+    let mut time_col = Vec::with_capacity(n * 2);
+    let mut meta_col = Vec::with_capacity(n);
+    let mut block_col = Vec::with_capacity(n * 2);
+    let mut size_col = Vec::with_capacity(n * 3);
+    let mut offset_col = Vec::with_capacity(n * 3);
+    let mut op_col = Vec::new();
+
+    let mut meta = ChunkMeta {
+        offset: 0,
+        byte_len: 0,
+        count: n as u64,
+        min_time_ns: u64::MAX,
+        max_time_ns: 0,
+        min_block: u64::MAX,
+        max_block: 0,
+        kind_mask: 0,
+        category_mask: 0,
+        max_size: 0,
+    };
+    let mut prev_time = 0i64;
+    let mut prev_block = 0i64;
+    for e in events {
+        write_i64(&mut time_col, e.time_ns as i64 - prev_time);
+        prev_time = e.time_ns as i64;
+        let byte = kind_code(e.kind)
+            | (mem_kind_code(e.mem_kind) << 2)
+            | (u8::from(e.op_label.is_some()) << 5);
+        meta_col.push(byte);
+        write_i64(&mut block_col, e.block.0 as i64 - prev_block);
+        prev_block = e.block.0 as i64;
+        write_u64(&mut size_col, e.size as u64);
+        write_u64(&mut offset_col, e.offset as u64);
+        if let Some(op) = e.op_label {
+            write_u64(&mut op_col, u64::from(op));
+        }
+        meta.min_time_ns = meta.min_time_ns.min(e.time_ns);
+        meta.max_time_ns = meta.max_time_ns.max(e.time_ns);
+        meta.min_block = meta.min_block.min(e.block.0);
+        meta.max_block = meta.max_block.max(e.block.0);
+        meta.kind_mask |= kind_bit(e.kind);
+        meta.category_mask |= category_bit(e.mem_kind.category());
+        meta.max_size = meta.max_size.max(e.size as u64);
+    }
+
+    let mut out = Vec::with_capacity(
+        time_col.len()
+            + meta_col.len()
+            + block_col.len()
+            + size_col.len()
+            + offset_col.len()
+            + op_col.len()
+            + 16,
+    );
+    write_u64(&mut out, n as u64);
+    for col in [
+        &time_col,
+        &meta_col,
+        &block_col,
+        &size_col,
+        &offset_col,
+        &op_col,
+    ] {
+        write_u64(&mut out, col.len() as u64);
+        out.extend_from_slice(col);
+    }
+    meta.byte_len = out.len() as u64;
+    (out, meta)
+}
+
+/// Decodes one chunk's bytes back into events.
+///
+/// # Errors
+///
+/// `InvalidData` on truncation, unknown codes, or column-length mismatch.
+pub fn decode_chunk(bytes: &[u8]) -> io::Result<Vec<MemEvent>> {
+    let mut pos = 0usize;
+    let n = read_u64(bytes, &mut pos)? as usize;
+    let mut cols = [(0usize, 0usize); 6]; // (start, len) per column
+    for c in cols.iter_mut() {
+        let len = read_u64(bytes, &mut pos)? as usize;
+        if pos + len > bytes.len() {
+            return Err(bad("column extends past chunk end"));
+        }
+        *c = (pos, len);
+        pos += len;
+    }
+    let (meta_start, meta_len) = cols[1];
+    if meta_len != n {
+        return Err(bad(format!("meta column holds {meta_len} of {n} events")));
+    }
+    let mut events = Vec::with_capacity(n);
+    let mut time_pos = cols[0].0;
+    let mut block_pos = cols[2].0;
+    let mut size_pos = cols[3].0;
+    let mut offset_pos = cols[4].0;
+    let mut op_pos = cols[5].0;
+    let mut prev_time = 0i64;
+    let mut prev_block = 0i64;
+    for i in 0..n {
+        let byte = bytes[meta_start + i];
+        let kind = kind_from_code(byte & 0b11).expect("2-bit code");
+        let mem_kind = mem_kind_from_code((byte >> 2) & 0b111).expect("3-bit code");
+        let has_op = byte & (1 << 5) != 0;
+        prev_time += read_i64(bytes, &mut time_pos)?;
+        if prev_time < 0 {
+            return Err(bad("negative timestamp after delta decode"));
+        }
+        prev_block += read_i64(bytes, &mut block_pos)?;
+        if prev_block < 0 {
+            return Err(bad("negative block id after delta decode"));
+        }
+        let size = read_u64(bytes, &mut size_pos)?;
+        let offset = read_u64(bytes, &mut offset_pos)?;
+        let op_label = if has_op {
+            Some(read_u64(bytes, &mut op_pos)? as u32)
+        } else {
+            None
+        };
+        events.push(MemEvent {
+            time_ns: prev_time as u64,
+            kind,
+            block: pinpoint_trace::BlockId(prev_block as u64),
+            size: size as usize,
+            offset: offset as usize,
+            mem_kind,
+            op_label,
+        });
+    }
+    Ok(events)
+}
+
+/// Everything the footer holds.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Footer {
+    /// Interned op-label table, in index order.
+    pub labels: Vec<String>,
+    /// Boundary markers, in record order.
+    pub markers: Vec<Marker>,
+    /// One entry per chunk, in file order.
+    pub chunks: Vec<ChunkMeta>,
+    /// Total events across all chunks.
+    pub total_events: u64,
+}
+
+fn write_str(out: &mut Vec<u8>, s: &str) {
+    write_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn read_str(bytes: &[u8], pos: &mut usize) -> io::Result<String> {
+    let len = read_u64(bytes, pos)? as usize;
+    let end = pos
+        .checked_add(len)
+        .filter(|&e| e <= bytes.len())
+        .ok_or_else(|| bad("string extends past footer end"))?;
+    let s = std::str::from_utf8(&bytes[*pos..end])
+        .map_err(|e| bad(format!("label is not UTF-8: {e}")))?
+        .to_string();
+    *pos = end;
+    Ok(s)
+}
+
+/// Encodes the footer.
+pub fn encode_footer(footer: &Footer) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_u64(&mut out, footer.labels.len() as u64);
+    for l in &footer.labels {
+        write_str(&mut out, l);
+    }
+    write_u64(&mut out, footer.markers.len() as u64);
+    for m in &footer.markers {
+        write_u64(&mut out, m.time_ns);
+        write_u64(&mut out, m.event_index as u64);
+        write_str(&mut out, &m.label);
+    }
+    write_u64(&mut out, footer.chunks.len() as u64);
+    for c in &footer.chunks {
+        write_u64(&mut out, c.offset);
+        write_u64(&mut out, c.byte_len);
+        write_u64(&mut out, c.count);
+        write_u64(&mut out, c.min_time_ns);
+        write_u64(&mut out, c.max_time_ns);
+        write_u64(&mut out, c.min_block);
+        write_u64(&mut out, c.max_block);
+        out.push(c.kind_mask);
+        out.push(c.category_mask);
+        write_u64(&mut out, c.max_size);
+    }
+    write_u64(&mut out, footer.total_events);
+    out
+}
+
+/// Decodes a footer previously written by [`encode_footer`].
+///
+/// # Errors
+///
+/// `InvalidData` on truncation or malformed strings.
+pub fn decode_footer(bytes: &[u8]) -> io::Result<Footer> {
+    let mut pos = 0usize;
+    let n_labels = read_u64(bytes, &mut pos)? as usize;
+    let mut labels = Vec::with_capacity(n_labels.min(1 << 20));
+    for _ in 0..n_labels {
+        labels.push(read_str(bytes, &mut pos)?);
+    }
+    let n_markers = read_u64(bytes, &mut pos)? as usize;
+    let mut markers = Vec::with_capacity(n_markers.min(1 << 20));
+    for _ in 0..n_markers {
+        let time_ns = read_u64(bytes, &mut pos)?;
+        let event_index = read_u64(bytes, &mut pos)? as usize;
+        let label = read_str(bytes, &mut pos)?;
+        markers.push(Marker {
+            time_ns,
+            event_index,
+            label,
+        });
+    }
+    let n_chunks = read_u64(bytes, &mut pos)? as usize;
+    let mut chunks = Vec::with_capacity(n_chunks.min(1 << 20));
+    for _ in 0..n_chunks {
+        let offset = read_u64(bytes, &mut pos)?;
+        let byte_len = read_u64(bytes, &mut pos)?;
+        let count = read_u64(bytes, &mut pos)?;
+        let min_time_ns = read_u64(bytes, &mut pos)?;
+        let max_time_ns = read_u64(bytes, &mut pos)?;
+        let min_block = read_u64(bytes, &mut pos)?;
+        let max_block = read_u64(bytes, &mut pos)?;
+        let kind_mask = *bytes.get(pos).ok_or_else(|| bad("truncated chunk index"))?;
+        let category_mask = *bytes
+            .get(pos + 1)
+            .ok_or_else(|| bad("truncated chunk index"))?;
+        pos += 2;
+        let max_size = read_u64(bytes, &mut pos)?;
+        chunks.push(ChunkMeta {
+            offset,
+            byte_len,
+            count,
+            min_time_ns,
+            max_time_ns,
+            min_block,
+            max_block,
+            kind_mask,
+            category_mask,
+            max_size,
+        });
+    }
+    let total_events = read_u64(bytes, &mut pos)?;
+    if pos != bytes.len() {
+        return Err(bad("trailing bytes after footer"));
+    }
+    Ok(Footer {
+        labels,
+        markers,
+        chunks,
+        total_events,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinpoint_trace::BlockId;
+
+    fn events() -> Vec<MemEvent> {
+        vec![
+            MemEvent {
+                time_ns: 100,
+                kind: EventKind::Malloc,
+                block: BlockId(7),
+                size: 4096,
+                offset: 0,
+                mem_kind: MemoryKind::Weight,
+                op_label: Some(3),
+            },
+            MemEvent {
+                time_ns: 100,
+                kind: EventKind::Write,
+                block: BlockId(7),
+                size: 4096,
+                offset: 0,
+                mem_kind: MemoryKind::Weight,
+                op_label: None,
+            },
+            MemEvent {
+                time_ns: 250,
+                kind: EventKind::Read,
+                block: BlockId(2),
+                size: 64,
+                offset: 8192,
+                mem_kind: MemoryKind::Activation,
+                op_label: Some(0),
+            },
+        ]
+    }
+
+    #[test]
+    fn chunk_round_trips_and_meta_summarizes() {
+        let evs = events();
+        let (bytes, meta) = encode_chunk(&evs);
+        assert_eq!(meta.count, 3);
+        assert_eq!(meta.min_time_ns, 100);
+        assert_eq!(meta.max_time_ns, 250);
+        assert_eq!(meta.min_block, 2);
+        assert_eq!(meta.max_block, 7);
+        assert_eq!(meta.max_size, 4096);
+        assert_eq!(
+            meta.kind_mask,
+            kind_bit(EventKind::Malloc) | kind_bit(EventKind::Write) | kind_bit(EventKind::Read)
+        );
+        assert_eq!(
+            meta.category_mask,
+            category_bit(Category::Parameters) | category_bit(Category::Intermediates)
+        );
+        assert_eq!(decode_chunk(&bytes).unwrap(), evs);
+    }
+
+    #[test]
+    fn chunk_decode_rejects_truncation() {
+        let (bytes, _) = encode_chunk(&events());
+        for cut in [1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_chunk(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn footer_round_trips() {
+        let f = Footer {
+            labels: vec!["matmul".into(), "re\"lu\n".into()],
+            markers: vec![Marker {
+                time_ns: 9,
+                event_index: 2,
+                label: "iter:0".into(),
+            }],
+            chunks: vec![ChunkMeta {
+                offset: 5,
+                byte_len: 100,
+                count: 3,
+                min_time_ns: 100,
+                max_time_ns: 250,
+                min_block: 2,
+                max_block: 7,
+                kind_mask: 0b1011,
+                category_mask: 0b110,
+                max_size: 4096,
+            }],
+            total_events: 3,
+        };
+        let bytes = encode_footer(&f);
+        assert_eq!(decode_footer(&bytes).unwrap(), f);
+        assert!(decode_footer(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn all_codes_round_trip() {
+        for k in [
+            EventKind::Malloc,
+            EventKind::Free,
+            EventKind::Read,
+            EventKind::Write,
+        ] {
+            assert_eq!(kind_from_code(kind_code(k)), Some(k));
+        }
+        for m in [
+            MemoryKind::Input,
+            MemoryKind::Weight,
+            MemoryKind::WeightGrad,
+            MemoryKind::OptimizerState,
+            MemoryKind::Activation,
+            MemoryKind::ActivationGrad,
+            MemoryKind::Workspace,
+            MemoryKind::Other,
+        ] {
+            assert_eq!(mem_kind_from_code(mem_kind_code(m)), Some(m));
+        }
+    }
+}

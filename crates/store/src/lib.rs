@@ -1,0 +1,57 @@
+//! # pinpoint-store
+//!
+//! A chunked columnar on-disk trace store for pinpoint memory traces.
+//!
+//! JSON traces are convenient but bulky and must be fully parsed before a
+//! single event is usable. The `.ptrc` format fixes both: events live in
+//! fixed-size chunks of per-column varint streams (delta-coded timestamps
+//! and block ids, a packed kind/memory-kind meta byte, raw size/offset
+//! varints, interned op labels), and a footer index records each chunk's
+//! byte range, time span, block-id range, kind/category masks, and max
+//! block size. That index is what makes queries cheap: a time-range or
+//! category filter skips whole chunks without reading their bytes.
+//!
+//! Three faces:
+//!
+//! - **Streaming ingest** — [`StoreWriter`] implements
+//!   [`pinpoint_trace::TraceSink`], so the profiler can spill events to
+//!   disk chunk-by-chunk during a run instead of accumulating an in-memory
+//!   [`pinpoint_trace::Trace`].
+//! - **Streaming reads** — [`StoreReader`] loads only the footer up
+//!   front; [`StoreReader::for_each_event`] decodes one chunk at a time,
+//!   and [`StoreReader::query`] prunes chunks with a [`Predicate`] before
+//!   fanning surviving chunks out over `pinpoint-parallel` workers
+//!   (bit-identical output at every thread count).
+//! - **Batch conversion** — [`write_store`] / [`StoreReader::read_trace`]
+//!   bridge to and from the in-memory `Trace` for the existing JSON
+//!   tooling and analyses.
+//!
+//! ```
+//! use pinpoint_store::{write_store, Predicate, StoreReader};
+//! use pinpoint_trace::{BlockId, EventKind, MemoryKind, Trace};
+//! use std::io::Cursor;
+//!
+//! let mut trace = Trace::new();
+//! trace.record(10, EventKind::Malloc, BlockId(1), 4096, 0, MemoryKind::Weight, None);
+//! trace.record(20, EventKind::Read, BlockId(1), 4096, 0, MemoryKind::Weight, None);
+//!
+//! let mut bytes = Vec::new();
+//! write_store(&trace, &mut bytes).unwrap();
+//!
+//! let mut reader = StoreReader::new(Cursor::new(bytes)).unwrap();
+//! let q = reader.query(&Predicate::any().with_kind(EventKind::Read), 1).unwrap();
+//! assert_eq!(q.events.len(), 1);
+//! assert_eq!(reader.read_trace().unwrap(), trace);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod format;
+pub mod reader;
+mod varint;
+pub mod writer;
+
+pub use format::{ChunkMeta, Footer, DEFAULT_CHUNK_EVENTS, MAGIC, VERSION};
+pub use reader::{Predicate, QueryResult, QueryStats, StoreReader};
+pub use writer::{write_store, write_store_chunked, write_store_file, StoreWriter};

@@ -1,0 +1,553 @@
+//! `.ptrc` reader: footer-indexed chunk access, predicate pushdown, and
+//! deterministic parallel decode.
+//!
+//! Opening a store reads only the fixed-size trailer and the footer; event
+//! chunks are fetched and decoded on demand, so a query touching a small
+//! time window of a huge trace reads a correspondingly small part of the
+//! file. The reader counts decoded chunks ([`StoreReader::chunks_decoded`])
+//! so tests — and the acceptance criteria — can assert pushdown actually
+//! skips I/O rather than filtering after a full decode.
+
+use crate::format::{
+    bad, category_bit, decode_chunk, decode_footer, kind_bit, ChunkMeta, Footer, MAGIC,
+    TRAILER_LEN, VERSION,
+};
+use pinpoint_trace::{Category, EventKind, MemEvent, Trace};
+use std::fs::File;
+use std::io::{self, BufReader, Read, Seek, SeekFrom};
+use std::path::Path;
+
+/// An event filter with chunk-level pushdown.
+///
+/// All set fields must match (conjunction); an unset field matches
+/// everything. Ranges are inclusive.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Predicate {
+    /// Event time within `[lo, hi]`.
+    pub time_range: Option<(u64, u64)>,
+    /// Block id within `[lo, hi]`.
+    pub block_range: Option<(u64, u64)>,
+    /// Event kind within the mask (build with [`Predicate::with_kind`]).
+    pub kind_mask: Option<u8>,
+    /// Paper category within the mask (build with
+    /// [`Predicate::with_category`]).
+    pub category_mask: Option<u8>,
+    /// Block size at least this many bytes.
+    pub min_size: Option<u64>,
+}
+
+impl Predicate {
+    /// The match-everything predicate.
+    pub fn any() -> Self {
+        Self::default()
+    }
+
+    /// Restricts to events with `lo <= time_ns <= hi`.
+    #[must_use]
+    pub fn with_time_range(mut self, lo: u64, hi: u64) -> Self {
+        self.time_range = Some((lo, hi));
+        self
+    }
+
+    /// Restricts to events with `lo <= block id <= hi`.
+    #[must_use]
+    pub fn with_block_range(mut self, lo: u64, hi: u64) -> Self {
+        self.block_range = Some((lo, hi));
+        self
+    }
+
+    /// Adds `kind` to the accepted event kinds (first call restricts).
+    #[must_use]
+    pub fn with_kind(mut self, kind: EventKind) -> Self {
+        *self.kind_mask.get_or_insert(0) |= kind_bit(kind);
+        self
+    }
+
+    /// Adds `category` to the accepted paper categories (first call
+    /// restricts).
+    #[must_use]
+    pub fn with_category(mut self, category: Category) -> Self {
+        *self.category_mask.get_or_insert(0) |= category_bit(category);
+        self
+    }
+
+    /// Restricts to blocks of at least `bytes`.
+    #[must_use]
+    pub fn with_min_size(mut self, bytes: u64) -> Self {
+        self.min_size = Some(bytes);
+        self
+    }
+
+    /// Whether any event of a chunk with this index entry *could* match —
+    /// `false` proves the chunk can be skipped without decoding.
+    pub fn matches_chunk(&self, meta: &ChunkMeta) -> bool {
+        if let Some((lo, hi)) = self.time_range {
+            if meta.max_time_ns < lo || meta.min_time_ns > hi {
+                return false;
+            }
+        }
+        if let Some((lo, hi)) = self.block_range {
+            if meta.max_block < lo || meta.min_block > hi {
+                return false;
+            }
+        }
+        if let Some(mask) = self.kind_mask {
+            if mask & meta.kind_mask == 0 {
+                return false;
+            }
+        }
+        if let Some(mask) = self.category_mask {
+            if mask & meta.category_mask == 0 {
+                return false;
+            }
+        }
+        if let Some(min) = self.min_size {
+            if meta.max_size < min {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether one event matches.
+    pub fn matches_event(&self, e: &MemEvent) -> bool {
+        if let Some((lo, hi)) = self.time_range {
+            if e.time_ns < lo || e.time_ns > hi {
+                return false;
+            }
+        }
+        if let Some((lo, hi)) = self.block_range {
+            if e.block.0 < lo || e.block.0 > hi {
+                return false;
+            }
+        }
+        if let Some(mask) = self.kind_mask {
+            if mask & kind_bit(e.kind) == 0 {
+                return false;
+            }
+        }
+        if let Some(mask) = self.category_mask {
+            if mask & category_bit(e.mem_kind.category()) == 0 {
+                return false;
+            }
+        }
+        if let Some(min) = self.min_size {
+            if (e.size as u64) < min {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// How much work a query did, chunk-wise.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Chunks in the store.
+    pub chunks_total: usize,
+    /// Chunks skipped via the footer index alone.
+    pub chunks_pruned: usize,
+    /// Chunks actually read and decoded.
+    pub chunks_decoded: usize,
+}
+
+/// A query's matching events plus its work accounting.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryResult {
+    /// Matching events, in trace order.
+    pub events: Vec<MemEvent>,
+    /// Chunk accounting.
+    pub stats: QueryStats,
+}
+
+/// A `.ptrc` reader over any seekable byte source.
+#[derive(Debug)]
+pub struct StoreReader<R: Read + Seek = BufReader<File>> {
+    src: R,
+    file_len: u64,
+    footer: Footer,
+    chunks_decoded: u64,
+}
+
+impl StoreReader<BufReader<File>> {
+    /// Opens a `.ptrc` file.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or `InvalidData` if the file is not a valid store.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        Self::new(BufReader::new(File::open(path)?))
+    }
+}
+
+impl<R: Read + Seek> StoreReader<R> {
+    /// Wraps a seekable source, validating the header and loading the
+    /// footer index.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or `InvalidData` if the stream is not a valid store.
+    pub fn new(mut src: R) -> io::Result<Self> {
+        let mut head = [0u8; 5];
+        src.seek(SeekFrom::Start(0))?;
+        src.read_exact(&mut head)
+            .map_err(|_| bad("file shorter than the .ptrc header"))?;
+        if &head[..4] != MAGIC {
+            return Err(bad("not a .ptrc store (bad magic)"));
+        }
+        if head[4] != VERSION {
+            return Err(bad(format!(
+                "unsupported .ptrc version {} (expected {VERSION})",
+                head[4]
+            )));
+        }
+        let file_len = src.seek(SeekFrom::End(0))?;
+        if file_len < (5 + TRAILER_LEN) as u64 {
+            return Err(bad("file shorter than the .ptrc trailer"));
+        }
+        let mut trailer = [0u8; TRAILER_LEN];
+        src.seek(SeekFrom::Start(file_len - TRAILER_LEN as u64))?;
+        src.read_exact(&mut trailer)?;
+        if &trailer[8..] != MAGIC {
+            return Err(bad("truncated store (bad trailer magic)"));
+        }
+        let footer_start = u64::from_le_bytes(trailer[..8].try_into().expect("8 bytes"));
+        let footer_end = file_len - TRAILER_LEN as u64;
+        if footer_start < 5 || footer_start > footer_end {
+            return Err(bad("footer offset out of range"));
+        }
+        let mut footer_bytes = vec![0u8; (footer_end - footer_start) as usize];
+        src.seek(SeekFrom::Start(footer_start))?;
+        src.read_exact(&mut footer_bytes)?;
+        let footer = decode_footer(&footer_bytes)?;
+        Ok(StoreReader {
+            src,
+            file_len,
+            footer,
+            chunks_decoded: 0,
+        })
+    }
+
+    /// The footer: labels, markers, and the chunk index.
+    pub fn footer(&self) -> &Footer {
+        &self.footer
+    }
+
+    /// Total store size in bytes.
+    pub fn file_len(&self) -> u64 {
+        self.file_len
+    }
+
+    /// Number of chunks.
+    pub fn num_chunks(&self) -> usize {
+        self.footer.chunks.len()
+    }
+
+    /// Total events across all chunks.
+    pub fn total_events(&self) -> u64 {
+        self.footer.total_events
+    }
+
+    /// Cumulative count of chunks this reader has decoded.
+    pub fn chunks_decoded(&self) -> u64 {
+        self.chunks_decoded
+    }
+
+    fn read_chunk_bytes(&mut self, i: usize) -> io::Result<Vec<u8>> {
+        let meta = self
+            .footer
+            .chunks
+            .get(i)
+            .copied()
+            .ok_or_else(|| bad(format!("chunk {i} out of range")))?;
+        let mut bytes = vec![0u8; meta.byte_len as usize];
+        self.src.seek(SeekFrom::Start(meta.offset))?;
+        self.src.read_exact(&mut bytes)?;
+        Ok(bytes)
+    }
+
+    /// Reads and decodes chunk `i`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or `InvalidData` on corruption (including an event
+    /// count that disagrees with the index).
+    pub fn decode_chunk_events(&mut self, i: usize) -> io::Result<Vec<MemEvent>> {
+        let bytes = self.read_chunk_bytes(i)?;
+        let events = decode_chunk(&bytes)?;
+        if events.len() as u64 != self.footer.chunks[i].count {
+            return Err(bad(format!(
+                "chunk {i} decodes {} events, index says {}",
+                events.len(),
+                self.footer.chunks[i].count
+            )));
+        }
+        self.chunks_decoded += 1;
+        Ok(events)
+    }
+
+    /// Streams every event, in trace order, through `f` — one chunk
+    /// resident at a time, never the full trace.
+    ///
+    /// # Errors
+    ///
+    /// I/O or corruption errors.
+    pub fn for_each_event(&mut self, mut f: impl FnMut(MemEvent)) -> io::Result<()> {
+        for i in 0..self.num_chunks() {
+            for e in self.decode_chunk_events(i)? {
+                f(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs a filtered query: prunes chunks via the footer index, decodes
+    /// the survivors (fanned out over `threads` worker threads when
+    /// `threads > 1`), and filters events. Output order — and every byte
+    /// of it — is identical at every thread count.
+    ///
+    /// # Errors
+    ///
+    /// I/O or corruption errors.
+    pub fn query(&mut self, pred: &Predicate, threads: usize) -> io::Result<QueryResult> {
+        let candidates: Vec<usize> = (0..self.num_chunks())
+            .filter(|&i| pred.matches_chunk(&self.footer.chunks[i]))
+            .collect();
+        let stats = QueryStats {
+            chunks_total: self.num_chunks(),
+            chunks_pruned: self.num_chunks() - candidates.len(),
+            chunks_decoded: candidates.len(),
+        };
+        // sequential I/O of the surviving byte ranges, parallel CPU decode
+        let mut raw = Vec::with_capacity(candidates.len());
+        for &i in &candidates {
+            raw.push(self.read_chunk_bytes(i)?);
+        }
+        self.chunks_decoded += candidates.len() as u64;
+        let pred = *pred;
+        let decoded = pinpoint_parallel::try_map_ordered(raw, threads, move |bytes| {
+            decode_chunk(&bytes).map(|events| {
+                events
+                    .into_iter()
+                    .filter(|e| pred.matches_event(e))
+                    .collect::<Vec<_>>()
+            })
+        })?;
+        Ok(QueryResult {
+            events: decoded.into_iter().flatten().collect(),
+            stats,
+        })
+    }
+
+    /// Materializes the full in-memory [`Trace`] (events, markers, label
+    /// table) — the bridge back to every existing `&Trace` analysis.
+    ///
+    /// # Errors
+    ///
+    /// I/O or corruption errors.
+    pub fn read_trace(&mut self) -> io::Result<Trace> {
+        let mut trace = Trace::new();
+        for l in &self.footer.labels {
+            trace.intern_label(l);
+        }
+        let markers = self.footer.markers.clone();
+        self.for_each_event(|e| trace.push(e))?;
+        for m in markers {
+            if m.event_index > trace.len() {
+                return Err(bad(format!(
+                    "marker `{}` points past the event stream",
+                    m.label
+                )));
+            }
+            trace.push_marker(m);
+        }
+        Ok(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::{write_store_chunked, StoreWriter};
+    use pinpoint_trace::{BlockId, EventKind, MemoryKind, TraceSink};
+    use std::io::Cursor;
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new();
+        let op = t.intern_label("op.k");
+        for i in 0..100u64 {
+            t.record(
+                i * 10,
+                EventKind::Malloc,
+                BlockId(i),
+                (i as usize + 1) * 16,
+                (i as usize) * 64,
+                MemoryKind::Activation,
+                None,
+            );
+            t.record(
+                i * 10 + 5,
+                EventKind::Write,
+                BlockId(i),
+                (i as usize + 1) * 16,
+                (i as usize) * 64,
+                MemoryKind::Activation,
+                Some(op),
+            );
+            if i % 10 == 0 {
+                t.mark(i * 10, format!("iter:{}", i / 10));
+            }
+        }
+        t
+    }
+
+    fn store_bytes(trace: &Trace, chunk_events: usize) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_store_chunked(trace, &mut out, chunk_events).unwrap();
+        out
+    }
+
+    #[test]
+    fn round_trips_trace_exactly() {
+        let t = sample_trace();
+        let bytes = store_bytes(&t, 16);
+        let mut r = StoreReader::new(Cursor::new(bytes)).unwrap();
+        assert_eq!(r.total_events(), t.len() as u64);
+        let back = r.read_trace().unwrap();
+        assert_eq!(back.events(), t.events());
+        assert_eq!(back.markers(), t.markers());
+        assert_eq!(back.labels(), t.labels());
+    }
+
+    #[test]
+    fn time_range_query_prunes_chunks() {
+        let t = sample_trace(); // 200 events, times 0..=995
+        let bytes = store_bytes(&t, 16);
+        let mut r = StoreReader::new(Cursor::new(bytes)).unwrap();
+        let pred = Predicate::any().with_time_range(0, 50);
+        let q = r.query(&pred, 1).unwrap();
+        assert!(q.stats.chunks_total > 4);
+        assert!(
+            q.stats.chunks_decoded <= 2,
+            "tiny time window should decode at most a chunk or two, got {:?}",
+            q.stats
+        );
+        let expect: Vec<_> = t
+            .events()
+            .iter()
+            .filter(|e| e.time_ns <= 50)
+            .cloned()
+            .collect();
+        assert_eq!(q.events, expect);
+    }
+
+    #[test]
+    fn queries_are_thread_count_invariant() {
+        let t = sample_trace();
+        let bytes = store_bytes(&t, 8);
+        let preds = [
+            Predicate::any(),
+            Predicate::any().with_kind(EventKind::Write),
+            Predicate::any().with_block_range(10, 20),
+            Predicate::any().with_min_size(800),
+            Predicate::any()
+                .with_time_range(100, 700)
+                .with_category(Category::Intermediates),
+        ];
+        for pred in preds {
+            let mut r1 = StoreReader::new(Cursor::new(bytes.clone())).unwrap();
+            let mut rn = StoreReader::new(Cursor::new(bytes.clone())).unwrap();
+            let a = r1.query(&pred, 1).unwrap();
+            let b = rn.query(&pred, 8).unwrap();
+            assert_eq!(a, b, "{pred:?}");
+            let expect: Vec<_> = t
+                .events()
+                .iter()
+                .filter(|e| pred.matches_event(e))
+                .cloned()
+                .collect();
+            assert_eq!(a.events, expect, "{pred:?}");
+        }
+    }
+
+    #[test]
+    fn category_and_kind_pushdown_skip_disjoint_chunks() {
+        // chunk 1: parameters only; chunk 2: input only
+        let mut t = Trace::new();
+        for i in 0..8u64 {
+            t.record(
+                i,
+                EventKind::Malloc,
+                BlockId(i),
+                64,
+                0,
+                MemoryKind::Weight,
+                None,
+            );
+        }
+        for i in 8..16u64 {
+            t.record(
+                i,
+                EventKind::Read,
+                BlockId(i - 8),
+                64,
+                0,
+                MemoryKind::Weight,
+                None,
+            );
+        }
+        let bytes = store_bytes(&t, 8);
+        let mut r = StoreReader::new(Cursor::new(bytes)).unwrap();
+        let q = r
+            .query(&Predicate::any().with_kind(EventKind::Read), 1)
+            .unwrap();
+        assert_eq!(q.stats.chunks_total, 2);
+        assert_eq!(q.stats.chunks_pruned, 1);
+        assert_eq!(q.events.len(), 8);
+        let q = r
+            .query(&Predicate::any().with_category(Category::InputData), 1)
+            .unwrap();
+        assert_eq!(q.stats.chunks_decoded, 0, "no input-data chunk at all");
+        assert!(q.events.is_empty());
+    }
+
+    #[test]
+    fn rejects_corrupt_stores() {
+        let t = sample_trace();
+        let bytes = store_bytes(&t, 16);
+        // bad magic
+        let mut b = bytes.clone();
+        b[0] = b'X';
+        assert!(StoreReader::new(Cursor::new(b)).is_err());
+        // bad version
+        let mut b = bytes.clone();
+        b[4] = 99;
+        assert!(StoreReader::new(Cursor::new(b)).is_err());
+        // truncated trailer
+        let b = bytes[..bytes.len() - 3].to_vec();
+        assert!(StoreReader::new(Cursor::new(b)).is_err());
+        // not a store at all
+        assert!(StoreReader::new(Cursor::new(b"{\"events\":[]}".to_vec())).is_err());
+    }
+
+    #[test]
+    fn streaming_writer_and_batch_writer_agree() {
+        let t = sample_trace();
+        let batch = store_bytes(&t, 16);
+        let mut w = StoreWriter::with_chunk_events(Vec::new(), 16).unwrap();
+        for l in t.labels() {
+            w.intern_label(l);
+        }
+        let mut next_marker = 0usize;
+        for (i, e) in t.events().iter().enumerate() {
+            while next_marker < t.markers().len() && t.markers()[next_marker].event_index <= i {
+                let m = &t.markers()[next_marker];
+                w.record_marker(m.time_ns, &m.label);
+                next_marker += 1;
+            }
+            w.record_event(e.clone());
+        }
+        w.finish().unwrap();
+        assert_eq!(w.into_inner(), batch, "same bytes either way");
+    }
+}

@@ -1,0 +1,145 @@
+//! LEB128 variable-length integers and zigzag signed mapping.
+//!
+//! Every multi-byte number in a `.ptrc` file is an unsigned LEB128 varint:
+//! seven payload bits per byte, high bit set on every byte but the last.
+//! Signed deltas (timestamps are non-decreasing but block ids jump both
+//! ways between consecutive events) go through the zigzag mapping first so
+//! small magnitudes of either sign stay short.
+
+use std::io;
+
+/// Appends `v` to `out` as an unsigned LEB128 varint (1–10 bytes).
+pub fn write_u64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads an unsigned LEB128 varint from `buf` starting at `*pos`,
+/// advancing `*pos` past it.
+///
+/// # Errors
+///
+/// `InvalidData` on truncated input or a varint longer than 10 bytes.
+pub fn read_u64(buf: &[u8], pos: &mut usize) -> io::Result<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let Some(&byte) = buf.get(*pos) else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "truncated varint",
+            ));
+        };
+        *pos += 1;
+        if shift >= 64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "varint overflows u64",
+            ));
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Maps a signed value onto unsigned zigzag space (0, -1, 1, -2, ... →
+/// 0, 1, 2, 3, ...).
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverts [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Appends a zigzag-mapped signed varint.
+pub fn write_i64(out: &mut Vec<u8>, v: i64) {
+    write_u64(out, zigzag(v));
+}
+
+/// Reads a zigzag-mapped signed varint.
+///
+/// # Errors
+///
+/// Propagates [`read_u64`] errors.
+pub fn read_i64(buf: &[u8], pos: &mut usize) -> io::Result<i64> {
+    read_u64(buf, pos).map(unzigzag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_round_trip_at_width_boundaries() {
+        let cases = [
+            0u64,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        let mut buf = Vec::new();
+        for &v in &cases {
+            write_u64(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &cases {
+            assert_eq!(read_u64(&buf, &mut pos).unwrap(), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn zigzag_is_a_bijection_near_zero() {
+        for v in [-3i64, -2, -1, 0, 1, 2, 3, i64::MIN, i64::MAX] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+
+    #[test]
+    fn i64_round_trip() {
+        let mut buf = Vec::new();
+        let cases = [0i64, -1, 1, -1_000_000, 1_000_000, i64::MIN, i64::MAX];
+        for &v in &cases {
+            write_i64(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &cases {
+            assert_eq!(read_i64(&buf, &mut pos).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn truncated_and_oversized_varints_error() {
+        assert!(read_u64(&[0x80], &mut 0).is_err());
+        // 11 continuation bytes: > 64 bits of payload
+        let bad = [0xff; 11];
+        assert!(read_u64(&bad, &mut 0).is_err());
+    }
+
+    #[test]
+    fn small_values_stay_one_byte() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 100);
+        assert_eq!(buf.len(), 1);
+    }
+}

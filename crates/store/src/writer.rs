@@ -1,0 +1,303 @@
+//! Streaming `.ptrc` writer: the [`TraceSink`] the profiler drives.
+//!
+//! Events are buffered per chunk and spill to the underlying writer every
+//! `chunk_events` events, so a full training run never accumulates its
+//! trace in RAM — only the footer state (label table, markers, one index
+//! entry per flushed chunk) stays resident.
+
+use crate::format::{
+    encode_chunk, encode_footer, ChunkMeta, Footer, DEFAULT_CHUNK_EVENTS, MAGIC, TRAILER_LEN,
+    VERSION,
+};
+use pinpoint_trace::{Marker, MemEvent, Trace, TraceSink};
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// A chunked columnar writer producing a `.ptrc` stream.
+///
+/// Implements [`TraceSink`], so it can be handed to
+/// `SimDevice::with_sink` / `profile_into_sink` and driven live during a
+/// training run; I/O errors are deferred and surfaced by
+/// [`TraceSink::finish`] so the instrumented hot path never branches on
+/// I/O.
+#[derive(Debug)]
+pub struct StoreWriter<W: Write> {
+    out: W,
+    chunk_events: usize,
+    pending: Vec<MemEvent>,
+    labels: Vec<String>,
+    label_index: HashMap<String, u32>,
+    markers: Vec<Marker>,
+    chunks: Vec<ChunkMeta>,
+    bytes_written: u64,
+    events_total: u64,
+    deferred_err: Option<io::Error>,
+    finished: bool,
+}
+
+impl StoreWriter<BufWriter<File>> {
+    /// Creates a `.ptrc` file at `path` and a writer over it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation and header-write errors.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Self::new(BufWriter::new(File::create(path)?))
+    }
+}
+
+impl<W: Write> StoreWriter<W> {
+    /// Wraps `out`, writing the file header immediately.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the header write error.
+    pub fn new(out: W) -> io::Result<Self> {
+        Self::with_chunk_events(out, DEFAULT_CHUNK_EVENTS)
+    }
+
+    /// Like [`StoreWriter::new`] with an explicit chunk granularity
+    /// (events per chunk; clamped to at least 1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the header write error.
+    pub fn with_chunk_events(mut out: W, chunk_events: usize) -> io::Result<Self> {
+        out.write_all(MAGIC)?;
+        out.write_all(&[VERSION])?;
+        Ok(StoreWriter {
+            out,
+            chunk_events: chunk_events.max(1),
+            pending: Vec::new(),
+            labels: Vec::new(),
+            label_index: HashMap::new(),
+            markers: Vec::new(),
+            chunks: Vec::new(),
+            bytes_written: (MAGIC.len() + 1) as u64,
+            events_total: 0,
+            deferred_err: None,
+            finished: false,
+        })
+    }
+
+    /// Events recorded so far (buffered + flushed).
+    pub fn events_written(&self) -> u64 {
+        self.events_total
+    }
+
+    /// Chunks flushed so far.
+    pub fn chunks_flushed(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Bytes emitted so far (excluding the pending chunk and footer).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    fn flush_chunk(&mut self) {
+        if self.pending.is_empty() || self.deferred_err.is_some() {
+            self.pending.clear();
+            return;
+        }
+        let (bytes, mut meta) = encode_chunk(&self.pending);
+        meta.offset = self.bytes_written;
+        if let Err(e) = self.out.write_all(&bytes) {
+            self.deferred_err = Some(e);
+            return;
+        }
+        self.bytes_written += bytes.len() as u64;
+        self.chunks.push(meta);
+        self.pending.clear();
+    }
+
+    /// Consumes the writer, returning the underlying stream (after
+    /// [`TraceSink::finish`]; calling this without a prior successful
+    /// finish loses buffered data).
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: Write> TraceSink for StoreWriter<W> {
+    fn intern_label(&mut self, label: &str) -> u32 {
+        if let Some(&i) = self.label_index.get(label) {
+            return i;
+        }
+        let i = self.labels.len() as u32;
+        self.labels.push(label.to_string());
+        self.label_index.insert(label.to_string(), i);
+        i
+    }
+
+    fn record_event(&mut self, event: MemEvent) {
+        debug_assert!(!self.finished, "record_event after finish");
+        self.events_total += 1;
+        self.pending.push(event);
+        if self.pending.len() >= self.chunk_events {
+            self.flush_chunk();
+        }
+    }
+
+    fn record_marker(&mut self, time_ns: u64, label: &str) {
+        self.markers.push(Marker {
+            time_ns,
+            event_index: self.events_total as usize,
+            label: label.to_string(),
+        });
+    }
+
+    fn event_count(&self) -> u64 {
+        self.events_total
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        if self.finished {
+            return Ok(());
+        }
+        self.flush_chunk();
+        if let Some(e) = self.deferred_err.take() {
+            self.finished = true;
+            return Err(e);
+        }
+        let footer = Footer {
+            labels: std::mem::take(&mut self.labels),
+            markers: std::mem::take(&mut self.markers),
+            chunks: std::mem::take(&mut self.chunks),
+            total_events: self.events_total,
+        };
+        let footer_start = self.bytes_written;
+        let bytes = encode_footer(&footer);
+        self.out.write_all(&bytes)?;
+        self.out.write_all(&footer_start.to_le_bytes())?;
+        self.out.write_all(MAGIC)?;
+        self.bytes_written += bytes.len() as u64 + TRAILER_LEN as u64;
+        self.out.flush()?;
+        self.finished = true;
+        Ok(())
+    }
+}
+
+/// Writes a whole in-memory [`Trace`] as a `.ptrc` stream, returning the
+/// total bytes written.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_store<W: Write>(trace: &Trace, out: W) -> io::Result<u64> {
+    write_store_chunked(trace, out, DEFAULT_CHUNK_EVENTS)
+}
+
+/// [`write_store`] with an explicit chunk granularity.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_store_chunked<W: Write>(
+    trace: &Trace,
+    out: W,
+    chunk_events: usize,
+) -> io::Result<u64> {
+    let mut w = StoreWriter::with_chunk_events(out, chunk_events)?;
+    for label in trace.labels() {
+        w.intern_label(label);
+    }
+    // replay events and markers in stream order so marker event indices
+    // land where Trace::mark placed them
+    let mut next_marker = 0usize;
+    let markers = trace.markers();
+    for (i, e) in trace.events().iter().enumerate() {
+        while next_marker < markers.len() && markers[next_marker].event_index <= i {
+            let m = &markers[next_marker];
+            w.record_marker(m.time_ns, &m.label);
+            next_marker += 1;
+        }
+        w.record_event(e.clone());
+    }
+    for m in &markers[next_marker..] {
+        w.record_marker(m.time_ns, &m.label);
+    }
+    w.finish()?;
+    Ok(w.bytes_written())
+}
+
+/// Writes a whole in-memory [`Trace`] to a `.ptrc` file.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_store_file(trace: &Trace, path: impl AsRef<Path>) -> io::Result<u64> {
+    write_store(trace, BufWriter::new(File::create(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinpoint_trace::{BlockId, EventKind, MemoryKind};
+
+    #[test]
+    fn writer_spills_chunks_as_events_stream_in() {
+        let mut w = StoreWriter::with_chunk_events(Vec::new(), 4).unwrap();
+        let op = w.intern_label("op");
+        assert_eq!(op, w.intern_label("op"));
+        for i in 0..10u64 {
+            w.record_event(MemEvent {
+                time_ns: i * 10,
+                kind: EventKind::Write,
+                block: BlockId(i),
+                size: 64,
+                offset: 0,
+                mem_kind: MemoryKind::Activation,
+                op_label: Some(op),
+            });
+        }
+        // 10 events at 4/chunk: two full chunks flushed, 2 events pending
+        assert_eq!(w.chunks_flushed(), 2);
+        assert_eq!(w.events_written(), 10);
+        w.finish().unwrap();
+        let bytes = w.into_inner();
+        assert_eq!(&bytes[..4], MAGIC);
+        assert_eq!(&bytes[bytes.len() - 4..], MAGIC);
+    }
+
+    #[test]
+    fn deferred_io_error_surfaces_at_finish() {
+        struct Failing(usize);
+        impl Write for Failing {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                if self.0 == 0 {
+                    return Err(io::Error::other("disk full"));
+                }
+                self.0 -= 1;
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        // header writes (magic + version) succeed, chunk write fails
+        let mut w = StoreWriter::with_chunk_events(Failing(2), 1).unwrap();
+        w.record_event(MemEvent {
+            time_ns: 0,
+            kind: EventKind::Malloc,
+            block: BlockId(0),
+            size: 1,
+            offset: 0,
+            mem_kind: MemoryKind::Other,
+            op_label: None,
+        });
+        assert!(w.finish().is_err());
+        // finish is idempotent after reporting
+        assert!(w.finish().is_ok());
+    }
+
+    #[test]
+    fn finish_on_empty_trace_produces_valid_store() {
+        let mut w = StoreWriter::new(Vec::new()).unwrap();
+        w.finish().unwrap();
+        let bytes = w.into_inner();
+        assert!(bytes.len() > TRAILER_LEN);
+    }
+}

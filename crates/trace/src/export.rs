@@ -7,9 +7,21 @@ use crate::trace::{Marker, Trace};
 use std::fmt::Write as _;
 use std::io::{self, Read, Write};
 
+/// Quotes a CSV field when it contains a delimiter, quote, or line break
+/// (RFC 4180: wrap in double quotes, double any inner quotes).
+fn csv_field(s: &str) -> std::borrow::Cow<'_, str> {
+    if s.contains([',', '"', '\n', '\r']) {
+        std::borrow::Cow::Owned(format!("\"{}\"", s.replace('"', "\"\"")))
+    } else {
+        std::borrow::Cow::Borrowed(s)
+    }
+}
+
 /// Writes the trace's events as CSV with a header row.
 ///
-/// Columns: `time_ns,kind,block,size,offset,mem_kind,category,op`.
+/// Columns: `time_ns,kind,block,size,offset,mem_kind,category,op`. Op
+/// labels containing commas, quotes, or line breaks are quoted per
+/// RFC 4180.
 ///
 /// # Errors
 ///
@@ -28,7 +40,7 @@ pub fn write_csv<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
             e.offset,
             e.mem_kind,
             e.mem_kind.category(),
-            op
+            csv_field(op)
         )?;
     }
     Ok(())
@@ -265,6 +277,43 @@ mod tests {
         assert!(lines[0].starts_with("time_ns,kind"));
         assert_eq!(lines[1], "0,malloc,0,64,0,input,input data,");
         assert_eq!(lines[2], "3,read,0,64,0,input,input data,matmul_fwd");
+    }
+
+    #[test]
+    fn csv_quotes_labels_with_delimiters() {
+        let mut t = Trace::new();
+        let tricky = t.intern_label("conv2d[3,3],\"pad\"=same\nline2");
+        let plain = t.intern_label("relu");
+        t.record(
+            0,
+            EventKind::Read,
+            BlockId(0),
+            8,
+            0,
+            MemoryKind::Other,
+            Some(tricky),
+        );
+        t.record(
+            1,
+            EventKind::Read,
+            BlockId(0),
+            8,
+            0,
+            MemoryKind::Other,
+            Some(plain),
+        );
+        let mut buf = Vec::new();
+        write_csv(&t, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        // the tricky label is wrapped in quotes with inner quotes doubled
+        assert!(
+            s.contains(",\"conv2d[3,3],\"\"pad\"\"=same\nline2\"\n"),
+            "{s}"
+        );
+        // the plain label stays bare
+        assert!(s.ends_with(",relu\n"), "{s}");
+        // quotes stay balanced, so CSV parsers see one logical record
+        assert_eq!(s.matches('"').count() % 2, 0);
     }
 
     #[test]

@@ -39,8 +39,10 @@
 mod event;
 pub mod export;
 pub mod json;
+mod sink;
 #[allow(clippy::module_inception)]
 mod trace;
 
 pub use event::{BlockId, Category, EventKind, MemEvent, MemoryKind};
+pub use sink::TraceSink;
 pub use trace::{BlockLifetime, Marker, PeakUsage, Trace};

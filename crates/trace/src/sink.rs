@@ -1,0 +1,99 @@
+//! The [`TraceSink`] abstraction: where observed memory behaviors go.
+//!
+//! The instrumented device historically appended every event to an
+//! in-memory [`Trace`]. That is still the default — [`Trace`] implements
+//! [`TraceSink`] — but full-scale training runs produce traces far larger
+//! than RAM, so the profiler can instead stream events into any sink, such
+//! as `pinpoint-store`'s chunked on-disk writer, which spills events to
+//! disk as they are recorded.
+
+use crate::event::MemEvent;
+use crate::trace::Trace;
+use std::io;
+
+/// A destination for streamed memory-behavior events.
+///
+/// Implementations must preserve the stream invariants the device
+/// guarantees: events arrive in non-decreasing time order, and marker
+/// positions are determined by the number of events recorded before them.
+///
+/// Recording methods are infallible by signature so the hot instrumented
+/// path stays simple; sinks that can fail (file writers) defer errors and
+/// surface the first one from [`TraceSink::finish`].
+pub trait TraceSink {
+    /// Interns an op label, returning its index for use in events.
+    ///
+    /// Repeated calls with the same label must return the same index, and
+    /// indices must be dense (0, 1, 2, ... in first-seen order) so label
+    /// tables serialize identically across sink implementations.
+    fn intern_label(&mut self, label: &str) -> u32;
+
+    /// Records one event. Events arrive in non-decreasing `time_ns` order.
+    fn record_event(&mut self, event: MemEvent);
+
+    /// Records a boundary marker (e.g. `"iter:3"`) at the current position
+    /// in the event stream.
+    fn record_marker(&mut self, time_ns: u64, label: &str);
+
+    /// Number of events recorded so far (markers bind to this position).
+    fn event_count(&self) -> u64;
+
+    /// Flushes buffered state and surfaces any deferred error.
+    ///
+    /// Called once when the producer is done; recording after `finish` is
+    /// a contract violation implementations may panic on.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first deferred I/O error, if any.
+    fn finish(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl TraceSink for Trace {
+    fn intern_label(&mut self, label: &str) -> u32 {
+        Trace::intern_label(self, label)
+    }
+
+    fn record_event(&mut self, event: MemEvent) {
+        self.push(event);
+    }
+
+    fn record_marker(&mut self, time_ns: u64, label: &str) {
+        self.mark(time_ns, label);
+    }
+
+    fn event_count(&self) -> u64 {
+        self.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{BlockId, EventKind, MemoryKind};
+
+    #[test]
+    fn trace_is_a_sink() {
+        let mut t = Trace::new();
+        let sink: &mut dyn TraceSink = &mut t;
+        let op = sink.intern_label("matmul");
+        assert_eq!(op, sink.intern_label("matmul"));
+        sink.record_event(MemEvent {
+            time_ns: 5,
+            kind: EventKind::Malloc,
+            block: BlockId(0),
+            size: 64,
+            offset: 0,
+            mem_kind: MemoryKind::Weight,
+            op_label: Some(op),
+        });
+        sink.record_marker(6, "iter:0");
+        assert_eq!(sink.event_count(), 1);
+        sink.finish().unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.markers()[0].event_index, 1);
+        assert_eq!(t.markers()[0].label, "iter:0");
+    }
+}

@@ -34,7 +34,7 @@ pub struct Marker {
 /// assert_eq!(t.len(), 3);
 /// assert_eq!(t.lifetimes().len(), 1);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Trace {
     events: Vec<MemEvent>,
     markers: Vec<Marker>,

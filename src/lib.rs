@@ -20,6 +20,8 @@
 //! | model zoo (MLP, AlexNet, VGG, ResNet-18…152, Inception) | `pinpoint-models` | [`models`] |
 //! | synthetic datasets | `pinpoint-data` | [`data`] |
 //! | ATI / CDF / violin / Gantt / breakdown / outlier / planner | `pinpoint-analysis` | [`analysis`] |
+//! | chunked columnar on-disk trace store (`.ptrc`) | `pinpoint-store` | [`store`] |
+//! | deterministic scoped-thread fan-out | `pinpoint-parallel` | [`parallel`] |
 //! | profiler + per-figure regenerators | `pinpoint-core` | [`core`] |
 //!
 //! # Quickstart
@@ -67,6 +69,17 @@ pub mod device {
 /// The model zoo (re-export of `pinpoint-models`).
 pub mod models {
     pub use pinpoint_models::*;
+}
+
+/// Deterministic scoped-thread fan-out (re-export of `pinpoint-parallel`).
+pub mod parallel {
+    pub use pinpoint_parallel::*;
+}
+
+/// The chunked columnar on-disk trace store (re-export of
+/// `pinpoint-store`).
+pub mod store {
+    pub use pinpoint_store::*;
 }
 
 /// The DNN training framework (re-export of `pinpoint-nn`).

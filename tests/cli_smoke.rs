@@ -73,6 +73,88 @@ fn trace_tool_subcommands_run() {
 }
 
 #[test]
+fn trace_tool_store_outputs_match_json_outputs() {
+    let trace = trace_file();
+    let tool = bin("pinpoint-trace-tool");
+    if !tool.exists() {
+        eprintln!("skipping: {tool:?} not built (run with --workspace)");
+        return;
+    }
+    let store = std::env::temp_dir().join("pinpoint_cli_smoke_trace.ptrc");
+    let out = Command::new(&tool)
+        .args(["convert"])
+        .arg(&trace)
+        .arg(&store)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "convert failed: {out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("smaller"));
+
+    // every analysis subcommand reads the store directly and prints the
+    // same bytes as the JSON path, at one worker thread and several
+    for sub in ["summary", "ati", "breakdown", "outliers", "gantt", "ops"] {
+        let from_json = Command::new(&tool).arg(sub).arg(&trace).output().unwrap();
+        assert!(from_json.status.success(), "{sub} on JSON failed");
+        for threads in ["1", "4"] {
+            let from_store = Command::new(&tool)
+                .arg(sub)
+                .arg(&store)
+                .args(["--threads", threads])
+                .output()
+                .unwrap();
+            assert!(from_store.status.success(), "{sub} on store failed");
+            assert_eq!(
+                String::from_utf8_lossy(&from_json.stdout),
+                String::from_utf8_lossy(&from_store.stdout),
+                "{sub} diverges between formats at --threads {threads}"
+            );
+        }
+    }
+
+    let out = Command::new(&tool)
+        .arg("info")
+        .arg(&store)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("chunks") && text.contains("smaller"),
+        "{text}"
+    );
+
+    let out = Command::new(&tool)
+        .arg("query")
+        .arg(&store)
+        .args(["--kind", "malloc", "--min-size-bytes", "1000", "--max", "5"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("events match"));
+
+    // converting back to JSON reproduces the original trace exactly
+    let json_back = std::env::temp_dir().join("pinpoint_cli_smoke_back.json");
+    let out = Command::new(&tool)
+        .args(["convert"])
+        .arg(&store)
+        .arg(&json_back)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let a = read_json(File::open(&trace).unwrap()).unwrap();
+    let b = read_json(File::open(&json_back).unwrap()).unwrap();
+    assert_eq!(a, b, "JSON -> .ptrc -> JSON is lossless");
+
+    // query on a JSON file fails politely rather than misparsing
+    let out = Command::new(&tool)
+        .arg("query")
+        .arg(&trace)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
 fn figures_cli_runs_quick_figures() {
     let figures = bin("pinpoint-figures");
     if !figures.exists() {
