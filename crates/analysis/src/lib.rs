@@ -25,6 +25,12 @@
 //! the [`ati_from_store`] / [`breakdown_from_store`] / [`gantt_from_store`]
 //! / [`outliers_from_store`] twins run the same passes straight off an
 //! on-disk `.ptrc` store, one chunk at a time, with bit-identical results.
+//! Under the hood both directions go through the [`FusedPipeline`] engine,
+//! which runs *any* set of passes (expressed as [`EventFold`]s) over a
+//! single decode of the trace, pruning chunks with the union of the
+//! passes' predicates and merging per-chunk partial states
+//! deterministically — register several folds to pay for one scan total
+//! instead of one scan per pass.
 //!
 //! # Examples
 //!
@@ -50,6 +56,7 @@ mod breakdown;
 mod cdf;
 mod contention;
 mod diff;
+mod engine;
 mod gantt;
 mod iterative;
 mod kde;
@@ -65,6 +72,10 @@ pub use breakdown::{occupancy_timeline, BreakdownRow, OccupancyPoint};
 pub use cdf::EmpiricalCdf;
 pub use contention::{check_contention, thin_to_feasible, ContentionReport, ScheduledSwap};
 pub use diff::{diff_traces, Delta, TraceDiff};
+pub use engine::{
+    AtiAcc, AtiFold, BreakdownFold, EventFold, FoldHandle, FusedOutputs, FusedPipeline, FusedStats,
+    GanttAcc, GanttFold, OutlierFold, PeakAcc, PeakFold,
+};
 pub use gantt::{
     fragmentation_at, gantt_rects, worst_fragmentation, FragmentationSnapshot, GanttRect,
 };

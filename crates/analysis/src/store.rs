@@ -1,84 +1,35 @@
 //! From-store analysis entry points: run the paper's passes directly off a
 //! `.ptrc` trace store, one chunk resident at a time.
 //!
-//! Every builder here folds the event stream with exactly the state the
-//! in-memory [`Trace`](pinpoint_trace::Trace) pass keeps, so results are
-//! bit-identical to materializing the trace first — the cross-format
-//! equivalence tests assert as much — while never holding more than one
-//! decoded chunk of events.
+//! Every function here is a thin wrapper over the fused engine
+//! ([`crate::FusedPipeline`]) with a single fold registered, so results
+//! are bit-identical to materializing the trace first — the cross-format
+//! equivalence tests assert as much — while never holding more than the
+//! in-flight chunks of events. To run *several* passes over **one**
+//! decode of the store, build a pipeline and register the folds
+//! yourself.
 
-use crate::ati::{AtiDataset, AtiRecord};
+use crate::ati::AtiDataset;
 use crate::breakdown::BreakdownRow;
+use crate::engine::{AtiFold, BreakdownFold, FusedPipeline, GanttFold, OutlierFold, PeakFold};
 use crate::gantt::GanttRect;
-use crate::outlier::{sift, OutlierCriteria, OutlierReport};
+use crate::outlier::{OutlierCriteria, OutlierReport};
+use pinpoint_parallel::configured_threads;
 use pinpoint_store::StoreReader;
-use pinpoint_trace::{BlockId, BlockLifetime, Category, EventKind, MemEvent, PeakUsage};
-use std::collections::BTreeMap;
+use pinpoint_trace::PeakUsage;
 use std::io::{self, Read, Seek};
 
-/// Streaming fold equivalent to `Trace::lifetimes()` + `end_time_ns()`.
-#[derive(Debug, Default)]
-struct LifetimeFold {
-    map: BTreeMap<BlockId, BlockLifetime>,
-    end_time_ns: u64,
-}
-
-impl LifetimeFold {
-    fn push(&mut self, e: &MemEvent) {
-        self.end_time_ns = e.time_ns;
-        let entry = self.map.entry(e.block).or_insert_with(|| BlockLifetime {
-            block: e.block,
-            size: e.size,
-            offset: e.offset,
-            mem_kind: e.mem_kind,
-            malloc_time_ns: e.time_ns,
-            free_time_ns: None,
-            accesses: Vec::new(),
-        });
-        match e.kind {
-            EventKind::Malloc => {
-                entry.malloc_time_ns = e.time_ns;
-                entry.size = e.size;
-                entry.offset = e.offset;
-                entry.mem_kind = e.mem_kind;
-            }
-            EventKind::Free => entry.free_time_ns = Some(e.time_ns),
-            EventKind::Read | EventKind::Write => {
-                entry.accesses.push((e.time_ns, e.kind));
-            }
-        }
-    }
-}
-
-fn lifetimes_from_store<R: Read + Seek>(reader: &mut StoreReader<R>) -> io::Result<LifetimeFold> {
-    let mut fold = LifetimeFold::default();
-    reader.for_each_event(|e| fold.push(&e))?;
-    Ok(fold)
-}
-
 /// Extracts every ATI from a store — the streaming twin of
-/// [`AtiDataset::from_trace`].
+/// [`AtiDataset::from_trace`]. Keeps O(blocks) state plus the extracted
+/// records, never every access of every block.
 ///
 /// # Errors
 ///
 /// I/O or corruption errors from the store.
 pub fn ati_from_store<R: Read + Seek>(reader: &mut StoreReader<R>) -> io::Result<AtiDataset> {
-    let fold = lifetimes_from_store(reader)?;
-    let mut records = Vec::new();
-    for lt in fold.map.values() {
-        for w in lt.accesses.windows(2) {
-            records.push(AtiRecord {
-                block: lt.block,
-                size: lt.size,
-                mem_kind: lt.mem_kind,
-                interval_ns: w[1].0 - w[0].0,
-                end_time_ns: w[1].0,
-                closing_kind: w[1].1,
-            });
-        }
-    }
-    records.sort_by_key(|r| (r.end_time_ns, r.block));
-    Ok(AtiDataset::from_records(records))
+    let mut pipe = FusedPipeline::new();
+    let h = pipe.register(AtiFold);
+    Ok(pipe.run_store(reader, configured_threads())?.take(h))
 }
 
 /// Computes the peak-footprint split from a store — the streaming twin of
@@ -88,35 +39,9 @@ pub fn ati_from_store<R: Read + Seek>(reader: &mut StoreReader<R>) -> io::Result
 ///
 /// I/O or corruption errors from the store.
 pub fn peak_from_store<R: Read + Seek>(reader: &mut StoreReader<R>) -> io::Result<PeakUsage> {
-    let mut live: BTreeMap<Category, i64> = BTreeMap::new();
-    let mut total: i64 = 0;
-    let mut peak_total: i64 = 0;
-    let mut at_peak: BTreeMap<Category, i64> = BTreeMap::new();
-    reader.for_each_event(|e| {
-        let cat = e.mem_kind.category();
-        match e.kind {
-            EventKind::Malloc => {
-                *live.entry(cat).or_insert(0) += e.size as i64;
-                total += e.size as i64;
-                if total > peak_total {
-                    peak_total = total;
-                    at_peak = live.clone();
-                }
-            }
-            EventKind::Free => {
-                *live.entry(cat).or_insert(0) -= e.size as i64;
-                total -= e.size as i64;
-            }
-            _ => {}
-        }
-    })?;
-    Ok(PeakUsage {
-        peak_total_bytes: peak_total.max(0) as u64,
-        at_peak_by_category: Category::ALL
-            .iter()
-            .map(|c| (*c, at_peak.get(c).copied().unwrap_or(0).max(0) as u64))
-            .collect(),
-    })
+    let mut pipe = FusedPipeline::new();
+    let h = pipe.register(PeakFold);
+    Ok(pipe.run_store(reader, configured_threads())?.take(h))
 }
 
 /// Computes a breakdown-figure row from a store — the streaming twin of
@@ -129,14 +54,11 @@ pub fn breakdown_from_store<R: Read + Seek>(
     label: impl Into<String>,
     reader: &mut StoreReader<R>,
 ) -> io::Result<BreakdownRow> {
-    let peak = peak_from_store(reader)?;
-    Ok(BreakdownRow {
+    let mut pipe = FusedPipeline::new();
+    let h = pipe.register(BreakdownFold {
         label: label.into(),
-        peak_bytes: peak.peak_total_bytes,
-        input_bytes: peak.bytes(Category::InputData),
-        parameter_bytes: peak.bytes(Category::Parameters),
-        intermediate_bytes: peak.bytes(Category::Intermediates),
-    })
+    });
+    Ok(pipe.run_store(reader, configured_threads())?.take(h))
 }
 
 /// Extracts Gantt rectangles intersecting `[t_start, t_end]` from a store —
@@ -150,27 +72,13 @@ pub fn gantt_from_store<R: Read + Seek>(
     t_start: u64,
     t_end: u64,
 ) -> io::Result<Vec<GanttRect>> {
-    let fold = lifetimes_from_store(reader)?;
-    let end = fold.end_time_ns;
-    let mut rects: Vec<GanttRect> = fold
-        .map
-        .values()
-        .map(|lt| GanttRect {
-            block: lt.block,
-            t0_ns: lt.malloc_time_ns,
-            t1_ns: lt.free_time_ns.unwrap_or(end),
-            offset: lt.offset,
-            size: lt.size,
-            mem_kind: lt.mem_kind,
-        })
-        .filter(|r| r.t1_ns >= t_start && r.t0_ns <= t_end)
-        .collect();
-    rects.sort_by_key(|r| (r.t0_ns, r.offset));
-    Ok(rects)
+    let mut pipe = FusedPipeline::new();
+    let h = pipe.register(GanttFold { t_start, t_end });
+    Ok(pipe.run_store(reader, configured_threads())?.take(h))
 }
 
 /// Sifts a store's ATI dataset for Fig. 4 outliers — the streaming twin of
-/// [`AtiDataset::from_trace`] + [`sift`].
+/// [`AtiDataset::from_trace`] + [`crate::sift`].
 ///
 /// # Errors
 ///
@@ -179,15 +87,18 @@ pub fn outliers_from_store<R: Read + Seek>(
     reader: &mut StoreReader<R>,
     criteria: OutlierCriteria,
 ) -> io::Result<OutlierReport> {
-    Ok(sift(&ati_from_store(reader)?, criteria))
+    let mut pipe = FusedPipeline::new();
+    let h = pipe.register(OutlierFold { criteria });
+    Ok(pipe.run_store(reader, configured_threads())?.take(h))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::gantt_rects;
+    use crate::outlier::sift;
     use pinpoint_store::write_store_chunked;
-    use pinpoint_trace::{MemoryKind, Trace};
+    use pinpoint_trace::{BlockId, EventKind, MemoryKind, Trace};
     use std::io::Cursor;
 
     fn busy_trace() -> Trace {
@@ -300,6 +211,53 @@ mod tests {
         assert_eq!(
             outliers_from_store(&mut r, criteria).unwrap(),
             sift(&AtiDataset::from_trace(&t), criteria)
+        );
+    }
+
+    #[test]
+    fn alloc_only_folds_prune_access_chunks() {
+        // A few mallocs up front, then a long run of accesses: most
+        // chunks are pure reads/writes, and the peak fold's Malloc|Free
+        // predicate must skip them via the footer index.
+        let mut t = Trace::new();
+        let mut time = 0u64;
+        for i in 0..4u64 {
+            t.record(
+                time,
+                EventKind::Malloc,
+                BlockId(i),
+                1 << 20,
+                (i as usize) << 20,
+                MemoryKind::Activation,
+                None,
+            );
+            time += 3;
+        }
+        for i in 0..400u64 {
+            t.record(
+                time,
+                EventKind::Read,
+                BlockId(i % 4),
+                1 << 20,
+                ((i % 4) as usize) << 20,
+                MemoryKind::Activation,
+                None,
+            );
+            time += 5;
+        }
+        let mut r = store_of(&t);
+        let mut pipe = FusedPipeline::new();
+        let h = pipe.register(PeakFold);
+        let mut out = pipe.run_store(&mut r, 1).unwrap();
+        assert_eq!(out.take(h), t.peak_live_bytes());
+        let stats = out.stats();
+        assert!(
+            stats.chunks_pruned > 0,
+            "expected access-only chunks to be pruned, stats: {stats:?}"
+        );
+        assert_eq!(
+            stats.chunks_decoded + stats.chunks_pruned,
+            stats.chunks_total
         );
     }
 }

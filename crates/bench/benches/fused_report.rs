@@ -1,0 +1,208 @@
+//! Fused one-decode analysis engine vs the sequential five-pass baseline.
+//!
+//! Profiles ResNet-18, encodes the trace into a `.ptrc` store, then runs
+//! the five report analyses (ATI, peak, breakdown, gantt, outliers) two
+//! ways: five standalone single-fold runs (each decoding every chunk) and
+//! one fused five-fold run (each chunk decoded exactly once). Reports
+//! wall clock at 1 and 4 worker threads in `BENCH_report.json` and
+//! asserts that the fused run is bit-identical to the baseline, decodes
+//! each chunk once, and is no slower at either thread count.
+
+use pinpoint_analysis::{
+    AtiDataset, AtiFold, BreakdownFold, BreakdownRow, FusedPipeline, GanttFold, GanttRect,
+    OutlierCriteria, OutlierFold, OutlierReport, PeakFold,
+};
+use pinpoint_bench::by_scale;
+use pinpoint_bench::criterion::Criterion;
+use pinpoint_bench::{criterion_group, criterion_main};
+use pinpoint_core::{profile, ProfileConfig};
+use pinpoint_data::DatasetSpec;
+use pinpoint_models::{Architecture, ResNetDepth};
+use pinpoint_store::{write_store_chunked, StoreReader};
+use pinpoint_trace::{PeakUsage, Trace};
+use std::io::Cursor;
+use std::time::Instant;
+
+const CRITERIA: OutlierCriteria = OutlierCriteria {
+    min_ati_ns: 800_000_000,
+    min_size_bytes: 600_000_000,
+};
+
+fn median_ns(runs: usize, mut f: impl FnMut()) -> u128 {
+    let mut times: Vec<u128> = (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn resnet18_trace() -> Trace {
+    let batch = by_scale(32, 64);
+    let cfg = ProfileConfig::breakdown_sweep(
+        Architecture::ResNet(ResNetDepth::R18),
+        DatasetSpec::cifar100(),
+        batch,
+    );
+    profile(&cfg).expect("resnet-18 profile").trace
+}
+
+/// The five analysis outputs, however they were produced.
+#[derive(PartialEq)]
+struct Report {
+    ati: AtiDataset,
+    peak: PeakUsage,
+    breakdown: BreakdownRow,
+    gantt: Vec<GanttRect>,
+    outliers: OutlierReport,
+}
+
+/// Five standalone single-fold runs: every pass re-opens the store and
+/// decodes every chunk, so the decode work is ~5x the fused run's.
+fn sequential_five_pass(bytes: &[u8], t_end: u64, threads: usize) -> (Report, usize) {
+    let mut decoded = 0usize;
+    let mut one = |pipe: FusedPipeline| {
+        let mut r = StoreReader::new(Cursor::new(bytes.to_vec())).expect("open");
+        let out = pipe.run_store(&mut r, threads).expect("run");
+        decoded += out.stats().chunks_decoded;
+        out
+    };
+    let mut pipe = FusedPipeline::new();
+    let h = pipe.register(AtiFold);
+    let ati = one(pipe).take(h);
+    let mut pipe = FusedPipeline::new();
+    let h = pipe.register(PeakFold);
+    let peak = one(pipe).take(h);
+    let mut pipe = FusedPipeline::new();
+    let h = pipe.register(BreakdownFold {
+        label: "trace".to_string(),
+    });
+    let breakdown = one(pipe).take(h);
+    let mut pipe = FusedPipeline::new();
+    let h = pipe.register(GanttFold { t_start: 0, t_end });
+    let gantt = one(pipe).take(h);
+    let mut pipe = FusedPipeline::new();
+    let h = pipe.register(OutlierFold { criteria: CRITERIA });
+    let outliers = one(pipe).take(h);
+    (
+        Report {
+            ati,
+            peak,
+            breakdown,
+            gantt,
+            outliers,
+        },
+        decoded,
+    )
+}
+
+/// One fused five-fold run: each chunk decoded exactly once, all five
+/// accumulators fed from the same decode.
+fn fused_five_fold(bytes: &[u8], t_end: u64, threads: usize) -> (Report, usize) {
+    let mut pipe = FusedPipeline::new();
+    let ati = pipe.register(AtiFold);
+    let peak = pipe.register(PeakFold);
+    let breakdown = pipe.register(BreakdownFold {
+        label: "trace".to_string(),
+    });
+    let gantt = pipe.register(GanttFold { t_start: 0, t_end });
+    let outliers = pipe.register(OutlierFold { criteria: CRITERIA });
+    let mut r = StoreReader::new(Cursor::new(bytes.to_vec())).expect("open");
+    let mut out = pipe.run_store(&mut r, threads).expect("run");
+    let decoded = out.stats().chunks_decoded;
+    (
+        Report {
+            ati: out.take(ati),
+            peak: out.take(peak),
+            breakdown: out.take(breakdown),
+            gantt: out.take(gantt),
+            outliers: out.take(outliers),
+        },
+        decoded,
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let runs = by_scale(3, 7);
+    let trace = resnet18_trace();
+    let events = trace.len();
+    let t_end = trace.end_time_ns();
+
+    // chunk finer than the 4096-event default so the per-chunk decode
+    // accounting is exercised across many chunks even at quick scale
+    let mut bytes = Vec::new();
+    write_store_chunked(&trace, &mut bytes, 512).expect("encode");
+    let chunks = StoreReader::new(Cursor::new(bytes.clone()))
+        .expect("open")
+        .num_chunks();
+    assert!(chunks > 1, "trace must span several chunks, got {chunks}");
+
+    let mut per_thread = Vec::new();
+    for threads in [1usize, 4] {
+        let (seq, seq_decoded) = sequential_five_pass(&bytes, t_end, threads);
+        let (fused, fused_decoded) = fused_five_fold(&bytes, t_end, threads);
+        assert!(
+            seq == fused,
+            "fused output diverges from sequential at threads={threads}"
+        );
+        assert_eq!(
+            fused_decoded, chunks,
+            "fused run must decode each chunk exactly once"
+        );
+        assert_eq!(
+            seq_decoded,
+            5 * chunks,
+            "sequential baseline decodes every chunk five times"
+        );
+
+        let seq_ns = median_ns(runs, || {
+            let (r, _) = sequential_five_pass(&bytes, t_end, threads);
+            assert_eq!(r.ati.len(), seq.ati.len());
+        });
+        let fused_ns = median_ns(runs, || {
+            let (r, _) = fused_five_fold(&bytes, t_end, threads);
+            assert_eq!(r.ati.len(), fused.ati.len());
+        });
+        assert!(
+            fused_ns <= seq_ns,
+            "fused run must be no slower than the five-pass baseline \
+             at threads={threads}: fused {fused_ns} ns vs sequential {seq_ns} ns"
+        );
+        let speedup = seq_ns as f64 / fused_ns as f64;
+        println!(
+            "fused_report: threads={threads}: sequential {seq_ns} ns ({seq_decoded} chunk \
+             decodes) vs fused {fused_ns} ns ({fused_decoded}) -> {speedup:.2}x"
+        );
+        per_thread.push(format!(
+            "{{\"threads\":{threads},\"sequential_ns\":{seq_ns},\"fused_ns\":{fused_ns},\
+             \"sequential_chunk_decodes\":{seq_decoded},\
+             \"fused_chunk_decodes\":{fused_decoded},\"speedup\":{speedup:.4}}}"
+        ));
+    }
+
+    let json = format!(
+        "{{\"bench\":\"fused_report\",\"events\":{events},\"chunks\":{chunks},\
+         \"passes\":5,\"runs\":[{}],\"bit_identical\":true}}\n",
+        per_thread.join(",")
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_report.json");
+    if let Err(e) = std::fs::write(out, json) {
+        eprintln!("could not write {out}: {e}");
+    }
+
+    let mut g = c.benchmark_group("fused_report");
+    g.sample_size(10);
+    g.bench_function("sequential_five_pass_resnet18", |b| {
+        b.iter(|| sequential_five_pass(&bytes, t_end, 1).0.ati.len())
+    });
+    g.bench_function("fused_five_fold_resnet18", |b| {
+        b.iter(|| fused_five_fold(&bytes, t_end, 1).0.ati.len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! pinpoint-trace-tool summary   trace.{json|ptrc}
+//! pinpoint-trace-tool report    trace.{json|ptrc} [--min-ati-ms N] [--min-size-mb N] [--max N]
 //! pinpoint-trace-tool ati       trace.{json|ptrc}
 //! pinpoint-trace-tool outliers  trace.{json|ptrc} [--min-ati-ms N] [--min-size-mb N]
 //! pinpoint-trace-tool breakdown trace.{json|ptrc}
@@ -22,20 +23,29 @@
 //! prints a store's chunk-index statistics and its compression ratio
 //! against JSON; `query` runs a chunk-pruning filtered event dump.
 //!
+//! `report` runs **all five** analysis passes (ATI, peak, breakdown,
+//! Gantt, outliers) fused over a single scan of the trace — each chunk of
+//! a `.ptrc` store is decoded exactly once, however many passes consume
+//! it. The single-pass subcommands (`ati`, `outliers`, `breakdown`,
+//! `gantt`) also run straight off a store through the same engine, never
+//! materializing the full trace, and print byte-identical output to the
+//! JSON path.
+//!
 //! `--threads N` (or `PINPOINT_THREADS`) sets the worker-thread count for
 //! parallel work (`compare` loads and validates both traces concurrently;
-//! `query` decodes surviving chunks in parallel); output never depends on
-//! the thread count.
+//! `query` and the fused engine decode surviving chunks in parallel);
+//! output never depends on the thread count.
 //!
 //! Produce a trace with `pinpoint_trace::export::write_json` or stream one
 //! straight to disk with `pinpoint_store::StoreWriter` (the
 //! `mlp_case_study` example writes a CSV twin next to it).
 
 use pinpoint_analysis::{
-    detect, diff_traces, gantt_rects, op_stats, plan, sift, violin_sorted, AtiDataset,
-    BreakdownRow, OutlierCriteria,
+    ati_from_store, breakdown_from_store, detect, diff_traces, gantt_from_store, gantt_rects,
+    op_stats, outliers_from_store, plan, sift, violin_sorted, AtiDataset, BreakdownRow, GanttRect,
+    OutlierCriteria, OutlierReport,
 };
-use pinpoint_core::report::{human_bytes, human_time};
+use pinpoint_core::report::{human_bytes, human_time, render_trace_report, TraceReport};
 use pinpoint_device::TransferModel;
 use pinpoint_store::{Predicate, StoreReader};
 use pinpoint_trace::export::read_json;
@@ -114,6 +124,135 @@ fn parse_category(s: &str) -> Result<Category, String> {
             "unknown category `{other}` (want input|parameters|intermediates)"
         )),
     }
+}
+
+fn outlier_flags(args: &[String]) -> (f64, f64, OutlierCriteria) {
+    let min_ati_ms = flag_value(args, "--min-ati-ms").unwrap_or(800.0);
+    let min_size_mb = flag_value(args, "--min-size-mb").unwrap_or(600.0);
+    let criteria = OutlierCriteria {
+        min_ati_ns: (min_ati_ms * 1e6) as u64,
+        min_size_bytes: (min_size_mb * 1e6) as usize,
+    };
+    (min_ati_ms, min_size_mb, criteria)
+}
+
+// Shared between the JSON path (in-memory trace) and the store-direct
+// fused path, so the two print byte-identical output.
+
+fn print_ati(atis: &AtiDataset) {
+    if atis.is_empty() {
+        println!("no access intervals in this trace");
+        return;
+    }
+    let cdf = atis.cdf();
+    println!("{} intervals; CDF:", cdf.len());
+    for (v, p) in cdf.summary_rows(10) {
+        println!("  p{:<4.0} {:>12}", p * 100.0, human_time(v));
+    }
+    let samples: Vec<f64> = atis
+        .sorted_intervals_ns()
+        .iter()
+        .map(|&v| v as f64)
+        .collect();
+    if let Some(vi) = violin_sorted(&samples, 64) {
+        println!(
+            "violin: median {} IQR [{}, {}]",
+            human_time(vi.median as u64),
+            human_time(vi.q1 as u64),
+            human_time(vi.q3 as u64)
+        );
+    }
+}
+
+fn print_outliers(report: &OutlierReport, min_ati_ms: f64, min_size_mb: f64) {
+    let tm = TransferModel::titan_x_pascal_pinned();
+    println!(
+        "{} of {} behaviors above (ATI {min_ati_ms} ms, size {min_size_mb} MB):",
+        report.outliers.len(),
+        report.total_behaviors
+    );
+    for o in report.outliers.iter().take(20) {
+        let bound = tm.max_swap_bytes(o.interval_ns);
+        println!(
+            "  {} ATI {} size {} -> Eq1 {}",
+            o.block,
+            human_time(o.interval_ns),
+            human_bytes(o.size as u64),
+            if (o.size as f64) <= bound {
+                "swappable"
+            } else {
+                "not swappable"
+            }
+        );
+    }
+}
+
+fn print_breakdown(row: &BreakdownRow) {
+    let (i, p, m) = row.fractions();
+    println!("peak {}", human_bytes(row.peak_bytes));
+    println!("  input data:           {:>6.1}%", i * 100.0);
+    println!("  parameters:           {:>6.1}%", p * 100.0);
+    println!("  intermediate results: {:>6.1}%", m * 100.0);
+}
+
+fn print_gantt(rects: &[GanttRect], max: usize) {
+    println!(
+        "{:>12} {:>12} {:>12} {:>12}  kind",
+        "t0", "t1", "offset", "size"
+    );
+    for r in rects.iter().take(max) {
+        println!(
+            "{:>12} {:>12} {:>12} {:>12}  {}",
+            human_time(r.t0_ns),
+            human_time(r.t1_ns),
+            r.offset,
+            human_bytes(r.size as u64),
+            r.mem_kind
+        );
+    }
+    if rects.len() > max {
+        println!("... {} more blocks", rects.len() - max);
+    }
+}
+
+/// Runs an analysis subcommand straight off a `.ptrc` store through the
+/// fused engine — one decode per surviving chunk, no full-trace
+/// materialization, byte-identical output to the JSON path.
+fn cmd_store_analysis(cmd: &str, path: &str, args: &[String]) -> Result<(), String> {
+    let mut reader = open_store(path)?;
+    let fail = |e: std::io::Error| format!("cannot analyze store {path}: {e}");
+    match cmd {
+        "ati" => print_ati(&ati_from_store(&mut reader).map_err(fail)?),
+        "breakdown" => print_breakdown(&breakdown_from_store(path, &mut reader).map_err(fail)?),
+        "gantt" => {
+            let max = flag_value(args, "--max").unwrap_or(30.0) as usize;
+            print_gantt(
+                &gantt_from_store(&mut reader, 0, u64::MAX).map_err(fail)?,
+                max,
+            );
+        }
+        "outliers" => {
+            let (min_ati_ms, min_size_mb, criteria) = outlier_flags(args);
+            print_outliers(
+                &outliers_from_store(&mut reader, criteria).map_err(fail)?,
+                min_ati_ms,
+                min_size_mb,
+            );
+        }
+        "report" => {
+            let (_, _, criteria) = outlier_flags(args);
+            let max = flag_value(args, "--max").unwrap_or(30.0) as usize;
+            let d = TraceReport::from_store(
+                &mut reader,
+                criteria,
+                pinpoint_core::parallel::configured_threads(),
+            )
+            .map_err(fail)?;
+            print!("{}", render_trace_report(&d, max));
+        }
+        other => return Err(format!("`{other}` has no store-direct path")),
+    }
+    Ok(())
 }
 
 fn cmd_convert(input: &str, output: &str) -> Result<(), String> {
@@ -265,7 +404,7 @@ fn main() -> ExitCode {
         args.drain(i..=i + 1);
     }
     let (Some(cmd), Some(path)) = (args.first(), args.get(1)) else {
-        eprintln!("usage: pinpoint-trace-tool <summary|ati|outliers|breakdown|gantt|ops|plan|compare|convert|info|query> <trace.{{json|ptrc}}> [out|trace_b] [flags]");
+        eprintln!("usage: pinpoint-trace-tool <summary|report|ati|outliers|breakdown|gantt|ops|plan|compare|convert|info|query> <trace.{{json|ptrc}}> [out|trace_b] [flags]");
         return ExitCode::FAILURE;
     };
     // store-centric subcommands have their own argument shapes and never
@@ -303,6 +442,29 @@ fn main() -> ExitCode {
             };
         }
         _ => {}
+    }
+    // analysis subcommands with a fused-engine twin run straight off a
+    // `.ptrc` store — one decode per chunk, no materialized trace
+    if matches!(
+        cmd.as_str(),
+        "ati" | "outliers" | "breakdown" | "gantt" | "report"
+    ) {
+        match is_store(path) {
+            Ok(true) => {
+                return match cmd_store_analysis(cmd, path, &args) {
+                    Ok(()) => ExitCode::SUCCESS,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        ExitCode::FAILURE
+                    }
+                };
+            }
+            Ok(false) => {}
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
     // `compare` needs two traces; load them on the fan-out so both files
     // parse and validate concurrently
@@ -346,91 +508,29 @@ fn main() -> ExitCode {
                 human_time(iter.mean_period_ns as u64)
             );
         }
-        "ati" => {
-            let atis = AtiDataset::from_trace(&trace);
-            if atis.is_empty() {
-                println!("no access intervals in this trace");
-                return ExitCode::SUCCESS;
-            }
-            let cdf = atis.cdf();
-            println!("{} intervals; CDF:", cdf.len());
-            for (v, p) in cdf.summary_rows(10) {
-                println!("  p{:<4.0} {:>12}", p * 100.0, human_time(v));
-            }
-            let samples: Vec<f64> = atis
-                .sorted_intervals_ns()
-                .iter()
-                .map(|&v| v as f64)
-                .collect();
-            if let Some(vi) = violin_sorted(&samples, 64) {
-                println!(
-                    "violin: median {} IQR [{}, {}]",
-                    human_time(vi.median as u64),
-                    human_time(vi.q1 as u64),
-                    human_time(vi.q3 as u64)
-                );
-            }
-        }
+        "ati" => print_ati(&AtiDataset::from_trace(&trace)),
         "outliers" => {
-            let min_ati_ms = flag_value(&args, "--min-ati-ms").unwrap_or(800.0);
-            let min_size_mb = flag_value(&args, "--min-size-mb").unwrap_or(600.0);
-            let atis = AtiDataset::from_trace(&trace);
-            let report = sift(
-                &atis,
-                OutlierCriteria {
-                    min_ati_ns: (min_ati_ms * 1e6) as u64,
-                    min_size_bytes: (min_size_mb * 1e6) as usize,
-                },
+            let (min_ati_ms, min_size_mb, criteria) = outlier_flags(&args);
+            print_outliers(
+                &sift(&AtiDataset::from_trace(&trace), criteria),
+                min_ati_ms,
+                min_size_mb,
             );
-            let tm = TransferModel::titan_x_pascal_pinned();
-            println!(
-                "{} of {} behaviors above (ATI {min_ati_ms} ms, size {min_size_mb} MB):",
-                report.outliers.len(),
-                report.total_behaviors
-            );
-            for o in report.outliers.iter().take(20) {
-                let bound = tm.max_swap_bytes(o.interval_ns);
-                println!(
-                    "  {} ATI {} size {} -> Eq1 {}",
-                    o.block,
-                    human_time(o.interval_ns),
-                    human_bytes(o.size as u64),
-                    if (o.size as f64) <= bound {
-                        "swappable"
-                    } else {
-                        "not swappable"
-                    }
-                );
-            }
         }
-        "breakdown" => {
-            let row = BreakdownRow::from_trace(path.clone(), &trace);
-            let (i, p, m) = row.fractions();
-            println!("peak {}", human_bytes(row.peak_bytes));
-            println!("  input data:           {:>6.1}%", i * 100.0);
-            println!("  parameters:           {:>6.1}%", p * 100.0);
-            println!("  intermediate results: {:>6.1}%", m * 100.0);
-        }
+        "breakdown" => print_breakdown(&BreakdownRow::from_trace(path.clone(), &trace)),
         "gantt" => {
             let max = flag_value(&args, "--max").unwrap_or(30.0) as usize;
-            let rects = gantt_rects(&trace, 0, trace.end_time_ns());
-            println!(
-                "{:>12} {:>12} {:>12} {:>12}  kind",
-                "t0", "t1", "offset", "size"
+            print_gantt(&gantt_rects(&trace, 0, trace.end_time_ns()), max);
+        }
+        "report" => {
+            let (_, _, criteria) = outlier_flags(&args);
+            let max = flag_value(&args, "--max").unwrap_or(30.0) as usize;
+            let d = TraceReport::from_trace(
+                &trace,
+                criteria,
+                pinpoint_core::parallel::configured_threads(),
             );
-            for r in rects.iter().take(max) {
-                println!(
-                    "{:>12} {:>12} {:>12} {:>12}  {}",
-                    human_time(r.t0_ns),
-                    human_time(r.t1_ns),
-                    r.offset,
-                    human_bytes(r.size as u64),
-                    r.mem_kind
-                );
-            }
-            if rects.len() > max {
-                println!("... {} more blocks", rects.len() - max);
-            }
+            print!("{}", render_trace_report(&d, max));
         }
         "ops" => {
             let top = flag_value(&args, "--top").unwrap_or(15.0) as usize;

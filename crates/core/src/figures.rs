@@ -8,9 +8,9 @@
 use crate::parallel::{configured_threads, try_map_ordered};
 use crate::profiler::{profile, EpochEval, ProfileConfig, ProfileError};
 use pinpoint_analysis::{
-    assess, detect, gantt_rects, sift, violin_sorted, worst_fragmentation, AtiDataset, AtiRecord,
-    BreakdownRow, EmpiricalCdf, FragmentationSnapshot, GanttRect, IterativeReport, OutlierCriteria,
-    OutlierReport, ViolinStats,
+    assess, detect, sift, violin_sorted, worst_fragmentation, AtiFold, AtiRecord, BreakdownFold,
+    BreakdownRow, EmpiricalCdf, FragmentationSnapshot, FusedPipeline, GanttFold, GanttRect,
+    IterativeReport, OutlierCriteria, OutlierReport, ViolinStats,
 };
 use pinpoint_data::DatasetSpec;
 use pinpoint_models::{Architecture, DenseNetDepth, MlpConfig, ResNetDepth};
@@ -46,7 +46,12 @@ pub struct Fig2Data {
 /// Propagates device errors.
 pub fn fig2_gantt(iterations: usize) -> Result<Fig2Data, ProfileError> {
     let report = profile(&ProfileConfig::mlp_case_study(iterations))?;
-    let rects = gantt_rects(&report.trace, 0, report.trace.end_time_ns());
+    let mut pipe = FusedPipeline::new();
+    let h = pipe.register(GanttFold {
+        t_start: 0,
+        t_end: report.trace.end_time_ns(),
+    });
+    let rects = pipe.run_trace(&report.trace, configured_threads()).take(h);
     Ok(Fig2Data {
         iterative: detect(&report.trace),
         worst_fragmentation: worst_fragmentation(&report.trace, 64),
@@ -85,7 +90,9 @@ pub struct Fig3Data {
 /// Panics if the run produced no intervals (requires `iterations >= 2`).
 pub fn fig3_ati(iterations: usize) -> Result<Fig3Data, ProfileError> {
     let report = profile(&ProfileConfig::mlp_case_study(iterations))?;
-    let atis = AtiDataset::from_trace(&report.trace);
+    let mut pipe = FusedPipeline::new();
+    let h = pipe.register(AtiFold);
+    let atis = pipe.run_trace(&report.trace, configured_threads()).take(h);
     let cdf = atis.cdf();
     // u64 -> f64 is monotone, so the cached ascending order survives the cast
     let samples: Vec<f64> = atis
@@ -140,7 +147,9 @@ pub fn fig4_outliers(eval: EpochEval, epochs: usize) -> Result<Fig4Data, Profile
     let mut cfg = ProfileConfig::mlp_case_study(eval.iters_per_epoch * epochs + 1);
     cfg.epoch_eval = Some(eval);
     let report = profile(&cfg)?;
-    let atis = AtiDataset::from_trace(&report.trace);
+    let mut pipe = FusedPipeline::new();
+    let h = pipe.register(AtiFold);
+    let atis = pipe.run_trace(&report.trace, configured_threads()).take(h);
     let transfer = cfg.device.transfer.clone();
     let swap_report = assess(&atis, &transfer);
     // scale the outlier criteria with the evaluation buffer so shrunken
@@ -188,10 +197,12 @@ pub fn fig5_architectures() -> Vec<Architecture> {
 fn breakdown_rows(configs: Vec<ProfileConfig>) -> Result<Vec<BreakdownRow>, ProfileError> {
     try_map_ordered(configs, configured_threads(), |cfg| {
         let report = profile(&cfg)?;
-        Ok(BreakdownRow::from_trace(
-            report.label.clone(),
-            &report.trace,
-        ))
+        // inner threads = 1: the outer fan-out already owns the workers
+        let mut pipe = FusedPipeline::new();
+        let h = pipe.register(BreakdownFold {
+            label: report.label.clone(),
+        });
+        Ok(pipe.run_trace(&report.trace, 1).take(h))
     })
 }
 

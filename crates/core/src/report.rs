@@ -1,11 +1,19 @@
-//! Paper-style text rendering of figure data.
+//! Paper-style text rendering of figure data, plus [`TraceReport`]: every
+//! analysis pass of the paper computed over **one** decode of a trace via
+//! the fused engine.
 
 use crate::figures::{Fig2Data, Fig3Data, Fig4Data};
-use pinpoint_analysis::BreakdownRow;
+use pinpoint_analysis::{
+    AtiDataset, AtiFold, BreakdownFold, BreakdownRow, FusedPipeline, FusedStats, GanttFold,
+    GanttRect, OutlierCriteria, OutlierFold, OutlierReport, PeakFold,
+};
+use pinpoint_store::StoreReader;
+use pinpoint_trace::{PeakUsage, Trace};
 use std::fmt::Write as _;
+use std::io::{self, Read, Seek};
 
-/// Formats a byte count with a binary-ish human unit (the paper mixes
-/// decimal units; we follow its KB/MB/GB usage, i.e. powers of 1000).
+/// Formats a byte count with a decimal human unit — powers of 1000, i.e.
+/// the paper's KB/MB/GB usage.
 pub fn human_bytes(bytes: u64) -> String {
     let b = bytes as f64;
     if b >= 1e9 {
@@ -178,6 +186,154 @@ pub fn render_breakdown(title: &str, rows: &[BreakdownRow]) -> String {
             p * 100.0,
             m * 100.0
         );
+    }
+    s
+}
+
+/// Every analysis pass of the paper — ATI, peak, breakdown, Gantt,
+/// outliers — computed over **one** decode of the trace by the fused
+/// engine (the five standalone passes would each rescan it).
+#[derive(Debug, Clone)]
+pub struct TraceReport {
+    /// Access-time intervals (Figs. 3–4 input).
+    pub ati: AtiDataset,
+    /// Peak footprint split by category.
+    pub peak: PeakUsage,
+    /// Occupation-breakdown row (Figs. 5–7 shape).
+    pub breakdown: BreakdownRow,
+    /// Gantt rectangles of every block lifetime (Fig. 2).
+    pub gantt: Vec<GanttRect>,
+    /// Fig. 4 outliers under the given criteria.
+    pub outliers: OutlierReport,
+    /// Scan accounting: chunks decoded (each exactly once) vs pruned.
+    pub stats: FusedStats,
+}
+
+/// Builds the five-fold pipeline shared by both `TraceReport` entry
+/// points. Handles come back in registration order.
+#[allow(clippy::type_complexity)]
+fn report_pipeline(
+    criteria: OutlierCriteria,
+) -> (
+    FusedPipeline,
+    (
+        pinpoint_analysis::FoldHandle<AtiDataset>,
+        pinpoint_analysis::FoldHandle<PeakUsage>,
+        pinpoint_analysis::FoldHandle<BreakdownRow>,
+        pinpoint_analysis::FoldHandle<Vec<GanttRect>>,
+        pinpoint_analysis::FoldHandle<OutlierReport>,
+    ),
+) {
+    let mut pipe = FusedPipeline::new();
+    let ati = pipe.register(AtiFold);
+    let peak = pipe.register(PeakFold);
+    let breakdown = pipe.register(BreakdownFold {
+        label: "trace".to_string(),
+    });
+    let gantt = pipe.register(GanttFold {
+        t_start: 0,
+        t_end: u64::MAX,
+    });
+    let outliers = pipe.register(OutlierFold { criteria });
+    (pipe, (ati, peak, breakdown, gantt, outliers))
+}
+
+impl TraceReport {
+    /// Runs all five passes over a `.ptrc` store in one fused scan: each
+    /// chunk is decoded exactly once, however many passes consume it.
+    ///
+    /// # Errors
+    ///
+    /// I/O or corruption errors from the store.
+    pub fn from_store<R: Read + Seek>(
+        reader: &mut StoreReader<R>,
+        criteria: OutlierCriteria,
+        threads: usize,
+    ) -> io::Result<Self> {
+        let (pipe, (ati, peak, breakdown, gantt, outliers)) = report_pipeline(criteria);
+        let mut out = pipe.run_store(reader, threads)?;
+        Ok(TraceReport {
+            ati: out.take(ati),
+            peak: out.take(peak),
+            breakdown: out.take(breakdown),
+            gantt: out.take(gantt),
+            outliers: out.take(outliers),
+            stats: out.stats(),
+        })
+    }
+
+    /// Runs all five passes over an in-memory trace in one fused scan —
+    /// bit-identical to [`TraceReport::from_store`] on the same trace.
+    pub fn from_trace(trace: &Trace, criteria: OutlierCriteria, threads: usize) -> Self {
+        let (pipe, (ati, peak, breakdown, gantt, outliers)) = report_pipeline(criteria);
+        let mut out = pipe.run_trace(trace, threads);
+        TraceReport {
+            ati: out.take(ati),
+            peak: out.take(peak),
+            breakdown: out.take(breakdown),
+            gantt: out.take(gantt),
+            outliers: out.take(outliers),
+            stats: out.stats(),
+        }
+    }
+}
+
+/// Renders a [`TraceReport`] as the trace-tool's `report` output,
+/// leading with the one-pass scan accounting.
+pub fn render_trace_report(d: &TraceReport, max_rects: usize) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "decoded {} chunks in 1 pass ({} pruned of {}; {} events)",
+        d.stats.chunks_decoded, d.stats.chunks_pruned, d.stats.chunks_total, d.stats.events_scanned
+    );
+    let _ = writeln!(
+        s,
+        "peak footprint: {}",
+        human_bytes(d.peak.peak_total_bytes)
+    );
+    let (i, p, m) = d.breakdown.fractions();
+    let _ = writeln!(
+        s,
+        "breakdown: input {:.1}%  parameters {:.1}%  intermediates {:.1}%",
+        i * 100.0,
+        p * 100.0,
+        m * 100.0
+    );
+    if d.ati.is_empty() {
+        let _ = writeln!(s, "no access intervals");
+    } else {
+        let cdf = d.ati.cdf();
+        let _ = writeln!(
+            s,
+            "{} access intervals; median {} p90 {}",
+            d.ati.len(),
+            human_time(cdf.percentile(0.5)),
+            human_time(cdf.percentile(0.9))
+        );
+    }
+    let _ = writeln!(
+        s,
+        "outliers: {} of {} behaviors (ATI > {}, size > {})",
+        d.outliers.outliers.len(),
+        d.outliers.total_behaviors,
+        human_time(d.outliers.criteria.min_ati_ns),
+        human_bytes(d.outliers.criteria.min_size_bytes as u64)
+    );
+    let _ = writeln!(s, "{} block lifetimes:", d.gantt.len());
+    for r in d.gantt.iter().take(max_rects) {
+        let _ = writeln!(
+            s,
+            "  {:>12} {:>12} {:>12} {:>12}  {}",
+            human_time(r.t0_ns),
+            human_time(r.t1_ns),
+            r.offset,
+            human_bytes(r.size as u64),
+            r.mem_kind
+        );
+    }
+    if d.gantt.len() > max_rects {
+        let _ = writeln!(s, "  ... {} more blocks", d.gantt.len() - max_rects);
     }
     s
 }

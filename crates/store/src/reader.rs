@@ -78,6 +78,44 @@ impl Predicate {
         self
     }
 
+    /// The union (disjunctive hull) of two predicates: a predicate that
+    /// matches every chunk either operand could match.
+    ///
+    /// Per field, the hull keeps a constraint only when **both** operands
+    /// constrain it (an unset field already matches everything): time and
+    /// block ranges widen to the enclosing range, kind/category masks OR,
+    /// and `min_size` drops to the smaller bound. The result can be wider
+    /// than the exact disjunction (two disjoint time windows hull to one
+    /// window covering the gap), which is sound for pruning — it only ever
+    /// decodes more, never less. The fused analysis engine folds all
+    /// registered passes' predicates through this to prune chunks once for
+    /// the whole pass set.
+    #[must_use]
+    pub fn union(&self, other: &Predicate) -> Predicate {
+        fn hull(a: Option<(u64, u64)>, b: Option<(u64, u64)>) -> Option<(u64, u64)> {
+            match (a, b) {
+                (Some((al, ah)), Some((bl, bh))) => Some((al.min(bl), ah.max(bh))),
+                _ => None,
+            }
+        }
+        fn mask_union(a: Option<u8>, b: Option<u8>) -> Option<u8> {
+            match (a, b) {
+                (Some(a), Some(b)) => Some(a | b),
+                _ => None,
+            }
+        }
+        Predicate {
+            time_range: hull(self.time_range, other.time_range),
+            block_range: hull(self.block_range, other.block_range),
+            kind_mask: mask_union(self.kind_mask, other.kind_mask),
+            category_mask: mask_union(self.category_mask, other.category_mask),
+            min_size: match (self.min_size, other.min_size) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                _ => None,
+            },
+        }
+    }
+
     /// Whether any event of a chunk with this index entry *could* match —
     /// `false` proves the chunk can be skipped without decoding.
     pub fn matches_chunk(&self, meta: &ChunkMeta) -> bool {
@@ -266,6 +304,27 @@ impl<R: Read + Seek> StoreReader<R> {
         Ok(bytes)
     }
 
+    /// Reads the raw encoded bytes of a batch of chunks, in the given
+    /// order, with one sequential I/O pass — the batch-decode entry point
+    /// for the fused analysis engine, which decodes the returned buffers
+    /// on its own worker threads via [`crate::format::decode_chunk`].
+    ///
+    /// Every returned chunk counts toward [`StoreReader::chunks_decoded`]:
+    /// callers of this API hand each buffer to the decoder exactly once,
+    /// so fetched and decoded are the same tally.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or `InvalidData` if an index is out of range.
+    pub fn read_chunk_batch(&mut self, indices: &[usize]) -> io::Result<Vec<Vec<u8>>> {
+        let mut raw = Vec::with_capacity(indices.len());
+        for &i in indices {
+            raw.push(self.read_chunk_bytes(i)?);
+        }
+        self.chunks_decoded += indices.len() as u64;
+        Ok(raw)
+    }
+
     /// Reads and decodes chunk `i`.
     ///
     /// # Errors
@@ -319,11 +378,7 @@ impl<R: Read + Seek> StoreReader<R> {
             chunks_decoded: candidates.len(),
         };
         // sequential I/O of the surviving byte ranges, parallel CPU decode
-        let mut raw = Vec::with_capacity(candidates.len());
-        for &i in &candidates {
-            raw.push(self.read_chunk_bytes(i)?);
-        }
-        self.chunks_decoded += candidates.len() as u64;
+        let raw = self.read_chunk_batch(&candidates)?;
         let pred = *pred;
         let decoded = pinpoint_parallel::try_map_ordered(raw, threads, move |bytes| {
             decode_chunk(&bytes).map(|events| {
@@ -509,6 +564,58 @@ mod tests {
             .unwrap();
         assert_eq!(q.stats.chunks_decoded, 0, "no input-data chunk at all");
         assert!(q.events.is_empty());
+    }
+
+    #[test]
+    fn predicate_union_is_a_sound_hull() {
+        let a = Predicate::any()
+            .with_time_range(0, 100)
+            .with_kind(EventKind::Malloc)
+            .with_min_size(512);
+        let b = Predicate::any()
+            .with_time_range(400, 900)
+            .with_kind(EventKind::Free)
+            .with_min_size(64);
+        let u = a.union(&b);
+        assert_eq!(u.time_range, Some((0, 900)));
+        assert_eq!(
+            u.kind_mask,
+            Some(kind_bit(EventKind::Malloc) | kind_bit(EventKind::Free))
+        );
+        assert_eq!(u.min_size, Some(64));
+        // a field either side leaves open is open in the union
+        assert_eq!(u.block_range, None);
+        assert_eq!(u.category_mask, None);
+        // match-everything absorbs anything
+        assert_eq!(a.union(&Predicate::any()), Predicate::any());
+        // the hull matches every chunk either operand matches
+        let t = sample_trace();
+        let bytes = store_bytes(&t, 8);
+        let r = StoreReader::new(Cursor::new(bytes)).unwrap();
+        for meta in &r.footer().chunks {
+            if a.matches_chunk(meta) || b.matches_chunk(meta) {
+                assert!(u.matches_chunk(meta), "{meta:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_batch_read_matches_per_chunk_decode_and_counts() {
+        let t = sample_trace();
+        let bytes = store_bytes(&t, 16);
+        let mut r = StoreReader::new(Cursor::new(bytes.clone())).unwrap();
+        let picks = [0usize, 3, 1];
+        let raw = r.read_chunk_batch(&picks).unwrap();
+        assert_eq!(r.chunks_decoded(), picks.len() as u64);
+        let mut r2 = StoreReader::new(Cursor::new(bytes)).unwrap();
+        for (bytes, &i) in raw.iter().zip(&picks) {
+            assert_eq!(
+                crate::format::decode_chunk(bytes).unwrap(),
+                r2.decode_chunk_events(i).unwrap(),
+                "chunk {i}"
+            );
+        }
+        assert!(r.read_chunk_batch(&[usize::MAX]).is_err());
     }
 
     #[test]

@@ -111,6 +111,33 @@ fn trace_tool_store_outputs_match_json_outputs() {
         }
     }
 
+    // the fused `report` subcommand: all five passes over one scan, with
+    // the scan accounting printed; byte-identical across formats and
+    // thread counts (both sides chunk at the same default granularity)
+    let from_json = Command::new(&tool)
+        .args(["report"])
+        .arg(&trace)
+        .output()
+        .unwrap();
+    assert!(from_json.status.success(), "report on JSON failed");
+    let text = String::from_utf8_lossy(&from_json.stdout);
+    assert!(text.contains("in 1 pass"), "{text}");
+    assert!(text.contains("peak footprint"), "{text}");
+    for threads in ["1", "4"] {
+        let from_store = Command::new(&tool)
+            .args(["report"])
+            .arg(&store)
+            .args(["--threads", threads])
+            .output()
+            .unwrap();
+        assert!(from_store.status.success(), "report on store failed");
+        assert_eq!(
+            String::from_utf8_lossy(&from_json.stdout),
+            String::from_utf8_lossy(&from_store.stdout),
+            "report diverges between formats at --threads {threads}"
+        );
+    }
+
     let out = Command::new(&tool)
         .arg("info")
         .arg(&store)
