@@ -20,8 +20,8 @@ use crate::ati::{AtiDataset, AtiRecord};
 use crate::breakdown::BreakdownRow;
 use crate::gantt::GanttRect;
 use crate::outlier::{sift, OutlierCriteria, OutlierReport};
-use pinpoint_store::format::decode_chunk;
-use pinpoint_store::{Predicate, StoreReader, DEFAULT_CHUNK_EVENTS};
+use pinpoint_store::format::decode_chunk_verified;
+use pinpoint_store::{ChunkMeta, Predicate, ReadPolicy, StoreReader, DEFAULT_CHUNK_EVENTS};
 use pinpoint_trace::{BlockId, Category, EventKind, MemEvent, MemoryKind, PeakUsage, Trace};
 use std::any::Any;
 use std::collections::btree_map::Entry;
@@ -125,8 +125,9 @@ impl<O> fmt::Debug for FoldHandle<O> {
 }
 
 /// Scan accounting for one fused run — how much pruning and decoding the
-/// union predicate bought.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// union predicate bought, and (under [`ReadPolicy::Salvage`]) exactly
+/// what corruption cost.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FusedStats {
     /// Chunks in the store (or synthesized from the in-memory trace).
     pub chunks_total: usize,
@@ -136,6 +137,13 @@ pub struct FusedStats {
     pub chunks_pruned: usize,
     /// Events scanned across all decoded chunks.
     pub events_scanned: u64,
+    /// Chunks read but dropped as corrupt (always 0 under
+    /// [`ReadPolicy::Strict`] — a corrupt chunk is an error there).
+    pub chunks_skipped: usize,
+    /// Events lost with the dropped chunks, per the index counts.
+    pub events_lost: u64,
+    /// Detail of the first corruption encountered, in chunk order.
+    pub first_error: Option<String>,
 }
 
 /// Results of a fused run: one output slot per registered fold, plus
@@ -171,8 +179,8 @@ impl FusedOutputs {
     }
 
     /// Scan accounting for the run.
-    pub fn stats(&self) -> FusedStats {
-        self.stats
+    pub fn stats(&self) -> &FusedStats {
+        &self.stats
     }
 }
 
@@ -194,6 +202,7 @@ impl FusedOutputs {
 #[derive(Default)]
 pub struct FusedPipeline {
     folds: Vec<Box<dyn DynFold>>,
+    read_policy: Option<ReadPolicy>,
 }
 
 impl fmt::Debug for FusedPipeline {
@@ -231,6 +240,14 @@ impl FusedPipeline {
         self.folds.is_empty()
     }
 
+    /// Overrides the read policy for [`run_store`](Self::run_store); by
+    /// default the pipeline inherits the reader's own policy. Under
+    /// [`ReadPolicy::Salvage`], corrupt chunks are dropped with exact
+    /// accounting in [`FusedStats`] instead of failing the run.
+    pub fn set_read_policy(&mut self, policy: ReadPolicy) {
+        self.read_policy = Some(policy);
+    }
+
     /// The union of every registered fold's predicate — the coarsest
     /// filter that is still sound for all of them, used for chunk-index
     /// pruning. Returns the match-everything predicate when the pipeline
@@ -245,18 +262,27 @@ impl FusedPipeline {
 
     /// Runs every registered fold over a `.ptrc` store in **one pass**:
     /// chunks not matching the union predicate are pruned via the footer
-    /// index, each surviving chunk is decoded exactly once, and per-chunk
-    /// partial states merge in chunk order — bit-identical results at any
-    /// `threads` count.
+    /// index, each surviving chunk is verified (CRC on v2 stores) and
+    /// decoded exactly once, and per-chunk partial states merge in chunk
+    /// order — bit-identical results at any `threads` count.
+    ///
+    /// The effective read policy is the pipeline override
+    /// ([`set_read_policy`](Self::set_read_policy)) or, absent one, the
+    /// reader's own. Under [`ReadPolicy::Salvage`], corrupt chunks are
+    /// dropped with exact accounting (`chunks_skipped`, `events_lost`,
+    /// `first_error`) instead of failing the run; the fold results are
+    /// then bit-identical — at any thread count — to a run over a store
+    /// containing only the surviving chunks.
     ///
     /// # Errors
     ///
-    /// I/O or corruption errors from the store.
+    /// I/O errors always; corruption errors under [`ReadPolicy::Strict`].
     pub fn run_store<R: Read + Seek>(
         &self,
         reader: &mut StoreReader<R>,
         threads: usize,
     ) -> io::Result<FusedOutputs> {
+        let policy = self.read_policy.unwrap_or_else(|| reader.policy());
         let chunks_total = reader.num_chunks();
         let candidates: Vec<usize> = if self.folds.is_empty() {
             Vec::new()
@@ -271,29 +297,51 @@ impl FusedPipeline {
                 .map(|(i, _)| i)
                 .collect()
         };
-        let chunks_decoded = candidates.len();
+        let metas: Vec<ChunkMeta> = candidates
+            .iter()
+            .map(|&i| reader.footer().chunks[i])
+            .collect();
         let raw = reader.read_chunk_batch(&candidates)?;
+        let verify = reader.version() >= 2;
         let preds: Vec<Predicate> = self.folds.iter().map(|f| f.predicate_dyn()).collect();
         let folds = &self.folds;
-        let (merged, events_scanned) = pinpoint_parallel::try_map_reduce_ordered(
-            raw,
-            threads,
-            (None, 0u64),
-            |bytes: Vec<u8>| -> io::Result<(Vec<DynAcc>, u64)> {
-                let events = decode_chunk(&bytes)?;
-                Ok((fold_chunk(folds, &preds, &events), events.len() as u64))
-            },
-            |(acc, n), (accs, len)| (merge_accs(folds, acc, accs), n + len),
-        )?;
-        Ok(self.finalize(
-            merged,
-            FusedStats {
-                chunks_total,
-                chunks_decoded,
-                chunks_pruned: chunks_total - chunks_decoded,
-                events_scanned,
-            },
-        ))
+        let items: Vec<(usize, ChunkMeta, Vec<u8>)> = candidates
+            .iter()
+            .zip(&metas)
+            .zip(raw)
+            .map(|((&i, &meta), bytes)| (i, meta, bytes))
+            .collect();
+        // parallel verify+decode+fold per chunk, then a sequential merge
+        // in chunk order: the per-chunk verdicts (and thus the salvage
+        // accounting) fold deterministically whatever the thread count
+        let per = pinpoint_parallel::map_ordered(items, threads, move |(i, meta, bytes)| {
+            decode_chunk_verified(&bytes, &meta, i, verify)
+                .map(|events| (fold_chunk(folds, &preds, &events), events.len() as u64))
+        });
+        let mut merged: Option<Vec<DynAcc>> = None;
+        let mut stats = FusedStats {
+            chunks_total,
+            chunks_pruned: chunks_total - candidates.len(),
+            ..FusedStats::default()
+        };
+        for (j, res) in per.into_iter().enumerate() {
+            match res {
+                Ok((accs, n)) => {
+                    stats.chunks_decoded += 1;
+                    stats.events_scanned += n;
+                    merged = merge_accs(folds, merged, accs);
+                }
+                Err(e) if policy == ReadPolicy::Salvage && e.is_corruption() => {
+                    stats.chunks_skipped += 1;
+                    stats.events_lost += metas[j].count;
+                    if stats.first_error.is_none() {
+                        stats.first_error = Some(e.to_string());
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(self.finalize(merged, stats))
     }
 
     /// Runs every registered fold over an in-memory trace in one pass,
@@ -319,8 +367,8 @@ impl FusedPipeline {
             FusedStats {
                 chunks_total,
                 chunks_decoded: chunks_total,
-                chunks_pruned: 0,
                 events_scanned,
+                ..FusedStats::default()
             },
         )
     }

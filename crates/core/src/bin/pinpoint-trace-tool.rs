@@ -11,7 +11,8 @@
 //! pinpoint-trace-tool plan      trace.{json|ptrc}
 //! pinpoint-trace-tool compare   a.{json|ptrc} b.{json|ptrc}
 //! pinpoint-trace-tool convert   in.{json|ptrc} out.{ptrc|json}
-//! pinpoint-trace-tool info      trace.ptrc
+//! pinpoint-trace-tool info      trace.ptrc [--verify]
+//! pinpoint-trace-tool scrub     in.ptrc out.ptrc
 //! pinpoint-trace-tool query     trace.ptrc [--t0-us N] [--t1-us N]
 //!                               [--block-min N] [--block-max N] [--kind K]...
 //!                               [--category C]... [--min-size-bytes N] [--max N]
@@ -21,7 +22,10 @@
 //! subcommand accepts either an exported JSON trace or a `.ptrc` store.
 //! `convert` flips whichever format it is given into the other; `info`
 //! prints a store's chunk-index statistics and its compression ratio
-//! against JSON; `query` runs a chunk-pruning filtered event dump.
+//! against JSON (`--verify` additionally checks every chunk's CRC and
+//! decode, exiting nonzero on damage); `query` runs a chunk-pruning
+//! filtered event dump; `scrub` salvages a damaged store into a fresh,
+//! fully intact one, dropping only chunks whose bytes are beyond repair.
 //!
 //! `report` runs **all five** analysis passes (ATI, peak, breakdown,
 //! Gantt, outliers) fused over a single scan of the trace — each chunk of
@@ -47,9 +51,9 @@ use pinpoint_analysis::{
 };
 use pinpoint_core::report::{human_bytes, human_time, render_trace_report, TraceReport};
 use pinpoint_device::TransferModel;
-use pinpoint_store::{Predicate, StoreReader};
+use pinpoint_store::{Predicate, ReadPolicy, StoreReader, StoreWriter};
 use pinpoint_trace::export::read_json;
-use pinpoint_trace::{Category, EventKind, Trace};
+use pinpoint_trace::{Category, EventKind, Trace, TraceSink};
 use std::fs::File;
 use std::io::Read;
 use std::process::ExitCode;
@@ -286,7 +290,86 @@ fn cmd_convert(input: &str, output: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_info(path: &str) -> Result<(), String> {
+fn cmd_scrub(input: &str, output: &str) -> Result<(), String> {
+    if !is_store(input)? {
+        return Err(format!("{input} is not a .ptrc store"));
+    }
+    let mut reader = StoreReader::open_with_policy(input, ReadPolicy::Salvage)
+        .map_err(|e| format!("cannot open store {input}: {e}"))?;
+    if let Some(s) = reader.salvage_summary() {
+        println!(
+            "index rebuilt by rescan ({}): recovered {} chunks / {} events{}",
+            s.reason,
+            s.chunks_recovered,
+            s.events_recovered,
+            if s.markers_lost {
+                "; markers lost with the footer"
+            } else {
+                ""
+            }
+        );
+    }
+    let mut writer =
+        StoreWriter::create(output).map_err(|e| format!("cannot create {output}: {e}"))?;
+    let stats = reader
+        .scrub_into(&mut writer)
+        .map_err(|e| format!("scrub of {input} failed: {e}"))?;
+    writer
+        .finish()
+        .map_err(|e| format!("cannot finish {output}: {e}"))?;
+    println!(
+        "{input} -> {output}: kept {}/{} chunks, {} events ({} chunks / {} events dropped)",
+        stats.chunks_kept,
+        stats.chunks_total,
+        stats.events_kept,
+        stats.chunks_skipped,
+        stats.events_lost
+    );
+    if let Some(e) = &stats.first_error {
+        println!("first damage: {e}");
+    }
+    Ok(())
+}
+
+/// `info --verify`: full-store integrity check, `Err` (nonzero exit) on
+/// any damage so scripts can gate on it.
+fn verify_store(path: &str) -> Result<(), String> {
+    let mut reader = StoreReader::open_with_policy(path, ReadPolicy::Salvage)
+        .map_err(|e| format!("cannot open store {path}: {e}"))?;
+    let rescued = reader.salvage_summary().map(|s| s.reason.clone());
+    let faults = reader
+        .verify_chunks()
+        .map_err(|e| format!("cannot verify {path}: {e}"))?;
+    for f in &faults {
+        println!(
+            "chunk {}: CORRUPT ({}) — {} events lost",
+            f.chunk, f.error, f.events_lost
+        );
+    }
+    match (rescued, faults.is_empty()) {
+        (None, true) => {
+            println!(
+                "verify: all {} chunks intact ({} events)",
+                reader.num_chunks(),
+                reader.total_events()
+            );
+            Ok(())
+        }
+        (Some(reason), _) => Err(format!(
+            "footer damaged ({reason}); `scrub` can rebuild the store from the {} surviving chunks",
+            reader.num_chunks()
+        )),
+        (None, false) => Err(format!(
+            "{} corrupt chunk(s); `scrub` can rebuild the store from the rest",
+            faults.len()
+        )),
+    }
+}
+
+fn cmd_info(path: &str, verify: bool) -> Result<(), String> {
+    if verify {
+        return verify_store(path);
+    }
     let mut reader = open_store(path)?;
     let footer = reader.footer().clone();
     let file_len = reader.file_len();
@@ -404,7 +487,7 @@ fn main() -> ExitCode {
         args.drain(i..=i + 1);
     }
     let (Some(cmd), Some(path)) = (args.first(), args.get(1)) else {
-        eprintln!("usage: pinpoint-trace-tool <summary|report|ati|outliers|breakdown|gantt|ops|plan|compare|convert|info|query> <trace.{{json|ptrc}}> [out|trace_b] [flags]");
+        eprintln!("usage: pinpoint-trace-tool <summary|report|ati|outliers|breakdown|gantt|ops|plan|compare|convert|info|scrub|query> <trace.{{json|ptrc}}> [out|trace_b] [flags]");
         return ExitCode::FAILURE;
     };
     // store-centric subcommands have their own argument shapes and never
@@ -423,8 +506,21 @@ fn main() -> ExitCode {
                 }
             };
         }
+        "scrub" => {
+            let Some(out) = args.get(2) else {
+                eprintln!("scrub needs an input and an output path");
+                return ExitCode::FAILURE;
+            };
+            return match cmd_scrub(path, out) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
         "info" => {
-            return match cmd_info(path) {
+            return match cmd_info(path, args.iter().any(|a| a == "--verify")) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(e) => {
                     eprintln!("error: {e}");

@@ -258,7 +258,7 @@ impl TraceReport {
             breakdown: out.take(breakdown),
             gantt: out.take(gantt),
             outliers: out.take(outliers),
-            stats: out.stats(),
+            stats: out.stats().clone(),
         })
     }
 
@@ -273,7 +273,7 @@ impl TraceReport {
             breakdown: out.take(breakdown),
             gantt: out.take(gantt),
             outliers: out.take(outliers),
-            stats: out.stats(),
+            stats: out.stats().clone(),
         }
     }
 }
@@ -287,6 +287,15 @@ pub fn render_trace_report(d: &TraceReport, max_rects: usize) -> String {
         "decoded {} chunks in 1 pass ({} pruned of {}; {} events)",
         d.stats.chunks_decoded, d.stats.chunks_pruned, d.stats.chunks_total, d.stats.events_scanned
     );
+    if d.stats.chunks_skipped > 0 {
+        let _ = writeln!(
+            s,
+            "salvage: skipped {} corrupt chunk(s), {} event(s) lost ({})",
+            d.stats.chunks_skipped,
+            d.stats.events_lost,
+            d.stats.first_error.as_deref().unwrap_or("no detail")
+        );
+    }
     let _ = writeln!(
         s,
         "peak footprint: {}",

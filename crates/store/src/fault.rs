@@ -1,0 +1,306 @@
+//! Deterministic fault injection for `.ptrc` robustness tests.
+//!
+//! Two tools, both driven by the seeded [`Rng64`] so every failure a test
+//! provokes is reproducible from its seed alone — no wall clock, no OS
+//! randomness:
+//!
+//! - [`FaultyIo`] wraps any `Read + Write + Seek` transport and injects
+//!   the failure modes a real disk or pipe exhibits: short reads and
+//!   writes, truncation at a byte offset, and scheduled transient
+//!   (`TimedOut`) or permanent I/O errors on exact operation ordinals.
+//! - [`flip_bits`] corrupts a byte buffer in place at seeded, distinct
+//!   bit positions — the corruption half of the matrix tests, which then
+//!   assert the reader never panics and salvage recovers exactly the
+//!   CRC-intact chunks.
+//!
+//! The shim lives in the library (not `#[cfg(test)]`) so integration
+//! tests and other crates' tests can drive the writer's retry path and
+//! the reader's salvage path through it.
+
+use pinpoint_tensor::rng::Rng64;
+use std::collections::BTreeMap;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+
+/// How a scheduled fault behaves when its operation ordinal comes up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Fails once with [`io::ErrorKind::TimedOut`] (a retryable,
+    /// transient error), then the operation succeeds on retry.
+    Transient,
+    /// Fails with [`io::ErrorKind::Other`] and keeps failing: every
+    /// subsequent read or write on the shim errors too, like a device
+    /// that dropped off the bus.
+    Permanent,
+}
+
+/// A `Read + Write + Seek` wrapper that injects deterministic faults.
+///
+/// Operations (reads and writes) are numbered from 0 in call order;
+/// faults scheduled with [`FaultyIo::fail_op`] trigger when their ordinal
+/// comes up. Short I/O and truncation compose with the schedule: an
+/// operation that isn't scheduled to fail can still be shortened or
+/// cut off at the truncation boundary.
+#[derive(Debug)]
+pub struct FaultyIo<T> {
+    inner: T,
+    rng: Rng64,
+    short_io: bool,
+    truncate_at: Option<u64>,
+    fail_ops: BTreeMap<u64, FaultKind>,
+    tripped_permanent: bool,
+    op: u64,
+    offset: u64,
+}
+
+impl<T> FaultyIo<T> {
+    /// Wraps `inner` with no faults scheduled; `seed` drives the short-I/O
+    /// length draws.
+    pub fn new(inner: T, seed: u64) -> Self {
+        FaultyIo {
+            inner,
+            rng: Rng64::seed_from_u64(seed),
+            short_io: false,
+            truncate_at: None,
+            fail_ops: BTreeMap::new(),
+            tripped_permanent: false,
+            op: 0,
+            offset: 0,
+        }
+    }
+
+    /// Makes every read and write transfer a seeded prefix of the
+    /// requested bytes (at least one), exercising callers' `read_exact` /
+    /// retry loops.
+    #[must_use]
+    pub fn with_short_io(mut self) -> Self {
+        self.short_io = true;
+        self
+    }
+
+    /// Caps the transport at `len` bytes: reads at or past it hit EOF and
+    /// writes past it are silently dropped — a crash mid-stream, as seen
+    /// on re-open.
+    #[must_use]
+    pub fn with_truncation_at(mut self, len: u64) -> Self {
+        self.truncate_at = Some(len);
+        self
+    }
+
+    /// Schedules operation number `op` (0-based, reads and writes share
+    /// the counter) to fail with the given kind.
+    #[must_use]
+    pub fn fail_op(mut self, op: u64, kind: FaultKind) -> Self {
+        self.fail_ops.insert(op, kind);
+        self
+    }
+
+    /// The wrapped transport.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+
+    /// Shared-by-read-and-write fault gate: returns the error to inject
+    /// for the current operation, if any, and advances the op counter.
+    fn gate(&mut self) -> io::Result<()> {
+        let op = self.op;
+        self.op += 1;
+        if self.tripped_permanent {
+            return Err(io::Error::other("injected permanent fault (tripped)"));
+        }
+        match self.fail_ops.get(&op).copied() {
+            Some(FaultKind::Transient) => {
+                self.fail_ops.remove(&op);
+                // the retry will arrive as a *new* op number; reschedule
+                // nothing — one transient failure per scheduled ordinal
+                Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("injected transient fault at op {op}"),
+                ))
+            }
+            Some(FaultKind::Permanent) => {
+                self.tripped_permanent = true;
+                Err(io::Error::other(format!(
+                    "injected permanent fault at op {op}"
+                )))
+            }
+            None => Ok(()),
+        }
+    }
+
+    fn short_len(&mut self, requested: usize) -> usize {
+        if self.short_io && requested > 1 {
+            self.rng.gen_range_usize(1, requested + 1)
+        } else {
+            requested
+        }
+    }
+}
+
+impl<T: Read> Read for FaultyIo<T> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.gate()?;
+        let mut cap = self.short_len(buf.len());
+        if let Some(limit) = self.truncate_at {
+            let left = limit.saturating_sub(self.offset);
+            cap = cap.min(left as usize);
+            if cap == 0 && !buf.is_empty() {
+                return Ok(0); // EOF at the truncation boundary
+            }
+        }
+        let n = self.inner.read(&mut buf[..cap])?;
+        self.offset += n as u64;
+        Ok(n)
+    }
+}
+
+impl<T: Write> Write for FaultyIo<T> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.gate()?;
+        let cap = self.short_len(buf.len());
+        if let Some(limit) = self.truncate_at {
+            if self.offset >= limit {
+                // the crash already happened; pretend the bytes landed
+                self.offset += cap as u64;
+                return Ok(cap);
+            }
+        }
+        let n = self.inner.write(&buf[..cap])?;
+        self.offset += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.tripped_permanent {
+            return Err(io::Error::other("injected permanent fault (tripped)"));
+        }
+        self.inner.flush()
+    }
+}
+
+impl<T: Seek> Seek for FaultyIo<T> {
+    fn seek(&mut self, pos: SeekFrom) -> io::Result<u64> {
+        let at = self.inner.seek(pos)?;
+        self.offset = at;
+        Ok(at)
+    }
+}
+
+/// Flips `flips` distinct bits of `bytes` in place at positions drawn
+/// from `seed`, never touching the first `protect_prefix` bytes. Returns
+/// the flipped byte offsets (sorted, deduplicated) so tests can map each
+/// corruption onto the chunk it hit.
+///
+/// Distinctness matters: flipping the same bit twice is a no-op, which
+/// would silently weaken a fuzz case. Positions are redrawn until unique.
+///
+/// # Panics
+///
+/// If the protected prefix leaves fewer distinct bit positions than
+/// `flips` (a test-harness misuse, not a runtime condition).
+pub fn flip_bits(bytes: &mut [u8], seed: u64, flips: usize, protect_prefix: usize) -> Vec<usize> {
+    let usable = bytes.len().saturating_sub(protect_prefix);
+    assert!(
+        usable * 8 >= flips,
+        "cannot place {flips} distinct bit flips in {usable} unprotected bytes"
+    );
+    let mut rng = Rng64::seed_from_u64(seed);
+    let mut chosen = std::collections::BTreeSet::new();
+    while chosen.len() < flips {
+        let byte = rng.gen_range_usize(protect_prefix, bytes.len());
+        let bit = rng.gen_below(8) as usize;
+        chosen.insert((byte, bit));
+    }
+    let mut offsets: Vec<usize> = Vec::with_capacity(flips);
+    for &(byte, bit) in &chosen {
+        bytes[byte] ^= 1 << bit;
+        offsets.push(byte);
+    }
+    offsets.dedup();
+    offsets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn short_reads_still_deliver_everything_via_read_exact() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(4000).collect();
+        let mut io = FaultyIo::new(Cursor::new(data.clone()), 7).with_short_io();
+        let mut back = vec![0u8; data.len()];
+        io.read_exact(&mut back).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn short_writes_still_land_everything_via_write_all() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(4000).collect();
+        let mut io = FaultyIo::new(Cursor::new(Vec::new()), 7).with_short_io();
+        io.write_all(&data).unwrap();
+        assert_eq!(io.into_inner().into_inner(), data);
+    }
+
+    #[test]
+    fn truncation_cuts_reads_at_the_boundary() {
+        let data = vec![0xABu8; 100];
+        let mut io = FaultyIo::new(Cursor::new(data), 1).with_truncation_at(40);
+        let mut back = Vec::new();
+        io.read_to_end(&mut back).unwrap();
+        assert_eq!(back.len(), 40);
+    }
+
+    #[test]
+    fn transient_fault_fires_once_then_clears() {
+        let mut io = FaultyIo::new(Cursor::new(Vec::new()), 1).fail_op(1, FaultKind::Transient);
+        io.write_all(b"ok").unwrap(); // op 0
+        let err = io.write(b"boom").unwrap_err(); // op 1
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        io.write_all(b"fine").unwrap(); // ops 2..
+        assert_eq!(io.into_inner().into_inner(), b"okfine");
+    }
+
+    #[test]
+    fn permanent_fault_latches() {
+        let mut io = FaultyIo::new(Cursor::new(Vec::new()), 1).fail_op(0, FaultKind::Permanent);
+        assert!(io.write(b"x").is_err());
+        assert!(io.write(b"x").is_err(), "still broken");
+        assert!(io.flush().is_err());
+    }
+
+    #[test]
+    fn same_seed_same_faults() {
+        let data: Vec<u8> = (0..200u8).collect();
+        let run = |seed| {
+            let mut io = FaultyIo::new(Cursor::new(data.clone()), seed).with_short_io();
+            let mut lens = Vec::new();
+            let mut buf = [0u8; 32];
+            loop {
+                let n = io.read(&mut buf).unwrap();
+                if n == 0 {
+                    break;
+                }
+                lens.push(n);
+            }
+            lens
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "different seeds, different schedule");
+    }
+
+    #[test]
+    fn flip_bits_is_deterministic_distinct_and_respects_the_prefix() {
+        let orig: Vec<u8> = (0..=255u8).cycle().take(1024).collect();
+        let mut a = orig.clone();
+        let mut b = orig.clone();
+        let offs_a = flip_bits(&mut a, 99, 16, 5);
+        let offs_b = flip_bits(&mut b, 99, 16, 5);
+        assert_eq!(a, b);
+        assert_eq!(offs_a, offs_b);
+        assert_eq!(a[..5], orig[..5], "protected prefix untouched");
+        // 16 distinct bit flips -> exactly 16 bit differences
+        let diff_bits: u32 = orig.iter().zip(&a).map(|(x, y)| (x ^ y).count_ones()).sum();
+        assert_eq!(diff_bits, 16);
+        assert!(offs_a.iter().all(|&o| o >= 5));
+    }
+}

@@ -26,6 +26,20 @@
 //!   bridge to and from the in-memory `Trace` for the existing JSON
 //!   tooling and analyses.
 //!
+//! Format v2 adds integrity end to end: every chunk is framed by a
+//! `PTCK` record header carrying its byte length and CRC-32, and the
+//! footer is covered by its own checksum in the trailer. Writers stream
+//! into a temp file and atomically rename on successful
+//! [`StoreWriter::finish`], with bounded seeded retry for transient write
+//! errors ([`RetryPolicy`]). Readers take a [`ReadPolicy`]: `Strict`
+//! (default) fails fast with a typed [`StoreError`], while `Salvage`
+//! skips corrupt chunks with exact accounting and rebuilds the index by
+//! rescanning when the footer itself is damaged. The [`fault`] module is
+//! a deterministic fault-injection harness (seeded bit-flips,
+//! truncations, short and failing I/O) used by the corruption-matrix
+//! tests to prove all of the above. v1 files (no checksums) remain fully
+//! readable.
+//!
 //! ```
 //! use pinpoint_store::{write_store, Predicate, StoreReader};
 //! use pinpoint_trace::{BlockId, EventKind, MemoryKind, Trace};
@@ -47,11 +61,21 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod crc32;
+pub mod error;
+pub mod fault;
 pub mod format;
 pub mod reader;
 mod varint;
 pub mod writer;
 
-pub use format::{ChunkMeta, Footer, DEFAULT_CHUNK_EVENTS, MAGIC, VERSION};
-pub use reader::{Predicate, QueryResult, QueryStats, StoreReader};
-pub use writer::{write_store, write_store_chunked, write_store_file, StoreWriter};
+pub use error::StoreError;
+pub use format::{ChunkMeta, Footer, DEFAULT_CHUNK_EVENTS, MAGIC, VERSION, VERSION_V1};
+pub use reader::{
+    ChunkFault, Predicate, QueryResult, QueryStats, ReadPolicy, SalvageSummary, ScrubStats,
+    StoreReader,
+};
+pub use writer::{
+    write_store, write_store_chunked, write_store_chunked_v1, write_store_file, RetryPolicy,
+    StoreWriter,
+};

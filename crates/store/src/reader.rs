@@ -1,5 +1,5 @@
-//! `.ptrc` reader: footer-indexed chunk access, predicate pushdown, and
-//! deterministic parallel decode.
+//! `.ptrc` reader: footer-indexed chunk access, predicate pushdown,
+//! deterministic parallel decode, and corruption-tolerant salvage.
 //!
 //! Opening a store reads only the fixed-size trailer and the footer; event
 //! chunks are fetched and decoded on demand, so a query touching a small
@@ -7,14 +7,38 @@
 //! file. The reader counts decoded chunks ([`StoreReader::chunks_decoded`])
 //! so tests — and the acceptance criteria — can assert pushdown actually
 //! skips I/O rather than filtering after a full decode.
+//!
+//! Robustness contract: **no byte sequence panics the reader**. Every
+//! decode failure is a typed [`StoreError`], and [`ReadPolicy`] decides
+//! what happens next:
+//!
+//! - [`ReadPolicy::Strict`] (default) — the first corrupt structure aborts
+//!   the operation with its typed error.
+//! - [`ReadPolicy::Salvage`] — corrupt chunks are skipped with exact
+//!   accounting (`chunks_skipped`, `events_lost`, first-error detail in
+//!   [`QueryStats`]), and a missing or corrupt footer triggers a full
+//!   rescan that rebuilds the index from the surviving chunks: v2 files
+//!   are scanned for `PTCK` record headers and each candidate payload is
+//!   admitted only if its CRC-32 and decode both pass; v1 files (no
+//!   checksums, no record framing) are walked chunk-by-chunk from the
+//!   front, recovering the longest cleanly-decoding prefix.
+//!
+//! Salvage keeps results deterministic: recovered chunks are processed in
+//! file order, so analyses over a salvaged store are bit-identical at any
+//! thread count to the same analyses over a store containing only the
+//! surviving chunks.
 
+use crate::crc32::crc32;
+use crate::error::StoreError;
 use crate::format::{
-    bad, category_bit, decode_chunk, decode_footer, kind_bit, ChunkMeta, Footer, MAGIC,
-    TRAILER_LEN, VERSION,
+    category_bit, decode_chunk_prefix, decode_chunk_verified, decode_footer, kind_bit,
+    meta_from_events, trailer_len, ChunkMeta, Footer, CHUNK_HEADER_LEN, CHUNK_MAGIC, HEADER_LEN,
+    MAGIC, VERSION, VERSION_V1,
 };
-use pinpoint_trace::{Category, EventKind, MemEvent, Trace};
+use crate::writer::StoreWriter;
+use pinpoint_trace::{Category, EventKind, MemEvent, Trace, TraceSink};
 use std::fs::File;
-use std::io::{self, BufReader, Read, Seek, SeekFrom};
+use std::io::{BufReader, Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
 /// An event filter with chunk-level pushdown.
@@ -178,15 +202,35 @@ impl Predicate {
     }
 }
 
-/// How much work a query did, chunk-wise.
+/// What a reader does when it meets corrupt bytes.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ReadPolicy {
+    /// Abort the operation with a typed [`StoreError`] at the first
+    /// corrupt structure. The default.
+    #[default]
+    Strict,
+    /// Skip corrupt chunks (with exact accounting in [`QueryStats`]) and
+    /// rebuild the index by rescanning when the footer itself is damaged.
+    /// I/O errors still abort: salvage tolerates bad bytes, not bad disks.
+    Salvage,
+}
+
+/// How much work a query did, chunk-wise — and, under
+/// [`ReadPolicy::Salvage`], exactly what was lost.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct QueryStats {
     /// Chunks in the store.
     pub chunks_total: usize,
     /// Chunks skipped via the footer index alone.
     pub chunks_pruned: usize,
-    /// Chunks actually read and decoded.
+    /// Chunks read and successfully decoded.
     pub chunks_decoded: usize,
+    /// Chunks read but skipped as corrupt (always 0 under `Strict`).
+    pub chunks_skipped: usize,
+    /// Events lost with the skipped chunks, per the index counts.
+    pub events_lost: u64,
+    /// Detail of the first corruption encountered, in chunk order.
+    pub first_error: Option<String>,
 }
 
 /// A query's matching events plus its work accounting.
@@ -198,72 +242,328 @@ pub struct QueryResult {
     pub stats: QueryStats,
 }
 
+/// What a footer rescan recovered (present on readers that had to
+/// salvage; see [`StoreReader::salvage_summary`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SalvageSummary {
+    /// Chunks whose payload survived (CRC + decode in v2, clean decode in
+    /// the v1 prefix walk).
+    pub chunks_recovered: usize,
+    /// Events in the recovered chunks.
+    pub events_recovered: u64,
+    /// True when the label table was lost with the footer and placeholder
+    /// labels were synthesized for the ids events still reference.
+    pub labels_synthesized: bool,
+    /// True when boundary markers were lost with the footer.
+    pub markers_lost: bool,
+    /// The strict-open error that forced the rescan.
+    pub reason: String,
+}
+
+/// One verified-bad chunk, as reported by [`StoreReader::verify_chunks`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkFault {
+    /// Zero-based chunk ordinal.
+    pub chunk: usize,
+    /// Events lost with it, per the index count.
+    pub events_lost: u64,
+    /// The typed error, rendered.
+    pub error: String,
+}
+
+/// What a [`StoreReader::scrub_into`] rewrite kept and dropped.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScrubStats {
+    /// Chunks in the source store.
+    pub chunks_total: usize,
+    /// Chunks copied into the output.
+    pub chunks_kept: usize,
+    /// Corrupt chunks dropped.
+    pub chunks_skipped: usize,
+    /// Events copied into the output.
+    pub events_kept: u64,
+    /// Events lost with the dropped chunks, per the index counts.
+    pub events_lost: u64,
+    /// Detail of the first corruption encountered, in chunk order.
+    pub first_error: Option<String>,
+}
+
 /// A `.ptrc` reader over any seekable byte source.
 #[derive(Debug)]
 pub struct StoreReader<R: Read + Seek = BufReader<File>> {
     src: R,
     file_len: u64,
+    version: u8,
+    policy: ReadPolicy,
     footer: Footer,
     chunks_decoded: u64,
+    salvage: Option<SalvageSummary>,
 }
 
 impl StoreReader<BufReader<File>> {
-    /// Opens a `.ptrc` file.
+    /// Opens a `.ptrc` file under [`ReadPolicy::Strict`].
     ///
     /// # Errors
     ///
-    /// I/O errors, or `InvalidData` if the file is not a valid store.
-    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
-        Self::new(BufReader::new(File::open(path)?))
+    /// I/O errors, or a typed [`StoreError`] if the file is not a valid
+    /// store.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        Self::new(BufReader::new(File::open(path).map_err(StoreError::Io)?))
+    }
+
+    /// Opens a `.ptrc` file under the given policy.
+    ///
+    /// # Errors
+    ///
+    /// As [`StoreReader::new_with_policy`].
+    pub fn open_with_policy(
+        path: impl AsRef<Path>,
+        policy: ReadPolicy,
+    ) -> Result<Self, StoreError> {
+        Self::new_with_policy(
+            BufReader::new(File::open(path).map_err(StoreError::Io)?),
+            policy,
+        )
     }
 }
 
 impl<R: Read + Seek> StoreReader<R> {
-    /// Wraps a seekable source, validating the header and loading the
-    /// footer index.
+    /// Wraps a seekable source under [`ReadPolicy::Strict`], validating
+    /// the header and loading the footer index.
     ///
     /// # Errors
     ///
-    /// I/O errors, or `InvalidData` if the stream is not a valid store.
-    pub fn new(mut src: R) -> io::Result<Self> {
-        let mut head = [0u8; 5];
-        src.seek(SeekFrom::Start(0))?;
+    /// I/O errors, or a typed [`StoreError`] if the stream is not a valid
+    /// store.
+    pub fn new(src: R) -> Result<Self, StoreError> {
+        Self::new_with_policy(src, ReadPolicy::Strict)
+    }
+
+    /// Wraps a seekable source under the given policy.
+    ///
+    /// Under [`ReadPolicy::Salvage`], a damaged footer/trailer does not
+    /// fail the open: the file is rescanned and the index rebuilt from
+    /// surviving chunks ([`StoreReader::salvage_summary`] reports what was
+    /// recovered). The header (magic + version) must still be intact —
+    /// without it there is no way to know how to interpret the bytes.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors; a typed [`StoreError`] on corruption (under `Strict`)
+    /// or on a damaged header (under either policy).
+    pub fn new_with_policy(mut src: R, policy: ReadPolicy) -> Result<Self, StoreError> {
+        let mut head = [0u8; HEADER_LEN];
+        src.seek(SeekFrom::Start(0)).map_err(StoreError::Io)?;
         src.read_exact(&mut head)
-            .map_err(|_| bad("file shorter than the .ptrc header"))?;
+            .map_err(|_| StoreError::Truncated(".ptrc header"))?;
         if &head[..4] != MAGIC {
-            return Err(bad("not a .ptrc store (bad magic)"));
+            return Err(StoreError::BadMagic);
         }
-        if head[4] != VERSION {
-            return Err(bad(format!(
-                "unsupported .ptrc version {} (expected {VERSION})",
-                head[4]
-            )));
+        let version = head[4];
+        if version != VERSION && version != VERSION_V1 {
+            return Err(StoreError::UnsupportedVersion(version));
         }
-        let file_len = src.seek(SeekFrom::End(0))?;
-        if file_len < (5 + TRAILER_LEN) as u64 {
-            return Err(bad("file shorter than the .ptrc trailer"));
+        let file_len = src.seek(SeekFrom::End(0)).map_err(StoreError::Io)?;
+        match Self::load_footer_strict(&mut src, version, file_len) {
+            Ok(footer) => Ok(StoreReader {
+                src,
+                file_len,
+                version,
+                policy,
+                footer,
+                chunks_decoded: 0,
+                salvage: None,
+            }),
+            Err(e) if policy == ReadPolicy::Salvage && e.is_corruption() => {
+                let (footer, summary) = Self::rescan(&mut src, version, e.to_string())?;
+                Ok(StoreReader {
+                    src,
+                    file_len,
+                    version,
+                    policy,
+                    footer,
+                    chunks_decoded: 0,
+                    salvage: Some(summary),
+                })
+            }
+            Err(e) => Err(e),
         }
-        let mut trailer = [0u8; TRAILER_LEN];
-        src.seek(SeekFrom::Start(file_len - TRAILER_LEN as u64))?;
-        src.read_exact(&mut trailer)?;
-        if &trailer[8..] != MAGIC {
-            return Err(bad("truncated store (bad trailer magic)"));
+    }
+
+    /// Reads and fully validates the trailer, footer, and chunk index.
+    fn load_footer_strict(src: &mut R, version: u8, file_len: u64) -> Result<Footer, StoreError> {
+        let tlen = trailer_len(version);
+        if file_len < (HEADER_LEN + tlen) as u64 {
+            return Err(StoreError::Truncated(".ptrc trailer"));
+        }
+        let mut trailer = vec![0u8; tlen];
+        src.seek(SeekFrom::Start(file_len - tlen as u64))
+            .map_err(StoreError::Io)?;
+        src.read_exact(&mut trailer)
+            .map_err(|_| StoreError::Truncated(".ptrc trailer"))?;
+        if &trailer[tlen - 4..] != MAGIC {
+            return Err(StoreError::Truncated("store (bad trailer magic)"));
         }
         let footer_start = u64::from_le_bytes(trailer[..8].try_into().expect("8 bytes"));
-        let footer_end = file_len - TRAILER_LEN as u64;
-        if footer_start < 5 || footer_start > footer_end {
-            return Err(bad("footer offset out of range"));
+        let footer_end = file_len - tlen as u64;
+        if footer_start < HEADER_LEN as u64 || footer_start > footer_end {
+            return Err(StoreError::Corrupt("footer offset out of range".into()));
         }
         let mut footer_bytes = vec![0u8; (footer_end - footer_start) as usize];
-        src.seek(SeekFrom::Start(footer_start))?;
-        src.read_exact(&mut footer_bytes)?;
-        let footer = decode_footer(&footer_bytes)?;
-        Ok(StoreReader {
-            src,
-            file_len,
-            footer,
-            chunks_decoded: 0,
-        })
+        src.seek(SeekFrom::Start(footer_start))
+            .map_err(StoreError::Io)?;
+        src.read_exact(&mut footer_bytes)
+            .map_err(|_| StoreError::Truncated("footer"))?;
+        if version >= 2 {
+            let expected = u32::from_le_bytes(trailer[8..12].try_into().expect("4 bytes"));
+            let got = crc32(&footer_bytes);
+            if got != expected {
+                return Err(StoreError::FooterChecksumMismatch { expected, got });
+            }
+        }
+        let footer = decode_footer(&footer_bytes, version)?;
+        Self::validate_index(&footer, version, footer_start)?;
+        Ok(footer)
+    }
+
+    /// Bounds-checks every chunk index entry so no later read can trust a
+    /// hostile offset or length (a corrupt `byte_len` would otherwise turn
+    /// into an unbounded allocation).
+    fn validate_index(footer: &Footer, version: u8, footer_start: u64) -> Result<(), StoreError> {
+        let header_extra = if version >= 2 { CHUNK_HEADER_LEN } else { 0 } as u64;
+        let mut prev_end = HEADER_LEN as u64;
+        for (i, c) in footer.chunks.iter().enumerate() {
+            let start = c.offset;
+            let end = start.checked_add(c.byte_len);
+            let in_bounds = start >= prev_end + header_extra
+                && end.is_some_and(|e| e <= footer_start)
+                && c.count > 0
+                && c.min_time_ns <= c.max_time_ns
+                && c.min_block <= c.max_block;
+            if !in_bounds {
+                return Err(StoreError::Corrupt(format!(
+                    "chunk {i} index entry out of bounds"
+                )));
+            }
+            prev_end = end.expect("checked above");
+        }
+        Ok(())
+    }
+
+    /// Rebuilds the footer from the file's surviving chunks. v2: scan for
+    /// `PTCK` record headers, admitting payloads whose CRC and decode both
+    /// pass. v1: walk payloads from the front, keeping the longest cleanly
+    /// decoding prefix (v1 has no per-chunk framing to resynchronize on).
+    fn rescan(
+        src: &mut R,
+        version: u8,
+        reason: String,
+    ) -> Result<(Footer, SalvageSummary), StoreError> {
+        let mut data = Vec::new();
+        src.seek(SeekFrom::Start(0)).map_err(StoreError::Io)?;
+        src.read_to_end(&mut data).map_err(StoreError::Io)?;
+
+        let mut chunks = Vec::new();
+        let mut total_events = 0u64;
+        let mut max_label: Option<u32> = None;
+        let mut admit = |events: &[MemEvent], offset: usize, byte_len: usize, crc: u32| {
+            let mut meta = meta_from_events(events);
+            meta.offset = offset as u64;
+            meta.byte_len = byte_len as u64;
+            meta.crc32 = crc;
+            total_events += events.len() as u64;
+            for e in events {
+                if let Some(op) = e.op_label {
+                    max_label = Some(max_label.map_or(op, |m| m.max(op)));
+                }
+            }
+            chunks.push(meta);
+        };
+
+        if version >= 2 {
+            let mut pos = HEADER_LEN;
+            while pos + CHUNK_HEADER_LEN <= data.len() {
+                if &data[pos..pos + 4] != CHUNK_MAGIC.as_slice() {
+                    pos += 1;
+                    continue;
+                }
+                let len = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().expect("4 bytes"))
+                    as usize;
+                let crc = u32::from_le_bytes(data[pos + 8..pos + 12].try_into().expect("4 bytes"));
+                let start = pos + CHUNK_HEADER_LEN;
+                let Some(end) = start.checked_add(len).filter(|&e| e <= data.len()) else {
+                    pos += 1;
+                    continue;
+                };
+                let payload = &data[start..end];
+                if crc32(payload) != crc {
+                    pos += 1;
+                    continue;
+                }
+                match crate::format::decode_chunk(payload) {
+                    Ok(events) if !events.is_empty() => {
+                        admit(&events, start, len, crc);
+                        pos = end;
+                    }
+                    _ => pos += 1,
+                }
+            }
+        } else {
+            let mut pos = HEADER_LEN;
+            while pos < data.len() {
+                match decode_chunk_prefix(&data[pos..]) {
+                    Ok((events, consumed)) if !events.is_empty() => {
+                        admit(&events, pos, consumed, 0);
+                        pos += consumed;
+                    }
+                    _ => break,
+                }
+            }
+        }
+
+        // events may reference op-label ids whose table died with the
+        // footer; synthesize placeholders so they stay resolvable
+        let labels_synthesized = max_label.is_some();
+        let labels = match max_label {
+            Some(max) => (0..=max).map(|i| format!("lost-label:{i}")).collect(),
+            None => Vec::new(),
+        };
+        let summary = SalvageSummary {
+            chunks_recovered: chunks.len(),
+            events_recovered: total_events,
+            labels_synthesized,
+            markers_lost: true,
+            reason,
+        };
+        let footer = Footer {
+            labels,
+            markers: Vec::new(),
+            chunks,
+            total_events,
+        };
+        Ok((footer, summary))
+    }
+
+    /// The active read policy.
+    pub fn policy(&self) -> ReadPolicy {
+        self.policy
+    }
+
+    /// Switches the read policy for subsequent operations. (Switching to
+    /// `Salvage` after a strict open does not retroactively rescan a bad
+    /// footer — reopen with [`StoreReader::new_with_policy`] for that.)
+    pub fn set_policy(&mut self, policy: ReadPolicy) {
+        self.policy = policy;
+    }
+
+    /// The store's format version byte.
+    pub fn version(&self) -> u8 {
+        self.version
+    }
+
+    /// Present when the open had to rebuild the index by rescanning.
+    pub fn salvage_summary(&self) -> Option<&SalvageSummary> {
+        self.salvage.as_ref()
     }
 
     /// The footer: labels, markers, and the chunk index.
@@ -286,28 +586,41 @@ impl<R: Read + Seek> StoreReader<R> {
         self.footer.total_events
     }
 
-    /// Cumulative count of chunks this reader has decoded.
+    /// Cumulative count of chunks this reader has fetched for decode.
     pub fn chunks_decoded(&self) -> u64 {
         self.chunks_decoded
     }
 
-    fn read_chunk_bytes(&mut self, i: usize) -> io::Result<Vec<u8>> {
+    /// Whether per-chunk CRCs exist to verify (v2 stores).
+    fn verify_crc(&self) -> bool {
+        self.version >= 2
+    }
+
+    fn read_chunk_bytes(&mut self, i: usize) -> Result<Vec<u8>, StoreError> {
         let meta = self
             .footer
             .chunks
             .get(i)
             .copied()
-            .ok_or_else(|| bad(format!("chunk {i} out of range")))?;
+            .ok_or(StoreError::ChunkOutOfRange {
+                chunk: i,
+                chunks: self.footer.chunks.len(),
+            })?;
+        // byte_len was bounds-checked against the file at open, so this
+        // allocation is capped by the file size
         let mut bytes = vec![0u8; meta.byte_len as usize];
-        self.src.seek(SeekFrom::Start(meta.offset))?;
-        self.src.read_exact(&mut bytes)?;
+        self.src
+            .seek(SeekFrom::Start(meta.offset))
+            .map_err(StoreError::Io)?;
+        self.src.read_exact(&mut bytes).map_err(StoreError::Io)?;
         Ok(bytes)
     }
 
-    /// Reads the raw encoded bytes of a batch of chunks, in the given
+    /// Reads the raw encoded payloads of a batch of chunks, in the given
     /// order, with one sequential I/O pass — the batch-decode entry point
-    /// for the fused analysis engine, which decodes the returned buffers
-    /// on its own worker threads via [`crate::format::decode_chunk`].
+    /// for the fused analysis engine, which verifies and decodes the
+    /// returned buffers on its own worker threads via
+    /// [`crate::format::decode_chunk_verified`].
     ///
     /// Every returned chunk counts toward [`StoreReader::chunks_decoded`]:
     /// callers of this API hand each buffer to the decoder exactly once,
@@ -315,8 +628,8 @@ impl<R: Read + Seek> StoreReader<R> {
     ///
     /// # Errors
     ///
-    /// I/O errors, or `InvalidData` if an index is out of range.
-    pub fn read_chunk_batch(&mut self, indices: &[usize]) -> io::Result<Vec<Vec<u8>>> {
+    /// I/O errors, or [`StoreError::ChunkOutOfRange`].
+    pub fn read_chunk_batch(&mut self, indices: &[usize]) -> Result<Vec<Vec<u8>>, StoreError> {
         let mut raw = Vec::with_capacity(indices.len());
         for &i in indices {
             raw.push(self.read_chunk_bytes(i)?);
@@ -325,36 +638,44 @@ impl<R: Read + Seek> StoreReader<R> {
         Ok(raw)
     }
 
-    /// Reads and decodes chunk `i`.
+    /// Reads, verifies (CRC on v2), and decodes chunk `i`.
+    ///
+    /// Always strict about *this* chunk — policy-aware iteration (skip and
+    /// account) lives in [`StoreReader::query`],
+    /// [`StoreReader::for_each_event`], and the fused engine.
     ///
     /// # Errors
     ///
-    /// I/O errors, or `InvalidData` on corruption (including an event
-    /// count that disagrees with the index).
-    pub fn decode_chunk_events(&mut self, i: usize) -> io::Result<Vec<MemEvent>> {
+    /// I/O errors, or a typed [`StoreError`] on corruption (checksum,
+    /// malformed payload, or an event count that disagrees with the
+    /// index).
+    pub fn decode_chunk_events(&mut self, i: usize) -> Result<Vec<MemEvent>, StoreError> {
         let bytes = self.read_chunk_bytes(i)?;
-        let events = decode_chunk(&bytes)?;
-        if events.len() as u64 != self.footer.chunks[i].count {
-            return Err(bad(format!(
-                "chunk {i} decodes {} events, index says {}",
-                events.len(),
-                self.footer.chunks[i].count
-            )));
-        }
+        let meta = self.footer.chunks[i];
+        let events = decode_chunk_verified(&bytes, &meta, i, self.verify_crc())?;
         self.chunks_decoded += 1;
         Ok(events)
     }
 
     /// Streams every event, in trace order, through `f` — one chunk
-    /// resident at a time, never the full trace.
+    /// resident at a time, never the full trace. Under
+    /// [`ReadPolicy::Salvage`], corrupt chunks are silently skipped (use
+    /// [`StoreReader::query`] or [`StoreReader::scrub_into`] when the loss
+    /// accounting matters).
     ///
     /// # Errors
     ///
-    /// I/O or corruption errors.
-    pub fn for_each_event(&mut self, mut f: impl FnMut(MemEvent)) -> io::Result<()> {
+    /// I/O errors; corruption errors under [`ReadPolicy::Strict`].
+    pub fn for_each_event(&mut self, mut f: impl FnMut(MemEvent)) -> Result<(), StoreError> {
         for i in 0..self.num_chunks() {
-            for e in self.decode_chunk_events(i)? {
-                f(e);
+            match self.decode_chunk_events(i) {
+                Ok(events) => {
+                    for e in events {
+                        f(e);
+                    }
+                }
+                Err(e) if self.policy == ReadPolicy::Salvage && e.is_corruption() => {}
+                Err(e) => return Err(e),
             }
         }
         Ok(())
@@ -363,56 +684,172 @@ impl<R: Read + Seek> StoreReader<R> {
     /// Runs a filtered query: prunes chunks via the footer index, decodes
     /// the survivors (fanned out over `threads` worker threads when
     /// `threads > 1`), and filters events. Output order — and every byte
-    /// of it — is identical at every thread count.
+    /// of it — is identical at every thread count; under
+    /// [`ReadPolicy::Salvage`] that includes the loss accounting, because
+    /// per-chunk verdicts are folded in file order.
     ///
     /// # Errors
     ///
-    /// I/O or corruption errors.
-    pub fn query(&mut self, pred: &Predicate, threads: usize) -> io::Result<QueryResult> {
+    /// I/O errors; corruption errors under [`ReadPolicy::Strict`].
+    pub fn query(&mut self, pred: &Predicate, threads: usize) -> Result<QueryResult, StoreError> {
         let candidates: Vec<usize> = (0..self.num_chunks())
             .filter(|&i| pred.matches_chunk(&self.footer.chunks[i]))
             .collect();
-        let stats = QueryStats {
+        let mut stats = QueryStats {
             chunks_total: self.num_chunks(),
             chunks_pruned: self.num_chunks() - candidates.len(),
-            chunks_decoded: candidates.len(),
+            ..QueryStats::default()
         };
+        let metas: Vec<ChunkMeta> = candidates.iter().map(|&i| self.footer.chunks[i]).collect();
         // sequential I/O of the surviving byte ranges, parallel CPU decode
         let raw = self.read_chunk_batch(&candidates)?;
         let pred = *pred;
-        let decoded = pinpoint_parallel::try_map_ordered(raw, threads, move |bytes| {
-            decode_chunk(&bytes).map(|events| {
+        let verify = self.verify_crc();
+        let items: Vec<(usize, ChunkMeta, Vec<u8>)> = candidates
+            .iter()
+            .zip(&metas)
+            .zip(raw)
+            .map(|((&i, &meta), bytes)| (i, meta, bytes))
+            .collect();
+        let per = pinpoint_parallel::map_ordered(items, threads, move |(i, meta, bytes)| {
+            decode_chunk_verified(&bytes, &meta, i, verify).map(|events| {
                 events
                     .into_iter()
                     .filter(|e| pred.matches_event(e))
                     .collect::<Vec<_>>()
             })
-        })?;
-        Ok(QueryResult {
-            events: decoded.into_iter().flatten().collect(),
-            stats,
-        })
+        });
+        let mut events = Vec::new();
+        for (j, res) in per.into_iter().enumerate() {
+            match res {
+                Ok(matched) => {
+                    stats.chunks_decoded += 1;
+                    events.extend(matched);
+                }
+                Err(e) if self.policy == ReadPolicy::Salvage && e.is_corruption() => {
+                    stats.chunks_skipped += 1;
+                    stats.events_lost += metas[j].count;
+                    if stats.first_error.is_none() {
+                        stats.first_error = Some(e.to_string());
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(QueryResult { events, stats })
+    }
+
+    /// Verifies every chunk (CRC on v2, full decode on both versions)
+    /// without keeping events, returning one [`ChunkFault`] per bad chunk.
+    /// An empty result means the store's event data is fully intact.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors only — corruption is the *result*, not a failure.
+    pub fn verify_chunks(&mut self) -> Result<Vec<ChunkFault>, StoreError> {
+        let mut faults = Vec::new();
+        for i in 0..self.num_chunks() {
+            match self.decode_chunk_events(i) {
+                Ok(_) => {}
+                Err(e) if e.is_corruption() => faults.push(ChunkFault {
+                    chunk: i,
+                    events_lost: self.footer.chunks[i].count,
+                    error: e.to_string(),
+                }),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(faults)
+    }
+
+    /// Rewrites this store's surviving content into `out`, dropping
+    /// corrupt chunks (regardless of policy — scrubbing *is* the salvage).
+    /// Labels are preserved; markers are re-emitted with their event
+    /// indices remapped past any lost ranges (a marker inside a lost range
+    /// lands at the boundary). The caller finishes `out` when done.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from either side.
+    pub fn scrub_into<W: Write>(
+        &mut self,
+        out: &mut StoreWriter<W>,
+    ) -> Result<ScrubStats, StoreError> {
+        for l in &self.footer.labels.clone() {
+            out.intern_label(l);
+        }
+        let markers = self.footer.markers.clone();
+        let mut stats = ScrubStats {
+            chunks_total: self.num_chunks(),
+            ..ScrubStats::default()
+        };
+        let mut next_marker = 0usize;
+        let mut orig_index = 0u64; // position in the original event stream
+        for i in 0..self.num_chunks() {
+            let count = self.footer.chunks[i].count;
+            match self.decode_chunk_events(i) {
+                Ok(events) => {
+                    stats.chunks_kept += 1;
+                    for e in events {
+                        while next_marker < markers.len()
+                            && (markers[next_marker].event_index as u64) <= orig_index
+                        {
+                            let m = &markers[next_marker];
+                            out.record_marker(m.time_ns, &m.label);
+                            next_marker += 1;
+                        }
+                        out.record_event(e);
+                        orig_index += 1;
+                        stats.events_kept += 1;
+                    }
+                }
+                Err(e) if e.is_corruption() => {
+                    stats.chunks_skipped += 1;
+                    stats.events_lost += count;
+                    if stats.first_error.is_none() {
+                        stats.first_error = Some(e.to_string());
+                    }
+                    // markers inside this range are emitted by the next
+                    // kept chunk's loop (or the final flush) at the
+                    // boundary position — exactly the remap we want
+                    orig_index += count;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        for m in &markers[next_marker..] {
+            out.record_marker(m.time_ns, &m.label);
+        }
+        Ok(stats)
     }
 
     /// Materializes the full in-memory [`Trace`] (events, markers, label
     /// table) — the bridge back to every existing `&Trace` analysis.
     ///
+    /// Under [`ReadPolicy::Salvage`], corrupt chunks are skipped and any
+    /// marker pointing past the surviving events is clamped to the end of
+    /// the stream.
+    ///
     /// # Errors
     ///
-    /// I/O or corruption errors.
-    pub fn read_trace(&mut self) -> io::Result<Trace> {
+    /// I/O errors; corruption errors under [`ReadPolicy::Strict`].
+    pub fn read_trace(&mut self) -> Result<Trace, StoreError> {
         let mut trace = Trace::new();
         for l in &self.footer.labels {
             trace.intern_label(l);
         }
         let markers = self.footer.markers.clone();
+        let salvage = self.policy == ReadPolicy::Salvage;
         self.for_each_event(|e| trace.push(e))?;
-        for m in markers {
+        for mut m in markers {
             if m.event_index > trace.len() {
-                return Err(bad(format!(
-                    "marker `{}` points past the event stream",
-                    m.label
-                )));
+                if !salvage {
+                    return Err(StoreError::Corrupt(format!(
+                        "marker `{}` points past the event stream",
+                        m.label
+                    )));
+                }
+                m.event_index = trace.len();
             }
             trace.push_marker(m);
         }
@@ -423,7 +860,7 @@ impl<R: Read + Seek> StoreReader<R> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::writer::{write_store_chunked, StoreWriter};
+    use crate::writer::{write_store_chunked, write_store_chunked_v1, StoreWriter};
     use pinpoint_trace::{BlockId, EventKind, MemoryKind, TraceSink};
     use std::io::Cursor;
 
@@ -467,11 +904,22 @@ mod tests {
         let t = sample_trace();
         let bytes = store_bytes(&t, 16);
         let mut r = StoreReader::new(Cursor::new(bytes)).unwrap();
+        assert_eq!(r.version(), VERSION);
         assert_eq!(r.total_events(), t.len() as u64);
         let back = r.read_trace().unwrap();
         assert_eq!(back.events(), t.events());
         assert_eq!(back.markers(), t.markers());
         assert_eq!(back.labels(), t.labels());
+    }
+
+    #[test]
+    fn v1_stores_still_read_exactly() {
+        let t = sample_trace();
+        let mut bytes = Vec::new();
+        write_store_chunked_v1(&t, &mut bytes, 16).unwrap();
+        let mut r = StoreReader::new(Cursor::new(bytes)).unwrap();
+        assert_eq!(r.version(), VERSION_V1);
+        assert_eq!(r.read_trace().unwrap(), t);
     }
 
     #[test]
@@ -619,22 +1067,176 @@ mod tests {
     }
 
     #[test]
-    fn rejects_corrupt_stores() {
+    fn rejects_corrupt_stores_with_typed_errors() {
         let t = sample_trace();
         let bytes = store_bytes(&t, 16);
         // bad magic
         let mut b = bytes.clone();
         b[0] = b'X';
-        assert!(StoreReader::new(Cursor::new(b)).is_err());
+        assert!(matches!(
+            StoreReader::new(Cursor::new(b)),
+            Err(StoreError::BadMagic)
+        ));
         // bad version
         let mut b = bytes.clone();
         b[4] = 99;
-        assert!(StoreReader::new(Cursor::new(b)).is_err());
+        assert!(matches!(
+            StoreReader::new(Cursor::new(b)),
+            Err(StoreError::UnsupportedVersion(99))
+        ));
         // truncated trailer
         let b = bytes[..bytes.len() - 3].to_vec();
         assert!(StoreReader::new(Cursor::new(b)).is_err());
         // not a store at all
-        assert!(StoreReader::new(Cursor::new(b"{\"events\":[]}".to_vec())).is_err());
+        assert!(matches!(
+            StoreReader::new(Cursor::new(b"{\"events\":[]}".to_vec())),
+            Err(StoreError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn flipped_chunk_byte_is_a_checksum_error_in_strict() {
+        let t = sample_trace();
+        let bytes = store_bytes(&t, 16);
+        let r = StoreReader::new(Cursor::new(bytes.clone())).unwrap();
+        let meta = r.footer().chunks[2];
+        let mut b = bytes;
+        b[meta.offset as usize + 3] ^= 0x40;
+        let mut r = StoreReader::new(Cursor::new(b)).unwrap();
+        match r.decode_chunk_events(2) {
+            Err(StoreError::ChecksumMismatch { chunk: 2, .. }) => {}
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn salvage_query_skips_corrupt_chunks_with_exact_accounting() {
+        let t = sample_trace();
+        let bytes = store_bytes(&t, 16);
+        let pristine = StoreReader::new(Cursor::new(bytes.clone())).unwrap();
+        let broken = 3usize;
+        let meta = pristine.footer().chunks[broken];
+        let mut b = bytes;
+        b[meta.offset as usize] ^= 0xFF;
+
+        let mut r = StoreReader::new_with_policy(Cursor::new(b), ReadPolicy::Salvage).unwrap();
+        assert!(r.salvage_summary().is_none(), "footer is fine");
+        let q = r.query(&Predicate::any(), 1).unwrap();
+        assert_eq!(q.stats.chunks_skipped, 1);
+        assert_eq!(q.stats.events_lost, meta.count);
+        assert!(q.stats.first_error.as_deref().unwrap().contains("chunk 3"));
+        let expect: Vec<_> = t
+            .events()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !(broken * 16..(broken + 1) * 16).contains(i))
+            .map(|(_, e)| e.clone())
+            .collect();
+        assert_eq!(q.events, expect);
+        // bit-identical accounting at several threads
+        let q4 = r.query(&Predicate::any(), 4).unwrap();
+        assert_eq!(q, q4);
+    }
+
+    #[test]
+    fn salvage_rebuilds_index_from_chunks_when_footer_dies() {
+        let t = sample_trace();
+        let bytes = store_bytes(&t, 16);
+        let pristine = StoreReader::new(Cursor::new(bytes.clone())).unwrap();
+        let n_chunks = pristine.num_chunks();
+        let footer_start = pristine
+            .footer()
+            .chunks
+            .last()
+            .map(|c| c.offset + c.byte_len)
+            .unwrap() as usize;
+        // kill the whole footer + trailer
+        let b = bytes[..footer_start].to_vec();
+
+        assert!(StoreReader::new(Cursor::new(b.clone())).is_err());
+        let mut r = StoreReader::new_with_policy(Cursor::new(b), ReadPolicy::Salvage).unwrap();
+        let s = r.salvage_summary().unwrap().clone();
+        assert_eq!(s.chunks_recovered, n_chunks);
+        assert_eq!(s.events_recovered, t.len() as u64);
+        assert!(s.markers_lost);
+        assert!(s.labels_synthesized, "events reference op labels");
+        let back = r.read_trace().unwrap();
+        assert_eq!(back.events(), t.events());
+        assert!(back.markers().is_empty());
+    }
+
+    #[test]
+    fn salvage_of_truncated_v1_store_recovers_the_intact_prefix() {
+        let t = sample_trace();
+        let mut bytes = Vec::new();
+        write_store_chunked_v1(&t, &mut bytes, 16).unwrap();
+        let pristine = StoreReader::new(Cursor::new(bytes.clone())).unwrap();
+        let chunks = pristine.footer().chunks.clone();
+        // cut mid-way through chunk 4
+        let cut = (chunks[4].offset + chunks[4].byte_len / 2) as usize;
+        let b = bytes[..cut].to_vec();
+        let mut r = StoreReader::new_with_policy(Cursor::new(b), ReadPolicy::Salvage).unwrap();
+        assert_eq!(r.salvage_summary().unwrap().chunks_recovered, 4);
+        let back = r.read_trace().unwrap();
+        assert_eq!(back.events(), &t.events()[..4 * 16]);
+    }
+
+    #[test]
+    fn scrub_drops_corrupt_chunks_and_remaps_markers() {
+        let t = sample_trace();
+        let bytes = store_bytes(&t, 16);
+        let pristine = StoreReader::new(Cursor::new(bytes.clone())).unwrap();
+        let broken = 1usize;
+        let meta = pristine.footer().chunks[broken];
+        let mut b = bytes;
+        b[meta.offset as usize + 1] ^= 0x08;
+
+        let mut r = StoreReader::new_with_policy(Cursor::new(b), ReadPolicy::Salvage).unwrap();
+        let mut w = StoreWriter::with_chunk_events(Vec::new(), 16).unwrap();
+        let stats = r.scrub_into(&mut w).unwrap();
+        w.finish().unwrap();
+        assert_eq!(stats.chunks_kept, stats.chunks_total - 1);
+        assert_eq!(stats.chunks_skipped, 1);
+        assert_eq!(stats.events_kept, t.len() as u64 - meta.count);
+        assert_eq!(stats.events_lost, meta.count);
+
+        let mut back = StoreReader::new(Cursor::new(w.into_inner())).unwrap();
+        assert!(back.verify_chunks().unwrap().is_empty());
+        let scrubbed = back.read_trace().unwrap();
+        let expect: Vec<_> = t
+            .events()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !(broken * 16..(broken + 1) * 16).contains(i))
+            .map(|(_, e)| e.clone())
+            .collect();
+        assert_eq!(scrubbed.events(), expect);
+        assert_eq!(scrubbed.markers().len(), t.markers().len());
+        // markers originally inside/after the lost range moved left by one
+        // chunk of events; none point past the stream
+        for m in scrubbed.markers() {
+            assert!(m.event_index <= scrubbed.len());
+        }
+    }
+
+    #[test]
+    fn verify_chunks_pinpoints_damage() {
+        let t = sample_trace();
+        let bytes = store_bytes(&t, 16);
+        let pristine = StoreReader::new(Cursor::new(bytes.clone())).unwrap();
+        let metas = pristine.footer().chunks.clone();
+        let mut b = bytes;
+        for broken in [2usize, 5] {
+            b[metas[broken].offset as usize + 2] ^= 0x01;
+        }
+        let mut r = StoreReader::new(Cursor::new(b)).unwrap();
+        let faults = r.verify_chunks().unwrap();
+        assert_eq!(
+            faults.iter().map(|f| f.chunk).collect::<Vec<_>>(),
+            vec![2, 5]
+        );
+        assert_eq!(faults[0].events_lost, metas[2].count);
+        assert!(faults[0].error.contains("checksum"));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! ways between consecutive events) go through the zigzag mapping first so
 //! small magnitudes of either sign stay short.
 
-use std::io;
+use crate::error::StoreError;
 
 /// Appends `v` to `out` as an unsigned LEB128 varint (1–10 bytes).
 pub fn write_u64(out: &mut Vec<u8>, mut v: u64) {
@@ -26,23 +26,18 @@ pub fn write_u64(out: &mut Vec<u8>, mut v: u64) {
 ///
 /// # Errors
 ///
-/// `InvalidData` on truncated input or a varint longer than 10 bytes.
-pub fn read_u64(buf: &[u8], pos: &mut usize) -> io::Result<u64> {
+/// [`StoreError::BadVarint`] on truncated input or a varint encoding more
+/// than 64 bits of payload. Never panics, whatever the input bytes.
+pub fn read_u64(buf: &[u8], pos: &mut usize) -> Result<u64, StoreError> {
     let mut v: u64 = 0;
     let mut shift = 0u32;
     loop {
         let Some(&byte) = buf.get(*pos) else {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "truncated varint",
-            ));
+            return Err(StoreError::BadVarint("truncated varint"));
         };
         *pos += 1;
         if shift >= 64 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "varint overflows u64",
-            ));
+            return Err(StoreError::BadVarint("varint overflows u64"));
         }
         v |= u64::from(byte & 0x7f) << shift;
         if byte & 0x80 == 0 {
@@ -73,7 +68,7 @@ pub fn write_i64(out: &mut Vec<u8>, v: i64) {
 /// # Errors
 ///
 /// Propagates [`read_u64`] errors.
-pub fn read_i64(buf: &[u8], pos: &mut usize) -> io::Result<i64> {
+pub fn read_i64(buf: &[u8], pos: &mut usize) -> Result<i64, StoreError> {
     read_u64(buf, pos).map(unzigzag)
 }
 

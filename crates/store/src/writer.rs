@@ -4,16 +4,113 @@
 //! `chunk_events` events, so a full training run never accumulates its
 //! trace in RAM — only the footer state (label table, markers, one index
 //! entry per flushed chunk) stays resident.
+//!
+//! Robustness properties:
+//!
+//! - **Crash-safe file writes** — [`StoreWriter::create`] writes to
+//!   `<path>.tmp` and atomically renames onto the destination only after a
+//!   successful [`TraceSink::finish`]. A crash, a deferred I/O error, or a
+//!   failed footer write never leaves a half-written `.ptrc` at the final
+//!   path; the temp file is removed on any finish error.
+//! - **Bounded retry with backoff** — transient write errors
+//!   (`WouldBlock`, `TimedOut`) are retried up to
+//!   [`RetryPolicy::max_attempts`] times with seeded, jittered exponential
+//!   backoff. The backoff sleep is injectable, so tests drive the retry
+//!   path deterministically with zero wall-clock time.
+//! - **Checksummed output** — every chunk is framed with the v2 record
+//!   header (magic, payload length, CRC-32) and the footer gets its own
+//!   CRC in the trailer, making later corruption detectable and the file
+//!   salvageable without its footer.
 
+use crate::crc32::crc32;
 use crate::format::{
-    encode_chunk, encode_footer, ChunkMeta, Footer, DEFAULT_CHUNK_EVENTS, MAGIC, TRAILER_LEN,
-    VERSION,
+    chunk_record_header, encode_chunk, encode_footer, trailer_len, ChunkMeta, Footer,
+    CHUNK_HEADER_LEN, DEFAULT_CHUNK_EVENTS, MAGIC, VERSION, VERSION_V1,
 };
+use pinpoint_tensor::rng::Rng64;
 use pinpoint_trace::{Marker, MemEvent, Trace, TraceSink};
 use std::collections::HashMap;
-use std::fs::File;
+use std::fmt;
+use std::fs::{self, File};
 use std::io::{self, BufWriter, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// How transient write errors are retried.
+///
+/// Retry timing is deterministic for a fixed seed: backoff before the
+/// `k`-th retry is drawn from `[base << (k-1) / 2, base << (k-1)]`
+/// microseconds using the writer's own [`Rng64`] stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per write call (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in microseconds.
+    pub base_backoff_us: u64,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    /// Four attempts, 100 µs initial backoff: rides out short stalls on
+    /// networked or contended filesystems without hiding real failures.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff_us: 100,
+            seed: 0x7072_6163_6531,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries at all: every transient error is surfaced immediately.
+    pub fn disabled() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff_us: 0,
+            seed: 0,
+        }
+    }
+}
+
+/// Kinds retried under the policy budget. `Interrupted` is excluded: it is
+/// always retried for free, mirroring `Write::write_all`.
+fn is_transient(kind: io::ErrorKind) -> bool {
+    matches!(kind, io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+/// `write_all` with the retry policy applied per underlying `write` call.
+fn write_all_retrying<W: Write>(
+    out: &mut W,
+    mut buf: &[u8],
+    retry: &RetryPolicy,
+    rng: &mut Rng64,
+    sleep: &mut dyn FnMut(u64),
+) -> io::Result<()> {
+    let mut attempts_left = retry.max_attempts.max(1) - 1;
+    let mut backoff = retry.base_backoff_us.max(1);
+    while !buf.is_empty() {
+        match out.write(buf) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "failed to write whole chunk",
+                ));
+            }
+            Ok(n) => buf = &buf[n..],
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if is_transient(e.kind()) && attempts_left > 0 => {
+                attempts_left -= 1;
+                let jitter = backoff / 2 + rng.gen_below(backoff / 2 + 1);
+                sleep(jitter);
+                backoff = backoff.saturating_mul(2);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
 
 /// A chunked columnar writer producing a `.ptrc` stream.
 ///
@@ -22,9 +119,9 @@ use std::path::Path;
 /// training run; I/O errors are deferred and surfaced by
 /// [`TraceSink::finish`] so the instrumented hot path never branches on
 /// I/O.
-#[derive(Debug)]
 pub struct StoreWriter<W: Write> {
     out: W,
+    version: u8,
     chunk_events: usize,
     pending: Vec<MemEvent>,
     labels: Vec<String>,
@@ -35,16 +132,63 @@ pub struct StoreWriter<W: Write> {
     events_total: u64,
     deferred_err: Option<io::Error>,
     finished: bool,
+    retry: RetryPolicy,
+    rng: Rng64,
+    sleeper: Box<dyn FnMut(u64) + Send>,
+    /// `(tmp, dest)`: rename tmp onto dest after a successful finish,
+    /// remove tmp on a failed one.
+    finalize: Option<(PathBuf, PathBuf)>,
+}
+
+impl<W: Write> fmt::Debug for StoreWriter<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StoreWriter")
+            .field("version", &self.version)
+            .field("chunk_events", &self.chunk_events)
+            .field("events_total", &self.events_total)
+            .field("chunks", &self.chunks.len())
+            .field("bytes_written", &self.bytes_written)
+            .field("deferred_err", &self.deferred_err)
+            .field("finished", &self.finished)
+            .field("retry", &self.retry)
+            .field("finalize", &self.finalize)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Temp-file path used by [`StoreWriter::create`]: `<path>.tmp` in the
+/// same directory, so the final rename stays on one filesystem.
+pub(crate) fn tmp_path(dest: &Path) -> PathBuf {
+    let mut name = dest.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    dest.with_file_name(name)
 }
 
 impl StoreWriter<BufWriter<File>> {
-    /// Creates a `.ptrc` file at `path` and a writer over it.
+    /// Creates a `.ptrc` file at `path` and a writer over it, with
+    /// crash-safe semantics: bytes stream into `<path>.tmp`, which is
+    /// atomically renamed onto `path` only when [`TraceSink::finish`]
+    /// succeeds. On any finish error the temp file is removed and `path`
+    /// is left untouched.
     ///
     /// # Errors
     ///
-    /// Propagates file-creation and header-write errors.
+    /// Propagates file-creation and header-write errors (the temp file is
+    /// cleaned up if the header write fails).
     pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
-        Self::new(BufWriter::new(File::create(path)?))
+        let dest = path.as_ref().to_path_buf();
+        let tmp = tmp_path(&dest);
+        let out = BufWriter::new(File::create(&tmp)?);
+        match Self::new(out) {
+            Ok(mut w) => {
+                w.finalize = Some((tmp, dest));
+                Ok(w)
+            }
+            Err(e) => {
+                let _ = fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
     }
 }
 
@@ -64,22 +208,80 @@ impl<W: Write> StoreWriter<W> {
     /// # Errors
     ///
     /// Propagates the header write error.
-    pub fn with_chunk_events(mut out: W, chunk_events: usize) -> io::Result<Self> {
-        out.write_all(MAGIC)?;
-        out.write_all(&[VERSION])?;
-        Ok(StoreWriter {
+    pub fn with_chunk_events(out: W, chunk_events: usize) -> io::Result<Self> {
+        Self::with_format(out, chunk_events, VERSION)
+    }
+
+    /// Like [`StoreWriter::with_chunk_events`] with an explicit format
+    /// version — v1 output exists for compatibility testing and for
+    /// exercising the v1 read path; new stores should always be v2.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` on an unknown version; otherwise propagates the
+    /// header write error.
+    pub fn with_format(out: W, chunk_events: usize, version: u8) -> io::Result<Self> {
+        if version != VERSION && version != VERSION_V1 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("unknown .ptrc version {version}"),
+            ));
+        }
+        let retry = RetryPolicy::default();
+        let mut w = StoreWriter {
             out,
+            version,
             chunk_events: chunk_events.max(1),
             pending: Vec::new(),
             labels: Vec::new(),
             label_index: HashMap::new(),
             markers: Vec::new(),
             chunks: Vec::new(),
-            bytes_written: (MAGIC.len() + 1) as u64,
+            bytes_written: 0,
             events_total: 0,
             deferred_err: None,
             finished: false,
-        })
+            rng: Rng64::seed_from_u64(retry.seed),
+            retry,
+            sleeper: Box::new(|us| std::thread::sleep(Duration::from_micros(us))),
+            finalize: None,
+        };
+        // the header goes through the same retry-protected path as every
+        // other write, so a transient error at byte 0 doesn't kill the
+        // writer either
+        let mut head = [0u8; MAGIC.len() + 1];
+        head[..MAGIC.len()].copy_from_slice(MAGIC);
+        head[MAGIC.len()] = version;
+        w.write_retrying(&head)?;
+        w.bytes_written = head.len() as u64;
+        Ok(w)
+    }
+
+    /// Sets the transient-error retry policy (reseeding the jitter
+    /// stream from the policy's seed).
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.rng = Rng64::seed_from_u64(retry.seed);
+        self.retry = retry;
+    }
+
+    /// Replaces the backoff sleep (argument: microseconds). Tests install
+    /// a recording closure here so retry runs take zero wall-clock time.
+    pub fn set_sleeper(&mut self, sleeper: Box<dyn FnMut(u64) + Send>) {
+        self.sleeper = sleeper;
+    }
+
+    /// Arms crash-safe finalization on an already-constructed writer:
+    /// after a successful finish, `tmp` is renamed onto `dest`; after a
+    /// failed one, `tmp` is removed. For file-backed writers wrapped in
+    /// shims (e.g. the fault harness); [`StoreWriter::create`] sets this
+    /// up automatically.
+    pub fn set_atomic_finalize(&mut self, tmp: PathBuf, dest: PathBuf) {
+        self.finalize = Some((tmp, dest));
+    }
+
+    /// The format version this writer emits.
+    pub fn version(&self) -> u8 {
+        self.version
     }
 
     /// Events recorded so far (buffered + flushed).
@@ -97,20 +299,74 @@ impl<W: Write> StoreWriter<W> {
         self.bytes_written
     }
 
+    fn write_retrying(&mut self, bytes: &[u8]) -> io::Result<()> {
+        write_all_retrying(
+            &mut self.out,
+            bytes,
+            &self.retry,
+            &mut self.rng,
+            &mut self.sleeper,
+        )
+    }
+
     fn flush_chunk(&mut self) {
         if self.pending.is_empty() || self.deferred_err.is_some() {
             self.pending.clear();
             return;
         }
         let (bytes, mut meta) = encode_chunk(&self.pending);
-        meta.offset = self.bytes_written;
-        if let Err(e) = self.out.write_all(&bytes) {
-            self.deferred_err = Some(e);
-            return;
+        let result = if self.version >= 2 {
+            if bytes.len() > u32::MAX as usize {
+                Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "chunk payload exceeds u32::MAX bytes",
+                ))
+            } else {
+                meta.offset = self.bytes_written + CHUNK_HEADER_LEN as u64;
+                let hdr = chunk_record_header(bytes.len() as u32, meta.crc32);
+                self.write_retrying(&hdr)
+                    .and_then(|()| self.write_retrying(&bytes))
+                    .map(|()| (CHUNK_HEADER_LEN + bytes.len()) as u64)
+            }
+        } else {
+            meta.offset = self.bytes_written;
+            meta.crc32 = 0; // v1 carries no checksums
+            self.write_retrying(&bytes).map(|()| bytes.len() as u64)
+        };
+        match result {
+            Ok(written) => {
+                self.bytes_written += written;
+                self.chunks.push(meta);
+                self.pending.clear();
+            }
+            Err(e) => {
+                self.deferred_err = Some(e);
+            }
         }
-        self.bytes_written += bytes.len() as u64;
-        self.chunks.push(meta);
-        self.pending.clear();
+    }
+
+    fn finish_inner(&mut self) -> io::Result<()> {
+        self.flush_chunk();
+        if let Some(e) = self.deferred_err.take() {
+            return Err(e);
+        }
+        let footer = Footer {
+            labels: std::mem::take(&mut self.labels),
+            markers: std::mem::take(&mut self.markers),
+            chunks: std::mem::take(&mut self.chunks),
+            total_events: self.events_total,
+        };
+        let footer_start = self.bytes_written;
+        let bytes = encode_footer(&footer, self.version);
+        self.write_retrying(&bytes)?;
+        self.write_retrying(&footer_start.to_le_bytes())?;
+        if self.version >= 2 {
+            self.write_retrying(&crc32(&bytes).to_le_bytes())?;
+        }
+        self.write_retrying(MAGIC)?;
+        self.bytes_written += bytes.len() as u64 + trailer_len(self.version) as u64;
+        self.out.flush()?;
+        Ok(())
     }
 
     /// Consumes the writer, returning the underlying stream (after
@@ -157,27 +413,51 @@ impl<W: Write> TraceSink for StoreWriter<W> {
         if self.finished {
             return Ok(());
         }
-        self.flush_chunk();
-        if let Some(e) = self.deferred_err.take() {
-            self.finished = true;
-            return Err(e);
-        }
-        let footer = Footer {
-            labels: std::mem::take(&mut self.labels),
-            markers: std::mem::take(&mut self.markers),
-            chunks: std::mem::take(&mut self.chunks),
-            total_events: self.events_total,
-        };
-        let footer_start = self.bytes_written;
-        let bytes = encode_footer(&footer);
-        self.out.write_all(&bytes)?;
-        self.out.write_all(&footer_start.to_le_bytes())?;
-        self.out.write_all(MAGIC)?;
-        self.bytes_written += bytes.len() as u64 + TRAILER_LEN as u64;
-        self.out.flush()?;
+        let result = self.finish_inner();
         self.finished = true;
-        Ok(())
+        match result {
+            Ok(()) => {
+                if let Some((tmp, dest)) = self.finalize.take() {
+                    if let Err(e) = fs::rename(&tmp, &dest) {
+                        let _ = fs::remove_file(&tmp);
+                        return Err(e);
+                    }
+                }
+                Ok(())
+            }
+            Err(e) => {
+                // leave nothing half-written behind: the destination is
+                // untouched and the temp file is gone
+                if let Some((tmp, _)) = self.finalize.take() {
+                    let _ = fs::remove_file(&tmp);
+                }
+                Err(e)
+            }
+        }
     }
+}
+
+fn replay_trace_into<W: Write>(trace: &Trace, w: &mut StoreWriter<W>) -> io::Result<u64> {
+    for label in trace.labels() {
+        w.intern_label(label);
+    }
+    // replay events and markers in stream order so marker event indices
+    // land where Trace::mark placed them
+    let mut next_marker = 0usize;
+    let markers = trace.markers();
+    for (i, e) in trace.events().iter().enumerate() {
+        while next_marker < markers.len() && markers[next_marker].event_index <= i {
+            let m = &markers[next_marker];
+            w.record_marker(m.time_ns, &m.label);
+            next_marker += 1;
+        }
+        w.record_event(e.clone());
+    }
+    for m in &markers[next_marker..] {
+        w.record_marker(m.time_ns, &m.label);
+    }
+    w.finish()?;
+    Ok(w.bytes_written())
 }
 
 /// Writes a whole in-memory [`Trace`] as a `.ptrc` stream, returning the
@@ -201,35 +481,33 @@ pub fn write_store_chunked<W: Write>(
     chunk_events: usize,
 ) -> io::Result<u64> {
     let mut w = StoreWriter::with_chunk_events(out, chunk_events)?;
-    for label in trace.labels() {
-        w.intern_label(label);
-    }
-    // replay events and markers in stream order so marker event indices
-    // land where Trace::mark placed them
-    let mut next_marker = 0usize;
-    let markers = trace.markers();
-    for (i, e) in trace.events().iter().enumerate() {
-        while next_marker < markers.len() && markers[next_marker].event_index <= i {
-            let m = &markers[next_marker];
-            w.record_marker(m.time_ns, &m.label);
-            next_marker += 1;
-        }
-        w.record_event(e.clone());
-    }
-    for m in &markers[next_marker..] {
-        w.record_marker(m.time_ns, &m.label);
-    }
-    w.finish()?;
-    Ok(w.bytes_written())
+    replay_trace_into(trace, &mut w)
 }
 
-/// Writes a whole in-memory [`Trace`] to a `.ptrc` file.
+/// [`write_store_chunked`] in the legacy v1 format (no checksums).
+/// Exists so the v1 read path and v1→v2 conversion stay testable.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_store_chunked_v1<W: Write>(
+    trace: &Trace,
+    out: W,
+    chunk_events: usize,
+) -> io::Result<u64> {
+    let mut w = StoreWriter::with_format(out, chunk_events, VERSION_V1)?;
+    replay_trace_into(trace, &mut w)
+}
+
+/// Writes a whole in-memory [`Trace`] to a `.ptrc` file, crash-safely
+/// (temp file + atomic rename; see [`StoreWriter::create`]).
 ///
 /// # Errors
 ///
 /// Propagates I/O errors.
 pub fn write_store_file(trace: &Trace, path: impl AsRef<Path>) -> io::Result<u64> {
-    write_store(trace, BufWriter::new(File::create(path)?))
+    let mut w = StoreWriter::create(path)?;
+    replay_trace_into(trace, &mut w)
 }
 
 #[cfg(test)]
@@ -237,21 +515,27 @@ mod tests {
     use super::*;
     use pinpoint_trace::{BlockId, EventKind, MemoryKind};
 
+    fn event(i: u64) -> MemEvent {
+        MemEvent {
+            time_ns: i * 10,
+            kind: EventKind::Write,
+            block: BlockId(i),
+            size: 64,
+            offset: 0,
+            mem_kind: MemoryKind::Activation,
+            op_label: None,
+        }
+    }
+
     #[test]
     fn writer_spills_chunks_as_events_stream_in() {
         let mut w = StoreWriter::with_chunk_events(Vec::new(), 4).unwrap();
         let op = w.intern_label("op");
         assert_eq!(op, w.intern_label("op"));
         for i in 0..10u64 {
-            w.record_event(MemEvent {
-                time_ns: i * 10,
-                kind: EventKind::Write,
-                block: BlockId(i),
-                size: 64,
-                offset: 0,
-                mem_kind: MemoryKind::Activation,
-                op_label: Some(op),
-            });
+            let mut e = event(i);
+            e.op_label = Some(op);
+            w.record_event(e);
         }
         // 10 events at 4/chunk: two full chunks flushed, 2 events pending
         assert_eq!(w.chunks_flushed(), 2);
@@ -259,6 +543,7 @@ mod tests {
         w.finish().unwrap();
         let bytes = w.into_inner();
         assert_eq!(&bytes[..4], MAGIC);
+        assert_eq!(bytes[4], VERSION);
         assert_eq!(&bytes[bytes.len() - 4..], MAGIC);
     }
 
@@ -277,20 +562,105 @@ mod tests {
                 Ok(())
             }
         }
-        // header writes (magic + version) succeed, chunk write fails
+        // header writes (magic + version) succeed, chunk write fails;
+        // "disk full" is not transient, so no retry kicks in
         let mut w = StoreWriter::with_chunk_events(Failing(2), 1).unwrap();
-        w.record_event(MemEvent {
-            time_ns: 0,
-            kind: EventKind::Malloc,
-            block: BlockId(0),
-            size: 1,
-            offset: 0,
-            mem_kind: MemoryKind::Other,
-            op_label: None,
-        });
+        w.record_event(event(0));
         assert!(w.finish().is_err());
         // finish is idempotent after reporting
         assert!(w.finish().is_ok());
+    }
+
+    #[test]
+    fn transient_errors_are_retried_with_seeded_backoff() {
+        /// Fails the first `fail` writes with a transient kind.
+        struct Flaky {
+            fail: usize,
+            out: Vec<u8>,
+        }
+        impl Write for Flaky {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                if self.fail > 0 {
+                    self.fail -= 1;
+                    return Err(io::Error::new(io::ErrorKind::TimedOut, "slow disk"));
+                }
+                self.out.extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let run = |seed: u64| -> (Vec<u8>, Vec<u64>) {
+            let mut w = StoreWriter::with_chunk_events(
+                Flaky {
+                    fail: 0,
+                    out: Vec::new(),
+                },
+                2,
+            )
+            .unwrap();
+            w.set_retry_policy(RetryPolicy {
+                max_attempts: 4,
+                base_backoff_us: 100,
+                seed,
+            });
+            let sleeps = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+            let record = sleeps.clone();
+            w.set_sleeper(Box::new(move |us| record.lock().unwrap().push(us)));
+            w.out.fail = 2; // next two writes stall, then recover
+            for i in 0..2 {
+                w.record_event(event(i));
+            }
+            w.finish().unwrap();
+            let slept = sleeps.lock().unwrap().clone();
+            (w.into_inner().out, slept)
+        };
+
+        let (bytes_a, sleeps_a) = run(7);
+        let (bytes_b, sleeps_b) = run(7);
+        let (_, sleeps_c) = run(8);
+        assert_eq!(sleeps_a.len(), 2, "two transient stalls, two backoffs");
+        // jittered exponential: first in [50,100], second in [100,200]
+        assert!((50..=100).contains(&sleeps_a[0]), "{sleeps_a:?}");
+        assert!((100..=200).contains(&sleeps_a[1]), "{sleeps_a:?}");
+        assert_eq!(sleeps_a, sleeps_b, "same seed, same backoff schedule");
+        assert_ne!(sleeps_a, sleeps_c, "different seed, different jitter");
+        assert_eq!(bytes_a, bytes_b);
+        // and the recovered stream is a valid store
+        assert_eq!(&bytes_a[..4], MAGIC);
+        assert_eq!(&bytes_a[bytes_a.len() - 4..], MAGIC);
+    }
+
+    #[test]
+    fn retry_budget_is_bounded() {
+        /// Always times out.
+        struct Stuck;
+        impl Write for Stuck {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::TimedOut, "dead disk"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut rng = Rng64::seed_from_u64(1);
+        let mut sleeps = 0usize;
+        let err = write_all_retrying(
+            &mut Stuck,
+            b"payload",
+            &RetryPolicy {
+                max_attempts: 3,
+                base_backoff_us: 10,
+                seed: 1,
+            },
+            &mut rng,
+            &mut |_| sleeps += 1,
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert_eq!(sleeps, 2, "3 attempts = 2 backoffs");
     }
 
     #[test]
@@ -298,6 +668,32 @@ mod tests {
         let mut w = StoreWriter::new(Vec::new()).unwrap();
         w.finish().unwrap();
         let bytes = w.into_inner();
-        assert!(bytes.len() > TRAILER_LEN);
+        assert!(bytes.len() > crate::format::TRAILER_LEN_V2);
+    }
+
+    #[test]
+    fn create_renames_only_on_successful_finish() {
+        let dir = std::env::temp_dir().join("pinpoint_writer_atomic_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let dest = dir.join("ok.ptrc");
+        let _ = fs::remove_file(&dest);
+        let tmp = tmp_path(&dest);
+
+        let mut w = StoreWriter::create(&dest).unwrap();
+        w.record_event(event(1));
+        assert!(tmp.exists(), "bytes stream into the temp file");
+        assert!(!dest.exists(), "destination untouched until finish");
+        w.finish().unwrap();
+        assert!(dest.exists());
+        assert!(!tmp.exists(), "temp renamed away");
+        let _ = fs::remove_file(&dest);
+    }
+
+    #[test]
+    fn v1_writer_produces_version_1_header() {
+        let mut bytes = Vec::new();
+        write_store_chunked_v1(&Trace::new(), &mut bytes, 8).unwrap();
+        assert_eq!(&bytes[..4], MAGIC);
+        assert_eq!(bytes[4], VERSION_V1);
     }
 }

@@ -182,6 +182,152 @@ fn trace_tool_store_outputs_match_json_outputs() {
 }
 
 #[test]
+fn scrub_and_verify_round_trip_a_damaged_store() {
+    let trace = trace_file();
+    let tool = bin("pinpoint-trace-tool");
+    if !tool.exists() {
+        eprintln!("skipping: {tool:?} not built (run with --workspace)");
+        return;
+    }
+    let store = std::env::temp_dir().join("pinpoint_cli_scrub.ptrc");
+    let out = Command::new(&tool)
+        .args(["convert"])
+        .arg(&trace)
+        .arg(&store)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "convert failed: {out:?}");
+
+    // a pristine store verifies clean, exit code zero
+    let out = Command::new(&tool)
+        .args(["info"])
+        .arg(&store)
+        .arg("--verify")
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("intact"));
+
+    // flip one payload byte: --verify must fail with a pinpointed chunk
+    let mut bytes = std::fs::read(&store).unwrap();
+    let mid = bytes.len() / 3;
+    bytes[mid] ^= 0x10;
+    let damaged = std::env::temp_dir().join("pinpoint_cli_scrub_damaged.ptrc");
+    std::fs::write(&damaged, &bytes).unwrap();
+    let out = Command::new(&tool)
+        .args(["info"])
+        .arg(&damaged)
+        .arg("--verify")
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "damaged store must fail --verify");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("CORRUPT"));
+
+    // scrub rebuilds a store that verifies clean again
+    let scrubbed = std::env::temp_dir().join("pinpoint_cli_scrubbed.ptrc");
+    let out = Command::new(&tool)
+        .args(["scrub"])
+        .arg(&damaged)
+        .arg(&scrubbed)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "scrub failed: {out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("dropped"));
+    let out = Command::new(&tool)
+        .args(["info"])
+        .arg(&scrubbed)
+        .arg("--verify")
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "scrubbed store must verify: {out:?}");
+
+    // scrubbing a pristine store is a lossless pass-through
+    let copied = std::env::temp_dir().join("pinpoint_cli_scrub_copy.ptrc");
+    let out = Command::new(&tool)
+        .args(["scrub"])
+        .arg(&store)
+        .arg(&copied)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("0 chunks / 0 events dropped"));
+    let a = Command::new(&tool)
+        .arg("summary")
+        .arg(&store)
+        .output()
+        .unwrap();
+    let b = Command::new(&tool)
+        .arg("summary")
+        .arg(&copied)
+        .output()
+        .unwrap();
+    assert_eq!(a.stdout, b.stdout, "scrub of a clean store changes nothing");
+
+    for p in [&store, &damaged, &scrubbed, &copied] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn convert_writes_v2_and_v1_stores_stay_fully_readable() {
+    let trace = trace_file();
+    let tool = bin("pinpoint-trace-tool");
+    if !tool.exists() {
+        eprintln!("skipping: {tool:?} not built (run with --workspace)");
+        return;
+    }
+    // convert emits format v2 (checksummed) by default
+    let store = std::env::temp_dir().join("pinpoint_cli_v2_default.ptrc");
+    let out = Command::new(&tool)
+        .args(["convert"])
+        .arg(&trace)
+        .arg(&store)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let head = std::fs::read(&store).unwrap();
+    assert_eq!(&head[..4], b"PTRC");
+    assert_eq!(head[4], 2, "convert must write format v2 by default");
+
+    // a legacy v1 store round-trips through the tool byte-identically at
+    // the event level: same JSON out, same analysis output
+    let original = read_json(File::open(&trace).unwrap()).unwrap();
+    let v1 = std::env::temp_dir().join("pinpoint_cli_v1_legacy.ptrc");
+    {
+        let mut bytes = Vec::new();
+        pinpoint::store::write_store_chunked_v1(&original, &mut bytes, 4096).unwrap();
+        assert_eq!(bytes[4], 1);
+        std::fs::write(&v1, bytes).unwrap();
+    }
+    let back = std::env::temp_dir().join("pinpoint_cli_v1_back.json");
+    let out = Command::new(&tool)
+        .args(["convert"])
+        .arg(&v1)
+        .arg(&back)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "v1 convert failed: {out:?}");
+    let decoded = read_json(File::open(&back).unwrap()).unwrap();
+    assert_eq!(decoded, original, "v1 -> JSON loses information");
+    let a = Command::new(&tool)
+        .arg("summary")
+        .arg(&v1)
+        .output()
+        .unwrap();
+    let b = Command::new(&tool)
+        .arg("summary")
+        .arg(&store)
+        .output()
+        .unwrap();
+    assert!(a.status.success() && b.status.success());
+    assert_eq!(a.stdout, b.stdout, "v1 and v2 analyses diverge");
+
+    for p in [&store, &v1, &back] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
 fn figures_cli_runs_quick_figures() {
     let figures = bin("pinpoint-figures");
     if !figures.exists() {
