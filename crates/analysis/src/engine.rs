@@ -20,8 +20,7 @@ use crate::ati::{AtiDataset, AtiRecord};
 use crate::breakdown::BreakdownRow;
 use crate::gantt::GanttRect;
 use crate::outlier::{sift, OutlierCriteria, OutlierReport};
-use pinpoint_store::format::decode_chunk_verified;
-use pinpoint_store::{ChunkMeta, Predicate, ReadPolicy, StoreReader, DEFAULT_CHUNK_EVENTS};
+use pinpoint_store::{ColumnBatch, Predicate, ReadPolicy, StoreReader, DEFAULT_CHUNK_EVENTS};
 use pinpoint_trace::{BlockId, Category, EventKind, MemEvent, MemoryKind, PeakUsage, Trace};
 use std::any::Any;
 use std::collections::btree_map::Entry;
@@ -64,6 +63,37 @@ pub trait EventFold: Send + Sync {
     fn merge(&self, a: Self::Acc, b: Self::Acc) -> Self::Acc;
     /// Converts the fully merged accumulator into the pass result.
     fn finish(&self, acc: Self::Acc) -> Self::Output;
+
+    /// Folds one decoded chunk, column-batch style. `pred` is always this
+    /// fold's own [`predicate`](Self::predicate); the engine passes it so
+    /// overrides don't have to recompute it per chunk.
+    ///
+    /// The default materializes each event and filters with `pred` —
+    /// semantically identical to the per-event path. Folds whose
+    /// predicate can be tested straight off a column override this to
+    /// skip events without ever building a [`MemEvent`] (see
+    /// [`PeakFold`], which rules out accesses with one byte test per
+    /// event) — and must then also override
+    /// [`columnar`](Self::columnar) to return `true`, or the engine's
+    /// shared per-event loop is used and the override never runs.
+    /// Overrides must stay bit-identical to the default.
+    fn push_batch(&self, acc: &mut Self::Acc, batch: &ColumnBatch, pred: &Predicate) {
+        for i in 0..batch.len() {
+            let e = batch.event(i);
+            if pred.matches_event(&e) {
+                self.push(acc, &e);
+            }
+        }
+    }
+
+    /// Whether [`push_batch`](Self::push_batch) is overridden with a
+    /// columnar implementation. The engine materializes each event
+    /// **once per chunk** and shares it among every non-columnar fold in
+    /// the pipeline; columnar folds are handed the raw batch instead,
+    /// so a five-fold report never builds an event more than once.
+    fn columnar(&self) -> bool {
+        false
+    }
 }
 
 /// Type-erased accumulator, so one pipeline can carry folds with
@@ -76,6 +106,8 @@ trait DynFold: Send + Sync {
     fn predicate_dyn(&self) -> Predicate;
     fn new_acc_dyn(&self) -> DynAcc;
     fn push_dyn(&self, acc: &mut DynAcc, e: &MemEvent);
+    fn push_batch_dyn(&self, acc: &mut DynAcc, batch: &ColumnBatch, pred: &Predicate);
+    fn columnar_dyn(&self) -> bool;
     fn merge_dyn(&self, a: DynAcc, b: DynAcc) -> DynAcc;
     fn finish_dyn(&self, acc: DynAcc) -> DynAcc;
 }
@@ -90,6 +122,13 @@ impl<F: EventFold> DynFold for F {
     fn push_dyn(&self, acc: &mut DynAcc, e: &MemEvent) {
         let acc = acc.downcast_mut::<F::Acc>().expect("fold acc type");
         self.push(acc, e);
+    }
+    fn push_batch_dyn(&self, acc: &mut DynAcc, batch: &ColumnBatch, pred: &Predicate) {
+        let acc = acc.downcast_mut::<F::Acc>().expect("fold acc type");
+        self.push_batch(acc, batch, pred);
+    }
+    fn columnar_dyn(&self) -> bool {
+        self.columnar()
     }
     fn merge_dyn(&self, a: DynAcc, b: DynAcc) -> DynAcc {
         let a = a.downcast::<F::Acc>().expect("fold acc type");
@@ -135,6 +174,12 @@ pub struct FusedStats {
     pub chunks_decoded: usize,
     /// Chunks skipped via the footer index and the union predicate.
     pub chunks_pruned: usize,
+    /// Of the pruned chunks, how many were rejected *specifically* by the
+    /// v3 per-chunk op-label bitset — every other zone-map test would
+    /// have let them through. Always 0 when no registered fold constrains
+    /// the op label, and on pre-v3 stores (their index defaults to the
+    /// all-labels bitset).
+    pub chunks_pruned_by_label: usize,
     /// Events scanned across all decoded chunks.
     pub events_scanned: u64,
     /// Chunks read but dropped as corrupt (always 0 under
@@ -284,63 +329,54 @@ impl FusedPipeline {
     ) -> io::Result<FusedOutputs> {
         let policy = self.read_policy.unwrap_or_else(|| reader.policy());
         let chunks_total = reader.num_chunks();
-        let candidates: Vec<usize> = if self.folds.is_empty() {
-            Vec::new()
-        } else {
-            let union = self.union_predicate();
-            reader
-                .footer()
-                .chunks
-                .iter()
-                .enumerate()
-                .filter(|(_, m)| union.matches_chunk(m))
-                .map(|(i, _)| i)
-                .collect()
-        };
-        let metas: Vec<ChunkMeta> = candidates
-            .iter()
-            .map(|&i| reader.footer().chunks[i])
-            .collect();
-        let raw = reader.read_chunk_batch(&candidates)?;
-        let verify = reader.version() >= 2;
-        let preds: Vec<Predicate> = self.folds.iter().map(|f| f.predicate_dyn()).collect();
-        let folds = &self.folds;
-        let items: Vec<(usize, ChunkMeta, Vec<u8>)> = candidates
-            .iter()
-            .zip(&metas)
-            .zip(raw)
-            .map(|((&i, &meta), bytes)| (i, meta, bytes))
-            .collect();
-        // parallel verify+decode+fold per chunk, then a sequential merge
-        // in chunk order: the per-chunk verdicts (and thus the salvage
-        // accounting) fold deterministically whatever the thread count
-        let per = pinpoint_parallel::map_ordered(items, threads, move |(i, meta, bytes)| {
-            decode_chunk_verified(&bytes, &meta, i, verify)
-                .map(|events| (fold_chunk(folds, &preds, &events), events.len() as u64))
-        });
-        let mut merged: Option<Vec<DynAcc>> = None;
         let mut stats = FusedStats {
             chunks_total,
-            chunks_pruned: chunks_total - candidates.len(),
             ..FusedStats::default()
         };
-        for (j, res) in per.into_iter().enumerate() {
-            match res {
-                Ok((accs, n)) => {
-                    stats.chunks_decoded += 1;
-                    stats.events_scanned += n;
-                    merged = merge_accs(folds, merged, accs);
+        let mut candidates: Vec<usize> = Vec::new();
+        if !self.folds.is_empty() {
+            let union = self.union_predicate();
+            for (i, m) in reader.footer().chunks.iter().enumerate() {
+                if union.matches_chunk(m) {
+                    candidates.push(i);
+                } else if union.pruned_by_label(m) {
+                    stats.chunks_pruned_by_label += 1;
                 }
-                Err(e) if policy == ReadPolicy::Salvage && e.is_corruption() => {
-                    stats.chunks_skipped += 1;
-                    stats.events_lost += metas[j].count;
-                    if stats.first_error.is_none() {
-                        stats.first_error = Some(e.to_string());
-                    }
-                }
-                Err(e) => return Err(e.into()),
             }
         }
+        stats.chunks_pruned = chunks_total - candidates.len();
+        let preds: Vec<Predicate> = self.folds.iter().map(|f| f.predicate_dyn()).collect();
+        let folds = &self.folds;
+        let mut merged: Option<Vec<DynAcc>> = None;
+        // scan_chunks runs verify+decode+batch-fold on worker threads
+        // against pooled scratch buffers, then hands results back in
+        // chunk order: the per-chunk verdicts (and thus the salvage
+        // accounting) fold deterministically whatever the thread count,
+        // and the steady-state scan allocates nothing per chunk
+        reader
+            .scan_chunks(
+                &candidates,
+                threads,
+                |_, _, batch| (fold_chunk_batch(folds, &preds, batch), batch.len() as u64),
+                |_, meta, res| match res {
+                    Ok((accs, n)) => {
+                        stats.chunks_decoded += 1;
+                        stats.events_scanned += n;
+                        merged = merge_accs(folds, merged.take(), accs);
+                        Ok(())
+                    }
+                    Err(e) if policy == ReadPolicy::Salvage && e.is_corruption() => {
+                        stats.chunks_skipped += 1;
+                        stats.events_lost += meta.count;
+                        if stats.first_error.is_none() {
+                            stats.first_error = Some(e.to_string());
+                        }
+                        Ok(())
+                    }
+                    Err(e) => Err(e),
+                },
+            )
+            .map_err(io::Error::from)?;
         Ok(self.finalize(merged, stats))
     }
 
@@ -386,7 +422,40 @@ impl FusedPipeline {
     }
 }
 
-/// Folds one chunk of events into fresh per-fold accumulators.
+/// Folds one decoded column batch into fresh per-fold accumulators.
+///
+/// Columnar folds consume the batch directly (never building an event);
+/// all remaining folds share a single materialization loop, so each
+/// event is built at most once per chunk however many folds registered.
+fn fold_chunk_batch(
+    folds: &[Box<dyn DynFold>],
+    preds: &[Predicate],
+    batch: &ColumnBatch,
+) -> Vec<DynAcc> {
+    let mut accs: Vec<DynAcc> = folds.iter().map(|f| f.new_acc_dyn()).collect();
+    let mut shared: Vec<usize> = Vec::new();
+    for (j, fold) in folds.iter().enumerate() {
+        if fold.columnar_dyn() {
+            fold.push_batch_dyn(&mut accs[j], batch, &preds[j]);
+        } else {
+            shared.push(j);
+        }
+    }
+    if !shared.is_empty() {
+        for i in 0..batch.len() {
+            let e = batch.event(i);
+            for &j in &shared {
+                if preds[j].matches_event(&e) {
+                    folds[j].push_dyn(&mut accs[j], &e);
+                }
+            }
+        }
+    }
+    accs
+}
+
+/// Folds one chunk of already-materialized events into fresh per-fold
+/// accumulators (the [`FusedPipeline::run_trace`] path).
 fn fold_chunk(folds: &[Box<dyn DynFold>], preds: &[Predicate], events: &[MemEvent]) -> Vec<DynAcc> {
     let mut accs: Vec<DynAcc> = folds.iter().map(|f| f.new_acc_dyn()).collect();
     for e in events {
@@ -615,6 +684,24 @@ fn peak_push(acc: &mut PeakAcc, e: &MemEvent) {
     }
 }
 
+/// Columnar twin of [`peak_push`] shared by [`PeakFold`] and
+/// [`BreakdownFold`]: the meta column's 2-bit kind code (malloc = 0,
+/// free = 1) rules out accesses with one byte test, so in access-heavy
+/// traces — the paper's regime — the vast majority of events are skipped
+/// without ever being materialized.
+fn peak_push_batch(acc: &mut PeakAcc, batch: &ColumnBatch, pred: &Predicate) {
+    let meta = batch.meta();
+    for (i, &m) in meta.iter().enumerate() {
+        if m & 0b11 > 1 {
+            continue;
+        }
+        let e = batch.event(i);
+        if pred.matches_event(&e) {
+            peak_push(acc, &e);
+        }
+    }
+}
+
 fn peak_merge(a: PeakAcc, mut b: PeakAcc) -> PeakAcc {
     // Rebase B's candidate onto A's closing totals; keep A's candidate
     // on ties so the *earliest* maximum wins, like the sequential scan.
@@ -679,6 +766,12 @@ impl EventFold for PeakFold {
     fn finish(&self, acc: PeakAcc) -> PeakUsage {
         peak_usage(acc)
     }
+    fn push_batch(&self, acc: &mut PeakAcc, batch: &ColumnBatch, pred: &Predicate) {
+        peak_push_batch(acc, batch, pred);
+    }
+    fn columnar(&self) -> bool {
+        true
+    }
 }
 
 /// One breakdown-figure row as a fold — the fused twin of
@@ -704,6 +797,12 @@ impl EventFold for BreakdownFold {
     }
     fn merge(&self, a: PeakAcc, b: PeakAcc) -> PeakAcc {
         peak_merge(a, b)
+    }
+    fn push_batch(&self, acc: &mut PeakAcc, batch: &ColumnBatch, pred: &Predicate) {
+        peak_push_batch(acc, batch, pred);
+    }
+    fn columnar(&self) -> bool {
+        true
     }
     fn finish(&self, acc: PeakAcc) -> BreakdownRow {
         let peak = peak_usage(acc);

@@ -7,6 +7,13 @@
 //! wall clock at 1 and 4 worker threads in `BENCH_report.json` and
 //! asserts that the fused run is bit-identical to the baseline, decodes
 //! each chunk once, and is no slower at either thread count.
+//!
+//! The fused run is measured on both a v2 and a v3 store of the same
+//! trace: results must be bit-identical across formats, and the v3 run
+//! must not be slower (timer-noise margin) — the batched-decode
+//! regression guard on every CI bench-smoke run. The scan accounting
+//! (including the v3-only `chunks_pruned_by_label` counter) lands in the
+//! JSON.
 
 use pinpoint_analysis::{
     AtiDataset, AtiFold, BreakdownFold, BreakdownRow, FusedPipeline, GanttFold, GanttRect,
@@ -18,7 +25,7 @@ use pinpoint_bench::{criterion_group, criterion_main};
 use pinpoint_core::{profile, ProfileConfig};
 use pinpoint_data::DatasetSpec;
 use pinpoint_models::{Architecture, ResNetDepth};
-use pinpoint_store::{write_store_chunked, StoreReader};
+use pinpoint_store::{write_store_chunked, write_store_chunked_v2, StoreReader};
 use pinpoint_trace::{PeakUsage, Trace};
 use std::io::Cursor;
 use std::time::Instant;
@@ -100,8 +107,11 @@ fn sequential_five_pass(bytes: &[u8], t_end: u64, threads: usize) -> (Report, us
 }
 
 /// One fused five-fold run: each chunk decoded exactly once, all five
-/// accumulators fed from the same decode.
-fn fused_five_fold(bytes: &[u8], t_end: u64, threads: usize) -> (Report, usize) {
+/// accumulators fed from the same decode. Also returns the
+/// pruned-by-op-label count from the scan accounting (0 here — the
+/// five-fold union constrains no op label — surfaced so the bench JSON
+/// records the counter end to end).
+fn fused_five_fold(bytes: &[u8], t_end: u64, threads: usize) -> (Report, usize, usize) {
     let mut pipe = FusedPipeline::new();
     let ati = pipe.register(AtiFold);
     let peak = pipe.register(PeakFold);
@@ -113,6 +123,7 @@ fn fused_five_fold(bytes: &[u8], t_end: u64, threads: usize) -> (Report, usize) 
     let mut r = StoreReader::new(Cursor::new(bytes.to_vec())).expect("open");
     let mut out = pipe.run_store(&mut r, threads).expect("run");
     let decoded = out.stats().chunks_decoded;
+    let pruned_by_label = out.stats().chunks_pruned_by_label;
     (
         Report {
             ati: out.take(ati),
@@ -122,6 +133,7 @@ fn fused_five_fold(bytes: &[u8], t_end: u64, threads: usize) -> (Report, usize) 
             outliers: out.take(outliers),
         },
         decoded,
+        pruned_by_label,
     )
 }
 
@@ -135,6 +147,8 @@ fn bench(c: &mut Criterion) {
     // accounting is exercised across many chunks even at quick scale
     let mut bytes = Vec::new();
     write_store_chunked(&trace, &mut bytes, 512).expect("encode");
+    let mut v2_bytes = Vec::new();
+    write_store_chunked_v2(&trace, &mut v2_bytes, 512).expect("encode v2");
     let chunks = StoreReader::new(Cursor::new(bytes.clone()))
         .expect("open")
         .num_chunks();
@@ -143,10 +157,15 @@ fn bench(c: &mut Criterion) {
     let mut per_thread = Vec::new();
     for threads in [1usize, 4] {
         let (seq, seq_decoded) = sequential_five_pass(&bytes, t_end, threads);
-        let (fused, fused_decoded) = fused_five_fold(&bytes, t_end, threads);
+        let (fused, fused_decoded, pruned_by_label) = fused_five_fold(&bytes, t_end, threads);
+        let (fused_v2, ..) = fused_five_fold(&v2_bytes, t_end, threads);
         assert!(
             seq == fused,
             "fused output diverges from sequential at threads={threads}"
+        );
+        assert!(
+            fused_v2 == fused,
+            "fused output diverges between v2 and v3 stores at threads={threads}"
         );
         assert_eq!(
             fused_decoded, chunks,
@@ -163,7 +182,11 @@ fn bench(c: &mut Criterion) {
             assert_eq!(r.ati.len(), seq.ati.len());
         });
         let fused_ns = median_ns(runs, || {
-            let (r, _) = fused_five_fold(&bytes, t_end, threads);
+            let (r, ..) = fused_five_fold(&bytes, t_end, threads);
+            assert_eq!(r.ati.len(), fused.ati.len());
+        });
+        let fused_v2_ns = median_ns(runs, || {
+            let (r, ..) = fused_five_fold(&v2_bytes, t_end, threads);
             assert_eq!(r.ati.len(), fused.ati.len());
         });
         assert!(
@@ -171,21 +194,34 @@ fn bench(c: &mut Criterion) {
             "fused run must be no slower than the five-pass baseline \
              at threads={threads}: fused {fused_ns} ns vs sequential {seq_ns} ns"
         );
+        assert!(
+            fused_ns <= fused_v2_ns + fused_v2_ns / 4,
+            "v3 fused report regressed past v2 at threads={threads}: \
+             v3 {fused_ns} ns vs v2 {fused_v2_ns} ns"
+        );
         let speedup = seq_ns as f64 / fused_ns as f64;
+        let v3_speedup = fused_v2_ns as f64 / fused_ns as f64;
         println!(
             "fused_report: threads={threads}: sequential {seq_ns} ns ({seq_decoded} chunk \
-             decodes) vs fused {fused_ns} ns ({fused_decoded}) -> {speedup:.2}x"
+             decodes) vs fused {fused_ns} ns ({fused_decoded}) -> {speedup:.2}x; \
+             v2 store {fused_v2_ns} ns -> v3 {v3_speedup:.2}x"
         );
         per_thread.push(format!(
             "{{\"threads\":{threads},\"sequential_ns\":{seq_ns},\"fused_ns\":{fused_ns},\
+             \"fused_v2_ns\":{fused_v2_ns},\
              \"sequential_chunk_decodes\":{seq_decoded},\
-             \"fused_chunk_decodes\":{fused_decoded},\"speedup\":{speedup:.4}}}"
+             \"fused_chunk_decodes\":{fused_decoded},\
+             \"chunks_pruned_by_label\":{pruned_by_label},\
+             \"speedup\":{speedup:.4},\"v3_vs_v2_speedup\":{v3_speedup:.4}}}"
         ));
     }
 
     let json = format!(
         "{{\"bench\":\"fused_report\",\"events\":{events},\"chunks\":{chunks},\
-         \"passes\":5,\"runs\":[{}],\"bit_identical\":true}}\n",
+         \"passes\":5,\"v2_store_bytes\":{},\"v3_store_bytes\":{},\
+         \"runs\":[{}],\"bit_identical\":true}}\n",
+        v2_bytes.len(),
+        bytes.len(),
         per_thread.join(",")
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_report.json");
@@ -200,6 +236,9 @@ fn bench(c: &mut Criterion) {
     });
     g.bench_function("fused_five_fold_resnet18", |b| {
         b.iter(|| fused_five_fold(&bytes, t_end, 1).0.ati.len())
+    });
+    g.bench_function("fused_five_fold_resnet18_v2_store", |b| {
+        b.iter(|| fused_five_fold(&v2_bytes, t_end, 1).0.ati.len())
     });
     g.finish();
 }

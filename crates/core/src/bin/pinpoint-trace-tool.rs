@@ -11,16 +11,20 @@
 //! pinpoint-trace-tool plan      trace.{json|ptrc}
 //! pinpoint-trace-tool compare   a.{json|ptrc} b.{json|ptrc}
 //! pinpoint-trace-tool convert   in.{json|ptrc} out.{ptrc|json}
+//!                               (ptrc -> ptrc upgrades old stores to v3)
 //! pinpoint-trace-tool info      trace.ptrc [--verify]
 //! pinpoint-trace-tool scrub     in.ptrc out.ptrc
 //! pinpoint-trace-tool query     trace.ptrc [--t0-us N] [--t1-us N]
 //!                               [--block-min N] [--block-max N] [--kind K]...
-//!                               [--category C]... [--min-size-bytes N] [--max N]
+//!                               [--category C]... [--min-size-bytes N]
+//!                               [--op-label NAME|ID] [--max N]
 //! ```
 //!
 //! Input format is sniffed from the file's magic bytes, so every analysis
 //! subcommand accepts either an exported JSON trace or a `.ptrc` store.
-//! `convert` flips whichever format it is given into the other; `info`
+//! `convert` flips whichever format it is given into the other — or, given
+//! a `.ptrc` on both sides, rewrites an old store in the current v3 format
+//! (adaptive column encodings, finer zone maps); `info`
 //! prints a store's chunk-index statistics and its compression ratio
 //! against JSON (`--verify` additionally checks every chunk's CRC and
 //! decode, exiting nonzero on damage); `query` runs a chunk-pruning
@@ -262,6 +266,26 @@ fn cmd_store_analysis(cmd: &str, path: &str, args: &[String]) -> Result<(), Stri
 fn cmd_convert(input: &str, output: &str) -> Result<(), String> {
     if is_store(input)? {
         let mut reader = open_store(input)?;
+        if output.ends_with(".ptrc") {
+            // store -> store: format upgrade (e.g. a v1/v2 file rewritten
+            // as v3 with adaptive column encodings and fine zone maps)
+            let from_version = reader.version();
+            let from_len = reader.file_len();
+            let trace = reader
+                .read_trace()
+                .map_err(|e| format!("cannot read store {input}: {e}"))?;
+            let bytes = pinpoint_store::write_store_file(&trace, output)
+                .map_err(|e| format!("cannot write {output}: {e}"))?;
+            println!(
+                "{input} (v{from_version}) -> {output} (v{}): {} events, {} -> {} ({:.2}x smaller)",
+                pinpoint_store::VERSION,
+                trace.len(),
+                human_bytes(from_len),
+                human_bytes(bytes),
+                from_len as f64 / bytes.max(1) as f64,
+            );
+            return Ok(());
+        }
         let trace = reader
             .read_trace()
             .map_err(|e| format!("cannot read store {input}: {e}"))?;
@@ -409,6 +433,7 @@ fn cmd_info(path: &str, verify: bool) -> Result<(), String> {
 }
 
 fn cmd_query(path: &str, args: &[String]) -> Result<(), String> {
+    let mut reader = open_store(path)?;
     let mut pred = Predicate::any();
     let t0 = flag_value(args, "--t0-us");
     let t1 = flag_value(args, "--t1-us");
@@ -431,15 +456,33 @@ fn cmd_query(path: &str, args: &[String]) -> Result<(), String> {
     if let Some(s) = flag_value(args, "--min-size-bytes") {
         pred = pred.with_min_size(s as u64);
     }
+    if let Some(op) = flag_strings(args, "--op-label").first() {
+        // a label is resolved by name against the footer's interned
+        // table, or taken as a raw label id when it parses as a number
+        let id = match reader.footer().labels.iter().position(|l| l == op) {
+            Some(i) => i as u32,
+            None => op.parse::<u32>().map_err(|_| {
+                format!(
+                    "unknown op label `{op}` (store has {} labels)",
+                    reader.footer().labels.len()
+                )
+            })?,
+        };
+        pred = pred.with_op_label(id);
+    }
     let max = flag_value(args, "--max").unwrap_or(20.0) as usize;
 
-    let mut reader = open_store(path)?;
     let q = reader
         .query(&pred, pinpoint_core::parallel::configured_threads())
         .map_err(|e| format!("query on {path} failed: {e}"))?;
     let labels = reader.footer().labels.clone();
+    let by_label = if q.stats.chunks_pruned_by_label > 0 {
+        format!(", {} by op-label", q.stats.chunks_pruned_by_label)
+    } else {
+        String::new()
+    };
     println!(
-        "{} events match; decoded {} of {} chunks ({} pruned by index)",
+        "{} events match; decoded {} of {} chunks ({} pruned by index{by_label})",
         q.events.len(),
         q.stats.chunks_decoded,
         q.stats.chunks_total,

@@ -282,10 +282,22 @@ impl TraceReport {
 /// leading with the one-pass scan accounting.
 pub fn render_trace_report(d: &TraceReport, max_rects: usize) -> String {
     let mut s = String::new();
+    // the op-label clause appears only when the v3 zone maps actually
+    // pruned something, so pre-v3 stores and the JSON path render the
+    // exact same accounting line as before
+    let by_label = if d.stats.chunks_pruned_by_label > 0 {
+        format!(", {} by op-label", d.stats.chunks_pruned_by_label)
+    } else {
+        String::new()
+    };
     let _ = writeln!(
         s,
-        "decoded {} chunks in 1 pass ({} pruned of {}; {} events)",
-        d.stats.chunks_decoded, d.stats.chunks_pruned, d.stats.chunks_total, d.stats.events_scanned
+        "decoded {} chunks in 1 pass ({} pruned of {}{}; {} events)",
+        d.stats.chunks_decoded,
+        d.stats.chunks_pruned,
+        d.stats.chunks_total,
+        by_label,
+        d.stats.events_scanned
     );
     if d.stats.chunks_skipped > 0 {
         let _ = writeln!(

@@ -1,61 +1,77 @@
 //! The `.ptrc` on-disk layout: chunk encoding and the footer index.
 //!
-//! Format **v2** (current — written by [`crate::StoreWriter`]):
+//! Format **v3** (current — written by [`crate::StoreWriter`]):
 //!
 //! ```text
 //! file    := header record* footer trailer
-//! header  := "PTRC" version:u8                      (version = 2)
+//! header  := "PTRC" version:u8                      (version = 3)
 //! record  := "PTCK" payload_len:u32le payload_crc:u32le payload
-//! payload := count:varint column{6}
+//! payload := count:varint tag:u8{6} column{6}
 //! column  := byte_len:varint bytes
 //! footer  := labels markers chunk_index total_events:varint
 //! trailer := footer_start:u64le footer_crc:u32le "PTRC"
 //! ```
 //!
-//! Format **v1** (still read transparently) differs only in the framing:
-//! records are bare payloads (no per-chunk magic, length, or CRC), chunk
-//! index entries carry no checksum, and the trailer is 12 bytes
-//! (`footer_start:u64le "PTRC"`, no footer CRC).
+//! Each of the six tag bytes selects that column's encoding for this
+//! chunk — plain (the v2-native stream), run-length, fixed-width
+//! bit-packing, or (time column only) delta-of-delta — chosen at write
+//! time by exact encoded-size comparison. The codecs, the batched SoA
+//! decoder that replaces the old event-at-a-time loop, and the reusable
+//! [`crate::DecodeScratch`] buffers all live in [`crate::columns`].
 //!
-//! The six per-chunk columns, in order:
+//! Format **v2** (still read transparently) has no tag bytes — every
+//! column uses the plain encoding — and its chunk index entries stop at
+//! the payload CRC, without the v3 zone-map fields. Format **v1** further
+//! drops the framing: records are bare payloads (no per-chunk magic,
+//! length, or CRC), chunk index entries carry no checksum, and the
+//! trailer is 12 bytes (`footer_start:u64le "PTRC"`, no footer CRC).
 //!
-//! 1. **time** — zigzag varint deltas between consecutive event
-//!    timestamps (first value is the delta from 0, i.e. absolute);
+//! The six per-chunk columns, in order (logical content is identical in
+//! every version; only the per-column byte encoding varies in v3):
+//!
+//! 1. **time** — zigzag deltas between consecutive event timestamps
+//!    (first value is the delta from 0, i.e. absolute);
 //! 2. **meta** — one byte per event: event kind (2 bits), memory kind
 //!    (3 bits), has-op flag (1 bit);
-//! 3. **block** — zigzag varint deltas between consecutive block ids;
-//! 4. **size** — plain varints;
-//! 5. **offset** — plain varints;
-//! 6. **op** — one varint per event whose has-op flag is set.
+//! 3. **block** — zigzag deltas between consecutive block ids;
+//! 4. **size** — plain values;
+//! 5. **offset** — plain values;
+//! 6. **op** — one value per event whose has-op flag is set.
 //!
 //! Chunks are self-contained (deltas restart at every chunk), so any chunk
 //! decodes without touching its neighbors — the property the predicate-
-//! pushdown query path, the parallel decoder, and the v2 salvage scan all
+//! pushdown query path, the parallel decoder, and the v2+ salvage scan all
 //! rely on.
 //!
 //! The footer holds the interned label table, the boundary markers, and
 //! one [`ChunkMeta`] per chunk recording its byte extent plus the
 //! min/max timestamp, min/max block id, an event-kind bitmask, a paper-
-//! category bitmask, the largest block size, and (v2) the payload CRC-32 —
-//! everything a predicate needs to skip the chunk without decoding it, and
-//! everything the reader needs to verify it without the chunk header.
+//! category bitmask, the largest block size, (v2+) the payload CRC-32,
+//! and (v3) the finer zone maps: min block size, min/max offset, and a
+//! 64-bit op-label bitset — everything a predicate needs to skip the
+//! chunk without decoding it, and everything the reader needs to verify
+//! it without the chunk header.
 //!
-//! All checksums are CRC-32/IEEE (see [`crate::crc32`]). In a v2 file every
-//! byte between the 5-byte header and the trailer is covered by exactly one
-//! CRC — either a chunk payload's (stored twice: chunk header and index
-//! entry) or the footer's (stored in the trailer) — so any single corrupted
-//! byte is detectable, and the salvage scan can rebuild the index from the
-//! chunk headers alone when the footer itself is damaged.
+//! All checksums are CRC-32/IEEE (see [`crate::crc32`]). In a v2+ file
+//! every byte between the 5-byte header and the trailer is covered by
+//! exactly one CRC — either a chunk payload's (stored twice: chunk header
+//! and index entry) or the footer's (stored in the trailer) — so any
+//! single corrupted byte is detectable, and the salvage scan can rebuild
+//! the index from the chunk headers alone when the footer itself is
+//! damaged.
 
+use crate::columns::ColumnBatch;
 use crate::crc32::crc32;
 use crate::error::StoreError;
-use crate::varint::{read_i64, read_u64, write_i64, write_u64};
+use crate::varint::{read_u64, write_i64, write_u64};
 use pinpoint_trace::{Category, EventKind, Marker, MemEvent, MemoryKind};
 
 /// Leading file magic; also the format-sniffing prefix (`PTRC`).
 pub const MAGIC: &[u8; 4] = b"PTRC";
 /// Current format version, written right after [`MAGIC`].
-pub const VERSION: u8 = 2;
+pub const VERSION: u8 = 3;
+/// The plain-encoding checksummed format version; still read transparently.
+pub const VERSION_V2: u8 = 2;
 /// The original checksum-less format version; still read transparently.
 pub const VERSION_V1: u8 = 1;
 /// Per-chunk record magic in v2 files (`PTCK`), the anchor the salvage
@@ -174,6 +190,19 @@ pub struct ChunkMeta {
     pub max_size: u64,
     /// CRC-32 of the payload bytes (0 in v1 stores, which predate it).
     pub crc32: u32,
+    /// Smallest block size in the chunk, in bytes (0 in pre-v3 stores,
+    /// which predate the finer zone maps — the sound "could be anything"
+    /// default).
+    pub min_size: u64,
+    /// Smallest intra-block offset (0 in pre-v3 stores).
+    pub min_offset: u64,
+    /// Largest intra-block offset (`u64::MAX` in pre-v3 stores).
+    pub max_offset: u64,
+    /// Bitset of op labels present: bit `min(label, 63)` is set for every
+    /// labeled event, so bit 63 is the catch-all for labels ≥ 63. Events
+    /// without a label set no bit. `u64::MAX` in pre-v3 stores (every
+    /// label possible).
+    pub label_bits: u64,
 }
 
 /// Computes a chunk's index statistics from its events (`offset`,
@@ -196,6 +225,10 @@ pub(crate) fn meta_from_events(events: &[MemEvent]) -> ChunkMeta {
         category_mask: 0,
         max_size: 0,
         crc32: 0,
+        min_size: u64::MAX,
+        min_offset: u64::MAX,
+        max_offset: 0,
+        label_bits: 0,
     };
     for e in events {
         meta.min_time_ns = meta.min_time_ns.min(e.time_ns);
@@ -205,6 +238,12 @@ pub(crate) fn meta_from_events(events: &[MemEvent]) -> ChunkMeta {
         meta.kind_mask |= kind_bit(e.kind);
         meta.category_mask |= category_bit(e.mem_kind.category());
         meta.max_size = meta.max_size.max(e.size as u64);
+        meta.min_size = meta.min_size.min(e.size as u64);
+        meta.min_offset = meta.min_offset.min(e.offset as u64);
+        meta.max_offset = meta.max_offset.max(e.offset as u64);
+        if let Some(op) = e.op_label {
+            meta.label_bits |= 1u64 << u64::from(op).min(63);
+        }
     }
     meta
 }
@@ -279,109 +318,41 @@ pub(crate) fn chunk_record_header(payload_len: u32, crc: u32) -> [u8; CHUNK_HEAD
     hdr
 }
 
-/// Decodes a chunk payload, returning the events and the number of bytes
-/// consumed. Used by [`decode_chunk`] (which then requires full
-/// consumption) and by the v1 salvage walk (which needs the length to
-/// advance to the next chunk).
-fn decode_chunk_body(bytes: &[u8]) -> Result<(Vec<MemEvent>, usize), StoreError> {
-    let mut pos = 0usize;
-    let n = read_u64(bytes, &mut pos)? as usize;
-    let mut cols = [(0usize, 0usize); 6]; // (start, len) per column
-    for c in cols.iter_mut() {
-        let len = read_u64(bytes, &mut pos)? as usize;
-        let end = pos
-            .checked_add(len)
-            .filter(|&e| e <= bytes.len())
-            .ok_or_else(|| corrupt("column extends past chunk end"))?;
-        *c = (pos, len);
-        pos = end;
-    }
-    let (meta_start, meta_len) = cols[1];
-    if meta_len != n {
-        return Err(corrupt(format!(
-            "meta column holds {meta_len} of {n} events"
-        )));
-    }
-    let mut events = Vec::with_capacity(n);
-    let mut time_pos = cols[0].0;
-    let mut block_pos = cols[2].0;
-    let mut size_pos = cols[3].0;
-    let mut offset_pos = cols[4].0;
-    let mut op_pos = cols[5].0;
-    let mut prev_time = 0i64;
-    let mut prev_block = 0i64;
-    for i in 0..n {
-        let byte = bytes[meta_start + i];
-        let kind = kind_from_code(byte & 0b11).ok_or_else(|| corrupt("bad event kind code"))?;
-        let mem_kind = mem_kind_from_code((byte >> 2) & 0b111)
-            .ok_or_else(|| corrupt("bad memory kind code"))?;
-        let has_op = byte & (1 << 5) != 0;
-        prev_time += read_i64(bytes, &mut time_pos)?;
-        if prev_time < 0 {
-            return Err(corrupt("negative timestamp after delta decode"));
-        }
-        prev_block += read_i64(bytes, &mut block_pos)?;
-        if prev_block < 0 {
-            return Err(corrupt("negative block id after delta decode"));
-        }
-        let size = read_u64(bytes, &mut size_pos)?;
-        let offset = read_u64(bytes, &mut offset_pos)?;
-        let op_label = if has_op {
-            Some(read_u64(bytes, &mut op_pos)? as u32)
-        } else {
-            None
-        };
-        events.push(MemEvent {
-            time_ns: prev_time as u64,
-            kind,
-            block: pinpoint_trace::BlockId(prev_block as u64),
-            size: size as usize,
-            offset: offset as usize,
-            mem_kind,
-            op_label,
-        });
-    }
-    // every column must be consumed exactly: varints bleeding across a
-    // column boundary decode to garbage even when they stay in-bounds
-    let ends = [
-        (time_pos, cols[0]),
-        (block_pos, cols[2]),
-        (size_pos, cols[3]),
-        (offset_pos, cols[4]),
-        (op_pos, cols[5]),
-    ];
-    for (at, (start, len)) in ends {
-        if at != start + len {
-            return Err(corrupt("column length does not match its contents"));
-        }
-    }
-    Ok((events, pos))
-}
-
-/// Decodes one chunk's payload bytes back into events.
+/// Decodes one chunk's payload bytes of the given format version back
+/// into events.
+///
+/// This is the compatibility path, allocating a fresh [`ColumnBatch`] and
+/// materializing owned events; hot loops go through
+/// [`crate::DecodeScratch`] instead and read the columns in place.
 ///
 /// # Errors
 ///
-/// A typed [`StoreError`] on truncation, unknown codes, column-length
+/// A typed [`StoreError`] on truncation, bad encoding tags, column-length
 /// mismatch, or trailing bytes. Never panics, whatever the input bytes.
-pub fn decode_chunk(bytes: &[u8]) -> Result<Vec<MemEvent>, StoreError> {
-    let (events, consumed) = decode_chunk_body(bytes)?;
+pub fn decode_chunk(bytes: &[u8], version: u8) -> Result<Vec<MemEvent>, StoreError> {
+    let mut batch = ColumnBatch::new();
+    let consumed = crate::columns::decode_body(bytes, version, &mut batch)?;
     if consumed != bytes.len() {
         return Err(corrupt("trailing bytes after chunk payload"));
     }
-    Ok(events)
+    Ok(batch.to_events())
 }
 
 /// Decodes a chunk payload sitting at the start of `bytes`, tolerating
 /// trailing data; returns the events and the payload's byte length. The
 /// v1 salvage walk uses this to step chunk-by-chunk without an index.
-pub(crate) fn decode_chunk_prefix(bytes: &[u8]) -> Result<(Vec<MemEvent>, usize), StoreError> {
-    decode_chunk_body(bytes)
+pub(crate) fn decode_chunk_prefix(
+    bytes: &[u8],
+    version: u8,
+) -> Result<(Vec<MemEvent>, usize), StoreError> {
+    let mut batch = ColumnBatch::new();
+    let consumed = crate::columns::decode_body(bytes, version, &mut batch)?;
+    Ok((batch.to_events(), consumed))
 }
 
 /// Decodes a chunk payload and cross-checks it against its index entry:
-/// CRC-32 first (when `verify_crc` — i.e. on v2 stores), then the decoded
-/// event count. `chunk` is the ordinal used in error detail.
+/// CRC-32 first (when `verify_crc` — i.e. on v2+ stores), then the
+/// decoded event count. `chunk` is the ordinal used in error detail.
 ///
 /// # Errors
 ///
@@ -392,6 +363,7 @@ pub fn decode_chunk_verified(
     meta: &ChunkMeta,
     chunk: usize,
     verify_crc: bool,
+    version: u8,
 ) -> Result<Vec<MemEvent>, StoreError> {
     if verify_crc {
         let got = crc32(bytes);
@@ -403,7 +375,7 @@ pub fn decode_chunk_verified(
             });
         }
     }
-    let events = decode_chunk(bytes)?;
+    let events = decode_chunk(bytes, version)?;
     if events.len() as u64 != meta.count {
         return Err(StoreError::CountMismatch {
             chunk,
@@ -445,8 +417,9 @@ fn read_str(bytes: &[u8], pos: &mut usize) -> Result<String, StoreError> {
     Ok(s)
 }
 
-/// Encodes the footer for the given format version (v2 stores a CRC-32
-/// per chunk index entry; v1 omits it).
+/// Encodes the footer for the given format version (v2+ stores a CRC-32
+/// per chunk index entry and v3 adds the finer zone-map fields; v1 omits
+/// both).
 pub fn encode_footer(footer: &Footer, version: u8) -> Vec<u8> {
     let mut out = Vec::new();
     write_u64(&mut out, footer.labels.len() as u64);
@@ -471,6 +444,12 @@ pub fn encode_footer(footer: &Footer, version: u8) -> Vec<u8> {
         out.push(c.kind_mask);
         out.push(c.category_mask);
         write_u64(&mut out, c.max_size);
+        if version >= 3 {
+            write_u64(&mut out, c.min_size);
+            write_u64(&mut out, c.min_offset);
+            write_u64(&mut out, c.max_offset);
+            out.extend_from_slice(&c.label_bits.to_le_bytes());
+        }
         if version >= 2 {
             out.extend_from_slice(&c.crc32.to_le_bytes());
         }
@@ -521,6 +500,23 @@ pub fn decode_footer(bytes: &[u8], version: u8) -> Result<Footer, StoreError> {
             .ok_or(StoreError::Truncated("chunk index"))?;
         pos += 2;
         let max_size = read_u64(bytes, &mut pos)?;
+        // pre-v3 entries carry no fine zone maps; the defaults below are
+        // the sound "could be anything" hull, so pushdown stays exact
+        let (min_size, min_offset, max_offset, label_bits) = if version >= 3 {
+            let min_size = read_u64(bytes, &mut pos)?;
+            let min_offset = read_u64(bytes, &mut pos)?;
+            let max_offset = read_u64(bytes, &mut pos)?;
+            let end = pos
+                .checked_add(8)
+                .filter(|&e| e <= bytes.len())
+                .ok_or(StoreError::Truncated("chunk index"))?;
+            let mut le = [0u8; 8];
+            le.copy_from_slice(&bytes[pos..end]);
+            pos = end;
+            (min_size, min_offset, max_offset, u64::from_le_bytes(le))
+        } else {
+            (0, 0, u64::MAX, u64::MAX)
+        };
         let crc = if version >= 2 {
             let end = pos
                 .checked_add(4)
@@ -545,6 +541,10 @@ pub fn decode_footer(bytes: &[u8], version: u8) -> Result<Footer, StoreError> {
             category_mask,
             max_size,
             crc32: crc,
+            min_size,
+            min_offset,
+            max_offset,
+            label_bits,
         });
     }
     let total_events = read_u64(bytes, &mut pos)?;
@@ -615,15 +615,25 @@ mod tests {
             category_bit(Category::Parameters) | category_bit(Category::Intermediates)
         );
         assert_eq!(meta.crc32, crc32(&bytes));
-        assert_eq!(decode_chunk(&bytes).unwrap(), evs);
-        assert_eq!(decode_chunk_verified(&bytes, &meta, 0, true).unwrap(), evs);
+        assert_eq!(meta.min_size, 64);
+        assert_eq!(meta.min_offset, 0);
+        assert_eq!(meta.max_offset, 8192);
+        assert_eq!(meta.label_bits, (1 << 3) | 1);
+        assert_eq!(decode_chunk(&bytes, VERSION_V2).unwrap(), evs);
+        assert_eq!(
+            decode_chunk_verified(&bytes, &meta, 0, true, VERSION_V2).unwrap(),
+            evs
+        );
     }
 
     #[test]
     fn chunk_decode_rejects_truncation() {
         let (bytes, _) = encode_chunk(&events());
         for cut in [1, bytes.len() / 2, bytes.len() - 1] {
-            assert!(decode_chunk(&bytes[..cut]).is_err(), "cut at {cut}");
+            assert!(
+                decode_chunk(&bytes[..cut], VERSION_V2).is_err(),
+                "cut at {cut}"
+            );
         }
     }
 
@@ -632,8 +642,8 @@ mod tests {
         let (mut bytes, _) = encode_chunk(&events());
         let payload_len = bytes.len();
         bytes.extend_from_slice(&[0xAB, 0xCD]);
-        assert!(decode_chunk(&bytes).is_err());
-        let (evs, consumed) = decode_chunk_prefix(&bytes).unwrap();
+        assert!(decode_chunk(&bytes, VERSION_V2).is_err());
+        let (evs, consumed) = decode_chunk_prefix(&bytes, VERSION_V2).unwrap();
         assert_eq!(evs, events());
         assert_eq!(consumed, payload_len);
     }
@@ -643,13 +653,13 @@ mod tests {
         let (mut bytes, meta) = encode_chunk(&events());
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0x10;
-        match decode_chunk_verified(&bytes, &meta, 5, true) {
+        match decode_chunk_verified(&bytes, &meta, 5, true, VERSION_V2) {
             Err(StoreError::ChecksumMismatch { chunk: 5, .. }) => {}
             other => panic!("expected checksum mismatch, got {other:?}"),
         }
         // without CRC verification the same flip is either a decode error
         // or silently different data — but never a panic
-        let _ = decode_chunk_verified(&bytes, &meta, 5, false);
+        let _ = decode_chunk_verified(&bytes, &meta, 5, false, VERSION_V2);
     }
 
     #[test]
@@ -657,7 +667,7 @@ mod tests {
         let (bytes, mut meta) = encode_chunk(&events());
         meta.count += 1;
         meta.crc32 = crc32(&bytes); // keep CRC valid so count check is reached
-        match decode_chunk_verified(&bytes, &meta, 2, true) {
+        match decode_chunk_verified(&bytes, &meta, 2, true, VERSION_V2) {
             Err(StoreError::CountMismatch {
                 chunk: 2,
                 indexed: 4,
@@ -683,7 +693,7 @@ mod tests {
     }
 
     #[test]
-    fn footer_round_trips_in_both_versions() {
+    fn footer_round_trips_in_all_versions() {
         let f = Footer {
             labels: vec!["matmul".into(), "re\"lu\n".into()],
             markers: vec![Marker {
@@ -703,14 +713,29 @@ mod tests {
                 category_mask: 0b110,
                 max_size: 4096,
                 crc32: 0xDEAD_BEEF,
+                min_size: 64,
+                min_offset: 8,
+                max_offset: 8192,
+                label_bits: 0b1001,
             }],
             total_events: 3,
         };
-        let v2 = encode_footer(&f, VERSION);
-        assert_eq!(decode_footer(&v2, VERSION).unwrap(), f);
-        assert!(decode_footer(&v2[..v2.len() - 1], VERSION).is_err());
+        let v3 = encode_footer(&f, VERSION);
+        assert_eq!(decode_footer(&v3, VERSION).unwrap(), f);
+        assert!(decode_footer(&v3[..v3.len() - 1], VERSION).is_err());
 
-        let mut f1 = f.clone();
+        // pre-v3 footers drop the fine zone maps; decoding restores the
+        // sound "could be anything" defaults instead
+        let mut f2 = f.clone();
+        f2.chunks[0].min_size = 0;
+        f2.chunks[0].min_offset = 0;
+        f2.chunks[0].max_offset = u64::MAX;
+        f2.chunks[0].label_bits = u64::MAX;
+        let v2 = encode_footer(&f, VERSION_V2);
+        assert_eq!(decode_footer(&v2, VERSION_V2).unwrap(), f2);
+        assert!(v2.len() < v3.len());
+
+        let mut f1 = f2.clone();
         f1.chunks[0].crc32 = 0; // v1 cannot carry a checksum
         let v1 = encode_footer(&f1, VERSION_V1);
         assert_eq!(decode_footer(&v1, VERSION_V1).unwrap(), f1);

@@ -37,8 +37,18 @@
 //! rescanning when the footer itself is damaged. The [`fault`] module is
 //! a deterministic fault-injection harness (seeded bit-flips,
 //! truncations, short and failing I/O) used by the corruption-matrix
-//! tests to prove all of the above. v1 files (no checksums) remain fully
-//! readable.
+//! tests to prove all of the above.
+//!
+//! Format v3 (current) makes the decode hardware-fast: chunks decode
+//! column-at-a-time into a reused [`ColumnBatch`] instead of
+//! event-at-a-time ([`columns`]), every column picks the cheapest of four
+//! encodings per chunk (plain, run-length, bit-packed, delta-of-delta
+//! timestamps), the index grows finer zone maps (per-chunk op-label
+//! bitset, min/max size and offset) for sharper [`Predicate`] pushdown,
+//! and [`DecodeScratch`] buffers recycle through the reader so
+//! steady-state scans allocate nothing per chunk
+//! ([`StoreReader::decode_reallocs`]). v1 and v2 files remain fully,
+//! bit-identically readable.
 //!
 //! ```
 //! use pinpoint_store::{write_store, Predicate, StoreReader};
@@ -61,6 +71,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod columns;
 pub mod crc32;
 pub mod error;
 pub mod fault;
@@ -69,13 +80,17 @@ pub mod reader;
 mod varint;
 pub mod writer;
 
+pub use columns::{
+    chunk_encoding_tags, encode_chunk_v3, ColumnBatch, DecodeScratch, MAX_CHUNK_EVENTS, TAG_DOD,
+    TAG_PACK, TAG_PLAIN, TAG_RLE,
+};
 pub use error::StoreError;
-pub use format::{ChunkMeta, Footer, DEFAULT_CHUNK_EVENTS, MAGIC, VERSION, VERSION_V1};
+pub use format::{ChunkMeta, Footer, DEFAULT_CHUNK_EVENTS, MAGIC, VERSION, VERSION_V1, VERSION_V2};
 pub use reader::{
     ChunkFault, Predicate, QueryResult, QueryStats, ReadPolicy, SalvageSummary, ScrubStats,
     StoreReader,
 };
 pub use writer::{
-    write_store, write_store_chunked, write_store_chunked_v1, write_store_file, RetryPolicy,
-    StoreWriter,
+    write_store, write_store_chunked, write_store_chunked_v1, write_store_chunked_v2,
+    write_store_file, RetryPolicy, StoreWriter,
 };

@@ -28,6 +28,7 @@
 //! thread count to the same analyses over a store containing only the
 //! surviving chunks.
 
+use crate::columns::{ColumnBatch, DecodeScratch};
 use crate::crc32::crc32;
 use crate::error::StoreError;
 use crate::format::{
@@ -58,6 +59,13 @@ pub struct Predicate {
     pub category_mask: Option<u8>,
     /// Block size at least this many bytes.
     pub min_size: Option<u64>,
+    /// Block size at most this many bytes.
+    pub max_size: Option<u64>,
+    /// Event carries exactly this op label. Pruned chunk-level via the v3
+    /// label bitset (see [`ChunkMeta::label_bits`]).
+    pub op_label: Option<u32>,
+    /// Intra-block offset within `[lo, hi]`.
+    pub offset_range: Option<(u64, u64)>,
 }
 
 impl Predicate {
@@ -102,6 +110,27 @@ impl Predicate {
         self
     }
 
+    /// Restricts to blocks of at most `bytes`.
+    #[must_use]
+    pub fn with_max_size(mut self, bytes: u64) -> Self {
+        self.max_size = Some(bytes);
+        self
+    }
+
+    /// Restricts to events carrying exactly op label `label`.
+    #[must_use]
+    pub fn with_op_label(mut self, label: u32) -> Self {
+        self.op_label = Some(label);
+        self
+    }
+
+    /// Restricts to events with `lo <= offset <= hi`.
+    #[must_use]
+    pub fn with_offset_range(mut self, lo: u64, hi: u64) -> Self {
+        self.offset_range = Some((lo, hi));
+        self
+    }
+
     /// The union (disjunctive hull) of two predicates: a predicate that
     /// matches every chunk either operand could match.
     ///
@@ -137,6 +166,17 @@ impl Predicate {
                 (Some(a), Some(b)) => Some(a.min(b)),
                 _ => None,
             },
+            max_size: match (self.max_size, other.max_size) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                _ => None,
+            },
+            // exact labels have no join other than equality: two different
+            // labels hull to "any label" (constraint dropped)
+            op_label: match (self.op_label, other.op_label) {
+                (Some(a), Some(b)) if a == b => Some(a),
+                _ => None,
+            },
+            offset_range: hull(self.offset_range, other.offset_range),
         }
     }
 
@@ -168,7 +208,41 @@ impl Predicate {
                 return false;
             }
         }
+        if let Some(max) = self.max_size {
+            if meta.min_size > max {
+                return false;
+            }
+        }
+        if let Some(label) = self.op_label {
+            // bit 63 is the catch-all for labels >= 63 (see
+            // [`ChunkMeta::label_bits`]); pre-v3 entries default to all
+            // bits set, so nothing is ever wrongly pruned
+            if meta.label_bits & (1u64 << u64::from(label).min(63)) == 0 {
+                return false;
+            }
+        }
+        if let Some((lo, hi)) = self.offset_range {
+            if meta.max_offset < lo || meta.min_offset > hi {
+                return false;
+            }
+        }
         true
+    }
+
+    /// Whether this predicate prunes the chunk *specifically because of*
+    /// the v3 op-label bitset: the label bit misses while every other
+    /// constraint would have let the chunk through. Feeds the
+    /// `chunks_pruned_by_label` counters.
+    pub fn pruned_by_label(&self, meta: &ChunkMeta) -> bool {
+        let Some(label) = self.op_label else {
+            return false;
+        };
+        if meta.label_bits & (1u64 << u64::from(label).min(63)) != 0 {
+            return false;
+        }
+        let mut rest = *self;
+        rest.op_label = None;
+        rest.matches_chunk(meta)
     }
 
     /// Whether one event matches.
@@ -198,6 +272,21 @@ impl Predicate {
                 return false;
             }
         }
+        if let Some(max) = self.max_size {
+            if (e.size as u64) > max {
+                return false;
+            }
+        }
+        if let Some(label) = self.op_label {
+            if e.op_label != Some(label) {
+                return false;
+            }
+        }
+        if let Some((lo, hi)) = self.offset_range {
+            if (e.offset as u64) < lo || (e.offset as u64) > hi {
+                return false;
+            }
+        }
         true
     }
 }
@@ -223,6 +312,10 @@ pub struct QueryStats {
     pub chunks_total: usize,
     /// Chunks skipped via the footer index alone.
     pub chunks_pruned: usize,
+    /// Of the pruned chunks, how many were skipped specifically because
+    /// of the v3 op-label bitset (a pruning the coarser v1/v2 zone maps
+    /// could not have made).
+    pub chunks_pruned_by_label: usize,
     /// Chunks read and successfully decoded.
     pub chunks_decoded: usize,
     /// Chunks read but skipped as corrupt (always 0 under `Strict`).
@@ -298,6 +391,9 @@ pub struct StoreReader<R: Read + Seek = BufReader<File>> {
     footer: Footer,
     chunks_decoded: u64,
     salvage: Option<SalvageSummary>,
+    /// Reusable decode buffers, recycled across scans so steady-state
+    /// queries allocate nothing per chunk (see [`DecodeScratch`]).
+    scratch_pool: Vec<DecodeScratch>,
 }
 
 impl StoreReader<BufReader<File>> {
@@ -360,7 +456,7 @@ impl<R: Read + Seek> StoreReader<R> {
             return Err(StoreError::BadMagic);
         }
         let version = head[4];
-        if version != VERSION && version != VERSION_V1 {
+        if !(VERSION_V1..=VERSION).contains(&version) {
             return Err(StoreError::UnsupportedVersion(version));
         }
         let file_len = src.seek(SeekFrom::End(0)).map_err(StoreError::Io)?;
@@ -373,6 +469,7 @@ impl<R: Read + Seek> StoreReader<R> {
                 footer,
                 chunks_decoded: 0,
                 salvage: None,
+                scratch_pool: Vec::new(),
             }),
             Err(e) if policy == ReadPolicy::Salvage && e.is_corruption() => {
                 let (footer, summary) = Self::rescan(&mut src, version, e.to_string())?;
@@ -384,6 +481,7 @@ impl<R: Read + Seek> StoreReader<R> {
                     footer,
                     chunks_decoded: 0,
                     salvage: Some(summary),
+                    scratch_pool: Vec::new(),
                 })
             }
             Err(e) => Err(e),
@@ -439,7 +537,8 @@ impl<R: Read + Seek> StoreReader<R> {
                 && end.is_some_and(|e| e <= footer_start)
                 && c.count > 0
                 && c.min_time_ns <= c.max_time_ns
-                && c.min_block <= c.max_block;
+                && c.min_block <= c.max_block
+                && c.min_offset <= c.max_offset;
             if !in_bounds {
                 return Err(StoreError::Corrupt(format!(
                     "chunk {i} index entry out of bounds"
@@ -500,7 +599,7 @@ impl<R: Read + Seek> StoreReader<R> {
                     pos += 1;
                     continue;
                 }
-                match crate::format::decode_chunk(payload) {
+                match crate::format::decode_chunk(payload, version) {
                     Ok(events) if !events.is_empty() => {
                         admit(&events, start, len, crc);
                         pos = end;
@@ -511,7 +610,7 @@ impl<R: Read + Seek> StoreReader<R> {
         } else {
             let mut pos = HEADER_LEN;
             while pos < data.len() {
-                match decode_chunk_prefix(&data[pos..]) {
+                match decode_chunk_prefix(&data[pos..], version) {
                     Ok((events, consumed)) if !events.is_empty() => {
                         admit(&events, pos, consumed, 0);
                         pos += consumed;
@@ -591,9 +690,114 @@ impl<R: Read + Seek> StoreReader<R> {
         self.chunks_decoded
     }
 
-    /// Whether per-chunk CRCs exist to verify (v2 stores).
+    /// Cumulative count of buffer growths across this reader's decode
+    /// scratch pool. Once a scan has warmed the pool, repeating the same
+    /// scan leaves this unchanged — the zero-allocations-per-chunk
+    /// property the acceptance tests assert.
+    pub fn decode_reallocs(&self) -> u64 {
+        self.scratch_pool.iter().map(|s| s.realloc_count()).sum()
+    }
+
+    /// Whether per-chunk CRCs exist to verify (v2+ stores).
     fn verify_crc(&self) -> bool {
         self.version >= 2
+    }
+
+    /// Reads chunk `i`'s payload into the scratch's raw buffer (no
+    /// allocation once the buffer has grown to the largest chunk).
+    fn read_chunk_into(&mut self, i: usize, scratch: &mut DecodeScratch) -> Result<(), StoreError> {
+        let meta = self
+            .footer
+            .chunks
+            .get(i)
+            .copied()
+            .ok_or(StoreError::ChunkOutOfRange {
+                chunk: i,
+                chunks: self.footer.chunks.len(),
+            })?;
+        // byte_len was bounds-checked against the file at open, so this
+        // buffer is capped by the file size
+        let buf = scratch.raw_for(meta.byte_len as usize);
+        self.src
+            .seek(SeekFrom::Start(meta.offset))
+            .map_err(StoreError::Io)?;
+        self.src.read_exact(buf).map_err(StoreError::Io)?;
+        Ok(())
+    }
+
+    /// The zero-alloc scan driver every bulk consumer sits on: fetches
+    /// `candidates` in waves (sequential I/O into pooled [`DecodeScratch`]
+    /// buffers), decodes and maps them on `threads` worker threads, and
+    /// folds the results **in candidate order** — so output is
+    /// bit-identical at every thread count.
+    ///
+    /// The pool assigns each wave position the same scratch slot on every
+    /// scan (not last-in-first-out), so a repeated scan hands every chunk
+    /// a buffer that already fit it last time: after one warm-up pass an
+    /// identical scan allocates nothing per chunk
+    /// ([`StoreReader::decode_reallocs`]).
+    ///
+    /// `map` runs on worker threads against the borrowed [`ColumnBatch`]
+    /// and must be pure; `fold` runs on the calling thread and sees each
+    /// chunk's map result — or its decode error, which it can swallow
+    /// (salvage) or propagate.
+    ///
+    /// Every fetched candidate counts toward
+    /// [`StoreReader::chunks_decoded`].
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, [`StoreError::ChunkOutOfRange`], or whatever `fold`
+    /// propagates.
+    pub fn scan_chunks<T, M, F>(
+        &mut self,
+        candidates: &[usize],
+        threads: usize,
+        map: M,
+        mut fold: F,
+    ) -> Result<(), StoreError>
+    where
+        T: Send,
+        M: Fn(usize, &ChunkMeta, &ColumnBatch) -> T + Sync,
+        F: FnMut(usize, &ChunkMeta, Result<T, StoreError>) -> Result<(), StoreError>,
+    {
+        let version = self.version;
+        let verify = self.verify_crc();
+        let wave = threads.max(1) * 4;
+        for window in candidates.chunks(wave.max(1)) {
+            if self.scratch_pool.len() < window.len() {
+                self.scratch_pool
+                    .resize_with(window.len(), DecodeScratch::default);
+            }
+            let mut items = Vec::with_capacity(window.len());
+            for (slot, &i) in window.iter().enumerate() {
+                let mut scratch = std::mem::take(&mut self.scratch_pool[slot]);
+                let read = self.read_chunk_into(i, &mut scratch);
+                let meta = self.footer.chunks[i];
+                items.push((slot, i, meta, scratch, read));
+            }
+            self.chunks_decoded += window.len() as u64;
+            let mapped = pinpoint_parallel::map_ordered(
+                items,
+                threads,
+                |(slot, i, meta, mut scratch, read)| {
+                    let res = read
+                        .and_then(|()| scratch.decode_verified(&meta, i, version, verify))
+                        .map(|()| map(i, &meta, scratch.batch()));
+                    (slot, i, meta, res, scratch)
+                },
+            );
+            for (slot, i, meta, res, scratch) in mapped {
+                self.scratch_pool[slot] = scratch;
+                match res {
+                    // an I/O failure aborts regardless of what fold would
+                    // tolerate: salvage forgives bad bytes, not bad disks
+                    Err(e) if !e.is_corruption() => return Err(e),
+                    res => fold(i, &meta, res)?,
+                }
+            }
+        }
+        Ok(())
     }
 
     fn read_chunk_bytes(&mut self, i: usize) -> Result<Vec<u8>, StoreError> {
@@ -652,7 +856,7 @@ impl<R: Read + Seek> StoreReader<R> {
     pub fn decode_chunk_events(&mut self, i: usize) -> Result<Vec<MemEvent>, StoreError> {
         let bytes = self.read_chunk_bytes(i)?;
         let meta = self.footer.chunks[i];
-        let events = decode_chunk_verified(&bytes, &meta, i, self.verify_crc())?;
+        let events = decode_chunk_verified(&bytes, &meta, i, self.verify_crc(), self.version)?;
         self.chunks_decoded += 1;
         Ok(events)
     }
@@ -692,50 +896,49 @@ impl<R: Read + Seek> StoreReader<R> {
     ///
     /// I/O errors; corruption errors under [`ReadPolicy::Strict`].
     pub fn query(&mut self, pred: &Predicate, threads: usize) -> Result<QueryResult, StoreError> {
-        let candidates: Vec<usize> = (0..self.num_chunks())
-            .filter(|&i| pred.matches_chunk(&self.footer.chunks[i]))
-            .collect();
+        let mut candidates = Vec::new();
         let mut stats = QueryStats {
             chunks_total: self.num_chunks(),
-            chunks_pruned: self.num_chunks() - candidates.len(),
             ..QueryStats::default()
         };
-        let metas: Vec<ChunkMeta> = candidates.iter().map(|&i| self.footer.chunks[i]).collect();
-        // sequential I/O of the surviving byte ranges, parallel CPU decode
-        let raw = self.read_chunk_batch(&candidates)?;
-        let pred = *pred;
-        let verify = self.verify_crc();
-        let items: Vec<(usize, ChunkMeta, Vec<u8>)> = candidates
-            .iter()
-            .zip(&metas)
-            .zip(raw)
-            .map(|((&i, &meta), bytes)| (i, meta, bytes))
-            .collect();
-        let per = pinpoint_parallel::map_ordered(items, threads, move |(i, meta, bytes)| {
-            decode_chunk_verified(&bytes, &meta, i, verify).map(|events| {
-                events
-                    .into_iter()
-                    .filter(|e| pred.matches_event(e))
-                    .collect::<Vec<_>>()
-            })
-        });
-        let mut events = Vec::new();
-        for (j, res) in per.into_iter().enumerate() {
-            match res {
-                Ok(matched) => {
-                    stats.chunks_decoded += 1;
-                    events.extend(matched);
-                }
-                Err(e) if self.policy == ReadPolicy::Salvage && e.is_corruption() => {
-                    stats.chunks_skipped += 1;
-                    stats.events_lost += metas[j].count;
-                    if stats.first_error.is_none() {
-                        stats.first_error = Some(e.to_string());
-                    }
-                }
-                Err(e) => return Err(e),
+        for (i, meta) in self.footer.chunks.iter().enumerate() {
+            if pred.matches_chunk(meta) {
+                candidates.push(i);
+            } else if pred.pruned_by_label(meta) {
+                stats.chunks_pruned_by_label += 1;
             }
         }
+        stats.chunks_pruned = self.num_chunks() - candidates.len();
+        let pred = *pred;
+        let salvage = self.policy == ReadPolicy::Salvage;
+        let mut events = Vec::new();
+        self.scan_chunks(
+            &candidates,
+            threads,
+            |_, _, batch| {
+                (0..batch.len())
+                    .map(|k| batch.event(k))
+                    .filter(|e| pred.matches_event(e))
+                    .collect::<Vec<_>>()
+            },
+            |_, meta, res| {
+                match res {
+                    Ok(matched) => {
+                        stats.chunks_decoded += 1;
+                        events.extend(matched);
+                    }
+                    Err(e) if salvage && e.is_corruption() => {
+                        stats.chunks_skipped += 1;
+                        stats.events_lost += meta.count;
+                        if stats.first_error.is_none() {
+                            stats.first_error = Some(e.to_string());
+                        }
+                    }
+                    Err(e) => return Err(e),
+                }
+                Ok(())
+            },
+        )?;
         Ok(QueryResult { events, stats })
     }
 
@@ -1058,7 +1261,7 @@ mod tests {
         let mut r2 = StoreReader::new(Cursor::new(bytes)).unwrap();
         for (bytes, &i) in raw.iter().zip(&picks) {
             assert_eq!(
-                crate::format::decode_chunk(bytes).unwrap(),
+                crate::format::decode_chunk(bytes, VERSION).unwrap(),
                 r2.decode_chunk_events(i).unwrap(),
                 "chunk {i}"
             );

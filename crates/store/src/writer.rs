@@ -17,15 +17,16 @@
 //!   [`RetryPolicy::max_attempts`] times with seeded, jittered exponential
 //!   backoff. The backoff sleep is injectable, so tests drive the retry
 //!   path deterministically with zero wall-clock time.
-//! - **Checksummed output** — every chunk is framed with the v2 record
+//! - **Checksummed output** — every chunk is framed with the v2+ record
 //!   header (magic, payload length, CRC-32) and the footer gets its own
 //!   CRC in the trailer, making later corruption detectable and the file
 //!   salvageable without its footer.
 
+use crate::columns::{encode_chunk_v3, MAX_CHUNK_EVENTS};
 use crate::crc32::crc32;
 use crate::format::{
     chunk_record_header, encode_chunk, encode_footer, trailer_len, ChunkMeta, Footer,
-    CHUNK_HEADER_LEN, DEFAULT_CHUNK_EVENTS, MAGIC, VERSION, VERSION_V1,
+    CHUNK_HEADER_LEN, DEFAULT_CHUNK_EVENTS, MAGIC, VERSION, VERSION_V1, VERSION_V2,
 };
 use pinpoint_tensor::rng::Rng64;
 use pinpoint_trace::{Marker, MemEvent, Trace, TraceSink};
@@ -213,15 +214,15 @@ impl<W: Write> StoreWriter<W> {
     }
 
     /// Like [`StoreWriter::with_chunk_events`] with an explicit format
-    /// version — v1 output exists for compatibility testing and for
-    /// exercising the v1 read path; new stores should always be v2.
+    /// version — v1 and v2 output exist for compatibility testing and for
+    /// exercising the old read paths; new stores should always be v3.
     ///
     /// # Errors
     ///
     /// `InvalidInput` on an unknown version; otherwise propagates the
     /// header write error.
     pub fn with_format(out: W, chunk_events: usize, version: u8) -> io::Result<Self> {
-        if version != VERSION && version != VERSION_V1 {
+        if version != VERSION && version != VERSION_V2 && version != VERSION_V1 {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
                 format!("unknown .ptrc version {version}"),
@@ -231,7 +232,7 @@ impl<W: Write> StoreWriter<W> {
         let mut w = StoreWriter {
             out,
             version,
-            chunk_events: chunk_events.max(1),
+            chunk_events: chunk_events.clamp(1, MAX_CHUNK_EVENTS),
             pending: Vec::new(),
             labels: Vec::new(),
             label_index: HashMap::new(),
@@ -314,7 +315,11 @@ impl<W: Write> StoreWriter<W> {
             self.pending.clear();
             return;
         }
-        let (bytes, mut meta) = encode_chunk(&self.pending);
+        let (bytes, mut meta) = if self.version >= 3 {
+            encode_chunk_v3(&self.pending)
+        } else {
+            encode_chunk(&self.pending)
+        };
         let result = if self.version >= 2 {
             if bytes.len() > u32::MAX as usize {
                 Err(io::Error::new(
@@ -485,7 +490,7 @@ pub fn write_store_chunked<W: Write>(
 }
 
 /// [`write_store_chunked`] in the legacy v1 format (no checksums).
-/// Exists so the v1 read path and v1→v2 conversion stay testable.
+/// Exists so the v1 read path and v1→v3 conversion stay testable.
 ///
 /// # Errors
 ///
@@ -496,6 +501,22 @@ pub fn write_store_chunked_v1<W: Write>(
     chunk_events: usize,
 ) -> io::Result<u64> {
     let mut w = StoreWriter::with_format(out, chunk_events, VERSION_V1)?;
+    replay_trace_into(trace, &mut w)
+}
+
+/// [`write_store_chunked`] in the legacy v2 format (checksummed, but
+/// plain column encodings and no fine zone maps). Exists so the v2 read
+/// path, v2→v3 conversion, and the v2-vs-v3 benches stay testable.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_store_chunked_v2<W: Write>(
+    trace: &Trace,
+    out: W,
+    chunk_events: usize,
+) -> io::Result<u64> {
+    let mut w = StoreWriter::with_format(out, chunk_events, VERSION_V2)?;
     replay_trace_into(trace, &mut w)
 }
 

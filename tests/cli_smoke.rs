@@ -269,15 +269,15 @@ fn scrub_and_verify_round_trip_a_damaged_store() {
 }
 
 #[test]
-fn convert_writes_v2_and_v1_stores_stay_fully_readable() {
+fn convert_writes_v3_and_old_stores_stay_fully_readable() {
     let trace = trace_file();
     let tool = bin("pinpoint-trace-tool");
     if !tool.exists() {
         eprintln!("skipping: {tool:?} not built (run with --workspace)");
         return;
     }
-    // convert emits format v2 (checksummed) by default
-    let store = std::env::temp_dir().join("pinpoint_cli_v2_default.ptrc");
+    // convert emits format v3 (checksummed, adaptive encodings) by default
+    let store = std::env::temp_dir().join("pinpoint_cli_v3_default.ptrc");
     let out = Command::new(&tool)
         .args(["convert"])
         .arg(&trace)
@@ -287,10 +287,10 @@ fn convert_writes_v2_and_v1_stores_stay_fully_readable() {
     assert!(out.status.success(), "{out:?}");
     let head = std::fs::read(&store).unwrap();
     assert_eq!(&head[..4], b"PTRC");
-    assert_eq!(head[4], 2, "convert must write format v2 by default");
+    assert_eq!(head[4], 3, "convert must write format v3 by default");
 
-    // a legacy v1 store round-trips through the tool byte-identically at
-    // the event level: same JSON out, same analysis output
+    // legacy v1 and v2 stores round-trip through the tool byte-identically
+    // at the event level: same JSON out, same analysis output
     let original = read_json(File::open(&trace).unwrap()).unwrap();
     let v1 = std::env::temp_dir().join("pinpoint_cli_v1_legacy.ptrc");
     {
@@ -298,6 +298,13 @@ fn convert_writes_v2_and_v1_stores_stay_fully_readable() {
         pinpoint::store::write_store_chunked_v1(&original, &mut bytes, 4096).unwrap();
         assert_eq!(bytes[4], 1);
         std::fs::write(&v1, bytes).unwrap();
+    }
+    let v2 = std::env::temp_dir().join("pinpoint_cli_v2_legacy.ptrc");
+    {
+        let mut bytes = Vec::new();
+        pinpoint::store::write_store_chunked_v2(&original, &mut bytes, 4096).unwrap();
+        assert_eq!(bytes[4], 2);
+        std::fs::write(&v2, bytes).unwrap();
     }
     let back = std::env::temp_dir().join("pinpoint_cli_v1_back.json");
     let out = Command::new(&tool)
@@ -319,10 +326,45 @@ fn convert_writes_v2_and_v1_stores_stay_fully_readable() {
         .arg(&store)
         .output()
         .unwrap();
-    assert!(a.status.success() && b.status.success());
-    assert_eq!(a.stdout, b.stdout, "v1 and v2 analyses diverge");
+    let c = Command::new(&tool)
+        .arg("summary")
+        .arg(&v2)
+        .output()
+        .unwrap();
+    assert!(a.status.success() && b.status.success() && c.status.success());
+    assert_eq!(a.stdout, b.stdout, "v1 and v3 analyses diverge");
+    assert_eq!(c.stdout, b.stdout, "v2 and v3 analyses diverge");
 
-    for p in [&store, &v1, &back] {
+    // ptrc -> ptrc convert upgrades an old store to v3 in place, with no
+    // event-level change (same JSON back out)
+    let upgraded = std::env::temp_dir().join("pinpoint_cli_v2_upgraded.ptrc");
+    let out = Command::new(&tool)
+        .args(["convert"])
+        .arg(&v2)
+        .arg(&upgraded)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "v2 -> v3 upgrade failed: {out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("(v2)") && text.contains("(v3)"), "{text}");
+    let head = std::fs::read(&upgraded).unwrap();
+    assert_eq!(head[4], 3, "upgrade must write format v3");
+    assert!(
+        head.len() < std::fs::metadata(&v2).unwrap().len() as usize,
+        "v3 upgrade should shrink the store"
+    );
+    let up_back = std::env::temp_dir().join("pinpoint_cli_upgraded_back.json");
+    let out = Command::new(&tool)
+        .args(["convert"])
+        .arg(&upgraded)
+        .arg(&up_back)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let decoded = read_json(File::open(&up_back).unwrap()).unwrap();
+    assert_eq!(decoded, original, "v2 -> v3 upgrade loses information");
+
+    for p in [&store, &v1, &v2, &back, &upgraded, &up_back] {
         let _ = std::fs::remove_file(p);
     }
 }

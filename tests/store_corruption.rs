@@ -20,8 +20,8 @@ use pinpoint::data::DatasetSpec;
 use pinpoint::models::{Architecture, ResNetDepth};
 use pinpoint::store::fault::{flip_bits, FaultKind, FaultyIo};
 use pinpoint::store::{
-    write_store_chunked, write_store_chunked_v1, ChunkMeta, Predicate, ReadPolicy, RetryPolicy,
-    StoreReader, StoreWriter,
+    write_store_chunked, write_store_chunked_v1, write_store_chunked_v2, ChunkMeta, Predicate,
+    ReadPolicy, RetryPolicy, StoreReader, StoreWriter,
 };
 use pinpoint::tensor::rng::Rng64;
 use pinpoint::trace::{MemEvent, Trace, TraceSink};
@@ -258,17 +258,39 @@ fn arbitrary_garbage_never_panics_the_reader() {
             let _ = StoreReader::new_with_policy(Cursor::new(garbage.clone()), policy)
                 .map(|mut r| r.read_trace());
             // noise wearing a valid header, to reach the deeper decoders
+            // of every supported format version
             if garbage.len() >= HEADER_LEN {
                 garbage[..4].copy_from_slice(b"PTRC");
-                garbage[4] = 2;
-                let _ = StoreReader::new_with_policy(Cursor::new(garbage.clone()), policy)
-                    .map(|mut r| r.read_trace());
-                garbage[4] = 1;
-                let _ = StoreReader::new_with_policy(Cursor::new(garbage.clone()), policy)
-                    .map(|mut r| r.read_trace());
+                for version in [3, 2, 1] {
+                    garbage[4] = version;
+                    let _ = StoreReader::new_with_policy(Cursor::new(garbage.clone()), policy)
+                        .map(|mut r| r.read_trace());
+                }
             }
         }
     }
+}
+
+#[test]
+fn v2_truncation_salvages_the_contained_prefix() {
+    // the main matrix runs on the current (v3) fixture; this keeps the
+    // legacy v2 read path under the same truncation discipline
+    let t = resnet18_trace();
+    let mut bytes = Vec::new();
+    write_store_chunked_v2(t, &mut bytes, CHUNK_EVENTS).unwrap();
+    let pristine = StoreReader::new(Cursor::new(bytes.clone())).unwrap();
+    let metas = pristine.footer().chunks.clone();
+    let ci = metas.len() / 2;
+    let cut = (metas[ci].offset + metas[ci].byte_len) as usize + 1;
+    let mut r =
+        StoreReader::new_with_policy(Cursor::new(bytes[..cut].to_vec()), ReadPolicy::Salvage)
+            .unwrap();
+    assert_eq!(r.salvage_summary().unwrap().chunks_recovered, ci + 1);
+    let back = r.read_trace().unwrap();
+    assert_eq!(
+        back.events(),
+        &t.events()[..((ci + 1) * CHUNK_EVENTS).min(t.events().len())]
+    );
 }
 
 #[test]
