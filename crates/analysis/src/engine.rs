@@ -20,7 +20,9 @@ use crate::ati::{AtiDataset, AtiRecord};
 use crate::breakdown::BreakdownRow;
 use crate::gantt::GanttRect;
 use crate::outlier::{sift, OutlierCriteria, OutlierReport};
-use pinpoint_store::{ColumnBatch, Predicate, ReadPolicy, StoreReader, DEFAULT_CHUNK_EVENTS};
+use pinpoint_store::{
+    ChunkMeta, ColumnBatch, Predicate, ReadPolicy, StoreError, StoreReader, DEFAULT_CHUNK_EVENTS,
+};
 use pinpoint_trace::{BlockId, Category, EventKind, MemEvent, MemoryKind, PeakUsage, Trace};
 use std::any::Any;
 use std::collections::btree_map::Entry;
@@ -377,6 +379,80 @@ impl FusedPipeline {
                 },
             )
             .map_err(io::Error::from)?;
+        Ok(self.finalize(merged, stats))
+    }
+
+    /// Runs every registered fold over an externally supplied chunk set —
+    /// the cache-backed twin of [`run_store`](Self::run_store), built for
+    /// consumers (the `pinpoint-serve` daemon) that hold decoded
+    /// [`ColumnBatch`]es in a shared cache instead of re-reading the file.
+    ///
+    /// `index` is the store's chunk index (file order); candidates are
+    /// pruned with the union predicate exactly like `run_store`, and each
+    /// surviving chunk is requested once from `fetch` — typically a cache
+    /// lookup that decodes on miss — on a worker thread. Per-chunk partial
+    /// states merge in chunk order, so results (including the salvage
+    /// accounting under [`ReadPolicy::Salvage`], where a `fetch` that
+    /// returns a corruption error becomes a skipped chunk) are
+    /// bit-identical to `run_store` over the same store at any `threads`
+    /// count, whatever mix of cache hits and misses serves the batches.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from `fetch` always; corruption errors under
+    /// [`ReadPolicy::Strict`].
+    pub fn run_chunks<F>(
+        &self,
+        index: &[ChunkMeta],
+        threads: usize,
+        policy: ReadPolicy,
+        fetch: F,
+    ) -> Result<FusedOutputs, StoreError>
+    where
+        F: Fn(usize, &ChunkMeta) -> Result<std::sync::Arc<ColumnBatch>, StoreError> + Sync,
+    {
+        let chunks_total = index.len();
+        let mut stats = FusedStats {
+            chunks_total,
+            ..FusedStats::default()
+        };
+        let mut candidates: Vec<usize> = Vec::new();
+        if !self.folds.is_empty() {
+            let union = self.union_predicate();
+            for (i, m) in index.iter().enumerate() {
+                if union.matches_chunk(m) {
+                    candidates.push(i);
+                } else if union.pruned_by_label(m) {
+                    stats.chunks_pruned_by_label += 1;
+                }
+            }
+        }
+        stats.chunks_pruned = chunks_total - candidates.len();
+        let preds: Vec<Predicate> = self.folds.iter().map(|f| f.predicate_dyn()).collect();
+        let folds = &self.folds;
+        let mapped = pinpoint_parallel::map_ordered(candidates, threads, |i| {
+            let res = fetch(i, &index[i])
+                .map(|batch| (fold_chunk_batch(folds, &preds, &batch), batch.len() as u64));
+            (i, res)
+        });
+        let mut merged: Option<Vec<DynAcc>> = None;
+        for (i, res) in mapped {
+            match res {
+                Ok((accs, n)) => {
+                    stats.chunks_decoded += 1;
+                    stats.events_scanned += n;
+                    merged = merge_accs(folds, merged.take(), accs);
+                }
+                Err(e) if policy == ReadPolicy::Salvage && e.is_corruption() => {
+                    stats.chunks_skipped += 1;
+                    stats.events_lost += index[i].count;
+                    if stats.first_error.is_none() {
+                        stats.first_error = Some(e.to_string());
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
         Ok(self.finalize(merged, stats))
     }
 

@@ -1,0 +1,403 @@
+//! [`TraceReport`]: every analysis pass of the paper computed over
+//! **one** decode of a trace via the fused engine, plus the canonical
+//! JSON renderings shared by the CLI and the `pinpoint-serve` daemon.
+//!
+//! The JSON here is the *wire contract* between the offline tool and the
+//! server: both call the same [`report_json`] / [`query_json`] builders,
+//! and both feed them results from the same deterministic engine — so a
+//! daemon response is byte-identical to the offline subcommand's output
+//! on the same store, at any thread count, whatever mix of cache hits
+//! served the chunks. To keep that guarantee trivial to audit, the
+//! builders emit integers and strings only (no floats), field order is
+//! fixed, and every string goes through the in-repo JSON escaper.
+
+use crate::ati::AtiDataset;
+use crate::breakdown::BreakdownRow;
+use crate::engine::{
+    AtiFold, BreakdownFold, FoldHandle, FusedPipeline, FusedStats, GanttFold, OutlierFold, PeakFold,
+};
+use crate::gantt::GanttRect;
+use crate::outlier::{OutlierCriteria, OutlierReport};
+use pinpoint_store::{ChunkMeta, ColumnBatch, QueryResult, ReadPolicy, StoreError, StoreReader};
+use pinpoint_trace::export::{kind_name, mem_kind_name, write_event_json};
+use pinpoint_trace::{json, PeakUsage, Trace};
+use std::fmt::Write as _;
+use std::io::{self, Read, Seek};
+use std::sync::Arc;
+
+/// Every analysis pass of the paper — ATI, peak, breakdown, Gantt,
+/// outliers — computed over **one** decode of the trace by the fused
+/// engine (the five standalone passes would each rescan it).
+#[derive(Debug, Clone)]
+pub struct TraceReport {
+    /// Access-time intervals (Figs. 3–4 input).
+    pub ati: AtiDataset,
+    /// Peak footprint split by category.
+    pub peak: PeakUsage,
+    /// Occupation-breakdown row (Figs. 5–7 shape).
+    pub breakdown: BreakdownRow,
+    /// Gantt rectangles of every block lifetime (Fig. 2).
+    pub gantt: Vec<GanttRect>,
+    /// Fig. 4 outliers under the given criteria.
+    pub outliers: OutlierReport,
+    /// Scan accounting: chunks decoded (each exactly once) vs pruned.
+    pub stats: FusedStats,
+}
+
+/// Builds the five-fold pipeline shared by every `TraceReport` entry
+/// point. Handles come back in registration order.
+#[allow(clippy::type_complexity)]
+fn report_pipeline(
+    criteria: OutlierCriteria,
+) -> (
+    FusedPipeline,
+    (
+        FoldHandle<AtiDataset>,
+        FoldHandle<PeakUsage>,
+        FoldHandle<BreakdownRow>,
+        FoldHandle<Vec<GanttRect>>,
+        FoldHandle<OutlierReport>,
+    ),
+) {
+    let mut pipe = FusedPipeline::new();
+    let ati = pipe.register(AtiFold);
+    let peak = pipe.register(PeakFold);
+    let breakdown = pipe.register(BreakdownFold {
+        label: "trace".to_string(),
+    });
+    let gantt = pipe.register(GanttFold {
+        t_start: 0,
+        t_end: u64::MAX,
+    });
+    let outliers = pipe.register(OutlierFold { criteria });
+    (pipe, (ati, peak, breakdown, gantt, outliers))
+}
+
+impl TraceReport {
+    /// Runs all five passes over a `.ptrc` store in one fused scan: each
+    /// chunk is decoded exactly once, however many passes consume it.
+    ///
+    /// # Errors
+    ///
+    /// I/O or corruption errors from the store.
+    pub fn from_store<R: Read + Seek>(
+        reader: &mut StoreReader<R>,
+        criteria: OutlierCriteria,
+        threads: usize,
+    ) -> io::Result<Self> {
+        let (pipe, (ati, peak, breakdown, gantt, outliers)) = report_pipeline(criteria);
+        let mut out = pipe.run_store(reader, threads)?;
+        Ok(TraceReport {
+            ati: out.take(ati),
+            peak: out.take(peak),
+            breakdown: out.take(breakdown),
+            gantt: out.take(gantt),
+            outliers: out.take(outliers),
+            stats: out.stats().clone(),
+        })
+    }
+
+    /// Runs all five passes over an in-memory trace in one fused scan —
+    /// bit-identical to [`TraceReport::from_store`] on the same trace.
+    pub fn from_trace(trace: &Trace, criteria: OutlierCriteria, threads: usize) -> Self {
+        let (pipe, (ati, peak, breakdown, gantt, outliers)) = report_pipeline(criteria);
+        let mut out = pipe.run_trace(trace, threads);
+        TraceReport {
+            ati: out.take(ati),
+            peak: out.take(peak),
+            breakdown: out.take(breakdown),
+            gantt: out.take(gantt),
+            outliers: out.take(outliers),
+            stats: out.stats().clone(),
+        }
+    }
+
+    /// Runs all five passes over an externally supplied chunk set via
+    /// [`FusedPipeline::run_chunks`] — the serve-daemon path, where
+    /// `fetch` is a chunk-cache lookup that decodes on miss.
+    /// Bit-identical to [`TraceReport::from_store`] on the same store at
+    /// any `threads` count, whatever mix of cache hits serves the
+    /// batches.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from `fetch` always; corruption errors under
+    /// [`ReadPolicy::Strict`].
+    pub fn from_chunks<F>(
+        index: &[ChunkMeta],
+        criteria: OutlierCriteria,
+        threads: usize,
+        policy: ReadPolicy,
+        fetch: F,
+    ) -> Result<Self, StoreError>
+    where
+        F: Fn(usize, &ChunkMeta) -> Result<Arc<ColumnBatch>, StoreError> + Sync,
+    {
+        let (pipe, (ati, peak, breakdown, gantt, outliers)) = report_pipeline(criteria);
+        let mut out = pipe.run_chunks(index, threads, policy, fetch)?;
+        Ok(TraceReport {
+            ati: out.take(ati),
+            peak: out.take(peak),
+            breakdown: out.take(breakdown),
+            gantt: out.take(gantt),
+            outliers: out.take(outliers),
+            stats: out.stats().clone(),
+        })
+    }
+}
+
+fn write_opt_str(s: &mut String, v: Option<&str>) {
+    match v {
+        Some(v) => json::write_str(s, v),
+        None => s.push_str("null"),
+    }
+}
+
+fn write_fused_stats(s: &mut String, st: &FusedStats) {
+    let _ = write!(
+        s,
+        "{{\"chunks_total\":{},\"chunks_pruned\":{},\"chunks_pruned_by_label\":{},\
+         \"chunks_decoded\":{},\"chunks_skipped\":{},\"events_scanned\":{},\
+         \"events_lost\":{},\"first_error\":",
+        st.chunks_total,
+        st.chunks_pruned,
+        st.chunks_pruned_by_label,
+        st.chunks_decoded,
+        st.chunks_skipped,
+        st.events_scanned,
+        st.events_lost,
+    );
+    write_opt_str(s, st.first_error.as_deref());
+    s.push('}');
+}
+
+/// Renders a [`TraceReport`] as deterministic JSON — the body of the
+/// CLI's `report --json` and of the daemon's `POST /stores/{name}/report`
+/// response. Integers and strings only; Gantt rectangles are truncated to
+/// `max_rects` (with the total always present), everything else is
+/// complete.
+pub fn report_json(d: &TraceReport, max_rects: usize) -> String {
+    let mut s = String::with_capacity(1024 + d.gantt.len().min(max_rects) * 96);
+    s.push_str("{\"stats\":");
+    write_fused_stats(&mut s, &d.stats);
+    let _ = write!(
+        s,
+        ",\"peak\":{{\"total_bytes\":{},\"input_bytes\":{},\"parameter_bytes\":{},\
+         \"intermediate_bytes\":{}}}",
+        d.peak.peak_total_bytes,
+        d.peak.bytes(pinpoint_trace::Category::InputData),
+        d.peak.bytes(pinpoint_trace::Category::Parameters),
+        d.peak.bytes(pinpoint_trace::Category::Intermediates),
+    );
+    s.push_str(",\"breakdown\":{\"label\":");
+    json::write_str(&mut s, &d.breakdown.label);
+    let _ = write!(
+        s,
+        ",\"peak_bytes\":{},\"input_bytes\":{},\"parameter_bytes\":{},\"intermediate_bytes\":{}}}",
+        d.breakdown.peak_bytes,
+        d.breakdown.input_bytes,
+        d.breakdown.parameter_bytes,
+        d.breakdown.intermediate_bytes,
+    );
+    let (p50, p90, p99) = if d.ati.is_empty() {
+        (0, 0, 0)
+    } else {
+        let cdf = d.ati.cdf();
+        (
+            cdf.percentile(0.5),
+            cdf.percentile(0.9),
+            cdf.percentile(0.99),
+        )
+    };
+    let _ = write!(
+        s,
+        ",\"ati\":{{\"count\":{},\"p50_ns\":{p50},\"p90_ns\":{p90},\"p99_ns\":{p99}}}",
+        d.ati.len(),
+    );
+    let _ = write!(
+        s,
+        ",\"outliers\":{{\"total_behaviors\":{},\"min_ati_ns\":{},\"min_size_bytes\":{},\
+         \"outliers\":[",
+        d.outliers.total_behaviors,
+        d.outliers.criteria.min_ati_ns,
+        d.outliers.criteria.min_size_bytes,
+    );
+    for (i, o) in d.outliers.outliers.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"block\":{},\"size\":{},\"interval_ns\":{},\"end_time_ns\":{},\
+             \"mem_kind\":\"{}\",\"closing_kind\":\"{}\"}}",
+            o.block.0,
+            o.size,
+            o.interval_ns,
+            o.end_time_ns,
+            mem_kind_name(o.mem_kind),
+            kind_name(o.closing_kind),
+        );
+    }
+    let _ = write!(s, "]}},\"gantt\":{{\"total\":{},\"rects\":[", d.gantt.len());
+    for (i, r) in d.gantt.iter().take(max_rects).enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"block\":{},\"t0_ns\":{},\"t1_ns\":{},\"offset\":{},\"size\":{},\
+             \"mem_kind\":\"{}\"}}",
+            r.block.0,
+            r.t0_ns,
+            r.t1_ns,
+            r.offset,
+            r.size,
+            mem_kind_name(r.mem_kind),
+        );
+    }
+    s.push_str("]}}");
+    s
+}
+
+/// Renders a [`QueryResult`] as deterministic JSON — the body of the
+/// CLI's `query --json` and of the daemon's `POST /stores/{name}/query`
+/// response. Events are truncated to `limit` (the `matched` total is
+/// always present) and use the exact trace-export wire layout.
+pub fn query_json(q: &QueryResult, limit: usize) -> String {
+    let n = q.events.len().min(limit);
+    let mut s = String::with_capacity(256 + n * 128);
+    let st = &q.stats;
+    let _ = write!(
+        s,
+        "{{\"stats\":{{\"chunks_total\":{},\"chunks_pruned\":{},\"chunks_pruned_by_label\":{},\
+         \"chunks_decoded\":{},\"chunks_skipped\":{},\"events_lost\":{},\"first_error\":",
+        st.chunks_total,
+        st.chunks_pruned,
+        st.chunks_pruned_by_label,
+        st.chunks_decoded,
+        st.chunks_skipped,
+        st.events_lost,
+    );
+    write_opt_str(&mut s, st.first_error.as_deref());
+    let _ = write!(
+        s,
+        "}},\"matched\":{},\"returned\":{n},\"events\":[",
+        q.events.len()
+    );
+    for (i, e) in q.events.iter().take(limit).enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        write_event_json(&mut s, e);
+    }
+    s.push_str("]}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinpoint_store::{write_store_chunked, Predicate};
+    use pinpoint_trace::{BlockId, EventKind, MemoryKind};
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new();
+        for i in 0..120u64 {
+            let b = BlockId(i % 11);
+            t.record(
+                i * 50,
+                EventKind::Malloc,
+                b,
+                ((i % 11 + 1) * 1000) as usize,
+                (i * 128) as usize,
+                MemoryKind::Activation,
+                None,
+            );
+            t.record(
+                i * 50 + 20,
+                EventKind::Write,
+                b,
+                ((i % 11 + 1) * 1000) as usize,
+                (i * 128) as usize,
+                MemoryKind::Activation,
+                None,
+            );
+            if i % 4 == 0 {
+                t.record(
+                    i * 50 + 40,
+                    EventKind::Free,
+                    b,
+                    ((i % 11 + 1) * 1000) as usize,
+                    (i * 128) as usize,
+                    MemoryKind::Activation,
+                    None,
+                );
+            }
+        }
+        t
+    }
+
+    fn criteria() -> OutlierCriteria {
+        OutlierCriteria {
+            min_ati_ns: 100,
+            min_size_bytes: 2000,
+        }
+    }
+
+    #[test]
+    fn from_chunks_is_bit_identical_to_from_store() {
+        let t = sample_trace();
+        let mut bytes = Vec::new();
+        write_store_chunked(&t, &mut bytes, 16).unwrap();
+        let mut r = StoreReader::new(std::io::Cursor::new(bytes.clone())).unwrap();
+        let want = TraceReport::from_store(&mut r, criteria(), 1).unwrap();
+        let shared = pinpoint_store::SharedStoreReader::from_bytes(bytes).unwrap();
+        let index = shared.footer().chunks.clone();
+        for threads in [1, 4] {
+            let got = TraceReport::from_chunks(
+                &index,
+                criteria(),
+                threads,
+                ReadPolicy::Strict,
+                |i, _| shared.decode_chunk(i).map(Arc::new),
+            )
+            .unwrap();
+            assert_eq!(report_json(&got, 30), report_json(&want, 30), "t={threads}");
+            assert_eq!(got.stats, want.stats, "t={threads}");
+        }
+    }
+
+    #[test]
+    fn report_json_is_deterministic_and_truncates_gantt() {
+        let t = sample_trace();
+        let d = TraceReport::from_trace(&t, criteria(), 1);
+        let a = report_json(&d, 5);
+        let b = report_json(&TraceReport::from_trace(&t, criteria(), 4), 5);
+        assert_eq!(a, b, "thread count must not change a byte");
+        assert!(a.contains("\"total\":11"), "{a}");
+        assert_eq!(a.matches("\"t0_ns\"").count(), 5, "truncated to 5 rects");
+        assert!(a.starts_with("{\"stats\":{\"chunks_total\":"));
+    }
+
+    #[test]
+    fn query_json_matches_export_event_layout() {
+        let t = sample_trace();
+        let mut bytes = Vec::new();
+        write_store_chunked(&t, &mut bytes, 16).unwrap();
+        let mut r = StoreReader::new(std::io::Cursor::new(bytes)).unwrap();
+        let q = r
+            .query(&Predicate::any().with_kind(EventKind::Free), 1)
+            .unwrap();
+        let s = query_json(&q, 3);
+        assert!(s.contains("\"matched\":30"), "{s}");
+        assert!(s.contains("\"returned\":3"), "{s}");
+        assert!(
+            s.contains("\"kind\":\"Free\",\"block\":0,\"size\":1000"),
+            "{s}"
+        );
+        // the export path renders the identical event bytes
+        let mut expect = String::new();
+        write_event_json(&mut expect, &q.events[0]);
+        assert!(s.contains(&expect), "{s}\nvs\n{expect}");
+    }
+}

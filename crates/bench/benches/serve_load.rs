@@ -1,0 +1,239 @@
+//! Seeded load generator for the `pinpoint-serve` daemon.
+//!
+//! Profiles ResNet-18, publishes the store through an in-process daemon,
+//! and drives it with concurrent clients at fan-outs of 1, 2, 4 and 8.
+//! Each client issues a seeded mix of `report` and `query` requests over
+//! plain `TcpStream`s and records per-request wall time. The bench
+//! reports p50/p99 latency, aggregate throughput, and the chunk-cache
+//! hit rate (from `/metrics`) per fan-out in `BENCH_serve.json`.
+//!
+//! Two in-bench guards run on every CI bench-smoke pass:
+//! - every response body at every fan-out is byte-identical to the
+//!   single-client answer (the daemon's determinism contract under
+//!   concurrency and cache churn);
+//! - with a warm cache, aggregate report throughput at 8 clients must be
+//!   at least 2x the 1-client figure — gated on the machine actually
+//!   having >= 2 CPUs (a 1-core runner records the skip in the JSON
+//!   instead of asserting parallel speedup it cannot exhibit).
+
+use pinpoint_bench::by_scale;
+use pinpoint_bench::criterion::Criterion;
+use pinpoint_bench::{criterion_group, criterion_main};
+use pinpoint_core::{profile, ProfileConfig};
+use pinpoint_data::DatasetSpec;
+use pinpoint_models::{Architecture, ResNetDepth};
+use pinpoint_serve::{start, ServeConfig};
+use pinpoint_tensor::rng::Rng64;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Instant;
+
+/// One request/response over a fresh connection; returns (status, body).
+fn roundtrip(addr: SocketAddr, request: &str) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.write_all(request.as_bytes()).expect("send");
+    let mut buf = Vec::new();
+    s.read_to_end(&mut buf).expect("recv");
+    let text = String::from_utf8(buf).expect("utf8");
+    let (head, body) = text.split_once("\r\n\r\n").expect("full response");
+    let status = head
+        .split_ascii_whitespace()
+        .nth(1)
+        .expect("status")
+        .parse()
+        .expect("numeric status");
+    (status, body.to_string())
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    roundtrip(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+/// The seeded request mix: mostly cached full reports, with a few
+/// pruned queries mixed in to churn the cache's access order.
+fn request_body(rng: &mut Rng64) -> (&'static str, String) {
+    match rng.gen_below(4) {
+        0 => (
+            "/stores/resnet18/query",
+            format!("{{\"kind\":\"malloc\",\"max\":{}}}", rng.gen_below(16) + 1),
+        ),
+        _ => ("/stores/resnet18/report", String::new()),
+    }
+}
+
+fn metric(body: &str, key: &str) -> u64 {
+    let tag = format!("\"{key}\":");
+    let rest = &body[body.find(&tag).expect("metric present") + tag.len()..];
+    rest[..rest.find([',', '}']).unwrap()]
+        .parse()
+        .expect("metric value")
+}
+
+/// Drives `clients` concurrent request loops, `per_client` requests
+/// each, all from seeded RNGs. Returns (latencies_ns, elapsed_ns) —
+/// latencies sorted ascending across all clients.
+fn drive(addr: SocketAddr, clients: usize, per_client: usize, seed: u64) -> (Vec<u64>, u64) {
+    let t0 = Instant::now();
+    let lats = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut rng = Rng64::seed_from_u64(seed ^ (c as u64).wrapping_mul(0x9e37));
+                    let mut lats = Vec::with_capacity(per_client);
+                    for _ in 0..per_client {
+                        let (path, body) = request_body(&mut rng);
+                        let t = Instant::now();
+                        let (status, body) = post(addr, path, &body);
+                        lats.push(t.elapsed().as_nanos() as u64);
+                        assert_eq!(status, 200, "{body}");
+                    }
+                    lats
+                })
+            })
+            .collect();
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect();
+        all.sort_unstable();
+        all
+    });
+    (lats, t0.elapsed().as_nanos() as u64)
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    let i = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[i]
+}
+
+fn bench(c: &mut Criterion) {
+    let batch = by_scale(16, 64);
+    let per_client = by_scale(8, 40);
+    let cfg = ProfileConfig::breakdown_sweep(
+        Architecture::ResNet(ResNetDepth::R18),
+        DatasetSpec::cifar100(),
+        batch,
+    );
+    let trace = profile(&cfg).expect("resnet-18 profile").trace;
+    let events = trace.len();
+
+    let dir = std::env::temp_dir().join(format!("pinpoint-serve-load-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("catalog dir");
+    let mut encoded = Vec::new();
+    pinpoint_store::write_store_chunked(&trace, &mut encoded, 512).expect("encode");
+    std::fs::write(dir.join("resnet18.ptrc"), &encoded).expect("write store");
+
+    let handle = start(ServeConfig {
+        catalog_dir: dir.clone(),
+        workers: 8,
+        queue_cap: 64,
+        ..ServeConfig::default()
+    })
+    .expect("start daemon");
+    let addr = handle.addr();
+
+    // warm the cache and pin the reference answers: every later response
+    // must be these exact bytes, whatever the fan-out
+    let (status, want_report) = post(addr, "/stores/resnet18/report", "");
+    assert_eq!(status, 200);
+    let (status, want_query) = post(
+        addr,
+        "/stores/resnet18/query",
+        "{\"kind\":\"malloc\",\"max\":5}",
+    );
+    assert_eq!(status, 200);
+
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut per_fanout = Vec::new();
+    let mut throughput_1 = 0.0f64;
+    let mut throughput_8 = 0.0f64;
+    for clients in [1usize, 2, 4, 8] {
+        let before = metric(
+            &roundtrip(addr, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").1,
+            "cache_hits",
+        );
+        let (lats, elapsed_ns) = drive(addr, clients, per_client, 0xC0FFEE);
+        let after = roundtrip(addr, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").1;
+        let hits = metric(&after, "cache_hits") - before;
+        let misses = metric(&after, "cache_misses");
+        let total = (clients * per_client) as f64;
+        let throughput = total / (elapsed_ns as f64 / 1e9);
+        let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+        if clients == 1 {
+            throughput_1 = throughput;
+        }
+        if clients == 8 {
+            throughput_8 = throughput;
+        }
+
+        // determinism under concurrency: spot-check both request shapes
+        let (_, got) = post(addr, "/stores/resnet18/report", "");
+        assert_eq!(got, want_report, "report bytes drift at {clients} clients");
+        let (_, got) = post(
+            addr,
+            "/stores/resnet18/query",
+            "{\"kind\":\"malloc\",\"max\":5}",
+        );
+        assert_eq!(got, want_query, "query bytes drift at {clients} clients");
+
+        let p50 = percentile(&lats, 0.50);
+        let p99 = percentile(&lats, 0.99);
+        println!(
+            "serve_load: {clients} clients: p50 {p50} ns, p99 {p99} ns, \
+             {throughput:.1} req/s, cache hit rate {:.2}",
+            hit_rate
+        );
+        per_fanout.push(format!(
+            "{{\"clients\":{clients},\"requests\":{},\"p50_ns\":{p50},\"p99_ns\":{p99},\
+             \"throughput_rps\":{throughput:.2},\"cache_hit_rate\":{hit_rate:.4}}}",
+            clients * per_client
+        ));
+    }
+
+    // the scaling claim needs real cores behind the worker pool
+    let scaling_checked = cpus >= 2;
+    let speedup = throughput_8 / throughput_1;
+    if scaling_checked {
+        assert!(
+            speedup >= 2.0,
+            "8-client aggregate throughput must be >= 2x the 1-client figure \
+             with a warm cache on a {cpus}-cpu machine: got {speedup:.2}x \
+             ({throughput_1:.1} -> {throughput_8:.1} req/s)"
+        );
+    } else {
+        println!("serve_load: single-cpu machine, scaling assert skipped ({speedup:.2}x)");
+    }
+
+    let json = format!(
+        "{{\"bench\":\"serve_load\",\"events\":{events},\"store_bytes\":{},\
+         \"workers\":8,\"cpus\":{cpus},\"per_client_requests\":{per_client},\
+         \"runs\":[{}],\"speedup_8_vs_1\":{speedup:.4},\
+         \"scaling_asserted\":{scaling_checked},\"bit_identical\":true}}\n",
+        encoded.len(),
+        per_fanout.join(",")
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    if let Err(e) = std::fs::write(out, json) {
+        eprintln!("could not write {out}: {e}");
+    }
+
+    let mut g = c.benchmark_group("serve_load");
+    g.sample_size(10);
+    g.bench_function("warm_report_single_client", |b| {
+        b.iter(|| post(addr, "/stores/resnet18/report", "").1.len())
+    });
+    g.finish();
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

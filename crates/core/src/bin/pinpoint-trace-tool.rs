@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! pinpoint-trace-tool summary   trace.{json|ptrc}
-//! pinpoint-trace-tool report    trace.{json|ptrc} [--min-ati-ms N] [--min-size-mb N] [--max N]
+//! pinpoint-trace-tool report    trace.{json|ptrc} [--min-ati-ms N] [--min-size-mb N] [--max N] [--json]
 //! pinpoint-trace-tool ati       trace.{json|ptrc}
 //! pinpoint-trace-tool outliers  trace.{json|ptrc} [--min-ati-ms N] [--min-size-mb N]
 //! pinpoint-trace-tool breakdown trace.{json|ptrc}
@@ -17,7 +17,9 @@
 //! pinpoint-trace-tool query     trace.ptrc [--t0-us N] [--t1-us N]
 //!                               [--block-min N] [--block-max N] [--kind K]...
 //!                               [--category C]... [--min-size-bytes N]
-//!                               [--op-label NAME|ID] [--max N]
+//!                               [--op-label NAME|ID] [--max N] [--json]
+//! pinpoint-trace-tool serve     --catalog DIR [--addr HOST:PORT] [--cache-bytes N]
+//!                               [--threads N] [--queue N] [--shutdown-token TOK]
 //! ```
 //!
 //! Input format is sniffed from the file's magic bytes, so every analysis
@@ -41,8 +43,16 @@
 //!
 //! `--threads N` (or `PINPOINT_THREADS`) sets the worker-thread count for
 //! parallel work (`compare` loads and validates both traces concurrently;
-//! `query` and the fused engine decode surviving chunks in parallel);
-//! output never depends on the thread count.
+//! `query` and the fused engine decode surviving chunks in parallel;
+//! `serve` sizes its worker pool with it); output never depends on the
+//! thread count.
+//!
+//! `report --json` and `query --json` print the same deterministic JSON
+//! the `serve` daemon returns for `POST /stores/{name}/report` and
+//! `POST /stores/{name}/query` — byte-identical on the same store, which
+//! is what the serve smoke tests assert. `serve` hosts a directory of
+//! `.ptrc` stores over HTTP with a shared decoded-chunk cache and
+//! admission control; stop it with the token-gated `POST /shutdown`.
 //!
 //! Produce a trace with `pinpoint_trace::export::write_json` or stream one
 //! straight to disk with `pinpoint_store::StoreWriter` (the
@@ -50,8 +60,8 @@
 
 use pinpoint_analysis::{
     ati_from_store, breakdown_from_store, detect, diff_traces, gantt_from_store, gantt_rects,
-    op_stats, outliers_from_store, plan, sift, violin_sorted, AtiDataset, BreakdownRow, GanttRect,
-    OutlierCriteria, OutlierReport,
+    op_stats, outliers_from_store, plan, query_json, report_json, sift, violin_sorted, AtiDataset,
+    BreakdownRow, GanttRect, OutlierCriteria, OutlierReport,
 };
 use pinpoint_core::report::{human_bytes, human_time, render_trace_report, TraceReport};
 use pinpoint_device::TransferModel;
@@ -67,6 +77,13 @@ fn flag_value(args: &[String], name: &str) -> Option<f64> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
+}
+
+fn flag_str<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
 }
 
 fn flag_strings<'a>(args: &'a [String], name: &str) -> Vec<&'a str> {
@@ -256,7 +273,11 @@ fn cmd_store_analysis(cmd: &str, path: &str, args: &[String]) -> Result<(), Stri
                 pinpoint_core::parallel::configured_threads(),
             )
             .map_err(fail)?;
-            print!("{}", render_trace_report(&d, max));
+            if args.iter().any(|a| a == "--json") {
+                println!("{}", report_json(&d, max));
+            } else {
+                print!("{}", render_trace_report(&d, max));
+            }
         }
         other => return Err(format!("`{other}` has no store-direct path")),
     }
@@ -475,6 +496,10 @@ fn cmd_query(path: &str, args: &[String]) -> Result<(), String> {
     let q = reader
         .query(&pred, pinpoint_core::parallel::configured_threads())
         .map_err(|e| format!("query on {path} failed: {e}"))?;
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", query_json(&q, max));
+        return Ok(());
+    }
     let labels = reader.footer().labels.clone();
     let by_label = if q.stats.chunks_pruned_by_label > 0 {
         format!(", {} by op-label", q.stats.chunks_pruned_by_label)
@@ -515,6 +540,38 @@ fn cmd_query(path: &str, args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `serve`: host a directory of `.ptrc` stores over HTTP until a
+/// token-gated `POST /shutdown` (or a signal) stops the process.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let Some(catalog) = flag_str(args, "--catalog") else {
+        return Err("serve needs --catalog DIR".to_string());
+    };
+    if !std::path::Path::new(catalog).is_dir() {
+        return Err(format!("--catalog {catalog} is not a directory"));
+    }
+    let config = pinpoint_serve::ServeConfig {
+        catalog_dir: catalog.into(),
+        addr: flag_str(args, "--addr")
+            .unwrap_or("127.0.0.1:7070")
+            .to_string(),
+        cache_bytes: flag_value(args, "--cache-bytes").map_or(256 << 20, |v| v as u64),
+        workers: pinpoint_core::parallel::configured_threads(),
+        queue_cap: flag_value(args, "--queue").map_or(64, |v| v as usize),
+        shutdown_token: flag_str(args, "--shutdown-token").map(String::from),
+        ..pinpoint_serve::ServeConfig::default()
+    };
+    let workers = config.workers;
+    let handle = pinpoint_serve::start(config).map_err(|e| format!("cannot serve: {e}"))?;
+    // scripts (and the smoke tests) parse this line for the bound port
+    println!(
+        "serving {catalog} at http://{} ({workers} workers)",
+        handle.addr()
+    );
+    handle.wait();
+    println!("shutdown complete");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if let Some(i) = args.iter().position(|a| a == "--threads") {
@@ -529,8 +586,17 @@ fn main() -> ExitCode {
         pinpoint_core::parallel::set_global_threads(n);
         args.drain(i..=i + 1);
     }
+    if args.first().map(String::as_str) == Some("serve") {
+        return match cmd_serve(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let (Some(cmd), Some(path)) = (args.first(), args.get(1)) else {
-        eprintln!("usage: pinpoint-trace-tool <summary|report|ati|outliers|breakdown|gantt|ops|plan|compare|convert|info|scrub|query> <trace.{{json|ptrc}}> [out|trace_b] [flags]");
+        eprintln!("usage: pinpoint-trace-tool <summary|report|ati|outliers|breakdown|gantt|ops|plan|compare|convert|info|scrub|query|serve> <trace.{{json|ptrc}}> [out|trace_b] [flags]");
         return ExitCode::FAILURE;
     };
     // store-centric subcommands have their own argument shapes and never
@@ -669,7 +735,11 @@ fn main() -> ExitCode {
                 criteria,
                 pinpoint_core::parallel::configured_threads(),
             );
-            print!("{}", render_trace_report(&d, max));
+            if args.iter().any(|a| a == "--json") {
+                println!("{}", report_json(&d, max));
+            } else {
+                print!("{}", render_trace_report(&d, max));
+            }
         }
         "ops" => {
             let top = flag_value(&args, "--top").unwrap_or(15.0) as usize;

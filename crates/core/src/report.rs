@@ -1,16 +1,11 @@
-//! Paper-style text rendering of figure data, plus [`TraceReport`]: every
-//! analysis pass of the paper computed over **one** decode of a trace via
-//! the fused engine.
+//! Paper-style text rendering of figure data and of [`TraceReport`] (the
+//! all-passes-in-one-scan report, which lives in `pinpoint-analysis` so
+//! the serve daemon can share it).
 
 use crate::figures::{Fig2Data, Fig3Data, Fig4Data};
-use pinpoint_analysis::{
-    AtiDataset, AtiFold, BreakdownFold, BreakdownRow, FusedPipeline, FusedStats, GanttFold,
-    GanttRect, OutlierCriteria, OutlierFold, OutlierReport, PeakFold,
-};
-use pinpoint_store::StoreReader;
-use pinpoint_trace::{PeakUsage, Trace};
+use pinpoint_analysis::BreakdownRow;
+pub use pinpoint_analysis::TraceReport;
 use std::fmt::Write as _;
-use std::io::{self, Read, Seek};
 
 /// Formats a byte count with a decimal human unit — powers of 1000, i.e.
 /// the paper's KB/MB/GB usage.
@@ -188,94 +183,6 @@ pub fn render_breakdown(title: &str, rows: &[BreakdownRow]) -> String {
         );
     }
     s
-}
-
-/// Every analysis pass of the paper — ATI, peak, breakdown, Gantt,
-/// outliers — computed over **one** decode of the trace by the fused
-/// engine (the five standalone passes would each rescan it).
-#[derive(Debug, Clone)]
-pub struct TraceReport {
-    /// Access-time intervals (Figs. 3–4 input).
-    pub ati: AtiDataset,
-    /// Peak footprint split by category.
-    pub peak: PeakUsage,
-    /// Occupation-breakdown row (Figs. 5–7 shape).
-    pub breakdown: BreakdownRow,
-    /// Gantt rectangles of every block lifetime (Fig. 2).
-    pub gantt: Vec<GanttRect>,
-    /// Fig. 4 outliers under the given criteria.
-    pub outliers: OutlierReport,
-    /// Scan accounting: chunks decoded (each exactly once) vs pruned.
-    pub stats: FusedStats,
-}
-
-/// Builds the five-fold pipeline shared by both `TraceReport` entry
-/// points. Handles come back in registration order.
-#[allow(clippy::type_complexity)]
-fn report_pipeline(
-    criteria: OutlierCriteria,
-) -> (
-    FusedPipeline,
-    (
-        pinpoint_analysis::FoldHandle<AtiDataset>,
-        pinpoint_analysis::FoldHandle<PeakUsage>,
-        pinpoint_analysis::FoldHandle<BreakdownRow>,
-        pinpoint_analysis::FoldHandle<Vec<GanttRect>>,
-        pinpoint_analysis::FoldHandle<OutlierReport>,
-    ),
-) {
-    let mut pipe = FusedPipeline::new();
-    let ati = pipe.register(AtiFold);
-    let peak = pipe.register(PeakFold);
-    let breakdown = pipe.register(BreakdownFold {
-        label: "trace".to_string(),
-    });
-    let gantt = pipe.register(GanttFold {
-        t_start: 0,
-        t_end: u64::MAX,
-    });
-    let outliers = pipe.register(OutlierFold { criteria });
-    (pipe, (ati, peak, breakdown, gantt, outliers))
-}
-
-impl TraceReport {
-    /// Runs all five passes over a `.ptrc` store in one fused scan: each
-    /// chunk is decoded exactly once, however many passes consume it.
-    ///
-    /// # Errors
-    ///
-    /// I/O or corruption errors from the store.
-    pub fn from_store<R: Read + Seek>(
-        reader: &mut StoreReader<R>,
-        criteria: OutlierCriteria,
-        threads: usize,
-    ) -> io::Result<Self> {
-        let (pipe, (ati, peak, breakdown, gantt, outliers)) = report_pipeline(criteria);
-        let mut out = pipe.run_store(reader, threads)?;
-        Ok(TraceReport {
-            ati: out.take(ati),
-            peak: out.take(peak),
-            breakdown: out.take(breakdown),
-            gantt: out.take(gantt),
-            outliers: out.take(outliers),
-            stats: out.stats().clone(),
-        })
-    }
-
-    /// Runs all five passes over an in-memory trace in one fused scan —
-    /// bit-identical to [`TraceReport::from_store`] on the same trace.
-    pub fn from_trace(trace: &Trace, criteria: OutlierCriteria, threads: usize) -> Self {
-        let (pipe, (ati, peak, breakdown, gantt, outliers)) = report_pipeline(criteria);
-        let mut out = pipe.run_trace(trace, threads);
-        TraceReport {
-            ati: out.take(ati),
-            peak: out.take(peak),
-            breakdown: out.take(breakdown),
-            gantt: out.take(gantt),
-            outliers: out.take(outliers),
-            stats: out.stats().clone(),
-        }
-    }
 }
 
 /// Renders a [`TraceReport`] as the trace-tool's `report` output,

@@ -1,0 +1,203 @@
+//! The store catalog: a directory of `.ptrc` files exposed by name.
+//!
+//! Stores open lazily on first touch — under [`ReadPolicy::Salvage`], so
+//! a damaged store still answers (with exact loss accounting in the
+//! response) instead of turning every request into a 500 — and stay open
+//! behind `Arc`s for the daemon's lifetime. Each opened store gets a
+//! process-unique id, the cache-key namespace for its chunks.
+//!
+//! Names are the file stem (`resnet18` for `resnet18.ptrc`) and are
+//! validated before touching the filesystem: one path component, no
+//! separators, no leading dot — a request can never escape the catalog
+//! root. A store whose file has been deleted (or never existed) is a
+//! [`CatalogError::NotFound`], which the request layer maps to 404.
+
+use pinpoint_store::{ReadPolicy, SharedStoreReader, StoreError};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// One opened store.
+#[derive(Debug)]
+pub struct StoreEntry {
+    /// Catalog name (file stem).
+    pub name: String,
+    /// Process-unique id, namespacing this store's chunks in the cache.
+    pub id: u64,
+    /// The shared reader, open under [`ReadPolicy::Salvage`].
+    pub reader: SharedStoreReader,
+}
+
+/// Why a catalog lookup failed.
+#[derive(Debug)]
+pub enum CatalogError {
+    /// No such store (bad name, or the file does not exist) — a 404.
+    NotFound,
+    /// The file exists but cannot be opened or validated — a 500 with
+    /// detail.
+    Open(StoreError),
+}
+
+impl std::fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CatalogError::NotFound => write!(f, "store not found"),
+            CatalogError::Open(e) => write!(f, "cannot open store: {e}"),
+        }
+    }
+}
+
+/// A lazily opened, name-addressed collection of `.ptrc` stores.
+#[derive(Debug)]
+pub struct Catalog {
+    root: PathBuf,
+    open: RwLock<HashMap<String, Arc<StoreEntry>>>,
+    next_id: AtomicU64,
+}
+
+impl Catalog {
+    /// Creates a catalog over the given directory.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        Catalog {
+            root: root.into(),
+            open: RwLock::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// The catalog directory.
+    pub fn root(&self) -> &std::path::Path {
+        &self.root
+    }
+
+    /// Store names currently on disk (file stems of `*.ptrc`), sorted.
+    pub fn list(&self) -> Vec<String> {
+        let mut names = Vec::new();
+        if let Ok(entries) = std::fs::read_dir(&self.root) {
+            for entry in entries.flatten() {
+                let path = entry.path();
+                if path.extension().and_then(|e| e.to_str()) == Some("ptrc") {
+                    if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                        names.push(stem.to_string());
+                    }
+                }
+            }
+        }
+        names.sort();
+        names
+    }
+
+    /// Whether `name` is a safe single-component store name.
+    fn valid_name(name: &str) -> bool {
+        !name.is_empty()
+            && !name.starts_with('.')
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+    }
+
+    /// Fetches a store by name, opening it on first touch.
+    ///
+    /// # Errors
+    ///
+    /// [`CatalogError::NotFound`] for invalid names and missing files;
+    /// [`CatalogError::Open`] when the file exists but fails validation.
+    pub fn get(&self, name: &str) -> Result<Arc<StoreEntry>, CatalogError> {
+        if !Self::valid_name(name) {
+            return Err(CatalogError::NotFound);
+        }
+        if let Some(entry) = self.open.read().expect("catalog lock poisoned").get(name) {
+            return Ok(Arc::clone(entry));
+        }
+        let path = self.root.join(format!("{name}.ptrc"));
+        let reader = match SharedStoreReader::open_with_policy(&path, ReadPolicy::Salvage) {
+            Ok(r) => r,
+            Err(StoreError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(CatalogError::NotFound)
+            }
+            Err(e) => return Err(CatalogError::Open(e)),
+        };
+        let mut open = self.open.write().expect("catalog lock poisoned");
+        // a racing opener may have beaten us; keep the first entry so the
+        // cache sees one id per store
+        if let Some(entry) = open.get(name) {
+            return Ok(Arc::clone(entry));
+        }
+        let entry = Arc::new(StoreEntry {
+            name: name.to_string(),
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            reader,
+        });
+        open.insert(name.to_string(), Arc::clone(&entry));
+        Ok(entry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinpoint_store::write_store_file;
+    use pinpoint_trace::{BlockId, EventKind, MemoryKind, Trace};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("pinpoint-catalog-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn write_fixture(dir: &std::path::Path, name: &str) {
+        let mut t = Trace::new();
+        t.record(
+            0,
+            EventKind::Malloc,
+            BlockId(0),
+            64,
+            0,
+            MemoryKind::Weight,
+            None,
+        );
+        write_store_file(&t, dir.join(format!("{name}.ptrc"))).unwrap();
+    }
+
+    #[test]
+    fn lists_and_opens_by_name() {
+        let dir = tmp_dir("list");
+        write_fixture(&dir, "b");
+        write_fixture(&dir, "a");
+        std::fs::write(dir.join("notes.txt"), "x").unwrap();
+        let cat = Catalog::new(&dir);
+        assert_eq!(cat.list(), vec!["a".to_string(), "b".to_string()]);
+        let a = cat.get("a").unwrap();
+        assert_eq!(a.reader.total_events(), 1);
+        // the same entry (and id) comes back on re-fetch
+        assert_eq!(cat.get("a").unwrap().id, a.id);
+        assert_ne!(cat.get("b").unwrap().id, a.id);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_and_hostile_names_are_not_found() {
+        let dir = tmp_dir("names");
+        let cat = Catalog::new(&dir);
+        for name in ["ghost", "../etc/passwd", "a/b", "", ".hidden"] {
+            assert!(
+                matches!(cat.get(name), Err(CatalogError::NotFound)),
+                "{name}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn deleted_store_is_not_found_not_a_panic() {
+        let dir = tmp_dir("deleted");
+        write_fixture(&dir, "gone");
+        std::fs::remove_file(dir.join("gone.ptrc")).unwrap();
+        let cat = Catalog::new(&dir);
+        assert!(matches!(cat.get("gone"), Err(CatalogError::NotFound)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

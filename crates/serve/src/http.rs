@@ -1,0 +1,240 @@
+//! A minimal HTTP/1.1 layer over [`TcpStream`], kept in-repo so the
+//! daemon builds in hermetic environments with no access to crates.io.
+//!
+//! Scope is exactly what the daemon needs: one request per connection
+//! (every response carries `Connection: close`), `Content-Length` bodies
+//! only, bounded header and body sizes so a misbehaving client cannot
+//! balloon a worker's memory.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Largest accepted request head (request line + headers), in bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Largest accepted request body, in bytes.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method, e.g. `GET`.
+    pub method: String,
+    /// Request path without query string, e.g. `/stores/resnet18/query`.
+    pub path: String,
+    /// Header `(name, value)` pairs; names are lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first header with the given lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// What reading one request from a connection produced.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete, parseable request.
+    Ok(Request),
+    /// The peer closed (or sent nothing) before a full head arrived.
+    Closed,
+    /// The bytes were not parseable HTTP; respond 400 with this detail.
+    Malformed(&'static str),
+    /// The head or declared body exceeded the size bounds; respond 431/413.
+    TooLarge(&'static str),
+}
+
+/// Reads one request head + body from the stream.
+///
+/// # Errors
+///
+/// Propagates transport errors (including read timeouts) from the socket.
+pub fn read_request(stream: &mut TcpStream) -> io::Result<ReadOutcome> {
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 1024];
+    let split = loop {
+        if let Some(pos) = find_head_end(&head) {
+            break pos;
+        }
+        if head.len() > MAX_HEAD_BYTES {
+            return Ok(ReadOutcome::TooLarge("request head"));
+        }
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Ok(if head.is_empty() {
+                ReadOutcome::Closed
+            } else {
+                ReadOutcome::Malformed("connection closed mid-head")
+            });
+        }
+        head.extend_from_slice(&buf[..n]);
+    };
+    let (head_bytes, mut rest) = {
+        let (h, r) = head.split_at(split + 4);
+        (h.to_vec(), r.to_vec())
+    };
+    let head_text = match std::str::from_utf8(&head_bytes[..split]) {
+        Ok(t) => t,
+        Err(_) => return Ok(ReadOutcome::Malformed("head is not UTF-8")),
+    };
+    let mut lines = head_text.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_ascii_whitespace();
+    let (method, target) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) if v.starts_with("HTTP/1.") => (m, t),
+        _ => return Ok(ReadOutcome::Malformed("bad request line")),
+    };
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        match line.split_once(':') {
+            Some((n, v)) => headers.push((n.trim().to_ascii_lowercase(), v.trim().to_string())),
+            None => return Ok(ReadOutcome::Malformed("bad header line")),
+        }
+    }
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| v.parse::<usize>())
+        .transpose();
+    let content_length = match content_length {
+        Ok(v) => v.unwrap_or(0),
+        Err(_) => return Ok(ReadOutcome::Malformed("bad content-length")),
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Ok(ReadOutcome::TooLarge("request body"));
+    }
+    while rest.len() < content_length {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Ok(ReadOutcome::Malformed("connection closed mid-body"));
+        }
+        rest.extend_from_slice(&buf[..n]);
+    }
+    rest.truncate(content_length);
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    Ok(ReadOutcome::Ok(Request {
+        method: method.to_ascii_uppercase(),
+        path,
+        headers,
+        body: rest,
+    }))
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// An HTTP response under construction.
+#[derive(Debug)]
+pub struct Response {
+    status: u16,
+    reason: &'static str,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+impl Response {
+    /// Starts a response with the given status code.
+    pub fn new(status: u16) -> Self {
+        Response {
+            status,
+            reason: reason_phrase(status),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Starts a 200 response with a JSON body.
+    pub fn json(body: impl Into<Vec<u8>>) -> Self {
+        Response::new(200).with_json_body(body)
+    }
+
+    /// Sets a JSON body (and content type).
+    pub fn with_json_body(mut self, body: impl Into<Vec<u8>>) -> Self {
+        self.body = body.into();
+        self.headers
+            .push(("Content-Type".to_string(), "application/json".to_string()));
+        self
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.headers.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// The status code (for metrics accounting).
+    pub fn status(&self) -> u16 {
+        self.status
+    }
+
+    /// Serializes and writes the response; always closes the connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors from the socket.
+    pub fn write_to(&self, stream: &mut TcpStream) -> io::Result<()> {
+        let mut head = format!("HTTP/1.1 {} {}\r\n", self.status, self.reason);
+        for (n, v) in &self.headers {
+            head.push_str(n);
+            head.push_str(": ");
+            head.push_str(v);
+            head.push_str("\r\n");
+        }
+        head.push_str(&format!("Content-Length: {}\r\n", self.body.len()));
+        head.push_str("Connection: close\r\n\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// A JSON error body: `{"error":"..."}` with the message escaped.
+pub fn error_body(msg: &str) -> String {
+    let mut s = String::with_capacity(msg.len() + 12);
+    s.push_str("{\"error\":");
+    pinpoint_trace::json::write_str(&mut s, msg);
+    s.push('}');
+    s
+}
+
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        204 => "No Content",
+        400 => "Bad Request",
+        403 => "Forbidden",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_end_detection() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nrest"), Some(14));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n"), None);
+    }
+
+    #[test]
+    fn error_body_escapes() {
+        assert_eq!(error_body("no \"x\""), "{\"error\":\"no \\\"x\\\"\"}");
+    }
+}

@@ -1,0 +1,83 @@
+//! Daemon-wide counters, rendered as JSON by `GET /metrics`.
+
+use crate::cache::CacheStats;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cumulative request/queue counters. All relaxed atomics: metrics order
+/// across threads is not load-bearing, the values are monotone tallies.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Connections accepted (including ones later shed).
+    pub accepted: AtomicU64,
+    /// Connections answered 503 at the door because the queue was full.
+    pub shed: AtomicU64,
+    /// Requests fully handled, by status class.
+    pub ok: AtomicU64,
+    /// 4xx responses.
+    pub client_error: AtomicU64,
+    /// 5xx responses (other than shed 503s).
+    pub server_error: AtomicU64,
+    /// Query requests served.
+    pub queries: AtomicU64,
+    /// Report requests served.
+    pub reports: AtomicU64,
+}
+
+impl Metrics {
+    /// Renders every counter plus the cache's, as one flat JSON object.
+    pub fn to_json(&self, cache: &CacheStats, queue_depth: usize) -> String {
+        let mut s = String::with_capacity(256);
+        let _ = write!(
+            s,
+            "{{\"accepted\":{},\"shed\":{},\"ok\":{},\"client_error\":{},\
+             \"server_error\":{},\"queries\":{},\"reports\":{},\"queue_depth\":{queue_depth},\
+             \"cache_hits\":{},\"cache_misses\":{},\"cache_evictions\":{},\
+             \"cache_bytes\":{},\"cache_entries\":{}}}",
+            self.accepted.load(Ordering::Relaxed),
+            self.shed.load(Ordering::Relaxed),
+            self.ok.load(Ordering::Relaxed),
+            self.client_error.load(Ordering::Relaxed),
+            self.server_error.load(Ordering::Relaxed),
+            self.queries.load(Ordering::Relaxed),
+            self.reports.load(Ordering::Relaxed),
+            cache.hits,
+            cache.misses,
+            cache.evictions,
+            cache.bytes,
+            cache.entries,
+        );
+        s
+    }
+
+    /// Tallies a finished response by status code.
+    pub fn count_status(&self, status: u16) {
+        let counter = match status {
+            200..=299 => &self.ok,
+            400..=499 => &self.client_error,
+            _ => &self.server_error,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_flat_json() {
+        let m = Metrics::default();
+        m.accepted.store(5, Ordering::Relaxed);
+        m.count_status(200);
+        m.count_status(404);
+        m.count_status(503);
+        let s = m.to_json(&CacheStats::default(), 2);
+        assert!(s.contains("\"accepted\":5"), "{s}");
+        assert!(s.contains("\"ok\":1"), "{s}");
+        assert!(s.contains("\"client_error\":1"), "{s}");
+        assert!(s.contains("\"server_error\":1"), "{s}");
+        assert!(s.contains("\"queue_depth\":2"), "{s}");
+        assert!(pinpoint_trace::json::parse(&s).is_ok(), "{s}");
+    }
+}

@@ -1,0 +1,494 @@
+//! The daemon core: accept loop, bounded admission queue, worker pool,
+//! and request routing.
+//!
+//! Request lifecycle: the accept thread takes connections off the
+//! listener and pushes them onto a bounded queue. When the queue is at
+//! capacity the connection is answered `503 Retry-After: 1` *in the
+//! accept thread* and closed — load shedding costs one small write, never
+//! a worker, so the daemon degrades to fast refusals instead of growing
+//! an unbounded backlog or hanging clients. Queued connections are
+//! drained by a fixed pool of worker threads; each worker reads one
+//! request, routes it, writes the response, and closes.
+//!
+//! Every store-reading endpoint folds per-chunk results in file order, so
+//! a response is byte-identical to the offline CLI on the same store —
+//! at any worker count, any per-request fan-out, and any cache state.
+
+use crate::cache::ChunkCache;
+use crate::catalog::{Catalog, CatalogError, StoreEntry};
+use crate::http::{error_body, read_request, ReadOutcome, Request, Response};
+use crate::metrics::Metrics;
+use pinpoint_analysis::{query_json, report_json, OutlierCriteria, TraceReport};
+use pinpoint_store::{Predicate, QueryResult, ReadPolicy, StoreError};
+use pinpoint_trace::json::{self, Json};
+use pinpoint_trace::{Category, EventKind};
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Directory of `.ptrc` stores served by name.
+    pub catalog_dir: PathBuf,
+    /// Bind address, e.g. `127.0.0.1:7070` (`:0` picks a free port).
+    pub addr: String,
+    /// Global decoded-chunk cache budget in bytes.
+    pub cache_bytes: u64,
+    /// Worker threads draining the request queue.
+    pub workers: usize,
+    /// Admission-queue capacity; connections beyond it are shed with 503.
+    pub queue_cap: usize,
+    /// Per-request chunk-decode fan-out (results are identical at any
+    /// value; >1 trades cross-request throughput for per-request latency).
+    pub request_threads: usize,
+    /// Token required by `POST /shutdown`; `None` disables the endpoint.
+    pub shutdown_token: Option<String>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            catalog_dir: PathBuf::from("."),
+            addr: "127.0.0.1:0".to_string(),
+            cache_bytes: 256 << 20,
+            workers: pinpoint_parallel::configured_threads(),
+            queue_cap: 64,
+            request_threads: 1,
+            shutdown_token: None,
+        }
+    }
+}
+
+/// State shared by the accept loop and every worker.
+#[derive(Debug)]
+struct Shared {
+    catalog: Catalog,
+    cache: ChunkCache,
+    metrics: Metrics,
+    queue: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    stop: AtomicBool,
+    config: ServeConfig,
+}
+
+/// A running daemon; dropping the handle does **not** stop it — call
+/// [`ServerHandle::shutdown`] or [`ServerHandle::wait`].
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with an `:0` bind).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals shutdown and joins every thread.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.ready.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Blocks until the daemon stops (via `POST /shutdown`).
+    pub fn wait(mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds, spawns the accept loop and worker pool, and returns a handle.
+///
+/// # Errors
+///
+/// Propagates bind errors.
+pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        catalog: Catalog::new(&config.catalog_dir),
+        cache: ChunkCache::new(config.cache_bytes, 8),
+        metrics: Metrics::default(),
+        queue: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+        stop: AtomicBool::new(false),
+        config: config.clone(),
+    });
+    let mut threads = Vec::with_capacity(config.workers + 1);
+    {
+        let shared = Arc::clone(&shared);
+        threads.push(std::thread::spawn(move || accept_loop(&listener, &shared)));
+    }
+    for _ in 0..config.workers.max(1) {
+        let shared = Arc::clone(&shared);
+        threads.push(std::thread::spawn(move || worker_loop(&shared)));
+    }
+    Ok(ServerHandle {
+        addr,
+        shared,
+        threads,
+    })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                shared.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+                let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+                let mut queue = shared.queue.lock().expect("queue poisoned");
+                if queue.len() >= shared.config.queue_cap {
+                    drop(queue);
+                    shared.metrics.shed.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.count_status(503);
+                    let resp = Response::new(503)
+                        .with_header("Retry-After", "1")
+                        .with_json_body(error_body("request queue full"));
+                    let _ = resp.write_to(&mut stream);
+                } else {
+                    queue.push_back(stream);
+                    drop(queue);
+                    shared.ready.notify_one();
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().expect("queue poisoned");
+            loop {
+                if let Some(s) = queue.pop_front() {
+                    break Some(s);
+                }
+                if shared.stop.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (q, _) = shared
+                    .ready
+                    .wait_timeout(queue, Duration::from_millis(50))
+                    .expect("queue poisoned");
+                queue = q;
+            }
+        };
+        match stream {
+            Some(mut s) => handle_connection(shared, &mut s),
+            None => return,
+        }
+    }
+}
+
+fn handle_connection(shared: &Shared, stream: &mut TcpStream) {
+    let outcome = match read_request(stream) {
+        Ok(o) => o,
+        Err(_) => return, // transport error (e.g. timeout): nothing to answer
+    };
+    let response = match outcome {
+        ReadOutcome::Closed => return,
+        ReadOutcome::Malformed(detail) => Response::new(400).with_json_body(error_body(detail)),
+        ReadOutcome::TooLarge(what) => {
+            let status = if what == "request head" { 431 } else { 413 };
+            Response::new(status).with_json_body(error_body(what))
+        }
+        ReadOutcome::Ok(req) => route(shared, &req),
+    };
+    shared.metrics.count_status(response.status());
+    let _ = response.write_to(stream);
+}
+
+fn route(shared: &Shared, req: &Request) -> Response {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["stores"]) => handle_stores(shared),
+        ("GET", ["metrics"]) => handle_metrics(shared),
+        ("POST", ["shutdown"]) => handle_shutdown(shared, req),
+        ("GET", ["stores", name, "info"]) => with_store(shared, name, handle_info),
+        ("POST", ["stores", name, "query"]) => {
+            with_store(shared, name, |sh, e| handle_query(sh, e, req))
+        }
+        ("POST", ["stores", name, "report"]) => {
+            with_store(shared, name, |sh, e| handle_report(sh, e, req))
+        }
+        ("GET", ["stores", _, "query" | "report"]) | ("POST", ["stores"] | ["metrics"]) => {
+            Response::new(405).with_json_body(error_body("method not allowed"))
+        }
+        _ => Response::new(404).with_json_body(error_body("no such endpoint")),
+    }
+}
+
+fn with_store(
+    shared: &Shared,
+    name: &str,
+    f: impl FnOnce(&Shared, &StoreEntry) -> Response,
+) -> Response {
+    match shared.catalog.get(name) {
+        Ok(entry) => f(shared, &entry),
+        Err(CatalogError::NotFound) => {
+            Response::new(404).with_json_body(error_body("store not found"))
+        }
+        Err(CatalogError::Open(e)) => {
+            Response::new(500).with_json_body(error_body(&format!("cannot open store: {e}")))
+        }
+    }
+}
+
+fn handle_stores(shared: &Shared) -> Response {
+    let mut s = String::from("{\"stores\":[");
+    for (i, name) in shared.catalog.list().iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        json::write_str(&mut s, name);
+    }
+    s.push_str("]}");
+    Response::json(s)
+}
+
+fn handle_metrics(shared: &Shared) -> Response {
+    let depth = shared.queue.lock().expect("queue poisoned").len();
+    Response::json(shared.metrics.to_json(&shared.cache.stats(), depth))
+}
+
+fn handle_shutdown(shared: &Shared, req: &Request) -> Response {
+    let authorized = match &shared.config.shutdown_token {
+        Some(token) => req.header("x-pinpoint-token") == Some(token.as_str()),
+        None => false,
+    };
+    if !authorized {
+        return Response::new(403).with_json_body(error_body("shutdown not authorized"));
+    }
+    shared.stop.store(true, Ordering::SeqCst);
+    shared.ready.notify_all();
+    Response::new(204)
+}
+
+fn handle_info(_shared: &Shared, entry: &StoreEntry) -> Response {
+    let f = entry.reader.footer();
+    let mut s = String::from("{\"name\":");
+    json::write_str(&mut s, &entry.name);
+    let _ = write!(
+        s,
+        ",\"version\":{},\"chunks\":{},\"events\":{},\"labels\":{},\"markers\":{},\
+         \"file_len\":{},\"salvage_rescan\":{}}}",
+        entry.reader.version(),
+        f.chunks.len(),
+        f.total_events,
+        f.labels.len(),
+        f.markers.len(),
+        entry.reader.file_len(),
+        entry.reader.salvage_summary().is_some(),
+    );
+    Response::json(s)
+}
+
+/// Parses an optional JSON body; an empty body means "all defaults".
+fn parse_body(req: &Request) -> Result<Option<Json>, Response> {
+    if req.body.is_empty() {
+        return Ok(None);
+    }
+    let text = std::str::from_utf8(&req.body)
+        .map_err(|_| Response::new(400).with_json_body(error_body("body is not UTF-8")))?;
+    json::parse(text)
+        .map(Some)
+        .map_err(|e| Response::new(400).with_json_body(error_body(&format!("bad JSON body: {e}"))))
+}
+
+fn num_field(body: Option<&Json>, key: &str) -> Result<Option<f64>, String> {
+    match body.and_then(|b| b.get(key)) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Num(n)) => Ok(Some(*n)),
+        Some(_) => Err(format!("field `{key}` must be a number")),
+    }
+}
+
+/// Builds a [`Predicate`] from the query body, mirroring the CLI's
+/// `query` flags field for field (same names modulo `--`/`_`, same
+/// float-to-ns conversions) so the two paths can never drift.
+fn predicate_from_body(body: Option<&Json>, entry: &StoreEntry) -> Result<Predicate, String> {
+    let mut pred = Predicate::any();
+    let t0 = num_field(body, "t0_us")?;
+    let t1 = num_field(body, "t1_us")?;
+    if t0.is_some() || t1.is_some() {
+        let lo = t0.map(|v| (v * 1e3) as u64).unwrap_or(0);
+        let hi = t1.map(|v| (v * 1e3) as u64).unwrap_or(u64::MAX);
+        pred = pred.with_time_range(lo, hi);
+    }
+    let b0 = num_field(body, "block_min")?;
+    let b1 = num_field(body, "block_max")?;
+    if b0.is_some() || b1.is_some() {
+        pred = pred.with_block_range(
+            b0.map(|v| v as u64).unwrap_or(0),
+            b1.map(|v| v as u64).unwrap_or(u64::MAX),
+        );
+    }
+    if let Some(kind) = body.and_then(|b| b.get("kind")).and_then(Json::as_str) {
+        pred = pred.with_kind(match kind {
+            "malloc" => EventKind::Malloc,
+            "free" => EventKind::Free,
+            "read" => EventKind::Read,
+            "write" => EventKind::Write,
+            other => return Err(format!("unknown kind `{other}`")),
+        });
+    }
+    if let Some(cat) = body.and_then(|b| b.get("category")).and_then(Json::as_str) {
+        pred = pred.with_category(match cat {
+            "input" => Category::InputData,
+            "parameters" => Category::Parameters,
+            "intermediates" => Category::Intermediates,
+            other => return Err(format!("unknown category `{other}`")),
+        });
+    }
+    if let Some(min) = num_field(body, "min_size_bytes")? {
+        pred = pred.with_min_size(min as u64);
+    }
+    match body.and_then(|b| b.get("op_label")) {
+        None | Some(Json::Null) => {}
+        Some(Json::Num(n)) if *n >= 0.0 && n.fract() == 0.0 => {
+            pred = pred.with_op_label(*n as u32);
+        }
+        Some(Json::Str(name)) => {
+            let labels = &entry.reader.footer().labels;
+            match labels.iter().position(|l| l == name) {
+                Some(i) => pred = pred.with_op_label(i as u32),
+                None => return Err(format!("unknown op label `{name}`")),
+            }
+        }
+        Some(_) => return Err("field `op_label` must be a name or an id".to_string()),
+    }
+    Ok(pred)
+}
+
+/// Runs a predicate query through the chunk cache, folding per-chunk
+/// verdicts in file order — byte-identical to `StoreReader::query` on the
+/// same bytes, whatever mix of cache hits serves the chunks.
+fn cached_query(
+    shared: &Shared,
+    entry: &StoreEntry,
+    pred: &Predicate,
+) -> Result<QueryResult, StoreError> {
+    let (candidates, mut stats) = entry.reader.prune(pred);
+    let pred = *pred;
+    let mapped = pinpoint_parallel::map_ordered(candidates, shared.config.request_threads, |i| {
+        let res = shared
+            .cache
+            .get_or_decode(entry.id, i, || entry.reader.decode_chunk(i))
+            .map(|batch| {
+                (0..batch.len())
+                    .map(|k| batch.event(k))
+                    .filter(|e| pred.matches_event(e))
+                    .collect::<Vec<_>>()
+            });
+        (i, res)
+    });
+    let mut events = Vec::new();
+    for (i, res) in mapped {
+        match res {
+            Ok(matched) => {
+                stats.chunks_decoded += 1;
+                events.extend(matched);
+            }
+            Err(e) if e.is_corruption() => {
+                stats.chunks_skipped += 1;
+                stats.events_lost += entry.reader.footer().chunks[i].count;
+                if stats.first_error.is_none() {
+                    stats.first_error = Some(e.to_string());
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(QueryResult { events, stats })
+}
+
+fn handle_query(shared: &Shared, entry: &StoreEntry, req: &Request) -> Response {
+    shared.metrics.queries.fetch_add(1, Ordering::Relaxed);
+    let body = match parse_body(req) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    let pred = match predicate_from_body(body.as_ref(), entry) {
+        Ok(p) => p,
+        Err(msg) => return Response::new(400).with_json_body(error_body(&msg)),
+    };
+    let max = match num_field(body.as_ref(), "max") {
+        Ok(v) => v.map(|v| v as usize).unwrap_or(20),
+        Err(msg) => return Response::new(400).with_json_body(error_body(&msg)),
+    };
+    match cached_query(shared, entry, &pred) {
+        Ok(q) => Response::json(query_json(&q, max))
+            .with_header(
+                "X-Pinpoint-Chunks-Skipped",
+                q.stats.chunks_skipped.to_string(),
+            )
+            .with_header("X-Pinpoint-Events-Lost", q.stats.events_lost.to_string()),
+        Err(e) => Response::new(500).with_json_body(error_body(&format!("query failed: {e}"))),
+    }
+}
+
+fn handle_report(shared: &Shared, entry: &StoreEntry, req: &Request) -> Response {
+    shared.metrics.reports.fetch_add(1, Ordering::Relaxed);
+    let body = match parse_body(req) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    let (min_ati_ms, min_size_mb, max) = match (
+        num_field(body.as_ref(), "min_ati_ms"),
+        num_field(body.as_ref(), "min_size_mb"),
+        num_field(body.as_ref(), "max"),
+    ) {
+        (Ok(a), Ok(s), Ok(m)) => (
+            a.unwrap_or(800.0),
+            s.unwrap_or(600.0),
+            m.map(|v| v as usize).unwrap_or(30),
+        ),
+        (Err(msg), _, _) | (_, Err(msg), _) | (_, _, Err(msg)) => {
+            return Response::new(400).with_json_body(error_body(&msg))
+        }
+    };
+    // same float-to-integer conversion as the CLI's outlier flags
+    let criteria = OutlierCriteria {
+        min_ati_ns: (min_ati_ms * 1e6) as u64,
+        min_size_bytes: (min_size_mb * 1e6) as usize,
+    };
+    let report = TraceReport::from_chunks(
+        &entry.reader.footer().chunks,
+        criteria,
+        shared.config.request_threads,
+        ReadPolicy::Salvage,
+        |i, _| {
+            shared
+                .cache
+                .get_or_decode(entry.id, i, || entry.reader.decode_chunk(i))
+        },
+    );
+    match report {
+        Ok(d) => Response::json(report_json(&d, max))
+            .with_header(
+                "X-Pinpoint-Chunks-Skipped",
+                d.stats.chunks_skipped.to_string(),
+            )
+            .with_header("X-Pinpoint-Events-Lost", d.stats.events_lost.to_string()),
+        Err(e) => Response::new(500).with_json_body(error_body(&format!("report failed: {e}"))),
+    }
+}

@@ -64,7 +64,7 @@ fn corrupt(msg: impl Into<String>) -> StoreError {
 /// the meta byte's has-op flag is set. Consumers that want full events
 /// call [`ColumnBatch::event`] (a stack-only materialization); hot folds
 /// read the column slices directly and skip `MemEvent` entirely.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct ColumnBatch {
     len: usize,
     time: Vec<u64>,
@@ -153,6 +153,18 @@ impl ColumnBatch {
         (0..self.len).map(|i| self.event(i)).collect()
     }
 
+    /// Heap bytes held by this batch's buffers (capacities, not lengths) —
+    /// the charge a cached batch makes against a cache's byte budget.
+    pub fn heap_bytes(&self) -> usize {
+        self.time.capacity() * 8
+            + self.meta.capacity()
+            + self.block.capacity() * 8
+            + self.size.capacity() * 8
+            + self.offset.capacity() * 8
+            + self.op.capacity() * 4
+            + self.vals.capacity() * 8
+    }
+
     /// Total buffer capacity in elements, across every column — the
     /// realloc-tracking probe used by [`DecodeScratch`].
     fn element_capacity(&self) -> usize {
@@ -197,6 +209,13 @@ impl DecodeScratch {
     /// this unchanged.
     pub fn realloc_count(&self) -> u64 {
         self.reallocs
+    }
+
+    /// Consumes the scratch, keeping only the decoded batch — the handoff
+    /// from a one-shot decode into a cache that wants an owned
+    /// [`ColumnBatch`] without the raw-payload buffer attached.
+    pub fn into_batch(self) -> ColumnBatch {
+        self.batch
     }
 
     /// Sizes the raw-payload buffer to `len` bytes and returns it for the

@@ -77,6 +77,7 @@ pub mod error;
 pub mod fault;
 pub mod format;
 pub mod reader;
+pub mod shared;
 mod varint;
 pub mod writer;
 
@@ -90,6 +91,7 @@ pub use reader::{
     ChunkFault, Predicate, QueryResult, QueryStats, ReadPolicy, SalvageSummary, ScrubStats,
     StoreReader,
 };
+pub use shared::SharedStoreReader;
 pub use writer::{
     write_store, write_store_chunked, write_store_chunked_v1, write_store_chunked_v2,
     write_store_file, RetryPolicy, StoreWriter,

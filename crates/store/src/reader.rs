@@ -1058,6 +1058,31 @@ impl<R: Read + Seek> StoreReader<R> {
         }
         Ok(trace)
     }
+
+    /// Dismantles the reader into its byte source and validated metadata —
+    /// the handoff into [`crate::SharedStoreReader`], which rebuilds the
+    /// same state around a positional (seek-free) source.
+    pub(crate) fn into_parts(self) -> (R, ReaderParts) {
+        (
+            self.src,
+            ReaderParts {
+                file_len: self.file_len,
+                version: self.version,
+                policy: self.policy,
+                footer: self.footer,
+                salvage: self.salvage,
+            },
+        )
+    }
+}
+
+/// The validated open-time state of a [`StoreReader`], minus its source.
+pub(crate) struct ReaderParts {
+    pub(crate) file_len: u64,
+    pub(crate) version: u8,
+    pub(crate) policy: ReadPolicy,
+    pub(crate) footer: Footer,
+    pub(crate) salvage: Option<SalvageSummary>,
 }
 
 #[cfg(test)]

@@ -1,0 +1,437 @@
+//! A `Sync` store reader for concurrent consumers: every read path takes
+//! `&self`, so one open store (wrapped in an `Arc`) can serve queries from
+//! many threads at once — the reader the `pinpoint-serve` daemon hands to
+//! its worker pool.
+//!
+//! [`StoreReader`] is built for one driver: it owns a seekable source and
+//! a scratch pool, and its scan path needs `&mut self`. That is the right
+//! shape for the CLI (one scan at a time, zero-alloc steady state), but a
+//! daemon wants N requests decoding chunks of the same store
+//! simultaneously. [`SharedStoreReader`] rebuilds the same validated state
+//! around a *positional* source — `pread`-style reads at absolute offsets,
+//! no shared cursor — plus an atomic decode counter, and leaves scratch
+//! ownership to the caller, which is exactly where a per-request or
+//! per-cache-slot scratch wants to live.
+//!
+//! Determinism contract is unchanged: [`SharedStoreReader::query`] folds
+//! per-chunk verdicts in file order, so results — including salvage loss
+//! accounting — are bit-identical to [`StoreReader::query`] at any thread
+//! count, from any number of concurrent callers.
+
+use crate::columns::{ColumnBatch, DecodeScratch};
+use crate::error::StoreError;
+use crate::format::{ChunkMeta, Footer};
+use crate::reader::{Predicate, QueryResult, QueryStats, ReadPolicy, SalvageSummary, StoreReader};
+use std::fs::File;
+use std::io::{BufReader, Cursor};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A positional byte source: reads at absolute offsets through `&self`.
+#[derive(Debug)]
+enum SharedSrc {
+    /// An open file, read with `pread` (no shared cursor) on unix.
+    #[cfg(unix)]
+    File(File),
+    /// Seek-and-read fallback where positional reads are unavailable.
+    #[cfg(not(unix))]
+    File(std::sync::Mutex<File>),
+    /// An in-memory store image (tests, synthetic fixtures).
+    Bytes(Vec<u8>),
+}
+
+impl SharedSrc {
+    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> Result<(), StoreError> {
+        match self {
+            #[cfg(unix)]
+            SharedSrc::File(f) => {
+                use std::os::unix::fs::FileExt;
+                f.read_exact_at(buf, offset).map_err(StoreError::Io)
+            }
+            #[cfg(not(unix))]
+            SharedSrc::File(f) => {
+                use std::io::{Read, Seek, SeekFrom};
+                let mut f = f.lock().expect("source lock poisoned");
+                f.seek(SeekFrom::Start(offset)).map_err(StoreError::Io)?;
+                f.read_exact(buf).map_err(StoreError::Io)
+            }
+            SharedSrc::Bytes(data) => {
+                let start = offset as usize;
+                let end = start.checked_add(buf.len()).filter(|&e| e <= data.len());
+                match end {
+                    Some(end) => {
+                        buf.copy_from_slice(&data[start..end]);
+                        Ok(())
+                    }
+                    None => Err(StoreError::Truncated("chunk payload")),
+                }
+            }
+        }
+    }
+}
+
+/// A thread-safe `.ptrc` reader: validated once at open, then read-only
+/// and `Sync` — wrap it in an `Arc` and decode chunks from any number of
+/// threads concurrently.
+#[derive(Debug)]
+pub struct SharedStoreReader {
+    src: SharedSrc,
+    file_len: u64,
+    version: u8,
+    policy: ReadPolicy,
+    footer: Footer,
+    salvage: Option<SalvageSummary>,
+    chunks_decoded: AtomicU64,
+}
+
+impl SharedStoreReader {
+    /// Opens a `.ptrc` file under [`ReadPolicy::Strict`].
+    ///
+    /// # Errors
+    ///
+    /// As [`StoreReader::open`].
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        Self::open_with_policy(path, ReadPolicy::Strict)
+    }
+
+    /// Opens a `.ptrc` file under the given policy. Validation, footer
+    /// loading, and (under [`ReadPolicy::Salvage`]) the index-rebuilding
+    /// rescan are exactly [`StoreReader::open_with_policy`]'s — this
+    /// constructor reuses that open, then rebuilds around a positional
+    /// source.
+    ///
+    /// # Errors
+    ///
+    /// As [`StoreReader::open_with_policy`].
+    pub fn open_with_policy(
+        path: impl AsRef<Path>,
+        policy: ReadPolicy,
+    ) -> Result<Self, StoreError> {
+        let reader = StoreReader::open_with_policy(path, policy)?;
+        let (src, parts) = reader.into_parts();
+        Ok(Self::from_parts(file_src(src), parts))
+    }
+
+    /// Wraps an in-memory store image under [`ReadPolicy::Strict`].
+    ///
+    /// # Errors
+    ///
+    /// As [`StoreReader::new`].
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, StoreError> {
+        Self::from_bytes_with_policy(bytes, ReadPolicy::Strict)
+    }
+
+    /// Wraps an in-memory store image under the given policy.
+    ///
+    /// # Errors
+    ///
+    /// As [`StoreReader::new_with_policy`].
+    pub fn from_bytes_with_policy(bytes: Vec<u8>, policy: ReadPolicy) -> Result<Self, StoreError> {
+        let reader = StoreReader::new_with_policy(Cursor::new(bytes), policy)?;
+        let (src, parts) = reader.into_parts();
+        Ok(Self::from_parts(SharedSrc::Bytes(src.into_inner()), parts))
+    }
+
+    fn from_parts(src: SharedSrc, parts: crate::reader::ReaderParts) -> Self {
+        SharedStoreReader {
+            src,
+            file_len: parts.file_len,
+            version: parts.version,
+            policy: parts.policy,
+            footer: parts.footer,
+            salvage: parts.salvage,
+            chunks_decoded: AtomicU64::new(0),
+        }
+    }
+
+    /// The active read policy (fixed at open).
+    pub fn policy(&self) -> ReadPolicy {
+        self.policy
+    }
+
+    /// The store's format version byte.
+    pub fn version(&self) -> u8 {
+        self.version
+    }
+
+    /// Present when the open had to rebuild the index by rescanning.
+    pub fn salvage_summary(&self) -> Option<&SalvageSummary> {
+        self.salvage.as_ref()
+    }
+
+    /// The footer: labels, markers, and the chunk index.
+    pub fn footer(&self) -> &Footer {
+        &self.footer
+    }
+
+    /// Total store size in bytes.
+    pub fn file_len(&self) -> u64 {
+        self.file_len
+    }
+
+    /// Number of chunks.
+    pub fn num_chunks(&self) -> usize {
+        self.footer.chunks.len()
+    }
+
+    /// Total events across all chunks.
+    pub fn total_events(&self) -> u64 {
+        self.footer.total_events
+    }
+
+    /// Cumulative count of chunks fetched for decode, across all threads.
+    pub fn chunks_decoded(&self) -> u64 {
+        self.chunks_decoded.load(Ordering::Relaxed)
+    }
+
+    /// Whether per-chunk CRCs exist to verify (v2+ stores).
+    fn verify_crc(&self) -> bool {
+        self.version >= 2
+    }
+
+    /// Reads and decodes chunk `i` into the caller's scratch, verifying
+    /// the CRC (v2+) and the event count against the index. Strict about
+    /// *this* chunk regardless of policy — skip-and-account iteration
+    /// lives in [`SharedStoreReader::query`] and the serve-layer cache.
+    ///
+    /// Counts toward [`SharedStoreReader::chunks_decoded`].
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, [`StoreError::ChunkOutOfRange`], or a typed corruption
+    /// error.
+    pub fn decode_chunk_into(
+        &self,
+        i: usize,
+        scratch: &mut DecodeScratch,
+    ) -> Result<ChunkMeta, StoreError> {
+        let meta = self
+            .footer
+            .chunks
+            .get(i)
+            .copied()
+            .ok_or(StoreError::ChunkOutOfRange {
+                chunk: i,
+                chunks: self.footer.chunks.len(),
+            })?;
+        self.chunks_decoded.fetch_add(1, Ordering::Relaxed);
+        // byte_len was bounds-checked against the file at open
+        let buf = scratch.raw_for(meta.byte_len as usize);
+        self.src.read_exact_at(buf, meta.offset)?;
+        scratch.decode_verified(&meta, i, self.version, self.verify_crc())?;
+        Ok(meta)
+    }
+
+    /// Reads, verifies, and decodes chunk `i` into an owned
+    /// [`ColumnBatch`] — the cache-fill path, where the decoded columns
+    /// outlive any scratch.
+    ///
+    /// # Errors
+    ///
+    /// As [`SharedStoreReader::decode_chunk_into`].
+    pub fn decode_chunk(&self, i: usize) -> Result<ColumnBatch, StoreError> {
+        let mut scratch = DecodeScratch::new();
+        self.decode_chunk_into(i, &mut scratch)?;
+        Ok(scratch.into_batch())
+    }
+
+    /// Prunes the chunk index against `pred`, returning the candidate
+    /// chunk ordinals (file order) and a [`QueryStats`] pre-filled with
+    /// the pruning tallies.
+    pub fn prune(&self, pred: &Predicate) -> (Vec<usize>, QueryStats) {
+        let mut candidates = Vec::new();
+        let mut stats = QueryStats {
+            chunks_total: self.num_chunks(),
+            ..QueryStats::default()
+        };
+        for (i, meta) in self.footer.chunks.iter().enumerate() {
+            if pred.matches_chunk(meta) {
+                candidates.push(i);
+            } else if pred.pruned_by_label(meta) {
+                stats.chunks_pruned_by_label += 1;
+            }
+        }
+        stats.chunks_pruned = self.num_chunks() - candidates.len();
+        (candidates, stats)
+    }
+
+    /// Runs a filtered query through `&self`: prunes chunks via the
+    /// footer index, decodes survivors (fanned out over `threads` worker
+    /// threads when `threads > 1`), and filters events. Bit-identical to
+    /// [`StoreReader::query`] on the same bytes at every thread count —
+    /// per-chunk verdicts fold in file order — and safe to call from any
+    /// number of threads at once.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors; corruption errors under [`ReadPolicy::Strict`].
+    pub fn query(&self, pred: &Predicate, threads: usize) -> Result<QueryResult, StoreError> {
+        let (candidates, mut stats) = self.prune(pred);
+        let pred = *pred;
+        let salvage = self.policy == ReadPolicy::Salvage;
+        let mapped = pinpoint_parallel::map_ordered(candidates, threads, |i| {
+            let mut scratch = DecodeScratch::new();
+            let res = self.decode_chunk_into(i, &mut scratch).map(|_| {
+                let batch = scratch.batch();
+                (0..batch.len())
+                    .map(|k| batch.event(k))
+                    .filter(|e| pred.matches_event(e))
+                    .collect::<Vec<_>>()
+            });
+            (i, res)
+        });
+        let mut events = Vec::new();
+        for (i, res) in mapped {
+            match res {
+                Ok(matched) => {
+                    stats.chunks_decoded += 1;
+                    events.extend(matched);
+                }
+                Err(e) if salvage && e.is_corruption() => {
+                    stats.chunks_skipped += 1;
+                    stats.events_lost += self.footer.chunks[i].count;
+                    if stats.first_error.is_none() {
+                        stats.first_error = Some(e.to_string());
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(QueryResult { events, stats })
+    }
+}
+
+fn file_src(file: BufReader<File>) -> SharedSrc {
+    #[cfg(unix)]
+    {
+        SharedSrc::File(file.into_inner())
+    }
+    #[cfg(not(unix))]
+    {
+        SharedSrc::File(std::sync::Mutex::new(file.into_inner()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::write_store_chunked;
+    use pinpoint_trace::{BlockId, Category, EventKind, MemoryKind, Trace};
+    use std::sync::Arc;
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new();
+        let op = t.intern_label("op.shared");
+        for i in 0..200u64 {
+            t.record(
+                i * 7,
+                if i % 3 == 0 {
+                    EventKind::Malloc
+                } else {
+                    EventKind::Write
+                },
+                BlockId(i % 17),
+                (i as usize + 1) * 32,
+                (i as usize) * 8,
+                if i % 2 == 0 {
+                    MemoryKind::Activation
+                } else {
+                    MemoryKind::Weight
+                },
+                (i % 5 == 0).then_some(op),
+            );
+        }
+        t
+    }
+
+    fn store_bytes(t: &Trace) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_store_chunked(t, &mut out, 16).unwrap();
+        out
+    }
+
+    #[test]
+    fn matches_mutable_reader_on_every_predicate() {
+        let t = sample_trace();
+        let bytes = store_bytes(&t);
+        let shared = SharedStoreReader::from_bytes(bytes.clone()).unwrap();
+        let preds = [
+            Predicate::any(),
+            Predicate::any().with_kind(EventKind::Malloc),
+            Predicate::any().with_time_range(50, 700),
+            Predicate::any().with_category(Category::Parameters),
+            Predicate::any().with_block_range(3, 9).with_min_size(500),
+        ];
+        for pred in preds {
+            let mut r = StoreReader::new(Cursor::new(bytes.clone())).unwrap();
+            let want = r.query(&pred, 1).unwrap();
+            for threads in [1, 4] {
+                let got = shared.query(&pred, threads).unwrap();
+                assert_eq!(got, want, "{pred:?} at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn eight_concurrent_readers_are_bit_identical() {
+        let t = sample_trace();
+        let bytes = store_bytes(&t);
+        let shared = Arc::new(SharedStoreReader::from_bytes(bytes.clone()).unwrap());
+        let pred = Predicate::any()
+            .with_kind(EventKind::Write)
+            .with_time_range(0, 1000);
+        let mut r = StoreReader::new(Cursor::new(bytes)).unwrap();
+        let want = r.query(&pred, 1).unwrap();
+        let results: Vec<QueryResult> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|k| {
+                    let shared = Arc::clone(&shared);
+                    s.spawn(move || shared.query(&pred, 1 + k % 3).unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for got in results {
+            assert_eq!(got, want, "concurrent query diverged");
+        }
+        assert!(shared.chunks_decoded() > 0);
+    }
+
+    #[test]
+    fn salvage_accounting_matches_mutable_reader() {
+        let t = sample_trace();
+        let bytes = store_bytes(&t);
+        let pristine = SharedStoreReader::from_bytes(bytes.clone()).unwrap();
+        let meta = pristine.footer().chunks[2];
+        let mut b = bytes;
+        b[meta.offset as usize + 1] ^= 0x10;
+        let shared =
+            SharedStoreReader::from_bytes_with_policy(b.clone(), ReadPolicy::Salvage).unwrap();
+        let mut r =
+            StoreReader::new_with_policy(Cursor::new(b.clone()), ReadPolicy::Salvage).unwrap();
+        let want = r.query(&Predicate::any(), 1).unwrap();
+        assert_eq!(want.stats.chunks_skipped, 1);
+        assert_eq!(shared.query(&Predicate::any(), 4).unwrap(), want);
+        // strict sees the same bytes as an error instead
+        let strict = SharedStoreReader::from_bytes(b).unwrap();
+        assert!(strict.query(&Predicate::any(), 1).is_err());
+    }
+
+    #[test]
+    fn owned_decode_matches_event_stream_and_counts() {
+        let t = sample_trace();
+        let bytes = store_bytes(&t);
+        let shared = SharedStoreReader::from_bytes(bytes).unwrap();
+        let mut all = Vec::new();
+        for i in 0..shared.num_chunks() {
+            let batch = shared.decode_chunk(i).unwrap();
+            assert!(batch.heap_bytes() > 0);
+            for k in 0..batch.len() {
+                all.push(batch.event(k));
+            }
+        }
+        assert_eq!(all, t.events());
+        assert_eq!(shared.chunks_decoded(), shared.num_chunks() as u64);
+        assert!(shared.decode_chunk(usize::MAX).is_err());
+    }
+}

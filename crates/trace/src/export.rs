@@ -46,7 +46,9 @@ pub fn write_csv<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
     Ok(())
 }
 
-fn kind_name(kind: EventKind) -> &'static str {
+/// The JSON wire name of an event kind (`"Malloc"`-style, matching the
+/// historical `serde`-derived layout).
+pub fn kind_name(kind: EventKind) -> &'static str {
     match kind {
         EventKind::Malloc => "Malloc",
         EventKind::Free => "Free",
@@ -65,7 +67,9 @@ fn kind_from_name(s: &str) -> Option<EventKind> {
     })
 }
 
-fn mem_kind_name(kind: MemoryKind) -> &'static str {
+/// The JSON wire name of a memory kind (`"Weight"`-style, matching the
+/// historical `serde`-derived layout).
+pub fn mem_kind_name(kind: MemoryKind) -> &'static str {
     match kind {
         MemoryKind::Input => "Input",
         MemoryKind::Weight => "Weight",
@@ -105,23 +109,7 @@ pub fn json_string(trace: &Trace) -> String {
         if i > 0 {
             s.push(',');
         }
-        let _ = write!(
-            s,
-            "{{\"time_ns\":{},\"kind\":\"{}\",\"block\":{},\"size\":{},\"offset\":{},\"mem_kind\":\"{}\",\"op_label\":",
-            e.time_ns,
-            kind_name(e.kind),
-            e.block.0,
-            e.size,
-            e.offset,
-            mem_kind_name(e.mem_kind),
-        );
-        match e.op_label {
-            Some(l) => {
-                let _ = write!(s, "{l}");
-            }
-            None => s.push_str("null"),
-        }
-        s.push('}');
+        write_event_json(&mut s, e);
     }
     s.push_str("],\"markers\":[");
     for (i, m) in trace.markers().iter().enumerate() {
@@ -145,6 +133,30 @@ pub fn json_string(trace: &Trace) -> String {
     }
     s.push_str("]}");
     s
+}
+
+/// Appends one event as a JSON object in the trace wire format (the
+/// layout [`json_string`] emits per event) — shared by every producer
+/// that must stay byte-identical to the trace exporter, such as the
+/// query-result JSON the CLI and the serve daemon both emit.
+pub fn write_event_json(s: &mut String, e: &MemEvent) {
+    let _ = write!(
+        s,
+        "{{\"time_ns\":{},\"kind\":\"{}\",\"block\":{},\"size\":{},\"offset\":{},\"mem_kind\":\"{}\",\"op_label\":",
+        e.time_ns,
+        kind_name(e.kind),
+        e.block.0,
+        e.size,
+        e.offset,
+        mem_kind_name(e.mem_kind),
+    );
+    match e.op_label {
+        Some(l) => {
+            let _ = write!(s, "{l}");
+        }
+        None => s.push_str("null"),
+    }
+    s.push('}');
 }
 
 /// Serializes the whole trace (events, markers, label table) as JSON.

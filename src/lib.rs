@@ -21,6 +21,7 @@
 //! | synthetic datasets | `pinpoint-data` | [`data`] |
 //! | ATI / CDF / violin / Gantt / breakdown / outlier / planner | `pinpoint-analysis` | [`analysis`] |
 //! | chunked columnar on-disk trace store (`.ptrc`) | `pinpoint-store` | [`store`] |
+//! | concurrent trace-query daemon | `pinpoint-serve` | [`serve`] |
 //! | deterministic scoped-thread fan-out | `pinpoint-parallel` | [`parallel`] |
 //! | profiler + per-figure regenerators | `pinpoint-core` | [`core`] |
 //!
@@ -74,6 +75,11 @@ pub mod models {
 /// Deterministic scoped-thread fan-out (re-export of `pinpoint-parallel`).
 pub mod parallel {
     pub use pinpoint_parallel::*;
+}
+
+/// The concurrent trace-query daemon (re-export of `pinpoint-serve`).
+pub mod serve {
+    pub use pinpoint_serve::*;
 }
 
 /// The chunked columnar on-disk trace store (re-export of

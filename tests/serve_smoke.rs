@@ -1,0 +1,344 @@
+//! Smoke tests for the `pinpoint-serve` daemon at the process boundary:
+//! scripted TCP sessions against an in-process server, byte-identity
+//! against the CLI's offline `--json` output, salvage answers for damaged
+//! stores with exact loss accounting, deterministic overload shedding,
+//! and the `pinpoint-trace-tool serve` subcommand end to end.
+
+use pinpoint::core::{profile, ProfileConfig};
+use pinpoint::serve::{start, ServeConfig};
+use pinpoint::store::{write_store_file, Predicate, ReadPolicy, SharedStoreReader, StoreReader};
+use pinpoint::trace::EventKind;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+fn bin(name: &str) -> PathBuf {
+    // integration tests run from the workspace root; binaries are built
+    // into the same profile directory as the test executable
+    let mut p = std::env::current_exe().unwrap();
+    p.pop(); // deps/
+    p.pop();
+    p.join(name)
+}
+
+fn tmp_catalog(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pinpoint-smoke-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A small but real trace: the paper's Fig. 1 MLP case study.
+fn mlp_store(dir: &std::path::Path, name: &str) -> PathBuf {
+    let report = profile(&ProfileConfig::mlp_case_study(3)).unwrap();
+    let path = dir.join(format!("{name}.ptrc"));
+    write_store_file(&report.trace, &path).unwrap();
+    path
+}
+
+/// One request/response round trip over a fresh connection.
+fn roundtrip(addr: SocketAddr, request: &str) -> (u16, String, String) {
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.write_all(request.as_bytes()).unwrap();
+    let mut buf = Vec::new();
+    s.read_to_end(&mut buf).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    let (head, body) = text.split_once("\r\n\r\n").expect("full response");
+    let status: u16 = head
+        .split_ascii_whitespace()
+        .nth(1)
+        .unwrap()
+        .parse()
+        .unwrap();
+    (status, head.to_string(), body.to_string())
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String, String) {
+    roundtrip(addr, &format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n"))
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String, String) {
+    roundtrip(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+fn header_u64(head: &str, name: &str) -> u64 {
+    head.lines()
+        .find_map(|l| l.strip_prefix(&format!("{name}: ")))
+        .unwrap_or_else(|| panic!("missing header {name} in:\n{head}"))
+        .trim()
+        .parse()
+        .unwrap()
+}
+
+/// The daemon's query and report responses are the same bytes as the
+/// CLI's `--json` output on the same store — the contract that lets
+/// dashboards switch between the two without re-parsing.
+#[test]
+fn daemon_bodies_match_cli_json_output() {
+    let tool = bin("pinpoint-trace-tool");
+    if !tool.exists() {
+        eprintln!("skipping: {tool:?} not built (run with --workspace)");
+        return;
+    }
+    let dir = tmp_catalog("cli-ident");
+    let store = mlp_store(&dir, "mlp");
+    let handle = start(ServeConfig {
+        catalog_dir: dir.clone(),
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr();
+
+    // report: daemon defaults == CLI defaults (800 ms / 600 MB / max 30)
+    let (status, _, daemon) = post(addr, "/stores/mlp/report", "");
+    assert_eq!(status, 200);
+    let out = Command::new(&tool)
+        .arg("report")
+        .arg(&store)
+        .arg("--json")
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let cli = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(daemon, cli.trim_end_matches('\n'), "report bytes diverge");
+
+    // query: same predicate via JSON body and CLI flags, several thread
+    // counts on the CLI side — identical bytes every way
+    let (status, _, daemon) = post(
+        addr,
+        "/stores/mlp/query",
+        "{\"kind\":\"malloc\",\"min_size_bytes\":1000,\"max\":7}",
+    );
+    assert_eq!(status, 200);
+    for threads in ["1", "4"] {
+        let out = Command::new(&tool)
+            .arg("query")
+            .arg(&store)
+            .args(["--kind", "malloc", "--min-size-bytes", "1000", "--max", "7"])
+            .args(["--threads", threads, "--json"])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{out:?}");
+        let cli = String::from_utf8(out.stdout).unwrap();
+        assert_eq!(
+            daemon,
+            cli.trim_end_matches('\n'),
+            "query bytes diverge at --threads {threads}"
+        );
+    }
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A damaged store answers 200 under salvage with the exact loss carried
+/// in response headers — the same accounting the offline salvage reader
+/// reports, not an approximation.
+#[test]
+fn corrupt_store_answers_with_exact_loss_accounting() {
+    let dir = tmp_catalog("salvage");
+    // chunk finely so the trace spans many chunks and one lost chunk is
+    // a small, precisely-accounted slice of the answer
+    let report = profile(&ProfileConfig::mlp_case_study(3)).unwrap();
+    let mut encoded = Vec::new();
+    pinpoint::store::write_store_chunked(&report.trace, &mut encoded, 64).unwrap();
+    let store = dir.join("hurt.ptrc");
+    std::fs::write(&store, &encoded).unwrap();
+
+    // flip one payload byte inside chunk 1 so its CRC check fails
+    let chunk1_off = {
+        let reader = StoreReader::open(&store).unwrap();
+        assert!(reader.num_chunks() > 2, "need several chunks");
+        reader.footer().chunks[1].offset
+    };
+    let mut bytes = std::fs::read(&store).unwrap();
+    bytes[chunk1_off as usize + 1] ^= 0x40;
+    std::fs::write(&store, &bytes).unwrap();
+
+    // offline truth: the shared salvage reader's loss accounting
+    let reader = SharedStoreReader::open_with_policy(&store, ReadPolicy::Salvage).unwrap();
+    let pred = Predicate::any().with_kind(EventKind::Malloc);
+    let want = reader.query(&pred, 1).unwrap();
+    assert!(want.stats.chunks_skipped >= 1, "corruption must be seen");
+    assert!(want.stats.events_lost > 0);
+
+    let handle = start(ServeConfig {
+        catalog_dir: dir.clone(),
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr();
+    let (status, head, body) = post(
+        addr,
+        "/stores/hurt/query",
+        "{\"kind\":\"malloc\",\"max\":20}",
+    );
+    assert_eq!(status, 200, "salvage answers, it does not error: {body}");
+    assert_eq!(
+        header_u64(&head, "X-Pinpoint-Chunks-Skipped"),
+        want.stats.chunks_skipped as u64
+    );
+    assert_eq!(
+        header_u64(&head, "X-Pinpoint-Events-Lost"),
+        want.stats.events_lost
+    );
+    assert_eq!(body, pinpoint::analysis::query_json(&want, 20));
+
+    // report over the same damaged store: 200 with the loss in headers
+    let (status, head, _) = post(addr, "/stores/hurt/report", "");
+    assert_eq!(status, 200);
+    assert!(header_u64(&head, "X-Pinpoint-Events-Lost") > 0);
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A store deleted out from under the catalog is a 404, never a panic or
+/// a hang; a name that was never there is the same 404.
+#[test]
+fn deleted_store_is_a_404_not_a_panic() {
+    let dir = tmp_catalog("deleted");
+    let store = mlp_store(&dir, "gone");
+    let handle = start(ServeConfig {
+        catalog_dir: dir.clone(),
+        workers: 1,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr();
+
+    // the directory listing sees it, but it vanishes before first open
+    let (status, _, body) = get(addr, "/stores");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"gone\""), "{body}");
+    std::fs::remove_file(&store).unwrap();
+    let (status, _, _) = get(addr, "/stores/gone/info");
+    assert_eq!(status, 404);
+    let (status, _, _) = post(addr, "/stores/never/query", "{}");
+    assert_eq!(status, 404);
+
+    // the server is still healthy afterwards
+    let (status, _, _) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// With one worker and a one-deep queue, the third concurrent connection
+/// is shed with `503 Retry-After: 1` — deterministically, and without
+/// disturbing the two admitted requests.
+#[test]
+fn overload_sheds_a_deterministic_503() {
+    let dir = tmp_catalog("shed");
+    mlp_store(&dir, "mlp");
+    let handle = start(ServeConfig {
+        catalog_dir: dir.clone(),
+        workers: 1,
+        queue_cap: 1,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr();
+
+    // c1 pins the single worker: it sends half a request and stalls
+    let mut c1 = TcpStream::connect(addr).unwrap();
+    c1.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    c1.write_all(b"GET /stores HTTP/1.1\r\nHost:").unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+
+    // c2 fills the one queue slot
+    let mut c2 = TcpStream::connect(addr).unwrap();
+    c2.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    c2.write_all(b"GET /stores HTTP/1.1\r\nHost: x\r\n\r\n")
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+
+    // c3 finds the queue full and is refused at the door
+    let mut c3 = TcpStream::connect(addr).unwrap();
+    c3.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut refusal = Vec::new();
+    c3.read_to_end(&mut refusal).unwrap();
+    let refusal = String::from_utf8(refusal).unwrap();
+    assert!(refusal.starts_with("HTTP/1.1 503"), "{refusal}");
+    assert!(refusal.contains("Retry-After: 1"), "{refusal}");
+
+    // un-stall c1: both admitted requests complete normally
+    c1.write_all(b" x\r\n\r\n").unwrap();
+    for c in [&mut c1, &mut c2] {
+        let mut buf = Vec::new();
+        c.read_to_end(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200"), "{text}");
+        assert!(text.contains("\"mlp\""), "{text}");
+    }
+
+    // the shed is counted
+    let (status, _, body) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"shed\":1"), "{body}");
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The CLI `serve` subcommand end to end: spawn the daemon as a child
+/// process, parse the bound port from its banner, query it over TCP, and
+/// stop it cleanly through the token-gated shutdown endpoint.
+#[test]
+fn cli_serve_round_trip() {
+    let tool = bin("pinpoint-trace-tool");
+    if !tool.exists() {
+        eprintln!("skipping: {tool:?} not built (run with --workspace)");
+        return;
+    }
+    let dir = tmp_catalog("cli-serve");
+    mlp_store(&dir, "mlp");
+    let mut child = Command::new(&tool)
+        .arg("serve")
+        .args(["--catalog"])
+        .arg(&dir)
+        .args(["--addr", "127.0.0.1:0", "--shutdown-token", "tok"])
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+
+    // the first stdout line carries the bound address
+    let mut out = BufReader::new(child.stdout.take().unwrap());
+    let mut banner = String::new();
+    out.read_line(&mut banner).unwrap();
+    let addr: SocketAddr = banner
+        .split_once("http://")
+        .and_then(|(_, rest)| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("no address in banner: {banner:?}"))
+        .parse()
+        .unwrap();
+
+    let (status, _, body) = get(addr, "/stores");
+    assert_eq!(status, 200);
+    assert_eq!(body, "{\"stores\":[\"mlp\"]}");
+
+    // shutdown requires the token, then the process exits cleanly
+    let (status, _, _) = post(addr, "/shutdown", "");
+    assert_eq!(status, 403);
+    let (status, _, _) = roundtrip(
+        addr,
+        "POST /shutdown HTTP/1.1\r\nHost: x\r\nX-Pinpoint-Token: tok\r\nContent-Length: 0\r\n\r\n",
+    );
+    assert_eq!(status, 204);
+    let status = child.wait().unwrap();
+    assert!(status.success(), "serve must exit cleanly: {status:?}");
+    let mut rest = String::new();
+    out.read_to_string(&mut rest).unwrap();
+    assert!(rest.contains("shutdown complete"), "{rest:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
