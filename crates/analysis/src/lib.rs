@@ -85,7 +85,9 @@ pub use kde::{kde_on_grid, violin, violin_sorted, ViolinStats};
 pub use op_stats::{op_stats, OpMemoryStats};
 pub use outlier::{sift, OutlierCriteria, OutlierReport};
 pub use planner::{apply, plan, SwapDecision, SwapPlan};
-pub use report::{query_json, report_json, TraceReport};
+pub use report::{
+    query_json, query_json_into, report_json, report_json_into, RenderScratch, TraceReport,
+};
 pub use store::{
     ati_from_store, breakdown_from_store, gantt_from_store, outliers_from_store, peak_from_store,
 };

@@ -171,6 +171,47 @@ fn write_fused_stats(s: &mut String, st: &FusedStats) {
     s.push('}');
 }
 
+/// Reusable scratch for the JSON renderers, mirroring the store's
+/// `DecodeScratch` pattern: one long-lived buffer per worker, cleared and
+/// refilled on every render, so a steady-state render allocates nothing
+/// once the buffer has grown to the working-set size.
+///
+/// [`RenderScratch::report`] and [`RenderScratch::query`] produce exactly
+/// the bytes of [`report_json`] / [`query_json`] — the scratch only
+/// changes where the `String` lives, never a byte of the wire contract.
+#[derive(Debug, Default)]
+pub struct RenderScratch {
+    buf: String,
+}
+
+impl RenderScratch {
+    /// An empty scratch; the buffer grows on first use and is kept.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Renders a report into the reused buffer; same bytes as
+    /// [`report_json`].
+    pub fn report(&mut self, d: &TraceReport, max_rects: usize) -> &str {
+        self.buf.clear();
+        report_json_into(d, max_rects, &mut self.buf);
+        &self.buf
+    }
+
+    /// Renders a query result into the reused buffer; same bytes as
+    /// [`query_json`].
+    pub fn query(&mut self, q: &QueryResult, limit: usize) -> &str {
+        self.buf.clear();
+        query_json_into(q, limit, &mut self.buf);
+        &self.buf
+    }
+
+    /// Current buffer capacity, for allocation-hygiene assertions.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+}
+
 /// Renders a [`TraceReport`] as deterministic JSON — the body of the
 /// CLI's `report --json` and of the daemon's `POST /stores/{name}/report`
 /// response. Integers and strings only; Gantt rectangles are truncated to
@@ -178,8 +219,15 @@ fn write_fused_stats(s: &mut String, st: &FusedStats) {
 /// complete.
 pub fn report_json(d: &TraceReport, max_rects: usize) -> String {
     let mut s = String::with_capacity(1024 + d.gantt.len().min(max_rects) * 96);
+    report_json_into(d, max_rects, &mut s);
+    s
+}
+
+/// Appends [`report_json`]'s bytes to `s` — the scratch-reuse entry point
+/// behind [`RenderScratch`].
+pub fn report_json_into(d: &TraceReport, max_rects: usize, s: &mut String) {
     s.push_str("{\"stats\":");
-    write_fused_stats(&mut s, &d.stats);
+    write_fused_stats(s, &d.stats);
     let _ = write!(
         s,
         ",\"peak\":{{\"total_bytes\":{},\"input_bytes\":{},\"parameter_bytes\":{},\
@@ -190,7 +238,7 @@ pub fn report_json(d: &TraceReport, max_rects: usize) -> String {
         d.peak.bytes(pinpoint_trace::Category::Intermediates),
     );
     s.push_str(",\"breakdown\":{\"label\":");
-    json::write_str(&mut s, &d.breakdown.label);
+    json::write_str(s, &d.breakdown.label);
     let _ = write!(
         s,
         ",\"peak_bytes\":{},\"input_bytes\":{},\"parameter_bytes\":{},\"intermediate_bytes\":{}}}",
@@ -256,7 +304,6 @@ pub fn report_json(d: &TraceReport, max_rects: usize) -> String {
         );
     }
     s.push_str("]}}");
-    s
 }
 
 /// Renders a [`QueryResult`] as deterministic JSON — the body of the
@@ -266,6 +313,14 @@ pub fn report_json(d: &TraceReport, max_rects: usize) -> String {
 pub fn query_json(q: &QueryResult, limit: usize) -> String {
     let n = q.events.len().min(limit);
     let mut s = String::with_capacity(256 + n * 128);
+    query_json_into(q, limit, &mut s);
+    s
+}
+
+/// Appends [`query_json`]'s bytes to `s` — the scratch-reuse entry point
+/// behind [`RenderScratch`].
+pub fn query_json_into(q: &QueryResult, limit: usize, s: &mut String) {
+    let n = q.events.len().min(limit);
     let st = &q.stats;
     let _ = write!(
         s,
@@ -278,7 +333,7 @@ pub fn query_json(q: &QueryResult, limit: usize) -> String {
         st.chunks_skipped,
         st.events_lost,
     );
-    write_opt_str(&mut s, st.first_error.as_deref());
+    write_opt_str(s, st.first_error.as_deref());
     let _ = write!(
         s,
         "}},\"matched\":{},\"returned\":{n},\"events\":[",
@@ -288,10 +343,9 @@ pub fn query_json(q: &QueryResult, limit: usize) -> String {
         if i > 0 {
             s.push(',');
         }
-        write_event_json(&mut s, e);
+        write_event_json(s, e);
     }
     s.push_str("]}");
-    s
 }
 
 #[cfg(test)]
@@ -377,6 +431,27 @@ mod tests {
         assert!(a.contains("\"total\":11"), "{a}");
         assert_eq!(a.matches("\"t0_ns\"").count(), 5, "truncated to 5 rects");
         assert!(a.starts_with("{\"stats\":{\"chunks_total\":"));
+    }
+
+    #[test]
+    fn render_scratch_matches_allocating_renderers_and_reuses_its_buffer() {
+        let t = sample_trace();
+        let d = TraceReport::from_trace(&t, criteria(), 1);
+        let mut bytes = Vec::new();
+        write_store_chunked(&t, &mut bytes, 16).unwrap();
+        let mut r = StoreReader::new(std::io::Cursor::new(bytes)).unwrap();
+        let q = r.query(&Predicate::any(), 1).unwrap();
+        let mut scratch = RenderScratch::new();
+        assert_eq!(scratch.report(&d, 5), report_json(&d, 5));
+        assert_eq!(scratch.query(&q, 7), query_json(&q, 7));
+        // steady state: re-rendering the same shapes must not regrow
+        let cap = scratch.capacity();
+        for _ in 0..4 {
+            scratch.report(&d, 5);
+            scratch.query(&q, 7);
+        }
+        assert_eq!(scratch.capacity(), cap, "steady-state render reallocated");
+        assert_eq!(scratch.report(&d, 5), report_json(&d, 5));
     }
 
     #[test]

@@ -7,14 +7,24 @@
 //! reports p50/p99 latency, aggregate throughput, and the chunk-cache
 //! hit rate (from `/metrics`) per fan-out in `BENCH_serve.json`.
 //!
-//! Two in-bench guards run on every CI bench-smoke pass:
+//! A second phase drives the *repeated-query* fast path: the same
+//! `report` request over and over, once against a baseline daemon with
+//! the result cache disabled and a fresh connection per request, and once
+//! against the tuned daemon over a single kept-alive connection with the
+//! result cache on. Both throughputs, the speedup, and the result-cache
+//! hit rate land in `BENCH_serve.json`.
+//!
+//! Three in-bench guards run on every CI bench-smoke pass:
 //! - every response body at every fan-out is byte-identical to the
 //!   single-client answer (the daemon's determinism contract under
 //!   concurrency and cache churn);
 //! - with a warm cache, aggregate report throughput at 8 clients must be
 //!   at least 2x the 1-client figure — gated on the machine actually
 //!   having >= 2 CPUs (a 1-core runner records the skip in the JSON
-//!   instead of asserting parallel speedup it cannot exhibit).
+//!   instead of asserting parallel speedup it cannot exhibit);
+//! - the repeated-query phase must be >= 2x the fresh-connection,
+//!   no-result-cache baseline (this one is serial work elimination, so
+//!   it holds on any machine and is asserted unconditionally).
 
 use pinpoint_bench::by_scale;
 use pinpoint_bench::criterion::Criterion;
@@ -28,7 +38,9 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Instant;
 
-/// One request/response over a fresh connection; returns (status, body).
+/// One request/response over a fresh connection; the request must carry
+/// `Connection: close` so reading to EOF terminates. Returns (status,
+/// body).
 fn roundtrip(addr: SocketAddr, request: &str) -> (u16, String) {
     let mut s = TcpStream::connect(addr).expect("connect");
     s.write_all(request.as_bytes()).expect("send");
@@ -49,10 +61,52 @@ fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
     roundtrip(
         addr,
         &format!(
-            "POST {path} HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+            "POST {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\
+             Content-Length: {}\r\n\r\n{body}",
             body.len()
         ),
     )
+}
+
+/// One request/response on an already-open kept-alive stream, framed by
+/// `Content-Length` instead of EOF. Returns (status, body).
+fn keepalive_post(s: &mut TcpStream, path: &str, body: &str) -> (u16, String) {
+    let req = format!(
+        "POST {path} HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    s.write_all(req.as_bytes()).expect("send");
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 8192];
+    let head_end = loop {
+        if let Some(p) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break p;
+        }
+        let n = s.read(&mut chunk).expect("recv");
+        assert!(n > 0, "EOF before response head");
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..head_end]).expect("utf8 head");
+    let status = head
+        .split_ascii_whitespace()
+        .nth(1)
+        .expect("status")
+        .parse()
+        .expect("numeric status");
+    let len: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .expect("Content-Length")
+        .trim()
+        .parse()
+        .expect("numeric length");
+    while buf.len() < head_end + 4 + len {
+        let n = s.read(&mut chunk).expect("recv");
+        assert!(n > 0, "EOF before response body");
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    let body = String::from_utf8(buf[head_end + 4..head_end + 4 + len].to_vec()).expect("utf8");
+    (status, body)
 }
 
 /// The seeded request mix: mostly cached full reports, with a few
@@ -156,11 +210,19 @@ fn bench(c: &mut Criterion) {
     let mut throughput_8 = 0.0f64;
     for clients in [1usize, 2, 4, 8] {
         let before = metric(
-            &roundtrip(addr, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").1,
+            &roundtrip(
+                addr,
+                "GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+            )
+            .1,
             "cache_hits",
         );
         let (lats, elapsed_ns) = drive(addr, clients, per_client, 0xC0FFEE);
-        let after = roundtrip(addr, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").1;
+        let after = roundtrip(
+            addr,
+            "GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+        )
+        .1;
         let hits = metric(&after, "cache_hits") - before;
         let misses = metric(&after, "cache_misses");
         let total = (clients * per_client) as f64;
@@ -211,11 +273,81 @@ fn bench(c: &mut Criterion) {
         println!("serve_load: single-cpu machine, scaling assert skipped ({speedup:.2}x)");
     }
 
+    // --- repeated-query phase: the hot-path claim ---------------------
+    // Planner-style workloads ask the same question hundreds of times.
+    // Baseline: result cache off, a fresh TCP connection per request.
+    // Fast path: result cache on, one kept-alive connection. Same
+    // requests, same bytes — the speedup is pure overhead elimination
+    // (connection setup + fold + render), so it is asserted on any
+    // machine.
+    let repeats = by_scale(20, 120);
+    let baseline = start(ServeConfig {
+        catalog_dir: dir.clone(),
+        workers: 8,
+        queue_cap: 64,
+        result_cache_bytes: 0,
+        ..ServeConfig::default()
+    })
+    .expect("start baseline daemon");
+    let (status, _) = post(baseline.addr(), "/stores/resnet18/report", ""); // warm chunk cache
+    assert_eq!(status, 200);
+    let t0 = Instant::now();
+    for _ in 0..repeats {
+        let (status, got) = post(baseline.addr(), "/stores/resnet18/report", "");
+        assert_eq!(status, 200);
+        assert_eq!(got, want_report, "baseline bytes drift");
+    }
+    let baseline_rps = repeats as f64 / t0.elapsed().as_secs_f64();
+    baseline.shutdown();
+
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .expect("timeout");
+    let t0 = Instant::now();
+    for _ in 0..repeats {
+        let (status, got) = keepalive_post(&mut conn, "/stores/resnet18/report", "");
+        assert_eq!(status, 200);
+        assert_eq!(got, want_report, "kept-alive cached bytes drift");
+    }
+    let keepalive_rps = repeats as f64 / t0.elapsed().as_secs_f64();
+    drop(conn);
+
+    let metrics = roundtrip(
+        addr,
+        "GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+    )
+    .1;
+    let result_hits = metric(&metrics, "result_hits");
+    let result_misses = metric(&metrics, "result_misses");
+    let result_hit_rate = result_hits as f64 / (result_hits + result_misses).max(1) as f64;
+    let repeated_speedup = keepalive_rps / baseline_rps;
+    println!(
+        "serve_load: repeated report x{repeats}: baseline {baseline_rps:.1} req/s \
+         (fresh conn, no result cache), fast {keepalive_rps:.1} req/s \
+         (keep-alive + result cache) = {repeated_speedup:.1}x, \
+         result-cache hit rate {result_hit_rate:.2}"
+    );
+    assert!(
+        repeated_speedup >= 2.0,
+        "keep-alive + result cache must be >= 2x the fresh-connection, \
+         no-result-cache baseline on repeated queries: got {repeated_speedup:.2}x \
+         ({baseline_rps:.1} -> {keepalive_rps:.1} req/s)"
+    );
+    assert!(
+        result_hit_rate > 0.5,
+        "repeated identical requests must mostly hit the result cache: \
+         {result_hits} hits / {result_misses} misses"
+    );
+
     let json = format!(
         "{{\"bench\":\"serve_load\",\"events\":{events},\"store_bytes\":{},\
          \"workers\":8,\"cpus\":{cpus},\"per_client_requests\":{per_client},\
          \"runs\":[{}],\"speedup_8_vs_1\":{speedup:.4},\
-         \"scaling_asserted\":{scaling_checked},\"bit_identical\":true}}\n",
+         \"scaling_asserted\":{scaling_checked},\
+         \"repeated_requests\":{repeats},\"repeated_baseline_rps\":{baseline_rps:.2},\
+         \"repeated_keepalive_rps\":{keepalive_rps:.2},\
+         \"repeated_speedup\":{repeated_speedup:.4},\
+         \"result_cache_hit_rate\":{result_hit_rate:.4},\"bit_identical\":true}}\n",
         encoded.len(),
         per_fanout.join(",")
     );

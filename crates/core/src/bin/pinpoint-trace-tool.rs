@@ -19,6 +19,7 @@
 //!                               [--category C]... [--min-size-bytes N]
 //!                               [--op-label NAME|ID] [--max N] [--json]
 //! pinpoint-trace-tool serve     --catalog DIR [--addr HOST:PORT] [--cache-bytes N]
+//!                               [--result-cache-bytes N] [--keepalive N]
 //!                               [--threads N] [--queue N] [--shutdown-token TOK]
 //! ```
 //!
@@ -555,8 +556,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             .unwrap_or("127.0.0.1:7070")
             .to_string(),
         cache_bytes: flag_value(args, "--cache-bytes").map_or(256 << 20, |v| v as u64),
+        result_cache_bytes: flag_value(args, "--result-cache-bytes").map_or(64 << 20, |v| v as u64),
         workers: pinpoint_core::parallel::configured_threads(),
         queue_cap: flag_value(args, "--queue").map_or(64, |v| v as usize),
+        keepalive_requests: flag_value(args, "--keepalive").map_or(128, |v| v as usize),
         shutdown_token: flag_str(args, "--shutdown-token").map(String::from),
         ..pinpoint_serve::ServeConfig::default()
     };

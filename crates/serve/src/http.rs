@@ -1,18 +1,53 @@
 //! A minimal HTTP/1.1 layer over [`TcpStream`], kept in-repo so the
 //! daemon builds in hermetic environments with no access to crates.io.
 //!
-//! Scope is exactly what the daemon needs: one request per connection
-//! (every response carries `Connection: close`), `Content-Length` bodies
-//! only, bounded header and body sizes so a misbehaving client cannot
-//! balloon a worker's memory.
+//! Scope is exactly what the daemon needs: `Content-Length` bodies only,
+//! bounded head and body sizes so a misbehaving client cannot balloon a
+//! worker's memory, and persistent connections — `Connection: keep-alive`
+//! is honored (the HTTP/1.1 default), with the requests-per-connection
+//! loop bounded by the server. The per-connection state that makes the
+//! repeated-request path cheap lives in [`ConnBuffers`]: one reusable
+//! read buffer (carrying pipelined bytes between requests) and one
+//! reusable response-head buffer, so a steady-state request/response
+//! cycle does not reallocate. Response bodies are either owned or
+//! `Arc`-shared ([`Body`]) — a cached body is written straight from the
+//! cache's allocation via a vectored write, never copied per response.
 
-use std::io::{self, Read, Write};
+use std::io::{self, IoSlice, Read, Write};
 use std::net::TcpStream;
+use std::sync::Arc;
 
 /// Largest accepted request head (request line + headers), in bytes.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 /// Largest accepted request body, in bytes.
 pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// Per-connection reusable buffers: the read accumulator (which also
+/// carries bytes read past the end of one request into the next) and the
+/// response-head serialization buffer. A worker keeps one `ConnBuffers`
+/// for its lifetime and [`ConnBuffers::reset`]s it per connection — the
+/// allocations survive, so steady-state request handling reuses them.
+#[derive(Debug, Default)]
+pub struct ConnBuffers {
+    /// Read accumulator; bytes read past one request's end stay here as
+    /// carry-over for the next one.
+    pub(crate) data: Vec<u8>,
+    /// Reusable response-head buffer for [`Response::write_to`].
+    pub(crate) head_out: Vec<u8>,
+}
+
+impl ConnBuffers {
+    /// Fresh, empty buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears per-connection state while keeping the allocations.
+    pub fn reset(&mut self) {
+        self.data.clear();
+        self.head_out.clear();
+    }
+}
 
 /// A parsed HTTP request.
 #[derive(Debug)]
@@ -25,6 +60,8 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// Request body (empty when no `Content-Length`).
     pub body: Vec<u8>,
+    /// Whether the request line said `HTTP/1.1` (vs `HTTP/1.0`).
+    pub http11: bool,
 }
 
 impl Request {
@@ -34,6 +71,27 @@ impl Request {
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to keep the connection open: the
+    /// HTTP/1.1 default, overridden either way by a `close` /
+    /// `keep-alive` token in the `Connection` header.
+    pub fn wants_keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(v) => {
+                let mut keep = self.http11;
+                for token in v.split(',') {
+                    let token = token.trim();
+                    if token.eq_ignore_ascii_case("close") {
+                        keep = false;
+                    } else if token.eq_ignore_ascii_case("keep-alive") {
+                        keep = true;
+                    }
+                }
+                keep
+            }
+            None => self.http11,
+        }
     }
 }
 
@@ -50,45 +108,86 @@ pub enum ReadOutcome {
     TooLarge(&'static str),
 }
 
-/// Reads one request head + body from the stream.
+/// Reads one request head + body from the stream into the connection's
+/// reusable buffers. Bytes read past the end of the request (a pipelined
+/// follow-up) stay in `bufs` and are consumed by the next call before
+/// touching the socket.
 ///
 /// # Errors
 ///
 /// Propagates transport errors (including read timeouts) from the socket.
-pub fn read_request(stream: &mut TcpStream) -> io::Result<ReadOutcome> {
-    let mut head = Vec::with_capacity(512);
-    let mut buf = [0u8; 1024];
+pub fn read_request(stream: &mut TcpStream, bufs: &mut ConnBuffers) -> io::Result<ReadOutcome> {
+    let data = &mut bufs.data;
+    let mut buf = [0u8; 4096];
     let split = loop {
-        if let Some(pos) = find_head_end(&head) {
+        if let Some(pos) = find_head_end(data) {
             break pos;
         }
-        if head.len() > MAX_HEAD_BYTES {
+        if data.len() > MAX_HEAD_BYTES {
             return Ok(ReadOutcome::TooLarge("request head"));
         }
         let n = stream.read(&mut buf)?;
         if n == 0 {
-            return Ok(if head.is_empty() {
+            return Ok(if data.is_empty() {
                 ReadOutcome::Closed
             } else {
                 ReadOutcome::Malformed("connection closed mid-head")
             });
         }
-        head.extend_from_slice(&buf[..n]);
+        data.extend_from_slice(&buf[..n]);
     };
-    let (head_bytes, mut rest) = {
-        let (h, r) = head.split_at(split + 4);
-        (h.to_vec(), r.to_vec())
+    let parsed = {
+        let head_text = match std::str::from_utf8(&data[..split]) {
+            Ok(t) => t,
+            Err(_) => return Ok(ReadOutcome::Malformed("head is not UTF-8")),
+        };
+        match parse_head(head_text) {
+            Ok(p) => p,
+            Err(detail) => return Ok(ReadOutcome::Malformed(detail)),
+        }
     };
-    let head_text = match std::str::from_utf8(&head_bytes[..split]) {
-        Ok(t) => t,
-        Err(_) => return Ok(ReadOutcome::Malformed("head is not UTF-8")),
+    let content_length = match parsed.content_length {
+        Ok(len) => len,
+        Err(detail) => return Ok(ReadOutcome::Malformed(detail)),
     };
+    if content_length > MAX_BODY_BYTES {
+        return Ok(ReadOutcome::TooLarge("request body"));
+    }
+    let body_start = split + 4;
+    while data.len() < body_start + content_length {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Ok(ReadOutcome::Malformed("connection closed mid-body"));
+        }
+        data.extend_from_slice(&buf[..n]);
+    }
+    let request = Request {
+        method: parsed.method,
+        path: parsed.path,
+        headers: parsed.headers,
+        body: data[body_start..body_start + content_length].to_vec(),
+        http11: parsed.http11,
+    };
+    // keep only the carry-over (pipelined) bytes for the next request
+    data.drain(..body_start + content_length);
+    Ok(ReadOutcome::Ok(request))
+}
+
+struct ParsedHead {
+    method: String,
+    path: String,
+    headers: Vec<(String, String)>,
+    content_length: Result<usize, &'static str>,
+    http11: bool,
+}
+
+fn parse_head(head_text: &str) -> Result<ParsedHead, &'static str> {
     let mut lines = head_text.split("\r\n");
     let request_line = lines.next().unwrap_or("");
     let mut parts = request_line.split_ascii_whitespace();
-    let (method, target) = match (parts.next(), parts.next(), parts.next()) {
-        (Some(m), Some(t), Some(v)) if v.starts_with("HTTP/1.") => (m, t),
-        _ => return Ok(ReadOutcome::Malformed("bad request line")),
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) if v.starts_with("HTTP/1.") => (m, t, v),
+        _ => return Err("bad request line"),
     };
     let mut headers = Vec::new();
     for line in lines {
@@ -97,40 +196,46 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<ReadOutcome> {
         }
         match line.split_once(':') {
             Some((n, v)) => headers.push((n.trim().to_ascii_lowercase(), v.trim().to_string())),
-            None => return Ok(ReadOutcome::Malformed("bad header line")),
+            None => return Err("bad header line"),
         }
     }
     let content_length = headers
         .iter()
         .find(|(n, _)| n == "content-length")
-        .map(|(_, v)| v.parse::<usize>())
-        .transpose();
-    let content_length = match content_length {
-        Ok(v) => v.unwrap_or(0),
-        Err(_) => return Ok(ReadOutcome::Malformed("bad content-length")),
-    };
-    if content_length > MAX_BODY_BYTES {
-        return Ok(ReadOutcome::TooLarge("request body"));
-    }
-    while rest.len() < content_length {
-        let n = stream.read(&mut buf)?;
-        if n == 0 {
-            return Ok(ReadOutcome::Malformed("connection closed mid-body"));
-        }
-        rest.extend_from_slice(&buf[..n]);
-    }
-    rest.truncate(content_length);
+        .map_or(Ok(0), |(_, v)| {
+            v.parse::<usize>().map_err(|_| "bad content-length")
+        });
     let path = target.split('?').next().unwrap_or(target).to_string();
-    Ok(ReadOutcome::Ok(Request {
+    Ok(ParsedHead {
         method: method.to_ascii_uppercase(),
         path,
         headers,
-        body: rest,
-    }))
+        content_length,
+        http11: version != "HTTP/1.0",
+    })
 }
 
 fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// A response body: owned bytes, or a shared slice out of the result
+/// cache — serving a cached body clones an `Arc`, never the bytes.
+#[derive(Debug)]
+pub enum Body {
+    /// Bytes owned by this response.
+    Owned(Vec<u8>),
+    /// Bytes shared with the result cache (and any concurrent response).
+    Shared(Arc<[u8]>),
+}
+
+impl Body {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            Body::Owned(v) => v,
+            Body::Shared(a) => a,
+        }
+    }
 }
 
 /// An HTTP response under construction.
@@ -139,7 +244,7 @@ pub struct Response {
     status: u16,
     reason: &'static str,
     headers: Vec<(String, String)>,
-    body: Vec<u8>,
+    body: Body,
 }
 
 impl Response {
@@ -149,7 +254,7 @@ impl Response {
             status,
             reason: reason_phrase(status),
             headers: Vec::new(),
-            body: Vec::new(),
+            body: Body::Owned(Vec::new()),
         }
     }
 
@@ -158,9 +263,19 @@ impl Response {
         Response::new(200).with_json_body(body)
     }
 
+    /// Starts a 200 response whose JSON body is shared with the result
+    /// cache — written by reference, no copy.
+    pub fn json_shared(body: Arc<[u8]>) -> Self {
+        let mut r = Response::new(200);
+        r.body = Body::Shared(body);
+        r.headers
+            .push(("Content-Type".to_string(), "application/json".to_string()));
+        r
+    }
+
     /// Sets a JSON body (and content type).
     pub fn with_json_body(mut self, body: impl Into<Vec<u8>>) -> Self {
-        self.body = body.into();
+        self.body = Body::Owned(body.into());
         self.headers
             .push(("Content-Type".to_string(), "application/json".to_string()));
         self
@@ -177,23 +292,54 @@ impl Response {
         self.status
     }
 
-    /// Serializes and writes the response; always closes the connection.
+    /// Serializes and writes the response. The head is built in the
+    /// caller's reusable buffer and the head + body go out in one
+    /// vectored write (with a fallback loop for partial writes), so a
+    /// cache-served response costs zero allocations and no body copy.
+    /// `keep_alive` selects the `Connection:` header; the caller owns the
+    /// decision (client's wish, bounded per-connection request budget,
+    /// shutdown state).
     ///
     /// # Errors
     ///
     /// Propagates transport errors from the socket.
-    pub fn write_to(&self, stream: &mut TcpStream) -> io::Result<()> {
-        let mut head = format!("HTTP/1.1 {} {}\r\n", self.status, self.reason);
+    pub fn write_to(
+        &self,
+        stream: &mut TcpStream,
+        keep_alive: bool,
+        head_buf: &mut Vec<u8>,
+    ) -> io::Result<()> {
+        let body = self.body.as_slice();
+        head_buf.clear();
+        write!(head_buf, "HTTP/1.1 {} {}\r\n", self.status, self.reason)?;
         for (n, v) in &self.headers {
-            head.push_str(n);
-            head.push_str(": ");
-            head.push_str(v);
-            head.push_str("\r\n");
+            head_buf.extend_from_slice(n.as_bytes());
+            head_buf.extend_from_slice(b": ");
+            head_buf.extend_from_slice(v.as_bytes());
+            head_buf.extend_from_slice(b"\r\n");
         }
-        head.push_str(&format!("Content-Length: {}\r\n", self.body.len()));
-        head.push_str("Connection: close\r\n\r\n");
-        stream.write_all(head.as_bytes())?;
-        stream.write_all(&self.body)?;
+        write!(head_buf, "Content-Length: {}\r\n", body.len())?;
+        head_buf.extend_from_slice(if keep_alive {
+            b"Connection: keep-alive\r\n\r\n"
+        } else {
+            b"Connection: close\r\n\r\n"
+        });
+        let total = head_buf.len() + body.len();
+        let mut written = 0;
+        while written < total {
+            let n = if written < head_buf.len() {
+                stream.write_vectored(&[IoSlice::new(&head_buf[written..]), IoSlice::new(body)])?
+            } else {
+                stream.write(&body[written - head_buf.len()..])?
+            };
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "connection closed mid-response",
+                ));
+            }
+            written += n;
+        }
         stream.flush()
     }
 }
@@ -211,6 +357,7 @@ fn reason_phrase(status: u16) -> &'static str {
     match status {
         200 => "OK",
         204 => "No Content",
+        304 => "Not Modified",
         400 => "Bad Request",
         403 => "Forbidden",
         404 => "Not Found",
@@ -236,5 +383,35 @@ mod tests {
     #[test]
     fn error_body_escapes() {
         assert_eq!(error_body("no \"x\""), "{\"error\":\"no \\\"x\\\"\"}");
+    }
+
+    fn parsed(head: &str) -> Request {
+        let p = parse_head(head).unwrap();
+        Request {
+            method: p.method,
+            path: p.path,
+            headers: p.headers,
+            body: Vec::new(),
+            http11: p.http11,
+        }
+    }
+
+    #[test]
+    fn keep_alive_follows_version_default_and_connection_header() {
+        assert!(parsed("GET / HTTP/1.1").wants_keep_alive());
+        assert!(!parsed("GET / HTTP/1.0").wants_keep_alive());
+        assert!(!parsed("GET / HTTP/1.1\r\nConnection: close").wants_keep_alive());
+        assert!(!parsed("GET / HTTP/1.1\r\nConnection: Close").wants_keep_alive());
+        assert!(parsed("GET / HTTP/1.0\r\nConnection: keep-alive").wants_keep_alive());
+        assert!(parsed("GET / HTTP/1.1\r\nConnection: foo, keep-alive").wants_keep_alive());
+    }
+
+    #[test]
+    fn bad_heads_are_malformed() {
+        assert!(parse_head("NONSENSE").is_err());
+        assert!(parse_head("GET / SMTP/1.0").is_err());
+        assert!(parse_head("GET / HTTP/1.1\r\nbadline").is_err());
+        let p = parse_head("POST / HTTP/1.1\r\nContent-Length: zzz").unwrap();
+        assert!(p.content_length.is_err());
     }
 }

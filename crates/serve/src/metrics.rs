@@ -1,6 +1,7 @@
 //! Daemon-wide counters, rendered as JSON by `GET /metrics`.
 
 use crate::cache::CacheStats;
+use crate::result_cache::ResultCacheStats;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -12,7 +13,7 @@ pub struct Metrics {
     pub accepted: AtomicU64,
     /// Connections answered 503 at the door because the queue was full.
     pub shed: AtomicU64,
-    /// Requests fully handled, by status class.
+    /// Requests fully handled, by status class (2xx/3xx).
     pub ok: AtomicU64,
     /// 4xx responses.
     pub client_error: AtomicU64,
@@ -22,18 +23,35 @@ pub struct Metrics {
     pub queries: AtomicU64,
     /// Report requests served.
     pub reports: AtomicU64,
+    /// Requests served on a reused (kept-alive) connection — i.e. the
+    /// second and later requests of each connection.
+    pub keepalive_requests: AtomicU64,
+    /// Conditional requests answered `304 Not Modified`.
+    pub not_modified: AtomicU64,
+    /// Stores reopened because their on-disk file changed (or evicted
+    /// because it vanished) — each one invalidated both cache tiers.
+    pub store_reopens: AtomicU64,
 }
 
 impl Metrics {
-    /// Renders every counter plus the cache's, as one flat JSON object.
-    pub fn to_json(&self, cache: &CacheStats, queue_depth: usize) -> String {
-        let mut s = String::with_capacity(256);
+    /// Renders every counter plus both caches', as one flat JSON object.
+    pub fn to_json(
+        &self,
+        cache: &CacheStats,
+        results: &ResultCacheStats,
+        queue_depth: usize,
+    ) -> String {
+        let mut s = String::with_capacity(512);
         let _ = write!(
             s,
             "{{\"accepted\":{},\"shed\":{},\"ok\":{},\"client_error\":{},\
-             \"server_error\":{},\"queries\":{},\"reports\":{},\"queue_depth\":{queue_depth},\
+             \"server_error\":{},\"queries\":{},\"reports\":{},\
+             \"keepalive_requests\":{},\"not_modified\":{},\"store_reopens\":{},\
+             \"queue_depth\":{queue_depth},\
              \"cache_hits\":{},\"cache_misses\":{},\"cache_evictions\":{},\
-             \"cache_bytes\":{},\"cache_entries\":{}}}",
+             \"cache_bytes\":{},\"cache_entries\":{},\
+             \"result_hits\":{},\"result_misses\":{},\"result_evictions\":{},\
+             \"result_invalidations\":{},\"result_bytes\":{},\"result_entries\":{}}}",
             self.accepted.load(Ordering::Relaxed),
             self.shed.load(Ordering::Relaxed),
             self.ok.load(Ordering::Relaxed),
@@ -41,19 +59,29 @@ impl Metrics {
             self.server_error.load(Ordering::Relaxed),
             self.queries.load(Ordering::Relaxed),
             self.reports.load(Ordering::Relaxed),
+            self.keepalive_requests.load(Ordering::Relaxed),
+            self.not_modified.load(Ordering::Relaxed),
+            self.store_reopens.load(Ordering::Relaxed),
             cache.hits,
             cache.misses,
             cache.evictions,
             cache.bytes,
             cache.entries,
+            results.hits,
+            results.misses,
+            results.evictions,
+            results.invalidations,
+            results.bytes,
+            results.entries,
         );
         s
     }
 
-    /// Tallies a finished response by status code.
+    /// Tallies a finished response by status code (3xx — i.e. `304 Not
+    /// Modified` — is a success, not an error).
     pub fn count_status(&self, status: u16) {
         let counter = match status {
-            200..=299 => &self.ok,
+            200..=399 => &self.ok,
             400..=499 => &self.client_error,
             _ => &self.server_error,
         };
@@ -70,14 +98,17 @@ mod tests {
         let m = Metrics::default();
         m.accepted.store(5, Ordering::Relaxed);
         m.count_status(200);
+        m.count_status(304);
         m.count_status(404);
         m.count_status(503);
-        let s = m.to_json(&CacheStats::default(), 2);
+        let s = m.to_json(&CacheStats::default(), &ResultCacheStats::default(), 2);
         assert!(s.contains("\"accepted\":5"), "{s}");
-        assert!(s.contains("\"ok\":1"), "{s}");
+        assert!(s.contains("\"ok\":2"), "{s}");
         assert!(s.contains("\"client_error\":1"), "{s}");
         assert!(s.contains("\"server_error\":1"), "{s}");
         assert!(s.contains("\"queue_depth\":2"), "{s}");
+        assert!(s.contains("\"result_hits\":0"), "{s}");
+        assert!(s.contains("\"keepalive_requests\":0"), "{s}");
         assert!(pinpoint_trace::json::parse(&s).is_ok(), "{s}");
     }
 }

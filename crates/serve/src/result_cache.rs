@@ -1,0 +1,335 @@
+//! The second cache tier: fully *rendered* response bodies.
+//!
+//! The chunk cache ([`crate::cache`]) makes the bottom of a repeated
+//! query cheap — no re-decode — but every request still pays a full fold
+//! re-execution over the cached chunks plus a fresh JSON render. Planner
+//! workloads (OLLA-style lifetime/location searches, solver sweeps) issue
+//! hundreds of near-identical `report`/`query` requests against the same
+//! store, so the daemon memoizes the rendered bytes themselves.
+//!
+//! An entry is keyed by `(store name, normalized request params)` and
+//! stamped with the store's **generation** — the file-length + mtime
+//! fingerprint taken by the catalog on every access. A lookup hits only
+//! when the generation matches; a mismatch (the `.ptrc` was replaced on
+//! disk, e.g. by an in-place `convert` upgrade) removes the stale entry
+//! and counts an invalidation, so a changed store can never serve old
+//! bytes. The same `(generation, params)` pair derives the response's
+//! strong `ETag`, which makes `If-None-Match` → `304 Not Modified`
+//! conditional answers free *and* exactly as fresh as the cache itself.
+//!
+//! Bodies are stored as `Arc<[u8]>` and handed to responses by reference
+//! ([`crate::http::Body::Shared`]): a repeated query costs one hash
+//! lookup and a vectored write — no fold, no render, no copy. Eviction
+//! is byte-budgeted LRU under a single mutex (entries are whole
+//! responses; the critical section is a map probe, never a render).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Result-cache counters, cumulative since startup.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResultCacheStats {
+    /// Lookups answered from a cached rendered body.
+    pub hits: u64,
+    /// Lookups that fell through to fold + render.
+    pub misses: u64,
+    /// Entries evicted to stay under the byte budget.
+    pub evictions: u64,
+    /// Entries dropped because the store's generation changed.
+    pub invalidations: u64,
+    /// Rendered bytes currently resident.
+    pub bytes: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+}
+
+/// One cached rendered response, cheap to clone (`Arc` + small strings).
+#[derive(Debug, Clone)]
+pub struct CachedResult {
+    /// The rendered JSON body, shared with any in-flight response.
+    pub body: Arc<[u8]>,
+    /// Strong `ETag` derived from `(generation, params)`.
+    pub etag: String,
+    /// `X-Pinpoint-Chunks-Skipped` salvage accounting for the response.
+    pub chunks_skipped: u64,
+    /// `X-Pinpoint-Events-Lost` salvage accounting for the response.
+    pub events_lost: u64,
+}
+
+/// The strong `ETag` for a response: generation fingerprint + FNV-1a of
+/// the normalized params, both in fixed-width hex. Two requests get the
+/// same tag iff they normalize to the same params against the same
+/// on-disk bytes — the exact condition under which the daemon would
+/// serve byte-identical bodies.
+pub fn etag(generation: u64, params: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in params.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("\"g{generation:016x}-{h:016x}\"")
+}
+
+/// Whether an `If-None-Match` header value matches `etag` (`*` or any
+/// listed tag; we only ever emit strong tags, so comparison is literal).
+pub fn if_none_match(header: &str, etag: &str) -> bool {
+    header.split(',').any(|t| {
+        let t = t.trim();
+        t == "*" || t == etag
+    })
+}
+
+#[derive(Debug)]
+struct Entry {
+    result: CachedResult,
+    generation: u64,
+    bytes: u64,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<(String, String), Entry>,
+    bytes: u64,
+    tick: u64,
+}
+
+/// A byte-budgeted LRU cache of rendered response bodies, keyed by
+/// `(store name, normalized params)` and validated per-lookup against the
+/// store's current generation. A budget of 0 disables caching (every
+/// lookup is a miss, inserts are dropped).
+#[derive(Debug)]
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+    budget: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl ResultCache {
+    /// Creates a cache with the given byte budget (0 disables it).
+    pub fn new(budget_bytes: u64) -> Self {
+        ResultCache {
+            inner: Mutex::new(Inner::default()),
+            budget: budget_bytes,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up `(store, params)`, honoring the current `generation`: a
+    /// stale entry is removed (counted as an invalidation) and reported
+    /// as a miss, so a replaced store can never serve old bytes.
+    pub fn get(&self, store: &str, params: &str, generation: u64) -> Option<CachedResult> {
+        let mut inner = self.inner.lock().expect("result cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        // key probe without allocating: HashMap<(String,String)> can't be
+        // probed by (&str,&str), so this does one small key build on the
+        // miss path only when inserting; probes here pay the tuple alloc.
+        let key = (store.to_string(), params.to_string());
+        match inner.map.get_mut(&key) {
+            Some(e) if e.generation == generation => {
+                e.last_used = tick;
+                let r = e.result.clone();
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(r)
+            }
+            Some(_) => {
+                let e = inner.map.remove(&key).expect("probed entry present");
+                inner.bytes -= e.bytes;
+                drop(inner);
+                self.invalidations.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => {
+                drop(inner);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a rendered result for `(store, params)` at `generation`,
+    /// evicting least-recently-used entries to stay under the byte
+    /// budget (the just-inserted entry is never evicted; a single entry
+    /// may exceed the budget, mirroring the chunk cache). No-op when the
+    /// cache is disabled.
+    pub fn insert(&self, store: &str, params: &str, generation: u64, result: CachedResult) {
+        if self.budget == 0 {
+            return;
+        }
+        let key = (store.to_string(), params.to_string());
+        let bytes =
+            (result.body.len() + result.etag.len() + store.len() + params.len() + 64) as u64;
+        let mut inner = self.inner.lock().expect("result cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(old) = inner.map.insert(
+            key.clone(),
+            Entry {
+                result,
+                generation,
+                bytes,
+                last_used: tick,
+            },
+        ) {
+            inner.bytes -= old.bytes;
+        }
+        inner.bytes += bytes;
+        let mut evicted = 0;
+        while inner.bytes > self.budget && inner.map.len() > 1 {
+            let oldest = inner
+                .map
+                .iter()
+                .filter(|(k, _)| **k != key)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            match oldest {
+                Some(k) => {
+                    let e = inner.map.remove(&k).expect("oldest key present");
+                    inner.bytes -= e.bytes;
+                    evicted += 1;
+                }
+                None => break,
+            }
+        }
+        drop(inner);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// Drops every cached result of the given store (the catalog saw its
+    /// file replaced or deleted); each dropped entry counts as an
+    /// invalidation.
+    pub fn invalidate_store(&self, store: &str) {
+        let mut inner = self.inner.lock().expect("result cache poisoned");
+        let keys: Vec<_> = inner
+            .map
+            .keys()
+            .filter(|(s, _)| s == store)
+            .cloned()
+            .collect();
+        let n = keys.len() as u64;
+        for k in keys {
+            let e = inner.map.remove(&k).expect("key present");
+            inner.bytes -= e.bytes;
+        }
+        drop(inner);
+        if n > 0 {
+            self.invalidations.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// A consistent-enough snapshot of the counters.
+    pub fn stats(&self) -> ResultCacheStats {
+        let inner = self.inner.lock().expect("result cache poisoned");
+        ResultCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            bytes: inner.bytes,
+            entries: inner.map.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(body: &str, generation: u64, params: &str) -> CachedResult {
+        CachedResult {
+            body: Arc::from(body.as_bytes()),
+            etag: etag(generation, params),
+            chunks_skipped: 0,
+            events_lost: 0,
+        }
+    }
+
+    #[test]
+    fn hit_after_miss_shares_the_body() {
+        let c = ResultCache::new(1 << 20);
+        assert!(c.get("s", "q1", 7).is_none());
+        let r = result("{\"x\":1}", 7, "q1");
+        c.insert("s", "q1", 7, r.clone());
+        let hit = c.get("s", "q1", 7).expect("hit");
+        assert!(Arc::ptr_eq(&hit.body, &r.body), "body must be shared");
+        assert_eq!(hit.etag, r.etag);
+        let st = c.stats();
+        assert_eq!((st.hits, st.misses, st.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn generation_change_invalidates_on_access() {
+        let c = ResultCache::new(1 << 20);
+        c.insert("s", "q1", 7, result("old", 7, "q1"));
+        assert!(c.get("s", "q1", 8).is_none(), "stale generation must miss");
+        let st = c.stats();
+        assert_eq!(st.invalidations, 1);
+        assert_eq!(st.entries, 0);
+        assert_eq!(st.bytes, 0);
+    }
+
+    #[test]
+    fn lru_eviction_respects_the_byte_budget() {
+        // each entry costs ~64 + key/body/etag bytes; budget fits ~2
+        let unit = {
+            let c = ResultCache::new(1 << 20);
+            c.insert("s", "a", 1, result("0123456789", 1, "a"));
+            c.stats().bytes
+        };
+        let c = ResultCache::new(unit * 2 + unit / 2);
+        c.insert("s", "a", 1, result("0123456789", 1, "a"));
+        c.insert("s", "b", 1, result("0123456789", 1, "b"));
+        assert!(c.get("s", "a", 1).is_some(), "a still hot");
+        c.insert("s", "c", 1, result("0123456789", 1, "c"));
+        let st = c.stats();
+        assert!(st.evictions >= 1, "{st:?}");
+        assert!(st.bytes <= unit * 2 + unit / 2, "{st:?}");
+        assert!(c.get("s", "b", 1).is_none(), "b was least recently used");
+        assert!(c.get("s", "a", 1).is_some());
+        assert!(c.get("s", "c", 1).is_some());
+    }
+
+    #[test]
+    fn invalidate_store_clears_only_that_store() {
+        let c = ResultCache::new(1 << 20);
+        c.insert("a", "q", 1, result("x", 1, "q"));
+        c.insert("b", "q", 1, result("y", 1, "q"));
+        c.invalidate_store("a");
+        assert!(c.get("a", "q", 1).is_none());
+        assert!(c.get("b", "q", 1).is_some());
+        assert_eq!(c.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn zero_budget_disables_caching() {
+        let c = ResultCache::new(0);
+        c.insert("s", "q", 1, result("x", 1, "q"));
+        assert!(c.get("s", "q", 1).is_none());
+        assert_eq!(c.stats().entries, 0);
+    }
+
+    #[test]
+    fn etag_is_strong_and_distinct_per_generation_and_params() {
+        let a = etag(1, "q1");
+        assert!(a.starts_with('"') && a.ends_with('"'), "{a}");
+        assert_ne!(a, etag(2, "q1"));
+        assert_ne!(a, etag(1, "q2"));
+        assert_eq!(a, etag(1, "q1"));
+        assert!(if_none_match(&a.clone(), &a));
+        assert!(if_none_match("*", &a));
+        assert!(if_none_match(&format!("\"zz\", {a}"), &a));
+        assert!(!if_none_match("\"zz\"", &a));
+    }
+}

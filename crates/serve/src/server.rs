@@ -1,24 +1,40 @@
 //! The daemon core: accept loop, bounded admission queue, worker pool,
-//! and request routing.
+//! keep-alive connection handling, and request routing.
 //!
 //! Request lifecycle: the accept thread takes connections off the
 //! listener and pushes them onto a bounded queue. When the queue is at
-//! capacity the connection is answered `503 Retry-After: 1` *in the
-//! accept thread* and closed — load shedding costs one small write, never
-//! a worker, so the daemon degrades to fast refusals instead of growing
-//! an unbounded backlog or hanging clients. Queued connections are
-//! drained by a fixed pool of worker threads; each worker reads one
-//! request, routes it, writes the response, and closes.
+//! capacity the connection is answered 503 *in the accept thread* and
+//! closed — load shedding costs one small write, never a worker, so the
+//! daemon degrades to fast refusals instead of growing an unbounded
+//! backlog or hanging clients. The `Retry-After` value is derived from
+//! the queue's depth and the pool's drain width (`ceil(depth / workers)`,
+//! clamped to 1..=8 seconds): a barely-full queue says "come right back",
+//! a deep one backs clients off proportionally — and deterministically,
+//! so tests can assert the exact header.
+//!
+//! Queued connections are drained by a fixed pool of worker threads.
+//! Each worker owns one [`WorkerCtx`] — reusable connection buffers and a
+//! reusable render scratch — and serves up to
+//! [`ServeConfig::keepalive_requests`] requests per connection before
+//! closing it, honoring the client's `Connection` preference per request.
+//! A kept-alive request costs no allocation on the transport path: the
+//! read accumulator, response-head buffer, and JSON render scratch all
+//! persist across requests.
 //!
 //! Every store-reading endpoint folds per-chunk results in file order, so
 //! a response is byte-identical to the offline CLI on the same store —
-//! at any worker count, any per-request fan-out, and any cache state.
+//! at any worker count, any per-request fan-out, any cache state, and
+//! whether the connection is fresh or reused. Rendered `query`/`report`
+//! bodies are additionally memoized in a generation-aware
+//! [`ResultCache`], which also backs `ETag` / `If-None-Match` → `304`
+//! conditional answers (see [`crate::result_cache`]).
 
 use crate::cache::ChunkCache;
 use crate::catalog::{Catalog, CatalogError, StoreEntry};
-use crate::http::{error_body, read_request, ReadOutcome, Request, Response};
+use crate::http::{error_body, read_request, ConnBuffers, ReadOutcome, Request, Response};
 use crate::metrics::Metrics;
-use pinpoint_analysis::{query_json, report_json, OutlierCriteria, TraceReport};
+use crate::result_cache::{etag, if_none_match, CachedResult, ResultCache};
+use pinpoint_analysis::{OutlierCriteria, RenderScratch, TraceReport};
 use pinpoint_store::{Predicate, QueryResult, ReadPolicy, StoreError};
 use pinpoint_trace::json::{self, Json};
 use pinpoint_trace::{Category, EventKind};
@@ -41,10 +57,17 @@ pub struct ServeConfig {
     pub addr: String,
     /// Global decoded-chunk cache budget in bytes.
     pub cache_bytes: u64,
+    /// Rendered-result cache budget in bytes (0 disables it).
+    pub result_cache_bytes: u64,
     /// Worker threads draining the request queue.
     pub workers: usize,
     /// Admission-queue capacity; connections beyond it are shed with 503.
     pub queue_cap: usize,
+    /// Maximum requests served per kept-alive connection before the
+    /// daemon closes it (a fairness bound: one chatty client cannot pin a
+    /// worker forever). 0 behaves as 1 — every connection gets at least
+    /// one request.
+    pub keepalive_requests: usize,
     /// Per-request chunk-decode fan-out (results are identical at any
     /// value; >1 trades cross-request throughput for per-request latency).
     pub request_threads: usize,
@@ -58,8 +81,10 @@ impl Default for ServeConfig {
             catalog_dir: PathBuf::from("."),
             addr: "127.0.0.1:0".to_string(),
             cache_bytes: 256 << 20,
+            result_cache_bytes: 64 << 20,
             workers: pinpoint_parallel::configured_threads(),
             queue_cap: 64,
+            keepalive_requests: 128,
             request_threads: 1,
             shutdown_token: None,
         }
@@ -71,11 +96,21 @@ impl Default for ServeConfig {
 struct Shared {
     catalog: Catalog,
     cache: ChunkCache,
+    results: ResultCache,
     metrics: Metrics,
     queue: Mutex<VecDeque<TcpStream>>,
     ready: Condvar,
     stop: AtomicBool,
     config: ServeConfig,
+}
+
+/// Per-worker reusable state: connection buffers (read accumulator +
+/// response-head buffer) and the JSON render scratch. One per worker
+/// thread, reused across every connection and request it serves.
+#[derive(Debug)]
+struct WorkerCtx {
+    bufs: ConnBuffers,
+    render: RenderScratch,
 }
 
 /// A running daemon; dropping the handle does **not** stop it — call
@@ -122,6 +157,7 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
     let shared = Arc::new(Shared {
         catalog: Catalog::new(&config.catalog_dir),
         cache: ChunkCache::new(config.cache_bytes, 8),
+        results: ResultCache::new(config.result_cache_bytes),
         metrics: Metrics::default(),
         queue: Mutex::new(VecDeque::new()),
         ready: Condvar::new(),
@@ -144,6 +180,13 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
     })
 }
 
+/// Seconds a shed client should back off: how long the queue needs to
+/// drain at one request per worker per second, clamped to 1..=8. A
+/// pure function of observable state, so the header is deterministic.
+fn retry_after_secs(queue_depth: usize, workers: usize) -> u64 {
+    (queue_depth.div_ceil(workers.max(1)) as u64).clamp(1, 8)
+}
+
 fn accept_loop(listener: &TcpListener, shared: &Shared) {
     while !shared.stop.load(Ordering::SeqCst) {
         match listener.accept() {
@@ -153,13 +196,16 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
                 let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
                 let mut queue = shared.queue.lock().expect("queue poisoned");
                 if queue.len() >= shared.config.queue_cap {
+                    let depth = queue.len();
                     drop(queue);
                     shared.metrics.shed.fetch_add(1, Ordering::Relaxed);
                     shared.metrics.count_status(503);
+                    let retry = retry_after_secs(depth, shared.config.workers);
                     let resp = Response::new(503)
-                        .with_header("Retry-After", "1")
+                        .with_header("Retry-After", retry.to_string())
                         .with_json_body(error_body("request queue full"));
-                    let _ = resp.write_to(&mut stream);
+                    let mut head = Vec::new();
+                    let _ = resp.write_to(&mut stream, false, &mut head);
                 } else {
                     queue.push_back(stream);
                     drop(queue);
@@ -175,6 +221,10 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
 }
 
 fn worker_loop(shared: &Shared) {
+    let mut ctx = WorkerCtx {
+        bufs: ConnBuffers::new(),
+        render: RenderScratch::new(),
+    };
     loop {
         let stream = {
             let mut queue = shared.queue.lock().expect("queue poisoned");
@@ -193,43 +243,74 @@ fn worker_loop(shared: &Shared) {
             }
         };
         match stream {
-            Some(mut s) => handle_connection(shared, &mut s),
+            Some(mut s) => handle_connection(shared, &mut s, &mut ctx),
             None => return,
         }
     }
 }
 
-fn handle_connection(shared: &Shared, stream: &mut TcpStream) {
-    let outcome = match read_request(stream) {
-        Ok(o) => o,
-        Err(_) => return, // transport error (e.g. timeout): nothing to answer
-    };
-    let response = match outcome {
-        ReadOutcome::Closed => return,
-        ReadOutcome::Malformed(detail) => Response::new(400).with_json_body(error_body(detail)),
-        ReadOutcome::TooLarge(what) => {
-            let status = if what == "request head" { 431 } else { 413 };
-            Response::new(status).with_json_body(error_body(what))
+/// Serves one connection: up to `keepalive_requests` request/response
+/// cycles, closing early when the client asks (`Connection: close` or an
+/// HTTP/1.0 request without `keep-alive`), on any transport or framing
+/// error, or when the daemon is shutting down.
+fn handle_connection(shared: &Shared, stream: &mut TcpStream, ctx: &mut WorkerCtx) {
+    ctx.bufs.reset();
+    let budget = shared.config.keepalive_requests.max(1);
+    for served in 0..budget {
+        let outcome = match read_request(stream, &mut ctx.bufs) {
+            Ok(o) => o,
+            Err(_) => return, // transport error (e.g. timeout): nothing to answer
+        };
+        let (response, keep_alive) = match outcome {
+            ReadOutcome::Closed => return,
+            ReadOutcome::Malformed(detail) => {
+                // framing is broken: the next request boundary is unknowable
+                (Response::new(400).with_json_body(error_body(detail)), false)
+            }
+            ReadOutcome::TooLarge(what) => {
+                let status = if what == "request head" { 431 } else { 413 };
+                (
+                    Response::new(status).with_json_body(error_body(what)),
+                    false,
+                )
+            }
+            ReadOutcome::Ok(req) => {
+                if served > 0 {
+                    shared
+                        .metrics
+                        .keepalive_requests
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                let keep = req.wants_keep_alive()
+                    && served + 1 < budget
+                    && !shared.stop.load(Ordering::SeqCst);
+                (route(shared, &req, ctx), keep)
+            }
+        };
+        shared.metrics.count_status(response.status());
+        if response
+            .write_to(stream, keep_alive, &mut ctx.bufs.head_out)
+            .is_err()
+            || !keep_alive
+        {
+            return;
         }
-        ReadOutcome::Ok(req) => route(shared, &req),
-    };
-    shared.metrics.count_status(response.status());
-    let _ = response.write_to(stream);
+    }
 }
 
-fn route(shared: &Shared, req: &Request) -> Response {
+fn route(shared: &Shared, req: &Request, ctx: &mut WorkerCtx) -> Response {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["stores"]) => handle_stores(shared),
         ("GET", ["metrics"]) => handle_metrics(shared),
         ("POST", ["shutdown"]) => handle_shutdown(shared, req),
         ("GET", ["stores", name, "info"]) => with_store(shared, name, handle_info),
-        ("POST", ["stores", name, "query"]) => {
-            with_store(shared, name, |sh, e| handle_query(sh, e, req))
-        }
-        ("POST", ["stores", name, "report"]) => {
-            with_store(shared, name, |sh, e| handle_report(sh, e, req))
-        }
+        ("POST", ["stores", name, "query"]) => with_store(shared, name, |sh, e| {
+            handle_query(sh, e, req, &mut ctx.render)
+        }),
+        ("POST", ["stores", name, "report"]) => with_store(shared, name, |sh, e| {
+            handle_report(sh, e, req, &mut ctx.render)
+        }),
         ("GET", ["stores", _, "query" | "report"]) | ("POST", ["stores"] | ["metrics"]) => {
             Response::new(405).with_json_body(error_body("method not allowed"))
         }
@@ -237,14 +318,30 @@ fn route(shared: &Shared, req: &Request) -> Response {
     }
 }
 
+/// Resolves a store through the catalog and runs `f` on it. When the
+/// catalog reports that the on-disk file changed (reopen) or vanished
+/// (eviction), the superseded entry's chunks and rendered results are
+/// dropped from both cache tiers before answering.
 fn with_store(
     shared: &Shared,
     name: &str,
     f: impl FnOnce(&Shared, &StoreEntry) -> Response,
 ) -> Response {
     match shared.catalog.get(name) {
-        Ok(entry) => f(shared, &entry),
-        Err(CatalogError::NotFound) => {
+        Ok(resolved) => {
+            if let Some(stale) = resolved.stale_id {
+                shared.cache.invalidate_store(stale);
+                shared.results.invalidate_store(name);
+                shared.metrics.store_reopens.fetch_add(1, Ordering::Relaxed);
+            }
+            f(shared, &resolved.entry)
+        }
+        Err(CatalogError::NotFound { stale_id }) => {
+            if let Some(stale) = stale_id {
+                shared.cache.invalidate_store(stale);
+                shared.results.invalidate_store(name);
+                shared.metrics.store_reopens.fetch_add(1, Ordering::Relaxed);
+            }
             Response::new(404).with_json_body(error_body("store not found"))
         }
         Err(CatalogError::Open(e)) => {
@@ -267,7 +364,11 @@ fn handle_stores(shared: &Shared) -> Response {
 
 fn handle_metrics(shared: &Shared) -> Response {
     let depth = shared.queue.lock().expect("queue poisoned").len();
-    Response::json(shared.metrics.to_json(&shared.cache.stats(), depth))
+    Response::json(
+        shared
+            .metrics
+            .to_json(&shared.cache.stats(), &shared.results.stats(), depth),
+    )
 }
 
 fn handle_shutdown(shared: &Shared, req: &Request) -> Response {
@@ -421,7 +522,34 @@ fn cached_query(
     Ok(QueryResult { events, stats })
 }
 
-fn handle_query(shared: &Shared, entry: &StoreEntry, req: &Request) -> Response {
+/// Builds the 200 response for a cached (or just-rendered) result:
+/// `Arc`-shared body, strong `ETag`, salvage-accounting headers.
+fn ok_with_result(r: &CachedResult) -> Response {
+    Response::json_shared(Arc::clone(&r.body))
+        .with_header("ETag", r.etag.clone())
+        .with_header("X-Pinpoint-Chunks-Skipped", r.chunks_skipped.to_string())
+        .with_header("X-Pinpoint-Events-Lost", r.events_lost.to_string())
+}
+
+/// Answers a conditional request: when the client's `If-None-Match`
+/// covers the response's `ETag`, a body-less `304 Not Modified` replaces
+/// the 200 — valid even before anything is cached, because the strong
+/// tag is a pure function of `(generation, params)`.
+fn not_modified(shared: &Shared, req: &Request, tag: &str) -> Option<Response> {
+    let inm = req.header("if-none-match")?;
+    if !if_none_match(inm, tag) {
+        return None;
+    }
+    shared.metrics.not_modified.fetch_add(1, Ordering::Relaxed);
+    Some(Response::new(304).with_header("ETag", tag.to_string()))
+}
+
+fn handle_query(
+    shared: &Shared,
+    entry: &StoreEntry,
+    req: &Request,
+    render: &mut RenderScratch,
+) -> Response {
     shared.metrics.queries.fetch_add(1, Ordering::Relaxed);
     let body = match parse_body(req) {
         Ok(b) => b,
@@ -435,18 +563,40 @@ fn handle_query(shared: &Shared, entry: &StoreEntry, req: &Request) -> Response 
         Ok(v) => v.map(|v| v as usize).unwrap_or(20),
         Err(msg) => return Response::new(400).with_json_body(error_body(&msg)),
     };
+    // canonical cache key: requests that differ only in body spelling
+    // (field order, whitespace, label name vs id) collapse to one entry
+    let params = format!("query|{pred:?}|max={max}");
+    let tag = etag(entry.generation, &params);
+    if let Some(resp) = not_modified(shared, req, &tag) {
+        return resp;
+    }
+    if let Some(hit) = shared.results.get(&entry.name, &params, entry.generation) {
+        return ok_with_result(&hit);
+    }
     match cached_query(shared, entry, &pred) {
-        Ok(q) => Response::json(query_json(&q, max))
-            .with_header(
-                "X-Pinpoint-Chunks-Skipped",
-                q.stats.chunks_skipped.to_string(),
-            )
-            .with_header("X-Pinpoint-Events-Lost", q.stats.events_lost.to_string()),
+        Ok(q) => {
+            let result = CachedResult {
+                body: Arc::from(render.query(&q, max).as_bytes()),
+                etag: tag,
+                chunks_skipped: q.stats.chunks_skipped as u64,
+                events_lost: q.stats.events_lost,
+            };
+            let resp = ok_with_result(&result);
+            shared
+                .results
+                .insert(&entry.name, &params, entry.generation, result);
+            resp
+        }
         Err(e) => Response::new(500).with_json_body(error_body(&format!("query failed: {e}"))),
     }
 }
 
-fn handle_report(shared: &Shared, entry: &StoreEntry, req: &Request) -> Response {
+fn handle_report(
+    shared: &Shared,
+    entry: &StoreEntry,
+    req: &Request,
+    render: &mut RenderScratch,
+) -> Response {
     shared.metrics.reports.fetch_add(1, Ordering::Relaxed);
     let body = match parse_body(req) {
         Ok(b) => b,
@@ -471,6 +621,17 @@ fn handle_report(shared: &Shared, entry: &StoreEntry, req: &Request) -> Response
         min_ati_ns: (min_ati_ms * 1e6) as u64,
         min_size_bytes: (min_size_mb * 1e6) as usize,
     };
+    let params = format!(
+        "report|ati={}|size={}|max={max}",
+        criteria.min_ati_ns, criteria.min_size_bytes
+    );
+    let tag = etag(entry.generation, &params);
+    if let Some(resp) = not_modified(shared, req, &tag) {
+        return resp;
+    }
+    if let Some(hit) = shared.results.get(&entry.name, &params, entry.generation) {
+        return ok_with_result(&hit);
+    }
     let report = TraceReport::from_chunks(
         &entry.reader.footer().chunks,
         criteria,
@@ -483,12 +644,34 @@ fn handle_report(shared: &Shared, entry: &StoreEntry, req: &Request) -> Response
         },
     );
     match report {
-        Ok(d) => Response::json(report_json(&d, max))
-            .with_header(
-                "X-Pinpoint-Chunks-Skipped",
-                d.stats.chunks_skipped.to_string(),
-            )
-            .with_header("X-Pinpoint-Events-Lost", d.stats.events_lost.to_string()),
+        Ok(d) => {
+            let result = CachedResult {
+                body: Arc::from(render.report(&d, max).as_bytes()),
+                etag: tag,
+                chunks_skipped: d.stats.chunks_skipped as u64,
+                events_lost: d.stats.events_lost,
+            };
+            let resp = ok_with_result(&result);
+            shared
+                .results
+                .insert(&entry.name, &params, entry.generation, result);
+            resp
+        }
         Err(e) => Response::new(500).with_json_body(error_body(&format!("report failed: {e}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_after_scales_with_depth_and_drain_width() {
+        assert_eq!(retry_after_secs(1, 1), 1);
+        assert_eq!(retry_after_secs(4, 1), 4);
+        assert_eq!(retry_after_secs(4, 4), 1);
+        assert_eq!(retry_after_secs(9, 4), 3);
+        assert_eq!(retry_after_secs(1000, 1), 8, "clamped");
+        assert_eq!(retry_after_secs(0, 0), 1, "degenerate inputs stay sane");
     }
 }

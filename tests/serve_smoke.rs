@@ -2,7 +2,9 @@
 //! scripted TCP sessions against an in-process server, byte-identity
 //! against the CLI's offline `--json` output, salvage answers for damaged
 //! stores with exact loss accounting, deterministic overload shedding,
-//! and the `pinpoint-trace-tool serve` subcommand end to end.
+//! keep-alive sessions, result-cache behavior (hits, eviction,
+//! generation invalidation, conditional `304`s), and the
+//! `pinpoint-trace-tool serve` subcommand end to end.
 
 use pinpoint::core::{profile, ProfileConfig};
 use pinpoint::serve::{start, ServeConfig};
@@ -38,7 +40,9 @@ fn mlp_store(dir: &std::path::Path, name: &str) -> PathBuf {
     path
 }
 
-/// One request/response round trip over a fresh connection.
+/// One request/response round trip over a fresh connection. The request
+/// must carry `Connection: close` (the helpers below do) so reading to
+/// EOF terminates.
 fn roundtrip(addr: SocketAddr, request: &str) -> (u16, String, String) {
     let mut s = TcpStream::connect(addr).unwrap();
     s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
@@ -57,26 +61,67 @@ fn roundtrip(addr: SocketAddr, request: &str) -> (u16, String, String) {
 }
 
 fn get(addr: SocketAddr, path: &str) -> (u16, String, String) {
-    roundtrip(addr, &format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n"))
+    roundtrip(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"),
+    )
 }
 
 fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String, String) {
+    post_with(addr, path, body, "")
+}
+
+/// POST with extra raw header lines (each ending in `\r\n`).
+fn post_with(addr: SocketAddr, path: &str, body: &str, extra: &str) -> (u16, String, String) {
     roundtrip(
         addr,
         &format!(
-            "POST {path} HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+            "POST {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n{extra}\
+             Content-Length: {}\r\n\r\n{body}",
             body.len()
         ),
     )
 }
 
 fn header_u64(head: &str, name: &str) -> u64 {
+    header(head, name).parse().unwrap()
+}
+
+fn header<'a>(head: &'a str, name: &str) -> &'a str {
     head.lines()
         .find_map(|l| l.strip_prefix(&format!("{name}: ")))
         .unwrap_or_else(|| panic!("missing header {name} in:\n{head}"))
         .trim()
-        .parse()
+}
+
+/// Reads one `Content-Length`-framed response off a kept-alive stream
+/// without waiting for EOF.
+fn read_one_response(s: &mut TcpStream) -> (u16, String, String) {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(p) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break p;
+        }
+        let n = s.read(&mut chunk).unwrap();
+        assert!(n > 0, "EOF before response head");
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8(buf[..head_end].to_vec()).unwrap();
+    let len: usize = header(&head, "Content-Length").parse().unwrap();
+    while buf.len() < head_end + 4 + len {
+        let n = s.read(&mut chunk).unwrap();
+        assert!(n > 0, "EOF before response body");
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    let body = String::from_utf8(buf[head_end + 4..head_end + 4 + len].to_vec()).unwrap();
+    let status: u16 = head
+        .split_ascii_whitespace()
+        .nth(1)
         .unwrap()
+        .parse()
+        .unwrap();
+    (status, head, body)
 }
 
 /// The daemon's query and report responses are the same bytes as the
@@ -200,6 +245,218 @@ fn corrupt_store_answers_with_exact_loss_accounting() {
     assert_eq!(status, 200);
     assert!(header_u64(&head, "X-Pinpoint-Events-Lost") > 0);
 
+    // the result cache must carry the loss headers on a hit, too
+    let (status, head, _) = post(addr, "/stores/hurt/report", "");
+    assert_eq!(status, 200);
+    assert!(header_u64(&head, "X-Pinpoint-Events-Lost") > 0);
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A repeated query is served from the result cache — and the cached
+/// bytes are identical to the cold ones, at one worker and at four.
+#[test]
+fn result_cache_hits_are_byte_identical_across_worker_counts() {
+    let dir = tmp_catalog("result-hit");
+    mlp_store(&dir, "mlp");
+    let mut bodies = Vec::new();
+    for workers in [1usize, 4] {
+        let handle = start(ServeConfig {
+            catalog_dir: dir.clone(),
+            workers,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = handle.addr();
+        let q = "{\"kind\":\"malloc\",\"max\":9}";
+        let (status, cold_head, cold) = post(addr, "/stores/mlp/query", q);
+        assert_eq!(status, 200);
+        // spelled differently, same canonical params → same cache entry
+        let (status, warm_head, warm) =
+            post(addr, "/stores/mlp/query", "{\"max\":9,\"kind\":\"malloc\"}");
+        assert_eq!(status, 200);
+        assert_eq!(cold, warm, "hit bytes diverge at {workers} workers");
+        assert_eq!(header(&cold_head, "ETag"), header(&warm_head, "ETag"));
+        let (_, _, metrics) = get(addr, "/metrics");
+        assert!(metrics.contains("\"result_hits\":1"), "{metrics}");
+        assert!(metrics.contains("\"result_misses\":1"), "{metrics}");
+        bodies.push(cold);
+        handle.shutdown();
+    }
+    assert_eq!(bodies[0], bodies[1], "bytes diverge across worker counts");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Under a result-cache budget too small for two entries, distinct
+/// queries evict each other — visibly in `/metrics`, and without ever
+/// changing response bytes.
+#[test]
+fn result_cache_evicts_under_a_tiny_budget() {
+    let dir = tmp_catalog("result-evict");
+    mlp_store(&dir, "mlp");
+    let handle = start(ServeConfig {
+        catalog_dir: dir.clone(),
+        workers: 1,
+        result_cache_bytes: 600, // roughly one small rendered body
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr();
+    let (_, _, first) = post(addr, "/stores/mlp/query", "{\"kind\":\"free\",\"max\":1}");
+    for max in 2..6 {
+        let (status, _, _) = post(
+            addr,
+            "/stores/mlp/query",
+            &format!("{{\"kind\":\"free\",\"max\":{max}}}"),
+        );
+        assert_eq!(status, 200);
+    }
+    let (_, _, again) = post(addr, "/stores/mlp/query", "{\"kind\":\"free\",\"max\":1}");
+    assert_eq!(first, again, "eviction must never change bytes");
+    let (_, _, metrics) = get(addr, "/metrics");
+    let evictions: u64 = metrics
+        .split("\"result_evictions\":")
+        .nth(1)
+        .and_then(|s| s.split(|c: char| !c.is_ascii_digit()).next())
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(evictions >= 1, "{metrics}");
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Replacing a `.ptrc` in place (same name, new bytes) is detected on the
+/// next access: the store reopens, both cache tiers invalidate, and the
+/// response reflects the new bytes — never a stale cached answer.
+#[test]
+fn replaced_store_serves_fresh_bytes_and_invalidates_caches() {
+    let dir = tmp_catalog("replace");
+    let path = mlp_store(&dir, "mlp");
+    let handle = start(ServeConfig {
+        catalog_dir: dir.clone(),
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr();
+    let q = "{\"kind\":\"malloc\",\"max\":50}";
+    let (status, old_head, old_body) = post(addr, "/stores/mlp/query", q);
+    assert_eq!(status, 200);
+    // warm the result cache so staleness would be easy to get wrong
+    let (_, _, warm) = post(addr, "/stores/mlp/query", q);
+    assert_eq!(old_body, warm);
+
+    // replace in place with a different trace (fewer epochs → different
+    // length, so the generation fingerprint changes even on coarse mtime)
+    let report = profile(&ProfileConfig::mlp_case_study(2)).unwrap();
+    write_store_file(&report.trace, &path).unwrap();
+
+    let (status, new_head, new_body) = post(addr, "/stores/mlp/query", q);
+    assert_eq!(status, 200);
+    assert_ne!(old_body, new_body, "must not serve the stale store");
+    assert_ne!(header(&old_head, "ETag"), header(&new_head, "ETag"));
+    // fresh bytes match the offline reader on the new file
+    let reader = SharedStoreReader::open_with_policy(&path, ReadPolicy::Salvage).unwrap();
+    let want = reader
+        .query(&Predicate::any().with_kind(EventKind::Malloc), 1)
+        .unwrap();
+    assert_eq!(new_body, pinpoint::analysis::query_json(&want, 50));
+
+    let (_, _, metrics) = get(addr, "/metrics");
+    assert!(metrics.contains("\"store_reopens\":1"), "{metrics}");
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Conditional requests: a matching `If-None-Match` gets a body-less
+/// `304 Not Modified`; after the store is replaced the old tag no longer
+/// matches and the same request gets a full `200` with a new tag.
+#[test]
+fn conditional_requests_flow_304_then_200_after_replacement() {
+    let dir = tmp_catalog("etag");
+    let path = mlp_store(&dir, "mlp");
+    let handle = start(ServeConfig {
+        catalog_dir: dir.clone(),
+        workers: 1,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr();
+    let q = "{\"kind\":\"write\",\"max\":3}";
+    let (status, head, body) = post(addr, "/stores/mlp/query", q);
+    assert_eq!(status, 200);
+    assert!(!body.is_empty());
+    let tag = header(&head, "ETag").to_string();
+
+    let inm = format!("If-None-Match: {tag}\r\n");
+    let (status, head, body) = post_with(addr, "/stores/mlp/query", q, &inm);
+    assert_eq!(status, 304, "matching tag revalidates");
+    assert!(body.is_empty(), "304 carries no body: {body:?}");
+    assert_eq!(header(&head, "ETag"), tag, "304 echoes the tag");
+
+    // a non-matching tag is a plain 200
+    let (status, _, _) = post_with(addr, "/stores/mlp/query", q, "If-None-Match: \"stale\"\r\n");
+    assert_eq!(status, 200);
+
+    // replace the store: the old tag must stop matching
+    let report = profile(&ProfileConfig::mlp_case_study(2)).unwrap();
+    write_store_file(&report.trace, &path).unwrap();
+    let (status, head, body) = post_with(addr, "/stores/mlp/query", q, &inm);
+    assert_eq!(status, 200, "old tag must not validate a replaced store");
+    assert!(!body.is_empty());
+    assert_ne!(header(&head, "ETag"), tag);
+
+    let (_, _, metrics) = get(addr, "/metrics");
+    assert!(metrics.contains("\"not_modified\":1"), "{metrics}");
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A kept-alive session gets byte-identical bodies to one-shot
+/// connections, across both cold and cached responses.
+#[test]
+fn keep_alive_session_matches_one_shot_bytes() {
+    let dir = tmp_catalog("keepalive");
+    mlp_store(&dir, "mlp");
+    let handle = start(ServeConfig {
+        catalog_dir: dir.clone(),
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr();
+    let q = "{\"kind\":\"malloc\",\"max\":11}";
+    let (_, _, want) = post(addr, "/stores/mlp/query", q);
+
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let req = format!(
+        "POST /stores/mlp/query HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{q}",
+        q.len()
+    );
+    for i in 0..4 {
+        s.write_all(req.as_bytes()).unwrap();
+        let (status, head, got) = read_one_response(&mut s);
+        assert_eq!(status, 200, "request {i}");
+        assert_eq!(header(&head, "Connection"), "keep-alive", "{head}");
+        assert_eq!(got, want, "kept-alive bytes diverge on request {i}");
+    }
+    // the client can still end the session explicitly
+    let bye = format!(
+        "POST /stores/mlp/query HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\
+         Content-Length: {}\r\n\r\n{q}",
+        q.len()
+    );
+    s.write_all(bye.as_bytes()).unwrap();
+    let (status, head, got) = read_one_response(&mut s);
+    assert_eq!(status, 200);
+    assert_eq!(header(&head, "Connection"), "close", "{head}");
+    assert_eq!(got, want);
+    let mut rest = Vec::new();
+    s.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "server must close after Connection: close");
     handle.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -254,13 +511,14 @@ fn overload_sheds_a_deterministic_503() {
     // c1 pins the single worker: it sends half a request and stalls
     let mut c1 = TcpStream::connect(addr).unwrap();
     c1.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
-    c1.write_all(b"GET /stores HTTP/1.1\r\nHost:").unwrap();
+    c1.write_all(b"GET /stores HTTP/1.1\r\nConnection: close\r\nHost:")
+        .unwrap();
     std::thread::sleep(Duration::from_millis(200));
 
     // c2 fills the one queue slot
     let mut c2 = TcpStream::connect(addr).unwrap();
     c2.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
-    c2.write_all(b"GET /stores HTTP/1.1\r\nHost: x\r\n\r\n")
+    c2.write_all(b"GET /stores HTTP/1.1\r\nConnection: close\r\nHost: x\r\n\r\n")
         .unwrap();
     std::thread::sleep(Duration::from_millis(200));
 
@@ -287,6 +545,64 @@ fn overload_sheds_a_deterministic_503() {
     let (status, _, body) = get(addr, "/metrics");
     assert_eq!(status, 200);
     assert!(body.contains("\"shed\":1"), "{body}");
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `Retry-After` scales with queue depth: a four-deep backlog draining
+/// through one worker backs the shed client off for four seconds.
+#[test]
+fn deeper_queue_backs_shed_clients_off_longer() {
+    let dir = tmp_catalog("shed-deep");
+    mlp_store(&dir, "mlp");
+    let handle = start(ServeConfig {
+        catalog_dir: dir.clone(),
+        workers: 1,
+        queue_cap: 4,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr();
+
+    // pin the single worker with a half-sent request
+    let mut pin = TcpStream::connect(addr).unwrap();
+    pin.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    pin.write_all(b"GET /stores HTTP/1.1\r\nConnection: close\r\nHost:")
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+
+    // fill all four queue slots
+    let mut queued = Vec::new();
+    for _ in 0..4 {
+        let mut c = TcpStream::connect(addr).unwrap();
+        c.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        c.write_all(b"GET /stores HTTP/1.1\r\nConnection: close\r\nHost: x\r\n\r\n")
+            .unwrap();
+        queued.push(c);
+    }
+    std::thread::sleep(Duration::from_millis(300));
+
+    // the next connection is shed with the depth-derived backoff
+    let mut shed = TcpStream::connect(addr).unwrap();
+    shed.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut refusal = Vec::new();
+    shed.read_to_end(&mut refusal).unwrap();
+    let refusal = String::from_utf8(refusal).unwrap();
+    assert!(refusal.starts_with("HTTP/1.1 503"), "{refusal}");
+    assert!(
+        refusal.contains("Retry-After: 4"),
+        "ceil(4 / 1) = 4: {refusal}"
+    );
+
+    // un-stall the pin; every admitted request still completes
+    pin.write_all(b" x\r\n\r\n").unwrap();
+    for c in std::iter::once(&mut pin).chain(queued.iter_mut()) {
+        let mut buf = Vec::new();
+        c.read_to_end(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200"), "{text}");
+    }
     handle.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -327,12 +643,37 @@ fn cli_serve_round_trip() {
     assert_eq!(status, 200);
     assert_eq!(body, "{\"stores\":[\"mlp\"]}");
 
+    // a kept-alive session against the real process, ETag reuse included
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let q = "{\"kind\":\"malloc\",\"max\":2}";
+    let req = format!(
+        "POST /stores/mlp/query HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{q}",
+        q.len()
+    );
+    s.write_all(req.as_bytes()).unwrap();
+    let (status, head, body) = read_one_response(&mut s);
+    assert_eq!(status, 200);
+    assert!(!body.is_empty());
+    let tag = header(&head, "ETag").to_string();
+    let cond = format!(
+        "POST /stores/mlp/query HTTP/1.1\r\nHost: x\r\nIf-None-Match: {tag}\r\n\
+         Content-Length: {}\r\n\r\n{q}",
+        q.len()
+    );
+    s.write_all(cond.as_bytes()).unwrap();
+    let (status, _, body) = read_one_response(&mut s);
+    assert_eq!(status, 304, "same connection, same tag → 304");
+    assert!(body.is_empty());
+    drop(s);
+
     // shutdown requires the token, then the process exits cleanly
     let (status, _, _) = post(addr, "/shutdown", "");
     assert_eq!(status, 403);
     let (status, _, _) = roundtrip(
         addr,
-        "POST /shutdown HTTP/1.1\r\nHost: x\r\nX-Pinpoint-Token: tok\r\nContent-Length: 0\r\n\r\n",
+        "POST /shutdown HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\
+         X-Pinpoint-Token: tok\r\nContent-Length: 0\r\n\r\n",
     );
     assert_eq!(status, 204);
     let status = child.wait().unwrap();
