@@ -329,6 +329,7 @@ impl FusedPipeline {
         reader: &mut StoreReader<R>,
         threads: usize,
     ) -> io::Result<FusedOutputs> {
+        let _run_span = pinpoint_obs::tracer().span_with("engine.run", self.folds.len() as u64);
         let policy = self.read_policy.unwrap_or_else(|| reader.policy());
         let chunks_total = reader.num_chunks();
         let mut stats = FusedStats {
@@ -337,6 +338,7 @@ impl FusedPipeline {
         };
         let mut candidates: Vec<usize> = Vec::new();
         if !self.folds.is_empty() {
+            let _prune_span = pinpoint_obs::tracer().span("engine.prune");
             let union = self.union_predicate();
             for (i, m) in reader.footer().chunks.iter().enumerate() {
                 if union.matches_chunk(m) {
@@ -360,10 +362,12 @@ impl FusedPipeline {
                 &candidates,
                 threads,
                 |_, _, batch| (fold_chunk_batch(folds, &preds, batch), batch.len() as u64),
-                |_, meta, res| match res {
+                |i, meta, res| match res {
                     Ok((accs, n)) => {
                         stats.chunks_decoded += 1;
                         stats.events_scanned += n;
+                        let _merge_span =
+                            pinpoint_obs::tracer().span_with("engine.merge", i as u64);
                         merged = merge_accs(folds, merged.take(), accs);
                         Ok(())
                     }
@@ -411,6 +415,7 @@ impl FusedPipeline {
     where
         F: Fn(usize, &ChunkMeta) -> Result<std::sync::Arc<ColumnBatch>, StoreError> + Sync,
     {
+        let _run_span = pinpoint_obs::tracer().span_with("engine.run", self.folds.len() as u64);
         let chunks_total = index.len();
         let mut stats = FusedStats {
             chunks_total,
@@ -418,6 +423,7 @@ impl FusedPipeline {
         };
         let mut candidates: Vec<usize> = Vec::new();
         if !self.folds.is_empty() {
+            let _prune_span = pinpoint_obs::tracer().span("engine.prune");
             let union = self.union_predicate();
             for (i, m) in index.iter().enumerate() {
                 if union.matches_chunk(m) {
@@ -431,8 +437,13 @@ impl FusedPipeline {
         let preds: Vec<Predicate> = self.folds.iter().map(|f| f.predicate_dyn()).collect();
         let folds = &self.folds;
         let mapped = pinpoint_parallel::map_ordered(candidates, threads, |i| {
-            let res = fetch(i, &index[i])
-                .map(|batch| (fold_chunk_batch(folds, &preds, &batch), batch.len() as u64));
+            let _chunk_span = pinpoint_obs::tracer().span_with("engine.chunk", i as u64);
+            let batch = {
+                let _fetch_span = pinpoint_obs::tracer().span_with("engine.fetch", i as u64);
+                fetch(i, &index[i])
+            };
+            let res =
+                batch.map(|batch| (fold_chunk_batch(folds, &preds, &batch), batch.len() as u64));
             (i, res)
         });
         let mut merged: Option<Vec<DynAcc>> = None;
@@ -441,6 +452,7 @@ impl FusedPipeline {
                 Ok((accs, n)) => {
                     stats.chunks_decoded += 1;
                     stats.events_scanned += n;
+                    let _merge_span = pinpoint_obs::tracer().span_with("engine.merge", i as u64);
                     merged = merge_accs(folds, merged.take(), accs);
                 }
                 Err(e) if policy == ReadPolicy::Salvage && e.is_corruption() => {
@@ -463,6 +475,7 @@ impl FusedPipeline {
     /// chunk pruning happens here — there is no index — but per-fold
     /// event predicates still apply.
     pub fn run_trace(&self, trace: &Trace, threads: usize) -> FusedOutputs {
+        let _run_span = pinpoint_obs::tracer().span_with("engine.run", self.folds.len() as u64);
         let chunks: Vec<&[MemEvent]> = trace.events().chunks(DEFAULT_CHUNK_EVENTS).collect();
         let chunks_total = chunks.len();
         let preds: Vec<Predicate> = self.folds.iter().map(|f| f.predicate_dyn()).collect();
@@ -487,6 +500,7 @@ impl FusedPipeline {
 
     /// Merged accumulators → outputs (empty input → empty-fold outputs).
     fn finalize(&self, merged: Option<Vec<DynAcc>>, stats: FusedStats) -> FusedOutputs {
+        let _finish_span = pinpoint_obs::tracer().span("engine.finish");
         let accs = merged.unwrap_or_else(|| self.folds.iter().map(|f| f.new_acc_dyn()).collect());
         let outputs = self
             .folds
@@ -508,6 +522,7 @@ fn fold_chunk_batch(
     preds: &[Predicate],
     batch: &ColumnBatch,
 ) -> Vec<DynAcc> {
+    let _fold_span = pinpoint_obs::tracer().span_with("engine.fold", batch.len() as u64);
     let mut accs: Vec<DynAcc> = folds.iter().map(|f| f.new_acc_dyn()).collect();
     let mut shared: Vec<usize> = Vec::new();
     for (j, fold) in folds.iter().enumerate() {
@@ -533,6 +548,7 @@ fn fold_chunk_batch(
 /// Folds one chunk of already-materialized events into fresh per-fold
 /// accumulators (the [`FusedPipeline::run_trace`] path).
 fn fold_chunk(folds: &[Box<dyn DynFold>], preds: &[Predicate], events: &[MemEvent]) -> Vec<DynAcc> {
+    let _fold_span = pinpoint_obs::tracer().span_with("engine.fold", events.len() as u64);
     let mut accs: Vec<DynAcc> = folds.iter().map(|f| f.new_acc_dyn()).collect();
     for e in events {
         for ((fold, pred), acc) in folds.iter().zip(preds).zip(&mut accs) {

@@ -14,6 +14,16 @@
 //! regression guard on every CI bench-smoke run. The scan accounting
 //! (including the v3-only `chunks_pruned_by_label` counter) lands in the
 //! JSON.
+//!
+//! This bench also carries the observability overhead guard: the hot
+//! paths are instrumented with `pinpoint-obs` spans, and with the
+//! tracer **disabled** (the default) each span site must cost one
+//! relaxed atomic load — asserted three ways: no span records and no
+//! span buffers appear during the measured runs, a repeated (warm)
+//! fused scan performs zero decode-buffer reallocations, and the
+//! measured fused time stays within 5% of the recorded
+//! `BENCH_report.json` baseline (plus a small absolute timer-noise
+//! slack, since 5% of a few ms sits near scheduler jitter).
 
 use pinpoint_analysis::{
     AtiDataset, AtiFold, BreakdownFold, BreakdownRow, FusedPipeline, GanttFold, GanttRect,
@@ -25,6 +35,7 @@ use pinpoint_bench::{criterion_group, criterion_main};
 use pinpoint_core::{profile, ProfileConfig};
 use pinpoint_data::DatasetSpec;
 use pinpoint_models::{Architecture, ResNetDepth};
+use pinpoint_obs::tracer;
 use pinpoint_store::{write_store_chunked, write_store_chunked_v2, StoreReader};
 use pinpoint_trace::{PeakUsage, Trace};
 use std::io::Cursor;
@@ -154,6 +165,58 @@ fn bench(c: &mut Criterion) {
         .num_chunks();
     assert!(chunks > 1, "trace must span several chunks, got {chunks}");
 
+    // recorded fused_ns baseline per thread count from the previous run
+    // (the committed BENCH_report.json); absent or unparseable skips the
+    // overhead guard — a fresh checkout's first run records it instead
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_report.json");
+    let baseline: Vec<(u64, u64)> = std::fs::read_to_string(out)
+        .ok()
+        .and_then(|s| pinpoint_trace::json::parse(&s).ok())
+        .and_then(|j| {
+            Some(
+                j.get("runs")?
+                    .as_arr()?
+                    .iter()
+                    .filter_map(|r| {
+                        Some((r.get("threads")?.as_u64()?, r.get("fused_ns")?.as_u64()?))
+                    })
+                    .collect(),
+            )
+        })
+        .unwrap_or_default();
+
+    // the span sites on the scan/decode/fold hot paths must be inert
+    // while the tracer is disabled (the default): record the counters
+    // now, assert below that the measured runs moved neither
+    assert!(
+        !tracer().enabled(),
+        "benches measure the tracing-disabled fast path"
+    );
+    let span_records_before = tracer().total_records();
+    let span_bufs_before = tracer().buffer_allocs();
+
+    // warm-scan zero-allocation: the same reader running the fused
+    // five-fold twice must not grow its decode scratch pool the second
+    // time (the per-chunk zero-alloc contract the obs spans ride on)
+    {
+        let mut r = StoreReader::new(Cursor::new(bytes.clone())).expect("open");
+        let run = |r: &mut StoreReader<Cursor<Vec<u8>>>| {
+            let mut pipe = FusedPipeline::new();
+            let h = pipe.register(AtiFold);
+            let mut out = pipe.run_store(r, 4).expect("run");
+            out.take(h).len()
+        };
+        let cold = run(&mut r);
+        let warmed = r.decode_reallocs();
+        let warm = run(&mut r);
+        assert_eq!(cold, warm);
+        assert_eq!(
+            r.decode_reallocs(),
+            warmed,
+            "warm fused scan must perform zero decode-buffer reallocations"
+        );
+    }
+
     let mut per_thread = Vec::new();
     for threads in [1usize, 4] {
         let (seq, seq_decoded) = sequential_five_pass(&bytes, t_end, threads);
@@ -199,6 +262,17 @@ fn bench(c: &mut Criterion) {
             "v3 fused report regressed past v2 at threads={threads}: \
              v3 {fused_ns} ns vs v2 {fused_v2_ns} ns"
         );
+        // tracing-disabled overhead guard: within 5% of the recorded
+        // baseline plus 250us absolute slack — 5% of a few-ms run sits
+        // near scheduler jitter, so the relative bound alone would flap
+        if let Some(&(_, base_ns)) = baseline.iter().find(|(t, _)| *t == threads as u64) {
+            let bound = base_ns as u128 + (base_ns as u128) / 20 + 250_000;
+            assert!(
+                fused_ns <= bound,
+                "fused run with tracing disabled regressed past the recorded \
+                 baseline at threads={threads}: {fused_ns} ns vs {base_ns} ns (+5% +250us)"
+            );
+        }
         let speedup = seq_ns as f64 / fused_ns as f64;
         let v3_speedup = fused_v2_ns as f64 / fused_ns as f64;
         println!(
@@ -216,6 +290,19 @@ fn bench(c: &mut Criterion) {
         ));
     }
 
+    // every measured run above went through the instrumented hot paths;
+    // with the tracer disabled none of them may have touched it
+    assert_eq!(
+        tracer().total_records(),
+        span_records_before,
+        "disabled tracer must record no spans during the bench"
+    );
+    assert_eq!(
+        tracer().buffer_allocs(),
+        span_bufs_before,
+        "disabled tracer must allocate no span buffers during the bench"
+    );
+
     let json = format!(
         "{{\"bench\":\"fused_report\",\"events\":{events},\"chunks\":{chunks},\
          \"passes\":5,\"v2_store_bytes\":{},\"v3_store_bytes\":{},\
@@ -224,7 +311,6 @@ fn bench(c: &mut Criterion) {
         bytes.len(),
         per_thread.join(",")
     );
-    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_report.json");
     if let Err(e) = std::fs::write(out, json) {
         eprintln!("could not write {out}: {e}");
     }

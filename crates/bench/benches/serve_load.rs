@@ -3,9 +3,13 @@
 //! Profiles ResNet-18, publishes the store through an in-process daemon,
 //! and drives it with concurrent clients at fan-outs of 1, 2, 4 and 8.
 //! Each client issues a seeded mix of `report` and `query` requests over
-//! plain `TcpStream`s and records per-request wall time. The bench
-//! reports p50/p99 latency, aggregate throughput, and the chunk-cache
-//! hit rate (from `/metrics`) per fan-out in `BENCH_serve.json`.
+//! plain `TcpStream`s and records per-request wall time into the shared
+//! log2-bucketed [`pinpoint_obs::Histogram`] — the same histogram the
+//! daemon's `/metrics` latency section uses, so bench and daemon report
+//! identically-bucketed numbers. The bench reports exact-rank p50/p99
+//! (bucket upper bounds), aggregate throughput, the chunk-cache hit
+//! rate (from `/metrics`), and the raw nonzero bucket boundaries and
+//! counts per fan-out in `BENCH_serve.json`.
 //!
 //! A second phase drives the *repeated-query* fast path: the same
 //! `report` request over and over, once against a baseline daemon with
@@ -32,6 +36,7 @@ use pinpoint_bench::{criterion_group, criterion_main};
 use pinpoint_core::{profile, ProfileConfig};
 use pinpoint_data::DatasetSpec;
 use pinpoint_models::{Architecture, ResNetDepth};
+use pinpoint_obs::Histogram;
 use pinpoint_serve::{start, ServeConfig};
 use pinpoint_tensor::rng::Rng64;
 use std::io::{Read, Write};
@@ -130,40 +135,28 @@ fn metric(body: &str, key: &str) -> u64 {
 }
 
 /// Drives `clients` concurrent request loops, `per_client` requests
-/// each, all from seeded RNGs. Returns (latencies_ns, elapsed_ns) —
-/// latencies sorted ascending across all clients.
-fn drive(addr: SocketAddr, clients: usize, per_client: usize, seed: u64) -> (Vec<u64>, u64) {
+/// each, all from seeded RNGs. Every request's wall time is recorded
+/// straight into the shared lock-free [`Histogram`] from all client
+/// threads at once. Returns (latency histogram, elapsed_ns).
+fn drive(addr: SocketAddr, clients: usize, per_client: usize, seed: u64) -> (Histogram, u64) {
+    let hist = Histogram::new();
     let t0 = Instant::now();
-    let lats = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..clients)
-            .map(|c| {
-                scope.spawn(move || {
-                    let mut rng = Rng64::seed_from_u64(seed ^ (c as u64).wrapping_mul(0x9e37));
-                    let mut lats = Vec::with_capacity(per_client);
-                    for _ in 0..per_client {
-                        let (path, body) = request_body(&mut rng);
-                        let t = Instant::now();
-                        let (status, body) = post(addr, path, &body);
-                        lats.push(t.elapsed().as_nanos() as u64);
-                        assert_eq!(status, 200, "{body}");
-                    }
-                    lats
-                })
-            })
-            .collect();
-        let mut all: Vec<u64> = handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("client thread"))
-            .collect();
-        all.sort_unstable();
-        all
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let hist = &hist;
+            scope.spawn(move || {
+                let mut rng = Rng64::seed_from_u64(seed ^ (c as u64).wrapping_mul(0x9e37));
+                for _ in 0..per_client {
+                    let (path, body) = request_body(&mut rng);
+                    let t = Instant::now();
+                    let (status, body) = post(addr, path, &body);
+                    hist.record(t.elapsed().as_nanos() as u64);
+                    assert_eq!(status, 200, "{body}");
+                }
+            });
+        }
     });
-    (lats, t0.elapsed().as_nanos() as u64)
-}
-
-fn percentile(sorted: &[u64], p: f64) -> u64 {
-    let i = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[i]
+    (hist, t0.elapsed().as_nanos() as u64)
 }
 
 fn bench(c: &mut Criterion) {
@@ -217,7 +210,7 @@ fn bench(c: &mut Criterion) {
             .1,
             "cache_hits",
         );
-        let (lats, elapsed_ns) = drive(addr, clients, per_client, 0xC0FFEE);
+        let (hist, elapsed_ns) = drive(addr, clients, per_client, 0xC0FFEE);
         let after = roundtrip(
             addr,
             "GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
@@ -245,17 +238,30 @@ fn bench(c: &mut Criterion) {
         );
         assert_eq!(got, want_query, "query bytes drift at {clients} clients");
 
-        let p50 = percentile(&lats, 0.50);
-        let p99 = percentile(&lats, 0.99);
+        let snap = hist.snapshot();
+        assert_eq!(snap.count(), (clients * per_client) as u64);
+        let p50 = snap.percentile(50.0);
+        let p99 = snap.percentile(99.0);
         println!(
             "serve_load: {clients} clients: p50 {p50} ns, p99 {p99} ns, \
              {throughput:.1} req/s, cache hit rate {:.2}",
             hit_rate
         );
+        // the raw distribution: every nonzero log2 bucket as
+        // [lo_ns, hi_ns, count] — the same bucketing the daemon's
+        // /metrics latency section uses
+        let buckets: Vec<String> = snap
+            .nonzero_buckets()
+            .iter()
+            .map(|(lo, hi, n)| format!("[{lo},{hi},{n}]"))
+            .collect();
         per_fanout.push(format!(
             "{{\"clients\":{clients},\"requests\":{},\"p50_ns\":{p50},\"p99_ns\":{p99},\
-             \"throughput_rps\":{throughput:.2},\"cache_hit_rate\":{hit_rate:.4}}}",
-            clients * per_client
+             \"mean_ns\":{},\"throughput_rps\":{throughput:.2},\"cache_hit_rate\":{hit_rate:.4},\
+             \"latency_buckets\":[{}]}}",
+            clients * per_client,
+            snap.mean(),
+            buckets.join(",")
         ));
     }
 

@@ -3,6 +3,7 @@
 //! ```text
 //! pinpoint-trace-tool summary   trace.{json|ptrc}
 //! pinpoint-trace-tool report    trace.{json|ptrc} [--min-ati-ms N] [--min-size-mb N] [--max N] [--json]
+//!                               [--timing] [--trace-out FILE]
 //! pinpoint-trace-tool ati       trace.{json|ptrc}
 //! pinpoint-trace-tool outliers  trace.{json|ptrc} [--min-ati-ms N] [--min-size-mb N]
 //! pinpoint-trace-tool breakdown trace.{json|ptrc}
@@ -18,6 +19,7 @@
 //!                               [--block-min N] [--block-max N] [--kind K]...
 //!                               [--category C]... [--min-size-bytes N]
 //!                               [--op-label NAME|ID] [--max N] [--json]
+//!                               [--timing] [--trace-out FILE]
 //! pinpoint-trace-tool serve     --catalog DIR [--addr HOST:PORT] [--cache-bytes N]
 //!                               [--result-cache-bytes N] [--keepalive N]
 //!                               [--threads N] [--queue N] [--shutdown-token TOK]
@@ -54,6 +56,14 @@
 //! is what the serve smoke tests assert. `serve` hosts a directory of
 //! `.ptrc` stores over HTTP with a shared decoded-chunk cache and
 //! admission control; stop it with the token-gated `POST /shutdown`.
+//!
+//! `report` and `query` accept two self-observability flags backed by
+//! the in-process tracer (`pinpoint-obs`): `--timing` prints a stage
+//! breakdown table (span name, count, total time) to **stderr** after
+//! the normal output — stderr because stage durations are wall-clock
+//! and therefore not byte-deterministic, while stdout stays so — and
+//! `--trace-out FILE` writes the full span tree as Chrome
+//! `trace_event` JSON, loadable in Perfetto or `chrome://tracing`.
 //!
 //! Produce a trace with `pinpoint_trace::export::write_json` or stream one
 //! straight to disk with `pinpoint_store::StoreWriter` (the
@@ -94,6 +104,53 @@ fn flag_strings<'a>(args: &'a [String], name: &str) -> Vec<&'a str> {
         .filter_map(|(i, _)| args.get(i + 1))
         .map(String::as_str)
         .collect()
+}
+
+/// Self-observability flags shared by `report` and `query`.
+struct ObsFlags {
+    timing: bool,
+    trace_out: Option<String>,
+}
+
+/// Parses `--timing` / `--trace-out FILE` and, when either is present,
+/// arms the in-process tracer (cleared first so the snapshot holds only
+/// this command's spans).
+fn obs_flags(args: &[String]) -> ObsFlags {
+    let flags = ObsFlags {
+        timing: args.iter().any(|a| a == "--timing"),
+        trace_out: flag_str(args, "--trace-out").map(String::from),
+    };
+    if flags.timing || flags.trace_out.is_some() {
+        let t = pinpoint_obs::tracer();
+        t.clear();
+        t.set_enabled(true);
+    }
+    flags
+}
+
+/// After the command ran: prints the `--timing` stage table (to stderr —
+/// durations are wall-clock, so stdout stays byte-deterministic) and
+/// writes the `--trace-out` Chrome trace JSON.
+fn obs_finish(flags: &ObsFlags) -> Result<(), String> {
+    if !flags.timing && flags.trace_out.is_none() {
+        return Ok(());
+    }
+    let snap = pinpoint_obs::tracer().snapshot();
+    if flags.timing {
+        eprintln!("{:<16} {:>8} {:>12}", "stage", "count", "total");
+        for (name, count, total_ns) in snap.totals_by_name() {
+            eprintln!("{name:<16} {count:>8} {:>12}", human_time(total_ns));
+        }
+    }
+    if let Some(path) = &flags.trace_out {
+        std::fs::write(path, snap.to_chrome_json())
+            .map_err(|e| format!("cannot write trace to {path}: {e}"))?;
+        eprintln!(
+            "wrote {} span(s) to {path} (Chrome trace_event JSON)",
+            snap.len()
+        );
+    }
+    Ok(())
 }
 
 /// Whether the file starts with the `.ptrc` magic bytes.
@@ -245,6 +302,7 @@ fn print_gantt(rects: &[GanttRect], max: usize) {
 /// fused engine — one decode per surviving chunk, no full-trace
 /// materialization, byte-identical output to the JSON path.
 fn cmd_store_analysis(cmd: &str, path: &str, args: &[String]) -> Result<(), String> {
+    let obs = obs_flags(args);
     let mut reader = open_store(path)?;
     let fail = |e: std::io::Error| format!("cannot analyze store {path}: {e}");
     match cmd {
@@ -282,7 +340,7 @@ fn cmd_store_analysis(cmd: &str, path: &str, args: &[String]) -> Result<(), Stri
         }
         other => return Err(format!("`{other}` has no store-direct path")),
     }
-    Ok(())
+    obs_finish(&obs)
 }
 
 fn cmd_convert(input: &str, output: &str) -> Result<(), String> {
@@ -455,6 +513,7 @@ fn cmd_info(path: &str, verify: bool) -> Result<(), String> {
 }
 
 fn cmd_query(path: &str, args: &[String]) -> Result<(), String> {
+    let obs = obs_flags(args);
     let mut reader = open_store(path)?;
     let mut pred = Predicate::any();
     let t0 = flag_value(args, "--t0-us");
@@ -499,7 +558,7 @@ fn cmd_query(path: &str, args: &[String]) -> Result<(), String> {
         .map_err(|e| format!("query on {path} failed: {e}"))?;
     if args.iter().any(|a| a == "--json") {
         println!("{}", query_json(&q, max));
-        return Ok(());
+        return obs_finish(&obs);
     }
     let labels = reader.footer().labels.clone();
     let by_label = if q.stats.chunks_pruned_by_label > 0 {
@@ -538,7 +597,7 @@ fn cmd_query(path: &str, args: &[String]) -> Result<(), String> {
     if q.events.len() > max {
         println!("... {} more events (raise --max)", q.events.len() - max);
     }
-    Ok(())
+    obs_finish(&obs)
 }
 
 /// `serve`: host a directory of `.ptrc` stores over HTTP until a
@@ -733,6 +792,7 @@ fn main() -> ExitCode {
         "report" => {
             let (_, _, criteria) = outlier_flags(&args);
             let max = flag_value(&args, "--max").unwrap_or(30.0) as usize;
+            let obs = obs_flags(&args);
             let d = TraceReport::from_trace(
                 &trace,
                 criteria,
@@ -742,6 +802,10 @@ fn main() -> ExitCode {
                 println!("{}", report_json(&d, max));
             } else {
                 print!("{}", render_trace_report(&d, max));
+            }
+            if let Err(e) = obs_finish(&obs) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
             }
         }
         "ops" => {

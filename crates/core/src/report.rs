@@ -5,36 +5,11 @@
 use crate::figures::{Fig2Data, Fig3Data, Fig4Data};
 use pinpoint_analysis::BreakdownRow;
 pub use pinpoint_analysis::TraceReport;
+// the single definitions live in `pinpoint-obs` (the bottom of the
+// workspace graph) so store/analysis/serve share them; re-exported here
+// for the CLI and every existing `pinpoint_core::report` caller
+pub use pinpoint_obs::{human_bytes, human_time};
 use std::fmt::Write as _;
-
-/// Formats a byte count with a decimal human unit — powers of 1000, i.e.
-/// the paper's KB/MB/GB usage.
-pub fn human_bytes(bytes: u64) -> String {
-    let b = bytes as f64;
-    if b >= 1e9 {
-        format!("{:.2} GB", b / 1e9)
-    } else if b >= 1e6 {
-        format!("{:.2} MB", b / 1e6)
-    } else if b >= 1e3 {
-        format!("{:.2} KB", b / 1e3)
-    } else {
-        format!("{bytes} B")
-    }
-}
-
-/// Formats nanoseconds as the paper's µs/ms/s units.
-pub fn human_time(ns: u64) -> String {
-    let t = ns as f64;
-    if t >= 1e9 {
-        format!("{:.3} s", t / 1e9)
-    } else if t >= 1e6 {
-        format!("{:.2} ms", t / 1e6)
-    } else if t >= 1e3 {
-        format!("{:.2} us", t / 1e3)
-    } else {
-        format!("{ns} ns")
-    }
-}
 
 /// Renders Fig. 2 as a text summary: the first rectangles of the Gantt
 /// chart and the periodicity verdict.

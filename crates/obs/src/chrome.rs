@@ -1,0 +1,194 @@
+//! Span exports: Chrome `trace_event` JSON and folded flamegraph stacks.
+//!
+//! # Trace-JSON schema
+//!
+//! The Chrome export is an object with a single `traceEvents` array of
+//! complete (`"ph":"X"`) events:
+//!
+//! ```json
+//! {"traceEvents":[
+//!   {"name":"store.chunk","ph":"X","pid":1,"tid":3,
+//!    "ts":12.345,"dur":6.789,
+//!    "args":{"depth":1,"ticket":4,"arg":2}}
+//! ]}
+//! ```
+//!
+//! * `ts`/`dur` are microseconds with nanosecond precision (three
+//!   decimals), relative to the tracer epoch;
+//! * `tid` is the track ordinal + 1 (`pid` is always 1);
+//! * `args.depth` and `args.ticket` carry the exact tree: sorting a
+//!   `tid`'s events by `ticket` is a preorder walk, and `depth` closes
+//!   subtrees — consumers (and our round-trip tests) rebuild the span
+//!   hierarchy without relying on timestamp containment;
+//! * `args.arg` appears only on spans recorded with an argument.
+//!
+//! The output is plain JSON parseable by `pinpoint_trace::json` and
+//! loadable in Perfetto / `chrome://tracing`. The folded export emits
+//! one `path stack;leaf <self-time-ns>` line per unique stack with
+//! non-zero self time, sorted, ready for `flamegraph.pl`-style tooling.
+
+use crate::span::{TraceSnapshot, NO_ARG};
+use std::fmt::Write as _;
+
+impl TraceSnapshot {
+    /// Serializes the snapshot as Chrome `trace_event` JSON.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::with_capacity(128 + self.len() * 96);
+        out.push_str("{\"traceEvents\":[");
+        let mut first = true;
+        for track in &self.tracks {
+            for rec in &track.records {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{}.{:03},\"dur\":{}.{:03},\"args\":{{\"depth\":{},\"ticket\":{}",
+                    escape(rec.name),
+                    track.ord + 1,
+                    rec.start_ns / 1_000,
+                    rec.start_ns % 1_000,
+                    rec.dur_ns / 1_000,
+                    rec.dur_ns % 1_000,
+                    rec.depth,
+                    rec.ticket,
+                );
+                if rec.arg != NO_ARG {
+                    let _ = write!(out, ",\"arg\":{}", rec.arg);
+                }
+                out.push_str("}}");
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Serializes the snapshot as folded flamegraph stacks (self time
+    /// per unique path, in nanoseconds), sorted by path.
+    pub fn to_folded(&self) -> String {
+        let mut self_ns: std::collections::BTreeMap<String, u64> =
+            std::collections::BTreeMap::new();
+        // inclusive time per path, then subtract each span's children
+        self.walk_paths(|_, rec, path| {
+            *self_ns.entry(path.to_string()).or_insert(0) += rec.dur_ns;
+        });
+        let child_sums: Vec<(String, u64)> = self_ns
+            .keys()
+            .map(|path| {
+                let mut children = 0u64;
+                // a child path is `path;name` with no further ';'
+                // boundary before its own children — sum only direct
+                // children's inclusive time
+                for (p, inc) in self_ns.range::<str, _>((
+                    std::ops::Bound::Excluded(path.as_str()),
+                    std::ops::Bound::Unbounded,
+                )) {
+                    if !p.starts_with(path.as_str()) {
+                        break;
+                    }
+                    let rest = &p[path.len()..];
+                    if let Some(tail) = rest.strip_prefix(';') {
+                        if !tail.contains(';') {
+                            children += inc;
+                        }
+                    }
+                }
+                (path.clone(), children)
+            })
+            .collect();
+        let mut out = String::new();
+        for (path, children) in child_sums {
+            let inclusive = self_ns[&path];
+            let own = inclusive.saturating_sub(children);
+            if own > 0 {
+                let _ = writeln!(out, "{} {}", path, own);
+            }
+        }
+        out
+    }
+}
+
+/// Minimal JSON string escaper (span names are static identifiers, but
+/// the output must stay well-formed for any name).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::span::{test_lock, tracer};
+
+    #[test]
+    fn chrome_json_is_well_formed() {
+        let _l = test_lock();
+        let t = tracer();
+        t.clear();
+        t.set_enabled(true);
+        {
+            let _a = t.span("outer");
+            let _b = t.span_with("inner", 5);
+        }
+        t.set_enabled(false);
+        let json = t.snapshot().to_chrome_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"outer\""));
+        assert!(json.contains("\"name\":\"inner\""));
+        assert!(json.contains("\"arg\":5"));
+        assert!(json.contains("\"ph\":\"X\""));
+        // balanced braces (no nested strings with braces in span names)
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+        t.clear();
+    }
+
+    #[test]
+    fn folded_subtracts_child_time() {
+        let _l = test_lock();
+        let t = tracer();
+        t.clear();
+        t.set_enabled(true);
+        {
+            let _a = t.span("root");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _b = t.span("child");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        t.set_enabled(false);
+        let folded = t.snapshot().to_folded();
+        let mut root_self = None;
+        let mut child_self = None;
+        for line in folded.lines() {
+            let (path, ns) = line.rsplit_once(' ').unwrap();
+            let ns: u64 = ns.parse().unwrap();
+            if path == "root" {
+                root_self = Some(ns);
+            }
+            if path == "root;child" {
+                child_self = Some(ns);
+            }
+        }
+        let root_self = root_self.expect("root line");
+        let child_self = child_self.expect("child line");
+        let totals = t.snapshot().totals_by_name();
+        let root_total = totals.iter().find(|(n, _, _)| *n == "root").unwrap().2;
+        // root's self time excludes the child's ~2ms of inclusive time
+        assert!(root_self < root_total, "{root_self} vs {root_total}");
+        assert!(child_self >= 1_000_000, "{child_self}");
+        t.clear();
+    }
+}

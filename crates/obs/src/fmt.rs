@@ -1,0 +1,48 @@
+//! Human-readable byte and duration formatting — the single definition
+//! shared by every crate's output path (`pinpoint_core::report` re-exports
+//! these for the CLI and figure renderers).
+
+/// Formats a byte count with a decimal human unit — powers of 1000, i.e.
+/// the paper's KB/MB/GB usage.
+pub fn human_bytes(bytes: u64) -> String {
+    let b = bytes as f64;
+    if b >= 1e9 {
+        format!("{:.2} GB", b / 1e9)
+    } else if b >= 1e6 {
+        format!("{:.2} MB", b / 1e6)
+    } else if b >= 1e3 {
+        format!("{:.2} KB", b / 1e3)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+/// Formats nanoseconds as the paper's µs/ms/s units.
+pub fn human_time(ns: u64) -> String {
+    let t = ns as f64;
+    if t >= 1e9 {
+        format!("{:.3} s", t / 1e9)
+    } else if t >= 1e6 {
+        format!("{:.2} ms", t / 1e6)
+    } else if t >= 1e3 {
+        format!("{:.2} us", t / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_units() {
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(79_370), "79.37 KB");
+        assert_eq!(human_bytes(1_200_000_000), "1.20 GB");
+        assert_eq!(human_time(500), "500 ns");
+        assert_eq!(human_time(25_000), "25.00 us");
+        assert_eq!(human_time(840_210_000), "840.21 ms");
+        assert_eq!(human_time(2_500_000_000), "2.500 s");
+    }
+}

@@ -1,0 +1,258 @@
+//! Lock-free log2-bucketed latency histograms.
+//!
+//! Values (nanoseconds, byte counts — any `u64`) land in the bucket
+//! indexed by their bit length: value `0` in bucket 0, and `v > 0` in
+//! bucket `64 - v.leading_zeros()`, i.e. bucket `i >= 1` covers
+//! `[2^(i-1), 2^i - 1]`. 65 fixed buckets cover the whole `u64` range, so
+//! recording is a single relaxed `fetch_add` with no allocation and no
+//! locking, safe from any number of threads.
+//!
+//! Percentiles are **exact-rank**: `percentile(p)` computes the rank
+//! `ceil(p/100 * n)` and walks the cumulative counts to the bucket that
+//! contains that rank, reporting the bucket's upper bound — a value `>=`
+//! the true percentile, within one power of two. That bound is the right
+//! shape for latency SLO reporting (never under-reports) and keeps the
+//! extraction allocation-free.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log2 buckets in a [`Histogram`] (bit lengths 0..=64).
+pub const HIST_BUCKETS: usize = 65;
+
+/// Bucket index for a value: its bit length.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i`.
+fn bucket_upper(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        64 => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+/// Inclusive lower bound of bucket `i`.
+fn bucket_lower(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        _ => 1u64 << (i - 1),
+    }
+}
+
+/// A concurrent log2-bucketed histogram of `u64` samples.
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count.load(Ordering::Relaxed))
+            .field("sum", &self.sum.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. Lock-free; callable from any thread.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Takes a point-in-time copy of the bucket counts.
+    ///
+    /// Concurrent recorders may land between the individual bucket loads;
+    /// the snapshot is internally consistent enough for reporting (each
+    /// bucket count is itself exact at some instant, and `count` is
+    /// re-derived from the copied buckets).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HIST_BUCKETS];
+        for (i, b) in self.buckets.iter().enumerate() {
+            buckets[i] = b.load(Ordering::Relaxed);
+        }
+        let count = buckets.iter().sum();
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Exact-rank percentile over the live counters (see module docs).
+    pub fn percentile(&self, p: f64) -> u64 {
+        self.snapshot().percentile(p)
+    }
+
+    /// Resets every bucket to zero (tests and per-run scoping).
+    pub fn clear(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`]'s buckets.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total samples in the snapshot.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples in the snapshot.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Exact-rank percentile: the upper bound of the bucket containing
+    /// rank `ceil(p/100 * count)`. Returns 0 when empty; `p` is clamped
+    /// to `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0 * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(i);
+            }
+        }
+        bucket_upper(HIST_BUCKETS - 1)
+    }
+
+    /// The occupied buckets as `(lower, upper, count)` triples, in value
+    /// order — the shape `BENCH_serve.json` and `/metrics` publish.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_lower(i), bucket_upper(i), c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_bit_lengths() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for i in 1..HIST_BUCKETS {
+            assert_eq!(bucket_of(bucket_lower(i)), i);
+            assert_eq!(bucket_of(bucket_upper(i)), i);
+        }
+    }
+
+    #[test]
+    fn exact_rank_percentiles() {
+        let h = Histogram::new();
+        // 100 samples: 50 fast (~100ns bucket), 40 medium (~10us), 10 slow (~1ms)
+        for _ in 0..50 {
+            h.record(100);
+        }
+        for _ in 0..40 {
+            h.record(10_000);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 100);
+        // rank 50 lands in the 100ns bucket [64,127]
+        assert_eq!(s.percentile(50.0), 127);
+        // rank 90 lands in the 10us bucket [8192,16383]
+        assert_eq!(s.percentile(90.0), 16_383);
+        // rank 99 lands in the 1ms bucket [524288,1048575]
+        assert_eq!(s.percentile(99.0), 1_048_575);
+        assert_eq!(s.percentile(100.0), 1_048_575);
+        assert!(s.percentile(50.0) <= s.percentile(90.0));
+        let nz = s.nonzero_buckets();
+        assert_eq!(nz.len(), 3);
+        assert_eq!(nz[0].2 + nz[1].2 + nz[2].2, 100);
+    }
+
+    #[test]
+    fn empty_and_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(99.0), 0);
+        h.record(0);
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.snapshot().nonzero_buckets(), vec![(0, 0, 1)]);
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        use std::sync::Arc;
+        let h = Arc::new(Histogram::new());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+        assert_eq!(h.snapshot().count(), 4000);
+    }
+}

@@ -1,0 +1,61 @@
+//! # pinpoint-obs
+//!
+//! Self-observability for the `pinpoint` stack — the instrumentation
+//! substrate the paper's own method implies: you cannot optimize what you
+//! cannot pinpoint, and that holds for the analysis pipeline itself just
+//! as much as for the DNN training loops it studies. Every later
+//! optimization (ROADMAP items 2–4) starts from the per-stage timings this
+//! crate records.
+//!
+//! Three pieces, all std-only and shared by every layer above:
+//!
+//! * [`Tracer`] — hierarchical timed spans recorded into per-thread ring
+//!   buffers through an RAII [`SpanGuard`]. Span *structure* (names,
+//!   nesting, per-chunk arguments) is deterministic for a given workload
+//!   at any thread count; only durations vary. When disabled (the
+//!   default) a span open/close is a single relaxed atomic load and
+//!   performs **zero allocation** — the guard never touches thread-local
+//!   state, mirroring the store's `decode_reallocs()` zero-alloc
+//!   contract. Snapshots export as Chrome `trace_event` JSON (loadable in
+//!   Perfetto / `chrome://tracing`) and as folded-stack flamegraph lines.
+//! * [`Histogram`] — lock-free log2-bucketed latency histogram with
+//!   exact-rank p50/p90/p99 extraction.
+//! * [`Registry`] — named counters, gauges, and histograms with a
+//!   deterministic, registration-ordered snapshot; the backing store for
+//!   the serve daemon's `/metrics` endpoint.
+//!
+//! The byte/duration pretty-printers ([`human_bytes`], [`human_time`])
+//! also live here — this crate sits at the bottom of the workspace graph,
+//! so `store`, `analysis`, `serve`, and `core` can all share one
+//! definition (`pinpoint_core::report` re-exports them for existing
+//! callers).
+//!
+//! # Example
+//!
+//! ```
+//! use pinpoint_obs::tracer;
+//!
+//! tracer().set_enabled(true);
+//! {
+//!     let _outer = tracer().span("report");
+//!     let _inner = tracer().span_with("store.chunk", 3);
+//! } // guards close in LIFO order
+//! let snap = tracer().snapshot();
+//! assert_eq!(snap.paths(), vec!["report".to_string(), "report;store.chunk".to_string()]);
+//! tracer().set_enabled(false);
+//! tracer().clear();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod chrome;
+mod fmt;
+mod hist;
+mod registry;
+mod span;
+
+pub use fmt::{human_bytes, human_time};
+pub use hist::{Histogram, HistogramSnapshot, HIST_BUCKETS};
+pub use registry::{Counter, Gauge, Registry, RegistrySnapshot};
+pub use span::{tracer, SpanGuard, SpanRecord, ThreadTrack, TraceSnapshot, Tracer, NO_ARG};

@@ -1,0 +1,195 @@
+//! A unified registry of named counters, gauges, and histograms.
+//!
+//! Handles are cheap `Arc` clones over relaxed atomics, so hot paths
+//! touch no locks; the registry's own mutex is taken only at
+//! registration time (get-or-create by name) and when snapshotting.
+//! Snapshots list every metric in **registration order**, which makes
+//! rendered output (the serve daemon's `/metrics` JSON) deterministic.
+
+use crate::hist::{Histogram, HistogramSnapshot};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter handle.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge handle.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Named metrics, created on first use and listed in registration order.
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<Vec<(&'static str, Counter)>>,
+    gauges: Mutex<Vec<(&'static str, Gauge)>>,
+    hists: Mutex<Vec<(&'static str, Arc<Histogram>)>>,
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = self.counters.lock().map(|v| v.len()).unwrap_or(0);
+        let g = self.gauges.lock().map(|v| v.len()).unwrap_or(0);
+        let h = self.hists.lock().map(|v| v.len()).unwrap_or(0);
+        f.debug_struct("Registry")
+            .field("counters", &c)
+            .field("gauges", &g)
+            .field("histograms", &h)
+            .finish()
+    }
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter named `name`, creating it at zero on first use.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        let mut v = self.counters.lock().unwrap();
+        if let Some((_, c)) = v.iter().find(|(n, _)| *n == name) {
+            return c.clone();
+        }
+        let c = Counter::default();
+        v.push((name, c.clone()));
+        c
+    }
+
+    /// Returns the gauge named `name`, creating it at zero on first use.
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        let mut v = self.gauges.lock().unwrap();
+        if let Some((_, g)) = v.iter().find(|(n, _)| *n == name) {
+            return g.clone();
+        }
+        let g = Gauge::default();
+        v.push((name, g.clone()));
+        g
+    }
+
+    /// Returns the histogram named `name`, creating it empty on first use.
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        let mut v = self.hists.lock().unwrap();
+        if let Some((_, h)) = v.iter().find(|(n, _)| *n == name) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(Histogram::new());
+        v.push((name, Arc::clone(&h)));
+        h
+    }
+
+    /// Copies every metric's current value, in registration order.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: self
+                .counters
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(n, c)| (*n, c.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(n, g)| (*n, g.get()))
+                .collect(),
+            hists: self
+                .hists
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(n, h)| (*n, h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Registry`], in registration order.
+#[derive(Debug, Clone)]
+pub struct RegistrySnapshot {
+    /// `(name, value)` for every counter.
+    pub counters: Vec<(&'static str, u64)>,
+    /// `(name, value)` for every gauge.
+    pub gauges: Vec<(&'static str, u64)>,
+    /// `(name, snapshot)` for every histogram.
+    pub hists: Vec<(&'static str, HistogramSnapshot)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_shares_state() {
+        let r = Registry::new();
+        r.counter("a").inc();
+        r.counter("a").add(2);
+        assert_eq!(r.counter("a").get(), 3);
+        r.gauge("depth").set(7);
+        assert_eq!(r.gauge("depth").get(), 7);
+        r.histogram("lat").record(100);
+        assert_eq!(r.histogram("lat").count(), 1);
+    }
+
+    #[test]
+    fn snapshot_preserves_registration_order() {
+        let r = Registry::new();
+        r.counter("z");
+        r.counter("a");
+        r.counter("m");
+        let names: Vec<_> = r.snapshot().counters.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["z", "a", "m"]);
+    }
+
+    #[test]
+    fn concurrent_counting_is_exact() {
+        let r = Registry::new();
+        let c = r.counter("hits");
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(r.counter("hits").get(), 80_000);
+    }
+}

@@ -1,0 +1,627 @@
+//! Hierarchical timed spans with per-thread ring buffers.
+//!
+//! # Model
+//!
+//! A span is opened with [`Tracer::span`] (or [`Tracer::span_with`] to
+//! attach a `u64` argument such as a chunk index) and closed when the
+//! returned [`SpanGuard`] drops — RAII guarantees every opened span
+//! closes, and LIFO drop order guarantees well-formed nesting. Each OS
+//! thread records into its own fixed-capacity ring buffer, so recording
+//! never blocks another thread and memory stays bounded: when a ring
+//! fills, the **oldest** records are overwritten and counted in
+//! [`ThreadTrack::dropped`].
+//!
+//! Completed spans carry a per-track `ticket` assigned at *open* time, so
+//! sorting a track's records by ticket yields a preorder traversal of the
+//! span forest; together with the recorded `depth` this reconstructs the
+//! exact tree. Span *structure* — names, nesting, arguments — is
+//! deterministic for a given workload at any thread count (worker threads
+//! start their own roots; canonicalize with
+//! [`TraceSnapshot::relative_paths`] to compare across thread counts).
+//! Only durations and track assignment vary.
+//!
+//! # Cost
+//!
+//! Disabled (the default): one relaxed atomic load per open, nothing per
+//! close, **zero allocation** — thread-local state is never created, the
+//! mirror of the store's `decode_reallocs()` contract
+//! ([`Tracer::buffer_allocs`] stays flat, asserted in tests). Enabled:
+//! two `Instant` reads and two uncontended per-thread mutex hops per
+//! span; ring buffers are allocated once per worker thread and recycled
+//! through a free list when threads exit, so repeated scans do not grow
+//! memory.
+
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Sentinel for "no argument" on a span.
+pub const NO_ARG: u64 = u64::MAX;
+
+/// Default per-thread ring capacity, in records (~56 B each).
+const DEFAULT_CAPACITY: usize = 16_384;
+
+/// One completed span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Static span label (e.g. `"store.chunk"`).
+    pub name: &'static str,
+    /// Per-track open-order ticket; sorting by it gives preorder.
+    pub ticket: u64,
+    /// Open time, nanoseconds since the tracer epoch.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Nesting depth at open (0 = thread root).
+    pub depth: u16,
+    /// User argument ([`NO_ARG`] when absent).
+    pub arg: u64,
+}
+
+struct Ring {
+    records: Vec<SpanRecord>,
+    cap: usize,
+    head: usize,
+    dropped: u64,
+    next_ticket: u64,
+}
+
+impl Ring {
+    fn push(&mut self, rec: SpanRecord) {
+        if self.records.len() < self.cap {
+            self.records.push(rec);
+        } else {
+            self.records[self.head] = rec;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    fn in_order(&self) -> Vec<SpanRecord> {
+        let mut out = Vec::with_capacity(self.records.len());
+        out.extend_from_slice(&self.records[self.head..]);
+        out.extend_from_slice(&self.records[..self.head]);
+        // records are written at close time; re-sort by open ticket so
+        // each track reads as a preorder traversal
+        out.sort_by_key(|r| r.ticket);
+        out
+    }
+}
+
+struct ThreadBuf {
+    ord: u32,
+    ring: Mutex<Ring>,
+}
+
+struct ThreadState {
+    buf: Arc<ThreadBuf>,
+    stack: Vec<OpenSpan>,
+}
+
+struct OpenSpan {
+    name: &'static str,
+    ticket: u64,
+    start_ns: u64,
+    arg: u64,
+}
+
+impl Drop for ThreadState {
+    fn drop(&mut self) {
+        // recycle the ring so short-lived scan workers don't grow the
+        // track list without bound
+        tracer().free.lock().unwrap().push(Arc::clone(&self.buf));
+    }
+}
+
+thread_local! {
+    static TLS: RefCell<Option<ThreadState>> = const { RefCell::new(None) };
+}
+
+/// The process-wide span recorder. Obtain it with [`tracer`].
+pub struct Tracer {
+    enabled: AtomicBool,
+    epoch: Instant,
+    tracks: Mutex<Vec<Arc<ThreadBuf>>>,
+    free: Mutex<Vec<Arc<ThreadBuf>>>,
+    capacity: AtomicUsize,
+    next_ord: AtomicU32,
+    buf_allocs: AtomicU64,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.enabled())
+            .field("tracks", &self.tracks.lock().map(|t| t.len()).unwrap_or(0))
+            .finish()
+    }
+}
+
+/// Returns the process-wide [`Tracer`] (disabled until
+/// [`Tracer::set_enabled`] turns it on).
+pub fn tracer() -> &'static Tracer {
+    static TRACER: OnceLock<Tracer> = OnceLock::new();
+    TRACER.get_or_init(|| Tracer {
+        enabled: AtomicBool::new(false),
+        epoch: Instant::now(),
+        tracks: Mutex::new(Vec::new()),
+        free: Mutex::new(Vec::new()),
+        capacity: AtomicUsize::new(DEFAULT_CAPACITY),
+        next_ord: AtomicU32::new(0),
+        buf_allocs: AtomicU64::new(0),
+    })
+}
+
+impl Tracer {
+    /// Whether spans are currently recorded.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns recording on or off. Spans opened while disabled stay
+    /// unrecorded even if recording is enabled before they close.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Sets the ring capacity (records per thread) for buffers allocated
+    /// after this call; existing buffers keep their size.
+    pub fn set_capacity(&self, records: usize) {
+        self.capacity.store(records.max(16), Ordering::Relaxed);
+    }
+
+    /// Nanoseconds since the tracer epoch (the clock spans are stamped
+    /// with) — for callers that measure intervals manually and record
+    /// them via [`Tracer::record_at`].
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Opens a span; it closes (and is recorded) when the guard drops.
+    #[inline]
+    pub fn span(&'static self, name: &'static str) -> SpanGuard {
+        self.span_with(name, NO_ARG)
+    }
+
+    /// Opens a span carrying a `u64` argument (chunk index, request id).
+    #[inline]
+    pub fn span_with(&'static self, name: &'static str, arg: u64) -> SpanGuard {
+        if !self.enabled() {
+            return SpanGuard {
+                active: false,
+                _not_send: PhantomData,
+            };
+        }
+        let start_ns = self.now_ns();
+        TLS.with(|cell| {
+            let mut slot = cell.borrow_mut();
+            let st = slot.get_or_insert_with(|| self.new_thread_state());
+            let ticket = {
+                let mut ring = st.buf.ring.lock().unwrap();
+                let t = ring.next_ticket;
+                ring.next_ticket += 1;
+                t
+            };
+            st.stack.push(OpenSpan {
+                name,
+                ticket,
+                start_ns,
+                arg,
+            });
+        });
+        SpanGuard {
+            active: true,
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Records an already-measured interval as a completed span at the
+    /// current nesting depth — for durations that cannot be scoped by a
+    /// guard, such as cross-thread queue wait. No-op while disabled.
+    pub fn record_at(&'static self, name: &'static str, start_ns: u64, dur_ns: u64, arg: u64) {
+        if !self.enabled() {
+            return;
+        }
+        TLS.with(|cell| {
+            let mut slot = cell.borrow_mut();
+            let st = slot.get_or_insert_with(|| self.new_thread_state());
+            let depth = st.stack.len() as u16;
+            let mut ring = st.buf.ring.lock().unwrap();
+            let ticket = ring.next_ticket;
+            ring.next_ticket += 1;
+            ring.push(SpanRecord {
+                name,
+                ticket,
+                start_ns,
+                dur_ns,
+                depth,
+                arg,
+            });
+        });
+    }
+
+    fn new_thread_state(&self) -> ThreadState {
+        if let Some(buf) = self.free.lock().unwrap().pop() {
+            return ThreadState {
+                buf,
+                stack: Vec::with_capacity(16),
+            };
+        }
+        let cap = self.capacity.load(Ordering::Relaxed);
+        let buf = Arc::new(ThreadBuf {
+            ord: self.next_ord.fetch_add(1, Ordering::Relaxed),
+            ring: Mutex::new(Ring {
+                records: Vec::with_capacity(cap),
+                cap,
+                head: 0,
+                dropped: 0,
+                next_ticket: 0,
+            }),
+        });
+        self.buf_allocs.fetch_add(1, Ordering::Relaxed);
+        self.tracks.lock().unwrap().push(Arc::clone(&buf));
+        ThreadState {
+            buf,
+            stack: Vec::with_capacity(16),
+        }
+    }
+
+    /// Ring buffers allocated so far — the tracer's analogue of the
+    /// store's `decode_reallocs()`: with the tracer disabled this (and
+    /// [`Tracer::total_records`]) must stay flat across a workload, which
+    /// is how tests pin the zero-allocation contract.
+    pub fn buffer_allocs(&self) -> u64 {
+        self.buf_allocs.load(Ordering::Relaxed)
+    }
+
+    /// Completed spans currently buffered across all tracks.
+    pub fn total_records(&self) -> u64 {
+        self.tracks
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|b| b.ring.lock().unwrap().records.len() as u64)
+            .sum()
+    }
+
+    /// Discards all buffered records (tracks and their buffers are kept).
+    /// Call between runs while no spans are open.
+    pub fn clear(&self) {
+        for buf in self.tracks.lock().unwrap().iter() {
+            let mut ring = buf.ring.lock().unwrap();
+            ring.records.clear();
+            ring.head = 0;
+            ring.dropped = 0;
+        }
+    }
+
+    /// Copies every track's completed spans, each track in preorder
+    /// (ticket order), tracks sorted by their ordinal.
+    pub fn snapshot(&self) -> TraceSnapshot {
+        let mut tracks: Vec<ThreadTrack> = self
+            .tracks
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|buf| {
+                let ring = buf.ring.lock().unwrap();
+                ThreadTrack {
+                    ord: buf.ord,
+                    dropped: ring.dropped,
+                    records: ring.in_order(),
+                }
+            })
+            .collect();
+        tracks.sort_by_key(|t| t.ord);
+        TraceSnapshot { tracks }
+    }
+}
+
+/// RAII guard returned by [`Tracer::span`]; records the span on drop.
+/// Not `Send` — a span must close on the thread that opened it.
+#[derive(Debug)]
+pub struct SpanGuard {
+    active: bool,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let t = tracer();
+        let end_ns = t.now_ns();
+        // try_with: a guard dropped during thread teardown (after TLS
+        // destruction) silently discards its span instead of panicking
+        let _ = TLS.try_with(|cell| {
+            let mut slot = cell.borrow_mut();
+            let Some(st) = slot.as_mut() else { return };
+            let Some(open) = st.stack.pop() else { return };
+            let depth = st.stack.len() as u16;
+            st.buf.ring.lock().unwrap().push(SpanRecord {
+                name: open.name,
+                ticket: open.ticket,
+                start_ns: open.start_ns,
+                dur_ns: end_ns.saturating_sub(open.start_ns),
+                depth,
+                arg: open.arg,
+            });
+        });
+    }
+}
+
+/// One thread's completed spans, in preorder.
+#[derive(Debug, Clone)]
+pub struct ThreadTrack {
+    /// Stable track ordinal (assigned at first span on the thread).
+    pub ord: u32,
+    /// Records evicted from the ring because it filled.
+    pub dropped: u64,
+    /// Completed spans sorted by open ticket.
+    pub records: Vec<SpanRecord>,
+}
+
+/// A point-in-time copy of every track, from [`Tracer::snapshot`].
+#[derive(Debug, Clone)]
+pub struct TraceSnapshot {
+    /// All tracks, sorted by ordinal.
+    pub tracks: Vec<ThreadTrack>,
+}
+
+impl TraceSnapshot {
+    /// Total completed spans in the snapshot.
+    pub fn len(&self) -> usize {
+        self.tracks.iter().map(|t| t.records.len()).sum()
+    }
+
+    /// True when no spans were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Walks each track in preorder, handing `f` every record together
+    /// with its full `;`-joined ancestor path (including itself).
+    pub(crate) fn walk_paths(&self, mut f: impl FnMut(&ThreadTrack, &SpanRecord, &str)) {
+        let mut stack: Vec<(u16, usize)> = Vec::new(); // (depth, path len before this span)
+        let mut path = String::new();
+        for track in &self.tracks {
+            stack.clear();
+            path.clear();
+            for rec in &track.records {
+                while let Some(&(d, keep)) = stack.last() {
+                    if d >= rec.depth {
+                        stack.pop();
+                        path.truncate(keep);
+                    } else {
+                        break;
+                    }
+                }
+                let keep = path.len();
+                if !path.is_empty() {
+                    path.push(';');
+                }
+                path.push_str(rec.name);
+                f(track, rec, &path);
+                stack.push((rec.depth, keep));
+            }
+        }
+    }
+
+    /// Every span's full path, track by track in preorder.
+    pub fn paths(&self) -> Vec<String> {
+        let mut out = Vec::with_capacity(self.len());
+        self.walk_paths(|_, _, p| out.push(p.to_string()));
+        out
+    }
+
+    /// Canonical structure relative to `anchor`: for every span whose
+    /// path contains a segment equal to `anchor`, the sub-path starting
+    /// at the **last** such segment, aggregated to sorted
+    /// `(path, count)` pairs. This is thread-count invariant: a chunk
+    /// span nests under `scan` when work runs inline but is a thread
+    /// root on a worker, yet its subtree reads identically either way.
+    pub fn relative_paths(&self, anchor: &str) -> Vec<(String, u64)> {
+        let mut counts: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+        self.walk_paths(|_, _, p| {
+            if let Some(sub) = subpath_from(p, anchor) {
+                *counts.entry(sub.to_string()).or_insert(0) += 1;
+            }
+        });
+        counts.into_iter().collect()
+    }
+
+    /// Aggregates `(name, count, total_ns)` over all spans, sorted by
+    /// name — the source for the CLI `--timing` table.
+    pub fn totals_by_name(&self) -> Vec<(&'static str, u64, u64)> {
+        let mut agg: std::collections::BTreeMap<&'static str, (u64, u64)> =
+            std::collections::BTreeMap::new();
+        for track in &self.tracks {
+            for rec in &track.records {
+                let e = agg.entry(rec.name).or_insert((0, 0));
+                e.0 += 1;
+                e.1 += rec.dur_ns;
+            }
+        }
+        agg.into_iter().map(|(n, (c, t))| (n, c, t)).collect()
+    }
+
+    /// Each span named `root_name` together with its descendants, in
+    /// preorder — `(track ordinal, records)`. Roots whose children were
+    /// evicted from the ring return what survived.
+    pub fn subtrees(&self, root_name: &str) -> Vec<(u32, Vec<SpanRecord>)> {
+        let mut out = Vec::new();
+        for track in &self.tracks {
+            let mut i = 0;
+            while i < track.records.len() {
+                let rec = &track.records[i];
+                if rec.name == root_name {
+                    let mut tree = vec![*rec];
+                    let mut j = i + 1;
+                    while j < track.records.len() && track.records[j].depth > rec.depth {
+                        tree.push(track.records[j]);
+                        j += 1;
+                    }
+                    out.push((track.ord, tree));
+                    i = j;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The sub-path of `path` starting at the last segment equal to `anchor`.
+fn subpath_from<'a>(path: &'a str, anchor: &str) -> Option<&'a str> {
+    let mut found: Option<usize> = None;
+    let mut start = 0;
+    for seg in path.split(';') {
+        if seg == anchor {
+            found = Some(start);
+        }
+        start += seg.len() + 1;
+    }
+    found.map(|s| &path[s..])
+}
+
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_and_paths() {
+        let _l = test_lock();
+        let t = tracer();
+        t.clear();
+        t.set_enabled(true);
+        {
+            let _a = t.span("a");
+            {
+                let _b = t.span_with("b", 7);
+            }
+            {
+                let _c = t.span("c");
+                let _d = t.span("d");
+            }
+        }
+        t.set_enabled(false);
+        let snap = t.snapshot();
+        let mut paths = snap.paths();
+        paths.sort();
+        assert_eq!(paths, vec!["a", "a;b", "a;c", "a;c;d"]);
+        let b = snap
+            .tracks
+            .iter()
+            .flat_map(|tr| tr.records.iter())
+            .find(|r| r.name == "b")
+            .unwrap();
+        assert_eq!(b.arg, 7);
+        assert_eq!(b.depth, 1);
+        t.clear();
+    }
+
+    #[test]
+    fn disabled_records_nothing_and_allocates_nothing() {
+        let _l = test_lock();
+        let t = tracer();
+        t.clear();
+        t.set_enabled(false);
+        let allocs = t.buffer_allocs();
+        let records = t.total_records();
+        for _ in 0..1000 {
+            let _s = t.span("hot");
+        }
+        assert_eq!(t.buffer_allocs(), allocs);
+        assert_eq!(t.total_records(), records);
+    }
+
+    #[test]
+    fn subtree_extraction_and_relative_paths() {
+        let _l = test_lock();
+        let t = tracer();
+        t.clear();
+        t.set_enabled(true);
+        {
+            let _root = t.span("scan");
+            for i in 0..3u64 {
+                let _c = t.span_with("chunk", i);
+                let _d = t.span("decode");
+            }
+        }
+        t.set_enabled(false);
+        let snap = t.snapshot();
+        let trees = snap.subtrees("chunk");
+        assert_eq!(trees.len(), 3);
+        for (_, tree) in &trees {
+            assert_eq!(tree.len(), 2);
+            assert_eq!(tree[0].name, "chunk");
+            assert_eq!(tree[1].name, "decode");
+        }
+        assert_eq!(
+            snap.relative_paths("chunk"),
+            vec![("chunk".to_string(), 3), ("chunk;decode".to_string(), 3)]
+        );
+        t.clear();
+    }
+
+    #[test]
+    fn ring_eviction_keeps_newest() {
+        let mut ring = Ring {
+            records: Vec::new(),
+            cap: 4,
+            head: 0,
+            dropped: 0,
+            next_ticket: 0,
+        };
+        for i in 0..10u64 {
+            ring.push(SpanRecord {
+                name: "x",
+                ticket: i,
+                start_ns: i,
+                dur_ns: 1,
+                depth: 0,
+                arg: NO_ARG,
+            });
+        }
+        assert_eq!(ring.dropped, 6);
+        let kept: Vec<u64> = ring.in_order().iter().map(|r| r.ticket).collect();
+        assert_eq!(kept, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn worker_thread_spans_survive_thread_exit() {
+        let _l = test_lock();
+        let t = tracer();
+        t.clear();
+        t.set_enabled(true);
+        std::thread::scope(|s| {
+            for i in 0..4u64 {
+                s.spawn(move || {
+                    let _w = tracer().span_with("worker", i);
+                });
+            }
+        });
+        t.set_enabled(false);
+        let snap = t.snapshot();
+        let workers: Vec<u64> = snap
+            .tracks
+            .iter()
+            .flat_map(|tr| tr.records.iter())
+            .filter(|r| r.name == "worker")
+            .map(|r| r.arg)
+            .collect();
+        assert_eq!(workers.len(), 4);
+        t.clear();
+    }
+}

@@ -1,47 +1,112 @@
-//! Daemon-wide counters, rendered as JSON by `GET /metrics`.
+//! Daemon-wide metrics, rendered as JSON by `GET /metrics`.
+//!
+//! Backed by the shared [`pinpoint_obs::Registry`]: every counter is a
+//! named registry counter (relaxed atomics — metrics order across
+//! threads is not load-bearing, the values are monotone tallies), and
+//! per-endpoint request latencies feed log2-bucketed
+//! [`pinpoint_obs::Histogram`]s with exact-rank percentile extraction.
+//!
+//! The rendered JSON keeps every pre-existing flat counter key
+//! byte-compatible with earlier daemons and **appends** a `latency`
+//! object — per endpoint (`query`, `report`, `other`):
+//! `{"count","p50_ns","p90_ns","p99_ns","mean_ns"}`. Consumers that
+//! scanned flat keys keep working unchanged.
 
 use crate::cache::CacheStats;
 use crate::result_cache::ResultCacheStats;
+use pinpoint_obs::{Counter, Histogram, Registry};
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-/// Cumulative request/queue counters. All relaxed atomics: metrics order
-/// across threads is not load-bearing, the values are monotone tallies.
-#[derive(Debug, Default)]
+/// Cumulative request/queue counters plus per-endpoint latency
+/// histograms, all living in one [`Registry`].
+#[derive(Debug)]
 pub struct Metrics {
+    registry: Registry,
     /// Connections accepted (including ones later shed).
-    pub accepted: AtomicU64,
+    pub accepted: Counter,
     /// Connections answered 503 at the door because the queue was full.
-    pub shed: AtomicU64,
+    pub shed: Counter,
     /// Requests fully handled, by status class (2xx/3xx).
-    pub ok: AtomicU64,
+    pub ok: Counter,
     /// 4xx responses.
-    pub client_error: AtomicU64,
+    pub client_error: Counter,
     /// 5xx responses (other than shed 503s).
-    pub server_error: AtomicU64,
+    pub server_error: Counter,
     /// Query requests served.
-    pub queries: AtomicU64,
+    pub queries: Counter,
     /// Report requests served.
-    pub reports: AtomicU64,
+    pub reports: Counter,
     /// Requests served on a reused (kept-alive) connection — i.e. the
     /// second and later requests of each connection.
-    pub keepalive_requests: AtomicU64,
+    pub keepalive_requests: Counter,
     /// Conditional requests answered `304 Not Modified`.
-    pub not_modified: AtomicU64,
+    pub not_modified: Counter,
     /// Stores reopened because their on-disk file changed (or evicted
     /// because it vanished) — each one invalidated both cache tiers.
-    pub store_reopens: AtomicU64,
+    pub store_reopens: Counter,
+    /// Full-lifecycle latency of `POST .../query` requests.
+    pub lat_query: Arc<Histogram>,
+    /// Full-lifecycle latency of `POST .../report` requests.
+    pub lat_report: Arc<Histogram>,
+    /// Full-lifecycle latency of every other endpoint.
+    pub lat_other: Arc<Histogram>,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Metrics {
-    /// Renders every counter plus both caches', as one flat JSON object.
+    /// Creates the daemon's metric set in its canonical registration
+    /// order (the order `/metrics` renders).
+    pub fn new() -> Self {
+        let registry = Registry::new();
+        Metrics {
+            accepted: registry.counter("accepted"),
+            shed: registry.counter("shed"),
+            ok: registry.counter("ok"),
+            client_error: registry.counter("client_error"),
+            server_error: registry.counter("server_error"),
+            queries: registry.counter("queries"),
+            reports: registry.counter("reports"),
+            keepalive_requests: registry.counter("keepalive_requests"),
+            not_modified: registry.counter("not_modified"),
+            store_reopens: registry.counter("store_reopens"),
+            lat_query: registry.histogram("query"),
+            lat_report: registry.histogram("report"),
+            lat_other: registry.histogram("other"),
+            registry,
+        }
+    }
+
+    /// The backing registry (snapshots for tests and tooling).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Records one finished request's latency against its endpoint
+    /// histogram.
+    pub fn record_latency(&self, endpoint: Endpoint, ns: u64) {
+        match endpoint {
+            Endpoint::Query => self.lat_query.record(ns),
+            Endpoint::Report => self.lat_report.record(ns),
+            Endpoint::Other => self.lat_other.record(ns),
+        }
+    }
+
+    /// Renders every counter plus both caches' stats as one flat JSON
+    /// object (pre-existing keys byte-compatible), then the appended
+    /// per-endpoint `latency` histograms.
     pub fn to_json(
         &self,
         cache: &CacheStats,
         results: &ResultCacheStats,
         queue_depth: usize,
     ) -> String {
-        let mut s = String::with_capacity(512);
+        let mut s = String::with_capacity(768);
         let _ = write!(
             s,
             "{{\"accepted\":{},\"shed\":{},\"ok\":{},\"client_error\":{},\
@@ -51,17 +116,17 @@ impl Metrics {
              \"cache_hits\":{},\"cache_misses\":{},\"cache_evictions\":{},\
              \"cache_bytes\":{},\"cache_entries\":{},\
              \"result_hits\":{},\"result_misses\":{},\"result_evictions\":{},\
-             \"result_invalidations\":{},\"result_bytes\":{},\"result_entries\":{}}}",
-            self.accepted.load(Ordering::Relaxed),
-            self.shed.load(Ordering::Relaxed),
-            self.ok.load(Ordering::Relaxed),
-            self.client_error.load(Ordering::Relaxed),
-            self.server_error.load(Ordering::Relaxed),
-            self.queries.load(Ordering::Relaxed),
-            self.reports.load(Ordering::Relaxed),
-            self.keepalive_requests.load(Ordering::Relaxed),
-            self.not_modified.load(Ordering::Relaxed),
-            self.store_reopens.load(Ordering::Relaxed),
+             \"result_invalidations\":{},\"result_bytes\":{},\"result_entries\":{}",
+            self.accepted.get(),
+            self.shed.get(),
+            self.ok.get(),
+            self.client_error.get(),
+            self.server_error.get(),
+            self.queries.get(),
+            self.reports.get(),
+            self.keepalive_requests.get(),
+            self.not_modified.get(),
+            self.store_reopens.get(),
             cache.hits,
             cache.misses,
             cache.evictions,
@@ -74,6 +139,22 @@ impl Metrics {
             results.bytes,
             results.entries,
         );
+        s.push_str(",\"latency\":{");
+        for (i, (name, h)) in self.registry.snapshot().hists.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\"{name}\":{{\"count\":{},\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\"mean_ns\":{}}}",
+                h.count(),
+                h.percentile(50.0),
+                h.percentile(90.0),
+                h.percentile(99.0),
+                h.mean(),
+            );
+        }
+        s.push_str("}}");
         s
     }
 
@@ -85,8 +166,19 @@ impl Metrics {
             400..=499 => &self.client_error,
             _ => &self.server_error,
         };
-        counter.fetch_add(1, Ordering::Relaxed);
+        counter.inc();
     }
+}
+
+/// Endpoint class for per-endpoint latency accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `POST /stores/{name}/query`.
+    Query,
+    /// `POST /stores/{name}/report`.
+    Report,
+    /// Everything else.
+    Other,
 }
 
 #[cfg(test)]
@@ -96,7 +188,7 @@ mod tests {
     #[test]
     fn renders_flat_json() {
         let m = Metrics::default();
-        m.accepted.store(5, Ordering::Relaxed);
+        m.accepted.add(5);
         m.count_status(200);
         m.count_status(304);
         m.count_status(404);
@@ -110,5 +202,64 @@ mod tests {
         assert!(s.contains("\"result_hits\":0"), "{s}");
         assert!(s.contains("\"keepalive_requests\":0"), "{s}");
         assert!(pinpoint_trace::json::parse(&s).is_ok(), "{s}");
+    }
+
+    #[test]
+    fn latency_section_reports_exact_rank_percentiles() {
+        let m = Metrics::new();
+        for _ in 0..99 {
+            m.record_latency(Endpoint::Query, 1_000);
+        }
+        m.record_latency(Endpoint::Query, 1_000_000);
+        m.record_latency(Endpoint::Report, 2_000);
+        let s = m.to_json(&CacheStats::default(), &ResultCacheStats::default(), 0);
+        let parsed = pinpoint_trace::json::parse(&s).unwrap();
+        let lat = parsed.get("latency").expect("latency object");
+        let q = lat.get("query").expect("query histogram");
+        assert_eq!(q.get("count").and_then(|j| j.as_u64()), Some(100));
+        // p50 of 99×1us + 1×1ms sits in the 1us bucket [1024,2047]
+        assert_eq!(q.get("p50_ns").and_then(|j| j.as_u64()), Some(2047));
+        // p99 rank 99 is still the 1us bucket; p100 would hit the 1ms one
+        assert_eq!(q.get("p99_ns").and_then(|j| j.as_u64()), Some(2047));
+        let r = lat.get("report").expect("report histogram");
+        assert_eq!(r.get("count").and_then(|j| j.as_u64()), Some(1));
+        assert!(lat.get("other").is_some());
+    }
+
+    #[test]
+    fn latency_keys_come_after_all_flat_counters() {
+        // the flat counter section must stay a byte-compatible prefix:
+        // naive `"key":`-scanning consumers read the first occurrence
+        let m = Metrics::new();
+        m.record_latency(Endpoint::Other, 5);
+        let s = m.to_json(&CacheStats::default(), &ResultCacheStats::default(), 0);
+        let lat_pos = s.find("\"latency\":").unwrap();
+        for key in [
+            "accepted",
+            "shed",
+            "ok",
+            "client_error",
+            "server_error",
+            "queries",
+            "reports",
+            "keepalive_requests",
+            "not_modified",
+            "store_reopens",
+            "queue_depth",
+            "cache_hits",
+            "cache_misses",
+            "cache_evictions",
+            "cache_bytes",
+            "cache_entries",
+            "result_hits",
+            "result_misses",
+            "result_evictions",
+            "result_invalidations",
+            "result_bytes",
+            "result_entries",
+        ] {
+            let pos = s.find(&format!("\"{key}\":")).unwrap();
+            assert!(pos < lat_pos, "flat key {key} must precede latency");
+        }
     }
 }

@@ -32,9 +32,10 @@
 use crate::cache::ChunkCache;
 use crate::catalog::{Catalog, CatalogError, StoreEntry};
 use crate::http::{error_body, read_request, ConnBuffers, ReadOutcome, Request, Response};
-use crate::metrics::Metrics;
+use crate::metrics::{Endpoint, Metrics};
 use crate::result_cache::{etag, if_none_match, CachedResult, ResultCache};
 use pinpoint_analysis::{OutlierCriteria, RenderScratch, TraceReport};
+use pinpoint_obs::{tracer, SpanGuard, NO_ARG};
 use pinpoint_store::{Predicate, QueryResult, ReadPolicy, StoreError};
 use pinpoint_trace::json::{self, Json};
 use pinpoint_trace::{Category, EventKind};
@@ -43,10 +44,17 @@ use std::fmt::Write as _;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Request span trees replayed by `GET /debug/spans`.
+const DEBUG_SPAN_REQUESTS: usize = 16;
+
+/// Per-thread span ring capacity while the daemon runs (each record is
+/// ~56 B, so a worker's ring tops out around 3.5 MB).
+const SERVE_SPAN_CAPACITY: usize = 65_536;
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -98,9 +106,13 @@ struct Shared {
     cache: ChunkCache,
     results: ResultCache,
     metrics: Metrics,
-    queue: Mutex<VecDeque<TcpStream>>,
+    /// Connections waiting for a worker, with their enqueue timestamp
+    /// (tracer clock) so queue wait is measurable per connection.
+    queue: Mutex<VecDeque<(TcpStream, u64)>>,
     ready: Condvar,
     stop: AtomicBool,
+    /// Monotone request ids, stamped on every `serve.request` span.
+    req_seq: AtomicU64,
     config: ServeConfig,
 }
 
@@ -154,6 +166,11 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
+    // the daemon is its own observability consumer: spans back the
+    // `/debug/spans` endpoint and the `X-Pinpoint-Timing` header, so
+    // recording is on for the process lifetime (bounded by the ring size)
+    tracer().set_capacity(SERVE_SPAN_CAPACITY);
+    tracer().set_enabled(true);
     let shared = Arc::new(Shared {
         catalog: Catalog::new(&config.catalog_dir),
         cache: ChunkCache::new(config.cache_bytes, 8),
@@ -162,6 +179,7 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
         queue: Mutex::new(VecDeque::new()),
         ready: Condvar::new(),
         stop: AtomicBool::new(false),
+        req_seq: AtomicU64::new(0),
         config: config.clone(),
     });
     let mut threads = Vec::with_capacity(config.workers + 1);
@@ -191,14 +209,14 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
     while !shared.stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((mut stream, _)) => {
-                shared.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.accepted.inc();
                 let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
                 let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
                 let mut queue = shared.queue.lock().expect("queue poisoned");
                 if queue.len() >= shared.config.queue_cap {
                     let depth = queue.len();
                     drop(queue);
-                    shared.metrics.shed.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.shed.inc();
                     shared.metrics.count_status(503);
                     let retry = retry_after_secs(depth, shared.config.workers);
                     let resp = Response::new(503)
@@ -207,7 +225,7 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
                     let mut head = Vec::new();
                     let _ = resp.write_to(&mut stream, false, &mut head);
                 } else {
-                    queue.push_back(stream);
+                    queue.push_back((stream, tracer().now_ns()));
                     drop(queue);
                     shared.ready.notify_one();
                 }
@@ -243,7 +261,7 @@ fn worker_loop(shared: &Shared) {
             }
         };
         match stream {
-            Some(mut s) => handle_connection(shared, &mut s, &mut ctx),
+            Some((mut s, enqueued_ns)) => handle_connection(shared, &mut s, &mut ctx, enqueued_ns),
             None => return,
         }
     }
@@ -253,14 +271,27 @@ fn worker_loop(shared: &Shared) {
 /// cycles, closing early when the client asks (`Connection: close` or an
 /// HTTP/1.0 request without `keep-alive`), on any transport or framing
 /// error, or when the daemon is shutting down.
-fn handle_connection(shared: &Shared, stream: &mut TcpStream, ctx: &mut WorkerCtx) {
+fn handle_connection(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    ctx: &mut WorkerCtx,
+    enqueued_ns: u64,
+) {
     ctx.bufs.reset();
     let budget = shared.config.keepalive_requests.max(1);
+    // queue wait ended when this worker picked the connection up; it is
+    // replayed as a child span of the connection's *first* request
+    let mut queue_wait = Some((enqueued_ns, tracer().now_ns().saturating_sub(enqueued_ns)));
     for served in 0..budget {
         let outcome = match read_request(stream, &mut ctx.bufs) {
             Ok(o) => o,
             Err(_) => return, // transport error (e.g. timeout): nothing to answer
         };
+        // lifecycle clock starts once the request is fully read (read
+        // time is the client's pace, not the daemon's)
+        let started_ns = tracer().now_ns();
+        let mut req_span: Option<SpanGuard> = None;
+        let mut endpoint = Endpoint::Other;
         let (response, keep_alive) = match outcome {
             ReadOutcome::Closed => return,
             ReadOutcome::Malformed(detail) => {
@@ -276,11 +307,14 @@ fn handle_connection(shared: &Shared, stream: &mut TcpStream, ctx: &mut WorkerCt
             }
             ReadOutcome::Ok(req) => {
                 if served > 0 {
-                    shared
-                        .metrics
-                        .keepalive_requests
-                        .fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.keepalive_requests.inc();
                 }
+                let seq = shared.req_seq.fetch_add(1, Ordering::Relaxed);
+                req_span = Some(tracer().span_with("serve.request", seq));
+                if let Some((start, dur)) = queue_wait.take() {
+                    tracer().record_at("serve.queue", start, dur, NO_ARG);
+                }
+                endpoint = endpoint_of(&req);
                 let keep = req.wants_keep_alive()
                     && served + 1 < budget
                     && !shared.stop.load(Ordering::SeqCst);
@@ -288,13 +322,34 @@ fn handle_connection(shared: &Shared, stream: &mut TcpStream, ctx: &mut WorkerCt
             }
         };
         shared.metrics.count_status(response.status());
-        if response
-            .write_to(stream, keep_alive, &mut ctx.bufs.head_out)
-            .is_err()
-            || !keep_alive
-        {
+        let write_failed = {
+            let _write_span = tracer().span("serve.write");
+            response
+                .write_to(stream, keep_alive, &mut ctx.bufs.head_out)
+                .is_err()
+        };
+        shared
+            .metrics
+            .record_latency(endpoint, tracer().now_ns().saturating_sub(started_ns));
+        drop(req_span);
+        if write_failed || !keep_alive {
             return;
         }
+    }
+}
+
+/// Classifies a request path for per-endpoint latency accounting.
+fn endpoint_of(req: &Request) -> Endpoint {
+    let mut segments = req.path.split('/').filter(|s| !s.is_empty());
+    match (
+        segments.next(),
+        segments.next(),
+        segments.next(),
+        segments.next(),
+    ) {
+        (Some("stores"), Some(_), Some("query"), None) => Endpoint::Query,
+        (Some("stores"), Some(_), Some("report"), None) => Endpoint::Report,
+        _ => Endpoint::Other,
     }
 }
 
@@ -303,6 +358,7 @@ fn route(shared: &Shared, req: &Request, ctx: &mut WorkerCtx) -> Response {
     match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["stores"]) => handle_stores(shared),
         ("GET", ["metrics"]) => handle_metrics(shared),
+        ("GET", ["debug", "spans"]) => handle_debug_spans(),
         ("POST", ["shutdown"]) => handle_shutdown(shared, req),
         ("GET", ["stores", name, "info"]) => with_store(shared, name, handle_info),
         ("POST", ["stores", name, "query"]) => with_store(shared, name, |sh, e| {
@@ -332,7 +388,7 @@ fn with_store(
             if let Some(stale) = resolved.stale_id {
                 shared.cache.invalidate_store(stale);
                 shared.results.invalidate_store(name);
-                shared.metrics.store_reopens.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.store_reopens.inc();
             }
             f(shared, &resolved.entry)
         }
@@ -340,7 +396,7 @@ fn with_store(
             if let Some(stale) = stale_id {
                 shared.cache.invalidate_store(stale);
                 shared.results.invalidate_store(name);
-                shared.metrics.store_reopens.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.store_reopens.inc();
             }
             Response::new(404).with_json_body(error_body("store not found"))
         }
@@ -364,11 +420,56 @@ fn handle_stores(shared: &Shared) -> Response {
 
 fn handle_metrics(shared: &Shared) -> Response {
     let depth = shared.queue.lock().expect("queue poisoned").len();
+    // dynamic body: must never be ETag'd, conditionally answered, or
+    // replayed from the result cache
     Response::json(
         shared
             .metrics
             .to_json(&shared.cache.stats(), &shared.results.stats(), depth),
     )
+    .with_header("Cache-Control", "no-store")
+}
+
+/// Replays the last [`DEBUG_SPAN_REQUESTS`] completed request span trees
+/// from the tracer's ring buffers, oldest first. The in-flight request
+/// serving this endpoint is still open, so it never lists itself.
+fn handle_debug_spans() -> Response {
+    let snap = tracer().snapshot();
+    let mut trees = snap.subtrees("serve.request");
+    trees.sort_by_key(|(_, tree)| tree[0].start_ns);
+    let skip = trees.len().saturating_sub(DEBUG_SPAN_REQUESTS);
+    let mut s = String::from("{\"requests\":[");
+    for (i, (track, tree)) in trees[skip..].iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let root = tree[0];
+        let _ = write!(
+            s,
+            "{{\"id\":{},\"track\":{},\"start_ns\":{},\"dur_ns\":{},\"spans\":[",
+            root.arg, track, root.start_ns, root.dur_ns
+        );
+        for (j, rec) in tree.iter().enumerate() {
+            if j > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"name\":\"{}\",\"depth\":{},\"start_ns\":{},\"dur_ns\":{}",
+                rec.name,
+                rec.depth - root.depth,
+                rec.start_ns,
+                rec.dur_ns
+            );
+            if rec.arg != NO_ARG {
+                let _ = write!(s, ",\"arg\":{}", rec.arg);
+            }
+            s.push('}');
+        }
+        s.push_str("]}");
+    }
+    s.push_str("]}");
+    Response::json(s).with_header("Cache-Control", "no-store")
 }
 
 fn handle_shutdown(shared: &Shared, req: &Request) -> Response {
@@ -491,6 +592,7 @@ fn cached_query(
     let (candidates, mut stats) = entry.reader.prune(pred);
     let pred = *pred;
     let mapped = pinpoint_parallel::map_ordered(candidates, shared.config.request_threads, |i| {
+        let _chunk_span = tracer().span_with("serve.chunk", i as u64);
         let res = shared
             .cache
             .get_or_decode(entry.id, i, || entry.reader.decode_chunk(i))
@@ -540,8 +642,59 @@ fn not_modified(shared: &Shared, req: &Request, tag: &str) -> Option<Response> {
     if !if_none_match(inm, tag) {
         return None;
     }
-    shared.metrics.not_modified.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.not_modified.inc();
     Some(Response::new(304).with_header("ETag", tag.to_string()))
+}
+
+/// Per-request stage stopwatch backing both the `X-Pinpoint-Timing`
+/// response header and the replayed `/debug/spans` tree: each finished
+/// stage is recorded as a span (when tracing) and kept as a
+/// `(label, ns)` pair for the header.
+struct StageTimer {
+    stages: Vec<(&'static str, u64)>,
+    last_ns: u64,
+}
+
+impl StageTimer {
+    fn start() -> Self {
+        StageTimer {
+            stages: Vec::with_capacity(4),
+            last_ns: tracer().now_ns(),
+        }
+    }
+
+    /// Closes the current stage under `name` (a `serve.*` span label).
+    fn stage(&mut self, name: &'static str) {
+        let now = tracer().now_ns();
+        let dur = now.saturating_sub(self.last_ns);
+        tracer().record_at(name, self.last_ns, dur, NO_ARG);
+        self.stages.push((name, dur));
+        self.last_ns = now;
+    }
+
+    /// `Server-Timing`-style header value: `parse;dur=0.012,
+    /// fold;dur=1.302, total;dur=1.314` — durations in milliseconds.
+    fn header_value(&self) -> String {
+        let mut s = String::new();
+        let mut total = 0u64;
+        for (name, ns) in &self.stages {
+            let label = name.strip_prefix("serve.").unwrap_or(name);
+            let _ = write!(
+                s,
+                "{label};dur={}.{:03}, ",
+                ns / 1_000_000,
+                (ns % 1_000_000) / 1_000
+            );
+            total += ns;
+        }
+        let _ = write!(
+            s,
+            "total;dur={}.{:03}",
+            total / 1_000_000,
+            (total % 1_000_000) / 1_000
+        );
+        s
+    }
 }
 
 fn handle_query(
@@ -550,7 +703,8 @@ fn handle_query(
     req: &Request,
     render: &mut RenderScratch,
 ) -> Response {
-    shared.metrics.queries.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.queries.inc();
+    let mut timer = StageTimer::start();
     let body = match parse_body(req) {
         Ok(b) => b,
         Err(resp) => return resp,
@@ -566,22 +720,29 @@ fn handle_query(
     // canonical cache key: requests that differ only in body spelling
     // (field order, whitespace, label name vs id) collapse to one entry
     let params = format!("query|{pred:?}|max={max}");
+    timer.stage("serve.parse");
     let tag = etag(entry.generation, &params);
     if let Some(resp) = not_modified(shared, req, &tag) {
-        return resp;
+        timer.stage("serve.lookup");
+        return resp.with_header("X-Pinpoint-Timing", timer.header_value());
     }
     if let Some(hit) = shared.results.get(&entry.name, &params, entry.generation) {
-        return ok_with_result(&hit);
+        timer.stage("serve.lookup");
+        return ok_with_result(&hit).with_header("X-Pinpoint-Timing", timer.header_value());
     }
+    timer.stage("serve.lookup");
     match cached_query(shared, entry, &pred) {
         Ok(q) => {
+            timer.stage("serve.fold");
             let result = CachedResult {
                 body: Arc::from(render.query(&q, max).as_bytes()),
                 etag: tag,
                 chunks_skipped: q.stats.chunks_skipped as u64,
                 events_lost: q.stats.events_lost,
             };
-            let resp = ok_with_result(&result);
+            timer.stage("serve.render");
+            let resp =
+                ok_with_result(&result).with_header("X-Pinpoint-Timing", timer.header_value());
             shared
                 .results
                 .insert(&entry.name, &params, entry.generation, result);
@@ -597,7 +758,8 @@ fn handle_report(
     req: &Request,
     render: &mut RenderScratch,
 ) -> Response {
-    shared.metrics.reports.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.reports.inc();
+    let mut timer = StageTimer::start();
     let body = match parse_body(req) {
         Ok(b) => b,
         Err(resp) => return resp,
@@ -625,13 +787,17 @@ fn handle_report(
         "report|ati={}|size={}|max={max}",
         criteria.min_ati_ns, criteria.min_size_bytes
     );
+    timer.stage("serve.parse");
     let tag = etag(entry.generation, &params);
     if let Some(resp) = not_modified(shared, req, &tag) {
-        return resp;
+        timer.stage("serve.lookup");
+        return resp.with_header("X-Pinpoint-Timing", timer.header_value());
     }
     if let Some(hit) = shared.results.get(&entry.name, &params, entry.generation) {
-        return ok_with_result(&hit);
+        timer.stage("serve.lookup");
+        return ok_with_result(&hit).with_header("X-Pinpoint-Timing", timer.header_value());
     }
+    timer.stage("serve.lookup");
     let report = TraceReport::from_chunks(
         &entry.reader.footer().chunks,
         criteria,
@@ -645,13 +811,16 @@ fn handle_report(
     );
     match report {
         Ok(d) => {
+            timer.stage("serve.fold");
             let result = CachedResult {
                 body: Arc::from(render.report(&d, max).as_bytes()),
                 etag: tag,
                 chunks_skipped: d.stats.chunks_skipped as u64,
                 events_lost: d.stats.events_lost,
             };
-            let resp = ok_with_result(&result);
+            timer.stage("serve.render");
+            let resp =
+                ok_with_result(&result).with_header("X-Pinpoint-Timing", timer.header_value());
             shared
                 .results
                 .insert(&entry.name, &params, entry.generation, result);

@@ -244,6 +244,7 @@ impl DecodeScratch {
         verify_crc: bool,
     ) -> Result<(), StoreError> {
         if verify_crc {
+            let _crc_span = pinpoint_obs::tracer().span_with("store.crc", chunk as u64);
             let got = crc32(&self.raw);
             if got != meta.crc32 {
                 return Err(StoreError::ChecksumMismatch {
@@ -253,6 +254,7 @@ impl DecodeScratch {
                 });
             }
         }
+        let _decode_span = pinpoint_obs::tracer().span_with("store.decode", chunk as u64);
         let before = self.batch.element_capacity();
         let res = decode_body(&self.raw, version, &mut self.batch);
         if self.batch.element_capacity() > before {

@@ -764,6 +764,7 @@ impl<R: Read + Seek> StoreReader<R> {
         let version = self.version;
         let verify = self.verify_crc();
         let wave = threads.max(1) * 4;
+        let _scan_span = pinpoint_obs::tracer().span_with("store.scan", candidates.len() as u64);
         for window in candidates.chunks(wave.max(1)) {
             if self.scratch_pool.len() < window.len() {
                 self.scratch_pool
@@ -771,6 +772,7 @@ impl<R: Read + Seek> StoreReader<R> {
             }
             let mut items = Vec::with_capacity(window.len());
             for (slot, &i) in window.iter().enumerate() {
+                let _read_span = pinpoint_obs::tracer().span_with("store.read", i as u64);
                 let mut scratch = std::mem::take(&mut self.scratch_pool[slot]);
                 let read = self.read_chunk_into(i, &mut scratch);
                 let meta = self.footer.chunks[i];
@@ -781,9 +783,15 @@ impl<R: Read + Seek> StoreReader<R> {
                 items,
                 threads,
                 |(slot, i, meta, mut scratch, read)| {
+                    let chunk_span = pinpoint_obs::tracer().span_with("store.chunk", i as u64);
                     let res = read
                         .and_then(|()| scratch.decode_verified(&meta, i, version, verify))
-                        .map(|()| map(i, &meta, scratch.batch()));
+                        .map(|()| {
+                            let _fold_span =
+                                pinpoint_obs::tracer().span_with("store.fold", i as u64);
+                            map(i, &meta, scratch.batch())
+                        });
+                    drop(chunk_span);
                     (slot, i, meta, res, scratch)
                 },
             );
@@ -896,16 +904,20 @@ impl<R: Read + Seek> StoreReader<R> {
     ///
     /// I/O errors; corruption errors under [`ReadPolicy::Strict`].
     pub fn query(&mut self, pred: &Predicate, threads: usize) -> Result<QueryResult, StoreError> {
+        let _query_span = pinpoint_obs::tracer().span("store.query");
         let mut candidates = Vec::new();
         let mut stats = QueryStats {
             chunks_total: self.num_chunks(),
             ..QueryStats::default()
         };
-        for (i, meta) in self.footer.chunks.iter().enumerate() {
-            if pred.matches_chunk(meta) {
-                candidates.push(i);
-            } else if pred.pruned_by_label(meta) {
-                stats.chunks_pruned_by_label += 1;
+        {
+            let _prune_span = pinpoint_obs::tracer().span("store.prune");
+            for (i, meta) in self.footer.chunks.iter().enumerate() {
+                if pred.matches_chunk(meta) {
+                    candidates.push(i);
+                } else if pred.pruned_by_label(meta) {
+                    stats.chunks_pruned_by_label += 1;
+                }
             }
         }
         stats.chunks_pruned = self.num_chunks() - candidates.len();

@@ -103,6 +103,8 @@ fn write_all_retrying<W: Write>(
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(e) if is_transient(e.kind()) && attempts_left > 0 => {
                 attempts_left -= 1;
+                let _retry_span =
+                    pinpoint_obs::tracer().span_with("store.retry", attempts_left as u64);
                 let jitter = backoff / 2 + rng.gen_below(backoff / 2 + 1);
                 sleep(jitter);
                 backoff = backoff.saturating_mul(2);
@@ -315,6 +317,7 @@ impl<W: Write> StoreWriter<W> {
             self.pending.clear();
             return;
         }
+        let _flush_span = pinpoint_obs::tracer().span_with("store.flush", self.chunks.len() as u64);
         let (bytes, mut meta) = if self.version >= 3 {
             encode_chunk_v3(&self.pending)
         } else {

@@ -23,6 +23,7 @@
 //! | chunked columnar on-disk trace store (`.ptrc`) | `pinpoint-store` | [`store`] |
 //! | concurrent trace-query daemon | `pinpoint-serve` | [`serve`] |
 //! | deterministic scoped-thread fan-out | `pinpoint-parallel` | [`parallel`] |
+//! | self-observability: spans, histograms, metrics registry | `pinpoint-obs` | [`obs`] |
 //! | profiler + per-figure regenerators | `pinpoint-core` | [`core`] |
 //!
 //! # Quickstart
@@ -86,6 +87,13 @@ pub mod serve {
 /// `pinpoint-store`).
 pub mod store {
     pub use pinpoint_store::*;
+}
+
+/// Self-observability: hierarchical timed spans, log2-bucketed
+/// histograms, and the named-metric registry (re-export of
+/// `pinpoint-obs`).
+pub mod obs {
+    pub use pinpoint_obs::*;
 }
 
 /// The DNN training framework (re-export of `pinpoint-nn`).

@@ -683,3 +683,294 @@ fn cli_serve_round_trip() {
     assert!(rest.contains("shutdown complete"), "{rest:?}");
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// `/metrics` and `/debug/spans` are dynamic diagnostics: both must
+/// carry `Cache-Control: no-store` and a conditional GET against
+/// `/metrics` must never be answered `304` — regression guard for the
+/// obs endpoints leaking into the ETag/result-cache machinery.
+#[test]
+fn observability_endpoints_are_never_cached() {
+    let dir = tmp_catalog("obs-nostore");
+    mlp_store(&dir, "mlp");
+    let handle = start(ServeConfig {
+        catalog_dir: dir.clone(),
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr();
+
+    let (status, head, body) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert_eq!(header(&head, "Cache-Control"), "no-store");
+    assert!(pinpoint::trace::json::parse(&body).is_ok(), "{body}");
+
+    // a conditional request must get fresh bytes, whatever tag it sends
+    let (status, head, body) = roundtrip(
+        addr,
+        "GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\
+         If-None-Match: \"0-0\"\r\n\r\n",
+    );
+    assert_eq!(status, 200, "conditional GET /metrics must never 304");
+    assert_eq!(header(&head, "Cache-Control"), "no-store");
+    assert!(body.contains("\"accepted\""), "{body}");
+
+    let (status, head, body) = get(addr, "/debug/spans");
+    assert_eq!(status, 200);
+    assert_eq!(header(&head, "Cache-Control"), "no-store");
+    assert!(pinpoint::trace::json::parse(&body).is_ok(), "{body}");
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The `/metrics` latency section: per-endpoint log2-bucketed
+/// histograms with exact-rank percentiles, appended after every
+/// pre-existing flat counter key (byte-compatible prefix).
+#[test]
+fn metrics_latency_histograms_cover_endpoints() {
+    let dir = tmp_catalog("obs-latency");
+    mlp_store(&dir, "mlp");
+    let handle = start(ServeConfig {
+        catalog_dir: dir.clone(),
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr();
+
+    let (status, _, _) = post(addr, "/stores/mlp/report", "");
+    assert_eq!(status, 200);
+    let (status, _, _) = post(addr, "/stores/mlp/query", "{\"kind\":\"malloc\",\"max\":3}");
+    assert_eq!(status, 200);
+
+    let (status, _, body) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    // the flat counters stay a byte-compatible prefix before `latency`
+    let lat_pos = body.find("\"latency\":").expect("latency section");
+    for key in [
+        "\"accepted\":",
+        "\"queries\":1",
+        "\"reports\":1",
+        "\"result_entries\":",
+    ] {
+        let pos = body
+            .find(key)
+            .unwrap_or_else(|| panic!("missing {key} in {body}"));
+        assert!(pos < lat_pos, "{key} must precede the latency section");
+    }
+    let parsed = pinpoint::trace::json::parse(&body).unwrap();
+    let lat = parsed.get("latency").expect("latency object");
+    for endpoint in ["query", "report"] {
+        let h = lat
+            .get(endpoint)
+            .unwrap_or_else(|| panic!("missing {endpoint}"));
+        let count = h.get("count").and_then(|j| j.as_u64()).unwrap();
+        assert_eq!(count, 1, "{endpoint} histogram count");
+        let p50 = h.get("p50_ns").and_then(|j| j.as_u64()).unwrap();
+        let p99 = h.get("p99_ns").and_then(|j| j.as_u64()).unwrap();
+        assert!(p50 > 0 && p99 >= p50, "{endpoint}: p50 {p50}, p99 {p99}");
+        assert!(h.get("mean_ns").and_then(|j| j.as_u64()).unwrap() > 0);
+    }
+    // the /metrics GETs themselves land in the `other` histogram
+    assert!(lat.get("other").is_some());
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Every query/report response carries an `X-Pinpoint-Timing` header
+/// with per-stage durations — on the fresh fold path, on a result-cache
+/// hit, and on a conditional `304`.
+#[test]
+fn timing_header_reports_stages() {
+    let dir = tmp_catalog("obs-timing");
+    mlp_store(&dir, "mlp");
+    let handle = start(ServeConfig {
+        catalog_dir: dir.clone(),
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr();
+
+    // fresh fold: all stages present
+    let (status, head, _) = post(addr, "/stores/mlp/report", "");
+    assert_eq!(status, 200);
+    let timing = header(&head, "X-Pinpoint-Timing");
+    for stage in [
+        "parse;dur=",
+        "lookup;dur=",
+        "fold;dur=",
+        "render;dur=",
+        "total;dur=",
+    ] {
+        assert!(timing.contains(stage), "missing {stage} in {timing}");
+    }
+
+    // result-cache hit: no fold/render, but still parsed and looked up
+    let (status, head, _) = post(addr, "/stores/mlp/report", "");
+    assert_eq!(status, 200);
+    let timing = header(&head, "X-Pinpoint-Timing");
+    assert!(
+        timing.contains("lookup;dur=") && timing.contains("total;dur="),
+        "{timing}"
+    );
+    assert!(
+        !timing.contains("fold;dur="),
+        "cache hit must skip the fold: {timing}"
+    );
+
+    // conditional 304: same shape as the cache hit
+    let (_, head, _) = post(addr, "/stores/mlp/report", "");
+    let tag = header(&head, "ETag").to_string();
+    let (status, head, _) = post_with(
+        addr,
+        "/stores/mlp/report",
+        "",
+        &format!("If-None-Match: {tag}\r\n"),
+    );
+    assert_eq!(status, 304);
+    let timing = header(&head, "X-Pinpoint-Timing");
+    assert!(
+        timing.contains("lookup;dur=") && timing.contains("total;dur="),
+        "{timing}"
+    );
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Registry counters stay exact under the concurrent worker pool: with
+/// many client threads hammering the daemon at once, the flat counters
+/// must add up request-for-request — no lost increments, no
+/// double-counting across the fan-out.
+#[test]
+fn counters_stay_exact_under_concurrent_load() {
+    let dir = tmp_catalog("obs-counters");
+    mlp_store(&dir, "mlp");
+    let handle = start(ServeConfig {
+        catalog_dir: dir.clone(),
+        workers: 4,
+        queue_cap: 256,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr();
+
+    // warm the caches so the load phase is fast
+    let (status, _, _) = post(addr, "/stores/mlp/report", "");
+    assert_eq!(status, 200);
+
+    let clients = 8usize;
+    let per_client = 12usize;
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            scope.spawn(move || {
+                for i in 0..per_client {
+                    let (status, _, _) = if (c + i) % 3 == 0 {
+                        post(addr, "/stores/mlp/query", "{\"kind\":\"malloc\",\"max\":2}")
+                    } else {
+                        post(addr, "/stores/mlp/report", "")
+                    };
+                    assert_eq!(status, 200);
+                }
+            });
+        }
+    });
+
+    let (status, _, body) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    let metric = |key: &str| -> u64 {
+        let tag = format!("\"{key}\":");
+        let rest = &body[body.find(&tag).expect("metric present") + tag.len()..];
+        rest[..rest.find([',', '}']).unwrap()].parse().unwrap()
+    };
+    let total = clients * per_client;
+    let queries = (0..clients)
+        .flat_map(|c| (0..per_client).map(move |i| (c + i) % 3))
+        .filter(|&r| r == 0)
+        .count();
+    // warm-up + load + this /metrics request, each over its own connection
+    assert_eq!(metric("accepted"), total as u64 + 2);
+    assert_eq!(metric("shed"), 0);
+    assert_eq!(metric("queries"), queries as u64);
+    assert_eq!(metric("reports"), (total - queries) as u64 + 1);
+    // every finished response (the in-flight /metrics one is not yet
+    // tallied when its own body renders)
+    assert_eq!(metric("ok"), total as u64 + 1);
+    assert_eq!(metric("client_error"), 0);
+    assert_eq!(metric("server_error"), 0);
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `/debug/spans` replays recent request span trees: each entry is a
+/// `serve.request` root with its stage children, and a fresh report
+/// request shows the full parse → lookup → fold → render → write chain.
+#[test]
+fn debug_spans_replays_request_trees() {
+    let dir = tmp_catalog("obs-spans");
+    mlp_store(&dir, "mlp");
+    let handle = start(ServeConfig {
+        catalog_dir: dir.clone(),
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr();
+
+    // a fresh report (full pipeline) and a query
+    let (status, _, _) = post(addr, "/stores/mlp/report", "");
+    assert_eq!(status, 200);
+    let (status, _, _) = post(addr, "/stores/mlp/query", "{\"kind\":\"malloc\",\"max\":2}");
+    assert_eq!(status, 200);
+
+    let (status, _, body) = get(addr, "/debug/spans");
+    assert_eq!(status, 200);
+    let parsed = pinpoint::trace::json::parse(&body).unwrap_or_else(|e| panic!("{e}: {body}"));
+    let requests = parsed
+        .get("requests")
+        .and_then(|j| j.as_arr())
+        .expect("requests array");
+    // the in-flight /debug/spans request is still open, so it never
+    // lists itself — but both finished requests above must appear
+    assert!(requests.len() >= 2, "{body}");
+    let mut saw_full_chain = false;
+    for req in requests {
+        let spans = req.get("spans").and_then(|j| j.as_arr()).expect("spans");
+        assert!(!spans.is_empty());
+        assert_eq!(
+            spans[0].get("name").and_then(|j| j.as_str()),
+            Some("serve.request"),
+            "{body}"
+        );
+        assert_eq!(spans[0].get("depth").and_then(|j| j.as_u64()), Some(0));
+        assert!(req.get("id").and_then(|j| j.as_u64()).is_some());
+        assert!(req.get("dur_ns").and_then(|j| j.as_u64()).is_some());
+        let names: Vec<&str> = spans
+            .iter()
+            .filter_map(|s| s.get("name").and_then(|j| j.as_str()))
+            .collect();
+        if [
+            "serve.parse",
+            "serve.lookup",
+            "serve.fold",
+            "serve.render",
+            "serve.write",
+        ]
+        .iter()
+        .all(|n| names.contains(n))
+        {
+            saw_full_chain = true;
+        }
+    }
+    assert!(
+        saw_full_chain,
+        "a fresh report must replay its full stage chain: {body}"
+    );
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
