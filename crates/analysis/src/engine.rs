@@ -250,6 +250,7 @@ impl FusedOutputs {
 pub struct FusedPipeline {
     folds: Vec<Box<dyn DynFold>>,
     read_policy: Option<ReadPolicy>,
+    cancel: pinpoint_store::CancelToken,
 }
 
 impl fmt::Debug for FusedPipeline {
@@ -293,6 +294,17 @@ impl FusedPipeline {
     /// accounting in [`FusedStats`] instead of failing the run.
     pub fn set_read_policy(&mut self, policy: ReadPolicy) {
         self.read_policy = Some(policy);
+    }
+
+    /// Installs a cooperative [`CancelToken`](pinpoint_store::CancelToken)
+    /// polled at per-chunk merge boundaries by
+    /// [`run_store`](Self::run_store) and [`run_chunks`](Self::run_chunks)
+    /// (callers scanning through a reader get wave-granular checkpoints
+    /// too via [`StoreReader::set_cancel`]). Once it fires, the run stops
+    /// mid-store and returns [`StoreError::Cancelled`] — under either
+    /// read policy, because an abandoned request is not a damaged store.
+    pub fn set_cancel(&mut self, token: pinpoint_store::CancelToken) {
+        self.cancel = token;
     }
 
     /// The union of every registered fold's predicate — the coarsest
@@ -363,6 +375,7 @@ impl FusedPipeline {
                 threads,
                 |_, _, batch| (fold_chunk_batch(folds, &preds, batch), batch.len() as u64),
                 |i, meta, res| match res {
+                    _ if self.cancel.is_cancelled() => Err(StoreError::Cancelled),
                     Ok((accs, n)) => {
                         stats.chunks_decoded += 1;
                         stats.events_scanned += n;
@@ -448,6 +461,7 @@ impl FusedPipeline {
         });
         let mut merged: Option<Vec<DynAcc>> = None;
         for (i, res) in mapped {
+            self.cancel.check()?;
             match res {
                 Ok((accs, n)) => {
                     stats.chunks_decoded += 1;
@@ -1110,6 +1124,46 @@ mod tests {
                 "threads={threads}"
             );
         }
+    }
+
+    #[test]
+    fn a_fired_cancel_token_aborts_fused_runs_under_any_policy() {
+        let t = mixed_trace();
+        let mut bytes = Vec::new();
+        pinpoint_store::write_store_chunked(&t, &mut bytes, 16).unwrap();
+        let mut reader = StoreReader::new(std::io::Cursor::new(bytes.clone())).unwrap();
+        let shared = pinpoint_store::SharedStoreReader::from_bytes(bytes).unwrap();
+        let mut pipe = FusedPipeline::new();
+        let peak = pipe.register(PeakFold);
+        pipe.set_read_policy(ReadPolicy::Salvage);
+        pipe.set_cancel(pinpoint_store::CancelToken::new(|| true));
+        let err = pipe.run_store(&mut reader, 1).unwrap_err();
+        assert!(err.to_string().contains("cancelled"), "{err}");
+        let index = shared.footer().chunks.clone();
+        let err = pipe
+            .run_chunks(&index, 1, ReadPolicy::Salvage, |i, _| {
+                shared.decode_chunk(i).map(std::sync::Arc::new)
+            })
+            .unwrap_err();
+        assert!(matches!(err, StoreError::Cancelled), "{err}");
+
+        // a fetch that observes its own deadline propagates Cancelled
+        // even under Salvage — the serve daemon's checkpoint path
+        pipe.set_cancel(pinpoint_store::CancelToken::never());
+        let err = pipe
+            .run_chunks(&index, 1, ReadPolicy::Salvage, |_, _| {
+                Err(StoreError::Cancelled)
+            })
+            .unwrap_err();
+        assert!(matches!(err, StoreError::Cancelled), "{err}");
+
+        // disarmed, the same pipeline answers fully again
+        let mut out = pipe
+            .run_chunks(&index, 1, ReadPolicy::Salvage, |i, _| {
+                shared.decode_chunk(i).map(std::sync::Arc::new)
+            })
+            .unwrap();
+        assert_eq!(out.take(peak), t.peak_live_bytes());
     }
 
     #[test]

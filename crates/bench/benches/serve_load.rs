@@ -28,7 +28,10 @@
 //!   instead of asserting parallel speedup it cannot exhibit);
 //! - the repeated-query phase must be >= 2x the fresh-connection,
 //!   no-result-cache baseline (this one is serial work elimination, so
-//!   it holds on any machine and is asserted unconditionally).
+//!   it holds on any machine and is asserted unconditionally);
+//! - the resilience layer must stay invisible under clean load: zero
+//!   panics caught and zero deadline expiries across the whole run,
+//!   asserted from `/metrics` and recorded in `BENCH_serve.json`.
 
 use pinpoint_bench::by_scale;
 use pinpoint_bench::criterion::Criterion;
@@ -345,6 +348,13 @@ fn bench(c: &mut Criterion) {
          {result_hits} hits / {result_misses} misses"
     );
 
+    // clean load must never trip the resilience layer: a caught panic or
+    // an expired deadline here is a daemon bug, not client misbehavior
+    let panics_caught = metric(&metrics, "panics_caught");
+    let deadline_exceeded = metric(&metrics, "deadline_exceeded");
+    assert_eq!(panics_caught, 0, "handler panicked under clean load");
+    assert_eq!(deadline_exceeded, 0, "deadline expired under clean load");
+
     let json = format!(
         "{{\"bench\":\"serve_load\",\"events\":{events},\"store_bytes\":{},\
          \"workers\":8,\"cpus\":{cpus},\"per_client_requests\":{per_client},\
@@ -353,7 +363,9 @@ fn bench(c: &mut Criterion) {
          \"repeated_requests\":{repeats},\"repeated_baseline_rps\":{baseline_rps:.2},\
          \"repeated_keepalive_rps\":{keepalive_rps:.2},\
          \"repeated_speedup\":{repeated_speedup:.4},\
-         \"result_cache_hit_rate\":{result_hit_rate:.4},\"bit_identical\":true}}\n",
+         \"result_cache_hit_rate\":{result_hit_rate:.4},\
+         \"panics_caught\":{panics_caught},\"deadline_exceeded\":{deadline_exceeded},\
+         \"bit_identical\":true}}\n",
         encoded.len(),
         per_fanout.join(",")
     );

@@ -23,6 +23,10 @@
 //! pinpoint-trace-tool serve     --catalog DIR [--addr HOST:PORT] [--cache-bytes N]
 //!                               [--result-cache-bytes N] [--keepalive N]
 //!                               [--threads N] [--queue N] [--shutdown-token TOK]
+//!                               [--io-timeout-ms N] [--request-deadline-ms N]
+//!                               [--drain-deadline-ms N] [--breaker-threshold N]
+//!                               [--breaker-cooldown N] [--breaker-seed N]
+//!                               [--chaos-token TOK]
 //! ```
 //!
 //! Input format is sniffed from the file's magic bytes, so every analysis
@@ -619,14 +623,25 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         workers: pinpoint_core::parallel::configured_threads(),
         queue_cap: flag_value(args, "--queue").map_or(64, |v| v as usize),
         keepalive_requests: flag_value(args, "--keepalive").map_or(128, |v| v as usize),
+        io_timeout_ms: flag_value(args, "--io-timeout-ms").map_or(10_000, |v| v as u64),
+        request_deadline_ms: flag_value(args, "--request-deadline-ms").map_or(30_000, |v| v as u64),
+        drain_deadline_ms: flag_value(args, "--drain-deadline-ms").map_or(5_000, |v| v as u64),
+        breaker: pinpoint_serve::BreakerConfig {
+            threshold: flag_value(args, "--breaker-threshold").map_or(5, |v| v as u32),
+            cooldown: flag_value(args, "--breaker-cooldown").map_or(8, |v| v as u32),
+            seed: flag_value(args, "--breaker-seed").map_or(0, |v| v as u64),
+        },
         shutdown_token: flag_str(args, "--shutdown-token").map(String::from),
+        chaos_token: flag_str(args, "--chaos-token").map(String::from),
         ..pinpoint_serve::ServeConfig::default()
     };
     let workers = config.workers;
+    let (io_ms, deadline_ms) = (config.io_timeout_ms, config.request_deadline_ms);
     let handle = pinpoint_serve::start(config).map_err(|e| format!("cannot serve: {e}"))?;
     // scripts (and the smoke tests) parse this line for the bound port
     println!(
-        "serving {catalog} at http://{} ({workers} workers)",
+        "serving {catalog} at http://{} ({workers} workers, io-timeout {io_ms}ms, \
+         request-deadline {deadline_ms}ms)",
         handle.addr()
     );
     handle.wait();

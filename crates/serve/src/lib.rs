@@ -38,10 +38,21 @@
 //!   refused at the door with a 503 whose `Retry-After` is derived
 //!   deterministically from queue depth and drain width, so overload
 //!   degrades to fast refusals, never hangs.
+//! - **Resilience** ([`deadline`], [`breaker`], [`server`]) — every
+//!   request carries a deadline budget that becomes a cooperative
+//!   [`CancelToken`](pinpoint_store::CancelToken) inside the chunk
+//!   fold (doomed scans answer a deterministic `503 Retry-After`);
+//!   handler panics are contained to stable `500`s by an unwind guard
+//!   and dead workers are respawned by a watchdog; each store has a
+//!   deterministic count-based circuit breaker; and `POST /shutdown`
+//!   runs a graceful drain under a bounded drain deadline, observable
+//!   through `GET /healthz`.
 //!
 //! Endpoints: `GET /stores`, `GET /stores/{name}/info`,
 //! `POST /stores/{name}/query`, `POST /stores/{name}/report`,
-//! `GET /metrics`, and token-gated `POST /shutdown`.
+//! `GET /metrics`, `GET /healthz`, `GET /debug/spans`, token-gated
+//! `POST /shutdown`, and (only when configured) token-gated
+//! `POST /debug/chaos` for fault injection.
 //!
 //! The load-bearing property is **byte-identity with the offline CLI**:
 //! query and report responses are rendered by the same
@@ -55,15 +66,19 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod breaker;
 pub mod cache;
 pub mod catalog;
+pub mod deadline;
 pub mod http;
 pub mod metrics;
 pub mod result_cache;
 pub mod server;
 
+pub use breaker::{BreakerConfig, BreakerSet, BreakerState};
 pub use cache::{CacheStats, ChunkCache};
 pub use catalog::{Catalog, CatalogError, Resolved, StoreEntry};
+pub use deadline::Deadline;
 pub use result_cache::{ResultCache, ResultCacheStats};
 pub use server::{start, ServeConfig, ServerHandle};
 

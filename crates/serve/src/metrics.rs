@@ -45,12 +45,34 @@ pub struct Metrics {
     /// Stores reopened because their on-disk file changed (or evicted
     /// because it vanished) — each one invalidated both cache tiers.
     pub store_reopens: Counter,
+    /// Requests answered `503` because their deadline budget ran out
+    /// (scan cancelled mid-store or checkpoint missed).
+    pub deadline_exceeded: Counter,
+    /// Request handlers that panicked and were contained to a stable
+    /// `500` by the worker's unwind guard.
+    pub panics_caught: Counter,
+    /// Worker threads that died anyway and were respawned by the
+    /// watchdog.
+    pub workers_respawned: Counter,
+    /// Connections cut because a socket read/write hit the I/O timeout
+    /// (slow-loris headers, clients that never read).
+    pub conn_timeouts: Counter,
+    /// Circuit-breaker trips (closed/half-open → open), all stores.
+    pub breaker_trips: Counter,
+    /// Requests rejected `503` by an open breaker.
+    pub breaker_rejected: Counter,
+    /// Queued connections dropped unanswered because the drain deadline
+    /// expired before a worker got to them.
+    pub drain_dropped: Counter,
     /// Full-lifecycle latency of `POST .../query` requests.
     pub lat_query: Arc<Histogram>,
     /// Full-lifecycle latency of `POST .../report` requests.
     pub lat_report: Arc<Histogram>,
     /// Full-lifecycle latency of every other endpoint.
     pub lat_other: Arc<Histogram>,
+    /// Full-lifecycle latency of requests that died at the deadline —
+    /// how late the doomed ones were by the time they were cut.
+    pub lat_deadline: Arc<Histogram>,
 }
 
 impl Default for Metrics {
@@ -75,9 +97,17 @@ impl Metrics {
             keepalive_requests: registry.counter("keepalive_requests"),
             not_modified: registry.counter("not_modified"),
             store_reopens: registry.counter("store_reopens"),
+            deadline_exceeded: registry.counter("deadline_exceeded"),
+            panics_caught: registry.counter("panics_caught"),
+            workers_respawned: registry.counter("workers_respawned"),
+            conn_timeouts: registry.counter("conn_timeouts"),
+            breaker_trips: registry.counter("breaker_trips"),
+            breaker_rejected: registry.counter("breaker_rejected"),
+            drain_dropped: registry.counter("drain_dropped"),
             lat_query: registry.histogram("query"),
             lat_report: registry.histogram("report"),
             lat_other: registry.histogram("other"),
+            lat_deadline: registry.histogram("deadline"),
             registry,
         }
     }
@@ -99,14 +129,19 @@ impl Metrics {
 
     /// Renders every counter plus both caches' stats as one flat JSON
     /// object (pre-existing keys byte-compatible), then the appended
-    /// per-endpoint `latency` histograms.
+    /// per-endpoint `latency` histograms. `breaker_open` /
+    /// `breaker_half_open` are instantaneous gauges from the breaker
+    /// set; `draining` reflects the daemon's lifecycle phase.
     pub fn to_json(
         &self,
         cache: &CacheStats,
         results: &ResultCacheStats,
         queue_depth: usize,
+        breaker_open: u64,
+        breaker_half_open: u64,
+        draining: bool,
     ) -> String {
-        let mut s = String::with_capacity(768);
+        let mut s = String::with_capacity(1024);
         let _ = write!(
             s,
             "{{\"accepted\":{},\"shed\":{},\"ok\":{},\"client_error\":{},\
@@ -138,6 +173,24 @@ impl Metrics {
             results.invalidations,
             results.bytes,
             results.entries,
+        );
+        // resilience counters and gauges: appended after every
+        // pre-existing flat key so naive first-occurrence scanners keep
+        // reading the same bytes, still ahead of the latency object
+        let _ = write!(
+            s,
+            ",\"deadline_exceeded\":{},\"panics_caught\":{},\"workers_respawned\":{},\
+             \"conn_timeouts\":{},\"breaker_trips\":{},\"breaker_rejected\":{},\
+             \"breaker_open\":{breaker_open},\"breaker_half_open\":{breaker_half_open},\
+             \"drain_dropped\":{},\"draining\":{}",
+            self.deadline_exceeded.get(),
+            self.panics_caught.get(),
+            self.workers_respawned.get(),
+            self.conn_timeouts.get(),
+            self.breaker_trips.get(),
+            self.breaker_rejected.get(),
+            self.drain_dropped.get(),
+            u64::from(draining),
         );
         s.push_str(",\"latency\":{");
         for (i, (name, h)) in self.registry.snapshot().hists.iter().enumerate() {
@@ -193,7 +246,14 @@ mod tests {
         m.count_status(304);
         m.count_status(404);
         m.count_status(503);
-        let s = m.to_json(&CacheStats::default(), &ResultCacheStats::default(), 2);
+        let s = m.to_json(
+            &CacheStats::default(),
+            &ResultCacheStats::default(),
+            2,
+            1,
+            0,
+            false,
+        );
         assert!(s.contains("\"accepted\":5"), "{s}");
         assert!(s.contains("\"ok\":2"), "{s}");
         assert!(s.contains("\"client_error\":1"), "{s}");
@@ -212,15 +272,22 @@ mod tests {
         }
         m.record_latency(Endpoint::Query, 1_000_000);
         m.record_latency(Endpoint::Report, 2_000);
-        let s = m.to_json(&CacheStats::default(), &ResultCacheStats::default(), 0);
+        let s = m.to_json(
+            &CacheStats::default(),
+            &ResultCacheStats::default(),
+            0,
+            0,
+            0,
+            false,
+        );
         let parsed = pinpoint_trace::json::parse(&s).unwrap();
         let lat = parsed.get("latency").expect("latency object");
         let q = lat.get("query").expect("query histogram");
         assert_eq!(q.get("count").and_then(|j| j.as_u64()), Some(100));
-        // p50 of 99×1us + 1×1ms sits in the 1us bucket [1024,2047]
-        assert_eq!(q.get("p50_ns").and_then(|j| j.as_u64()), Some(2047));
+        // p50 of 99×1us + 1×1ms sits in the 1us bucket [512,1023]
+        assert_eq!(q.get("p50_ns").and_then(|j| j.as_u64()), Some(1023));
         // p99 rank 99 is still the 1us bucket; p100 would hit the 1ms one
-        assert_eq!(q.get("p99_ns").and_then(|j| j.as_u64()), Some(2047));
+        assert_eq!(q.get("p99_ns").and_then(|j| j.as_u64()), Some(1023));
         let r = lat.get("report").expect("report histogram");
         assert_eq!(r.get("count").and_then(|j| j.as_u64()), Some(1));
         assert!(lat.get("other").is_some());
@@ -232,7 +299,14 @@ mod tests {
         // naive `"key":`-scanning consumers read the first occurrence
         let m = Metrics::new();
         m.record_latency(Endpoint::Other, 5);
-        let s = m.to_json(&CacheStats::default(), &ResultCacheStats::default(), 0);
+        let s = m.to_json(
+            &CacheStats::default(),
+            &ResultCacheStats::default(),
+            0,
+            2,
+            1,
+            true,
+        );
         let lat_pos = s.find("\"latency\":").unwrap();
         for key in [
             "accepted",
@@ -257,6 +331,16 @@ mod tests {
             "result_invalidations",
             "result_bytes",
             "result_entries",
+            "deadline_exceeded",
+            "panics_caught",
+            "workers_respawned",
+            "conn_timeouts",
+            "breaker_trips",
+            "breaker_rejected",
+            "breaker_open",
+            "breaker_half_open",
+            "drain_dropped",
+            "draining",
         ] {
             let pos = s.find(&format!("\"{key}\":")).unwrap();
             assert!(pos < lat_pos, "flat key {key} must precede latency");

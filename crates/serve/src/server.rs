@@ -1,5 +1,6 @@
 //! The daemon core: accept loop, bounded admission queue, worker pool,
-//! keep-alive connection handling, and request routing.
+//! keep-alive connection handling, request routing, and the resilience
+//! layer (deadlines, panic isolation, circuit breakers, graceful drain).
 //!
 //! Request lifecycle: the accept thread takes connections off the
 //! listener and pushes them onto a bounded queue. When the queue is at
@@ -21,6 +22,29 @@
 //! read accumulator, response-head buffer, and JSON render scratch all
 //! persist across requests.
 //!
+//! **Resilience.** Four failure domains are isolated from each other:
+//!
+//! - *Slow work*: every admitted request carries a [`Deadline`] whose
+//!   budget starts at accept (queue wait spends budget). The deadline is
+//!   checked before routing, after parsing, and — as a
+//!   [`CancelToken`](pinpoint_store::CancelToken) — before every chunk
+//!   decode inside the fold, so a doomed scan stops mid-store and
+//!   answers a deterministic `503` + `Retry-After: 1`.
+//! - *Buggy handlers*: the whole router runs under `catch_unwind`; a
+//!   panic becomes a stable `500`, bumps `panics_caught`, and the worker
+//!   keeps serving. A worker that dies anyway (panic outside the guard)
+//!   is respawned by the watchdog thread.
+//! - *Rotten stores*: each store has a deterministic count-based
+//!   circuit breaker ([`crate::breaker`]); consecutive hard failures
+//!   trip it and requests are rejected at the door with `503` +
+//!   `Retry-After` until a half-open probe succeeds.
+//! - *Shutdown*: `POST /shutdown` starts a graceful drain — the
+//!   listener keeps accepting (so `/healthz` stays observable and
+//!   answers `503 draining`), pre-drain connections finish under a
+//!   bounded drain deadline, and then the process exits cleanly; the
+//!   deadline expiring aborts the drain and drops what is left
+//!   (counted in `drain_dropped`).
+//!
 //! Every store-reading endpoint folds per-chunk results in file order, so
 //! a response is byte-identical to the offline CLI on the same store —
 //! at any worker count, any per-request fan-out, any cache state, and
@@ -29,22 +53,25 @@
 //! [`ResultCache`], which also backs `ETag` / `If-None-Match` → `304`
 //! conditional answers (see [`crate::result_cache`]).
 
+use crate::breaker::{Admission, BreakerConfig, BreakerEvent, BreakerSet};
 use crate::cache::ChunkCache;
 use crate::catalog::{Catalog, CatalogError, StoreEntry};
+use crate::deadline::Deadline;
 use crate::http::{error_body, read_request, ConnBuffers, ReadOutcome, Request, Response};
 use crate::metrics::{Endpoint, Metrics};
 use crate::result_cache::{etag, if_none_match, CachedResult, ResultCache};
 use pinpoint_analysis::{OutlierCriteria, RenderScratch, TraceReport};
 use pinpoint_obs::{tracer, SpanGuard, NO_ARG};
-use pinpoint_store::{Predicate, QueryResult, ReadPolicy, StoreError};
+use pinpoint_store::{CancelToken, Predicate, QueryResult, ReadPolicy, StoreError};
 use pinpoint_trace::json::{self, Json};
 use pinpoint_trace::{Category, EventKind};
 use std::collections::VecDeque;
 use std::fmt::Write as _;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -55,6 +82,16 @@ const DEBUG_SPAN_REQUESTS: usize = 16;
 /// Per-thread span ring capacity while the daemon runs (each record is
 /// ~56 B, so a worker's ring tops out around 3.5 MB).
 const SERVE_SPAN_CAPACITY: usize = 65_536;
+
+/// Lifecycle phases, strictly monotone (`fetch_max` only).
+const PHASE_RUNNING: u8 = 0;
+/// Graceful drain in progress: still accepting (restricted service),
+/// pre-drain connections finishing.
+const PHASE_DRAINING: u8 = 1;
+/// Workers serve what is already queued, then exit.
+const PHASE_STOPPING: u8 = 2;
+/// Drain deadline blew: workers drop the queue unanswered and exit.
+const PHASE_ABORTING: u8 = 3;
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -79,8 +116,23 @@ pub struct ServeConfig {
     /// Per-request chunk-decode fan-out (results are identical at any
     /// value; >1 trades cross-request throughput for per-request latency).
     pub request_threads: usize,
+    /// Socket read/write timeout in milliseconds (0 disables it): bounds
+    /// how long a slow or stalled client can pin a worker.
+    pub io_timeout_ms: u64,
+    /// Per-request deadline budget in milliseconds (0 disables it),
+    /// measured from accept for a connection's first request and from
+    /// read-complete for kept-alive follow-ups.
+    pub request_deadline_ms: u64,
+    /// Graceful-drain window in milliseconds (0 waits forever): how long
+    /// `POST /shutdown` lets in-flight work finish before aborting.
+    pub drain_deadline_ms: u64,
+    /// Per-store circuit-breaker tuning.
+    pub breaker: BreakerConfig,
     /// Token required by `POST /shutdown`; `None` disables the endpoint.
     pub shutdown_token: Option<String>,
+    /// Token required by `POST /debug/chaos` (fault injection for the
+    /// chaos harness); `None` hides the endpoint entirely.
+    pub chaos_token: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -94,7 +146,12 @@ impl Default for ServeConfig {
             queue_cap: 64,
             keepalive_requests: 128,
             request_threads: 1,
+            io_timeout_ms: 10_000,
+            request_deadline_ms: 30_000,
+            drain_deadline_ms: 5_000,
+            breaker: BreakerConfig::default(),
             shutdown_token: None,
+            chaos_token: None,
         }
     }
 }
@@ -106,23 +163,72 @@ struct Shared {
     cache: ChunkCache,
     results: ResultCache,
     metrics: Metrics,
-    /// Connections waiting for a worker, with their enqueue timestamp
-    /// (tracer clock) so queue wait is measurable per connection.
-    queue: Mutex<VecDeque<(TcpStream, u64)>>,
+    breakers: BreakerSet,
+    /// Connections waiting for a worker: the stream, its enqueue
+    /// timestamp (tracer clock), and whether it was accepted before the
+    /// drain started (`pre` connections get full service; drain-time
+    /// ones get one restricted request).
+    queue: Mutex<VecDeque<(TcpStream, u64, bool)>>,
     ready: Condvar,
-    stop: AtomicBool,
+    /// Current [`PHASE_RUNNING`]..=[`PHASE_ABORTING`]; advanced with
+    /// `fetch_max`, never rolled back.
+    phase: AtomicU8,
+    /// Tracer timestamp of the drain's start (valid once phase ≥ 1;
+    /// stored *before* the phase advances).
+    drain_start_ns: AtomicU64,
+    /// Pre-drain connections still queued or in flight — the drain
+    /// finishes (phase → stopping) when this reaches zero.
+    pre_pending: AtomicU64,
     /// Monotone request ids, stamped on every `serve.request` span.
     req_seq: AtomicU64,
     config: ServeConfig,
 }
 
+impl Shared {
+    fn phase(&self) -> u8 {
+        self.phase.load(Ordering::SeqCst)
+    }
+
+    /// Monotone phase advance; wakes every parked worker.
+    fn advance_phase(&self, to: u8) {
+        self.phase.fetch_max(to, Ordering::SeqCst);
+        self.ready.notify_all();
+    }
+
+    /// Absolute tracer timestamp by which the drain must finish
+    /// (`u64::MAX` when unbounded).
+    fn drain_cutoff_ns(&self) -> u64 {
+        if self.config.drain_deadline_ms == 0 {
+            return u64::MAX;
+        }
+        self.drain_start_ns
+            .load(Ordering::SeqCst)
+            .saturating_add(self.config.drain_deadline_ms.saturating_mul(1_000_000))
+    }
+}
+
 /// Per-worker reusable state: connection buffers (read accumulator +
-/// response-head buffer) and the JSON render scratch. One per worker
-/// thread, reused across every connection and request it serves.
+/// response-head buffer), the JSON render scratch, and the chaos
+/// kill flag (set by `/debug/chaos` mode `kill`, honored after the
+/// response is written). One per worker thread, reused across every
+/// connection and request it serves.
 #[derive(Debug)]
 struct WorkerCtx {
     bufs: ConnBuffers,
     render: RenderScratch,
+    /// `/debug/chaos` mode `kill`: answer first, then die so the
+    /// watchdog's respawn path gets exercised.
+    kill_after_response: bool,
+}
+
+impl WorkerCtx {
+    fn new() -> Self {
+        WorkerCtx {
+            bufs: ConnBuffers::new(),
+            render: RenderScratch::new(),
+            kill_after_response: false,
+        }
+    }
 }
 
 /// A running daemon; dropping the handle does **not** stop it — call
@@ -140,10 +246,11 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Signals shutdown and joins every thread.
+    /// Signals immediate shutdown (skipping the graceful drain: the
+    /// already-queued connections are still served) and joins every
+    /// thread.
     pub fn shutdown(mut self) {
-        self.shared.stop.store(true, Ordering::SeqCst);
-        self.shared.ready.notify_all();
+        self.shared.advance_phase(PHASE_STOPPING);
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
@@ -157,7 +264,8 @@ impl ServerHandle {
     }
 }
 
-/// Binds, spawns the accept loop and worker pool, and returns a handle.
+/// Binds, spawns the accept loop, worker pool, and watchdog, and
+/// returns a handle.
 ///
 /// # Errors
 ///
@@ -176,20 +284,28 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
         cache: ChunkCache::new(config.cache_bytes, 8),
         results: ResultCache::new(config.result_cache_bytes),
         metrics: Metrics::default(),
+        breakers: BreakerSet::new(config.breaker),
         queue: Mutex::new(VecDeque::new()),
         ready: Condvar::new(),
-        stop: AtomicBool::new(false),
+        phase: AtomicU8::new(PHASE_RUNNING),
+        drain_start_ns: AtomicU64::new(0),
+        pre_pending: AtomicU64::new(0),
         req_seq: AtomicU64::new(0),
         config: config.clone(),
     });
-    let mut threads = Vec::with_capacity(config.workers + 1);
+    let mut workers = Vec::with_capacity(config.workers.max(1));
+    for _ in 0..config.workers.max(1) {
+        let shared = Arc::clone(&shared);
+        workers.push(std::thread::spawn(move || worker_loop(&shared)));
+    }
+    let mut threads = Vec::with_capacity(2);
     {
         let shared = Arc::clone(&shared);
         threads.push(std::thread::spawn(move || accept_loop(&listener, &shared)));
     }
-    for _ in 0..config.workers.max(1) {
+    {
         let shared = Arc::clone(&shared);
-        threads.push(std::thread::spawn(move || worker_loop(&shared)));
+        threads.push(std::thread::spawn(move || watchdog_loop(&shared, workers)));
     }
     Ok(ServerHandle {
         addr,
@@ -206,12 +322,14 @@ fn retry_after_secs(queue_depth: usize, workers: usize) -> u64 {
 }
 
 fn accept_loop(listener: &TcpListener, shared: &Shared) {
-    while !shared.stop.load(Ordering::SeqCst) {
+    let io_timeout = (shared.config.io_timeout_ms > 0)
+        .then(|| Duration::from_millis(shared.config.io_timeout_ms));
+    while shared.phase() < PHASE_STOPPING {
         match listener.accept() {
             Ok((mut stream, _)) => {
                 shared.metrics.accepted.inc();
-                let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-                let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+                let _ = stream.set_read_timeout(io_timeout);
+                let _ = stream.set_write_timeout(io_timeout);
                 let mut queue = shared.queue.lock().expect("queue poisoned");
                 if queue.len() >= shared.config.queue_cap {
                     let depth = queue.len();
@@ -225,7 +343,13 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
                     let mut head = Vec::new();
                     let _ = resp.write_to(&mut stream, false, &mut head);
                 } else {
-                    queue.push_back((stream, tracer().now_ns()));
+                    // connections accepted before the drain get full
+                    // service and hold the drain open until they finish
+                    let pre = shared.phase() == PHASE_RUNNING;
+                    if pre {
+                        shared.pre_pending.fetch_add(1, Ordering::SeqCst);
+                    }
+                    queue.push_back((stream, tracer().now_ns(), pre));
                     drop(queue);
                     shared.ready.notify_one();
                 }
@@ -239,18 +363,27 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
 }
 
 fn worker_loop(shared: &Shared) {
-    let mut ctx = WorkerCtx {
-        bufs: ConnBuffers::new(),
-        render: RenderScratch::new(),
-    };
+    let mut ctx = WorkerCtx::new();
     loop {
-        let stream = {
+        let next = {
             let mut queue = shared.queue.lock().expect("queue poisoned");
             loop {
-                if let Some(s) = queue.pop_front() {
-                    break Some(s);
+                let phase = shared.phase();
+                if phase >= PHASE_ABORTING {
+                    // drain deadline blew: drop the backlog unanswered
+                    while let Some((stream, _, pre)) = queue.pop_front() {
+                        shared.metrics.drain_dropped.inc();
+                        if pre {
+                            shared.pre_pending.fetch_sub(1, Ordering::SeqCst);
+                        }
+                        drop(stream);
+                    }
+                    break None;
                 }
-                if shared.stop.load(Ordering::SeqCst) {
+                if let Some(entry) = queue.pop_front() {
+                    break Some(entry);
+                }
+                if phase >= PHASE_STOPPING {
                     break None;
                 }
                 let (q, _) = shared
@@ -260,32 +393,122 @@ fn worker_loop(shared: &Shared) {
                 queue = q;
             }
         };
-        match stream {
-            Some((mut s, enqueued_ns)) => handle_connection(shared, &mut s, &mut ctx, enqueued_ns),
+        match next {
+            Some((mut s, enqueued_ns, pre)) => {
+                handle_connection(shared, &mut s, &mut ctx, enqueued_ns, pre);
+                if pre {
+                    shared.pre_pending.fetch_sub(1, Ordering::SeqCst);
+                }
+                if ctx.kill_after_response {
+                    // deliberate death *outside* the unwind guard: the
+                    // watchdog must notice and respawn this worker
+                    ctx.kill_after_response = false;
+                    panic!("chaos: worker killed by /debug/chaos");
+                }
+            }
             None => return,
         }
     }
 }
 
+/// Supervises the worker pool and the drain state machine: respawns
+/// workers that died (panicked outside the unwind guard), finishes the
+/// drain when the last pre-drain connection completes, aborts it when
+/// the drain deadline expires, and joins everything on the way out.
+fn watchdog_loop(shared: &Arc<Shared>, mut workers: Vec<JoinHandle<()>>) {
+    loop {
+        let phase = shared.phase();
+        if phase >= PHASE_STOPPING {
+            shared.ready.notify_all();
+            for w in workers.drain(..) {
+                let _ = w.join();
+            }
+            return;
+        }
+        for slot in workers.iter_mut() {
+            if slot.is_finished() {
+                let respawned = Arc::clone(shared);
+                let fresh = std::thread::spawn(move || worker_loop(&respawned));
+                let dead = std::mem::replace(slot, fresh);
+                let _ = dead.join();
+                shared.metrics.workers_respawned.inc();
+            }
+        }
+        if phase == PHASE_DRAINING {
+            if shared.pre_pending.load(Ordering::SeqCst) == 0 {
+                shared.advance_phase(PHASE_STOPPING);
+                continue;
+            }
+            if tracer().now_ns() >= shared.drain_cutoff_ns() {
+                shared.advance_phase(PHASE_ABORTING);
+                continue;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// The control plane: health, metrics, introspection, and shutdown.
+/// These requests stay servable during a drain (the backlog only
+/// shrinks, but observers must not go dark) and are exempt from the
+/// request deadline — a health check or a shutdown order must be
+/// honored precisely when the daemon is wedged enough to blow budgets.
+fn control_plane(req: &Request) -> bool {
+    matches!(
+        (req.method.as_str(), req.path.as_str()),
+        ("GET", "/healthz") | ("GET", "/metrics") | ("GET", "/debug/spans") | ("POST", "/shutdown")
+    )
+}
+
+/// The deterministic answer for a request whose deadline budget ran
+/// out; records how late the doomed request was by the time it was cut.
+fn deadline_response(shared: &Shared, deadline: Deadline) -> Response {
+    shared.metrics.deadline_exceeded.inc();
+    shared
+        .metrics
+        .lat_deadline
+        .record(tracer().now_ns().saturating_sub(deadline.at_ns()));
+    Response::new(503)
+        .with_header("Retry-After", "1")
+        .with_json_body(error_body("deadline exceeded"))
+}
+
 /// Serves one connection: up to `keepalive_requests` request/response
 /// cycles, closing early when the client asks (`Connection: close` or an
 /// HTTP/1.0 request without `keep-alive`), on any transport or framing
-/// error, or when the daemon is shutting down.
+/// error, or when the daemon leaves the running phase. Connections
+/// accepted during a drain (`pre == false`) get exactly one request of
+/// restricted service.
 fn handle_connection(
     shared: &Shared,
     stream: &mut TcpStream,
     ctx: &mut WorkerCtx,
     enqueued_ns: u64,
+    pre: bool,
 ) {
     ctx.bufs.reset();
-    let budget = shared.config.keepalive_requests.max(1);
+    let budget = if pre {
+        shared.config.keepalive_requests.max(1)
+    } else {
+        1
+    };
     // queue wait ended when this worker picked the connection up; it is
     // replayed as a child span of the connection's *first* request
     let mut queue_wait = Some((enqueued_ns, tracer().now_ns().saturating_sub(enqueued_ns)));
     for served in 0..budget {
         let outcome = match read_request(stream, &mut ctx.bufs) {
             Ok(o) => o,
-            Err(_) => return, // transport error (e.g. timeout): nothing to answer
+            Err(e) => {
+                // transport error: nothing to answer, but a timeout is a
+                // misbehaving (slow-loris or never-reading) client
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) {
+                    shared.metrics.conn_timeouts.inc();
+                }
+                return;
+            }
         };
         // lifecycle clock starts once the request is fully read (read
         // time is the client's pace, not the daemon's)
@@ -315,24 +538,71 @@ fn handle_connection(
                     tracer().record_at("serve.queue", start, dur, NO_ARG);
                 }
                 endpoint = endpoint_of(&req);
-                let keep = req.wants_keep_alive()
+                // the budget clock started at accept for the first
+                // request (queue wait spends budget) and at read-complete
+                // for kept-alive follow-ups
+                let base_ns = if served == 0 { enqueued_ns } else { started_ns };
+                let mut deadline = Deadline::after(base_ns, shared.config.request_deadline_ms);
+                if shared.phase() >= PHASE_DRAINING {
+                    // in-flight work cannot outlive the drain window
+                    deadline = deadline.clamped_to(shared.drain_cutoff_ns());
+                }
+                let keep = pre
+                    && req.wants_keep_alive()
                     && served + 1 < budget
-                    && !shared.stop.load(Ordering::SeqCst);
-                (route(shared, &req, ctx), keep)
+                    && shared.phase() == PHASE_RUNNING;
+                if !pre && !control_plane(&req) {
+                    (
+                        Response::new(503)
+                            .with_header("Retry-After", "1")
+                            .with_json_body(error_body("draining")),
+                        false,
+                    )
+                } else if deadline.exceeded() && !control_plane(&req) {
+                    // starved in the queue past its whole budget — but
+                    // only store work is doomed; a health probe or a
+                    // shutdown order answers no matter how late
+                    (deadline_response(shared, deadline), keep)
+                } else {
+                    match catch_unwind(AssertUnwindSafe(|| route(shared, &req, ctx, deadline))) {
+                        Ok(resp) => (resp, keep),
+                        Err(_) => {
+                            // contained: stable answer, fresh scratch (the
+                            // old one may hold a half-rendered body), and
+                            // the worker keeps serving
+                            shared.metrics.panics_caught.inc();
+                            ctx.render = RenderScratch::new();
+                            (
+                                Response::new(500)
+                                    .with_json_body(error_body("internal error: handler panicked")),
+                                false,
+                            )
+                        }
+                    }
+                }
             }
         };
         shared.metrics.count_status(response.status());
         let write_failed = {
             let _write_span = tracer().span("serve.write");
-            response
-                .write_to(stream, keep_alive, &mut ctx.bufs.head_out)
-                .is_err()
+            match response.write_to(stream, keep_alive, &mut ctx.bufs.head_out) {
+                Ok(()) => false,
+                Err(e) => {
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) {
+                        shared.metrics.conn_timeouts.inc();
+                    }
+                    true
+                }
+            }
         };
         shared
             .metrics
             .record_latency(endpoint, tracer().now_ns().saturating_sub(started_ns));
         drop(req_span);
-        if write_failed || !keep_alive {
+        if write_failed || !keep_alive || ctx.kill_after_response {
             return;
         }
     }
@@ -353,19 +623,21 @@ fn endpoint_of(req: &Request) -> Endpoint {
     }
 }
 
-fn route(shared: &Shared, req: &Request, ctx: &mut WorkerCtx) -> Response {
+fn route(shared: &Shared, req: &Request, ctx: &mut WorkerCtx, deadline: Deadline) -> Response {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["stores"]) => handle_stores(shared),
         ("GET", ["metrics"]) => handle_metrics(shared),
+        ("GET", ["healthz"]) => handle_healthz(shared),
         ("GET", ["debug", "spans"]) => handle_debug_spans(),
+        ("POST", ["debug", "chaos"]) => handle_chaos(shared, req, ctx, deadline),
         ("POST", ["shutdown"]) => handle_shutdown(shared, req),
         ("GET", ["stores", name, "info"]) => with_store(shared, name, handle_info),
         ("POST", ["stores", name, "query"]) => with_store(shared, name, |sh, e| {
-            handle_query(sh, e, req, &mut ctx.render)
+            handle_query(sh, e, req, &mut ctx.render, deadline)
         }),
         ("POST", ["stores", name, "report"]) => with_store(shared, name, |sh, e| {
-            handle_report(sh, e, req, &mut ctx.render)
+            handle_report(sh, e, req, &mut ctx.render, deadline)
         }),
         ("GET", ["stores", _, "query" | "report"]) | ("POST", ["stores"] | ["metrics"]) => {
             Response::new(405).with_json_body(error_body("method not allowed"))
@@ -374,23 +646,65 @@ fn route(shared: &Shared, req: &Request, ctx: &mut WorkerCtx) -> Response {
     }
 }
 
-/// Resolves a store through the catalog and runs `f` on it. When the
-/// catalog reports that the on-disk file changed (reopen) or vanished
-/// (eviction), the superseded entry's chunks and rendered results are
-/// dropped from both cache tiers before answering.
+/// Surfaces a breaker transition: counters plus a span event visible in
+/// `/debug/spans` (the events fire inside a request span, so they show
+/// up as children of the request that caused them).
+fn note_breaker_event(shared: &Shared, event: BreakerEvent) {
+    let now = tracer().now_ns();
+    match event {
+        BreakerEvent::Tripped { trip } => {
+            shared.metrics.breaker_trips.inc();
+            tracer().record_at("serve.breaker.trip", now, 0, u64::from(trip));
+        }
+        BreakerEvent::ProbeArmed => tracer().record_at("serve.breaker.probe", now, 0, NO_ARG),
+        BreakerEvent::Closed => tracer().record_at("serve.breaker.close", now, 0, NO_ARG),
+    }
+}
+
+/// Resolves a store through the catalog and runs `f` on it, gated by
+/// the store's circuit breaker. When the catalog reports that the
+/// on-disk file changed (reopen) or vanished (eviction), the superseded
+/// entry's chunks and rendered results are dropped from both cache
+/// tiers before answering.
+///
+/// Breaker accounting: a `500` answer, an unopenable store, or a panic
+/// inside `f` is a hard failure; a `503` (deadline) is neutral; any
+/// other status — including salvage 200s with loss accounting — is a
+/// success. A missing store (404) carries no health signal at all.
 fn with_store(
     shared: &Shared,
     name: &str,
     f: impl FnOnce(&Shared, &StoreEntry) -> Response,
 ) -> Response {
-    match shared.catalog.get(name) {
+    let (admission, event) = shared.breakers.admit(name);
+    if let Some(ev) = event {
+        note_breaker_event(shared, ev);
+    }
+    if let Admission::Reject { retry_after_secs } = admission {
+        shared.metrics.breaker_rejected.inc();
+        return Response::new(503)
+            .with_header("Retry-After", retry_after_secs.to_string())
+            .with_header("X-Pinpoint-Breaker", "open")
+            .with_json_body(error_body("store circuit open"));
+    }
+    let response = match shared.catalog.get(name) {
         Ok(resolved) => {
             if let Some(stale) = resolved.stale_id {
                 shared.cache.invalidate_store(stale);
                 shared.results.invalidate_store(name);
                 shared.metrics.store_reopens.inc();
             }
-            f(shared, &resolved.entry)
+            match catch_unwind(AssertUnwindSafe(|| f(shared, &resolved.entry))) {
+                Ok(resp) => resp,
+                Err(payload) => {
+                    // the panic still becomes the connection-level 500,
+                    // but the breaker must hear about it first
+                    if let Some(ev) = shared.breakers.record(name, false) {
+                        note_breaker_event(shared, ev);
+                    }
+                    resume_unwind(payload)
+                }
+            }
         }
         Err(CatalogError::NotFound { stale_id }) => {
             if let Some(stale) = stale_id {
@@ -398,12 +712,23 @@ fn with_store(
                 shared.results.invalidate_store(name);
                 shared.metrics.store_reopens.inc();
             }
-            Response::new(404).with_json_body(error_body("store not found"))
+            return Response::new(404).with_json_body(error_body("store not found"));
         }
         Err(CatalogError::Open(e)) => {
             Response::new(500).with_json_body(error_body(&format!("cannot open store: {e}")))
         }
+    };
+    let verdict = match response.status() {
+        500 => Some(false),
+        503 => None,
+        _ => Some(true),
+    };
+    if let Some(success) = verdict {
+        if let Some(ev) = shared.breakers.record(name, success) {
+            note_breaker_event(shared, ev);
+        }
     }
+    response
 }
 
 fn handle_stores(shared: &Shared) -> Response {
@@ -420,14 +745,43 @@ fn handle_stores(shared: &Shared) -> Response {
 
 fn handle_metrics(shared: &Shared) -> Response {
     let depth = shared.queue.lock().expect("queue poisoned").len();
+    let (open, half_open) = shared.breakers.open_counts();
+    let draining = shared.phase() >= PHASE_DRAINING;
     // dynamic body: must never be ETag'd, conditionally answered, or
     // replayed from the result cache
-    Response::json(
-        shared
-            .metrics
-            .to_json(&shared.cache.stats(), &shared.results.stats(), depth),
-    )
+    Response::json(shared.metrics.to_json(
+        &shared.cache.stats(),
+        &shared.results.stats(),
+        depth,
+        open,
+        half_open,
+        draining,
+    ))
     .with_header("Cache-Control", "no-store")
+}
+
+/// Readiness: `200 ready` while running, `503 draining` once a drain
+/// has started — with the breaker gauges either way, so a balancer (or
+/// the chaos harness) can see partial degradation before it routes.
+fn handle_healthz(shared: &Shared) -> Response {
+    let (open, half_open) = shared.breakers.open_counts();
+    let draining = shared.phase() >= PHASE_DRAINING;
+    let mut s = String::with_capacity(96);
+    let _ = write!(
+        s,
+        "{{\"status\":\"{}\",\"breakers_open\":{open},\"breakers_half_open\":{half_open},\
+         \"workers\":{}}}",
+        if draining { "draining" } else { "ready" },
+        shared.config.workers,
+    );
+    let resp = if draining {
+        Response::new(503)
+            .with_header("Retry-After", "1")
+            .with_json_body(s)
+    } else {
+        Response::json(s)
+    };
+    resp.with_header("Cache-Control", "no-store")
 }
 
 /// Replays the last [`DEBUG_SPAN_REQUESTS`] completed request span trees
@@ -472,6 +826,60 @@ fn handle_debug_spans() -> Response {
     Response::json(s).with_header("Cache-Control", "no-store")
 }
 
+/// Token-gated fault injection for the chaos harness: `panic` blows up
+/// inside the unwind guard (a contained 500), `kill` answers 204 and
+/// then dies outside the guard (a watchdog respawn), `stall` naps until
+/// the request deadline cuts it loose (a deterministic deadline 503).
+fn handle_chaos(
+    shared: &Shared,
+    req: &Request,
+    ctx: &mut WorkerCtx,
+    deadline: Deadline,
+) -> Response {
+    let Some(token) = &shared.config.chaos_token else {
+        return Response::new(404).with_json_body(error_body("no such endpoint"));
+    };
+    if req.header("x-pinpoint-token") != Some(token.as_str()) {
+        return Response::new(403).with_json_body(error_body("chaos not authorized"));
+    }
+    let body = match parse_body(req) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    let mode = body
+        .as_ref()
+        .and_then(|b| b.get("mode"))
+        .and_then(Json::as_str)
+        .unwrap_or("");
+    match mode {
+        "panic" => panic!("chaos: injected handler panic"),
+        "kill" => {
+            ctx.kill_after_response = true;
+            Response::new(204)
+        }
+        "stall" => {
+            // a worker wedged in a loop that at least naps: the deadline
+            // must cut it loose. Hard 2 s cap so a disabled deadline
+            // cannot wedge the worker forever.
+            let cap_ns = tracer().now_ns().saturating_add(2_000_000_000);
+            while !deadline.exceeded() && tracer().now_ns() < cap_ns {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            if deadline.exceeded() {
+                deadline_response(shared, deadline)
+            } else {
+                Response::new(204)
+            }
+        }
+        other => {
+            Response::new(400).with_json_body(error_body(&format!("unknown chaos mode `{other}`")))
+        }
+    }
+}
+
+/// Starts a graceful drain (idempotent): the listener keeps accepting
+/// for observability, pre-drain connections finish under the drain
+/// deadline, then the daemon stops.
 fn handle_shutdown(shared: &Shared, req: &Request) -> Response {
     let authorized = match &shared.config.shutdown_token {
         Some(token) => req.header("x-pinpoint-token") == Some(token.as_str()),
@@ -480,8 +888,14 @@ fn handle_shutdown(shared: &Shared, req: &Request) -> Response {
     if !authorized {
         return Response::new(403).with_json_body(error_body("shutdown not authorized"));
     }
-    shared.stop.store(true, Ordering::SeqCst);
-    shared.ready.notify_all();
+    if shared.phase() == PHASE_RUNNING {
+        // stamp the drain clock before the phase flips so every observer
+        // of phase ≥ draining sees a valid cutoff
+        shared
+            .drain_start_ns
+            .store(tracer().now_ns(), Ordering::SeqCst);
+        shared.advance_phase(PHASE_DRAINING);
+    }
     Response::new(204)
 }
 
@@ -583,15 +997,21 @@ fn predicate_from_body(body: Option<&Json>, entry: &StoreEntry) -> Result<Predic
 
 /// Runs a predicate query through the chunk cache, folding per-chunk
 /// verdicts in file order — byte-identical to `StoreReader::query` on the
-/// same bytes, whatever mix of cache hits serves the chunks.
+/// same bytes, whatever mix of cache hits serves the chunks. The cancel
+/// token is polled before each chunk's decode; a fired token surfaces
+/// as [`StoreError::Cancelled`] (which salvage never swallows).
 fn cached_query(
     shared: &Shared,
     entry: &StoreEntry,
     pred: &Predicate,
+    cancel: &CancelToken,
 ) -> Result<QueryResult, StoreError> {
     let (candidates, mut stats) = entry.reader.prune(pred);
     let pred = *pred;
     let mapped = pinpoint_parallel::map_ordered(candidates, shared.config.request_threads, |i| {
+        if cancel.is_cancelled() {
+            return (i, Err(StoreError::Cancelled));
+        }
         let _chunk_span = tracer().span_with("serve.chunk", i as u64);
         let res = shared
             .cache
@@ -702,6 +1122,7 @@ fn handle_query(
     entry: &StoreEntry,
     req: &Request,
     render: &mut RenderScratch,
+    deadline: Deadline,
 ) -> Response {
     shared.metrics.queries.inc();
     let mut timer = StageTimer::start();
@@ -731,7 +1152,12 @@ fn handle_query(
         return ok_with_result(&hit).with_header("X-Pinpoint-Timing", timer.header_value());
     }
     timer.stage("serve.lookup");
-    match cached_query(shared, entry, &pred) {
+    // checkpoint before the fold: don't start work that cannot finish
+    if deadline.exceeded() {
+        return deadline_response(shared, deadline);
+    }
+    let cancel = deadline.cancel_token();
+    match cached_query(shared, entry, &pred, &cancel) {
         Ok(q) => {
             timer.stage("serve.fold");
             let result = CachedResult {
@@ -748,6 +1174,7 @@ fn handle_query(
                 .insert(&entry.name, &params, entry.generation, result);
             resp
         }
+        Err(StoreError::Cancelled) => deadline_response(shared, deadline),
         Err(e) => Response::new(500).with_json_body(error_body(&format!("query failed: {e}"))),
     }
 }
@@ -757,6 +1184,7 @@ fn handle_report(
     entry: &StoreEntry,
     req: &Request,
     render: &mut RenderScratch,
+    deadline: Deadline,
 ) -> Response {
     shared.metrics.reports.inc();
     let mut timer = StageTimer::start();
@@ -798,12 +1226,17 @@ fn handle_report(
         return ok_with_result(&hit).with_header("X-Pinpoint-Timing", timer.header_value());
     }
     timer.stage("serve.lookup");
+    if deadline.exceeded() {
+        return deadline_response(shared, deadline);
+    }
+    let cancel = deadline.cancel_token();
     let report = TraceReport::from_chunks(
         &entry.reader.footer().chunks,
         criteria,
         shared.config.request_threads,
         ReadPolicy::Salvage,
         |i, _| {
+            cancel.check()?;
             shared
                 .cache
                 .get_or_decode(entry.id, i, || entry.reader.decode_chunk(i))
@@ -826,6 +1259,7 @@ fn handle_report(
                 .insert(&entry.name, &params, entry.generation, result);
             resp
         }
+        Err(StoreError::Cancelled) => deadline_response(shared, deadline),
         Err(e) => Response::new(500).with_json_body(error_body(&format!("report failed: {e}"))),
     }
 }
@@ -842,5 +1276,25 @@ mod tests {
         assert_eq!(retry_after_secs(9, 4), 3);
         assert_eq!(retry_after_secs(1000, 1), 8, "clamped");
         assert_eq!(retry_after_secs(0, 0), 1, "degenerate inputs stay sane");
+    }
+
+    #[test]
+    fn control_plane_is_observability_only() {
+        fn req(method: &str, path: &str) -> Request {
+            Request {
+                method: method.to_string(),
+                path: path.to_string(),
+                headers: Vec::new(),
+                body: Vec::new(),
+                http11: true,
+            }
+        }
+        assert!(control_plane(&req("GET", "/healthz")));
+        assert!(control_plane(&req("GET", "/metrics")));
+        assert!(control_plane(&req("GET", "/debug/spans")));
+        assert!(control_plane(&req("POST", "/shutdown")));
+        assert!(!control_plane(&req("GET", "/stores")));
+        assert!(!control_plane(&req("POST", "/stores/mlp/query")));
+        assert!(!control_plane(&req("POST", "/debug/chaos")));
     }
 }

@@ -60,6 +60,10 @@ pub enum StoreError {
     },
     /// Structurally malformed content that does not fit a narrower variant.
     Corrupt(String),
+    /// The caller's [`CancelToken`](crate::CancelToken) fired mid-scan:
+    /// the bytes are fine, the work was abandoned. Deliberately neither
+    /// corruption (salvage must not swallow it) nor I/O.
+    Cancelled,
     /// An underlying I/O error (distinct from corruption: salvage mode skips
     /// corrupt chunks but still propagates I/O failures).
     Io(io::Error),
@@ -98,6 +102,7 @@ impl fmt::Display for StoreError {
                 write!(f, "chunk {chunk} out of range (store has {chunks})")
             }
             StoreError::Corrupt(msg) => write!(f, "corrupt store: {msg}"),
+            StoreError::Cancelled => write!(f, "scan cancelled (deadline exceeded)"),
             StoreError::Io(e) => write!(f, "store I/O error: {e}"),
         }
     }
@@ -130,9 +135,10 @@ impl From<StoreError> for io::Error {
 impl StoreError {
     /// True for damage in the bytes themselves (checksum, truncation,
     /// malformed structure) as opposed to a failure of the underlying
-    /// reader/writer. Salvage mode skips corruption but never I/O errors.
+    /// reader/writer — or of the caller's patience. Salvage mode skips
+    /// corruption but never I/O errors or cancellation.
     pub fn is_corruption(&self) -> bool {
-        !matches!(self, StoreError::Io(_))
+        !matches!(self, StoreError::Io(_) | StoreError::Cancelled)
     }
 }
 
@@ -171,6 +177,8 @@ mod tests {
         assert!(StoreError::BadMagic.is_corruption());
         assert!(StoreError::Truncated("footer").is_corruption());
         assert!(!StoreError::Io(io::Error::other("x")).is_corruption());
+        // a salvage fold must abort on cancellation, never skip-and-account
+        assert!(!StoreError::Cancelled.is_corruption());
     }
 
     #[test]

@@ -71,6 +71,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cancel;
 pub mod columns;
 pub mod crc32;
 pub mod error;
@@ -81,6 +82,7 @@ pub mod shared;
 mod varint;
 pub mod writer;
 
+pub use cancel::CancelToken;
 pub use columns::{
     chunk_encoding_tags, encode_chunk_v3, ColumnBatch, DecodeScratch, MAX_CHUNK_EVENTS, TAG_DOD,
     TAG_PACK, TAG_PLAIN, TAG_RLE,

@@ -394,6 +394,9 @@ pub struct StoreReader<R: Read + Seek = BufReader<File>> {
     /// Reusable decode buffers, recycled across scans so steady-state
     /// queries allocate nothing per chunk (see [`DecodeScratch`]).
     scratch_pool: Vec<DecodeScratch>,
+    /// Cooperative cancellation, polled per scan wave (see
+    /// [`StoreReader::set_cancel`]).
+    cancel: crate::cancel::CancelToken,
 }
 
 impl StoreReader<BufReader<File>> {
@@ -470,6 +473,7 @@ impl<R: Read + Seek> StoreReader<R> {
                 chunks_decoded: 0,
                 salvage: None,
                 scratch_pool: Vec::new(),
+                cancel: crate::cancel::CancelToken::never(),
             }),
             Err(e) if policy == ReadPolicy::Salvage && e.is_corruption() => {
                 let (footer, summary) = Self::rescan(&mut src, version, e.to_string())?;
@@ -482,6 +486,7 @@ impl<R: Read + Seek> StoreReader<R> {
                     chunks_decoded: 0,
                     salvage: Some(summary),
                     scratch_pool: Vec::new(),
+                    cancel: crate::cancel::CancelToken::never(),
                 })
             }
             Err(e) => Err(e),
@@ -655,6 +660,18 @@ impl<R: Read + Seek> StoreReader<R> {
         self.policy = policy;
     }
 
+    /// Installs a cooperative [`CancelToken`](crate::CancelToken) polled
+    /// at wave boundaries by [`StoreReader::scan_chunks`] (and everything
+    /// built on it: [`StoreReader::query`],
+    /// [`StoreReader::for_each_event`], the fused engine). Once the token
+    /// fires, the scan stops decoding mid-store and returns
+    /// [`StoreError::Cancelled`] — under any read policy, because an
+    /// abandoned request is not a damaged store. The reader stays fully
+    /// reusable afterwards.
+    pub fn set_cancel(&mut self, token: crate::cancel::CancelToken) {
+        self.cancel = token;
+    }
+
     /// The store's format version byte.
     pub fn version(&self) -> u8 {
         self.version
@@ -766,6 +783,10 @@ impl<R: Read + Seek> StoreReader<R> {
         let wave = threads.max(1) * 4;
         let _scan_span = pinpoint_obs::tracer().span_with("store.scan", candidates.len() as u64);
         for window in candidates.chunks(wave.max(1)) {
+            // cooperative checkpoint: a fired token abandons the scan at
+            // the next wave boundary instead of decoding the rest of the
+            // store for an answer nobody will read
+            self.cancel.check()?;
             if self.scratch_pool.len() < window.len() {
                 self.scratch_pool
                     .resize_with(window.len(), DecodeScratch::default);
@@ -1150,6 +1171,44 @@ mod tests {
         assert_eq!(back.events(), t.events());
         assert_eq!(back.markers(), t.markers());
         assert_eq!(back.labels(), t.labels());
+    }
+
+    #[test]
+    fn a_fired_cancel_token_aborts_a_scan_and_leaves_the_reader_usable() {
+        use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+        use std::sync::Arc;
+        let t = sample_trace();
+        let bytes = store_bytes(&t, 16);
+        let mut r = StoreReader::new(Cursor::new(bytes)).unwrap();
+        let full = r.query(&Predicate::any(), 1).unwrap().events.len();
+
+        // fire after the first wave: the scan must stop mid-store
+        let polls = Arc::new(AtomicU64::new(0));
+        let token = {
+            let polls = Arc::clone(&polls);
+            crate::cancel::CancelToken::new(move || polls.fetch_add(1, Ordering::Relaxed) >= 1)
+        };
+        r.set_cancel(token);
+        let err = r.query(&Predicate::any(), 1).unwrap_err();
+        assert!(matches!(err, StoreError::Cancelled), "{err}");
+        // salvage mode must also abort, not skip-and-account
+        r.set_policy(ReadPolicy::Salvage);
+        let err = r.query(&Predicate::any(), 1).unwrap_err();
+        assert!(matches!(err, StoreError::Cancelled), "{err}");
+
+        // disarm: the reader answers fully again, bit-identically
+        r.set_cancel(crate::cancel::CancelToken::never());
+        r.set_policy(ReadPolicy::Strict);
+        assert_eq!(r.query(&Predicate::any(), 1).unwrap().events.len(), full);
+
+        // an armed-but-quiet token costs nothing and cancels nothing
+        let flag = Arc::new(AtomicBool::new(false));
+        let quiet = {
+            let flag = Arc::clone(&flag);
+            crate::cancel::CancelToken::new(move || flag.load(Ordering::Relaxed))
+        };
+        r.set_cancel(quiet);
+        assert_eq!(r.query(&Predicate::any(), 1).unwrap().events.len(), full);
     }
 
     #[test]

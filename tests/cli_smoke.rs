@@ -391,3 +391,47 @@ fn written_trace_round_trips() {
     back.validate().unwrap();
     assert!(back.len() > 100);
 }
+
+/// `serve` startup failures must be a single `error:` line on stderr and
+/// a nonzero exit — never a panic, a hang, or a silent success.
+#[test]
+fn serve_startup_failures_exit_nonzero_with_one_line_errors() {
+    let tool = bin("pinpoint-trace-tool");
+    if !tool.exists() {
+        eprintln!("skipping: {tool:?} not built (run with --workspace)");
+        return;
+    }
+
+    // a catalog path that is not a directory
+    let out = Command::new(&tool)
+        .args(["serve", "--catalog", "/no/such/catalog"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        err.trim(),
+        "error: --catalog /no/such/catalog is not a directory",
+        "stderr: {err}"
+    );
+    assert_eq!(err.trim().lines().count(), 1, "one line, not a backtrace");
+
+    // a port someone else already holds
+    let taken = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = taken.local_addr().unwrap();
+    let dir = std::env::temp_dir().join(format!("pinpoint_cli_serve_bind_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = Command::new(&tool)
+        .args(["serve", "--catalog"])
+        .arg(&dir)
+        .args(["--addr", &addr.to_string()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "bind conflict must fail: {out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.starts_with("error: cannot serve:"), "stderr: {err}");
+    assert_eq!(err.trim().lines().count(), 1, "one line, not a backtrace");
+    drop(taken);
+    let _ = std::fs::remove_dir_all(&dir);
+}
